@@ -1,0 +1,372 @@
+// Package acqp is a query planner and execution framework for
+// acquisitional query processing — environments such as sensor networks
+// and wide-area data sources where reading an attribute has a high,
+// per-attribute cost (energy, latency, money) and tuples must be actively
+// acquired rather than loaded from disk.
+//
+// It implements the system described in:
+//
+//	A. Deshpande, C. Guestrin, W. Hong, S. Madden.
+//	"Exploiting Correlated Attributes in Acquisitional Query Processing."
+//	ICDE 2005.
+//
+// Given a conjunctive multi-predicate range query and historical data,
+// the planners exploit correlations between cheap attributes (time of
+// day, node id, battery voltage) and expensive ones (sensor transducers,
+// remote fetches) to build conditional plans: binary decision trees that
+// observe cheap attributes first and choose, per tuple, the cheapest
+// order in which to evaluate the expensive predicates.
+//
+// # Quick start
+//
+//	s := acqp.NewSchema(
+//		acqp.Attribute{Name: "hour", K: 24, Cost: 1},
+//		acqp.Attribute{Name: "light", K: 32, Cost: 100},
+//		acqp.Attribute{Name: "temp", K: 32, Cost: 100},
+//	)
+//	historical := loadTable(s)                     // *acqp.Table
+//	q, _ := acqp.NewQuery(s,
+//		acqp.Pred{Attr: s.MustIndex("light"), R: acqp.Range{Lo: 0, Hi: 3}},
+//		acqp.Pred{Attr: s.MustIndex("temp"), R: acqp.Range{Lo: 20, Hi: 31}},
+//	)
+//	d := acqp.NewEmpirical(historical)
+//	p, cost, _ := acqp.Optimize(d, q, acqp.Options{MaxSplits: 5})
+//	fmt.Println(acqp.Render(p, s), cost)
+//	res := acqp.Execute(s, p, q, liveData)
+//
+// The package is a facade over the internal implementation; everything a
+// downstream user needs is exported here.
+package acqp
+
+import (
+	"acqp/internal/boolq"
+	"acqp/internal/datagen"
+	"acqp/internal/exec"
+	"acqp/internal/model"
+	"acqp/internal/opt"
+	"acqp/internal/plan"
+	"acqp/internal/query"
+	"acqp/internal/schema"
+	"acqp/internal/sensornet"
+	"acqp/internal/sql"
+	"acqp/internal/stats"
+	"acqp/internal/stream"
+	"acqp/internal/table"
+)
+
+// Core data-model types.
+type (
+	// Value is a discretized attribute value in [0, K).
+	Value = schema.Value
+	// Attribute describes one column: name, domain size K, acquisition
+	// cost, and optional continuous-value discretizer.
+	Attribute = schema.Attribute
+	// Schema is an ordered attribute collection.
+	Schema = schema.Schema
+	// Discretizer maps continuous readings to discrete bins.
+	Discretizer = schema.Discretizer
+	// Table is a column-major dataset bound to a schema.
+	Table = table.Table
+	// Range is an inclusive interval of discretized values.
+	Range = query.Range
+	// Pred is a unary (optionally negated) range predicate.
+	Pred = query.Pred
+	// Query is a conjunction of range predicates.
+	Query = query.Query
+	// Plan is a query plan node: a conditioning split tree with
+	// sequential plans or constant leaves at the bottom.
+	Plan = plan.Node
+	// Dist is a joint distribution over the schema's attributes used to
+	// estimate the conditional probabilities planners need.
+	Dist = stats.Dist
+	// Cond is a distribution conditioned on evidence along a plan branch.
+	Cond = stats.Cond
+	// Planner is the common interface of all planning algorithms.
+	Planner = opt.Planner
+	// SPSF restricts the candidate conditioning split points
+	// (Section 4.3 of the paper).
+	SPSF = opt.SPSF
+	// Result summarizes a metered plan execution.
+	Result = exec.Result
+)
+
+// Schema and data construction.
+var (
+	// NewSchema builds a schema from attributes, panicking on invalid
+	// input.
+	NewSchema = schema.New
+	// NewDiscretizer builds an equal-width discretizer over [min, max]
+	// with k bins.
+	NewDiscretizer = schema.NewDiscretizer
+	// NewTable creates an empty table with a row-capacity hint.
+	NewTable = table.New
+	// ReadCSV loads a table from CSV (header row of attribute names).
+	ReadCSV = table.ReadCSV
+	// NewQuery validates and builds a conjunctive query.
+	NewQuery = query.NewQuery
+	// FullRange returns the range covering a domain of size k.
+	FullRange = query.FullRange
+	// FullSPSF allows every split point of every attribute.
+	FullSPSF = opt.FullSPSF
+	// UniformSPSF builds an equal-width candidate grid with r split
+	// points per attribute.
+	UniformSPSF = opt.UniformSPSFSame
+)
+
+// Probability oracles.
+var (
+	// NewEmpirical wraps a historical table as a distribution
+	// (Section 5 of the paper: probabilities from counts).
+	NewEmpirical = stats.NewEmpirical
+	// Compress deduplicates a table into a weighted distribution — the
+	// compact multi-dimensional histogram of Figure 4.
+	Compress = stats.Compress
+	// FitChowLiu learns a tree-shaped Bayesian network, the Section 7
+	// graphical-model alternative to raw counts.
+	FitChowLiu = model.FitChowLiu
+	// FitIndependent learns a fully-independent model (ablation
+	// baseline).
+	FitIndependent = model.FitIndependent
+)
+
+// Plan inspection and transport.
+var (
+	// Render pretty-prints a plan (Figure 9 style).
+	Render = plan.Render
+	// Simplify canonicalizes a plan: decided splits, proven predicates,
+	// and identical branches are removed without changing any output or
+	// increasing any tuple's cost.
+	Simplify = plan.Simplify
+	// Dot emits a Graphviz rendering.
+	Dot = plan.Dot
+	// Encode serializes a plan to its compact wire format.
+	Encode = plan.Encode
+	// Decode parses and validates a wire-format plan.
+	Decode = plan.Decode
+	// PlanSize returns zeta(P), the wire size in bytes (Section 2.4).
+	PlanSize = plan.Size
+	// ExpectedCost evaluates Equation 3: the expected acquisition cost
+	// of a plan under a distribution.
+	ExpectedCost = plan.ExpectedCostRoot
+)
+
+// Execution.
+var (
+	// Execute runs a plan over a table with acquisition metering,
+	// verifying outputs against ground truth.
+	Execute = exec.Run
+	// ExecuteExists runs until the first satisfying tuple (Section 7
+	// existential queries).
+	ExecuteExists = exec.RunExists
+	// ExecuteLimit runs until `limit` satisfying tuples are found.
+	ExecuteLimit = exec.RunLimit
+	// RankByCheapEvidence orders candidate tuples by descending
+	// P(query satisfied | cheap attributes), the Section 7 existential
+	// optimization; feed the order to ExecuteExistsOrdered.
+	RankByCheapEvidence = exec.RankByCheapEvidence
+	// ExecuteExistsOrdered is ExecuteExists visiting rows in a given
+	// order.
+	ExecuteExistsOrdered = exec.RunExistsOrdered
+)
+
+// Options configures Optimize.
+type Options struct {
+	// MaxSplits bounds the number of conditioning splits (the paper's
+	// Heuristic-k). Zero means the default of 5; a negative value
+	// requests a purely sequential plan (Heuristic-0).
+	MaxSplits int
+	// SplitPoints is the per-attribute SPSF candidate count. Default 8.
+	SplitPoints int
+	// UseGreedyBase forces the 4-approximate greedy sequential planner
+	// for leaf plans; by default the optimal sequential planner is used
+	// for small queries and greedy for large ones.
+	UseGreedyBase bool
+	// DisseminationAlpha, when positive, optimizes the joint objective
+	// of Section 2.4, C(P) + alpha*zeta(P): each conditioning split is
+	// charged alpha cost units per extra wire byte, so plan size is
+	// traded off against acquisition savings instead of being hard-capped.
+	DisseminationAlpha float64
+}
+
+func (o Options) withDefaults() Options {
+	switch {
+	case o.MaxSplits == 0:
+		o.MaxSplits = 5
+	case o.MaxSplits < 0:
+		o.MaxSplits = 0
+	}
+	if o.SplitPoints == 0 {
+		o.SplitPoints = 8
+	}
+	return o
+}
+
+// Optimize builds a conditional plan for the query with the greedy
+// heuristic planner of Section 4.2 (the paper's Heuristic-k) and returns
+// it with its expected acquisition cost under the distribution.
+func Optimize(d Dist, q Query, o Options) (*Plan, float64, error) {
+	o = o.withDefaults()
+	base := opt.SeqOpt
+	if o.UseGreedyBase {
+		base = opt.SeqGreedy
+	}
+	g := opt.Greedy{
+		SPSF:      opt.UniformSPSFSame(d.Schema(), o.SplitPoints),
+		MaxSplits: o.MaxSplits,
+		Base:      base,
+		Alpha:     o.DisseminationAlpha,
+	}
+	node, cost := g.Plan(d, q)
+	return node, cost, nil
+}
+
+// OptimizeExhaustive builds the optimal conditional plan with the
+// exponential-time exhaustive planner of Section 3.2, restricted to the
+// given per-attribute split-point count. budget caps the number of
+// subproblems explored (0 = unlimited); opt.ErrBudget is returned when
+// exceeded.
+func OptimizeExhaustive(d Dist, q Query, splitPoints, budget int) (*Plan, float64, error) {
+	e := opt.Exhaustive{
+		SPSF:   opt.UniformSPSFSame(d.Schema(), splitPoints),
+		Budget: budget,
+	}
+	return e.Plan(d, q)
+}
+
+// NaivePlan builds the traditional optimizer baseline: predicates ordered
+// by cost over marginal failure probability, ignoring correlations.
+func NaivePlan(d Dist, q Query) (*Plan, float64) {
+	node, cost, _ := opt.NaivePlanner{}.Plan(d, q)
+	return node, cost
+}
+
+// CorrSeqPlan builds the correlation-aware sequential baseline (CorrSeq
+// in the paper's evaluation).
+func CorrSeqPlan(d Dist, q Query) (*Plan, float64) {
+	node, cost, _ := opt.CorrSeqPlanner{Alg: opt.SeqOpt}.Plan(d, q)
+	return node, cost
+}
+
+// SQL-style parsing (TinyDB lineage).
+type (
+	// Statement is a parsed "SELECT ... WHERE ..." acquisitional query.
+	Statement = sql.Statement
+)
+
+var (
+	// ParseSQL parses a TinyDB-style statement, e.g.
+	// "SELECT light, temp WHERE 100 <= light <= 900 AND temp >= 25".
+	// Thresholds use raw units for attributes with discretizers.
+	ParseSQL = sql.Parse
+	// ParseWhere parses a bare boolean clause into a BoolExpr.
+	ParseWhere = sql.ParseWhere
+)
+
+// Arbitrary boolean WHERE clauses (the general MRSP setting of
+// Theorem 3.1; conjunctive queries should use Query and Optimize, which
+// are faster).
+type (
+	// BoolExpr is a boolean expression tree over range predicates
+	// (AND/OR/NOT).
+	BoolExpr = boolq.Expr
+	// BoolExhaustive is the optimal conditional planner for arbitrary
+	// boolean expressions.
+	BoolExhaustive = boolq.Exhaustive
+	// BoolGreedy is the bounded-split heuristic planner for arbitrary
+	// boolean expressions.
+	BoolGreedy = boolq.Greedy
+)
+
+// Boolean expression constructors.
+var (
+	// BoolPred wraps a predicate as an expression leaf.
+	BoolPred = boolq.Leaf
+	// BoolAnd conjoins expressions.
+	BoolAnd = boolq.And
+	// BoolOr disjoins expressions.
+	BoolOr = boolq.Or
+	// BoolNot negates an expression.
+	BoolNot = boolq.Not
+)
+
+// Streaming adaptation (Section 7 "Queries over data streams").
+type (
+	// AdaptiveExecutor runs a continuous query over a stream, maintaining
+	// statistics over a sliding window and replacing its conditional plan
+	// when a freshly planned candidate is materially cheaper under the
+	// current window.
+	AdaptiveExecutor = stream.Adaptive
+	// StreamConfig tunes the adaptive executor.
+	StreamConfig = stream.Config
+	// StreamWindow is the sliding statistics window.
+	StreamWindow = stream.Window
+)
+
+// NewAdaptive creates an adaptive stream executor seeded with historical
+// data.
+var NewAdaptive = stream.NewAdaptive
+
+// Sensor-network simulation (Figure 4 architecture).
+type (
+	// Network is a simulated mote deployment executing one continuous
+	// query.
+	Network = sensornet.Network
+	// RadioModel prices radio traffic.
+	RadioModel = sensornet.RadioModel
+	// Topology places motes in a routing tree.
+	Topology = sensornet.Topology
+	// NetworkStats summarizes a simulation run.
+	NetworkStats = sensornet.Stats
+)
+
+var (
+	// NewNetwork builds a simulated deployment.
+	NewNetwork = sensornet.New
+	// LineTopology chains motes: mote m is m+1 hops out.
+	LineTopology = sensornet.LineTopology
+	// StarTopology puts all motes one hop from the basestation.
+	StarTopology = sensornet.StarTopology
+	// DefaultRadio is a radio costing well under one acquisition per
+	// plan byte.
+	DefaultRadio = sensornet.DefaultRadio
+)
+
+// Dataset simulators (stand-ins for the paper's Lab and Garden traces and
+// the Babu et al. synthetic generator; see DESIGN.md for the
+// substitutions).
+type (
+	// LabConfig parameterizes the simulated lab deployment.
+	LabConfig = datagen.LabConfig
+	// GardenConfig parameterizes the simulated forest deployment.
+	GardenConfig = datagen.GardenConfig
+	// SynthConfig parameterizes the Babu-et-al synthetic generator.
+	SynthConfig = datagen.SynthConfig
+)
+
+var (
+	// GenerateLab produces the simulated lab dataset.
+	GenerateLab = datagen.Lab
+	// LabSchema returns the lab schema for a configuration.
+	LabSchema = datagen.LabSchema
+	// GenerateGarden produces the simulated forest dataset.
+	GenerateGarden = datagen.Garden
+	// GardenSchema returns the garden schema for a configuration.
+	GardenSchema = datagen.GardenSchema
+	// GenerateSynthetic produces the synthetic dataset.
+	GenerateSynthetic = datagen.Synthetic
+	// SynthSchema returns the synthetic schema for a configuration.
+	SynthSchema = datagen.SynthSchema
+	// SynthQuery returns the all-expensive-attributes query the paper
+	// uses with the synthetic dataset.
+	SynthQuery = datagen.SynthQuery
+)
+
+// Lab attribute indexes (for the schema returned by LabSchema).
+const (
+	LabHour     = datagen.LabHour
+	LabNodeID   = datagen.LabNodeID
+	LabVoltage  = datagen.LabVoltage
+	LabLight    = datagen.LabLight
+	LabTemp     = datagen.LabTemp
+	LabHumidity = datagen.LabHumidity
+)

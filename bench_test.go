@@ -1,0 +1,272 @@
+// Benchmarks regenerating every figure of the paper's evaluation
+// (Section 6) plus micro-benchmarks of the planner building blocks.
+//
+//	go test -bench=. -benchmem
+//
+// Figure benchmarks run the quick-scale experiment end to end per
+// iteration; cmd/acqbench regenerates the same tables as text (use
+// -scale full for paper-scale runs).
+package acqp_test
+
+import (
+	"testing"
+
+	"acqp"
+	"acqp/internal/experiments"
+	"acqp/internal/workload"
+)
+
+var benchEnv = experiments.NewEnv(experiments.Quick)
+
+func BenchmarkFig8a(b *testing.B) {
+	benchEnv.Lab() // build the dataset outside the timer
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.Fig8a(benchEnv); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFig8b(b *testing.B) {
+	benchEnv.Lab()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.Fig8b(benchEnv); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFig8c(b *testing.B) {
+	benchEnv.Lab()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.Fig8c(benchEnv); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFig9(b *testing.B) {
+	benchEnv.Lab()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.Fig9(benchEnv); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFig10Garden5(b *testing.B) {
+	benchEnv.Garden(5)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.Garden(benchEnv, 5); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFig11Garden11(b *testing.B) {
+	benchEnv.Garden(11)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.Garden(benchEnv, 11); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFig12Synthetic(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.Fig12(benchEnv); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkScalability(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.Scalability(benchEnv); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkSensorTradeoff(b *testing.B) {
+	benchEnv.Lab()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.SensorTradeoff(benchEnv); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkModelAblation(b *testing.B) {
+	benchEnv.Lab()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.ModelAblation(benchEnv); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// --- micro-benchmarks of the planner building blocks ---
+
+// benchWorld builds a small lab world once.
+func benchWorld(b *testing.B) (*acqp.Table, *acqp.Table, acqp.Query) {
+	b.Helper()
+	tbl := acqp.GenerateLab(acqp.LabConfig{Motes: 10, Rows: 20_000, Seed: 5, QuietMotes: 3})
+	train, test := tbl.Split(0.6)
+	q := workload.LabQueries(train, workload.LabQueryConfig{
+		Count: 1, Seed: 5, SelLo: 0.35, SelHi: 0.65,
+	})[0]
+	return train, test, q
+}
+
+func BenchmarkGreedyPlan(b *testing.B) {
+	train, _, q := benchWorld(b)
+	d := acqp.NewEmpirical(train)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := acqp.Optimize(d, q, acqp.Options{MaxSplits: 5}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkNaivePlan(b *testing.B) {
+	train, _, q := benchWorld(b)
+	d := acqp.NewEmpirical(train)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		acqp.NaivePlan(d, q)
+	}
+}
+
+func BenchmarkCorrSeqPlan(b *testing.B) {
+	train, _, q := benchWorld(b)
+	d := acqp.NewEmpirical(train)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		acqp.CorrSeqPlan(d, q)
+	}
+}
+
+func BenchmarkExecutePerTuple(b *testing.B) {
+	train, test, q := benchWorld(b)
+	d := acqp.NewEmpirical(train)
+	p, _, err := acqp.Optimize(d, q, acqp.Options{MaxSplits: 5})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		acqp.Execute(test.Schema(), p, q, test)
+	}
+	b.ReportMetric(float64(test.NumRows()), "tuples/op")
+}
+
+func BenchmarkEncodeDecode(b *testing.B) {
+	train, _, q := benchWorld(b)
+	d := acqp.NewEmpirical(train)
+	p, _, err := acqp.Optimize(d, q, acqp.Options{MaxSplits: 10})
+	if err != nil {
+		b.Fatal(err)
+	}
+	s := train.Schema()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		wire := acqp.Encode(p)
+		if _, err := acqp.Decode(s, wire); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkChowLiuFit(b *testing.B) {
+	train, _, _ := benchWorld(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		acqp.FitChowLiu(train, 0.5)
+	}
+}
+
+func BenchmarkCompress(b *testing.B) {
+	train, _, _ := benchWorld(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		acqp.Compress(train)
+	}
+}
+
+func BenchmarkBooleanExhaustive(b *testing.B) {
+	s := acqp.NewSchema(
+		acqp.Attribute{Name: "h", K: 4, Cost: 1},
+		acqp.Attribute{Name: "a", K: 4, Cost: 50},
+		acqp.Attribute{Name: "b", K: 4, Cost: 100},
+	)
+	tbl := acqp.NewTable(s, 500)
+	for i := 0; i < 500; i++ {
+		h := acqp.Value(i % 4)
+		tbl.MustAppendRow([]acqp.Value{h, (h + acqp.Value(i%2)) % 4, (3 - h + acqp.Value(i%3)) % 4})
+	}
+	d := acqp.NewEmpirical(tbl)
+	e := acqp.BoolOr(
+		acqp.BoolAnd(
+			acqp.BoolPred(acqp.Pred{Attr: 1, R: acqp.Range{Lo: 0, Hi: 1}}),
+			acqp.BoolPred(acqp.Pred{Attr: 2, R: acqp.Range{Lo: 2, Hi: 3}}),
+		),
+		acqp.BoolNot(acqp.BoolPred(acqp.Pred{Attr: 1, R: acqp.Range{Lo: 0, Hi: 2}})),
+	)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ex := acqp.BoolExhaustive{SPSF: acqp.FullSPSF(s), Budget: 1_000_000}
+		if _, _, err := ex.Plan(d, e); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkAdaptiveStream(b *testing.B) {
+	s := acqp.NewSchema(
+		acqp.Attribute{Name: "h", K: 2, Cost: 0},
+		acqp.Attribute{Name: "a", K: 2, Cost: 10},
+		acqp.Attribute{Name: "b", K: 2, Cost: 10},
+	)
+	hist := acqp.NewTable(s, 2000)
+	for i := 0; i < 2000; i++ {
+		h := acqp.Value(i % 2)
+		hist.MustAppendRow([]acqp.Value{h, h, 1 - h})
+	}
+	q, err := acqp.NewQuery(s,
+		acqp.Pred{Attr: 1, R: acqp.Range{Lo: 1, Hi: 1}},
+		acqp.Pred{Attr: 2, R: acqp.Range{Lo: 1, Hi: 1}},
+	)
+	if err != nil {
+		b.Fatal(err)
+	}
+	a, err := acqp.NewAdaptive(s, q, hist, acqp.StreamConfig{WindowSize: 500})
+	if err != nil {
+		b.Fatal(err)
+	}
+	row := []acqp.Value{0, 0, 1}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		row[0] = acqp.Value(i % 2)
+		a.Process(row)
+	}
+}
+
+func BenchmarkLifetime(b *testing.B) {
+	benchEnv.Lab()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.Lifetime(benchEnv); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

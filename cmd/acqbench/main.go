@@ -1,0 +1,103 @@
+// Command acqbench regenerates the paper's evaluation figures as text
+// tables.
+//
+// Usage:
+//
+//	acqbench -fig 8a|8b|8c|9|10|11|12|scale|sensor|ablation|all [-scale quick|full]
+//
+// Each figure corresponds to an experiment in internal/experiments; see
+// DESIGN.md for the experiment index and EXPERIMENTS.md for recorded
+// paper-versus-measured outcomes.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+	"time"
+
+	"acqp/internal/experiments"
+)
+
+type figure struct {
+	name string
+	run  func(*experiments.Env, io.Writer) error
+}
+
+func tableWriter[T interface{ WriteTable(io.Writer) error }](f func(*experiments.Env) (T, error)) func(*experiments.Env, io.Writer) error {
+	return func(e *experiments.Env, w io.Writer) error {
+		res, err := f(e)
+		if err != nil {
+			return err
+		}
+		return res.WriteTable(w)
+	}
+}
+
+var figures = []figure{
+	{"8a", tableWriter(experiments.Fig8a)},
+	{"8b", tableWriter(experiments.Fig8b)},
+	{"8c", tableWriter(experiments.Fig8c)},
+	{"9", tableWriter(experiments.Fig9)},
+	{"10", tableWriter(func(e *experiments.Env) (experiments.GardenResult, error) {
+		return experiments.Garden(e, 5)
+	})},
+	{"11", tableWriter(func(e *experiments.Env) (experiments.GardenResult, error) {
+		return experiments.Garden(e, 11)
+	})},
+	{"12", tableWriter(experiments.Fig12)},
+	{"scale", tableWriter(experiments.Scalability)},
+	{"lifetime", tableWriter(experiments.Lifetime)},
+	{"sensor", tableWriter(experiments.SensorTradeoff)},
+	{"ablation", tableWriter(experiments.ModelAblation)},
+}
+
+func main() {
+	fig := flag.String("fig", "all", "figure to regenerate: 8a, 8b, 8c, 9, 10, 11, 12, scale, lifetime, sensor, ablation, or all")
+	scale := flag.String("scale", "quick", "experiment scale: quick or full")
+	flag.Parse()
+
+	var sc experiments.Scale
+	switch *scale {
+	case "quick":
+		sc = experiments.Quick
+	case "full":
+		sc = experiments.Full
+	default:
+		fmt.Fprintf(os.Stderr, "acqbench: unknown scale %q\n", *scale)
+		os.Exit(2)
+	}
+	env := experiments.NewEnv(sc)
+
+	names := strings.Split(*fig, ",")
+	if *fig == "all" {
+		names = names[:0]
+		for _, f := range figures {
+			names = append(names, f.name)
+		}
+	}
+	for _, name := range names {
+		f, ok := lookup(name)
+		if !ok {
+			fmt.Fprintf(os.Stderr, "acqbench: unknown figure %q\n", name)
+			os.Exit(2)
+		}
+		start := time.Now()
+		if err := f.run(env, os.Stdout); err != nil {
+			fmt.Fprintf(os.Stderr, "acqbench: figure %s: %v\n", name, err)
+			os.Exit(1)
+		}
+		fmt.Printf("[figure %s: %s scale, %.1fs]\n\n", name, sc, time.Since(start).Seconds())
+	}
+}
+
+func lookup(name string) (figure, bool) {
+	for _, f := range figures {
+		if f.name == name {
+			return f, true
+		}
+	}
+	return figure{}, false
+}

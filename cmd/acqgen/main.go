@@ -1,0 +1,104 @@
+// Command acqgen emits the simulated datasets as CSV, or prints summary
+// statistics showing the correlations the planners exploit (a text
+// rendition of the paper's Figure 1 scatter of light versus hour).
+//
+// Usage:
+//
+//	acqgen -dataset lab|garden5|garden11|synth [-rows N] [-seed S] [-out file.csv]
+//	acqgen -dataset lab -summary
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"acqp/internal/datagen"
+	"acqp/internal/table"
+)
+
+func main() {
+	dataset := flag.String("dataset", "lab", "dataset: lab, garden5, garden11, synth")
+	rows := flag.Int("rows", 50_000, "number of rows to generate")
+	seed := flag.Int64("seed", 1, "generator seed")
+	out := flag.String("out", "", "output CSV path (default stdout)")
+	summary := flag.Bool("summary", false, "print correlation summary instead of CSV")
+	n := flag.Int("n", 10, "synth: number of attributes")
+	gamma := flag.Int("gamma", 1, "synth: correlation factor")
+	sel := flag.Float64("sel", 0.5, "synth: per-attribute selectivity")
+	flag.Parse()
+
+	var tbl *table.Table
+	switch *dataset {
+	case "lab":
+		cfg := datagen.DefaultLabConfig()
+		cfg.Rows, cfg.Seed = *rows, *seed
+		tbl = datagen.Lab(cfg)
+	case "garden5", "garden11":
+		motes := 5
+		if *dataset == "garden11" {
+			motes = 11
+		}
+		cfg := datagen.DefaultGardenConfig(motes)
+		cfg.Rows, cfg.Seed = *rows, *seed
+		tbl = datagen.Garden(cfg)
+	case "synth":
+		tbl = datagen.Synthetic(datagen.SynthConfig{
+			N: *n, Gamma: *gamma, Sel: *sel, Rows: *rows, Seed: *seed,
+		})
+	default:
+		fmt.Fprintf(os.Stderr, "acqgen: unknown dataset %q\n", *dataset)
+		os.Exit(2)
+	}
+
+	if *summary {
+		printSummary(tbl, *dataset)
+		return
+	}
+	w := os.Stdout
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "acqgen: %v\n", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		w = f
+	}
+	if err := tbl.WriteCSV(w); err != nil {
+		fmt.Fprintf(os.Stderr, "acqgen: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+// printSummary renders per-attribute statistics and, for the lab dataset,
+// a text scatter of mean light by hour — the correlation of Figure 1.
+func printSummary(tbl *table.Table, dataset string) {
+	s := tbl.Schema()
+	fmt.Printf("%s: %d rows, %d attributes\n\n", dataset, tbl.NumRows(), s.NumAttrs())
+	fmt.Printf("%-12s %6s %8s %8s %6s %6s\n", "attribute", "cost", "mean", "std", "min", "max")
+	for a := 0; a < s.NumAttrs(); a++ {
+		st := tbl.ColumnStats(a)
+		fmt.Printf("%-12s %6.0f %8.2f %8.2f %6d %6d\n",
+			s.Name(a), s.Cost(a), st.Mean, st.Std, st.Min, st.Max)
+	}
+	if dataset != "lab" {
+		return
+	}
+	fmt.Println("\nmean light bin by hour of day (Figure 1's correlation):")
+	sums := make([]float64, 24)
+	counts := make([]float64, 24)
+	for r := 0; r < tbl.NumRows(); r++ {
+		h := int(tbl.Value(r, datagen.LabHour))
+		sums[h] += float64(tbl.Value(r, datagen.LabLight))
+		counts[h]++
+	}
+	for h := 0; h < 24; h++ {
+		mean := 0.0
+		if counts[h] > 0 {
+			mean = sums[h] / counts[h]
+		}
+		fmt.Printf("%02d %5.1f %s\n", h, mean, strings.Repeat("#", int(mean)))
+	}
+}

@@ -1,0 +1,191 @@
+// Command acqplan builds and prints a conditional plan for a query over a
+// CSV dataset.
+//
+// Usage:
+//
+//	acqplan -schema "hour:24:1,light:32:100,temp:32:100" \
+//	        -query "light:0:7,temp:16:31,!hour:6:18" \
+//	        -data history.csv [-splits 5] [-exhaustive] [-dot]
+//
+//	acqplan -schema "hour:24:1,light:32:100,temp:32:100" \
+//	        -sql "SELECT light WHERE 8 <= light <= 31 AND hour < 6" \
+//	        -data history.csv
+//
+// The schema flag lists name:domain:cost triples; the query flag lists
+// attr:lo:hi range predicates (prefix ! negates), while -sql accepts a
+// TinyDB-style statement (disjunctions route to the boolean planner).
+// The plan is printed in the indented style of the paper's Figure 9, with
+// its expected cost and wire size; -dot emits Graphviz instead.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"acqp"
+)
+
+func main() {
+	schemaSpec := flag.String("schema", "", "comma-separated name:K:cost attribute triples")
+	querySpec := flag.String("query", "", "comma-separated [!]attr:lo:hi predicates")
+	sqlSpec := flag.String("sql", "", "TinyDB-style statement (alternative to -query)")
+	dataPath := flag.String("data", "", "historical data CSV (header row of attribute names)")
+	splits := flag.Int("splits", 5, "maximum conditioning splits (Heuristic-k)")
+	exhaustive := flag.Bool("exhaustive", false, "use the optimal exhaustive planner (small schemas only)")
+	splitPoints := flag.Int("spsf", 8, "candidate split points per attribute")
+	dot := flag.Bool("dot", false, "emit Graphviz instead of indented text")
+	flag.Parse()
+
+	if *schemaSpec == "" || (*querySpec == "" && *sqlSpec == "") || *dataPath == "" {
+		flag.Usage()
+		os.Exit(2)
+	}
+	s, err := parseSchema(*schemaSpec)
+	if err != nil {
+		fatal(err)
+	}
+	var q acqp.Query
+	if *sqlSpec != "" {
+		st, err := acqp.ParseSQL(s, *sqlSpec)
+		if err != nil {
+			fatal(err)
+		}
+		if st.Where == nil {
+			fatal(fmt.Errorf("statement has no WHERE clause; nothing to plan"))
+		}
+		conj, ok := st.Conjunctive(s)
+		if !ok {
+			// General boolean clause: use the boolq planner and print.
+			planBoolean(s, st, *dataPath, *splitPoints, *dot)
+			return
+		}
+		q = conj
+	} else {
+		q, err = parseQuery(s, *querySpec)
+		if err != nil {
+			fatal(err)
+		}
+	}
+	f, err := os.Open(*dataPath)
+	if err != nil {
+		fatal(err)
+	}
+	defer f.Close()
+	tbl, err := acqp.ReadCSV(s, f)
+	if err != nil {
+		fatal(err)
+	}
+
+	d := acqp.NewEmpirical(tbl)
+	var p *acqp.Plan
+	var cost float64
+	if *exhaustive {
+		p, cost, err = acqp.OptimizeExhaustive(d, q, *splitPoints, 5_000_000)
+	} else {
+		p, cost, err = acqp.Optimize(d, q, acqp.Options{MaxSplits: *splits, SplitPoints: *splitPoints})
+	}
+	if err != nil {
+		fatal(err)
+	}
+	_, naiveCost := acqp.NaivePlan(d, q)
+
+	if *dot {
+		fmt.Print(acqp.Dot(p, s))
+		return
+	}
+	fmt.Printf("query: %s\n", q.Format(s))
+	fmt.Printf("history: %d tuples\n\n", tbl.NumRows())
+	fmt.Print(acqp.Render(p, s))
+	fmt.Printf("\nexpected cost: %.2f units/tuple (naive ordering: %.2f, %.1f%% saved)\n",
+		cost, naiveCost, (1-cost/naiveCost)*100)
+	fmt.Printf("plan: %d splits, %d bytes on the wire\n", p.NumSplits(), acqp.PlanSize(p))
+}
+
+// planBoolean handles non-conjunctive WHERE clauses via the boolean
+// planner.
+func planBoolean(s *acqp.Schema, st acqp.Statement, dataPath string, splitPoints int, dot bool) {
+	f, err := os.Open(dataPath)
+	if err != nil {
+		fatal(err)
+	}
+	defer f.Close()
+	tbl, err := acqp.ReadCSV(s, f)
+	if err != nil {
+		fatal(err)
+	}
+	d := acqp.NewEmpirical(tbl)
+	g := acqp.BoolGreedy{SPSF: acqp.UniformSPSF(s, splitPoints), MaxSplits: 8}
+	p, cost, err := g.Plan(d, st.Where)
+	if err != nil {
+		fatal(err)
+	}
+	if dot {
+		fmt.Print(acqp.Dot(p, s))
+		return
+	}
+	fmt.Printf("boolean clause: %s\nhistory: %d tuples\n\n", st.Where.Format(s), tbl.NumRows())
+	fmt.Print(acqp.Render(p, s))
+	fmt.Printf("\nexpected cost: %.2f units/tuple\n", cost)
+	fmt.Printf("plan: %d splits, %d bytes on the wire\n", p.NumSplits(), acqp.PlanSize(p))
+}
+
+func parseSchema(spec string) (*acqp.Schema, error) {
+	s := acqp.NewSchema()
+	for _, part := range strings.Split(spec, ",") {
+		fields := strings.Split(part, ":")
+		if len(fields) != 3 {
+			return nil, fmt.Errorf("bad attribute spec %q (want name:K:cost)", part)
+		}
+		k, err := strconv.Atoi(fields[1])
+		if err != nil {
+			return nil, fmt.Errorf("bad domain size in %q: %v", part, err)
+		}
+		cost, err := strconv.ParseFloat(fields[2], 64)
+		if err != nil {
+			return nil, fmt.Errorf("bad cost in %q: %v", part, err)
+		}
+		if err := s.Add(acqp.Attribute{Name: fields[0], K: k, Cost: cost}); err != nil {
+			return nil, err
+		}
+	}
+	return s, nil
+}
+
+func parseQuery(s *acqp.Schema, spec string) (acqp.Query, error) {
+	var preds []acqp.Pred
+	for _, part := range strings.Split(spec, ",") {
+		negated := strings.HasPrefix(part, "!")
+		part = strings.TrimPrefix(part, "!")
+		fields := strings.Split(part, ":")
+		if len(fields) != 3 {
+			return acqp.Query{}, fmt.Errorf("bad predicate %q (want attr:lo:hi)", part)
+		}
+		attr := s.Index(fields[0])
+		if attr < 0 {
+			return acqp.Query{}, fmt.Errorf("unknown attribute %q", fields[0])
+		}
+		lo, err := strconv.Atoi(fields[1])
+		if err != nil {
+			return acqp.Query{}, fmt.Errorf("bad lo in %q: %v", part, err)
+		}
+		hi, err := strconv.Atoi(fields[2])
+		if err != nil {
+			return acqp.Query{}, fmt.Errorf("bad hi in %q: %v", part, err)
+		}
+		if lo < 0 || hi < lo {
+			return acqp.Query{}, fmt.Errorf("bad range in %q", part)
+		}
+		preds = append(preds, acqp.Pred{
+			Attr: attr, R: acqp.Range{Lo: acqp.Value(lo), Hi: acqp.Value(hi)}, Negated: negated,
+		})
+	}
+	return acqp.NewQuery(s, preds...)
+}
+
+func fatal(err error) {
+	fmt.Fprintf(os.Stderr, "acqplan: %v\n", err)
+	os.Exit(1)
+}

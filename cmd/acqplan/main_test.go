@@ -1,0 +1,62 @@
+package main
+
+import (
+	"testing"
+)
+
+func TestParseSchema(t *testing.T) {
+	s, err := parseSchema("hour:24:1,light:32:100")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.NumAttrs() != 2 || s.K(0) != 24 || s.Cost(1) != 100 {
+		t.Errorf("parsed schema wrong: %v", s)
+	}
+	cases := []string{
+		"",
+		"hour:24",             // missing cost
+		"hour:x:1",            // bad K
+		"hour:24:y",           // bad cost
+		"hour:24:1,hour:24:1", // duplicate
+		"hour:1:1",            // K too small
+	}
+	for _, in := range cases {
+		if _, err := parseSchema(in); err == nil {
+			t.Errorf("parseSchema(%q) succeeded, want error", in)
+		}
+	}
+}
+
+func TestParseQuery(t *testing.T) {
+	s, err := parseSchema("hour:24:1,light:32:100")
+	if err != nil {
+		t.Fatal(err)
+	}
+	q, err := parseQuery(s, "light:0:7,!hour:6:18")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if q.NumPreds() != 2 {
+		t.Fatalf("parsed %d predicates", q.NumPreds())
+	}
+	if q.Preds[0].Attr != 1 || q.Preds[0].R.Lo != 0 || q.Preds[0].R.Hi != 7 || q.Preds[0].Negated {
+		t.Errorf("pred 0 = %+v", q.Preds[0])
+	}
+	if q.Preds[1].Attr != 0 || !q.Preds[1].Negated {
+		t.Errorf("pred 1 = %+v", q.Preds[1])
+	}
+	cases := []string{
+		"light:0",             // missing hi
+		"bogus:0:1",           // unknown attribute
+		"light:x:7",           // bad lo
+		"light:0:y",           // bad hi
+		"light:7:3",           // inverted range
+		"light:0:99",          // beyond domain
+		"light:0:7,light:1:2", // duplicate attribute
+	}
+	for _, in := range cases {
+		if _, err := parseQuery(s, in); err == nil {
+			t.Errorf("parseQuery(%q) succeeded, want error", in)
+		}
+	}
+}

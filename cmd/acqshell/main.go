@@ -1,0 +1,192 @@
+// Command acqshell is an interactive TinyDB-style console for exploring
+// conditional planning: it loads (or generates) a world, then reads
+// SELECT statements and meta-commands from stdin, plans each query, and
+// executes it against the live window of the world.
+//
+// Usage:
+//
+//	acqshell [-dataset lab|garden5|garden11] [-rows N] [-data file.csv -schema spec]
+//
+// Session commands:
+//
+//	SELECT ... WHERE ...   plan + execute a query (raw-unit thresholds)
+//	\plan SELECT ...       show the conditional plan without executing
+//	\naive SELECT ...      compare against the naive fixed-order plan
+//	\schema                list attributes, domains, and costs
+//	\help                  command summary
+//	\quit                  exit
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+
+	"acqp"
+	"acqp/internal/datagen"
+)
+
+func main() {
+	dataset := flag.String("dataset", "lab", "generated world: lab, garden5, garden11")
+	rows := flag.Int("rows", 40_000, "rows to generate")
+	seed := flag.Int64("seed", 1, "world seed")
+	flag.Parse()
+
+	var tbl *acqp.Table
+	switch *dataset {
+	case "lab":
+		cfg := datagen.DefaultLabConfig()
+		cfg.Rows, cfg.Seed = *rows, *seed
+		tbl = datagen.Lab(cfg)
+	case "garden5", "garden11":
+		motes := 5
+		if *dataset == "garden11" {
+			motes = 11
+		}
+		cfg := datagen.DefaultGardenConfig(motes)
+		cfg.Rows, cfg.Seed = *rows, *seed
+		tbl = datagen.Garden(cfg)
+	default:
+		fmt.Fprintf(os.Stderr, "acqshell: unknown dataset %q\n", *dataset)
+		os.Exit(2)
+	}
+
+	sh := newShell(tbl)
+	fmt.Printf("acqp shell — %s world, %d historical + %d live tuples. \\help for commands.\n",
+		*dataset, sh.train.NumRows(), sh.live.NumRows())
+	in := bufio.NewScanner(os.Stdin)
+	for {
+		fmt.Print("acqp> ")
+		if !in.Scan() {
+			fmt.Println()
+			return
+		}
+		line := strings.TrimSpace(in.Text())
+		if line == "" {
+			continue
+		}
+		if quit := sh.run(os.Stdout, line); quit {
+			return
+		}
+	}
+}
+
+// shell holds the session state; its run method is the testable core.
+type shell struct {
+	s           *acqp.Schema
+	train, live *acqp.Table
+	dist        acqp.Dist
+}
+
+func newShell(tbl *acqp.Table) *shell {
+	train, live := tbl.Split(0.6)
+	return &shell{s: tbl.Schema(), train: train, live: live, dist: acqp.NewEmpirical(train)}
+}
+
+// run executes one console line, returning true on \quit.
+func (sh *shell) run(w io.Writer, line string) bool {
+	switch {
+	case strings.EqualFold(line, `\quit`) || strings.EqualFold(line, `\q`):
+		return true
+	case strings.EqualFold(line, `\help`):
+		fmt.Fprint(w, "  SELECT cols WHERE clause   plan + execute\n"+
+			"  \\plan SELECT ...           show the plan only\n"+
+			"  \\naive SELECT ...          compare with the naive plan\n"+
+			"  \\schema                    list attributes\n"+
+			"  \\quit                      exit\n")
+	case strings.EqualFold(line, `\schema`):
+		for i := 0; i < sh.s.NumAttrs(); i++ {
+			a := sh.s.Attr(i)
+			unit := ""
+			if a.Disc != nil {
+				unit = fmt.Sprintf("  raw [%g, %g)", a.Disc.Min, a.Disc.Max)
+			}
+			fmt.Fprintf(w, "  %-12s K=%-3d cost=%-5g%s\n", a.Name, a.K, a.Cost, unit)
+		}
+	case strings.HasPrefix(line, `\plan `):
+		sh.query(w, strings.TrimPrefix(line, `\plan `), true, false)
+	case strings.HasPrefix(line, `\naive `):
+		sh.query(w, strings.TrimPrefix(line, `\naive `), false, true)
+	default:
+		sh.query(w, line, false, false)
+	}
+	return false
+}
+
+// query parses, plans, and (unless planOnly) executes a statement.
+func (sh *shell) query(w io.Writer, stmt string, planOnly, compareNaive bool) {
+	st, err := acqp.ParseSQL(sh.s, stmt)
+	if err != nil {
+		fmt.Fprintf(w, "error: %v\n", err)
+		return
+	}
+	if st.Where == nil {
+		fmt.Fprintf(w, "error: no WHERE clause; nothing to plan\n")
+		return
+	}
+	q, conjunctive := st.Conjunctive(sh.s)
+	if !conjunctive {
+		sh.booleanQuery(w, st, planOnly)
+		return
+	}
+	p, cost, err := acqp.Optimize(sh.dist, q, acqp.Options{MaxSplits: 6})
+	if err != nil {
+		fmt.Fprintf(w, "error: %v\n", err)
+		return
+	}
+	fmt.Fprintf(w, "%s(expected %.1f units/tuple, %d splits, %dB)\n",
+		acqp.Render(p, sh.s), cost, p.NumSplits(), acqp.PlanSize(p))
+	if planOnly {
+		return
+	}
+	res := acqp.Execute(sh.s, p, q, sh.live)
+	fmt.Fprintf(w, "%d of %d live tuples matched; measured %.1f units/tuple\n",
+		res.Selected, res.Tuples, res.MeanCost())
+	if compareNaive {
+		naive, _ := acqp.NaivePlan(sh.dist, q)
+		nres := acqp.Execute(sh.s, naive, q, sh.live)
+		fmt.Fprintf(w, "naive fixed order: %.1f units/tuple (%.0f%% more)\n",
+			nres.MeanCost(), (nres.MeanCost()/res.MeanCost()-1)*100)
+	}
+}
+
+// booleanQuery handles non-conjunctive clauses via the boolean planner.
+func (sh *shell) booleanQuery(w io.Writer, st acqp.Statement, planOnly bool) {
+	g := acqp.BoolGreedy{SPSF: acqp.UniformSPSF(sh.s, 8), MaxSplits: 8}
+	p, cost, err := g.Plan(sh.dist, st.Where)
+	if err != nil {
+		fmt.Fprintf(w, "error: %v\n", err)
+		return
+	}
+	fmt.Fprintf(w, "%s(boolean clause; expected %.1f units/tuple, %dB)\n",
+		acqp.Render(p, sh.s), cost, acqp.PlanSize(p))
+	if planOnly {
+		return
+	}
+	// Execute with the expression as ground truth.
+	matched, tuples := 0, 0
+	var total float64
+	acquired := make([]bool, sh.s.NumAttrs())
+	var row []acqp.Value
+	for r := 0; r < sh.live.NumRows(); r++ {
+		row = sh.live.Row(r, row)
+		for i := range acquired {
+			acquired[i] = false
+		}
+		got, c := p.Execute(sh.s, row, acquired)
+		if got != st.Where.Eval(row) {
+			fmt.Fprintf(w, "error: plan disagrees with clause on row %d\n", r)
+			return
+		}
+		tuples++
+		total += c
+		if got {
+			matched++
+		}
+	}
+	fmt.Fprintf(w, "%d of %d live tuples matched; measured %.1f units/tuple\n",
+		matched, tuples, total/float64(tuples))
+}

@@ -1,0 +1,98 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"acqp"
+	"acqp/internal/datagen"
+)
+
+func testShell(t *testing.T) *shell {
+	t.Helper()
+	tbl := datagen.Lab(datagen.LabConfig{Motes: 6, Rows: 6000, Seed: 1, QuietMotes: 2})
+	return newShell(tbl)
+}
+
+func runLine(t *testing.T, sh *shell, line string) string {
+	t.Helper()
+	var buf bytes.Buffer
+	if quit := sh.run(&buf, line); quit {
+		t.Fatalf("line %q requested quit", line)
+	}
+	return buf.String()
+}
+
+func TestShellSchemaCommand(t *testing.T) {
+	sh := testShell(t)
+	out := runLine(t, sh, `\schema`)
+	for _, name := range []string{"hour", "light", "temp", "humidity"} {
+		if !strings.Contains(out, name) {
+			t.Errorf("\\schema missing %s:\n%s", name, out)
+		}
+	}
+}
+
+func TestShellHelpAndQuit(t *testing.T) {
+	sh := testShell(t)
+	if out := runLine(t, sh, `\help`); !strings.Contains(out, "SELECT") {
+		t.Errorf("help output: %q", out)
+	}
+	var buf bytes.Buffer
+	if !sh.run(&buf, `\quit`) || !sh.run(&buf, `\q`) {
+		t.Error("quit not honored")
+	}
+}
+
+func TestShellConjunctiveQuery(t *testing.T) {
+	sh := testShell(t)
+	out := runLine(t, sh, "SELECT light WHERE light >= 400 AND temp <= 22")
+	if !strings.Contains(out, "units/tuple") || !strings.Contains(out, "matched") {
+		t.Errorf("query output:\n%s", out)
+	}
+	if strings.Contains(out, "error:") {
+		t.Errorf("query errored:\n%s", out)
+	}
+}
+
+func TestShellPlanOnlyAndNaive(t *testing.T) {
+	sh := testShell(t)
+	planOut := runLine(t, sh, `\plan SELECT light WHERE light >= 400 AND temp <= 22`)
+	if strings.Contains(planOut, "matched") {
+		t.Errorf("\\plan executed the query:\n%s", planOut)
+	}
+	naiveOut := runLine(t, sh, `\naive SELECT light WHERE light >= 400 AND temp <= 22`)
+	if !strings.Contains(naiveOut, "naive fixed order") {
+		t.Errorf("\\naive missing comparison:\n%s", naiveOut)
+	}
+}
+
+func TestShellBooleanQuery(t *testing.T) {
+	sh := testShell(t)
+	out := runLine(t, sh, "SELECT light WHERE light >= 800 OR temp >= 28")
+	if !strings.Contains(out, "boolean clause") || !strings.Contains(out, "matched") {
+		t.Errorf("boolean query output:\n%s", out)
+	}
+}
+
+func TestShellErrors(t *testing.T) {
+	sh := testShell(t)
+	for _, line := range []string{
+		"SELECT bogus WHERE light >= 1",
+		"SELECT light",
+		"garbage input",
+	} {
+		if out := runLine(t, sh, line); !strings.Contains(out, "error:") {
+			t.Errorf("%q did not report an error:\n%s", line, out)
+		}
+	}
+}
+
+func TestShellLiveWindowIsDisjoint(t *testing.T) {
+	sh := testShell(t)
+	if sh.train.NumRows()+sh.live.NumRows() != 6000 {
+		t.Errorf("split lost rows: %d + %d", sh.train.NumRows(), sh.live.NumRows())
+	}
+	_ = acqp.Value(0)
+}

@@ -1,0 +1,75 @@
+// Quickstart reproduces the paper's Figure 2 worked example through the
+// public API: a two-predicate query (temp > 20C AND light < 100 Lux) over
+// data where both predicates' selectivities flip between day and night.
+//
+// A traditional optimizer picks one predicate order and pays 1.5 cost
+// units per tuple in expectation; the conditional plan observes the free
+// hour-of-day attribute and pays 1.1.
+//
+// Run: go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"acqp"
+)
+
+func main() {
+	// Schema: hour is free to read; temp and light each cost 1 unit to
+	// acquire.
+	s := acqp.NewSchema(
+		acqp.Attribute{Name: "hour", K: 2, Cost: 0},  // 0 = night, 1 = day
+		acqp.Attribute{Name: "temp", K: 2, Cost: 1},  // 1 = above 20C
+		acqp.Attribute{Name: "light", K: 2, Cost: 1}, // 1 = below 100 Lux
+	)
+
+	// Historical readings with the Figure 2 correlation: at night the
+	// temp predicate almost always fails; during the day the light
+	// predicate almost always fails. Marginally, both pass half the time.
+	historical := acqp.NewTable(s, 200)
+	add := func(count int, row []acqp.Value) {
+		for i := 0; i < count; i++ {
+			historical.MustAppendRow(row)
+		}
+	}
+	add(9, []acqp.Value{0, 1, 1}) // night: warm and dark (rare)
+	add(1, []acqp.Value{0, 1, 0})
+	add(81, []acqp.Value{0, 0, 1})
+	add(9, []acqp.Value{0, 0, 0})
+	add(9, []acqp.Value{1, 1, 1}) // day: warm and dark (rare)
+	add(81, []acqp.Value{1, 1, 0})
+	add(1, []acqp.Value{1, 0, 1})
+	add(9, []acqp.Value{1, 0, 0})
+
+	// Query: temp > 20C AND light < 100 Lux.
+	q, err := acqp.NewQuery(s,
+		acqp.Pred{Attr: s.MustIndex("temp"), R: acqp.Range{Lo: 1, Hi: 1}},
+		acqp.Pred{Attr: s.MustIndex("light"), R: acqp.Range{Lo: 1, Hi: 1}},
+	)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	d := acqp.NewEmpirical(historical)
+
+	naive, naiveCost := acqp.NaivePlan(d, q)
+	fmt.Printf("traditional sequential plan (expected %.1f units/tuple):\n%s\n",
+		naiveCost, acqp.Render(naive, s))
+
+	cond, condCost, err := acqp.Optimize(d, q, acqp.Options{MaxSplits: 3})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("conditional plan (expected %.1f units/tuple):\n%s\n",
+		condCost, acqp.Render(cond, s))
+
+	// Execute both over the historical data to confirm the analytic
+	// costs empirically.
+	nRes := acqp.Execute(s, naive, q, historical)
+	cRes := acqp.Execute(s, cond, q, historical)
+	fmt.Printf("measured: naive %.2f units/tuple, conditional %.2f units/tuple (%.0f%% saved)\n",
+		nRes.MeanCost(), cRes.MeanCost(), (1-cRes.MeanCost()/nRes.MeanCost())*100)
+	fmt.Printf("both plans selected the same %d of %d tuples\n", cRes.Selected, cRes.Tuples)
+}

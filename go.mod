@@ -1,0 +1,3 @@
+module acqp
+
+go 1.22

@@ -1,0 +1,344 @@
+package boolq
+
+import (
+	"math"
+	"math/rand"
+	"strings"
+	"testing"
+
+	"acqp/internal/opt"
+	"acqp/internal/plan"
+	"acqp/internal/query"
+	"acqp/internal/schema"
+	"acqp/internal/stats"
+	"acqp/internal/table"
+)
+
+func bqSchema() *schema.Schema {
+	return schema.New(
+		schema.Attribute{Name: "h", K: 4, Cost: 1},
+		schema.Attribute{Name: "a", K: 4, Cost: 50},
+		schema.Attribute{Name: "b", K: 4, Cost: 100},
+	)
+}
+
+func pred(attr int, lo, hi schema.Value, neg bool) *Expr {
+	return Leaf(query.Pred{Attr: attr, R: query.Range{Lo: lo, Hi: hi}, Negated: neg})
+}
+
+// allTuples enumerates the full domain.
+func allTuples(s *schema.Schema) *table.Table {
+	tbl := table.New(s, 64)
+	row := make([]schema.Value, s.NumAttrs())
+	var rec func(i int)
+	rec = func(i int) {
+		if i == s.NumAttrs() {
+			tbl.MustAppendRow(row)
+			return
+		}
+		for v := 0; v < s.K(i); v++ {
+			row[i] = schema.Value(v)
+			rec(i + 1)
+		}
+	}
+	rec(0)
+	return tbl
+}
+
+func corrData(rng *rand.Rand, s *schema.Schema, rows int) *table.Table {
+	tbl := table.New(s, rows)
+	for i := 0; i < rows; i++ {
+		h := rng.Intn(4)
+		a := (h + rng.Intn(2)) % 4
+		b := (3 - h + rng.Intn(2)) % 4
+		tbl.MustAppendRow([]schema.Value{schema.Value(h), schema.Value(a), schema.Value(b)})
+	}
+	return tbl
+}
+
+func TestExprValidate(t *testing.T) {
+	s := bqSchema()
+	good := Or(And(pred(1, 0, 1, false), pred(2, 2, 3, false)), Not(pred(0, 0, 0, false)))
+	if err := good.Validate(s); err != nil {
+		t.Fatalf("valid expr rejected: %v", err)
+	}
+	cases := []*Expr{
+		pred(9, 0, 1, false),                 // bad attr
+		pred(1, 3, 9, false),                 // range beyond domain
+		{Op: OpAnd},                          // empty AND
+		{Op: OpNot, Kids: []*Expr{}},         // NOT arity
+		{Op: OpNot, Kids: []*Expr{nil, nil}}, // NOT arity
+		{Op: Op(42)},                         // unknown op
+	}
+	for i, e := range cases {
+		if err := e.Validate(s); err == nil {
+			t.Errorf("case %d: invalid expr accepted", i)
+		}
+	}
+}
+
+func TestExprEvalAndFormat(t *testing.T) {
+	s := bqSchema()
+	e := Or(
+		And(pred(1, 0, 1, false), pred(2, 2, 3, false)),
+		Not(pred(0, 2, 3, false)),
+	)
+	cases := []struct {
+		row  []schema.Value
+		want bool
+	}{
+		{[]schema.Value{2, 0, 3}, true},  // first disjunct true
+		{[]schema.Value{0, 3, 0}, true},  // NOT(h in [2,3]) true
+		{[]schema.Value{3, 3, 0}, false}, // both false
+	}
+	for _, tc := range cases {
+		if got := e.Eval(tc.row); got != tc.want {
+			t.Errorf("Eval(%v) = %v, want %v", tc.row, got, tc.want)
+		}
+	}
+	f := e.Format(s)
+	if !strings.Contains(f, "OR") || !strings.Contains(f, "AND") || !strings.Contains(f, "NOT") {
+		t.Errorf("Format = %q", f)
+	}
+}
+
+// Property: EvalBox agrees with Eval — when it reports True or False,
+// every tuple in the box must agree (Kleene soundness).
+func TestEvalBoxSoundnessProperty(t *testing.T) {
+	s := bqSchema()
+	rng := rand.New(rand.NewSource(3))
+	randExpr := func() *Expr {
+		var rec func(depth int) *Expr
+		rec = func(depth int) *Expr {
+			if depth <= 0 || rng.Float64() < 0.4 {
+				attr := rng.Intn(3)
+				lo := schema.Value(rng.Intn(4))
+				hi := lo + schema.Value(rng.Intn(4-int(lo)))
+				return pred(attr, lo, hi, rng.Intn(2) == 0)
+			}
+			switch rng.Intn(3) {
+			case 0:
+				return And(rec(depth-1), rec(depth-1))
+			case 1:
+				return Or(rec(depth-1), rec(depth-1))
+			default:
+				return Not(rec(depth - 1))
+			}
+		}
+		return rec(3)
+	}
+	randBox := func() query.Box {
+		box := query.FullBox(s)
+		for i := range box {
+			if rng.Intn(2) == 0 {
+				lo := schema.Value(rng.Intn(4))
+				hi := lo + schema.Value(rng.Intn(4-int(lo)))
+				box[i] = query.Range{Lo: lo, Hi: hi}
+			}
+		}
+		return box
+	}
+	for trial := 0; trial < 300; trial++ {
+		e := randExpr()
+		box := randBox()
+		verdict := e.EvalBox(box)
+		if verdict == query.Unknown {
+			continue
+		}
+		row := make([]schema.Value, 3)
+		for x := box[0].Lo; x <= box[0].Hi; x++ {
+			for y := box[1].Lo; y <= box[1].Hi; y++ {
+				for z := box[2].Lo; z <= box[2].Hi; z++ {
+					row[0], row[1], row[2] = x, y, z
+					truth := e.Eval(row)
+					if (verdict == query.True) != truth {
+						t.Fatalf("trial %d: EvalBox=%v but Eval(%v)=%v for %s",
+							trial, verdict, row, truth, e.Format(s))
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestResolveTreeAlwaysCorrect(t *testing.T) {
+	s := bqSchema()
+	e := Or(
+		And(pred(1, 0, 1, false), pred(2, 2, 3, false)),
+		And(pred(1, 2, 3, false), pred(0, 0, 1, false)),
+	)
+	tree := resolveTree(s, e, query.FullBox(s))
+	if err := tree.Validate(s); err != nil {
+		t.Fatalf("resolve tree invalid: %v", err)
+	}
+	if r := Equivalent(s, e, tree, allTuples(s)); r != -1 {
+		t.Fatalf("resolve tree wrong on tuple %d", r)
+	}
+}
+
+func TestExhaustiveDisjunction(t *testing.T) {
+	s := bqSchema()
+	rng := rand.New(rand.NewSource(5))
+	tbl := corrData(rng, s, 800)
+	d := stats.NewEmpirical(tbl)
+	// (a small) OR (b large): a disjunction a conjunctive planner cannot
+	// express.
+	e := Or(pred(1, 0, 0, false), pred(2, 3, 3, false))
+	ex := Exhaustive{SPSF: opt.FullSPSF(s), Budget: 500_000}
+	node, cost, err := ex.Plan(d, e)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r := Equivalent(s, e, node, allTuples(s)); r != -1 {
+		t.Fatalf("plan wrong on tuple %d", r)
+	}
+	if got := plan.ExpectedCostRoot(node, d); math.Abs(got-cost) > 1e-9 {
+		t.Errorf("reported %g != analytic %g", cost, got)
+	}
+	// It must beat the naive resolve tree (which probes a then b).
+	base := resolveTree(s, e, query.FullBox(s))
+	if baseCost := plan.ExpectedCostRoot(base, d); cost > baseCost+1e-9 {
+		t.Errorf("exhaustive %g worse than resolve tree %g", cost, baseCost)
+	}
+	if ex.Expanded() == 0 {
+		t.Error("Expanded not recorded")
+	}
+}
+
+func TestExhaustiveMatchesConjunctivePlanner(t *testing.T) {
+	// On a pure conjunction, the generalized planner must match the
+	// conjunctive exhaustive planner's optimal cost.
+	s := bqSchema()
+	rng := rand.New(rand.NewSource(6))
+	tbl := corrData(rng, s, 600)
+	d := stats.NewEmpirical(tbl)
+	p1 := query.Pred{Attr: 1, R: query.Range{Lo: 0, Hi: 1}}
+	p2 := query.Pred{Attr: 2, R: query.Range{Lo: 2, Hi: 3}}
+	e := And(Leaf(p1), Leaf(p2))
+	q := query.MustNewQuery(s, p1, p2)
+
+	exB := Exhaustive{SPSF: opt.FullSPSF(s), Budget: 2_000_000}
+	_, costB, err := exB.Plan(d, e)
+	if err != nil {
+		t.Fatal(err)
+	}
+	exC := opt.Exhaustive{SPSF: opt.FullSPSF(s), Budget: 2_000_000}
+	_, costC, err := exC.Plan(d, q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(costB-costC) > 1e-9 {
+		t.Errorf("boolean exhaustive %g != conjunctive exhaustive %g", costB, costC)
+	}
+}
+
+func TestGreedyBooleanPlan(t *testing.T) {
+	s := bqSchema()
+	rng := rand.New(rand.NewSource(7))
+	tbl := corrData(rng, s, 1000)
+	d := stats.NewEmpirical(tbl)
+	e := Or(
+		And(pred(1, 0, 1, false), pred(2, 0, 1, false)),
+		Not(pred(1, 0, 2, false)),
+	)
+	g := Greedy{SPSF: opt.FullSPSF(s), MaxSplits: 6}
+	node, cost, err := g.Plan(d, e)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r := Equivalent(s, e, node, allTuples(s)); r != -1 {
+		t.Fatalf("greedy plan wrong on tuple %d", r)
+	}
+	// Greedy must not lose to the plain resolve tree.
+	base := resolveTree(s, e, query.FullBox(s))
+	if baseCost := plan.ExpectedCostRoot(base, d); cost > baseCost+1e-9 {
+		t.Errorf("greedy %g worse than resolve tree %g", cost, baseCost)
+	}
+	// And the exhaustive optimum is a lower bound.
+	ex := Exhaustive{SPSF: opt.FullSPSF(s), Budget: 2_000_000}
+	_, exCost, err := ex.Plan(d, e)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if exCost > cost+1e-9 {
+		t.Errorf("exhaustive %g worse than greedy %g", exCost, cost)
+	}
+}
+
+func TestDisjunctionEarlyAccept(t *testing.T) {
+	// With an OR, proving one disjunct true must let the plan stop
+	// without acquiring the other (the dual of conjunctive
+	// short-circuiting).
+	s := schema.New(
+		schema.Attribute{Name: "x", K: 2, Cost: 10},
+		schema.Attribute{Name: "y", K: 2, Cost: 10},
+	)
+	tbl := table.New(s, 4)
+	for _, r := range [][]schema.Value{{0, 0}, {0, 1}, {1, 0}, {1, 1}} {
+		tbl.MustAppendRow(r)
+	}
+	d := stats.NewEmpirical(tbl)
+	e := Or(pred(0, 1, 1, false), pred(1, 1, 1, false))
+	ex := Exhaustive{SPSF: opt.FullSPSF(s)}
+	node, cost, err := ex.Plan(d, e)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Optimal: acquire x (10); if x=1 output T immediately; else acquire
+	// y. Expected = 10 + 0.5*10 = 15.
+	if math.Abs(cost-15) > 1e-9 {
+		t.Errorf("cost = %g, want 15", cost)
+	}
+	if r := Equivalent(s, e, node, allTuples(s)); r != -1 {
+		t.Errorf("plan wrong on tuple %d", r)
+	}
+}
+
+func TestBudgetExceeded(t *testing.T) {
+	s := bqSchema()
+	rng := rand.New(rand.NewSource(8))
+	tbl := corrData(rng, s, 200)
+	d := stats.NewEmpirical(tbl)
+	e := Or(pred(1, 0, 1, false), pred(2, 0, 1, false))
+	ex := Exhaustive{SPSF: opt.FullSPSF(s), Budget: 2}
+	if _, _, err := ex.Plan(d, e); err != opt.ErrBudget {
+		t.Errorf("err = %v, want ErrBudget", err)
+	}
+}
+
+// Property: De Morgan's laws hold for Eval on all tuples and for EvalBox
+// in Kleene three-valued logic.
+func TestDeMorganProperty(t *testing.T) {
+	s := bqSchema()
+	rng := rand.New(rand.NewSource(31))
+	for trial := 0; trial < 200; trial++ {
+		a := pred(rng.Intn(3), schema.Value(rng.Intn(3)), schema.Value(rng.Intn(3))+1, rng.Intn(2) == 0)
+		b := pred(rng.Intn(3), schema.Value(rng.Intn(3)), schema.Value(rng.Intn(3))+1, rng.Intn(2) == 0)
+		lhs := Not(And(a, b))
+		rhs := Or(Not(a), Not(b))
+		row := make([]schema.Value, 3)
+		for x := 0; x < 4; x++ {
+			for y := 0; y < 4; y++ {
+				for z := 0; z < 4; z++ {
+					row[0], row[1], row[2] = schema.Value(x), schema.Value(y), schema.Value(z)
+					if lhs.Eval(row) != rhs.Eval(row) {
+						t.Fatalf("De Morgan violated on %v: %s vs %s", row, lhs.Format(s), rhs.Format(s))
+					}
+				}
+			}
+		}
+		// Three-valued: random boxes must agree too (Kleene logic is
+		// De Morgan-complete).
+		for k := 0; k < 20; k++ {
+			box := query.FullBox(s)
+			for i := range box {
+				lo := schema.Value(rng.Intn(4))
+				hi := lo + schema.Value(rng.Intn(4-int(lo)))
+				box[i] = query.Range{Lo: lo, Hi: hi}
+			}
+			if lhs.EvalBox(box) != rhs.EvalBox(box) {
+				t.Fatalf("three-valued De Morgan violated on box %v", box)
+			}
+		}
+	}
+}

@@ -1,0 +1,204 @@
+// Package boolq extends the planner to arbitrary boolean WHERE clauses —
+// the general minimum-cost-resolution-strategy setting of Theorem 3.1 of
+// the paper, where phi may mix conjunction, disjunction, and negation
+// ("if we were to include disjunctions the complexity will usually not
+// decrease"). The conjunctive planners of internal/opt remain the fast
+// path; this package provides:
+//
+//   - Expr: boolean expression trees over range predicates, with
+//     three-valued evaluation over range boxes;
+//   - Exhaustive: the Figure 5 subproblem DP generalized to any phi —
+//     plans are pure conditioning-split trees whose leaves are reached
+//     exactly when the accumulated ranges determine phi;
+//   - Greedy: a bounded-split heuristic in the spirit of Figure 7.
+//
+// Because a disjunct can prove phi TRUE early (not just false, as in
+// conjunctions), generated plans prune acquisitions on both outcomes.
+package boolq
+
+import (
+	"fmt"
+	"strings"
+
+	"acqp/internal/query"
+	"acqp/internal/schema"
+)
+
+// Op is a boolean expression node type.
+type Op int8
+
+// Expression operators.
+const (
+	// OpPred is a leaf holding a range predicate.
+	OpPred Op = iota
+	// OpAnd is an n-ary conjunction.
+	OpAnd
+	// OpOr is an n-ary disjunction.
+	OpOr
+	// OpNot negates its single child.
+	OpNot
+)
+
+// Expr is a boolean expression tree over range predicates.
+type Expr struct {
+	Op   Op
+	Pred query.Pred // OpPred only
+	Kids []*Expr    // OpAnd/OpOr (>= 1), OpNot (exactly 1)
+}
+
+// Leaf wraps a predicate as an expression.
+func Leaf(p query.Pred) *Expr { return &Expr{Op: OpPred, Pred: p} }
+
+// And conjoins the given expressions.
+func And(kids ...*Expr) *Expr { return &Expr{Op: OpAnd, Kids: kids} }
+
+// Or disjoins the given expressions.
+func Or(kids ...*Expr) *Expr { return &Expr{Op: OpOr, Kids: kids} }
+
+// Not negates an expression.
+func Not(kid *Expr) *Expr { return &Expr{Op: OpNot, Kids: []*Expr{kid}} }
+
+// Validate checks the expression's structure against a schema.
+func (e *Expr) Validate(s *schema.Schema) error {
+	switch e.Op {
+	case OpPred:
+		if e.Pred.Attr < 0 || e.Pred.Attr >= s.NumAttrs() {
+			return fmt.Errorf("boolq: predicate attribute %d out of range", e.Pred.Attr)
+		}
+		if !e.Pred.R.Valid() || int(e.Pred.R.Hi) >= s.K(e.Pred.Attr) {
+			return fmt.Errorf("boolq: predicate range %v invalid for %s", e.Pred.R, s.Name(e.Pred.Attr))
+		}
+		return nil
+	case OpAnd, OpOr:
+		if len(e.Kids) == 0 {
+			return fmt.Errorf("boolq: empty %s", e.opName())
+		}
+	case OpNot:
+		if len(e.Kids) != 1 {
+			return fmt.Errorf("boolq: NOT must have exactly one child, has %d", len(e.Kids))
+		}
+	default:
+		return fmt.Errorf("boolq: unknown operator %d", e.Op)
+	}
+	for _, k := range e.Kids {
+		if err := k.Validate(s); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (e *Expr) opName() string {
+	switch e.Op {
+	case OpAnd:
+		return "AND"
+	case OpOr:
+		return "OR"
+	case OpNot:
+		return "NOT"
+	default:
+		return "PRED"
+	}
+}
+
+// Eval evaluates the expression on a full tuple.
+func (e *Expr) Eval(row []schema.Value) bool {
+	switch e.Op {
+	case OpPred:
+		return e.Pred.Eval(row[e.Pred.Attr])
+	case OpAnd:
+		for _, k := range e.Kids {
+			if !k.Eval(row) {
+				return false
+			}
+		}
+		return true
+	case OpOr:
+		for _, k := range e.Kids {
+			if k.Eval(row) {
+				return true
+			}
+		}
+		return false
+	default: // OpNot
+		return !e.Kids[0].Eval(row)
+	}
+}
+
+// EvalBox evaluates the expression three-valued over a range box, using
+// Kleene logic: True/False only when every tuple in the box agrees.
+func (e *Expr) EvalBox(box query.Box) query.Truth {
+	switch e.Op {
+	case OpPred:
+		return e.Pred.EvalRange(box[e.Pred.Attr])
+	case OpAnd:
+		out := query.True
+		for _, k := range e.Kids {
+			switch k.EvalBox(box) {
+			case query.False:
+				return query.False
+			case query.Unknown:
+				out = query.Unknown
+			}
+		}
+		return out
+	case OpOr:
+		out := query.False
+		for _, k := range e.Kids {
+			switch k.EvalBox(box) {
+			case query.True:
+				return query.True
+			case query.Unknown:
+				out = query.Unknown
+			}
+		}
+		return out
+	default: // OpNot
+		switch e.Kids[0].EvalBox(box) {
+		case query.True:
+			return query.False
+		case query.False:
+			return query.True
+		default:
+			return query.Unknown
+		}
+	}
+}
+
+// Preds appends every predicate in the expression to dst and returns it.
+func (e *Expr) Preds(dst []query.Pred) []query.Pred {
+	if e.Op == OpPred {
+		return append(dst, e.Pred)
+	}
+	for _, k := range e.Kids {
+		dst = k.Preds(dst)
+	}
+	return dst
+}
+
+// OpenPreds returns the predicates whose truth the box does not determine.
+func (e *Expr) OpenPreds(box query.Box) []query.Pred {
+	var open []query.Pred
+	for _, p := range e.Preds(nil) {
+		if p.EvalRange(box[p.Attr]) == query.Unknown {
+			open = append(open, p)
+		}
+	}
+	return open
+}
+
+// Format renders the expression with the schema's attribute names.
+func (e *Expr) Format(s *schema.Schema) string {
+	switch e.Op {
+	case OpPred:
+		return e.Pred.Format(s)
+	case OpNot:
+		return "NOT(" + e.Kids[0].Format(s) + ")"
+	default:
+		parts := make([]string, len(e.Kids))
+		for i, k := range e.Kids {
+			parts[i] = k.Format(s)
+		}
+		return "(" + strings.Join(parts, " "+e.opName()+" ") + ")"
+	}
+}

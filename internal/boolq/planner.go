@@ -1,0 +1,327 @@
+package boolq
+
+import (
+	"math"
+
+	"acqp/internal/opt"
+	"acqp/internal/plan"
+	"acqp/internal/query"
+	"acqp/internal/schema"
+	"acqp/internal/stats"
+)
+
+// augmentSPSF adds every predicate endpoint of the expression to the
+// candidate grid, guaranteeing any phi can be decided by splits alone.
+func augmentSPSF(s *schema.Schema, spsf opt.SPSF, e *Expr) opt.SPSF {
+	return spsf.WithQueryEndpoints(s, query.Query{Preds: e.Preds(nil)})
+}
+
+// resolveTree builds a correct (not optimized) plan for the expression:
+// it repeatedly splits at a predicate endpoint of the cheapest open
+// predicate until the ranges determine phi. It serves as the incumbent
+// seed for the exhaustive search, the terminal plan of the greedy
+// heuristic, and the fallback for zero-probability branches.
+func resolveTree(s *schema.Schema, e *Expr, box query.Box) *plan.Node {
+	switch e.EvalBox(box) {
+	case query.True:
+		return plan.NewLeaf(true)
+	case query.False:
+		return plan.NewLeaf(false)
+	}
+	open := e.OpenPreds(box)
+	// Cheapest-attribute-first: observed attributes are free to re-test.
+	best := open[0]
+	bestCost := predBoxCost(s, box, best.Attr)
+	for _, p := range open[1:] {
+		if c := predBoxCost(s, box, p.Attr); c < bestCost {
+			best, bestCost = p, c
+		}
+	}
+	x := resolvingSplit(best, box[best.Attr])
+	lo := query.Range{Lo: box[best.Attr].Lo, Hi: x - 1}
+	hi := query.Range{Lo: x, Hi: box[best.Attr].Hi}
+	return plan.NewSplit(best.Attr, x,
+		resolveTree(s, e, box.With(best.Attr, lo)),
+		resolveTree(s, e, box.With(best.Attr, hi)))
+}
+
+// resolvingSplit returns a split point in (r.Lo, r.Hi] that moves the
+// predicate toward determination: one of its range endpoints, whichever
+// falls inside the current range. The predicate being open guarantees one
+// does.
+func resolvingSplit(p query.Pred, r query.Range) schema.Value {
+	if p.R.Lo > r.Lo && p.R.Lo <= r.Hi {
+		return p.R.Lo
+	}
+	return p.R.Hi + 1
+}
+
+func predBoxCost(s *schema.Schema, box query.Box, attr int) float64 {
+	if box.Observed(attr, s.K(attr)) {
+		return 0
+	}
+	return s.AcquisitionCostWith(attr, func(i int) bool {
+		return box.Observed(i, s.K(i))
+	})
+}
+
+// Exhaustive is the Figure 5 dynamic program generalized to arbitrary
+// boolean expressions: the same subproblem space (range boxes), memo, and
+// bound pruning, with the leaf condition "the ranges determine phi" and
+// resolve-tree incumbent seeding. With a full SPSF it returns the optimal
+// conditional plan for phi.
+type Exhaustive struct {
+	// SPSF restricts candidate split points; predicate endpoints are
+	// always added.
+	SPSF opt.SPSF
+	// Budget caps expanded subproblems (0 = unlimited); opt.ErrBudget is
+	// returned when exceeded.
+	Budget int
+
+	expanded int
+}
+
+// Expanded reports the subproblems expanded by the last Plan call.
+func (ex *Exhaustive) Expanded() int { return ex.expanded }
+
+// Plan runs the search.
+func (ex *Exhaustive) Plan(d stats.Dist, e *Expr) (*plan.Node, float64, error) {
+	s := d.Schema()
+	if err := e.Validate(s); err != nil {
+		return nil, 0, err
+	}
+	search := &boolSearch{
+		s:      s,
+		e:      e,
+		spsf:   augmentSPSF(s, ex.SPSF, e),
+		memo:   make(map[string]boolMemo),
+		pruned: make(map[string]float64),
+		budget: ex.Budget,
+	}
+	root := d.Root()
+	cost, node, err := search.solve(func() stats.Cond { return root }, query.FullBox(s), math.Inf(1))
+	ex.expanded = search.count
+	if err != nil {
+		return nil, 0, err
+	}
+	return node, cost, nil
+}
+
+type boolMemo struct {
+	cost float64
+	node *plan.Node
+}
+
+type boolSearch struct {
+	s      *schema.Schema
+	e      *Expr
+	spsf   opt.SPSF
+	memo   map[string]boolMemo
+	pruned map[string]float64
+	budget int
+	count  int
+}
+
+func (bs *boolSearch) solve(getC func() stats.Cond, box query.Box, bound float64) (float64, *plan.Node, error) {
+	switch bs.e.EvalBox(box) {
+	case query.True:
+		return 0, plan.NewLeaf(true), nil
+	case query.False:
+		return 0, plan.NewLeaf(false), nil
+	}
+	key := box.Key()
+	if hit, ok := bs.memo[key]; ok {
+		if hit.cost >= bound {
+			return math.Inf(1), nil, nil
+		}
+		return hit.cost, hit.node, nil
+	}
+	if lb, ok := bs.pruned[key]; ok && bound <= lb {
+		return math.Inf(1), nil, nil
+	}
+	bs.count++
+	if bs.budget > 0 && bs.count > bs.budget {
+		return 0, nil, opt.ErrBudget
+	}
+	c := getC()
+
+	// Incumbent: the resolve tree is a valid plan for any phi.
+	cMin := bound
+	var best *plan.Node
+	if seed := resolveTree(bs.s, bs.e, box); seed != nil {
+		if seedCost := plan.ExpectedCost(seed, bs.s, c, box); seedCost < cMin {
+			cMin, best = seedCost, seed
+		}
+	}
+
+	for attr := 0; attr < bs.s.NumAttrs(); attr++ {
+		atomic := predBoxCost(bs.s, box, attr)
+		if atomic >= cMin {
+			continue
+		}
+		r := box[attr]
+		for _, x := range bs.spsf.Candidates(attr, r) {
+			cost := atomic
+			loRange := query.Range{Lo: r.Lo, Hi: x - 1}
+			hiRange := query.Range{Lo: x, Hi: r.Hi}
+			pLo := c.ProbRange(attr, loRange)
+
+			loNode := resolveTree(bs.s, bs.e, box.With(attr, loRange))
+			if pLo > 0 {
+				loCost, node, err := bs.solve(func() stats.Cond {
+					return c.RestrictRange(attr, loRange)
+				}, box.With(attr, loRange), (cMin-cost)/pLo)
+				if err != nil {
+					return 0, nil, err
+				}
+				if node == nil {
+					continue
+				}
+				loNode = node
+				cost += pLo * loCost
+				if cost >= cMin {
+					continue
+				}
+			}
+			hiNode := resolveTree(bs.s, bs.e, box.With(attr, hiRange))
+			if pHi := 1 - pLo; pHi > 0 {
+				hiCost, node, err := bs.solve(func() stats.Cond {
+					return c.RestrictRange(attr, hiRange)
+				}, box.With(attr, hiRange), (cMin-cost)/pHi)
+				if err != nil {
+					return 0, nil, err
+				}
+				if node == nil {
+					continue
+				}
+				hiNode = node
+				cost += pHi * hiCost
+			}
+			if cost < cMin {
+				cMin = cost
+				best = plan.NewSplit(attr, x, loNode, hiNode)
+			}
+		}
+	}
+	if best != nil && cMin < bound {
+		bs.memo[key] = boolMemo{cost: cMin, node: best}
+		return cMin, best, nil
+	}
+	if lb, ok := bs.pruned[key]; !ok || bound > lb {
+		bs.pruned[key] = bound
+	}
+	return math.Inf(1), nil, nil
+}
+
+// Greedy builds a bounded-split conditional plan for an arbitrary
+// expression: at each leaf it picks the split with the best one-step
+// expected cost, assuming the resolve tree completes each branch, and
+// expands leaves best-gain-first in the spirit of Figure 7.
+type Greedy struct {
+	// SPSF restricts candidate split points; predicate endpoints are
+	// always added.
+	SPSF opt.SPSF
+	// MaxSplits bounds the number of conditioning splits beyond those
+	// the terminal resolve trees need.
+	MaxSplits int
+}
+
+// Plan builds the plan and returns it with its expected cost.
+func (g *Greedy) Plan(d stats.Dist, e *Expr) (*plan.Node, float64, error) {
+	s := d.Schema()
+	if err := e.Validate(s); err != nil {
+		return nil, 0, err
+	}
+	spsf := augmentSPSF(s, g.SPSF, e)
+	root := g.build(s, e, spsf, d.Root(), query.FullBox(s), g.MaxSplits)
+	root = plan.Simplify(root, s)
+	return root, plan.ExpectedCostRoot(root, d), nil
+}
+
+// build chooses the locally-best split at this box (or the resolve tree
+// if no split helps / the budget is spent), recursing with a split budget
+// divided between the children proportionally to their probability mass.
+func (g *Greedy) build(s *schema.Schema, e *Expr, spsf opt.SPSF, c stats.Cond, box query.Box, budget int) *plan.Node {
+	switch e.EvalBox(box) {
+	case query.True:
+		return plan.NewLeaf(true)
+	case query.False:
+		return plan.NewLeaf(false)
+	}
+	baseline := resolveTree(s, e, box)
+	baseCost := plan.ExpectedCost(baseline, s, c, box)
+	if budget <= 0 {
+		return baseline
+	}
+	bestCost := baseCost
+	bestAttr, bestX := -1, schema.Value(0)
+	bestPLo := 0.0
+	for attr := 0; attr < s.NumAttrs(); attr++ {
+		atomic := predBoxCost(s, box, attr)
+		if atomic >= bestCost {
+			continue
+		}
+		r := box[attr]
+		for _, x := range spsf.Candidates(attr, r) {
+			loRange := query.Range{Lo: r.Lo, Hi: x - 1}
+			hiRange := query.Range{Lo: x, Hi: r.Hi}
+			pLo := c.ProbRange(attr, loRange)
+			cost := atomic
+			if pLo > 0 {
+				lo := resolveTree(s, e, box.With(attr, loRange))
+				cost += pLo * plan.ExpectedCost(lo, s, c.RestrictRange(attr, loRange), box.With(attr, loRange))
+				if cost >= bestCost {
+					continue
+				}
+			}
+			if pHi := 1 - pLo; pHi > 0 {
+				hi := resolveTree(s, e, box.With(attr, hiRange))
+				cost += pHi * plan.ExpectedCost(hi, s, c.RestrictRange(attr, hiRange), box.With(attr, hiRange))
+			}
+			if cost < bestCost-1e-12 {
+				bestCost, bestAttr, bestX, bestPLo = cost, attr, x, pLo
+			}
+		}
+	}
+	if bestAttr < 0 {
+		return baseline
+	}
+	loRange := query.Range{Lo: box[bestAttr].Lo, Hi: bestX - 1}
+	hiRange := query.Range{Lo: bestX, Hi: box[bestAttr].Hi}
+	// Split the remaining budget by branch probability.
+	loBudget := int(float64(budget-1) * bestPLo)
+	hiBudget := budget - 1 - loBudget
+	var lo, hi *plan.Node
+	if bestPLo > 0 {
+		lo = g.build(s, e, spsf, c.RestrictRange(bestAttr, loRange), box.With(bestAttr, loRange), loBudget)
+	} else {
+		lo = resolveTree(s, e, box.With(bestAttr, loRange))
+	}
+	if bestPLo < 1 {
+		hi = g.build(s, e, spsf, c.RestrictRange(bestAttr, hiRange), box.With(bestAttr, hiRange), hiBudget)
+	} else {
+		hi = resolveTree(s, e, box.With(bestAttr, hiRange))
+	}
+	return plan.NewSplit(bestAttr, bestX, lo, hi)
+}
+
+// Equivalent checks the plan against the expression on every tuple of a
+// table, returning the first violating row or -1.
+func Equivalent(s *schema.Schema, e *Expr, p *plan.Node, tbl interface {
+	NumRows() int
+	Row(int, []schema.Value) []schema.Value
+}) int {
+	acquired := make([]bool, s.NumAttrs())
+	var row []schema.Value
+	for r := 0; r < tbl.NumRows(); r++ {
+		row = tbl.Row(r, row)
+		for i := range acquired {
+			acquired[i] = false
+		}
+		got, _ := p.Execute(s, row, acquired)
+		if got != e.Eval(row) {
+			return r
+		}
+	}
+	return -1
+}

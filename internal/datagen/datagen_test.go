@@ -1,0 +1,264 @@
+package datagen
+
+import (
+	"math"
+	"testing"
+
+	"acqp/internal/table"
+)
+
+// colMeans returns the mean discretized value of attr, conditioned on a
+// filter over the rows.
+func condMean(tbl *table.Table, attr int, keep func(r int) bool) float64 {
+	var sum float64
+	var n int
+	for r := 0; r < tbl.NumRows(); r++ {
+		if keep(r) {
+			sum += float64(tbl.Value(r, attr))
+			n++
+		}
+	}
+	if n == 0 {
+		return 0
+	}
+	return sum / float64(n)
+}
+
+// pearson computes the correlation coefficient between two columns.
+func pearson(tbl *table.Table, a, b int) float64 {
+	n := float64(tbl.NumRows())
+	var sa, sb, saa, sbb, sab float64
+	for r := 0; r < tbl.NumRows(); r++ {
+		x, y := float64(tbl.Value(r, a)), float64(tbl.Value(r, b))
+		sa += x
+		sb += y
+		saa += x * x
+		sbb += y * y
+		sab += x * y
+	}
+	cov := sab/n - sa/n*sb/n
+	va := saa/n - sa/n*sa/n
+	vb := sbb/n - sb/n*sb/n
+	if va <= 0 || vb <= 0 {
+		return 0
+	}
+	return cov / math.Sqrt(va*vb)
+}
+
+func smallLab() LabConfig {
+	return LabConfig{Motes: 10, Rows: 20_000, Seed: 1, QuietMotes: 3}
+}
+
+func TestLabDeterministic(t *testing.T) {
+	a := Lab(smallLab())
+	b := Lab(smallLab())
+	if a.NumRows() != b.NumRows() {
+		t.Fatal("row counts differ")
+	}
+	for r := 0; r < a.NumRows(); r += 997 {
+		for c := 0; c < a.Schema().NumAttrs(); c++ {
+			if a.Value(r, c) != b.Value(r, c) {
+				t.Fatalf("value (%d,%d) differs between equal-seed runs", r, c)
+			}
+		}
+	}
+	c := Lab(LabConfig{Motes: 10, Rows: 20_000, Seed: 99, QuietMotes: 3})
+	same := true
+	for r := 0; r < a.NumRows() && same; r += 101 {
+		if a.Value(r, LabLight) != c.Value(r, LabLight) {
+			same = false
+		}
+	}
+	if same {
+		t.Error("different seeds produced identical light columns")
+	}
+}
+
+func TestLabDiurnalLight(t *testing.T) {
+	tbl := Lab(smallLab())
+	night := condMean(tbl, LabLight, func(r int) bool { return tbl.Value(r, LabHour) < 5 })
+	noon := condMean(tbl, LabLight, func(r int) bool {
+		h := tbl.Value(r, LabHour)
+		return h >= 11 && h <= 13
+	})
+	if noon < night+5 {
+		t.Errorf("noon light %g not clearly above night light %g", noon, night)
+	}
+}
+
+func TestLabQuietMotesDarkAtNight(t *testing.T) {
+	tbl := Lab(smallLab())
+	isNight := func(r int) bool {
+		h := tbl.Value(r, LabHour)
+		return h >= 20 || h < 5
+	}
+	quiet := condMean(tbl, LabLight, func(r int) bool { return isNight(r) && tbl.Value(r, LabNodeID) < 3 })
+	busy := condMean(tbl, LabLight, func(r int) bool { return isNight(r) && tbl.Value(r, LabNodeID) >= 3 })
+	if busy < quiet+1 {
+		t.Errorf("late-work motes (%g) not brighter at night than quiet motes (%g)", busy, quiet)
+	}
+}
+
+func TestLabHumidityHigherAtNight(t *testing.T) {
+	tbl := Lab(smallLab())
+	night := condMean(tbl, LabHumidity, func(r int) bool { return tbl.Value(r, LabHour) < 5 })
+	day := condMean(tbl, LabHumidity, func(r int) bool {
+		h := tbl.Value(r, LabHour)
+		return h >= 9 && h <= 16
+	})
+	if night < day+1 {
+		t.Errorf("night humidity %g not above day humidity %g (HVAC off at night)", night, day)
+	}
+}
+
+func TestLabSchemaCosts(t *testing.T) {
+	s := LabSchema(smallLab())
+	if s.NumAttrs() != 6 {
+		t.Fatalf("lab schema has %d attributes", s.NumAttrs())
+	}
+	for _, i := range []int{LabHour, LabNodeID, LabVoltage} {
+		if s.Cost(i) != CheapCost {
+			t.Errorf("attribute %s should be cheap", s.Name(i))
+		}
+	}
+	for _, i := range []int{LabLight, LabTemp, LabHumidity} {
+		if s.Cost(i) != ExpensiveCost {
+			t.Errorf("attribute %s should be expensive", s.Name(i))
+		}
+	}
+}
+
+func TestLabRowCountExact(t *testing.T) {
+	cfg := LabConfig{Motes: 7, Rows: 1001, Seed: 3, QuietMotes: 2}
+	tbl := Lab(cfg)
+	if tbl.NumRows() != 1001 {
+		t.Errorf("rows = %d, want 1001", tbl.NumRows())
+	}
+}
+
+func TestGardenSchemaShape(t *testing.T) {
+	cfg := DefaultGardenConfig(5)
+	s := GardenSchema(cfg)
+	if s.NumAttrs() != 16 {
+		t.Fatalf("Garden-5 schema has %d attributes, want 16", s.NumAttrs())
+	}
+	cfg11 := DefaultGardenConfig(11)
+	if GardenSchema(cfg11).NumAttrs() != 34 {
+		t.Fatal("Garden-11 schema should have 34 attributes")
+	}
+	if s.Name(GardenTempAttr(2)) != "m2.temp" || s.Name(GardenVoltAttr(4)) != "m4.volt" {
+		t.Error("garden attribute index helpers wrong")
+	}
+	if s.Cost(GardenTempAttr(0)) != ExpensiveCost || s.Cost(GardenVoltAttr(0)) != CheapCost {
+		t.Error("garden costs wrong")
+	}
+}
+
+func TestGardenCrossMoteCorrelation(t *testing.T) {
+	tbl := Garden(GardenConfig{Motes: 5, Rows: 10_000, Seed: 2})
+	// Temperatures at different motes track the shared micro-climate.
+	if r := pearson(tbl, GardenTempAttr(0), GardenTempAttr(3)); r < 0.5 {
+		t.Errorf("cross-mote temp correlation = %g, want > 0.5", r)
+	}
+	// Humidity is anti-correlated with temperature.
+	if r := pearson(tbl, GardenTempAttr(1), GardenHumAttr(1)); r > -0.3 {
+		t.Errorf("temp/hum correlation = %g, want < -0.3", r)
+	}
+	// Cheap time predicts expensive temperature (non-trivially).
+	if r := math.Abs(pearson(tbl, 0, GardenTempAttr(2))); r < 0.1 {
+		t.Errorf("time/temp correlation = %g, want nontrivial", r)
+	}
+}
+
+func TestGardenDeterministic(t *testing.T) {
+	cfg := GardenConfig{Motes: 3, Rows: 2000, Seed: 5}
+	a, b := Garden(cfg), Garden(cfg)
+	for r := 0; r < a.NumRows(); r += 37 {
+		for c := 0; c < a.Schema().NumAttrs(); c++ {
+			if a.Value(r, c) != b.Value(r, c) {
+				t.Fatalf("value (%d,%d) differs between equal-seed runs", r, c)
+			}
+		}
+	}
+}
+
+func TestSyntheticSelectivity(t *testing.T) {
+	for _, sel := range []float64{0.3, 0.5, 0.8} {
+		tbl := Synthetic(SynthConfig{N: 8, Gamma: 1, Sel: sel, Rows: 30_000, Seed: 7})
+		for j := 0; j < 8; j++ {
+			frac := condMean(tbl, j, func(int) bool { return true })
+			if math.Abs(frac-sel) > 0.03 {
+				t.Errorf("sel=%g attr %d: observed %g", sel, j, frac)
+			}
+		}
+	}
+}
+
+func TestSyntheticIntraGroupAgreement(t *testing.T) {
+	tbl := Synthetic(SynthConfig{N: 8, Gamma: 3, Sel: 0.5, Rows: 30_000, Seed: 8})
+	agree := 0
+	for r := 0; r < tbl.NumRows(); r++ {
+		if tbl.Value(r, 0) == tbl.Value(r, 1) { // same group (size 4)
+			agree++
+		}
+	}
+	frac := float64(agree) / float64(tbl.NumRows())
+	if math.Abs(frac-0.8) > 0.03 {
+		t.Errorf("intra-group agreement = %g, want ~0.8", frac)
+	}
+}
+
+func TestSyntheticCrossGroupIndependence(t *testing.T) {
+	tbl := Synthetic(SynthConfig{N: 8, Gamma: 1, Sel: 0.5, Rows: 30_000, Seed: 9})
+	// Attributes 0 and 2 are in different groups: correlation ~ 0.
+	if r := math.Abs(pearson(tbl, 0, 2)); r > 0.03 {
+		t.Errorf("cross-group correlation = %g, want ~0", r)
+	}
+	// Attributes 0 and 1 share a group: strongly correlated.
+	if r := pearson(tbl, 0, 1); r < 0.4 {
+		t.Errorf("intra-group correlation = %g, want > 0.4", r)
+	}
+}
+
+func TestSynthQueryCoversExpensiveAttrs(t *testing.T) {
+	cases := []struct {
+		n, gamma  int
+		wantPreds int
+	}{
+		{10, 1, 5},
+		{10, 3, 7},
+		{40, 1, 20},
+		{40, 3, 30},
+	}
+	for _, tc := range cases {
+		cfg := SynthConfig{N: tc.n, Gamma: tc.gamma, Sel: 0.5, Rows: 10, Seed: 1}
+		s := SynthSchema(cfg)
+		q := SynthQuery(s)
+		if q.NumPreds() != tc.wantPreds {
+			t.Errorf("n=%d gamma=%d: %d predicates, want %d (paper Section 6.3)",
+				tc.n, tc.gamma, q.NumPreds(), tc.wantPreds)
+		}
+		for _, p := range q.Preds {
+			if s.Cost(p.Attr) != ExpensiveCost {
+				t.Errorf("query predicate on cheap attribute %s", s.Name(p.Attr))
+			}
+			if p.R.Lo != 1 || p.R.Hi != 1 {
+				t.Errorf("predicate range %v, want [1,1]", p.R)
+			}
+		}
+	}
+}
+
+func TestGeneratorPanicsOnBadConfig(t *testing.T) {
+	mustPanic := func(name string, f func()) {
+		defer func() {
+			if recover() == nil {
+				t.Errorf("%s did not panic", name)
+			}
+		}()
+		f()
+	}
+	mustPanic("lab zero motes", func() { Lab(LabConfig{Motes: 0, Rows: 10}) })
+	mustPanic("garden zero rows", func() { Garden(GardenConfig{Motes: 3, Rows: 0}) })
+	mustPanic("synth bad sel", func() { Synthetic(SynthConfig{N: 4, Gamma: 1, Sel: 1.5, Rows: 10}) })
+}

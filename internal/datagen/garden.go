@@ -1,0 +1,121 @@
+package datagen
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"acqp/internal/schema"
+	"acqp/internal/table"
+)
+
+// GardenConfig parameterizes the simulated forest deployment of
+// Section 6.2. Each row is a snapshot of the whole network at one epoch:
+// per mote, an expensive temperature and humidity and a cheap voltage,
+// plus one shared cheap time-of-day attribute — 3*Motes + 1 attributes
+// (16 for Garden-5, 34 for Garden-11, exactly as the paper counts them).
+type GardenConfig struct {
+	// Motes is the number of sensor nodes: 5 for Garden-5, 11 for
+	// Garden-11.
+	Motes int
+	// Rows is the number of network snapshots to generate.
+	Rows int
+	// Seed drives the generator.
+	Seed int64
+}
+
+// DefaultGardenConfig returns the Garden-N configuration.
+func DefaultGardenConfig(motes int) GardenConfig {
+	return GardenConfig{Motes: motes, Rows: 40_000, Seed: 2}
+}
+
+// Garden domain sizes.
+const (
+	gardenTempK = 32
+	gardenHumK  = 32
+	gardenVoltK = 16
+)
+
+// GardenSchema returns the garden schema: attribute 0 is "time" (hour of
+// day), then per mote i: "m<i>.temp", "m<i>.hum", "m<i>.volt".
+func GardenSchema(cfg GardenConfig) *schema.Schema {
+	s := schema.New(schema.Attribute{Name: "time", K: 24, Cost: CheapCost})
+	for m := 0; m < cfg.Motes; m++ {
+		s.MustAdd(schema.Attribute{Name: fmt.Sprintf("m%d.temp", m), K: gardenTempK,
+			Cost: ExpensiveCost, Disc: schema.MustDiscretizer(-5, 35, gardenTempK)})
+		s.MustAdd(schema.Attribute{Name: fmt.Sprintf("m%d.hum", m), K: gardenHumK,
+			Cost: ExpensiveCost, Disc: schema.MustDiscretizer(20, 100, gardenHumK)})
+		s.MustAdd(schema.Attribute{Name: fmt.Sprintf("m%d.volt", m), K: gardenVoltK,
+			Cost: CheapCost, Disc: schema.MustDiscretizer(2.0, 3.2, gardenVoltK)})
+	}
+	return s
+}
+
+// GardenTempAttr returns the schema index of mote m's temperature.
+func GardenTempAttr(m int) int { return 1 + 3*m }
+
+// GardenHumAttr returns the schema index of mote m's humidity.
+func GardenHumAttr(m int) int { return 2 + 3*m }
+
+// GardenVoltAttr returns the schema index of mote m's voltage.
+func GardenVoltAttr(m int) int { return 3 + 3*m }
+
+// Garden generates the simulated forest dataset in time order. All motes
+// observe one shared micro-climate — a diurnal temperature cycle
+// modulated by a slow weather random walk — through per-mote biases and
+// noise, which is what makes any one mote's (cheap) attributes predictive
+// of every other mote's (expensive) attributes.
+func Garden(cfg GardenConfig) *table.Table {
+	if cfg.Motes <= 0 || cfg.Rows <= 0 {
+		panic("datagen: garden config must have positive Motes and Rows")
+	}
+	s := GardenSchema(cfg)
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	tbl := table.New(s, cfg.Rows)
+
+	tempBias := make([]float64, cfg.Motes)
+	humBias := make([]float64, cfg.Motes)
+	battery := make([]float64, cfg.Motes)
+	for m := 0; m < cfg.Motes; m++ {
+		tempBias[m] = noise(rng, 1.2) // canopy cover, elevation
+		humBias[m] = noise(rng, 3)
+		battery[m] = 3.0 + rng.Float64()*0.2
+	}
+
+	weather := 0.0 // slow random walk shared by every mote: fronts passing
+	row := make([]schema.Value, s.NumAttrs())
+	epochsPerDay := 288 // one snapshot every five minutes
+	if cfg.Rows < epochsPerDay {
+		// Small datasets still cover one full diurnal cycle.
+		epochsPerDay = cfg.Rows
+	}
+	for e := 0; e < cfg.Rows; e++ {
+		dayFrac := float64(e%epochsPerDay) / float64(epochsPerDay)
+		hour := int(dayFrac * 24)
+		weather = clamp(weather+noise(rng, 0.15), -6, 6)
+		// Diurnal forest temperature: coolest before dawn, warmest
+		// mid-afternoon.
+		base := 12 + 8*math.Sin((dayFrac-0.3)*2*math.Pi) + weather
+
+		row[0] = schema.Value(hour)
+		for m := 0; m < cfg.Motes; m++ {
+			temp := clamp(base+tempBias[m]+noise(rng, 0.7), -5, 35)
+			// Relative humidity moves against temperature and with rain
+			// (low-weather fronts are wetter).
+			hum := clamp(85-2.2*(temp-10)-1.5*weather+humBias[m]+noise(rng, 2.5), 20, 100)
+			// Alkaline cells sag measurably in the cold: the voltage swing
+			// over the diurnal temperature range spans several ADC bins,
+			// which is what makes this cheap attribute a useful predictor
+			// of every mote's expensive temperature (the effect the
+			// paper's forest deployment exhibits).
+			battery[m] -= 0.3 / float64(cfg.Rows*2)
+			volt := clamp(battery[m]-0.02*(12-temp)+noise(rng, 0.005), 2.0, 3.2)
+
+			row[GardenTempAttr(m)] = s.Attr(GardenTempAttr(m)).Disc.Bin(temp)
+			row[GardenHumAttr(m)] = s.Attr(GardenHumAttr(m)).Disc.Bin(hum)
+			row[GardenVoltAttr(m)] = s.Attr(GardenVoltAttr(m)).Disc.Bin(volt)
+		}
+		tbl.MustAppendRow(row)
+	}
+	return tbl
+}

@@ -1,0 +1,156 @@
+package datagen
+
+import (
+	"math"
+	"math/rand"
+
+	"acqp/internal/schema"
+	"acqp/internal/table"
+)
+
+// LabConfig parameterizes the simulated Intel-lab-style dataset: rows are
+// individual sensor readings with three expensive sensed attributes
+// (light, temp, humidity) and three cheap local attributes (nodeid, hour,
+// voltage), matching Section 6's Lab dataset.
+type LabConfig struct {
+	// Motes is the number of sensor nodes (the paper's deployment had
+	// about 45).
+	Motes int
+	// Rows is the total number of readings to generate (the paper used
+	// 400,000).
+	Rows int
+	// Seed drives the generator; equal seeds give identical tables.
+	Seed int64
+	// QuietMotes is the count of motes (ids 0..QuietMotes-1) located in
+	// the part of the lab that is never used at night, so their light
+	// level is strongly determined by the hour (the "nodeid < 6" group
+	// in the paper's Figure 9 discussion).
+	QuietMotes int
+}
+
+// DefaultLabConfig mirrors the paper's deployment scale.
+func DefaultLabConfig() LabConfig {
+	return LabConfig{Motes: 45, Rows: 400_000, Seed: 1, QuietMotes: 6}
+}
+
+// Lab domain sizes. Light/temp/humidity are discretized to 32 bins,
+// comfortably finer than the SPSF grids the planners use.
+const (
+	labLightK = 32
+	labTempK  = 32
+	labHumK   = 32
+	labVoltK  = 16
+)
+
+// LabSchema returns the 6-attribute lab schema. Attribute order:
+// hour, nodeid, voltage (cheap); light, temp, humidity (expensive).
+func LabSchema(cfg LabConfig) *schema.Schema {
+	return schema.New(
+		schema.Attribute{Name: "hour", K: 24, Cost: CheapCost},
+		schema.Attribute{Name: "nodeid", K: cfg.Motes, Cost: CheapCost},
+		schema.Attribute{Name: "voltage", K: labVoltK, Cost: CheapCost,
+			Disc: schema.MustDiscretizer(2.0, 3.2, labVoltK)},
+		schema.Attribute{Name: "light", K: labLightK, Cost: ExpensiveCost,
+			Disc: schema.MustDiscretizer(0, 1000, labLightK)},
+		schema.Attribute{Name: "temp", K: labTempK, Cost: ExpensiveCost,
+			Disc: schema.MustDiscretizer(10, 40, labTempK)},
+		schema.Attribute{Name: "humidity", K: labHumK, Cost: ExpensiveCost,
+			Disc: schema.MustDiscretizer(10, 70, labHumK)},
+	)
+}
+
+// Lab attribute indexes in the schema returned by LabSchema.
+const (
+	LabHour = iota
+	LabNodeID
+	LabVoltage
+	LabLight
+	LabTemp
+	LabHumidity
+)
+
+// Lab generates the simulated lab dataset. Rows are emitted in time
+// order (all motes for epoch 0, then epoch 1, ...), so table.Split yields
+// the paper's non-overlapping train/test time windows.
+func Lab(cfg LabConfig) *table.Table {
+	if cfg.Motes <= 0 || cfg.Rows <= 0 {
+		panic("datagen: lab config must have positive Motes and Rows")
+	}
+	s := LabSchema(cfg)
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	tbl := table.New(s, cfg.Rows)
+
+	// Per-mote biases: position in the building shifts temperature and
+	// light; a battery started at a random charge level.
+	tempBias := make([]float64, cfg.Motes)
+	lightBias := make([]float64, cfg.Motes)
+	battery := make([]float64, cfg.Motes)
+	for m := 0; m < cfg.Motes; m++ {
+		tempBias[m] = noise(rng, 1.5)
+		lightBias[m] = noise(rng, 40)
+		battery[m] = 3.0 + rng.Float64()*0.2
+	}
+
+	epochs := (cfg.Rows + cfg.Motes - 1) / cfg.Motes
+	row := make([]schema.Value, s.NumAttrs())
+	emitted := 0
+	epochsPerDay := 720 // one reading every two minutes
+	if epochs < epochsPerDay {
+		// Small datasets still cover at least one full diurnal cycle, so
+		// every hour of day appears in the data.
+		epochsPerDay = epochs
+	}
+	for e := 0; e < epochs && emitted < cfg.Rows; e++ {
+		dayFrac := float64(e%epochsPerDay) / float64(epochsPerDay)
+		hour := int(dayFrac * 24)
+		// Outside brightness: dark before ~6am and after ~4pm (hours 0-5
+		// and 16-23 in the paper's Figure 1), with a smooth daylight hump.
+		daylight := 0.0
+		if dayFrac > 0.25 && dayFrac < 0.67 {
+			daylight = math.Sin((dayFrac - 0.25) / 0.42 * math.Pi)
+		}
+		// Whether the lab is occupied: always possible during work hours,
+		// occasionally late into the night (someone working late) — but
+		// never in the quiet section.
+		lateWork := rng.Float64() < 0.25
+		// HVAC runs during the day, holding humidity down and temperature
+		// up; at night it is off and humidity drifts up (Figure 9).
+		hvacOn := hour >= 7 && hour <= 18
+		weather := noise(rng, 1.0)
+
+		for m := 0; m < cfg.Motes && emitted < cfg.Rows; m++ {
+			occupied := hvacOn || (lateWork && m >= cfg.QuietMotes)
+			light := 30 + 650*daylight + lightBias[m]
+			if occupied {
+				light += 250 // overhead lights on
+			}
+			light = clamp(light+noise(rng, 30), 0, 1000)
+
+			temp := 18 + 6*daylight + tempBias[m] + weather
+			if hvacOn {
+				temp += 3
+			}
+			temp = clamp(temp+noise(rng, 0.8), 10, 40)
+
+			hum := 45 - 0.6*(temp-20)
+			if hvacOn {
+				hum -= 12
+			}
+			hum = clamp(hum+noise(rng, 3), 10, 70)
+
+			// Battery drains slowly; voltage sags in the cold.
+			battery[m] -= 0.9 / float64(epochs*2)
+			volt := clamp(battery[m]-0.004*(22-temp)+noise(rng, 0.01), 2.0, 3.2)
+
+			row[LabHour] = schema.Value(hour)
+			row[LabNodeID] = schema.Value(m)
+			row[LabVoltage] = s.Attr(LabVoltage).Disc.Bin(volt)
+			row[LabLight] = s.Attr(LabLight).Disc.Bin(light)
+			row[LabTemp] = s.Attr(LabTemp).Disc.Bin(temp)
+			row[LabHumidity] = s.Attr(LabHumidity).Disc.Bin(hum)
+			tbl.MustAppendRow(row)
+			emitted++
+		}
+	}
+	return tbl
+}

@@ -1,0 +1,102 @@
+package datagen
+
+import (
+	"fmt"
+	"math/rand"
+
+	"acqp/internal/query"
+	"acqp/internal/schema"
+	"acqp/internal/table"
+)
+
+// SynthConfig parameterizes the synthetic generator adapted from Babu et
+// al. [2], exactly as Section 6 describes it: n binary attributes divided
+// into groups of Gamma+1; attributes within a group are positively
+// correlated and identical for about 80% of tuples; attributes in
+// different groups are independent; each attribute equals 1 for about a
+// sel fraction of tuples. One attribute per group is cheap (cost 1), the
+// rest are expensive (cost 100).
+type SynthConfig struct {
+	// N is the number of attributes.
+	N int
+	// Gamma is the correlation factor: group size is Gamma+1.
+	Gamma int
+	// Sel is the unconditional selectivity of each attribute.
+	Sel float64
+	// Rows is the number of tuples.
+	Rows int
+	// Seed drives the generator.
+	Seed int64
+}
+
+// synthCopyProb is the probability an attribute copies its group's shared
+// value rather than drawing a fresh Bernoulli(sel). 0.78 makes two
+// same-group attributes agree on ~80% of tuples at sel = 0.5 (they agree
+// whenever both copy, and half the time otherwise), matching the paper's
+// "identical values for 80% of the tuples".
+const synthCopyProb = 0.78
+
+// SynthSchema returns the binary schema for the configuration. Attribute
+// j belongs to group j / (Gamma+1); the first attribute of each group is
+// the cheap one.
+func SynthSchema(cfg SynthConfig) *schema.Schema {
+	s := schema.New()
+	for j := 0; j < cfg.N; j++ {
+		cost := float64(ExpensiveCost)
+		if j%(cfg.Gamma+1) == 0 {
+			cost = CheapCost
+		}
+		s.MustAdd(schema.Attribute{Name: fmt.Sprintf("x%d", j), K: 2, Cost: cost})
+	}
+	return s
+}
+
+// Synthetic generates the dataset.
+func Synthetic(cfg SynthConfig) *table.Table {
+	if cfg.N <= 0 || cfg.Rows <= 0 || cfg.Gamma < 0 {
+		panic("datagen: synthetic config must have positive N and Rows and Gamma >= 0")
+	}
+	if cfg.Sel < 0 || cfg.Sel > 1 {
+		panic("datagen: synthetic selectivity must be in [0,1]")
+	}
+	s := SynthSchema(cfg)
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	tbl := table.New(s, cfg.Rows)
+	groupSize := cfg.Gamma + 1
+	numGroups := (cfg.N + groupSize - 1) / groupSize
+	row := make([]schema.Value, cfg.N)
+	groupVal := make([]schema.Value, numGroups)
+	for r := 0; r < cfg.Rows; r++ {
+		for g := range groupVal {
+			groupVal[g] = bernoulli(rng, cfg.Sel)
+		}
+		for j := 0; j < cfg.N; j++ {
+			if rng.Float64() < synthCopyProb {
+				row[j] = groupVal[j/groupSize]
+			} else {
+				row[j] = bernoulli(rng, cfg.Sel)
+			}
+		}
+		tbl.MustAppendRow(row)
+	}
+	return tbl
+}
+
+// SynthQuery returns the paper's query for the synthetic dataset: a
+// conjunction checking that every expensive attribute equals 1.
+func SynthQuery(s *schema.Schema) query.Query {
+	var preds []query.Pred
+	for j := 0; j < s.NumAttrs(); j++ {
+		if s.Cost(j) > CheapCost {
+			preds = append(preds, query.Pred{Attr: j, R: query.Range{Lo: 1, Hi: 1}})
+		}
+	}
+	return query.MustNewQuery(s, preds...)
+}
+
+func bernoulli(rng *rand.Rand, p float64) schema.Value {
+	if rng.Float64() < p {
+		return 1
+	}
+	return 0
+}

@@ -1,0 +1,142 @@
+// Package exec runs query plans over test datasets with full acquisition
+// metering. It is the measurement harness behind the paper's evaluation:
+// plans are built on training data and then costed per-tuple over a
+// disjoint test window (Section 6, "Test v. Training"), charging each
+// attribute acquisition at its schema cost.
+package exec
+
+import (
+	"fmt"
+
+	"acqp/internal/plan"
+	"acqp/internal/query"
+	"acqp/internal/schema"
+	"acqp/internal/table"
+)
+
+// Result summarizes one plan execution over a table.
+type Result struct {
+	// Tuples is the number of tuples processed.
+	Tuples int
+	// Selected is the number of tuples the plan output as satisfying.
+	Selected int
+	// TotalCost is the summed acquisition cost over all tuples.
+	TotalCost float64
+	// MaxCost is the largest per-tuple acquisition cost observed.
+	MaxCost float64
+	// Mismatches counts tuples where the plan's output differed from the
+	// ground-truth phi(x). A correct plan always reports zero; a nonzero
+	// value indicates a planner bug.
+	Mismatches int
+	// Acquisitions counts, per attribute, how many tuples acquired it.
+	Acquisitions []int64
+}
+
+// MeanCost returns the average per-tuple acquisition cost, the quantity
+// the paper's figures report.
+func (r Result) MeanCost() float64 {
+	if r.Tuples == 0 {
+		return 0
+	}
+	return r.TotalCost / float64(r.Tuples)
+}
+
+// Selectivity returns the fraction of tuples selected.
+func (r Result) Selectivity() float64 {
+	if r.Tuples == 0 {
+		return 0
+	}
+	return float64(r.Selected) / float64(r.Tuples)
+}
+
+func (r Result) String() string {
+	return fmt.Sprintf("tuples=%d selected=%d mean-cost=%.3f max-cost=%.1f mismatches=%d",
+		r.Tuples, r.Selected, r.MeanCost(), r.MaxCost, r.Mismatches)
+}
+
+// Run executes the plan over every tuple of the table, verifying each
+// output against the ground-truth query evaluation.
+func Run(s *schema.Schema, p *plan.Node, q query.Query, tbl *table.Table) Result {
+	res := Result{Acquisitions: make([]int64, s.NumAttrs())}
+	acquired := make([]bool, s.NumAttrs())
+	var row []schema.Value
+	for r := 0; r < tbl.NumRows(); r++ {
+		row = tbl.Row(r, row)
+		for i := range acquired {
+			acquired[i] = false
+		}
+		got, cost := p.Execute(s, row, acquired)
+		res.Tuples++
+		res.TotalCost += cost
+		if cost > res.MaxCost {
+			res.MaxCost = cost
+		}
+		if got {
+			res.Selected++
+		}
+		if got != q.Eval(row) {
+			res.Mismatches++
+		}
+		for i, a := range acquired {
+			if a {
+				res.Acquisitions[i]++
+			}
+		}
+	}
+	return res
+}
+
+// RunExists executes the plan over tuples in order until the first
+// satisfying tuple is found — the existential-query extension of
+// Section 7 ("is there a sensor recording high light and temperature?").
+// It returns whether a satisfying tuple exists, its row index (-1 if
+// none), and the acquisition cost spent to decide.
+func RunExists(s *schema.Schema, p *plan.Node, tbl *table.Table) (found bool, rowIdx int, cost float64) {
+	acquired := make([]bool, s.NumAttrs())
+	var row []schema.Value
+	for r := 0; r < tbl.NumRows(); r++ {
+		row = tbl.Row(r, row)
+		for i := range acquired {
+			acquired[i] = false
+		}
+		got, c := p.Execute(s, row, acquired)
+		cost += c
+		if got {
+			return true, r, cost
+		}
+	}
+	return false, -1, cost
+}
+
+// RunLimit executes the plan until limit satisfying tuples have been
+// found (the LIMIT-clause extension of Section 7), returning the selected
+// row indexes and total cost.
+func RunLimit(s *schema.Schema, p *plan.Node, tbl *table.Table, limit int) (rows []int, cost float64) {
+	if limit <= 0 {
+		return nil, 0
+	}
+	acquired := make([]bool, s.NumAttrs())
+	var row []schema.Value
+	for r := 0; r < tbl.NumRows() && len(rows) < limit; r++ {
+		row = tbl.Row(r, row)
+		for i := range acquired {
+			acquired[i] = false
+		}
+		got, c := p.Execute(s, row, acquired)
+		cost += c
+		if got {
+			rows = append(rows, r)
+		}
+	}
+	return rows, cost
+}
+
+// CompareOnTest builds a convenience ratio table: for each plan, the mean
+// per-tuple cost over the test table. Used by the experiment harnesses.
+func CompareOnTest(s *schema.Schema, q query.Query, test *table.Table, plans map[string]*plan.Node) map[string]Result {
+	out := make(map[string]Result, len(plans))
+	for name, p := range plans {
+		out[name] = Run(s, p, q, test)
+	}
+	return out
+}

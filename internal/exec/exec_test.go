@@ -1,0 +1,149 @@
+package exec
+
+import (
+	"math"
+	"testing"
+
+	"acqp/internal/plan"
+	"acqp/internal/query"
+	"acqp/internal/schema"
+	"acqp/internal/table"
+)
+
+func testSchema() *schema.Schema {
+	return schema.New(
+		schema.Attribute{Name: "h", K: 2, Cost: 0},
+		schema.Attribute{Name: "a", K: 2, Cost: 10},
+		schema.Attribute{Name: "b", K: 2, Cost: 5},
+	)
+}
+
+func testTable() *table.Table {
+	tbl := table.New(testSchema(), 8)
+	for _, r := range [][]schema.Value{
+		{0, 1, 1}, {0, 1, 0}, {0, 0, 1}, {0, 0, 0},
+		{1, 1, 1}, {1, 1, 0}, {1, 0, 1}, {1, 0, 0},
+	} {
+		tbl.MustAppendRow(r)
+	}
+	return tbl
+}
+
+func testQuery(s *schema.Schema) query.Query {
+	return query.MustNewQuery(s,
+		query.Pred{Attr: 1, R: query.Range{Lo: 1, Hi: 1}},
+		query.Pred{Attr: 2, R: query.Range{Lo: 1, Hi: 1}},
+	)
+}
+
+func TestRunMetersCosts(t *testing.T) {
+	s := testSchema()
+	q := testQuery(s)
+	p := plan.NewSeq(q.Preds) // a then b
+	res := Run(s, p, q, testTable())
+	if res.Tuples != 8 {
+		t.Fatalf("Tuples = %d", res.Tuples)
+	}
+	if res.Selected != 2 {
+		t.Errorf("Selected = %d, want 2", res.Selected)
+	}
+	if res.Mismatches != 0 {
+		t.Errorf("Mismatches = %d", res.Mismatches)
+	}
+	// All 8 tuples acquire a (10); the 4 with a=1 also acquire b (5).
+	want := 8*10.0 + 4*5.0
+	if math.Abs(res.TotalCost-want) > 1e-12 {
+		t.Errorf("TotalCost = %g, want %g", res.TotalCost, want)
+	}
+	if res.MaxCost != 15 {
+		t.Errorf("MaxCost = %g, want 15", res.MaxCost)
+	}
+	if res.MeanCost() != want/8 {
+		t.Errorf("MeanCost = %g", res.MeanCost())
+	}
+	if res.Selectivity() != 0.25 {
+		t.Errorf("Selectivity = %g", res.Selectivity())
+	}
+	if res.Acquisitions[1] != 8 || res.Acquisitions[2] != 4 || res.Acquisitions[0] != 0 {
+		t.Errorf("Acquisitions = %v", res.Acquisitions)
+	}
+}
+
+func TestRunDetectsMismatch(t *testing.T) {
+	s := testSchema()
+	q := testQuery(s)
+	wrong := plan.NewLeaf(false)
+	res := Run(s, wrong, q, testTable())
+	if res.Mismatches != 2 {
+		t.Errorf("Mismatches = %d, want 2", res.Mismatches)
+	}
+}
+
+func TestRunEmptyTable(t *testing.T) {
+	s := testSchema()
+	q := testQuery(s)
+	res := Run(s, plan.NewSeq(q.Preds), q, table.New(s, 0))
+	if res.Tuples != 0 || res.MeanCost() != 0 || res.Selectivity() != 0 {
+		t.Errorf("empty table result = %+v", res)
+	}
+}
+
+func TestRunExists(t *testing.T) {
+	s := testSchema()
+	q := testQuery(s)
+	p := plan.NewSeq(q.Preds)
+	found, idx, cost := RunExists(s, p, testTable())
+	if !found || idx != 0 {
+		t.Errorf("found=%v idx=%d, want true/0", found, idx)
+	}
+	if cost != 15 { // first tuple satisfies immediately: a + b
+		t.Errorf("cost = %g, want 15", cost)
+	}
+	// No satisfying tuple.
+	never := plan.NewLeaf(false)
+	found, idx, _ = RunExists(s, never, testTable())
+	if found || idx != -1 {
+		t.Errorf("found=%v idx=%d, want false/-1", found, idx)
+	}
+}
+
+func TestRunLimit(t *testing.T) {
+	s := testSchema()
+	q := testQuery(s)
+	p := plan.NewSeq(q.Preds)
+	rows, cost := RunLimit(s, p, testTable(), 1)
+	if len(rows) != 1 || rows[0] != 0 {
+		t.Errorf("rows = %v", rows)
+	}
+	if cost != 15 {
+		t.Errorf("cost = %g", cost)
+	}
+	rows, _ = RunLimit(s, p, testTable(), 10) // more than available
+	if len(rows) != 2 {
+		t.Errorf("limit beyond matches: rows = %v", rows)
+	}
+	rows, cost = RunLimit(s, p, testTable(), 0)
+	if rows != nil || cost != 0 {
+		t.Errorf("limit 0: rows=%v cost=%g", rows, cost)
+	}
+}
+
+func TestCompareOnTest(t *testing.T) {
+	s := testSchema()
+	q := testQuery(s)
+	plans := map[string]*plan.Node{
+		"ab": plan.NewSeq(q.Preds),
+		"ba": plan.NewSeq([]query.Pred{q.Preds[1], q.Preds[0]}),
+	}
+	res := CompareOnTest(s, q, testTable(), plans)
+	if len(res) != 2 {
+		t.Fatalf("results = %v", res)
+	}
+	// b-first: all 8 acquire b (5); 4 with b=1 acquire a (10).
+	if got := res["ba"].TotalCost; math.Abs(got-(8*5+4*10)) > 1e-12 {
+		t.Errorf("ba cost = %g", got)
+	}
+	if res["ab"].Mismatches != 0 || res["ba"].Mismatches != 0 {
+		t.Error("mismatches in correct plans")
+	}
+}

@@ -1,0 +1,96 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+
+	"acqp/internal/model"
+	"acqp/internal/opt"
+	"acqp/internal/stats"
+)
+
+// AblationRow is one oracle backing's aggregate over the lab workload.
+type AblationRow struct {
+	Backing   string
+	TrainRows int
+	AvgCost   float64
+	VsNaive   float64 // Naive cost / this backing's cost, averaged
+}
+
+// AblationResult is the Section 7 graphical-models study: the same
+// Heuristic-5 planner run against three probability oracles — raw
+// empirical counts, a Chow-Liu tree model, and a full-independence model —
+// at two training sizes. Expected shape: Chow-Liu tracks the empirical
+// oracle (and is more robust at small training sizes, where deep
+// conditioning starves raw counts); the independence model cannot see
+// correlations, so it degenerates toward Naive-quality plans.
+type AblationResult struct {
+	Queries int
+	Rows    []AblationRow
+}
+
+// ModelAblation runs the study.
+func ModelAblation(e *Env) (AblationResult, error) {
+	w := e.labWorld(e.LabQueryCount())
+	s := w.train.Schema()
+	// A uniform subsample (not a prefix, which would carry a time-of-day
+	// bias) simulating a deployment with little history.
+	small := w.train.Sample(w.train.NumRows() / 400)
+	smallRows := small.NumRows()
+
+	type backing struct {
+		name string
+		rows int
+		dist stats.Dist
+	}
+	backings := []backing{
+		{"empirical (full)", w.train.NumRows(), stats.NewEmpirical(w.train)},
+		{"chow-liu (full)", w.train.NumRows(), model.FitChowLiu(w.train, 0.5)},
+		{"independent (full)", w.train.NumRows(), model.FitIndependent(w.train, 0.5)},
+		{"empirical (small)", smallRows, stats.NewEmpirical(small)},
+		{"chow-liu (small)", smallRows, model.FitChowLiu(small, 0.5)},
+	}
+	res := AblationResult{Queries: len(w.queries)}
+	naive := opt.NaivePlanner{}
+	naiveCosts := make([]float64, len(w.queries))
+	for qi, q := range w.queries {
+		node, _, err := naive.Plan(w.dist, q)
+		if err != nil {
+			return res, err
+		}
+		naiveCosts[qi] = runCost(s, node, q, w.test)
+	}
+	for _, b := range backings {
+		heur := heuristicPlanner(s, 5)
+		var costSum, gainSum float64
+		for qi, q := range w.queries {
+			node, _, err := heur.Plan(b.dist, q)
+			if err != nil {
+				return res, err
+			}
+			c := runCost(s, node, q, w.test)
+			costSum += c
+			if c > 0 {
+				gainSum += naiveCosts[qi] / c
+			}
+		}
+		n := float64(len(w.queries))
+		res.Rows = append(res.Rows, AblationRow{
+			Backing: b.name, TrainRows: b.rows,
+			AvgCost: costSum / n, VsNaive: gainSum / n,
+		})
+	}
+	return res, nil
+}
+
+// WriteTable renders the study.
+func (r AblationResult) WriteTable(w io.Writer) error {
+	rows := make([][]string, len(r.Rows))
+	for i, row := range r.Rows {
+		rows[i] = []string{row.Backing, fmt.Sprintf("%d", row.TrainRows), f1(row.AvgCost), f2(row.VsNaive) + "x"}
+	}
+	return WriteTable(w,
+		fmt.Sprintf("Section 7 ablation: probability oracle backing for Heuristic-5 (%d queries)", r.Queries),
+		[]string{"oracle", "train rows", "avg test cost", "gain vs naive"},
+		rows)
+}

@@ -1,0 +1,120 @@
+// Package experiments reproduces every figure of the paper's evaluation
+// (Section 6): Figure 8(a)-(c) on the lab dataset, the Figure 9 plan
+// study, Figures 10-11 on the garden datasets, Figure 12 on the synthetic
+// dataset, the Section 6.4 scalability study (whose graphs the paper
+// omitted for space), plus two beyond-paper studies: the Section 2.4
+// plan-size/energy trade-off and a Section 7 graphical-model ablation.
+//
+// Each experiment returns a typed result with a WriteTable method; the
+// cmd/acqbench binary and the repository's benchmarks drive them.
+package experiments
+
+import (
+	"acqp/internal/datagen"
+	"acqp/internal/table"
+)
+
+// Scale selects experiment sizes: Quick for CI-speed smoke runs, Full for
+// paper-scale runs.
+type Scale int
+
+// Experiment scales.
+const (
+	Quick Scale = iota
+	Full
+)
+
+func (s Scale) String() string {
+	if s == Quick {
+		return "quick"
+	}
+	return "full"
+}
+
+// Env carries the experiment configuration and caches generated datasets
+// so a multi-figure run builds each world once.
+type Env struct {
+	Scale Scale
+
+	lab      *table.Table
+	garden5  *table.Table
+	garden11 *table.Table
+}
+
+// NewEnv returns an environment at the given scale.
+func NewEnv(s Scale) *Env { return &Env{Scale: s} }
+
+// TrainFrac is the fraction of each dataset used as the training window;
+// the remainder is the disjoint test window (Section 6, "Test v.
+// Training").
+const TrainFrac = 0.6
+
+// LabConfig returns the lab generator configuration for the scale.
+func (e *Env) LabConfig() datagen.LabConfig {
+	cfg := datagen.DefaultLabConfig()
+	if e.Scale == Quick {
+		cfg.Motes = 10
+		cfg.Rows = 24_000
+		cfg.QuietMotes = 3
+	} else {
+		cfg.Rows = 200_000
+	}
+	return cfg
+}
+
+// Lab returns the (cached) lab dataset.
+func (e *Env) Lab() *table.Table {
+	if e.lab == nil {
+		e.lab = datagen.Lab(e.LabConfig())
+	}
+	return e.lab
+}
+
+// Garden returns the (cached) garden dataset with the given mote count
+// (5 or 11).
+func (e *Env) Garden(motes int) *table.Table {
+	cfg := datagen.DefaultGardenConfig(motes)
+	if e.Scale == Quick {
+		cfg.Rows = 6_000
+	}
+	switch motes {
+	case 5:
+		if e.garden5 == nil {
+			e.garden5 = datagen.Garden(cfg)
+		}
+		return e.garden5
+	case 11:
+		if e.garden11 == nil {
+			e.garden11 = datagen.Garden(cfg)
+		}
+		return e.garden11
+	default:
+		return datagen.Garden(cfg)
+	}
+}
+
+// LabQueryCount returns the number of lab workload queries (the paper
+// runs 95).
+func (e *Env) LabQueryCount() int {
+	if e.Scale == Quick {
+		return 10
+	}
+	return 95
+}
+
+// GardenQueryCount returns the number of garden workload queries (the
+// paper runs 90).
+func (e *Env) GardenQueryCount() int {
+	if e.Scale == Quick {
+		return 10
+	}
+	return 90
+}
+
+// SynthRows returns the synthetic dataset size.
+func (e *Env) SynthRows() int {
+	if e.Scale == Quick {
+		return 8_000
+	}
+	return 60_000
+}

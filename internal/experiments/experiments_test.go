@@ -1,0 +1,340 @@
+package experiments
+
+import (
+	"bytes"
+	"sort"
+	"strings"
+	"testing"
+)
+
+// One shared quick environment: the lab dataset is built once.
+var testEnv = NewEnv(Quick)
+
+func TestFig8aShape(t *testing.T) {
+	res, err := Fig8a(testEnv)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Queries == 0 {
+		t.Fatal("no queries completed")
+	}
+	byName := map[string]Fig8aRow{}
+	for _, r := range res.Rows {
+		byName[r.Algo] = r
+	}
+	// Paper shape: "in all cases, our algorithms outperform Naive, and
+	// both the worst case and average performance of Heuristic-10 is very
+	// close to the performance of Exhaustive."
+	if byName["Heuristic-10"].AvgRel > byName["Naive"].AvgRel {
+		t.Errorf("Heuristic-10 (%.3f) worse than Naive (%.3f) on average",
+			byName["Heuristic-10"].AvgRel, byName["Naive"].AvgRel)
+	}
+	if byName["Heuristic-10"].AvgRel > 1.1 {
+		t.Errorf("Heuristic-10 not close to Exhaustive: %.3f", byName["Heuristic-10"].AvgRel)
+	}
+	if byName["Heuristic-10"].AvgRel > byName["Heuristic-0"].AvgRel+1e-9 {
+		t.Errorf("more splits should not hurt: H10 %.3f vs H0 %.3f",
+			byName["Heuristic-10"].AvgRel, byName["Heuristic-0"].AvgRel)
+	}
+	var buf bytes.Buffer
+	if err := res.WriteTable(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "Exhaustive") {
+		t.Error("table missing Exhaustive row")
+	}
+}
+
+func TestFig8bShape(t *testing.T) {
+	res, err := Fig8b(testEnv)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) < 2 {
+		t.Fatal("expected at least two SPSF settings")
+	}
+	// Paper shape: "Exhaustive with smaller SPSF's performs substantially
+	// worse than Heuristic with large SPSF's" — the smallest-SPSF row
+	// must lose to the heuristic, and quality must not degrade as the
+	// SPSF grows.
+	first, last := res.Rows[0], res.Rows[len(res.Rows)-1]
+	if first.AvgRel < 1 {
+		t.Errorf("Exhaustive at tiny SPSF beat Heuristic-5: %.3f", first.AvgRel)
+	}
+	if last.AvgRel > first.AvgRel+1e-9 {
+		t.Errorf("larger SPSF degraded exhaustive: %.3f -> %.3f", first.AvgRel, last.AvgRel)
+	}
+	var buf bytes.Buffer
+	if err := res.WriteTable(&buf); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFig8cShape(t *testing.T) {
+	res, err := Fig8c(testEnv)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for name, gains := range res.Gains {
+		if len(gains) != testEnv.LabQueryCount() {
+			t.Errorf("%s: %d gains, want %d", name, len(gains), testEnv.LabQueryCount())
+		}
+		if !sort.IsSorted(sort.Reverse(sort.Float64Slice(gains))) {
+			t.Errorf("%s: gains not sorted descending", name)
+		}
+	}
+	// The heuristic should beat Naive on at least some queries.
+	h := res.Gains["Heuristic-10"]
+	if len(h) == 0 || h[0] < 1.05 {
+		t.Errorf("Heuristic-10 best gain %v, want > 1.05", h)
+	}
+	var buf bytes.Buffer
+	if err := res.WriteTable(&buf); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFig9Shape(t *testing.T) {
+	res, err := Fig9(testEnv)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Splits == 0 {
+		t.Error("Figure 9 plan has no conditioning splits")
+	}
+	// The paper's plan conditions on cheap attributes; ours must too.
+	if !strings.Contains(res.Rendered, "hour") && !strings.Contains(res.Rendered, "nodeid") &&
+		!strings.Contains(res.Rendered, "voltage") {
+		t.Errorf("plan does not condition on a cheap attribute:\n%s", res.Rendered)
+	}
+	if res.HeurCost > res.NaiveCost {
+		t.Errorf("heuristic (%.1f) worse than naive (%.1f)", res.HeurCost, res.NaiveCost)
+	}
+	if res.Gain() < 1.1 {
+		t.Errorf("gain over naive %.2f, want > 1.1", res.Gain())
+	}
+	if res.PlanBytes <= 0 || !strings.Contains(res.Dot, "digraph") {
+		t.Error("plan rendering incomplete")
+	}
+}
+
+func TestGardenShape(t *testing.T) {
+	res, err := Garden(testEnv, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Preds != 10 {
+		t.Errorf("Garden-5 queries have %d predicates, want 10", res.Preds)
+	}
+	sn := Summarize(res.RatioNaive)
+	if sn.Mean < 1.0 {
+		t.Errorf("heuristic loses to naive on average: %.3f", sn.Mean)
+	}
+	// The paper observes the heuristic can lose slightly on test data but
+	// "the penalty in those cases is negligible".
+	sc := Summarize(res.RatioCorrSeq)
+	if sc.FracBelow09 > 0.2 {
+		t.Errorf("heuristic loses >10%% to CorrSeq on %.0f%% of queries", sc.FracBelow09*100)
+	}
+	var buf bytes.Buffer
+	if err := res.WriteTable(&buf); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFig12Shape(t *testing.T) {
+	res, err := Fig12(testEnv)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Points) == 0 {
+		t.Fatal("no points")
+	}
+	for _, p := range res.Points {
+		// Conditional plans must not lose to the sequential baselines by
+		// more than noise.
+		if p.Heur10 > p.Naive*1.05 {
+			t.Errorf("G=%d n=%d sel=%.1f: Heuristic-10 (%.1f) worse than Naive (%.1f)",
+				p.Setting.Gamma, p.Setting.N, p.Sel, p.Heur10, p.Naive)
+		}
+		// "When Gamma = 1, Naive and CorrSeq produce nearly identical
+		// query plans."
+		if p.Setting.Gamma == 1 {
+			ratio := p.Naive / p.CorrSeq
+			if ratio < 0.9 || ratio > 1.1 {
+				t.Errorf("Gamma=1 sel=%.1f: Naive (%.1f) and CorrSeq (%.1f) should be close",
+					p.Sel, p.Naive, p.CorrSeq)
+			}
+		}
+	}
+	// At the most selective setting the conditional plan should show a
+	// clear win.
+	first := res.Points[0] // Gamma=1, lowest sel
+	if first.Naive/first.Heur10 < 1.15 {
+		t.Errorf("expected a clear conditional-plan win at sel=%.1f: %.2fx", first.Sel, first.Naive/first.Heur10)
+	}
+	var buf bytes.Buffer
+	if err := res.WriteTable(&buf); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestScalabilityShape(t *testing.T) {
+	res, err := Scalability(testEnv)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.DataRows) < 2 || len(res.Exhausted) < 2 {
+		t.Fatal("missing scale points")
+	}
+	// Exhaustive subproblem counts grow with the domain size.
+	for i := 1; i < len(res.Exhausted); i++ {
+		prev, cur := res.Exhausted[i-1], res.Exhausted[i]
+		if cur.Subproblems >= 0 && prev.Subproblems >= 0 && cur.Subproblems < prev.Subproblems {
+			t.Errorf("exhaustive subproblems shrank with K: %d -> %d", prev.Subproblems, cur.Subproblems)
+		}
+	}
+	var buf bytes.Buffer
+	if err := res.WriteTable(&buf); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSensorTradeoffShape(t *testing.T) {
+	res, err := SensorTradeoff(testEnv)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Points) < 3 {
+		t.Fatal("missing points")
+	}
+	// Plan bytes grow with the split bound; dissemination share grows too.
+	for i := 1; i < len(res.Points); i++ {
+		if res.Points[i].PlanBytes < res.Points[i-1].PlanBytes {
+			t.Errorf("plan bytes shrank as splits grew")
+		}
+	}
+	first, last := res.Points[0], res.Points[len(res.Points)-1]
+	if last.DissemRatio <= first.DissemRatio {
+		t.Error("dissemination share did not grow with plan size")
+	}
+	// With an expensive radio and short query lifetime, unbounded plans
+	// must not be optimal (the Section 2.4 trade-off).
+	if res.Best().MaxSplits == last.MaxSplits {
+		t.Errorf("largest plan is best; no trade-off visible")
+	}
+	var buf bytes.Buffer
+	if err := res.WriteTable(&buf); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestModelAblationShape(t *testing.T) {
+	res, err := ModelAblation(testEnv)
+	if err != nil {
+		t.Fatal(err)
+	}
+	byName := map[string]AblationRow{}
+	for _, r := range res.Rows {
+		byName[r.Backing] = r
+	}
+	emp := byName["empirical (full)"]
+	ind := byName["independent (full)"]
+	cl := byName["chow-liu (full)"]
+	// The independence model cannot exploit correlations: it must not
+	// beat the empirical oracle.
+	if ind.AvgCost < emp.AvgCost-1e-9 {
+		t.Errorf("independence oracle (%.1f) beat empirical (%.1f)", ind.AvgCost, emp.AvgCost)
+	}
+	// Chow-Liu must stay close to the empirical oracle (within 10%).
+	if cl.AvgCost > emp.AvgCost*1.1 {
+		t.Errorf("chow-liu (%.1f) too far from empirical (%.1f)", cl.AvgCost, emp.AvgCost)
+	}
+	var buf bytes.Buffer
+	if err := res.WriteTable(&buf); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestWriteTableAlignment(t *testing.T) {
+	var buf bytes.Buffer
+	err := WriteTable(&buf, "title", []string{"a", "long-header"}, [][]string{
+		{"xxxxx", "1"},
+		{"y", "22"},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimRight(buf.String(), "\n"), "\n")
+	if len(lines) != 5 { // title, header, rule, two rows
+		t.Fatalf("lines = %q", lines)
+	}
+	if !strings.HasPrefix(lines[0], "title") {
+		t.Error("missing title")
+	}
+	if !strings.Contains(lines[1], "long-header") {
+		t.Error("missing header")
+	}
+}
+
+func TestSummarize(t *testing.T) {
+	s := Summarize([]float64{3, 2, 1, 0.5})
+	if s.Max != 3 || s.Median != 1 {
+		t.Errorf("Summarize = %+v", s)
+	}
+	if s.FracAbove1 != 0.5 || s.FracBelow09 != 0.25 {
+		t.Errorf("fractions = %+v", s)
+	}
+	if z := Summarize(nil); z.Max != 0 {
+		t.Error("empty Summarize not zero")
+	}
+}
+
+func TestLifetimeShape(t *testing.T) {
+	res, err := Lifetime(testEnv)
+	if err != nil {
+		t.Fatal(err)
+	}
+	byName := map[string]LifetimeRow{}
+	for _, r := range res.Rows {
+		byName[r.Algo] = r
+	}
+	naive := byName["Naive"]
+	h5 := byName["Heuristic-5"]
+	if naive.Epochs <= 0 || h5.Epochs <= 0 {
+		t.Fatalf("degenerate lifetimes: %+v", res.Rows)
+	}
+	// Per-tuple savings must compound into longer lifetime.
+	if h5.Epochs < naive.Epochs {
+		t.Errorf("Heuristic-5 lifetime %d below Naive %d", h5.Epochs, naive.Epochs)
+	}
+	var buf bytes.Buffer
+	if err := res.WriteTable(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "epochs survived") {
+		t.Error("table malformed")
+	}
+}
+
+// Determinism: two independently constructed environments must produce
+// byte-identical experiment output — every generator and planner is
+// seeded, so any divergence signals nondeterminism creeping in.
+func TestExperimentsDeterministic(t *testing.T) {
+	render := func() string {
+		env := NewEnv(Quick)
+		res, err := Fig9(env)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var buf bytes.Buffer
+		if err := res.WriteTable(&buf); err != nil {
+			t.Fatal(err)
+		}
+		return buf.String()
+	}
+	a, b := render(), render()
+	if a != b {
+		t.Errorf("Fig9 output differs between identical environments:\n%s\n---\n%s", a, b)
+	}
+}

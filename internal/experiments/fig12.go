@@ -1,0 +1,108 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+
+	"acqp/internal/datagen"
+	"acqp/internal/opt"
+	"acqp/internal/stats"
+)
+
+// Fig12Setting is one of the four synthetic parameter settings of
+// Section 6.3.
+type Fig12Setting struct {
+	Gamma, N int
+}
+
+// Fig12Settings are the paper's four settings, yielding queries with 5,
+// 7, 20, and 30 predicates respectively.
+var Fig12Settings = []Fig12Setting{
+	{Gamma: 1, N: 10},
+	{Gamma: 3, N: 10},
+	{Gamma: 1, N: 40},
+	{Gamma: 3, N: 40},
+}
+
+// Fig12Point is one (setting, sel) measurement: mean test cost per tuple
+// for each planner.
+type Fig12Point struct {
+	Setting  Fig12Setting
+	Sel      float64
+	Naive    float64
+	CorrSeq  float64
+	Heur5    float64
+	Heur10   float64
+	NumPreds int
+}
+
+// Fig12Result holds the full sweep.
+type Fig12Result struct {
+	Points []Fig12Point
+}
+
+// Fig12Sels is the selectivity sweep; the paper plots execution cost
+// against the unconditional selectivity of the predicates.
+var Fig12Sels = []float64{0.5, 0.6, 0.7, 0.8, 0.9}
+
+// Fig12 reproduces Figure 12: plan cost versus predicate selectivity on
+// the synthetic dataset for the four (Gamma, n) settings.
+func Fig12(e *Env) (Fig12Result, error) {
+	var res Fig12Result
+	settings := Fig12Settings
+	sels := Fig12Sels
+	if e.Scale == Quick {
+		settings = []Fig12Setting{{Gamma: 1, N: 10}, {Gamma: 3, N: 10}}
+		sels = []float64{0.5, 0.7, 0.9}
+	}
+	for _, st := range settings {
+		for _, sel := range sels {
+			cfg := datagen.SynthConfig{
+				N: st.N, Gamma: st.Gamma, Sel: sel,
+				Rows: e.SynthRows(), Seed: int64(1000*st.N + 10*st.Gamma + int(sel*10)),
+			}
+			tbl := datagen.Synthetic(cfg)
+			train, test := tbl.Split(TrainFrac)
+			s := tbl.Schema()
+			q := datagen.SynthQuery(s)
+			d := stats.NewEmpirical(train)
+
+			point := Fig12Point{Setting: st, Sel: sel, NumPreds: q.NumPreds()}
+			spsf := opt.FullSPSF(s) // binary domains: the full SPSF is tiny
+			planners := []struct {
+				target *float64
+				p      opt.Planner
+			}{
+				{&point.Naive, opt.NaivePlanner{}},
+				{&point.CorrSeq, opt.CorrSeqPlanner{Alg: opt.SeqGreedy}},
+				{&point.Heur5, opt.GreedyPlanner{Greedy: opt.Greedy{SPSF: spsf, MaxSplits: 5, Base: opt.SeqGreedy}}},
+				{&point.Heur10, opt.GreedyPlanner{Greedy: opt.Greedy{SPSF: spsf, MaxSplits: 10, Base: opt.SeqGreedy}}},
+			}
+			for _, pl := range planners {
+				node, _, err := pl.p.Plan(d, q)
+				if err != nil {
+					return res, err
+				}
+				*pl.target = runCost(s, node, q, test)
+			}
+			res.Points = append(res.Points, point)
+		}
+	}
+	return res, nil
+}
+
+// WriteTable renders the sweep, one block per setting.
+func (r Fig12Result) WriteTable(w io.Writer) error {
+	var rows [][]string
+	for _, p := range r.Points {
+		rows = append(rows, []string{
+			fmt.Sprintf("G=%d n=%d m=%d", p.Setting.Gamma, p.Setting.N, p.NumPreds),
+			f2(p.Sel), f1(p.Naive), f1(p.CorrSeq), f1(p.Heur5), f1(p.Heur10),
+			f2(p.Naive / p.Heur10),
+		})
+	}
+	return WriteTable(w,
+		"Figure 12: synthetic dataset — mean test cost per tuple vs selectivity",
+		[]string{"setting", "sel", "Naive", "CorrSeq", "Heuristic-5", "Heuristic-10", "Naive/H10"},
+		rows)
+}

@@ -1,0 +1,346 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"sort"
+
+	"acqp/internal/exec"
+	"acqp/internal/opt"
+	"acqp/internal/plan"
+	"acqp/internal/query"
+	"acqp/internal/schema"
+	"acqp/internal/stats"
+	"acqp/internal/table"
+	"acqp/internal/workload"
+)
+
+// labWorld bundles the split lab dataset and its workload.
+type labWorld struct {
+	train, test *table.Table
+	dist        *stats.Empirical
+	queries     []query.Query
+}
+
+func (e *Env) labWorld(queries int) labWorld {
+	tbl := e.Lab()
+	train, test := tbl.Split(TrainFrac)
+	cfg := workload.DefaultLabQueryConfig()
+	cfg.Count = queries
+	return labWorld{
+		train:   train,
+		test:    test,
+		dist:    stats.NewEmpirical(train),
+		queries: workload.LabQueries(train, cfg),
+	}
+}
+
+// exhaustiveR returns the per-attribute SPSF count used to train the
+// exhaustive planner at this scale.
+func (e *Env) exhaustiveR() int {
+	if e.Scale == Quick {
+		return 1
+	}
+	return 2
+}
+
+const exhaustiveBudget = 2_000_000
+
+// heuristicSPSF is the (much larger) split-point budget the heuristic
+// planners run with, playing the role of the paper's SPSF 10^14 runs.
+const heuristicSPSF = 8
+
+// exhaustivePlan trains the exhaustive planner on the SPSF-coarsened view
+// of the training data (Section 6.1's "Exhaustive with SPSF s") and
+// returns the plan expanded back to the original domain.
+func exhaustivePlan(train *table.Table, q query.Query, r int, budget int) (*plan.Node, error) {
+	s := train.Schema()
+	co, err := opt.NewCoarsening(s, opt.UniformSPSFSame(s, r), q)
+	if err != nil {
+		return nil, err
+	}
+	cq, err := co.CoarsenQuery(q)
+	if err != nil {
+		return nil, err
+	}
+	// Compress the coarse training data into the weighted joint
+	// distribution of Figure 4: the tiny coarse domain collapses the
+	// training rows to a few hundred weighted cells, making the
+	// exhaustive search's conditioning O(cells) instead of O(rows).
+	ctrain := stats.Compress(co.CoarsenTable(train))
+	ex := opt.Exhaustive{SPSF: opt.FullSPSF(co.CoarseSchema()), Budget: budget}
+	cplan, _, err := ex.Plan(ctrain, cq)
+	if err != nil {
+		return nil, err
+	}
+	return co.ExpandPlan(cplan), nil
+}
+
+// Fig8aResult holds the Figure 8(a) reproduction: plan quality of Naive
+// and Heuristic-k versus the Exhaustive algorithm on the lab dataset,
+// averaged over the query workload. Ratios are test-data mean acquisition
+// cost relative to Exhaustive (1.0 = matches Exhaustive).
+type Fig8aResult struct {
+	Queries int
+	Skipped int // queries the exhaustive search could not finish in budget
+	Rows    []Fig8aRow
+}
+
+// Fig8aRow is one algorithm's aggregate.
+type Fig8aRow struct {
+	Algo             string
+	AvgRel, WorstRel float64
+	AvgCost          float64
+}
+
+// Fig8a reproduces Figure 8(a): Exhaustive versus Naive and Heuristic-k
+// (k = 0, 5, 10) on the lab dataset.
+func Fig8a(e *Env) (Fig8aResult, error) {
+	w := e.labWorld(e.LabQueryCount())
+	s := w.train.Schema()
+	// Figure 8(a) compares Exhaustive and Heuristic at the SAME SPSF
+	// ("when both are running on the dataset with SPSF set to 10^8");
+	// Figure 8(b) is where the SPSFs differ.
+	r := e.exhaustiveR()
+	algos := []opt.Planner{
+		opt.NaivePlanner{},
+		heuristicPlannerAt(s, 0, r),
+		heuristicPlannerAt(s, 5, r),
+		heuristicPlannerAt(s, 10, r),
+	}
+	sums := make([]float64, len(algos))
+	worsts := make([]float64, len(algos))
+	costs := make([]float64, len(algos))
+	res := Fig8aResult{}
+	var exCostSum float64
+	for _, q := range w.queries {
+		exPlan, err := exhaustivePlan(w.train, q, r, exhaustiveBudget)
+		if err == opt.ErrBudget {
+			res.Skipped++
+			continue
+		}
+		if err != nil {
+			return res, err
+		}
+		exCost := runCost(s, exPlan, q, w.test)
+		if exCost <= 0 {
+			res.Skipped++
+			continue
+		}
+		exCostSum += exCost
+		res.Queries++
+		for i, p := range algos {
+			node, _, err := p.Plan(w.dist, q)
+			if err != nil {
+				return res, err
+			}
+			c := runCost(s, node, q, w.test)
+			rel := c / exCost
+			sums[i] += rel
+			costs[i] += c
+			if rel > worsts[i] {
+				worsts[i] = rel
+			}
+		}
+	}
+	if res.Queries == 0 {
+		return res, fmt.Errorf("experiments: fig8a: every query exceeded the exhaustive budget")
+	}
+	n := float64(res.Queries)
+	res.Rows = append(res.Rows, Fig8aRow{Algo: "Exhaustive", AvgRel: 1, WorstRel: 1, AvgCost: exCostSum / n})
+	for i, p := range algos {
+		res.Rows = append(res.Rows, Fig8aRow{
+			Algo: p.Name(), AvgRel: sums[i] / n, WorstRel: worsts[i], AvgCost: costs[i] / n,
+		})
+	}
+	return res, nil
+}
+
+func heuristicPlanner(s *schema.Schema, k int) opt.Planner {
+	return heuristicPlannerAt(s, k, heuristicSPSF)
+}
+
+func heuristicPlannerAt(s *schema.Schema, k, spsf int) opt.Planner {
+	return opt.GreedyPlanner{Greedy: opt.Greedy{
+		SPSF:      opt.UniformSPSFSame(s, spsf),
+		MaxSplits: k,
+		Base:      opt.SeqOpt,
+	}}
+}
+
+// WriteTable renders the result.
+func (r Fig8aResult) WriteTable(w io.Writer) error {
+	rows := make([][]string, len(r.Rows))
+	for i, row := range r.Rows {
+		rows[i] = []string{row.Algo, f3(row.AvgRel), f3(row.WorstRel), f1(row.AvgCost)}
+	}
+	return WriteTable(w,
+		fmt.Sprintf("Figure 8(a): plan quality vs Exhaustive — lab dataset (%d queries, %d skipped)", r.Queries, r.Skipped),
+		[]string{"algorithm", "avg cost / exhaustive", "worst cost / exhaustive", "avg test cost"},
+		rows)
+}
+
+// Fig8bResult holds the Figure 8(b) reproduction: the effect of training
+// Exhaustive with progressively smaller SPSFs, compared against
+// Heuristic-5 trained with a large SPSF.
+type Fig8bResult struct {
+	Queries int
+	Rows    []Fig8bRow
+}
+
+// Fig8bRow is one SPSF setting's aggregate: ratios are Exhaustive's test
+// cost over Heuristic-5's.
+type Fig8bRow struct {
+	Label            string
+	SPSF             float64
+	AvgRel, WorstRel float64
+	Skipped          int
+}
+
+// Fig8b reproduces Figure 8(b): Exhaustive at decreasing SPSF versus
+// Heuristic-5 at a large SPSF. Constraining the split points too much
+// obscures correlations and degrades Exhaustive below the heuristic.
+func Fig8b(e *Env) (Fig8bResult, error) {
+	w := e.labWorld(e.LabQueryCount())
+	s := w.train.Schema()
+	heur := heuristicPlanner(s, 5)
+
+	rs := []int{0, 1, 2}
+	if e.Scale == Quick {
+		rs = []int{0, 1}
+	}
+	res := Fig8bResult{Queries: len(w.queries)}
+	heurCosts := make([]float64, len(w.queries))
+	for qi, q := range w.queries {
+		node, _, err := heur.Plan(w.dist, q)
+		if err != nil {
+			return res, err
+		}
+		heurCosts[qi] = runCost(s, node, q, w.test)
+	}
+	for _, r := range rs {
+		row := Fig8bRow{
+			Label: fmt.Sprintf("Exhaustive r=%d", r),
+			// Report the realized split-point selection factor, including
+			// the query-endpoint augmentation (representative first query).
+			SPSF: opt.UniformSPSFSame(s, r).WithQueryEndpoints(s, w.queries[0]).Factor(),
+		}
+		var sum float64
+		var count int
+		for qi, q := range w.queries {
+			exPlan, err := exhaustivePlan(w.train, q, r, exhaustiveBudget)
+			if err == opt.ErrBudget {
+				row.Skipped++
+				continue
+			}
+			if err != nil {
+				return res, err
+			}
+			rel := runCost(s, exPlan, q, w.test) / heurCosts[qi]
+			sum += rel
+			count++
+			if rel > row.WorstRel {
+				row.WorstRel = rel
+			}
+		}
+		if count > 0 {
+			row.AvgRel = sum / float64(count)
+		}
+		res.Rows = append(res.Rows, row)
+	}
+	return res, nil
+}
+
+// WriteTable renders the result.
+func (r Fig8bResult) WriteTable(w io.Writer) error {
+	rows := make([][]string, len(r.Rows))
+	for i, row := range r.Rows {
+		rows[i] = []string{row.Label, fmt.Sprintf("%.0f", row.SPSF), f3(row.AvgRel), f3(row.WorstRel), fmt.Sprintf("%d", row.Skipped)}
+	}
+	return WriteTable(w,
+		fmt.Sprintf("Figure 8(b): Exhaustive at small SPSF vs Heuristic-5 at SPSF %d^n — lab dataset (%d queries)", heuristicSPSF, r.Queries),
+		[]string{"setting", "SPSF", "avg cost / heuristic-5", "worst cost / heuristic-5", "skipped"},
+		rows)
+}
+
+// Fig8cResult is the Figure 8(c) reproduction: the cumulative frequency
+// of per-query performance gain over Naive on the lab dataset.
+type Fig8cResult struct {
+	// Gains[algo] holds each query's Naive-cost / algo-cost ratio,
+	// sorted descending (a gain of 2 = twice cheaper than Naive).
+	Gains map[string][]float64
+	Order []string
+}
+
+// Fig8c reproduces Figure 8(c).
+func Fig8c(e *Env) (Fig8cResult, error) {
+	w := e.labWorld(e.LabQueryCount())
+	s := w.train.Schema()
+	algos := []opt.Planner{
+		opt.CorrSeqPlanner{Alg: opt.SeqOpt},
+		heuristicPlanner(s, 10),
+	}
+	res := Fig8cResult{Gains: map[string][]float64{}}
+	for _, p := range algos {
+		res.Order = append(res.Order, p.Name())
+	}
+	naive := opt.NaivePlanner{}
+	for _, q := range w.queries {
+		nNode, _, err := naive.Plan(w.dist, q)
+		if err != nil {
+			return res, err
+		}
+		nCost := runCost(s, nNode, q, w.test)
+		for _, p := range algos {
+			node, _, err := p.Plan(w.dist, q)
+			if err != nil {
+				return res, err
+			}
+			c := runCost(s, node, q, w.test)
+			gain := math.Inf(1)
+			if c > 0 {
+				gain = nCost / c
+			}
+			res.Gains[p.Name()] = append(res.Gains[p.Name()], gain)
+		}
+	}
+	for _, g := range res.Gains {
+		sort.Sort(sort.Reverse(sort.Float64Slice(g)))
+	}
+	return res, nil
+}
+
+// WriteTable renders the cumulative-frequency curves at decile points.
+func (r Fig8cResult) WriteTable(w io.Writer) error {
+	header := []string{"cumulative fraction"}
+	header = append(header, r.Order...)
+	var rows [][]string
+	if len(r.Order) == 0 || len(r.Gains[r.Order[0]]) == 0 {
+		return WriteTable(w, "Figure 8(c): no data", header, rows)
+	}
+	n := len(r.Gains[r.Order[0]])
+	for _, fr := range []float64{0.1, 0.25, 0.5, 0.75, 0.9, 1.0} {
+		idx := int(fr*float64(n)) - 1
+		if idx < 0 {
+			idx = 0
+		}
+		row := []string{f2(fr)}
+		for _, name := range r.Order {
+			row = append(row, f2(r.Gains[name][idx])+"x")
+		}
+		rows = append(rows, row)
+	}
+	return WriteTable(w,
+		fmt.Sprintf("Figure 8(c): cumulative frequency of gain over Naive — lab dataset (%d queries)", n),
+		header, rows)
+}
+
+func runCost(s *schema.Schema, p *plan.Node, q query.Query, test *table.Table) float64 {
+	res := exec.Run(s, p, q, test)
+	if res.Mismatches != 0 {
+		// A planner bug would silently skew every figure; fail loudly.
+		panic(fmt.Sprintf("experiments: plan mismatches ground truth on %d tuples", res.Mismatches))
+	}
+	return res.MeanCost()
+}

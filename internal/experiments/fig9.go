@@ -1,0 +1,97 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+
+	"acqp/internal/datagen"
+	"acqp/internal/opt"
+	"acqp/internal/plan"
+	"acqp/internal/query"
+	"acqp/internal/schema"
+)
+
+// Fig9Result is the detailed plan study of Figure 9: the conditional plan
+// generated for a query looking for instances that are bright, cool, and
+// dry in the lab, with the gain over Naive.
+type Fig9Result struct {
+	Query       string
+	Rendered    string
+	Dot         string
+	Splits      int
+	PlanBytes   int
+	HeurCost    float64
+	NaiveCost   float64
+	CorrSeqCost float64
+}
+
+// Gain returns the cost ratio of Naive over the conditional plan.
+func (r Fig9Result) Gain() float64 {
+	if r.HeurCost == 0 {
+		return 0
+	}
+	return r.NaiveCost / r.HeurCost
+}
+
+// Fig9 reproduces the Figure 9 plan study: a "bright, cool, dry" query
+// (someone working in the lab at night) planned by the heuristic.
+func Fig9(e *Env) (Fig9Result, error) {
+	w := e.labWorld(1)
+	s := w.train.Schema()
+	q, err := brightCoolDryQuery(s)
+	if err != nil {
+		return Fig9Result{}, err
+	}
+
+	heur := heuristicPlanner(s, 6)
+	node, _, err := heur.Plan(w.dist, q)
+	if err != nil {
+		return Fig9Result{}, err
+	}
+	naive, _, err := opt.NaivePlanner{}.Plan(w.dist, q)
+	if err != nil {
+		return Fig9Result{}, err
+	}
+	corr, _, err := (opt.CorrSeqPlanner{Alg: opt.SeqOpt}).Plan(w.dist, q)
+	if err != nil {
+		return Fig9Result{}, err
+	}
+	return Fig9Result{
+		Query:       q.Format(s),
+		Rendered:    plan.Render(node, s),
+		Dot:         plan.Dot(node, s),
+		Splits:      node.NumSplits(),
+		PlanBytes:   plan.Size(node),
+		HeurCost:    runCost(s, node, q, w.test),
+		NaiveCost:   runCost(s, naive, q, w.test),
+		CorrSeqCost: runCost(s, corr, q, w.test),
+	}, nil
+}
+
+// brightCoolDryQuery builds the Figure 9 query: relatively high light,
+// cool temperature, low humidity.
+func brightCoolDryQuery(s *schema.Schema) (query.Query, error) {
+	light := s.Attr(datagen.LabLight)
+	temp := s.Attr(datagen.LabTemp)
+	hum := s.Attr(datagen.LabHumidity)
+	return query.NewQuery(s,
+		// bright: light >= ~250 Lux
+		query.Pred{Attr: datagen.LabLight, R: query.Range{
+			Lo: light.Disc.Bin(250), Hi: schema.Value(light.K - 1)}},
+		// cool: temp <= ~21 C
+		query.Pred{Attr: datagen.LabTemp, R: query.Range{
+			Lo: 0, Hi: temp.Disc.Bin(21)}},
+		// dry: humidity <= ~40%
+		query.Pred{Attr: datagen.LabHumidity, R: query.Range{
+			Lo: 0, Hi: hum.Disc.Bin(40)}},
+	)
+}
+
+// WriteTable renders the study.
+func (r Fig9Result) WriteTable(w io.Writer) error {
+	_, err := fmt.Fprintf(w,
+		"Figure 9: conditional plan for %q\n\n%s\nsplits=%d plan-size=%dB\n"+
+			"test cost: heuristic=%.1f corrseq=%.1f naive=%.1f (gain over naive: %.2fx)\n",
+		r.Query, r.Rendered, r.Splits, r.PlanBytes, r.HeurCost, r.CorrSeqCost, r.NaiveCost, r.Gain())
+	return err
+}

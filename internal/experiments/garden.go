@@ -1,0 +1,130 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"sort"
+
+	"acqp/internal/opt"
+	"acqp/internal/stats"
+	"acqp/internal/workload"
+)
+
+// GardenResult reproduces Figures 10 and 11: per-query test-cost ratios of
+// Naive and CorrSeq over the Heuristic conditional planner on the garden
+// datasets.
+type GardenResult struct {
+	Motes   int
+	Preds   int
+	Queries int
+	// RatioNaive[i] is query i's Naive cost / Heuristic cost (sorted
+	// descending); >1 means the conditional plan wins.
+	RatioNaive   []float64
+	RatioCorrSeq []float64
+}
+
+// gardenHeuristicSPSF mirrors the paper's "SPSF set to 10^n": 10 split
+// points per attribute.
+const gardenHeuristicSPSF = 10
+
+// Garden runs the Figure 10 (motes = 5) or Figure 11 (motes = 11)
+// experiment.
+func Garden(e *Env, motes int) (GardenResult, error) {
+	tbl := e.Garden(motes)
+	train, test := tbl.Split(TrainFrac)
+	s := tbl.Schema()
+	cfg := workload.DefaultGardenQueryConfig(motes)
+	cfg.Count = e.GardenQueryCount()
+	queries := workload.GardenQueries(train, cfg)
+	// Planning cost is linear in the historical data (Section 5), so a
+	// uniform subsample preserves plan quality while bounding runtime.
+	const maxPlanRows = 8_000
+	if train.NumRows() > maxPlanRows {
+		train = train.Sample(train.NumRows()/maxPlanRows + 1)
+	}
+	d := stats.NewEmpirical(train)
+
+	heur := opt.GreedyPlanner{Greedy: opt.Greedy{
+		SPSF:      opt.UniformSPSFSame(s, gardenHeuristicSPSF),
+		MaxSplits: 10,
+		Base:      opt.SeqGreedy, // the paper uses GreedySeq base plans for garden
+	}}
+	naive := opt.NaivePlanner{}
+	corr := opt.CorrSeqPlanner{Alg: opt.SeqGreedy}
+
+	res := GardenResult{Motes: motes, Preds: 2 * motes, Queries: len(queries)}
+	for _, q := range queries {
+		hNode, _, err := heur.Plan(d, q)
+		if err != nil {
+			return res, err
+		}
+		hCost := runCost(s, hNode, q, test)
+		nNode, _, err := naive.Plan(d, q)
+		if err != nil {
+			return res, err
+		}
+		cNode, _, err := corr.Plan(d, q)
+		if err != nil {
+			return res, err
+		}
+		if hCost <= 0 {
+			continue
+		}
+		res.RatioNaive = append(res.RatioNaive, runCost(s, nNode, q, test)/hCost)
+		res.RatioCorrSeq = append(res.RatioCorrSeq, runCost(s, cNode, q, test)/hCost)
+	}
+	sort.Sort(sort.Reverse(sort.Float64Slice(res.RatioNaive)))
+	sort.Sort(sort.Reverse(sort.Float64Slice(res.RatioCorrSeq)))
+	return res, nil
+}
+
+// Summary aggregates a ratio series.
+type Summary struct {
+	Max, Median, Mean float64
+	FracAbove1        float64 // fraction of queries where Heuristic wins
+	FracBelow09       float64 // fraction where Heuristic loses by >10%
+}
+
+// Summarize computes the aggregate view of a sorted-descending series.
+func Summarize(sorted []float64) Summary {
+	if len(sorted) == 0 {
+		return Summary{}
+	}
+	s := Summary{Max: sorted[0], Median: sorted[len(sorted)/2]}
+	for _, v := range sorted {
+		s.Mean += v
+		if v > 1 {
+			s.FracAbove1++
+		}
+		if v < 0.9 {
+			s.FracBelow09++
+		}
+	}
+	n := float64(len(sorted))
+	s.Mean /= n
+	s.FracAbove1 /= n
+	s.FracBelow09 /= n
+	return s
+}
+
+// WriteTable renders the result.
+func (r GardenResult) WriteTable(w io.Writer) error {
+	rows := [][]string{}
+	for name, series := range map[string][]float64{
+		"Naive / Heuristic":   r.RatioNaive,
+		"CorrSeq / Heuristic": r.RatioCorrSeq,
+	} {
+		s := Summarize(series)
+		rows = append(rows, []string{
+			name, f2(s.Mean), f2(s.Median), f2(s.Max),
+			fmt.Sprintf("%.0f%%", s.FracAbove1*100),
+			fmt.Sprintf("%.0f%%", s.FracBelow09*100),
+		})
+	}
+	sort.Slice(rows, func(i, j int) bool { return rows[i][0] < rows[j][0] })
+	return WriteTable(w,
+		fmt.Sprintf("Figure %d: Garden-%d (%d-predicate queries, %d queries) — cost ratio over Heuristic-10",
+			map[int]int{5: 10, 11: 11}[r.Motes], r.Motes, r.Preds, r.Queries),
+		[]string{"series", "mean", "median", "max", "heuristic wins", "loses >10%"},
+		rows)
+}

@@ -1,0 +1,84 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+
+	"acqp/internal/opt"
+	"acqp/internal/sensornet"
+)
+
+// LifetimeRow is one planner's deployment lifetime.
+type LifetimeRow struct {
+	Algo    string
+	Epochs  int
+	Results int
+	// RelativeToNaive is this planner's lifetime over Naive's.
+	RelativeToNaive float64
+}
+
+// LifetimeResult is the network-lifetime study: how many epochs a
+// battery-powered deployment survives under each planner's plan. This is
+// the paper's energy argument made concrete — per-tuple acquisition
+// savings compound into deployment lifetime.
+type LifetimeResult struct {
+	Motes   int
+	Battery float64
+	Rows    []LifetimeRow
+}
+
+// Lifetime runs the study on the lab world.
+func Lifetime(e *Env) (LifetimeResult, error) {
+	w := e.labWorld(1)
+	s := w.train.Schema()
+	q := w.queries[0]
+	motes := e.LabConfig().Motes
+	battery := 60_000.0 // energy units per mote: a few hundred acquisitions
+
+	res := LifetimeResult{Motes: motes, Battery: battery}
+	planners := []opt.Planner{
+		opt.NaivePlanner{},
+		opt.CorrSeqPlanner{Alg: opt.SeqOpt},
+		heuristicPlanner(s, 5),
+		heuristicPlanner(s, 10),
+	}
+	var naiveEpochs int
+	for i, p := range planners {
+		node, _, err := p.Plan(w.dist, q)
+		if err != nil {
+			return res, err
+		}
+		net, err := sensornet.New(s, q, sensornet.DefaultRadio(), sensornet.StarTopology(motes))
+		if err != nil {
+			return res, err
+		}
+		lt, err := net.Lifetime(node, w.test, battery)
+		if err != nil {
+			return res, err
+		}
+		row := LifetimeRow{Algo: p.Name(), Epochs: lt.Epochs, Results: lt.ResultsReported}
+		if i == 0 {
+			naiveEpochs = lt.Epochs
+		}
+		if naiveEpochs > 0 {
+			row.RelativeToNaive = float64(lt.Epochs) / float64(naiveEpochs)
+		}
+		res.Rows = append(res.Rows, row)
+	}
+	return res, nil
+}
+
+// WriteTable renders the study.
+func (r LifetimeResult) WriteTable(w io.Writer) error {
+	rows := make([][]string, len(r.Rows))
+	for i, row := range r.Rows {
+		rows[i] = []string{
+			row.Algo, fmt.Sprintf("%d", row.Epochs),
+			fmt.Sprintf("%d", row.Results), f2(row.RelativeToNaive) + "x",
+		}
+	}
+	return WriteTable(w,
+		fmt.Sprintf("Network lifetime: %d motes, %.0f energy units each (epochs until first mote dies)", r.Motes, r.Battery),
+		[]string{"planner", "epochs survived", "results reported", "vs naive"},
+		rows)
+}

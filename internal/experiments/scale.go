@@ -1,0 +1,171 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"math/rand"
+	"time"
+
+	"acqp/internal/datagen"
+	"acqp/internal/opt"
+	"acqp/internal/query"
+	"acqp/internal/schema"
+	"acqp/internal/stats"
+	"acqp/internal/table"
+)
+
+// ScaleResult is the Section 6.4 scalability study, whose graphs the paper
+// omitted for space: planner runtime (and exhaustive subproblem counts)
+// versus historical-data size, attribute domain size, and the number of
+// query predicates. Expected shapes (Sections 3.2, 4.2.3, 5): heuristic
+// linear in |D| and domain size, exponential (base 2) in predicates with
+// the OptSeq base; exhaustive exponential with the domain size as the
+// exponent base.
+type ScaleResult struct {
+	DataRows  []ScalePoint // vary |D|
+	DomainK   []ScalePoint // vary K
+	NumPreds  []ScalePoint // vary m
+	Exhausted []ScalePoint // exhaustive: vary K, report subproblems
+}
+
+// ScalePoint is one measurement.
+type ScalePoint struct {
+	X           int
+	HeuristicMS float64
+	ExhaustedMS float64
+	Subproblems int
+}
+
+// scaleWorld builds a synthetic-style correlated dataset with the given
+// shape: one cheap attribute plus m expensive query attributes, domain
+// size k each, rows rows.
+func scaleWorld(m, k, rows int, seed int64) (*stats.Empirical, query.Query) {
+	cfg := datagen.SynthConfig{N: m + 1, Gamma: m, Sel: 0.5, Rows: rows, Seed: seed}
+	if k == 2 {
+		tbl := datagen.Synthetic(cfg)
+		return stats.NewEmpirical(tbl), datagen.SynthQuery(tbl.Schema())
+	}
+	// Larger domains: scale the binary synthetic data up to K values by
+	// adding uniform within-bucket detail — value = bit*K/2 + detail —
+	// preserving the group correlation at bucket granularity.
+	tbl := datagen.Synthetic(cfg)
+	s := tbl.Schema()
+	big := schema.New()
+	for j := 0; j < s.NumAttrs(); j++ {
+		big.MustAdd(schema.Attribute{Name: s.Name(j), K: k, Cost: s.Cost(j)})
+	}
+	rng := rand.New(rand.NewSource(seed + 99))
+	out := table.New(big, tbl.NumRows())
+	half := k / 2
+	row := make([]schema.Value, s.NumAttrs())
+	for r := 0; r < tbl.NumRows(); r++ {
+		for j := 0; j < s.NumAttrs(); j++ {
+			row[j] = schema.Value(int(tbl.Value(r, j))*half + rng.Intn(half))
+		}
+		out.MustAppendRow(row)
+	}
+	preds := make([]query.Pred, 0, m)
+	for j := 0; j < s.NumAttrs(); j++ {
+		if s.Cost(j) > datagen.CheapCost {
+			preds = append(preds, query.Pred{Attr: j, R: query.Range{
+				Lo: schema.Value(half), Hi: schema.Value(k - 1)}})
+		}
+	}
+	return stats.NewEmpirical(out), query.MustNewQuery(big, preds...)
+}
+
+// Scalability runs the study.
+func Scalability(e *Env) (ScaleResult, error) {
+	var res ScaleResult
+	baseRows := 40_000
+	rowSteps := []int{10_000, 20_000, 40_000, 80_000}
+	kSteps := []int{4, 8, 16, 32}
+	mSteps := []int{2, 4, 6, 8, 10}
+	exSteps := []int{2, 3, 4, 5, 6}
+	if e.Scale == Quick {
+		baseRows = 8_000
+		rowSteps = []int{2_000, 4_000, 8_000}
+		kSteps = []int{4, 8, 16}
+		mSteps = []int{2, 4, 6}
+		exSteps = []int{2, 3, 4}
+	}
+
+	// Heuristic runtime vs dataset size (m=4, K=2).
+	for _, rows := range rowSteps {
+		d, q := scaleWorld(4, 2, rows, 31)
+		ms := timePlanner(heuristicFor(d), d, q)
+		res.DataRows = append(res.DataRows, ScalePoint{X: rows, HeuristicMS: ms})
+	}
+	// Heuristic runtime vs domain size (m=4).
+	for _, k := range kSteps {
+		d, q := scaleWorld(4, k, baseRows, 32)
+		ms := timePlanner(heuristicFor(d), d, q)
+		res.DomainK = append(res.DomainK, ScalePoint{X: k, HeuristicMS: ms})
+	}
+	// Heuristic runtime vs number of predicates (K=2, OptSeq base:
+	// exponential in m).
+	for _, m := range mSteps {
+		d, q := scaleWorld(m, 2, baseRows, 33)
+		ms := timePlanner(heuristicFor(d), d, q)
+		res.NumPreds = append(res.NumPreds, ScalePoint{X: m, HeuristicMS: ms})
+	}
+	// Exhaustive subproblems vs domain size (m=3 query attributes).
+	for _, k := range exSteps {
+		d, q := scaleWorld(3, k, baseRows/4, 34)
+		ex := opt.Exhaustive{SPSF: opt.FullSPSF(d.Schema()), Budget: 5_000_000}
+		start := time.Now()
+		_, _, err := ex.Plan(d, q)
+		elapsed := float64(time.Since(start).Microseconds()) / 1000
+		p := ScalePoint{X: k, ExhaustedMS: elapsed, Subproblems: ex.Expanded()}
+		if err != nil {
+			p.Subproblems = -1 // budget exceeded
+		}
+		res.Exhausted = append(res.Exhausted, p)
+	}
+	return res, nil
+}
+
+func heuristicFor(d *stats.Empirical) opt.Planner {
+	return opt.GreedyPlanner{Greedy: opt.Greedy{
+		SPSF:      opt.UniformSPSFSame(d.Schema(), 8),
+		MaxSplits: 5,
+		Base:      opt.SeqOpt,
+	}}
+}
+
+func timePlanner(p opt.Planner, d stats.Dist, q query.Query) float64 {
+	start := time.Now()
+	if _, _, err := p.Plan(d, q); err != nil {
+		return -1
+	}
+	return float64(time.Since(start).Microseconds()) / 1000
+}
+
+// WriteTable renders the study.
+func (r ScaleResult) WriteTable(w io.Writer) error {
+	section := func(title, xname string, pts []ScalePoint, exhaustive bool) error {
+		rows := make([][]string, len(pts))
+		for i, p := range pts {
+			if exhaustive {
+				rows[i] = []string{fmt.Sprintf("%d", p.X), f1(p.ExhaustedMS), fmt.Sprintf("%d", p.Subproblems)}
+			} else {
+				rows[i] = []string{fmt.Sprintf("%d", p.X), f1(p.HeuristicMS)}
+			}
+		}
+		header := []string{xname, "heuristic ms"}
+		if exhaustive {
+			header = []string{xname, "exhaustive ms", "subproblems"}
+		}
+		return WriteTable(w, title, header, rows)
+	}
+	if err := section("Section 6.4: heuristic runtime vs |D| (expect linear)", "rows", r.DataRows, false); err != nil {
+		return err
+	}
+	if err := section("Section 6.4: heuristic runtime vs domain size K (expect ~linear)", "K", r.DomainK, false); err != nil {
+		return err
+	}
+	if err := section("Section 6.4: heuristic runtime vs #predicates (OptSeq base: exponential)", "m", r.NumPreds, false); err != nil {
+		return err
+	}
+	return section("Section 6.4: exhaustive subproblems vs domain size (exponential, base K)", "K", r.Exhausted, true)
+}

@@ -1,0 +1,107 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+
+	"acqp/internal/opt"
+	"acqp/internal/sensornet"
+)
+
+// SensorPoint measures one plan-size setting of the Section 2.4 study.
+type SensorPoint struct {
+	MaxSplits   int
+	PlanBytes   int
+	Splits      int
+	Acquisition float64
+	DissemRatio float64 // dissemination / total
+	Total       float64
+	PerTuple    float64
+}
+
+// SensorResult is the Section 2.4 plan-size trade-off: total network
+// energy (acquisition + dissemination + result radio) as the plan-size
+// bound k grows. Bigger conditional plans acquire less but cost more to
+// ship — C(P) + alpha*zeta(P) has an interior optimum when query
+// lifetimes are short.
+type SensorResult struct {
+	Motes  int
+	Tuples int
+	Points []SensorPoint
+}
+
+// SensorTradeoff runs the study on the lab world over a line topology.
+func SensorTradeoff(e *Env) (SensorResult, error) {
+	w := e.labWorld(1)
+	s := w.train.Schema()
+	q := w.queries[0]
+	motes := e.LabConfig().Motes
+	// A short-lived query: few epochs, so dissemination is not amortized
+	// away and the trade-off is visible.
+	horizon := motes * 40
+	world := w.test.Slice(0, minInt(horizon, w.test.NumRows()))
+
+	res := SensorResult{Motes: motes, Tuples: world.NumRows()}
+	// An expensive radio (relative to the short query lifetime) makes the
+	// paper's alpha = bytes-cost / tuples-processed term significant.
+	radio := sensornet.RadioModel{CostPerByte: 4, ResultBytes: 16}
+	for _, k := range []int{0, 1, 2, 5, 10, 20} {
+		g := opt.Greedy{SPSF: opt.UniformSPSFSame(s, heuristicSPSF), MaxSplits: k, Base: opt.SeqOpt}
+		node, _ := g.Plan(w.dist, q)
+		net, err := sensornet.New(s, q, radio, sensornet.LineTopology(motes))
+		if err != nil {
+			return res, err
+		}
+		st, err := net.Deploy(node, world)
+		if err != nil {
+			return res, err
+		}
+		if st.Mismatches != 0 {
+			return res, fmt.Errorf("experiments: sensor: %d mismatches", st.Mismatches)
+		}
+		res.Points = append(res.Points, SensorPoint{
+			MaxSplits:   k,
+			PlanBytes:   st.PlanBytes,
+			Splits:      node.NumSplits(),
+			Acquisition: st.AcquisitionEnergy,
+			DissemRatio: st.DisseminationEnergy / st.TotalEnergy(),
+			Total:       st.TotalEnergy(),
+			PerTuple:    st.EnergyPerTuple(),
+		})
+	}
+	return res, nil
+}
+
+// Best returns the MaxSplits value with the minimum total energy.
+func (r SensorResult) Best() SensorPoint {
+	best := r.Points[0]
+	for _, p := range r.Points[1:] {
+		if p.Total < best.Total {
+			best = p
+		}
+	}
+	return best
+}
+
+// WriteTable renders the study.
+func (r SensorResult) WriteTable(w io.Writer) error {
+	rows := make([][]string, len(r.Points))
+	for i, p := range r.Points {
+		rows[i] = []string{
+			fmt.Sprintf("%d", p.MaxSplits), fmt.Sprintf("%d", p.Splits),
+			fmt.Sprintf("%d", p.PlanBytes), f1(p.Acquisition),
+			fmt.Sprintf("%.0f%%", p.DissemRatio*100), f1(p.Total), f2(p.PerTuple),
+		}
+	}
+	return WriteTable(w,
+		fmt.Sprintf("Section 2.4: plan size vs total network energy (%d motes, %d tuples, line topology)", r.Motes, r.Tuples),
+		[]string{"max splits", "splits", "plan bytes", "acquisition", "dissem share", "total energy", "per tuple"},
+		rows)
+}
+
+func minInt(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,374 @@
+package model
+
+import (
+	"math"
+	"sort"
+
+	"acqp/internal/query"
+	"acqp/internal/schema"
+	"acqp/internal/stats"
+	"acqp/internal/table"
+)
+
+// ChowLiu is a tree-shaped Bayesian network over the schema's attributes:
+// the maximum-spanning-tree of pairwise mutual information, with
+// Laplace-smoothed CPTs. It answers the planners' conditional probability
+// queries by exact belief propagation over the tree in
+// O(n * K^2) per conditioning context — independent of the training set
+// size, and far more robust than raw counts once several conditioning
+// splits have shrunk the support (the two problems Section 7 calls out).
+type ChowLiu struct {
+	s      *schema.Schema
+	rows   float64
+	root   int
+	parent []int       // parent[v] = -1 for the root
+	order  []int       // topological order (parents before children)
+	prior  []float64   // P(X_root = v)
+	cpt    [][]float64 // cpt[v][pv*K_v + cv] = P(X_v = cv | X_parent = pv); nil for root
+}
+
+// FitChowLiu learns the tree and its CPTs from the table with additive
+// smoothing alpha. The table must have at least one row.
+func FitChowLiu(tbl *table.Table, alpha float64) *ChowLiu {
+	s := tbl.Schema()
+	n := s.NumAttrs()
+	if tbl.NumRows() == 0 {
+		panic("model: cannot fit Chow-Liu tree on empty table")
+	}
+	m := &ChowLiu{s: s, rows: float64(tbl.NumRows())}
+
+	// Pairwise mutual information from smoothed joint histograms.
+	type edge struct {
+		a, b int
+		mi   float64
+	}
+	edges := make([]edge, 0, n*(n-1)/2)
+	for a := 0; a < n; a++ {
+		for b := a + 1; b < n; b++ {
+			edges = append(edges, edge{a, b, mutualInformation(tbl, a, b, alpha)})
+		}
+	}
+	sort.Slice(edges, func(i, j int) bool {
+		if edges[i].mi != edges[j].mi {
+			return edges[i].mi > edges[j].mi
+		}
+		if edges[i].a != edges[j].a {
+			return edges[i].a < edges[j].a
+		}
+		return edges[i].b < edges[j].b
+	})
+
+	// Kruskal maximum spanning tree.
+	uf := newUnionFind(n)
+	adj := make([][]int, n)
+	for _, e := range edges {
+		if uf.union(e.a, e.b) {
+			adj[e.a] = append(adj[e.a], e.b)
+			adj[e.b] = append(adj[e.b], e.a)
+		}
+	}
+
+	// Root at attribute 0; BFS for parents and topological order.
+	m.root = 0
+	m.parent = make([]int, n)
+	for i := range m.parent {
+		m.parent[i] = -2 // unvisited
+	}
+	m.parent[m.root] = -1
+	queue := []int{m.root}
+	for len(queue) > 0 {
+		v := queue[0]
+		queue = queue[1:]
+		m.order = append(m.order, v)
+		for _, w := range adj[v] {
+			if m.parent[w] == -2 {
+				m.parent[w] = v
+				queue = append(queue, w)
+			}
+		}
+	}
+
+	// Root prior.
+	kr := s.K(m.root)
+	m.prior = make([]float64, kr)
+	for _, v := range tbl.Col(m.root) {
+		m.prior[v]++
+	}
+	z := m.rows + alpha*float64(kr)
+	for i := range m.prior {
+		m.prior[i] = (m.prior[i] + alpha) / z
+	}
+
+	// CPTs for non-roots.
+	m.cpt = make([][]float64, n)
+	for _, v := range m.order[1:] {
+		p := m.parent[v]
+		kv, kp := s.K(v), s.K(p)
+		counts := make([]float64, kp*kv)
+		colV, colP := tbl.Col(v), tbl.Col(p)
+		for r := range colV {
+			counts[int(colP[r])*kv+int(colV[r])]++
+		}
+		for pv := 0; pv < kp; pv++ {
+			var tot float64
+			for cv := 0; cv < kv; cv++ {
+				tot += counts[pv*kv+cv]
+			}
+			z := tot + alpha*float64(kv)
+			for cv := 0; cv < kv; cv++ {
+				counts[pv*kv+cv] = (counts[pv*kv+cv] + alpha) / z
+			}
+		}
+		m.cpt[v] = counts
+	}
+	return m
+}
+
+// mutualInformation estimates I(X_a; X_b) from a smoothed joint histogram.
+func mutualInformation(tbl *table.Table, a, b int, alpha float64) float64 {
+	s := tbl.Schema()
+	ka, kb := s.K(a), s.K(b)
+	joint := make([]float64, ka*kb)
+	colA, colB := tbl.Col(a), tbl.Col(b)
+	for r := range colA {
+		joint[int(colA[r])*kb+int(colB[r])]++
+	}
+	z := float64(len(colA)) + alpha*float64(ka*kb)
+	pa := make([]float64, ka)
+	pb := make([]float64, kb)
+	for i := 0; i < ka; i++ {
+		for j := 0; j < kb; j++ {
+			p := (joint[i*kb+j] + alpha) / z
+			joint[i*kb+j] = p
+			pa[i] += p
+			pb[j] += p
+		}
+	}
+	var mi float64
+	for i := 0; i < ka; i++ {
+		for j := 0; j < kb; j++ {
+			p := joint[i*kb+j]
+			if p > 0 {
+				mi += p * math.Log(p/(pa[i]*pb[j]))
+			}
+		}
+	}
+	if mi < 0 {
+		mi = 0
+	}
+	return mi
+}
+
+// Parent returns the tree parent of attribute v (-1 for the root); useful
+// for inspecting the learned structure.
+func (m *ChowLiu) Parent(v int) int { return m.parent[v] }
+
+// Schema implements stats.Dist.
+func (m *ChowLiu) Schema() *schema.Schema { return m.s }
+
+// Root implements stats.Dist.
+func (m *ChowLiu) Root() stats.Cond {
+	masks := make([][]float64, m.s.NumAttrs())
+	for a := range masks {
+		mask := make([]float64, m.s.K(a))
+		for v := range mask {
+			mask[v] = 1
+		}
+		masks[a] = mask
+	}
+	c := &clCond{m: m, masks: masks}
+	c.run()
+	return c
+}
+
+// clCond is a conditioning context over the tree: per-attribute evidence
+// masks plus the belief-propagation results computed for them.
+type clCond struct {
+	m        *ChowLiu
+	masks    [][]float64
+	beliefs  [][]float64 // normalized posterior marginals
+	evidence float64     // P(evidence)
+}
+
+// run performs sum-product belief propagation with the current masks:
+// one upward (leaves-to-root) pass collecting messages, then a downward
+// pass distributing them, yielding every node's posterior marginal and
+// the total evidence probability.
+func (c *clCond) run() {
+	m := c.m
+	n := m.s.NumAttrs()
+	// up[v][x_v]: product of v's mask and messages from v's children, as
+	// a function of v's own value.
+	up := make([][]float64, n)
+	for i := len(m.order) - 1; i >= 0; i-- {
+		v := m.order[i]
+		kv := m.s.K(v)
+		uv := make([]float64, kv)
+		copy(uv, c.masks[v])
+		up[v] = uv
+	}
+	// Children messages: iterate in reverse topological order, pushing
+	// each node's message into its parent.
+	msgToParent := make([][]float64, n)
+	for i := len(m.order) - 1; i >= 1; i-- {
+		v := m.order[i]
+		p := m.parent[v]
+		kv, kp := m.s.K(v), m.s.K(p)
+		msg := make([]float64, kp)
+		cpt := m.cpt[v]
+		for pv := 0; pv < kp; pv++ {
+			var sum float64
+			row := cpt[pv*kv : (pv+1)*kv]
+			for cv := 0; cv < kv; cv++ {
+				sum += row[cv] * up[v][cv]
+			}
+			msg[pv] = sum
+		}
+		msgToParent[v] = msg
+		for pv := 0; pv < kp; pv++ {
+			up[p][pv] *= msg[pv]
+		}
+	}
+	// Root belief and evidence.
+	c.beliefs = make([][]float64, n)
+	kr := m.s.K(m.root)
+	rootBelief := make([]float64, kr)
+	var z float64
+	for x := 0; x < kr; x++ {
+		rootBelief[x] = m.prior[x] * up[m.root][x]
+		z += rootBelief[x]
+	}
+	c.evidence = z
+	c.beliefs[m.root] = normalizeOrUniform(rootBelief, z)
+	// Downward pass: pi[v][x_v] = P(x_v, evidence outside v's subtree).
+	pi := make([][]float64, n)
+	pi[m.root] = make([]float64, kr)
+	for x := 0; x < kr; x++ {
+		pi[m.root][x] = m.prior[x]
+	}
+	for _, v := range m.order[1:] {
+		p := m.parent[v]
+		kv, kp := m.s.K(v), m.s.K(p)
+		cpt := m.cpt[v]
+		// Parent's distribution excluding v's own upward message.
+		parentExcl := make([]float64, kp)
+		for pv := 0; pv < kp; pv++ {
+			val := pi[p][pv] * up[p][pv]
+			if mv := msgToParent[v][pv]; mv > 0 {
+				val /= mv
+			} else {
+				val = 0
+			}
+			parentExcl[pv] = val
+		}
+		piV := make([]float64, kv)
+		for pv := 0; pv < kp; pv++ {
+			if parentExcl[pv] == 0 {
+				continue
+			}
+			row := cpt[pv*kv : (pv+1)*kv]
+			for cv := 0; cv < kv; cv++ {
+				piV[cv] += parentExcl[pv] * row[cv]
+			}
+		}
+		pi[v] = piV
+		belief := make([]float64, kv)
+		var bz float64
+		for cv := 0; cv < kv; cv++ {
+			belief[cv] = piV[cv] * up[v][cv]
+			bz += belief[cv]
+		}
+		c.beliefs[v] = normalizeOrUniform(belief, bz)
+	}
+}
+
+func normalizeOrUniform(h []float64, z float64) []float64 {
+	if z <= 0 {
+		for i := range h {
+			h[i] = 1 / float64(len(h))
+		}
+		return h
+	}
+	for i := range h {
+		h[i] /= z
+	}
+	return h
+}
+
+func (c *clCond) Weight() float64 { return c.m.rows * c.evidence }
+
+func (c *clCond) Hist(attr int) []float64 { return c.beliefs[attr] }
+
+func (c *clCond) ProbRange(attr int, r query.Range) float64 {
+	h := c.Hist(attr)
+	var p float64
+	for v := int(r.Lo); v <= int(r.Hi) && v < len(h); v++ {
+		p += h[v]
+	}
+	return clampProb(p)
+}
+
+func (c *clCond) ProbPred(p query.Pred) float64 {
+	in := c.ProbRange(p.Attr, p.R)
+	if p.Negated {
+		return clampProb(1 - in)
+	}
+	return in
+}
+
+func (c *clCond) RestrictRange(attr int, r query.Range) stats.Cond {
+	return c.restrict(attr, func(v int) bool { return r.Contains(schema.Value(v)) })
+}
+
+func (c *clCond) RestrictPred(p query.Pred, val bool) stats.Cond {
+	return c.restrict(p.Attr, func(v int) bool { return p.Eval(schema.Value(v)) == val })
+}
+
+func (c *clCond) restrict(attr int, keep func(v int) bool) stats.Cond {
+	masks := make([][]float64, len(c.masks))
+	copy(masks, c.masks)
+	newMask := make([]float64, len(c.masks[attr]))
+	for v := range newMask {
+		if keep(v) {
+			newMask[v] = c.masks[attr][v]
+		}
+	}
+	masks[attr] = newMask
+	nc := &clCond{m: c.m, masks: masks}
+	nc.run()
+	return nc
+}
+
+// unionFind is a minimal disjoint-set structure for Kruskal's algorithm.
+type unionFind struct{ parent, rank []int }
+
+func newUnionFind(n int) *unionFind {
+	uf := &unionFind{parent: make([]int, n), rank: make([]int, n)}
+	for i := range uf.parent {
+		uf.parent[i] = i
+	}
+	return uf
+}
+
+func (uf *unionFind) find(x int) int {
+	for uf.parent[x] != x {
+		uf.parent[x] = uf.parent[uf.parent[x]]
+		x = uf.parent[x]
+	}
+	return x
+}
+
+func (uf *unionFind) union(a, b int) bool {
+	ra, rb := uf.find(a), uf.find(b)
+	if ra == rb {
+		return false
+	}
+	if uf.rank[ra] < uf.rank[rb] {
+		ra, rb = rb, ra
+	}
+	uf.parent[rb] = ra
+	if uf.rank[ra] == uf.rank[rb] {
+		uf.rank[ra]++
+	}
+	return true
+}

@@ -1,0 +1,158 @@
+// Package model provides compact probability models that can stand in for
+// the raw historical dataset when computing the conditional probabilities
+// the planners need — the "Graphical Models" extension of Section 7 of
+// the paper. Estimating probabilities directly from data is linear in the
+// dataset size and suffers exponentially-shrinking support after each
+// conditioning split; a fitted model answers the same queries in time
+// independent of the dataset and smooths away the high-variance estimates.
+//
+// Two models are provided: Independent (attributes fully independent,
+// useful as a baseline and for sanity checks) and ChowLiu (a tree-shaped
+// Bayesian network maximizing pairwise mutual information, the classic
+// compromise between expressiveness and tractability). Both implement
+// stats.Dist, so every planner runs unchanged on top of them.
+package model
+
+import (
+	"acqp/internal/query"
+	"acqp/internal/schema"
+	"acqp/internal/stats"
+	"acqp/internal/table"
+)
+
+// Independent models every attribute as independent with its empirical
+// marginal (Laplace-smoothed). It deliberately cannot represent the
+// correlations conditional plans exploit; planners running on it collapse
+// to Naive-like behaviour, which makes it a useful ablation baseline.
+type Independent struct {
+	s     *schema.Schema
+	marg  [][]float64
+	rows  float64
+	alpha float64
+}
+
+// FitIndependent learns marginals from the table with additive smoothing
+// alpha (counts per cell).
+func FitIndependent(tbl *table.Table, alpha float64) *Independent {
+	s := tbl.Schema()
+	m := &Independent{s: s, rows: float64(tbl.NumRows()), alpha: alpha}
+	m.marg = make([][]float64, s.NumAttrs())
+	for a := 0; a < s.NumAttrs(); a++ {
+		k := s.K(a)
+		h := make([]float64, k)
+		for _, v := range tbl.Col(a) {
+			h[v]++
+		}
+		total := float64(tbl.NumRows()) + alpha*float64(k)
+		for v := range h {
+			h[v] = (h[v] + alpha) / total
+		}
+		m.marg[a] = h
+	}
+	return m
+}
+
+// Schema implements stats.Dist.
+func (m *Independent) Schema() *schema.Schema { return m.s }
+
+// Root implements stats.Dist.
+func (m *Independent) Root() stats.Cond {
+	masks := make([][]float64, m.s.NumAttrs())
+	for a := range masks {
+		mask := make([]float64, m.s.K(a))
+		for v := range mask {
+			mask[v] = 1
+		}
+		masks[a] = mask
+	}
+	return &indCond{m: m, masks: masks, weight: m.rows}
+}
+
+// indCond conditions the independence model: evidence is a per-attribute
+// 0/1 mask; marginals renormalize within the mask.
+type indCond struct {
+	m      *Independent
+	masks  [][]float64
+	weight float64
+	hists  []([]float64)
+}
+
+func (c *indCond) Weight() float64 { return c.weight }
+
+func (c *indCond) Hist(attr int) []float64 {
+	if c.hists == nil {
+		c.hists = make([][]float64, c.m.s.NumAttrs())
+	}
+	if h := c.hists[attr]; h != nil {
+		return h
+	}
+	k := c.m.s.K(attr)
+	h := make([]float64, k)
+	var z float64
+	for v := 0; v < k; v++ {
+		h[v] = c.m.marg[attr][v] * c.masks[attr][v]
+		z += h[v]
+	}
+	if z <= 0 {
+		for v := range h {
+			h[v] = 1 / float64(k)
+		}
+	} else {
+		for v := range h {
+			h[v] /= z
+		}
+	}
+	c.hists[attr] = h
+	return h
+}
+
+func (c *indCond) ProbRange(attr int, r query.Range) float64 {
+	h := c.Hist(attr)
+	var p float64
+	for v := int(r.Lo); v <= int(r.Hi) && v < len(h); v++ {
+		p += h[v]
+	}
+	return clampProb(p)
+}
+
+func (c *indCond) ProbPred(p query.Pred) float64 {
+	in := c.ProbRange(p.Attr, p.R)
+	if p.Negated {
+		return clampProb(1 - in)
+	}
+	return in
+}
+
+func (c *indCond) RestrictRange(attr int, r query.Range) stats.Cond {
+	return c.restrict(attr, func(v int) bool { return r.Contains(schema.Value(v)) })
+}
+
+func (c *indCond) RestrictPred(p query.Pred, val bool) stats.Cond {
+	return c.restrict(p.Attr, func(v int) bool { return p.Eval(schema.Value(v)) == val })
+}
+
+func (c *indCond) restrict(attr int, keep func(v int) bool) stats.Cond {
+	pKeep := 0.0
+	h := c.Hist(attr)
+	newMask := make([]float64, len(c.masks[attr]))
+	for v := range newMask {
+		if keep(v) && c.masks[attr][v] > 0 {
+			newMask[v] = c.masks[attr][v]
+			pKeep += h[v]
+		}
+	}
+	masks := make([][]float64, len(c.masks))
+	copy(masks, c.masks)
+	masks[attr] = newMask
+	return &indCond{m: c.m, masks: masks, weight: c.weight * pKeep}
+}
+
+func clampProb(p float64) float64 {
+	if p < 0 {
+		return 0
+	}
+	if p > 1 {
+		return 1
+	}
+	return p
+}

@@ -1,0 +1,247 @@
+package model
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"acqp/internal/opt"
+	"acqp/internal/query"
+	"acqp/internal/schema"
+	"acqp/internal/stats"
+	"acqp/internal/table"
+)
+
+func chainSchema() *schema.Schema {
+	return schema.New(
+		schema.Attribute{Name: "x0", K: 4, Cost: 1},
+		schema.Attribute{Name: "x1", K: 4, Cost: 100},
+		schema.Attribute{Name: "x2", K: 4, Cost: 100},
+	)
+}
+
+// chainTable samples a Markov chain x0 -> x1 -> x2 where each attribute
+// copies its predecessor with probability 0.8 and is uniform otherwise —
+// a distribution whose true structure is exactly a Chow-Liu tree.
+func chainTable(rows int, seed int64) *table.Table {
+	s := chainSchema()
+	rng := rand.New(rand.NewSource(seed))
+	tbl := table.New(s, rows)
+	step := func(prev schema.Value) schema.Value {
+		if rng.Float64() < 0.8 {
+			return prev
+		}
+		return schema.Value(rng.Intn(4))
+	}
+	for i := 0; i < rows; i++ {
+		x0 := schema.Value(rng.Intn(4))
+		x1 := step(x0)
+		x2 := step(x1)
+		tbl.MustAppendRow([]schema.Value{x0, x1, x2})
+	}
+	return tbl
+}
+
+func TestIndependentMarginals(t *testing.T) {
+	tbl := chainTable(5000, 1)
+	m := FitIndependent(tbl, 0)
+	emp := stats.NewEmpirical(tbl)
+	for a := 0; a < 3; a++ {
+		mh := m.Root().Hist(a)
+		eh := emp.Root().Hist(a)
+		for v := range mh {
+			if math.Abs(mh[v]-eh[v]) > 1e-9 {
+				t.Errorf("attr %d value %d: model %g empirical %g", a, v, mh[v], eh[v])
+			}
+		}
+	}
+}
+
+func TestIndependentIgnoresCorrelation(t *testing.T) {
+	tbl := chainTable(5000, 2)
+	m := FitIndependent(tbl, 0)
+	root := m.Root()
+	before := root.Hist(1)[0]
+	after := root.RestrictRange(0, query.Range{Lo: 0, Hi: 0}).Hist(1)[0]
+	if math.Abs(before-after) > 1e-12 {
+		t.Errorf("independence model changed P(x1) after conditioning on x0: %g -> %g", before, after)
+	}
+}
+
+func TestIndependentWeightMultiplies(t *testing.T) {
+	tbl := chainTable(1000, 3)
+	m := FitIndependent(tbl, 0)
+	root := m.Root()
+	p := root.ProbRange(0, query.Range{Lo: 0, Hi: 1})
+	c := root.RestrictRange(0, query.Range{Lo: 0, Hi: 1})
+	if math.Abs(c.Weight()-root.Weight()*p) > 1e-6 {
+		t.Errorf("weight %g != %g * %g", c.Weight(), root.Weight(), p)
+	}
+}
+
+func TestIndependentEmptyEvidenceUniform(t *testing.T) {
+	tbl := chainTable(100, 4)
+	m := FitIndependent(tbl, 0)
+	// Restrict x0 to a value, then restrict it again to a disjoint value:
+	// impossible evidence.
+	c := m.Root().
+		RestrictRange(0, query.Range{Lo: 0, Hi: 0}).
+		RestrictRange(0, query.Range{Lo: 3, Hi: 3})
+	if c.Weight() != 0 {
+		t.Fatalf("impossible evidence has weight %g", c.Weight())
+	}
+	h := c.Hist(0)
+	for _, v := range h {
+		if math.Abs(v-0.25) > 1e-12 {
+			t.Errorf("impossible-evidence hist not uniform: %v", h)
+		}
+	}
+}
+
+func TestChowLiuRecoversChainStructure(t *testing.T) {
+	tbl := chainTable(20000, 5)
+	m := FitChowLiu(tbl, 0.01)
+	// The MI of (0,1) and (1,2) exceeds (0,2); the tree must use the two
+	// chain edges: with root 0, parent(1) = 0 and parent(2) = 1.
+	if m.Parent(0) != -1 {
+		t.Errorf("root parent = %d", m.Parent(0))
+	}
+	if m.Parent(1) != 0 || m.Parent(2) != 1 {
+		t.Errorf("learned parents (%d, %d), want (0, 1)", m.Parent(1), m.Parent(2))
+	}
+}
+
+func TestChowLiuMatchesEmpiricalConditionals(t *testing.T) {
+	tbl := chainTable(50000, 6)
+	m := FitChowLiu(tbl, 0.01)
+	emp := stats.NewEmpirical(tbl)
+	// P(x2 in [0,1] | x0 = 0): the model must agree with counting within
+	// sampling tolerance.
+	r0 := query.Range{Lo: 0, Hi: 0}
+	target := query.Range{Lo: 0, Hi: 1}
+	got := m.Root().RestrictRange(0, r0).ProbRange(2, target)
+	want := emp.Root().RestrictRange(0, r0).ProbRange(2, target)
+	if math.Abs(got-want) > 0.02 {
+		t.Errorf("P(x2 in [0,1] | x0=0): model %g, empirical %g", got, want)
+	}
+	// And a two-step conditioning chain.
+	got = m.Root().RestrictRange(0, r0).RestrictRange(1, r0).ProbRange(2, target)
+	want = emp.Root().RestrictRange(0, r0).RestrictRange(1, r0).ProbRange(2, target)
+	if math.Abs(got-want) > 0.03 {
+		t.Errorf("P(x2 | x0=0, x1=0): model %g, empirical %g", got, want)
+	}
+}
+
+func TestChowLiuHistNormalized(t *testing.T) {
+	tbl := chainTable(2000, 7)
+	m := FitChowLiu(tbl, 0.1)
+	c := m.Root().
+		RestrictPred(query.Pred{Attr: 1, R: query.Range{Lo: 1, Hi: 2}, Negated: true}, true).
+		RestrictRange(2, query.Range{Lo: 0, Hi: 2})
+	for a := 0; a < 3; a++ {
+		var sum float64
+		for _, v := range c.Hist(a) {
+			sum += v
+		}
+		if math.Abs(sum-1) > 1e-9 {
+			t.Errorf("attr %d hist sums to %g", a, sum)
+		}
+	}
+}
+
+func TestChowLiuEvidenceRespectsMasks(t *testing.T) {
+	tbl := chainTable(2000, 8)
+	m := FitChowLiu(tbl, 0.1)
+	c := m.Root().RestrictRange(1, query.Range{Lo: 2, Hi: 3})
+	h := c.Hist(1)
+	if h[0] != 0 || h[1] != 0 {
+		t.Errorf("masked values have probability: %v", h)
+	}
+	if p := c.ProbRange(1, query.Range{Lo: 2, Hi: 3}); math.Abs(p-1) > 1e-9 {
+		t.Errorf("evidence range probability %g, want 1", p)
+	}
+}
+
+func TestChowLiuWeightDecreases(t *testing.T) {
+	tbl := chainTable(2000, 9)
+	m := FitChowLiu(tbl, 0.1)
+	c0 := m.Root()
+	c1 := c0.RestrictRange(0, query.Range{Lo: 0, Hi: 1})
+	c2 := c1.RestrictRange(2, query.Range{Lo: 0, Hi: 0})
+	if !(c0.Weight() >= c1.Weight() && c1.Weight() >= c2.Weight()) {
+		t.Errorf("weights not monotone: %g, %g, %g", c0.Weight(), c1.Weight(), c2.Weight())
+	}
+	if c2.Weight() <= 0 {
+		t.Errorf("plausible evidence has zero weight")
+	}
+}
+
+func TestChowLiuImpossibleEvidenceUniform(t *testing.T) {
+	tbl := chainTable(500, 10)
+	m := FitChowLiu(tbl, 0.1)
+	c := m.Root().
+		RestrictRange(1, query.Range{Lo: 0, Hi: 0}).
+		RestrictRange(1, query.Range{Lo: 3, Hi: 3})
+	if c.Weight() != 0 {
+		t.Fatalf("impossible evidence weight = %g", c.Weight())
+	}
+	h := c.Hist(2)
+	for _, v := range h {
+		if math.Abs(v-0.25) > 1e-12 {
+			t.Errorf("impossible-evidence hist not uniform: %v", h)
+		}
+	}
+}
+
+// Planners must run unchanged on a model-backed distribution and produce
+// correct plans (the Section 7 drop-in property).
+func TestPlannersRunOnModels(t *testing.T) {
+	tbl := chainTable(5000, 11)
+	s := chainSchema()
+	q := query.MustNewQuery(s,
+		query.Pred{Attr: 1, R: query.Range{Lo: 0, Hi: 1}},
+		query.Pred{Attr: 2, R: query.Range{Lo: 0, Hi: 1}},
+	)
+	all := table.New(s, 64)
+	for a := 0; a < 4; a++ {
+		for b := 0; b < 4; b++ {
+			for c := 0; c < 4; c++ {
+				all.MustAppendRow([]schema.Value{schema.Value(a), schema.Value(b), schema.Value(c)})
+			}
+		}
+	}
+	for _, d := range []stats.Dist{FitChowLiu(tbl, 0.1), FitIndependent(tbl, 0.1)} {
+		g := opt.Greedy{SPSF: opt.FullSPSF(s), MaxSplits: 3, Base: opt.SeqOpt}
+		node, cost := g.Plan(d, q)
+		if r := node.Equivalent(s, q, all); r != -1 {
+			t.Errorf("model-backed plan wrong on tuple %d", r)
+		}
+		if cost <= 0 || math.IsInf(cost, 0) || math.IsNaN(cost) {
+			t.Errorf("model-backed plan cost = %g", cost)
+		}
+	}
+}
+
+// The model should give a smoother (lower-variance) estimate than raw
+// counting in a shrunken context: after conditioning, empirical contexts
+// built from few rows swing wildly, the model does not. We check the
+// model's deep-conditioning estimate stays close to the large-sample
+// truth while using only a small training set.
+func TestChowLiuSmoothsSmallSupport(t *testing.T) {
+	truthTbl := chainTable(100000, 12)
+	empTruth := stats.NewEmpirical(truthTbl).
+		Root().
+		RestrictRange(0, query.Range{Lo: 0, Hi: 0}).
+		RestrictRange(1, query.Range{Lo: 0, Hi: 0}).
+		ProbRange(2, query.Range{Lo: 0, Hi: 0})
+
+	small := chainTable(300, 13)
+	mod := FitChowLiu(small, 0.5).
+		Root().
+		RestrictRange(0, query.Range{Lo: 0, Hi: 0}).
+		RestrictRange(1, query.Range{Lo: 0, Hi: 0}).
+		ProbRange(2, query.Range{Lo: 0, Hi: 0})
+	if math.Abs(mod-empTruth) > 0.12 {
+		t.Errorf("model deep conditional %g too far from truth %g", mod, empTruth)
+	}
+}

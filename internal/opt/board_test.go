@@ -1,0 +1,96 @@
+package opt
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"acqp/internal/plan"
+	"acqp/internal/query"
+	"acqp/internal/schema"
+	"acqp/internal/stats"
+	"acqp/internal/table"
+)
+
+// boardWorld: two sensors share an expensive board, a third sensor sits
+// alone; all predicates ~50% selective and independent.
+func boardWorld(t *testing.T) (*schema.Schema, *table.Table, query.Query) {
+	t.Helper()
+	s := schema.New(
+		schema.Attribute{Name: "s1", K: 4, Cost: 2, Board: 1},
+		schema.Attribute{Name: "s2", K: 4, Cost: 2, Board: 1},
+		schema.Attribute{Name: "lone", K: 4, Cost: 10},
+	)
+	if err := s.SetBoardCost(1, 60); err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(41))
+	tbl := table.New(s, 600)
+	for i := 0; i < 600; i++ {
+		tbl.MustAppendRow([]schema.Value{
+			schema.Value(rng.Intn(4)), schema.Value(rng.Intn(4)), schema.Value(rng.Intn(4)),
+		})
+	}
+	q := query.MustNewQuery(s,
+		query.Pred{Attr: 0, R: query.Range{Lo: 0, Hi: 1}},
+		query.Pred{Attr: 1, R: query.Range{Lo: 0, Hi: 1}},
+		query.Pred{Attr: 2, R: query.Range{Lo: 0, Hi: 1}},
+	)
+	return s, tbl, q
+}
+
+// Board-aware ordering: once the board is powered for s1, evaluating s2
+// costs 2 instead of 62, so the optimal order runs the two board sensors
+// back to back; a board-blind rank would interleave the cheaper "lone"
+// sensor between them.
+func TestOptSeqClustersBoardSensors(t *testing.T) {
+	s, tbl, q := boardWorld(t)
+	d := stats.NewEmpirical(tbl)
+	node, cost := SequentialPlan(SeqOpt, s, d.Root(), query.FullBox(s), q)
+	if node.Kind != plan.Seq {
+		t.Fatalf("node kind %v", node.Kind)
+	}
+	// Find positions of the two board attrs in the order.
+	pos := map[int]int{}
+	for i, p := range node.Preds {
+		pos[p.Attr] = i
+	}
+	if d := pos[0] - pos[1]; d != 1 && d != -1 {
+		t.Errorf("board sensors not adjacent in optimal order: %v", node.Preds)
+	}
+	// The DP's cost must equal the analytic cost of the produced order.
+	if got := plan.ExpectedCost(node, s, d.Root(), query.FullBox(s)); math.Abs(got-cost) > 1e-9 {
+		t.Errorf("reported %g != analytic %g", cost, got)
+	}
+	// And it must beat the board-blind interleaved order s1, lone, s2.
+	interleaved := plan.NewSeq([]query.Pred{q.Preds[0], q.Preds[2], q.Preds[1]})
+	if inter := plan.ExpectedCost(interleaved, s, d.Root(), query.FullBox(s)); cost > inter+1e-9 {
+		t.Errorf("optimal order (%g) worse than interleaved (%g)", cost, inter)
+	}
+}
+
+func TestGreedySeqBoardAware(t *testing.T) {
+	s, tbl, q := boardWorld(t)
+	d := stats.NewEmpirical(tbl)
+	node, _ := SequentialPlan(SeqGreedy, s, d.Root(), query.FullBox(s), q)
+	pos := map[int]int{}
+	for i, p := range node.Preds {
+		pos[p.Attr] = i
+	}
+	if d := pos[0] - pos[1]; d != 1 && d != -1 {
+		t.Errorf("greedy did not cluster board sensors: %v", node.Preds)
+	}
+}
+
+func TestGreedyPlanWithBoardsCorrect(t *testing.T) {
+	s, tbl, q := boardWorld(t)
+	d := stats.NewEmpirical(tbl)
+	g := Greedy{SPSF: FullSPSF(s), MaxSplits: 4, Base: SeqOpt}
+	node, cost := g.Plan(d, q)
+	if r := node.Equivalent(s, q, allTuples(s)); r != -1 {
+		t.Errorf("plan wrong on domain tuple %d", r)
+	}
+	if got := plan.ExpectedCostRoot(node, d); math.Abs(got-cost) > 1e-9 {
+		t.Errorf("reported cost %g != analytic %g", cost, got)
+	}
+}

@@ -1,0 +1,130 @@
+package opt
+
+import (
+	"fmt"
+
+	"acqp/internal/plan"
+	"acqp/internal/query"
+	"acqp/internal/schema"
+	"acqp/internal/table"
+)
+
+// Coarsening rediscretizes a schema onto an SPSF grid: each attribute's
+// domain collapses to its SPSF segments (plus the query's predicate
+// endpoints, so the query remains exactly expressible). This is how the
+// evaluation "trains the Exhaustive algorithm at a given SPSF"
+// (Section 6.1, Figure 8(b)): the planner runs over the small coarse
+// domain, and the resulting plan is expanded back to original-domain
+// thresholds for execution.
+type Coarsening struct {
+	orig       *schema.Schema
+	coarse     *schema.Schema
+	boundaries [][]schema.Value // per attr: segment i covers [b[i], b[i+1])
+}
+
+// NewCoarsening builds the rediscretization induced by the SPSF and query.
+func NewCoarsening(s *schema.Schema, spsf SPSF, q query.Query) (*Coarsening, error) {
+	aug := spsf.WithQueryEndpoints(s, q)
+	co := &Coarsening{orig: s, coarse: schema.New()}
+	co.boundaries = make([][]schema.Value, s.NumAttrs())
+	for a := 0; a < s.NumAttrs(); a++ {
+		b := []schema.Value{0}
+		b = append(b, aug.Candidates(a, query.FullRange(s.K(a)))...)
+		b = append(b, schema.Value(s.K(a))) // one-past-the-end sentinel
+		co.boundaries[a] = b
+		k := len(b) - 1 // number of segments
+		if k < 2 {
+			// A domain collapsed to one segment cannot be conditioned on
+			// at all; keep it 2-valued by splitting in the middle so the
+			// coarse schema stays valid.
+			mid := schema.Value(s.K(a) / 2)
+			co.boundaries[a] = []schema.Value{0, mid, schema.Value(s.K(a))}
+			k = 2
+		}
+		if err := co.coarse.Add(schema.Attribute{Name: s.Name(a), K: k, Cost: s.Cost(a)}); err != nil {
+			return nil, fmt.Errorf("opt: coarsen: %w", err)
+		}
+	}
+	return co, nil
+}
+
+// CoarseSchema returns the rediscretized schema.
+func (co *Coarsening) CoarseSchema() *schema.Schema { return co.coarse }
+
+// CoarsenValue maps an original value of attr to its segment index.
+func (co *Coarsening) CoarsenValue(attr int, v schema.Value) schema.Value {
+	b := co.boundaries[attr]
+	// Linear scan: boundary lists are tiny (SPSF-bounded).
+	for i := 1; i < len(b); i++ {
+		if v < b[i] {
+			return schema.Value(i - 1)
+		}
+	}
+	return schema.Value(len(b) - 2)
+}
+
+// CoarsenTable maps a table onto the coarse schema.
+func (co *Coarsening) CoarsenTable(tbl *table.Table) *table.Table {
+	out := table.New(co.coarse, tbl.NumRows())
+	n := co.orig.NumAttrs()
+	row := make([]schema.Value, n)
+	var orig []schema.Value
+	for r := 0; r < tbl.NumRows(); r++ {
+		orig = tbl.Row(r, orig)
+		for a := 0; a < n; a++ {
+			row[a] = co.CoarsenValue(a, orig[a])
+		}
+		out.MustAppendRow(row)
+	}
+	return out
+}
+
+// CoarsenQuery rewrites the query onto the coarse schema. Because the
+// coarsening grid contains every predicate endpoint, the rewrite is exact:
+// a tuple satisfies the coarse query iff its original satisfies the
+// original query.
+func (co *Coarsening) CoarsenQuery(q query.Query) (query.Query, error) {
+	preds := make([]query.Pred, len(q.Preds))
+	for i, p := range q.Preds {
+		lo := co.CoarsenValue(p.Attr, p.R.Lo)
+		hi := co.CoarsenValue(p.Attr, p.R.Hi)
+		// Exactness check: the predicate range must align with segment
+		// boundaries.
+		b := co.boundaries[p.Attr]
+		if b[lo] != p.R.Lo || int(b[hi+1]) != int(p.R.Hi)+1 {
+			return query.Query{}, fmt.Errorf(
+				"opt: coarsen: predicate on %s (%v) does not align with the grid", co.orig.Name(p.Attr), p.R)
+		}
+		preds[i] = query.Pred{Attr: p.Attr, R: query.Range{Lo: lo, Hi: hi}, Negated: p.Negated}
+	}
+	return query.NewQuery(co.coarse, preds...)
+}
+
+// ExpandPlan maps a plan built over the coarse schema back to the
+// original domain: split thresholds and sequential-predicate ranges are
+// replaced by their original boundary values, so the expanded plan
+// executes directly on original-domain tuples.
+func (co *Coarsening) ExpandPlan(n *plan.Node) *plan.Node {
+	switch n.Kind {
+	case plan.Leaf:
+		return plan.NewLeaf(n.Result)
+	case plan.Split:
+		// Coarse split "X >= x" means "X in segments x.." which starts at
+		// boundary[x] in the original domain.
+		return plan.NewSplit(n.Attr, co.boundaries[n.Attr][n.X],
+			co.ExpandPlan(n.Left), co.ExpandPlan(n.Right))
+	case plan.Seq:
+		preds := make([]query.Pred, len(n.Preds))
+		for i, p := range n.Preds {
+			b := co.boundaries[p.Attr]
+			preds[i] = query.Pred{
+				Attr:    p.Attr,
+				R:       query.Range{Lo: b[p.R.Lo], Hi: b[int(p.R.Hi)+1] - 1},
+				Negated: p.Negated,
+			}
+		}
+		return plan.NewSeq(preds)
+	default:
+		panic("opt: coarsen: invalid node kind")
+	}
+}

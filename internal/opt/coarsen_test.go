@@ -1,0 +1,173 @@
+package opt
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"acqp/internal/exec"
+	"acqp/internal/query"
+	"acqp/internal/schema"
+	"acqp/internal/stats"
+	"acqp/internal/table"
+)
+
+func coarsenSchema() *schema.Schema {
+	return schema.New(
+		schema.Attribute{Name: "h", K: 24, Cost: 1},
+		schema.Attribute{Name: "x", K: 32, Cost: 100},
+	)
+}
+
+func coarsenQuery(s *schema.Schema) query.Query {
+	return query.MustNewQuery(s,
+		query.Pred{Attr: 1, R: query.Range{Lo: 5, Hi: 20}},
+	)
+}
+
+func TestCoarseningSchema(t *testing.T) {
+	s := coarsenSchema()
+	q := coarsenQuery(s)
+	co, err := NewCoarsening(s, UniformSPSFSame(s, 3), q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cs := co.CoarseSchema()
+	if cs.NumAttrs() != 2 {
+		t.Fatalf("coarse attrs = %d", cs.NumAttrs())
+	}
+	// h: 3 split points -> 4 segments. x: 3 split points (8,16,24) plus
+	// query endpoints 5 and 21 -> 6 segments.
+	if cs.K(0) != 4 {
+		t.Errorf("coarse K(h) = %d, want 4", cs.K(0))
+	}
+	if cs.K(1) != 6 {
+		t.Errorf("coarse K(x) = %d, want 6", cs.K(1))
+	}
+	if cs.Cost(0) != 1 || cs.Cost(1) != 100 {
+		t.Error("coarse costs not preserved")
+	}
+}
+
+func TestCoarsenValueMapping(t *testing.T) {
+	s := coarsenSchema()
+	q := coarsenQuery(s)
+	co, err := NewCoarsening(s, UniformSPSFSame(s, 0), q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// x boundaries: 0, 5, 21, 32 -> segments [0,5), [5,21), [21,32).
+	cases := []struct {
+		v    schema.Value
+		want schema.Value
+	}{
+		{0, 0}, {4, 0}, {5, 1}, {20, 1}, {21, 2}, {31, 2},
+	}
+	for _, tc := range cases {
+		if got := co.CoarsenValue(1, tc.v); got != tc.want {
+			t.Errorf("CoarsenValue(x, %d) = %d, want %d", tc.v, got, tc.want)
+		}
+	}
+}
+
+func TestCoarsenQueryExact(t *testing.T) {
+	s := coarsenSchema()
+	q := coarsenQuery(s)
+	co, err := NewCoarsening(s, UniformSPSFSame(s, 0), q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cq, err := co.CoarsenQuery(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Coarse predicate: segment 1 only.
+	if cq.Preds[0].R != (query.Range{Lo: 1, Hi: 1}) {
+		t.Errorf("coarse predicate = %v", cq.Preds[0].R)
+	}
+	// Semantics preserved for every original value.
+	for v := 0; v < 32; v++ {
+		orig := q.Preds[0].Eval(schema.Value(v))
+		coarse := cq.Preds[0].Eval(co.CoarsenValue(1, schema.Value(v)))
+		if orig != coarse {
+			t.Errorf("value %d: original %v, coarse %v", v, orig, coarse)
+		}
+	}
+}
+
+func TestCoarsenTableAndExpandPlanEndToEnd(t *testing.T) {
+	// Build a plan on the coarse view with the exhaustive planner, expand
+	// it back, and verify it runs correctly on the original-domain table.
+	s := coarsenSchema()
+	q := coarsenQuery(s)
+	rng := rand.New(rand.NewSource(21))
+	tbl := table.New(s, 2000)
+	for i := 0; i < 2000; i++ {
+		h := rng.Intn(24)
+		x := (h*32/24 + rng.Intn(8)) % 32
+		tbl.MustAppendRow([]schema.Value{schema.Value(h), schema.Value(x)})
+	}
+	co, err := NewCoarsening(s, UniformSPSFSame(s, 3), q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctbl := co.CoarsenTable(tbl)
+	if ctbl.NumRows() != tbl.NumRows() {
+		t.Fatal("coarse table lost rows")
+	}
+	cq, err := co.CoarsenQuery(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e := Exhaustive{SPSF: FullSPSF(co.CoarseSchema())}
+	cplan, _, err := e.Plan(stats.NewEmpirical(ctbl), cq)
+	if err != nil {
+		t.Fatal(err)
+	}
+	expanded := co.ExpandPlan(cplan)
+	if err := expanded.Validate(s); err != nil {
+		t.Fatalf("expanded plan invalid: %v", err)
+	}
+	res := exec.Run(s, expanded, q, tbl)
+	if res.Mismatches != 0 {
+		t.Errorf("expanded plan has %d mismatches on original data", res.Mismatches)
+	}
+	// The expanded plan's cost on original data equals the coarse plan's
+	// cost on coarse data: coarsening preserves the distribution the plan
+	// conditions on.
+	cres := exec.Run(co.CoarseSchema(), cplan, cq, ctbl)
+	if math.Abs(res.MeanCost()-cres.MeanCost()) > 1e-9 {
+		t.Errorf("expanded cost %g != coarse cost %g", res.MeanCost(), cres.MeanCost())
+	}
+}
+
+func TestCoarseningDegenerateDomain(t *testing.T) {
+	// Zero split points and no query predicate on the attribute: the
+	// coarse domain must still have K >= 2.
+	s := coarsenSchema()
+	q := coarsenQuery(s)
+	co, err := NewCoarsening(s, UniformSPSFSame(s, 0), q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if co.CoarseSchema().K(0) < 2 {
+		t.Errorf("degenerate coarse domain K = %d", co.CoarseSchema().K(0))
+	}
+}
+
+func TestCoarsenQueryMisalignedFails(t *testing.T) {
+	// If the grid misses the predicate endpoints (constructed manually by
+	// not augmenting), CoarsenQuery must report the misalignment rather
+	// than silently approximating. We simulate by building the coarsening
+	// for a different query.
+	s := coarsenSchema()
+	qGrid := query.MustNewQuery(s, query.Pred{Attr: 1, R: query.Range{Lo: 8, Hi: 15}})
+	co, err := NewCoarsening(s, UniformSPSFSame(s, 0), qGrid)
+	if err != nil {
+		t.Fatal(err)
+	}
+	qOther := coarsenQuery(s) // endpoints 5 and 20, not on the grid
+	if _, err := co.CoarsenQuery(qOther); err == nil {
+		t.Error("misaligned query accepted")
+	}
+}

@@ -1,0 +1,230 @@
+package opt
+
+import (
+	"math"
+
+	"acqp/internal/plan"
+	"acqp/internal/query"
+	"acqp/internal/schema"
+	"acqp/internal/stats"
+)
+
+// Exhaustive implements the optimal dynamic-programming planner of
+// Section 3.2 (Figure 5): a depth-first search over subproblems — range
+// boxes over the attribute-domain space — with memoization keyed by the
+// box and cost-bound pruning. Candidate conditioning predicates are
+// restricted to the SPSF's split points; with a full SPSF the returned
+// plan is the optimal conditional plan P* of Equation (2).
+//
+// The worst-case complexity is exponential in the number of attributes
+// (Theorem 3.1 shows the problem is #P-hard), so this planner is only
+// feasible for small schemas and SPSFs; Budget guards against runaway
+// searches.
+type Exhaustive struct {
+	// SPSF restricts candidate split points. Required.
+	SPSF SPSF
+	// Budget caps the number of subproblems expanded; 0 means no cap.
+	// When exceeded, Plan returns ErrBudget.
+	Budget int
+
+	expanded int
+}
+
+// ErrBudget is returned when the exhaustive search exceeds its subproblem
+// budget.
+var ErrBudget = errBudget{}
+
+type errBudget struct{}
+
+func (errBudget) Error() string { return "opt: exhaustive search exceeded its subproblem budget" }
+
+type exhaustiveMemoEntry struct {
+	cost float64
+	node *plan.Node
+}
+
+type exhaustiveSearch struct {
+	s    *schema.Schema
+	q    query.Query
+	spsf SPSF
+	memo map[string]exhaustiveMemoEntry
+	// pruned[key] is the largest bound under which the subproblem was
+	// searched without finding a plan: its true optimum is >= that value,
+	// so re-visits with a bound at or below it prune instantly.
+	pruned map[string]float64
+	budget int
+	count  int
+}
+
+// Plan runs the exhaustive search and returns the optimal plan and its
+// expected cost under the distribution.
+func (e *Exhaustive) Plan(d stats.Dist, q query.Query) (*plan.Node, float64, error) {
+	s := d.Schema()
+	es := &exhaustiveSearch{
+		s:      s,
+		q:      q,
+		spsf:   e.SPSF.WithQueryEndpoints(s, q),
+		memo:   make(map[string]exhaustiveMemoEntry),
+		pruned: make(map[string]float64),
+		budget: e.Budget,
+	}
+	root := d.Root()
+	cost, node, err := es.solve(func() stats.Cond { return root }, query.FullBox(s), math.Inf(1))
+	e.expanded = es.count
+	if err != nil {
+		return nil, 0, err
+	}
+	return node, cost, nil
+}
+
+// Expanded reports the number of subproblems expanded by the last Plan
+// call, for the scalability experiments of Section 6.4.
+func (e *Exhaustive) Expanded() int { return e.expanded }
+
+// lazyC defers materializing a conditioning context (an O(rows) selection-
+// vector partition for empirical distributions) until the search actually
+// needs probabilities — base cases and memo hits never pay it.
+type lazyC func() stats.Cond
+
+// solve implements ExhaustivePlan(phi, R_1..R_n, bound) from Figure 5. It
+// returns the optimal completion cost and plan for the subproblem, or
+// (+Inf, nil) if every candidate exceeded the bound (in which case nothing
+// is cached, per the "only cache results if an optimal plan is obtained"
+// rule).
+func (es *exhaustiveSearch) solve(getC lazyC, box query.Box, bound float64) (float64, *plan.Node, error) {
+	// Base case 1: the ranges determine the truth value of phi.
+	switch es.q.EvalBox(box) {
+	case query.True:
+		return 0, plan.NewLeaf(true), nil
+	case query.False:
+		return 0, plan.NewLeaf(false), nil
+	}
+	// Base case 2: all query attributes observed — finishing is free;
+	// emit a zero-cost sequential plan over the open predicates.
+	if es.allQueryAttrsObserved(box) {
+		return 0, plan.NewSeq(openPreds(es.q, box)), nil
+	}
+	key := box.Key()
+	if hit, ok := es.memo[key]; ok {
+		if hit.cost >= bound {
+			return math.Inf(1), nil, nil
+		}
+		return hit.cost, hit.node, nil
+	}
+	if lb, ok := es.pruned[key]; ok && bound <= lb {
+		return math.Inf(1), nil, nil
+	}
+	es.count++
+	if es.budget > 0 && es.count > es.budget {
+		return 0, nil, ErrBudget
+	}
+	c := getC()
+
+	// Branch-and-bound seeding: the optimal sequential plan for this
+	// subproblem is itself a member of the search space (its predicate
+	// tests are splits at query endpoints, which the SPSF always
+	// contains), so it provides an immediate incumbent and a tight
+	// pruning bound. This extends Figure 5 with the "more elaborate
+	// pruning techniques, such as branch-and-bound" the paper suggests.
+	cMin := bound
+	var best *plan.Node
+	if seqNode, seqCost := SequentialPlan(SeqOpt, es.s, c, box, es.q); seqCost < cMin {
+		cMin, best = seqCost, seqNode
+	}
+	for attr := 0; attr < es.s.NumAttrs(); attr++ {
+		atomic := predCost(es.s, box, attr)
+		if atomic >= cMin {
+			continue // pruning: acquiring this attribute alone exceeds the bound
+		}
+		r := box[attr]
+		for _, x := range es.spsf.Candidates(attr, r) {
+			cost := atomic
+			loRange := query.Range{Lo: r.Lo, Hi: x - 1}
+			hiRange := query.Range{Lo: x, Hi: r.Hi}
+			pLo := c.ProbRange(attr, loRange)
+
+			// Each branch with non-zero probability is solved recursively
+			// under the remaining budget; a zero-probability branch (no
+			// training mass) gets a safe fallback plan so the generated
+			// plan stays correct for out-of-distribution test tuples.
+			loNode := fallbackNode(es.q, box.With(attr, loRange))
+			if pLo > 0 {
+				loCost, node, err := es.solve(
+					restrictLazy(c, attr, loRange), box.With(attr, loRange), (cMin-cost)/pLo)
+				if err != nil {
+					return 0, nil, err
+				}
+				if node == nil {
+					continue // left branch alone exceeds the bound
+				}
+				loNode = node
+				cost += pLo * loCost
+				if cost >= cMin {
+					continue
+				}
+			}
+			hiNode := fallbackNode(es.q, box.With(attr, hiRange))
+			if pHi := 1 - pLo; pHi > 0 {
+				hiCost, node, err := es.solve(
+					restrictLazy(c, attr, hiRange), box.With(attr, hiRange), (cMin-cost)/pHi)
+				if err != nil {
+					return 0, nil, err
+				}
+				if node == nil {
+					continue
+				}
+				hiNode = node
+				cost += pHi * hiCost
+			}
+			if cost < cMin {
+				cMin = cost
+				best = plan.NewSplit(attr, x, loNode, hiNode)
+			}
+		}
+	}
+	if best != nil && cMin < bound {
+		// cMin is the subproblem's true optimum even under a finite
+		// bound: candidates are only discarded when their partial cost
+		// already meets an achievable incumbent, and child searches
+		// return Inf only when their optimum provably pushes the
+		// candidate to cMin or beyond. So the entry is always cacheable
+		// (the "only cache results if an optimal plan is obtained" rule
+		// of Figure 5 refers to the pruned case below).
+		es.memo[key] = exhaustiveMemoEntry{cost: cMin, node: best}
+		return cMin, best, nil
+	}
+	// Nothing beat the bound: record "optimum >= bound" so re-visits with
+	// an equal or tighter bound prune without searching.
+	if lb, ok := es.pruned[key]; !ok || bound > lb {
+		es.pruned[key] = bound
+	}
+	return math.Inf(1), nil, nil
+}
+
+func restrictLazy(c stats.Cond, attr int, r query.Range) lazyC {
+	return func() stats.Cond { return c.RestrictRange(attr, r) }
+}
+
+// fallbackNode returns a plan that is always correct for the given box:
+// the determined leaf if the box decides the query, otherwise a
+// sequential evaluation of the open predicates. Planners attach it to
+// branches their training data says are unreachable.
+func fallbackNode(q query.Query, box query.Box) *plan.Node {
+	switch q.EvalBox(box) {
+	case query.True:
+		return plan.NewLeaf(true)
+	case query.False:
+		return plan.NewLeaf(false)
+	default:
+		return plan.NewSeq(openPreds(q, box))
+	}
+}
+
+func (es *exhaustiveSearch) allQueryAttrsObserved(box query.Box) bool {
+	for _, p := range es.q.Preds {
+		if !box.Observed(p.Attr, es.s.K(p.Attr)) {
+			return false
+		}
+	}
+	return true
+}

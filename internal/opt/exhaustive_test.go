@@ -1,0 +1,302 @@
+package opt
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+	"testing"
+
+	"acqp/internal/plan"
+	"acqp/internal/query"
+	"acqp/internal/schema"
+	"acqp/internal/stats"
+	"acqp/internal/table"
+)
+
+// fig2Schema and fig2Table reproduce the Figure 2 worked example (see
+// internal/plan tests): hour free, temp/light cost 1, strong day/night
+// correlation.
+func fig2Schema() *schema.Schema {
+	return schema.New(
+		schema.Attribute{Name: "hour", K: 2, Cost: 0},
+		schema.Attribute{Name: "temp", K: 2, Cost: 1},
+		schema.Attribute{Name: "light", K: 2, Cost: 1},
+	)
+}
+
+func fig2Table() *table.Table {
+	tbl := table.New(fig2Schema(), 200)
+	add := func(count int, row []schema.Value) {
+		for i := 0; i < count; i++ {
+			tbl.MustAppendRow(row)
+		}
+	}
+	add(9, []schema.Value{0, 1, 1})
+	add(1, []schema.Value{0, 1, 0})
+	add(81, []schema.Value{0, 0, 1})
+	add(9, []schema.Value{0, 0, 0})
+	add(9, []schema.Value{1, 1, 1})
+	add(81, []schema.Value{1, 1, 0})
+	add(1, []schema.Value{1, 0, 1})
+	add(9, []schema.Value{1, 0, 0})
+	return tbl
+}
+
+func fig2Query(s *schema.Schema) query.Query {
+	return query.MustNewQuery(s,
+		query.Pred{Attr: 1, R: query.Range{Lo: 1, Hi: 1}},
+		query.Pred{Attr: 2, R: query.Range{Lo: 1, Hi: 1}},
+	)
+}
+
+// allTuples enumerates the full domain cross-product as a table; used to
+// check plan correctness beyond the training data.
+func allTuples(s *schema.Schema) *table.Table {
+	tbl := table.New(s, 64)
+	row := make([]schema.Value, s.NumAttrs())
+	var rec func(i int)
+	rec = func(i int) {
+		if i == s.NumAttrs() {
+			tbl.MustAppendRow(row)
+			return
+		}
+		for v := 0; v < s.K(i); v++ {
+			row[i] = schema.Value(v)
+			rec(i + 1)
+		}
+	}
+	rec(0)
+	return tbl
+}
+
+func TestExhaustiveFindsFigure2ConditionalPlan(t *testing.T) {
+	s := fig2Schema()
+	d := stats.NewEmpirical(fig2Table())
+	q := fig2Query(s)
+	e := Exhaustive{SPSF: FullSPSF(s)}
+	node, cost, err := e.Plan(d, q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The optimal plan conditions on the free hour attribute and orders
+	// the expensive predicates per branch: expected cost 1.1.
+	if math.Abs(cost-1.1) > 1e-9 {
+		t.Errorf("exhaustive cost = %g, want 1.1", cost)
+	}
+	// Reported cost must match the plan's analytic cost.
+	if got := plan.ExpectedCostRoot(node, d); math.Abs(got-cost) > 1e-9 {
+		t.Errorf("reported cost %g != analytic cost %g", cost, got)
+	}
+	// The plan is correct on every tuple in the domain.
+	if r := node.Equivalent(s, q, allTuples(s)); r != -1 {
+		t.Errorf("plan wrong on domain tuple %d", r)
+	}
+	if e.Expanded() == 0 {
+		t.Error("Expanded() not recorded")
+	}
+}
+
+func TestExhaustiveBeatsOrMatchesEveryOtherPlanner(t *testing.T) {
+	s := fig2Schema()
+	rng := rand.New(rand.NewSource(11))
+	for trial := 0; trial < 10; trial++ {
+		// Random correlated binary data.
+		tbl := table.New(s, 100)
+		for i := 0; i < 100; i++ {
+			h := schema.Value(rng.Intn(2))
+			tmp := h
+			if rng.Float64() < 0.2 {
+				tmp = 1 - tmp
+			}
+			lgt := 1 - h
+			if rng.Float64() < 0.2 {
+				lgt = 1 - lgt
+			}
+			tbl.MustAppendRow([]schema.Value{h, tmp, lgt})
+		}
+		d := stats.NewEmpirical(tbl)
+		q := fig2Query(s)
+		e := Exhaustive{SPSF: FullSPSF(s)}
+		_, exCost, err := e.Plan(d, q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, p := range []Planner{
+			NaivePlanner{},
+			CorrSeqPlanner{Alg: SeqOpt},
+			CorrSeqPlanner{Alg: SeqGreedy},
+			GreedyPlanner{Greedy: Greedy{SPSF: FullSPSF(s), MaxSplits: 5, Base: SeqOpt}},
+		} {
+			_, cost, err := p.Plan(d, q)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if exCost > cost+1e-9 {
+				t.Errorf("trial %d: exhaustive %g worse than %s %g", trial, exCost, p.Name(), cost)
+			}
+		}
+	}
+}
+
+func TestExhaustiveBudget(t *testing.T) {
+	s := schema.New(
+		schema.Attribute{Name: "a", K: 32, Cost: 1},
+		schema.Attribute{Name: "b", K: 32, Cost: 1},
+		schema.Attribute{Name: "c", K: 32, Cost: 1},
+	)
+	rng := rand.New(rand.NewSource(2))
+	tbl := table.New(s, 200)
+	for i := 0; i < 200; i++ {
+		tbl.MustAppendRow([]schema.Value{
+			schema.Value(rng.Intn(32)), schema.Value(rng.Intn(32)), schema.Value(rng.Intn(32)),
+		})
+	}
+	d := stats.NewEmpirical(tbl)
+	q := query.MustNewQuery(s,
+		query.Pred{Attr: 0, R: query.Range{Lo: 8, Hi: 23}},
+		query.Pred{Attr: 1, R: query.Range{Lo: 8, Hi: 23}},
+		query.Pred{Attr: 2, R: query.Range{Lo: 8, Hi: 23}},
+	)
+	e := Exhaustive{SPSF: FullSPSF(s), Budget: 10}
+	_, _, err := e.Plan(d, q)
+	if !errors.Is(err, ErrBudget) {
+		t.Errorf("err = %v, want ErrBudget", err)
+	}
+}
+
+func TestExhaustiveWithCoarseSPSFStillCorrect(t *testing.T) {
+	// Even with zero configured split points, WithQueryEndpoints must
+	// make the query resolvable and the plan correct on all tuples.
+	s := fig2Schema()
+	d := stats.NewEmpirical(fig2Table())
+	q := fig2Query(s)
+	e := Exhaustive{SPSF: UniformSPSFSame(s, 0)}
+	node, cost, err := e.Plan(d, q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.IsInf(cost, 0) {
+		t.Fatal("coarse SPSF produced infeasible plan")
+	}
+	if r := node.Equivalent(s, q, allTuples(s)); r != -1 {
+		t.Errorf("plan wrong on domain tuple %d", r)
+	}
+}
+
+func TestExhaustiveDeterminedQueries(t *testing.T) {
+	s := fig2Schema()
+	d := stats.NewEmpirical(fig2Table())
+	// Predicate covering the full domain: trivially true.
+	q := query.MustNewQuery(s, query.Pred{Attr: 1, R: query.Range{Lo: 0, Hi: 1}})
+	e := Exhaustive{SPSF: FullSPSF(s)}
+	node, cost, err := e.Plan(d, q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cost != 0 || node.Kind != plan.Leaf || !node.Result {
+		t.Errorf("trivially-true query: node=%+v cost=%g", node, cost)
+	}
+}
+
+func TestExhaustiveLargerDomains(t *testing.T) {
+	// 3 attributes with K=6; predicate on a correlated with the cheap c.
+	s := schema.New(
+		schema.Attribute{Name: "c", K: 6, Cost: 1},
+		schema.Attribute{Name: "a", K: 6, Cost: 100},
+		schema.Attribute{Name: "b", K: 6, Cost: 100},
+	)
+	rng := rand.New(rand.NewSource(4))
+	tbl := table.New(s, 300)
+	for i := 0; i < 300; i++ {
+		c := rng.Intn(6)
+		a := (c + rng.Intn(2)) % 6
+		b := rng.Intn(6)
+		tbl.MustAppendRow([]schema.Value{schema.Value(c), schema.Value(a), schema.Value(b)})
+	}
+	d := stats.NewEmpirical(tbl)
+	q := query.MustNewQuery(s,
+		query.Pred{Attr: 1, R: query.Range{Lo: 0, Hi: 2}},
+		query.Pred{Attr: 2, R: query.Range{Lo: 0, Hi: 2}},
+	)
+	e := Exhaustive{SPSF: FullSPSF(s), Budget: 2_000_000}
+	node, cost, err := e.Plan(d, q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r := node.Equivalent(s, q, allTuples(s)); r != -1 {
+		t.Errorf("plan wrong on domain tuple %d", r)
+	}
+	// Must not exceed the cost of the best sequential plan.
+	_, seqCost := SequentialPlan(SeqOpt, s, d.Root(), query.FullBox(s), q)
+	if cost > seqCost+1e-9 {
+		t.Errorf("exhaustive %g worse than OptSeq %g", cost, seqCost)
+	}
+}
+
+// randomConjPlan builds a random valid plan (splits + seq leaves) that
+// correctly decides the conjunctive query: every leaf is the fallback for
+// its box, so correctness is guaranteed while structure varies.
+func randomConjPlan(rng *rand.Rand, s *schema.Schema, q query.Query, box query.Box, depth int) *plan.Node {
+	switch q.EvalBox(box) {
+	case query.True:
+		return plan.NewLeaf(true)
+	case query.False:
+		return plan.NewLeaf(false)
+	}
+	if depth <= 0 || rng.Float64() < 0.3 {
+		return fallbackNode(q, box)
+	}
+	attr := rng.Intn(s.NumAttrs())
+	r := box[attr]
+	if r.Size() < 2 {
+		return fallbackNode(q, box)
+	}
+	x := r.Lo + 1 + schema.Value(rng.Intn(r.Size()-1))
+	lo := query.Range{Lo: r.Lo, Hi: x - 1}
+	hi := query.Range{Lo: x, Hi: r.Hi}
+	return plan.NewSplit(attr, x,
+		randomConjPlan(rng, s, q, box.With(attr, lo), depth-1),
+		randomConjPlan(rng, s, q, box.With(attr, hi), depth-1))
+}
+
+// Property: no randomly generated correct plan beats the exhaustive
+// planner's optimum on the training distribution.
+func TestExhaustiveDominatesRandomPlans(t *testing.T) {
+	s := fig2Schema()
+	rng := rand.New(rand.NewSource(73))
+	big := schema.New(
+		schema.Attribute{Name: "h", K: 4, Cost: 1},
+		schema.Attribute{Name: "a", K: 4, Cost: 60},
+		schema.Attribute{Name: "b", K: 4, Cost: 100},
+	)
+	tbl := table.New(big, 400)
+	for i := 0; i < 400; i++ {
+		h := rng.Intn(4)
+		tbl.MustAppendRow([]schema.Value{
+			schema.Value(h),
+			schema.Value((h + rng.Intn(2)) % 4),
+			schema.Value((3 - h + rng.Intn(2)) % 4),
+		})
+	}
+	d := stats.NewEmpirical(tbl)
+	q := query.MustNewQuery(big,
+		query.Pred{Attr: 1, R: query.Range{Lo: 0, Hi: 1}},
+		query.Pred{Attr: 2, R: query.Range{Lo: 2, Hi: 3}},
+	)
+	ex := Exhaustive{SPSF: FullSPSF(big), Budget: 2_000_000}
+	_, exCost, err := ex.Plan(d, q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for trial := 0; trial < 300; trial++ {
+		p := randomConjPlan(rng, big, q, query.FullBox(big), 4)
+		if r := p.Equivalent(big, q, tbl); r != -1 {
+			t.Fatalf("random plan construction broken at row %d", r)
+		}
+		if c := plan.ExpectedCostRoot(p, d); c < exCost-1e-9 {
+			t.Fatalf("random plan (cost %g) beat exhaustive (%g):\n%s",
+				c, exCost, plan.Render(p, big))
+		}
+	}
+	_ = s
+}

@@ -1,0 +1,197 @@
+package opt
+
+import (
+	"container/heap"
+	"math"
+
+	"acqp/internal/plan"
+	"acqp/internal/query"
+	"acqp/internal/schema"
+	"acqp/internal/stats"
+)
+
+// Greedy is the heuristic conditional planner of Section 4.2: it starts
+// from a sequential plan for the whole problem and greedily introduces the
+// locally-optimal binary splits of Figure 6, expanding leaves in
+// priority-queue order (Figure 7) until MaxSplits conditioning branches
+// have been added or no split improves on the sequential plan.
+type Greedy struct {
+	// SPSF restricts candidate conditioning points. Required.
+	SPSF SPSF
+	// MaxSplits bounds the number of conditioning splits (the k in the
+	// paper's Heuristic-k). Zero yields a pure sequential plan.
+	MaxSplits int
+	// Base selects the sequential planner used for leaf plans: SeqOpt
+	// for small queries, SeqGreedy for large ones (Section 6,
+	// "Algorithms Compared"). SeqNaive is allowed for ablations.
+	Base SeqAlgorithm
+	// Alpha, when positive, switches from the size-bounded formulation
+	// to the joint objective of Section 2.4:
+	//
+	//	argmin_P C(P) + alpha * zeta(P)
+	//
+	// where zeta(P) is the plan's wire size in bytes and alpha is
+	// (cost to transmit a byte) / (tuples processed in the query
+	// lifetime). Each leaf expansion is charged alpha times the bytes it
+	// adds, so splits are only taken while their expected acquisition
+	// saving exceeds their amortized dissemination cost. MaxSplits still
+	// applies as a hard cap (set it large to let alpha alone decide).
+	Alpha float64
+}
+
+// greedySplitResult is the outcome of GreedySplit at one leaf.
+type greedySplitResult struct {
+	ok             bool
+	cost           float64 // C-bar: expected cost of split + sequential subplans
+	attr           int
+	x              schema.Value
+	loPlan, hiPlan *plan.Node
+	loCost, hiCost float64
+	pLo            float64
+}
+
+// greedySplit implements GreedySplit(phi, R_1..R_n) from Figure 6: the
+// locally optimal split point, assuming the optimal (or greedy)
+// sequential plan is used for each resulting subproblem.
+func (g *Greedy) greedySplit(s *schema.Schema, c stats.Cond, box query.Box, q query.Query, spsf SPSF) greedySplitResult {
+	res := greedySplitResult{cost: math.Inf(1)}
+	for attr := 0; attr < s.NumAttrs(); attr++ {
+		atomic := predCost(s, box, attr)
+		if atomic >= res.cost {
+			continue
+		}
+		r := box[attr]
+		for _, x := range spsf.Candidates(attr, r) {
+			cost := atomic
+			loRange := query.Range{Lo: r.Lo, Hi: x - 1}
+			hiRange := query.Range{Lo: x, Hi: r.Hi}
+			pLo := c.ProbRange(attr, loRange)
+
+			loBox := box.With(attr, loRange)
+			loPlan, loCost := fallbackNode(q, loBox), 0.0
+			if pLo > 0 {
+				loPlan, loCost = SequentialPlan(g.Base, s, c.RestrictRange(attr, loRange), loBox, q)
+				cost += pLo * loCost
+				if cost >= res.cost {
+					continue
+				}
+			}
+			hiBox := box.With(attr, hiRange)
+			hiPlan, hiCost := fallbackNode(q, hiBox), 0.0
+			if pHi := 1 - pLo; pHi > 0 {
+				hiPlan, hiCost = SequentialPlan(g.Base, s, c.RestrictRange(attr, hiRange), hiBox, q)
+				cost += pHi * hiCost
+			}
+			if cost < res.cost {
+				res = greedySplitResult{
+					ok: true, cost: cost, attr: attr, x: x,
+					loPlan: loPlan, hiPlan: hiPlan,
+					loCost: loCost, hiCost: hiCost, pLo: pLo,
+				}
+			}
+		}
+	}
+	return res
+}
+
+// leafEntry is a priority-queue entry: a leaf of the current plan together
+// with its pre-computed greedy split and the expected gain of applying it.
+type leafEntry struct {
+	node     *plan.Node // the Seq (or Leaf) node to expand in place
+	c        stats.Cond
+	box      query.Box
+	reach    float64 // P(R_1, ..., R_n): probability the plan reaches this leaf
+	seqCost  float64 // C(P-hat): cost of the leaf's sequential plan
+	split    greedySplitResult
+	priority float64 // reach * (seqCost - split.cost)
+	index    int
+}
+
+type leafQueue []*leafEntry
+
+func (q leafQueue) Len() int            { return len(q) }
+func (q leafQueue) Less(i, j int) bool  { return q[i].priority > q[j].priority }
+func (q leafQueue) Swap(i, j int)       { q[i], q[j] = q[j], q[i]; q[i].index = i; q[j].index = j }
+func (q *leafQueue) Push(x interface{}) { e := x.(*leafEntry); e.index = len(*q); *q = append(*q, e) }
+func (q *leafQueue) Pop() interface{} {
+	old := *q
+	n := len(old)
+	e := old[n-1]
+	old[n-1] = nil
+	*q = old[:n-1]
+	return e
+}
+
+// Plan runs the greedy conditional planning algorithm (Figure 7) and
+// returns the plan and its expected cost under the distribution.
+func (g *Greedy) Plan(d stats.Dist, q query.Query) (*plan.Node, float64) {
+	s := d.Schema()
+	spsf := g.SPSF.WithQueryEndpoints(s, q)
+	rootBox := query.FullBox(s)
+	rootCond := d.Root()
+
+	rootPlan, rootCost := SequentialPlan(g.Base, s, rootCond, rootBox, q)
+	root := rootPlan
+
+	pq := &leafQueue{}
+	g.enqueue(pq, s, q, spsf, root, rootCond, rootBox, 1, rootCost)
+
+	splits := 0
+	for splits < g.MaxSplits && pq.Len() > 0 {
+		top := heap.Pop(pq).(*leafEntry)
+		if top.priority <= 0 {
+			break // no remaining split improves on its sequential plan
+		}
+		sp := top.split
+		// Expand the leaf in place into a conditioning split whose
+		// children start as the split's sequential plans.
+		*top.node = *plan.NewSplit(sp.attr, sp.x, sp.loPlan, sp.hiPlan)
+		splits++
+		if splits >= g.MaxSplits {
+			break
+		}
+		loRange := query.Range{Lo: top.box[sp.attr].Lo, Hi: sp.x - 1}
+		hiRange := query.Range{Lo: sp.x, Hi: top.box[sp.attr].Hi}
+		if sp.pLo > 0 {
+			g.enqueue(pq, s, q, spsf,
+				top.node.Left, top.c.RestrictRange(sp.attr, loRange),
+				top.box.With(sp.attr, loRange), top.reach*sp.pLo, sp.loCost)
+		}
+		if pHi := 1 - sp.pLo; pHi > 0 {
+			g.enqueue(pq, s, q, spsf,
+				top.node.Right, top.c.RestrictRange(sp.attr, hiRange),
+				top.box.With(sp.attr, hiRange), top.reach*pHi, sp.hiCost)
+		}
+	}
+	// Canonicalize: drop structure that cannot affect any tuple (decided
+	// splits, proven predicates, identical branches) so the disseminated
+	// zeta(P) is minimal.
+	root = plan.Simplify(root, s)
+	return root, plan.ExpectedCostRoot(root, d)
+}
+
+// enqueue computes the greedy split for a leaf and inserts it into the
+// queue with priority P(reach) * (C(seq) - C(split)), the expected gain of
+// expanding it (Section 4.2.2).
+func (g *Greedy) enqueue(pq *leafQueue, s *schema.Schema, q query.Query, spsf SPSF,
+	node *plan.Node, c stats.Cond, box query.Box, reach, seqCost float64) {
+	if node.Kind == plan.Leaf {
+		return // already decided; nothing to split
+	}
+	sp := g.greedySplit(s, c, box, q, spsf)
+	if !sp.ok {
+		return
+	}
+	priority := reach * (seqCost - sp.cost)
+	if g.Alpha > 0 {
+		// Joint objective (Section 2.4): charge the split for the extra
+		// plan bytes it would disseminate.
+		deltaBytes := plan.Size(plan.NewSplit(sp.attr, sp.x, sp.loPlan, sp.hiPlan)) - plan.Size(node)
+		priority -= g.Alpha * float64(deltaBytes)
+	}
+	heap.Push(pq, &leafEntry{
+		node: node, c: c, box: box, reach: reach,
+		seqCost: seqCost, split: sp,
+		priority: priority,
+	})
+}

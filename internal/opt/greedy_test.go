@@ -1,0 +1,259 @@
+package opt
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"acqp/internal/plan"
+	"acqp/internal/query"
+	"acqp/internal/schema"
+	"acqp/internal/stats"
+	"acqp/internal/table"
+)
+
+func TestGreedyFindsFigure2Plan(t *testing.T) {
+	s := fig2Schema()
+	d := stats.NewEmpirical(fig2Table())
+	q := fig2Query(s)
+	g := Greedy{SPSF: FullSPSF(s), MaxSplits: 5, Base: SeqOpt}
+	node, cost := g.Plan(d, q)
+	// One split on hour suffices to reach the optimal 1.1.
+	if math.Abs(cost-1.1) > 1e-9 {
+		t.Errorf("greedy cost = %g, want 1.1", cost)
+	}
+	if node.NumSplits() == 0 {
+		t.Error("greedy produced no conditioning splits")
+	}
+	if r := node.Equivalent(s, q, allTuples(s)); r != -1 {
+		t.Errorf("plan wrong on domain tuple %d", r)
+	}
+}
+
+func TestGreedyZeroSplitsIsSequential(t *testing.T) {
+	s := fig2Schema()
+	d := stats.NewEmpirical(fig2Table())
+	q := fig2Query(s)
+	g := Greedy{SPSF: FullSPSF(s), MaxSplits: 0, Base: SeqOpt}
+	node, cost := g.Plan(d, q)
+	if node.NumSplits() != 0 {
+		t.Errorf("MaxSplits=0 produced %d splits", node.NumSplits())
+	}
+	_, want := SequentialPlan(SeqOpt, s, d.Root(), query.FullBox(s), q)
+	if math.Abs(cost-want) > 1e-9 {
+		t.Errorf("Heuristic-0 cost %g != OptSeq cost %g", cost, want)
+	}
+}
+
+func TestGreedyRespectsMaxSplits(t *testing.T) {
+	s := schema.New(
+		schema.Attribute{Name: "h", K: 8, Cost: 0},
+		schema.Attribute{Name: "a", K: 8, Cost: 100},
+		schema.Attribute{Name: "b", K: 8, Cost: 100},
+		schema.Attribute{Name: "c", K: 8, Cost: 100},
+	)
+	rng := rand.New(rand.NewSource(6))
+	tbl := table.New(s, 500)
+	for i := 0; i < 500; i++ {
+		h := rng.Intn(8)
+		jitter := func() int { return (h + rng.Intn(3) - 1 + 8) % 8 }
+		tbl.MustAppendRow([]schema.Value{
+			schema.Value(h), schema.Value(jitter()), schema.Value(jitter()), schema.Value(jitter()),
+		})
+	}
+	d := stats.NewEmpirical(tbl)
+	q := query.MustNewQuery(s,
+		query.Pred{Attr: 1, R: query.Range{Lo: 0, Hi: 3}},
+		query.Pred{Attr: 2, R: query.Range{Lo: 0, Hi: 3}},
+		query.Pred{Attr: 3, R: query.Range{Lo: 2, Hi: 5}},
+	)
+	for _, k := range []int{1, 2, 3, 5, 10} {
+		g := Greedy{SPSF: FullSPSF(s), MaxSplits: k, Base: SeqOpt}
+		node, _ := g.Plan(d, q)
+		if got := node.NumSplits(); got > k {
+			t.Errorf("MaxSplits=%d produced %d splits", k, got)
+		}
+		if r := node.Equivalent(s, q, allTuples(s)); r != -1 {
+			t.Errorf("MaxSplits=%d: plan wrong on domain tuple %d", k, r)
+		}
+	}
+}
+
+func TestGreedyCostMonotoneInSplits(t *testing.T) {
+	s := fig2Schema()
+	rng := rand.New(rand.NewSource(13))
+	for trial := 0; trial < 5; trial++ {
+		tbl := table.New(s, 200)
+		for i := 0; i < 200; i++ {
+			h := schema.Value(rng.Intn(2))
+			tmp := h
+			if rng.Float64() < 0.3 {
+				tmp = 1 - tmp
+			}
+			lgt := 1 - h
+			if rng.Float64() < 0.3 {
+				lgt = 1 - lgt
+			}
+			tbl.MustAppendRow([]schema.Value{h, tmp, lgt})
+		}
+		d := stats.NewEmpirical(tbl)
+		q := fig2Query(s)
+		prev := math.Inf(1)
+		for _, k := range []int{0, 1, 2, 5, 10} {
+			g := Greedy{SPSF: FullSPSF(s), MaxSplits: k, Base: SeqOpt}
+			_, cost := g.Plan(d, q)
+			if cost > prev+1e-9 {
+				t.Errorf("trial %d: Heuristic-%d cost %g worse than smaller k (%g)", trial, k, cost, prev)
+			}
+			prev = cost
+		}
+	}
+}
+
+func TestGreedyNeverWorseThanBaseSequential(t *testing.T) {
+	// On training data, Heuristic-k can never be worse than its own base
+	// sequential plan (Section 6.2 makes this observation).
+	s := schema.New(
+		schema.Attribute{Name: "h", K: 4, Cost: 1},
+		schema.Attribute{Name: "a", K: 4, Cost: 100},
+		schema.Attribute{Name: "b", K: 4, Cost: 100},
+	)
+	rng := rand.New(rand.NewSource(17))
+	for trial := 0; trial < 10; trial++ {
+		tbl := table.New(s, 300)
+		for i := 0; i < 300; i++ {
+			h := rng.Intn(4)
+			tbl.MustAppendRow([]schema.Value{
+				schema.Value(h),
+				schema.Value((h + rng.Intn(2)) % 4),
+				schema.Value(rng.Intn(4)),
+			})
+		}
+		d := stats.NewEmpirical(tbl)
+		q := query.MustNewQuery(s,
+			query.Pred{Attr: 1, R: query.Range{Lo: 1, Hi: 2}},
+			query.Pred{Attr: 2, R: query.Range{Lo: 0, Hi: 1}},
+		)
+		for _, base := range []SeqAlgorithm{SeqOpt, SeqGreedy} {
+			_, seqCost := SequentialPlan(base, s, d.Root(), query.FullBox(s), q)
+			g := Greedy{SPSF: FullSPSF(s), MaxSplits: 5, Base: base}
+			_, cost := g.Plan(d, q)
+			if cost > seqCost+1e-9 {
+				t.Errorf("trial %d base %v: greedy %g worse than sequential %g", trial, base, cost, seqCost)
+			}
+		}
+	}
+}
+
+func TestGreedyPlannerName(t *testing.T) {
+	p := GreedyPlanner{Greedy: Greedy{MaxSplits: 7}}
+	if p.Name() != "Heuristic-7" {
+		t.Errorf("Name = %q", p.Name())
+	}
+	if (NaivePlanner{}).Name() != "Naive" {
+		t.Error("NaivePlanner name")
+	}
+	if (CorrSeqPlanner{Alg: SeqGreedy}).Name() != "CorrSeq(GreedySeq)" {
+		t.Error("CorrSeqPlanner name")
+	}
+	if (ExhaustivePlanner{}).Name() != "Exhaustive" {
+		t.Error("ExhaustivePlanner name")
+	}
+}
+
+func TestGreedyNegatedPredicates(t *testing.T) {
+	// Garden-style negated range predicates flow through the greedy
+	// planner and produce correct plans.
+	s := schema.New(
+		schema.Attribute{Name: "t", K: 8, Cost: 1},
+		schema.Attribute{Name: "a", K: 8, Cost: 100},
+		schema.Attribute{Name: "b", K: 8, Cost: 100},
+	)
+	rng := rand.New(rand.NewSource(23))
+	tbl := table.New(s, 400)
+	for i := 0; i < 400; i++ {
+		tt := rng.Intn(8)
+		tbl.MustAppendRow([]schema.Value{
+			schema.Value(tt),
+			schema.Value((tt + rng.Intn(2)) % 8),
+			schema.Value((tt + rng.Intn(3)) % 8),
+		})
+	}
+	d := stats.NewEmpirical(tbl)
+	q := query.MustNewQuery(s,
+		query.Pred{Attr: 1, R: query.Range{Lo: 2, Hi: 5}, Negated: true},
+		query.Pred{Attr: 2, R: query.Range{Lo: 0, Hi: 3}},
+	)
+	g := Greedy{SPSF: FullSPSF(s), MaxSplits: 4, Base: SeqOpt}
+	node, cost := g.Plan(d, q)
+	if r := node.Equivalent(s, q, allTuples(s)); r != -1 {
+		t.Errorf("plan wrong on domain tuple %d", r)
+	}
+	if got := plan.ExpectedCostRoot(node, d); math.Abs(got-cost) > 1e-9 {
+		t.Errorf("reported cost %g != analytic %g", cost, got)
+	}
+}
+
+// Regression guard: the priority queue must expand the highest-gain leaf
+// first; with MaxSplits=1 the single split must equal GreedySplit at the
+// root.
+func TestGreedyFirstSplitIsRootGreedySplit(t *testing.T) {
+	s := fig2Schema()
+	d := stats.NewEmpirical(fig2Table())
+	q := fig2Query(s)
+	g := Greedy{SPSF: FullSPSF(s), MaxSplits: 1, Base: SeqOpt}
+	node, _ := g.Plan(d, q)
+	if node.Kind != plan.Split {
+		t.Fatalf("root is %v, want Split", node.Kind)
+	}
+	sp := g.greedySplit(s, d.Root(), query.FullBox(s), q, g.SPSF.WithQueryEndpoints(s, q))
+	if !sp.ok || node.Attr != sp.attr || node.X != sp.x {
+		t.Errorf("root split (%d,%d) != greedySplit (%d,%d)", node.Attr, node.X, sp.attr, sp.x)
+	}
+}
+
+func TestGreedyAlphaTradesSplitsForBytes(t *testing.T) {
+	s := fig2Schema()
+	d := stats.NewEmpirical(fig2Table())
+	q := fig2Query(s)
+	// Without alpha: the hour split is taken (saves 0.4 units/tuple).
+	free := Greedy{SPSF: FullSPSF(s), MaxSplits: 10, Base: SeqOpt}
+	freeNode, freeCost := free.Plan(d, q)
+	if freeNode.NumSplits() == 0 {
+		t.Fatal("baseline greedy took no splits")
+	}
+	// A tiny alpha should not change the plan: the split saves 0.4
+	// units/tuple, far above the byte charge.
+	cheap := Greedy{SPSF: FullSPSF(s), MaxSplits: 10, Base: SeqOpt, Alpha: 1e-6}
+	cheapNode, cheapCost := cheap.Plan(d, q)
+	if cheapNode.NumSplits() != freeNode.NumSplits() || math.Abs(cheapCost-freeCost) > 1e-9 {
+		t.Errorf("negligible alpha changed the plan: %d splits, cost %g", cheapNode.NumSplits(), cheapCost)
+	}
+	// A huge alpha makes every split unaffordable: plan collapses to the
+	// sequential plan.
+	dear := Greedy{SPSF: FullSPSF(s), MaxSplits: 10, Base: SeqOpt, Alpha: 1e6}
+	dearNode, dearCost := dear.Plan(d, q)
+	if dearNode.NumSplits() != 0 {
+		t.Errorf("huge alpha still produced %d splits", dearNode.NumSplits())
+	}
+	_, seqCost := SequentialPlan(SeqOpt, s, d.Root(), query.FullBox(s), q)
+	if math.Abs(dearCost-seqCost) > 1e-9 {
+		t.Errorf("alpha-collapsed cost %g != sequential %g", dearCost, seqCost)
+	}
+	// At an intermediate alpha, total objective C(P) + alpha*zeta(P)
+	// must not exceed either extreme's objective.
+	alpha := 0.4 / 20.0 // split saves 0.4/tuple and costs ~18 extra bytes
+	mid := Greedy{SPSF: FullSPSF(s), MaxSplits: 10, Base: SeqOpt, Alpha: alpha}
+	midNode, midCost := mid.Plan(d, q)
+	objective := func(n *plan.Node, c float64) float64 {
+		return c + alpha*float64(plan.Size(n))
+	}
+	if objective(midNode, midCost) > objective(freeNode, freeCost)+1e-9 {
+		t.Errorf("alpha-aware objective %g worse than alpha-blind %g",
+			objective(midNode, midCost), objective(freeNode, freeCost))
+	}
+	if objective(midNode, midCost) > objective(dearNode, dearCost)+1e-9 {
+		t.Errorf("alpha-aware objective %g worse than sequential %g",
+			objective(midNode, midCost), objective(dearNode, dearCost))
+	}
+}

@@ -1,0 +1,79 @@
+package opt
+
+import (
+	"fmt"
+
+	"acqp/internal/plan"
+	"acqp/internal/query"
+	"acqp/internal/stats"
+)
+
+// Planner is the common interface of all planning algorithms compared in
+// the paper's evaluation (Section 6, "Algorithms Compared").
+type Planner interface {
+	// Name identifies the algorithm in experiment output.
+	Name() string
+	// Plan builds a plan for the query under the distribution and
+	// returns it with its expected cost on the training distribution.
+	Plan(d stats.Dist, q query.Query) (*plan.Node, float64, error)
+}
+
+// NaivePlanner is the traditional optimizer baseline: a sequential plan
+// ordered by cost / P(fail) using marginal selectivities (Section 4.1.1).
+type NaivePlanner struct{}
+
+// Name implements Planner.
+func (NaivePlanner) Name() string { return "Naive" }
+
+// Plan implements Planner.
+func (NaivePlanner) Plan(d stats.Dist, q query.Query) (*plan.Node, float64, error) {
+	s := d.Schema()
+	node, cost := SequentialPlan(SeqNaive, s, d.Root(), query.FullBox(s), q)
+	return node, cost, nil
+}
+
+// CorrSeqPlanner is the correlation-aware sequential baseline CorrSeq of
+// Section 6: OptSeq when the query is small enough, GreedySeq otherwise.
+type CorrSeqPlanner struct {
+	// Alg selects SeqOpt or SeqGreedy. SeqOpt transparently falls back
+	// to SeqGreedy past optSeqMaxPreds predicates.
+	Alg SeqAlgorithm
+}
+
+// Name implements Planner.
+func (p CorrSeqPlanner) Name() string { return "CorrSeq(" + p.Alg.String() + ")" }
+
+// Plan implements Planner.
+func (p CorrSeqPlanner) Plan(d stats.Dist, q query.Query) (*plan.Node, float64, error) {
+	s := d.Schema()
+	node, cost := SequentialPlan(p.Alg, s, d.Root(), query.FullBox(s), q)
+	return node, cost, nil
+}
+
+// GreedyPlanner adapts Greedy to the Planner interface; it is the paper's
+// Heuristic-k.
+type GreedyPlanner struct {
+	Greedy Greedy
+}
+
+// Name implements Planner.
+func (p GreedyPlanner) Name() string { return fmt.Sprintf("Heuristic-%d", p.Greedy.MaxSplits) }
+
+// Plan implements Planner.
+func (p GreedyPlanner) Plan(d stats.Dist, q query.Query) (*plan.Node, float64, error) {
+	node, cost := p.Greedy.Plan(d, q)
+	return node, cost, nil
+}
+
+// ExhaustivePlanner adapts Exhaustive to the Planner interface.
+type ExhaustivePlanner struct {
+	Exhaustive Exhaustive
+}
+
+// Name implements Planner.
+func (p ExhaustivePlanner) Name() string { return "Exhaustive" }
+
+// Plan implements Planner.
+func (p ExhaustivePlanner) Plan(d stats.Dist, q query.Query) (*plan.Node, float64, error) {
+	return p.Exhaustive.Plan(d, q)
+}

@@ -1,0 +1,261 @@
+package opt
+
+import (
+	"math"
+
+	"acqp/internal/plan"
+	"acqp/internal/query"
+	"acqp/internal/schema"
+	"acqp/internal/stats"
+)
+
+// SeqAlgorithm selects which sequential planner builds base plans.
+type SeqAlgorithm int
+
+// Sequential planning algorithms.
+const (
+	// SeqNaive orders predicates by cost / P(fail) using marginal
+	// selectivities only (Section 4.1.1) — the traditional optimizer
+	// baseline that ignores correlations.
+	SeqNaive SeqAlgorithm = iota
+	// SeqGreedy is the 4-approximate greedy heuristic of Munagala et al.
+	// that conditions each choice on the predicates already chosen
+	// (Section 4.1.3).
+	SeqGreedy
+	// SeqOpt is the optimal sequential plan via dynamic programming over
+	// predicate subsets, O(m * 2^m) (Section 4.1.2).
+	SeqOpt
+)
+
+func (a SeqAlgorithm) String() string {
+	switch a {
+	case SeqNaive:
+		return "Naive"
+	case SeqGreedy:
+		return "GreedySeq"
+	case SeqOpt:
+		return "OptSeq"
+	default:
+		return "unknown"
+	}
+}
+
+// optSeqMaxPreds caps the subset DP: beyond this many open predicates,
+// SeqOpt falls back to SeqGreedy, mirroring Section 6's use of OptSeq for
+// the small lab queries and GreedySeq for the larger garden/synthetic
+// queries.
+const optSeqMaxPreds = 16
+
+// openPreds returns the query predicates whose truth is not yet determined
+// by the box. A query predicate that is False under the box makes the
+// whole conjunction false; callers must check q.EvalBox first.
+func openPreds(q query.Query, box query.Box) []query.Pred {
+	var open []query.Pred
+	for _, p := range q.Preds {
+		if p.EvalRange(box[p.Attr]) == query.Unknown {
+			open = append(open, p)
+		}
+	}
+	return open
+}
+
+// predCost returns C'_i: the acquisition cost of the predicate's
+// attribute, or 0 if the box shows it has already been acquired. With
+// shared sensor boards (Section 7), the cost is conditional on the
+// attributes acquired so far: a board already powered by an observed
+// attribute is not charged again.
+func predCost(s *schema.Schema, box query.Box, attr int) float64 {
+	if box.Observed(attr, s.K(attr)) {
+		return 0
+	}
+	return s.AcquisitionCostWith(attr, func(i int) bool {
+		return box.Observed(i, s.K(i))
+	})
+}
+
+// SequentialPlan computes a sequential plan for the open predicates of q
+// under the given evidence (c restricted to box), using the requested
+// algorithm. It returns the plan node and its expected cost given the
+// evidence. If the box already determines the query, it returns the
+// corresponding leaf with zero cost.
+func SequentialPlan(alg SeqAlgorithm, s *schema.Schema, c stats.Cond, box query.Box, q query.Query) (*plan.Node, float64) {
+	switch q.EvalBox(box) {
+	case query.True:
+		return plan.NewLeaf(true), 0
+	case query.False:
+		return plan.NewLeaf(false), 0
+	}
+	open := openPreds(q, box)
+	var order []query.Pred
+	switch alg {
+	case SeqNaive:
+		order = naiveOrder(s, c, box, open)
+	case SeqGreedy:
+		order = greedyOrder(s, c, box, open)
+	case SeqOpt:
+		if len(open) > optSeqMaxPreds {
+			order = greedyOrder(s, c, box, open)
+		} else {
+			order = optOrder(s, c, box, open)
+		}
+	default:
+		panic("opt: unknown sequential algorithm")
+	}
+	node := plan.NewSeq(order)
+	return node, plan.ExpectedCost(node, s, c, box)
+}
+
+// naiveOrder sorts predicates by rank = C'_i / P(phi_i fails), using
+// marginal probabilities under the current evidence. This is the
+// traditional System-R-style ordering of Section 4.1.1, which ignores
+// correlations between predicates.
+func naiveOrder(s *schema.Schema, c stats.Cond, box query.Box, open []query.Pred) []query.Pred {
+	type ranked struct {
+		p    query.Pred
+		rank float64
+	}
+	rs := make([]ranked, len(open))
+	for i, p := range open {
+		pFail := 1 - c.ProbPred(p)
+		rs[i] = ranked{p, rank(predCost(s, box, p.Attr), pFail)}
+	}
+	// Stable insertion sort: deterministic and tiny inputs.
+	for i := 1; i < len(rs); i++ {
+		for j := i; j > 0 && rs[j].rank < rs[j-1].rank; j-- {
+			rs[j], rs[j-1] = rs[j-1], rs[j]
+		}
+	}
+	out := make([]query.Pred, len(rs))
+	for i, r := range rs {
+		out[i] = r.p
+	}
+	return out
+}
+
+// rank computes C / pFail with the conventional boundary cases: a free
+// predicate ranks first, a predicate that can never fail ranks last.
+func rank(cost, pFail float64) float64 {
+	if cost == 0 {
+		return 0
+	}
+	if pFail <= 0 {
+		return math.Inf(1)
+	}
+	return cost / pFail
+}
+
+// greedyOrder implements the greedy heuristic of Munagala et al.
+// (Section 4.1.3): repeatedly choose the predicate minimizing
+// C_j / (1 - p_j) where p_j is the probability the predicate is satisfied
+// GIVEN that all previously chosen predicates are satisfied.
+func greedyOrder(s *schema.Schema, c stats.Cond, box query.Box, open []query.Pred) []query.Pred {
+	remaining := append([]query.Pred(nil), open...)
+	out := make([]query.Pred, 0, len(open))
+	chosen := make(map[int]bool, len(open)) // attributes already in the order
+	for len(remaining) > 0 {
+		best, bestRank := 0, math.Inf(1)
+		for i, p := range remaining {
+			r := rank(seqPredCost(s, box, chosen, p.Attr), 1-c.ProbPred(p))
+			if r < bestRank {
+				best, bestRank = i, r
+			}
+		}
+		pick := remaining[best]
+		out = append(out, pick)
+		chosen[pick.Attr] = true
+		remaining = append(remaining[:best], remaining[best+1:]...)
+		c = c.RestrictPred(pick, true)
+	}
+	return out
+}
+
+// seqPredCost is predCost conditioned additionally on the attributes a
+// sequential order has already acquired, so shared-board power-up costs
+// (Section 7) are charged once per order, not once per predicate.
+func seqPredCost(s *schema.Schema, box query.Box, chosen map[int]bool, attr int) float64 {
+	if box.Observed(attr, s.K(attr)) || chosen[attr] {
+		return 0
+	}
+	if !s.HasBoards() {
+		return s.Cost(attr)
+	}
+	return s.AcquisitionCostWith(attr, func(i int) bool {
+		return box.Observed(i, s.K(i)) || chosen[i]
+	})
+}
+
+// optOrder computes the optimal sequential order by dynamic programming
+// over subsets of satisfied predicates (Section 4.1.2): the problem is
+// rediscretized to the binary attributes X'_i = [phi_i satisfied], and
+//
+//	J(S) = min_{j not in S} C'_j + P(phi_j | all of S) * J(S + j)
+//
+// with J(full) = 0. Probabilities come from the joint distribution over
+// the rediscretized attributes (Section 5.2), computed in one pass.
+func optOrder(s *schema.Schema, c stats.Cond, box query.Box, open []query.Pred) []query.Pred {
+	m := len(open)
+	if m == 0 {
+		return nil
+	}
+	q := query.Query{Preds: open}
+	satProb := stats.PredMaskJoint(c, q) // becomes P(AND_{i in S}) below
+	stats.SupersetSums(satProb, m)
+
+	full := uint32(1)<<uint(m) - 1
+	j := make([]float64, full+1)   // J(S)
+	choice := make([]int8, full+1) // argmin predicate for S
+	// Iterate S from full-1 down to 0; S+j is always numerically larger.
+	for sMask := int64(full) - 1; sMask >= 0; sMask-- {
+		S := uint32(sMask)
+		if S == full {
+			continue
+		}
+		best, bestCost := -1, math.Inf(1)
+		for i := 0; i < m; i++ {
+			if S&(1<<uint(i)) != 0 {
+				continue
+			}
+			// C'_i conditional on the subset already evaluated: with
+			// shared boards (Section 7), predicates whose attributes sit
+			// on a board powered by a predicate in S are cheaper.
+			acq := predCost(s, box, open[i].Attr)
+			if s.HasBoards() {
+				acq = subsetPredCost(s, box, open, S, i)
+			}
+			pSat := stats.CondSatProb(satProb, S, i)
+			cost := acq + pSat*j[S|1<<uint(i)]
+			if cost < bestCost {
+				best, bestCost = i, cost
+			}
+		}
+		j[S], choice[S] = bestCost, int8(best)
+	}
+
+	out := make([]query.Pred, 0, m)
+	for S := uint32(0); S != full; {
+		i := int(choice[S])
+		out = append(out, open[i])
+		S |= 1 << uint(i)
+	}
+	return out
+}
+
+// subsetPredCost returns the acquisition cost of open[i]'s attribute when
+// the predicates in subset S have already been evaluated.
+func subsetPredCost(s *schema.Schema, box query.Box, open []query.Pred, S uint32, i int) float64 {
+	attr := open[i].Attr
+	if box.Observed(attr, s.K(attr)) {
+		return 0
+	}
+	return s.AcquisitionCostWith(attr, func(a int) bool {
+		if box.Observed(a, s.K(a)) {
+			return true
+		}
+		for j, p := range open {
+			if p.Attr == a && S&(1<<uint(j)) != 0 {
+				return true
+			}
+		}
+		return false
+	})
+}

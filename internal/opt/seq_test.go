@@ -1,0 +1,247 @@
+package opt
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"acqp/internal/plan"
+	"acqp/internal/query"
+	"acqp/internal/schema"
+	"acqp/internal/stats"
+	"acqp/internal/table"
+)
+
+// corrSchema: three binary query attributes plus one cheap hour attribute.
+func corrSchema() *schema.Schema {
+	return schema.New(
+		schema.Attribute{Name: "hour", K: 4, Cost: 1},
+		schema.Attribute{Name: "p0", K: 2, Cost: 100},
+		schema.Attribute{Name: "p1", K: 2, Cost: 50},
+		schema.Attribute{Name: "p2", K: 2, Cost: 10},
+	)
+}
+
+// corrTable builds data where p0 and p1 are perfectly correlated and p2 is
+// independent with P(p2=1)=0.5.
+func corrTable() *table.Table {
+	tbl := table.New(corrSchema(), 64)
+	rng := rand.New(rand.NewSource(1))
+	for i := 0; i < 400; i++ {
+		b := schema.Value(rng.Intn(2))
+		p2 := schema.Value(rng.Intn(2))
+		tbl.MustAppendRow([]schema.Value{schema.Value(rng.Intn(4)), b, b, p2})
+	}
+	return tbl
+}
+
+func corrQuery(s *schema.Schema) query.Query {
+	return query.MustNewQuery(s,
+		query.Pred{Attr: 1, R: query.Range{Lo: 1, Hi: 1}},
+		query.Pred{Attr: 2, R: query.Range{Lo: 1, Hi: 1}},
+		query.Pred{Attr: 3, R: query.Range{Lo: 1, Hi: 1}},
+	)
+}
+
+func TestNaiveOrdersByRank(t *testing.T) {
+	s := corrSchema()
+	d := stats.NewEmpirical(corrTable())
+	q := corrQuery(s)
+	node, cost := SequentialPlan(SeqNaive, s, d.Root(), query.FullBox(s), q)
+	if node.Kind != plan.Seq {
+		t.Fatalf("naive produced %v node", node.Kind)
+	}
+	// All predicates have P(fail) ~ 0.5, so rank order follows cost:
+	// p2 (10), p1 (50), p0 (100).
+	want := []int{3, 2, 1}
+	for i, p := range node.Preds {
+		if p.Attr != want[i] {
+			t.Fatalf("naive order = %v, want attrs %v", node.Preds, want)
+		}
+	}
+	if cost <= 0 {
+		t.Error("cost not positive")
+	}
+}
+
+func TestGreedySeqExploitsCorrelation(t *testing.T) {
+	s := corrSchema()
+	d := stats.NewEmpirical(corrTable())
+	q := corrQuery(s)
+	// Greedy: picks p2 (cheapest rank), then among p0/p1 given earlier
+	// choices. Once p1 (cost 50) is chosen and satisfied, p0 is satisfied
+	// with probability ~1, so its rank ~Inf and it goes last; crucially
+	// the expected cost reflects that evaluating p0 after p1 almost never
+	// prunes.
+	_, gCost := SequentialPlan(SeqGreedy, s, d.Root(), query.FullBox(s), q)
+	_, nCost := SequentialPlan(SeqNaive, s, d.Root(), query.FullBox(s), q)
+	if gCost > nCost+1e-9 {
+		t.Errorf("greedy cost %g worse than naive %g", gCost, nCost)
+	}
+}
+
+// bruteForceBestOrder enumerates all m! predicate orders and returns the
+// minimum expected cost, the gold standard for OptSeq.
+func bruteForceBestOrder(s *schema.Schema, c stats.Cond, box query.Box, preds []query.Pred) float64 {
+	best := math.Inf(1)
+	perm := make([]query.Pred, len(preds))
+	var rec func(used []bool, depth int)
+	rec = func(used []bool, depth int) {
+		if depth == len(preds) {
+			cost := plan.ExpectedCost(plan.NewSeq(perm), s, c, box)
+			if cost < best {
+				best = cost
+			}
+			return
+		}
+		for i := range preds {
+			if used[i] {
+				continue
+			}
+			used[i] = true
+			perm[depth] = preds[i]
+			rec(used, depth+1)
+			used[i] = false
+		}
+	}
+	rec(make([]bool, len(preds)), 0)
+	return best
+}
+
+func TestOptSeqMatchesBruteForce(t *testing.T) {
+	s := corrSchema()
+	box := query.FullBox(s)
+	rng := rand.New(rand.NewSource(9))
+	for trial := 0; trial < 20; trial++ {
+		tbl := table.New(s, 100)
+		for i := 0; i < 100; i++ {
+			h := rng.Intn(4)
+			b := schema.Value((h + rng.Intn(2)) % 2)
+			tbl.MustAppendRow([]schema.Value{
+				schema.Value(h), b, schema.Value(rng.Intn(2)), schema.Value(rng.Intn(2)),
+			})
+		}
+		d := stats.NewEmpirical(tbl)
+		q := corrQuery(s)
+		_, got := SequentialPlan(SeqOpt, s, d.Root(), box, q)
+		want := bruteForceBestOrder(s, d.Root(), box, q.Preds)
+		if math.Abs(got-want) > 1e-9 {
+			t.Fatalf("trial %d: OptSeq cost %.12f, brute force %.12f", trial, got, want)
+		}
+	}
+}
+
+func TestOptSeqNeverWorseThanGreedyOrNaive(t *testing.T) {
+	s := corrSchema()
+	d := stats.NewEmpirical(corrTable())
+	q := corrQuery(s)
+	box := query.FullBox(s)
+	_, opt := SequentialPlan(SeqOpt, s, d.Root(), box, q)
+	_, grd := SequentialPlan(SeqGreedy, s, d.Root(), box, q)
+	_, nai := SequentialPlan(SeqNaive, s, d.Root(), box, q)
+	if opt > grd+1e-9 || opt > nai+1e-9 {
+		t.Errorf("OptSeq %g worse than Greedy %g or Naive %g", opt, grd, nai)
+	}
+}
+
+func TestSequentialPlanDeterminedBox(t *testing.T) {
+	s := corrSchema()
+	d := stats.NewEmpirical(corrTable())
+	q := corrQuery(s)
+	// Box that makes predicate on attr 1 false: whole query false.
+	box := query.FullBox(s).With(1, query.Range{Lo: 0, Hi: 0})
+	node, cost := SequentialPlan(SeqOpt, s, stats.RestrictBox(d.Root(), s, box), box, q)
+	if node.Kind != plan.Leaf || node.Result || cost != 0 {
+		t.Errorf("determined-false box: node=%+v cost=%g", node, cost)
+	}
+	// Box that satisfies every predicate: true leaf.
+	sat := query.FullBox(s).
+		With(1, query.Range{Lo: 1, Hi: 1}).
+		With(2, query.Range{Lo: 1, Hi: 1}).
+		With(3, query.Range{Lo: 1, Hi: 1})
+	node, cost = SequentialPlan(SeqOpt, s, stats.RestrictBox(d.Root(), s, sat), sat, q)
+	if node.Kind != plan.Leaf || !node.Result || cost != 0 {
+		t.Errorf("determined-true box: node=%+v cost=%g", node, cost)
+	}
+}
+
+func TestSequentialPlanObservedAttrIsFree(t *testing.T) {
+	s := corrSchema()
+	d := stats.NewEmpirical(corrTable())
+	q := corrQuery(s)
+	// Attr 1 observed (restricted) but its predicate still open is
+	// impossible for binary domains, so restrict a wider schema instead:
+	ws := schema.New(
+		schema.Attribute{Name: "a", K: 8, Cost: 100},
+		schema.Attribute{Name: "b", K: 8, Cost: 100},
+	)
+	wtbl := table.New(ws, 64)
+	rng := rand.New(rand.NewSource(3))
+	for i := 0; i < 64; i++ {
+		wtbl.MustAppendRow([]schema.Value{schema.Value(rng.Intn(8)), schema.Value(rng.Intn(8))})
+	}
+	wd := stats.NewEmpirical(wtbl)
+	wq := query.MustNewQuery(ws,
+		query.Pred{Attr: 0, R: query.Range{Lo: 2, Hi: 5}},
+		query.Pred{Attr: 1, R: query.Range{Lo: 0, Hi: 3}},
+	)
+	// a observed to [2,7]: predicate on a still open, but free to test.
+	box := query.FullBox(ws).With(0, query.Range{Lo: 2, Hi: 7})
+	c := stats.RestrictBox(wd.Root(), ws, box)
+	node, cost := SequentialPlan(SeqOpt, ws, c, box, wq)
+	// Cost must be at most b's acquisition cost: a is already acquired.
+	if cost > 100+1e-9 {
+		t.Errorf("cost = %g, want <= 100", cost)
+	}
+	// The free predicate on a should be evaluated first (rank 0).
+	if node.Kind != plan.Seq || node.Preds[0].Attr != 0 {
+		t.Errorf("free predicate not first: %+v", node)
+	}
+	_ = d
+	_ = q
+}
+
+func TestOptSeqFallsBackPastCap(t *testing.T) {
+	// 18 predicates exceeds optSeqMaxPreds; OptSeq must not try to build
+	// a 2^18 table per leaf but still return a valid plan.
+	n := 18
+	attrs := make([]schema.Attribute, n)
+	for i := range attrs {
+		attrs[i] = schema.Attribute{Name: string(rune('a' + i)), K: 2, Cost: 100}
+	}
+	s := schema.New(attrs...)
+	tbl := table.New(s, 32)
+	rng := rand.New(rand.NewSource(5))
+	row := make([]schema.Value, n)
+	for i := 0; i < 32; i++ {
+		for j := range row {
+			row[j] = schema.Value(rng.Intn(2))
+		}
+		tbl.MustAppendRow(row)
+	}
+	d := stats.NewEmpirical(tbl)
+	preds := make([]query.Pred, n)
+	for i := range preds {
+		preds[i] = query.Pred{Attr: i, R: query.Range{Lo: 1, Hi: 1}}
+	}
+	q := query.MustNewQuery(s, preds...)
+	node, cost := SequentialPlan(SeqOpt, s, d.Root(), query.FullBox(s), q)
+	if node.Kind != plan.Seq || len(node.Preds) != n {
+		t.Fatalf("fallback plan malformed: %+v", node)
+	}
+	if cost <= 0 || math.IsInf(cost, 0) {
+		t.Errorf("fallback cost = %g", cost)
+	}
+}
+
+func TestRankBoundaryCases(t *testing.T) {
+	if rank(0, 0) != 0 {
+		t.Error("free predicate should rank 0")
+	}
+	if !math.IsInf(rank(5, 0), 1) {
+		t.Error("never-failing predicate should rank +Inf")
+	}
+	if rank(10, 0.5) != 20 {
+		t.Error("rank(10, 0.5) != 20")
+	}
+}

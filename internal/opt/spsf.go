@@ -1,0 +1,151 @@
+// Package opt implements the paper's planning algorithms: the Naive
+// predicate ordering (Section 4.1.1), the optimal sequential planner
+// OptSeq (Section 4.1.2), the greedy sequential planner GreedySeq of
+// Munagala et al. (Section 4.1.3), the exhaustive conditional planner
+// (Section 3.2, Figure 5), and the greedy conditional planner
+// GreedySplit/GreedyPlan (Section 4.2, Figures 6 and 7), together with the
+// split-point-selection-factor (SPSF) restriction of Section 4.3.
+package opt
+
+import (
+	"fmt"
+	"sort"
+
+	"acqp/internal/query"
+	"acqp/internal/schema"
+)
+
+// SPSF restricts the candidate split points the conditional planners may
+// condition on (Section 4.3). For each attribute it holds a sorted list of
+// candidate split values x, meaning the planners may only introduce
+// conditioning predicates T(X_i >= x) at those x. The Split Point
+// Selection Factor is the product of the per-attribute candidate counts.
+type SPSF struct {
+	points [][]schema.Value // per attribute, sorted ascending, all in [1, K-1]
+}
+
+// UniformSPSF builds the paper's equal-width candidate sets: attribute i's
+// domain is divided into r[i]+1 equal ranges and the interior endpoints
+// become the candidate split points. r[i] == 0 disables conditioning on
+// attribute i; r[i] >= K_i-1 allows every possible split.
+func UniformSPSF(s *schema.Schema, r []int) (SPSF, error) {
+	if len(r) != s.NumAttrs() {
+		return SPSF{}, fmt.Errorf("opt: SPSF needs %d split counts, got %d", s.NumAttrs(), len(r))
+	}
+	sp := SPSF{points: make([][]schema.Value, s.NumAttrs())}
+	for i, ri := range r {
+		if ri < 0 {
+			return SPSF{}, fmt.Errorf("opt: negative split count for attribute %s", s.Name(i))
+		}
+		k := s.K(i)
+		if ri > k-1 {
+			ri = k - 1
+		}
+		pts := make([]schema.Value, 0, ri)
+		var prev schema.Value
+		for j := 1; j <= ri; j++ {
+			// Interior endpoint of the j-th of ri+1 equal-width ranges.
+			x := schema.Value((j*k + (ri+1)/2) / (ri + 1))
+			if x < 1 {
+				x = 1
+			}
+			if int(x) > k-1 {
+				x = schema.Value(k - 1)
+			}
+			if len(pts) == 0 || x != prev {
+				pts = append(pts, x)
+				prev = x
+			}
+		}
+		sp.points[i] = pts
+	}
+	return sp, nil
+}
+
+// FullSPSF allows every possible split point of every attribute
+// (SPSF equal to the product of domain sizes).
+func FullSPSF(s *schema.Schema) SPSF {
+	r := make([]int, s.NumAttrs())
+	for i := range r {
+		r[i] = s.K(i) - 1
+	}
+	sp, err := UniformSPSF(s, r)
+	if err != nil {
+		panic(err) // unreachable: counts are valid by construction
+	}
+	return sp
+}
+
+// UniformSPSFSame builds a UniformSPSF with the same split count for every
+// attribute.
+func UniformSPSFSame(s *schema.Schema, r int) SPSF {
+	rs := make([]int, s.NumAttrs())
+	for i := range rs {
+		rs[i] = r
+	}
+	sp, err := UniformSPSF(s, rs)
+	if err != nil {
+		panic(err) // unreachable: counts are valid by construction
+	}
+	return sp
+}
+
+// WithQueryEndpoints returns a copy of the SPSF whose candidate sets
+// additionally contain the boundary points of every query predicate
+// (p.R.Lo and p.R.Hi+1). This guarantees the exhaustive planner can
+// always resolve each predicate with at most two splits, regardless of how
+// coarse the configured SPSF is: without it, a query whose range endpoints
+// fall between candidate points could never be decided by splits alone.
+func (sp SPSF) WithQueryEndpoints(s *schema.Schema, q query.Query) SPSF {
+	out := SPSF{points: make([][]schema.Value, len(sp.points))}
+	copy(out.points, sp.points)
+	for _, p := range q.Preds {
+		pts := append([]schema.Value(nil), out.points[p.Attr]...)
+		k := s.K(p.Attr)
+		for _, x := range []int{int(p.R.Lo), int(p.R.Hi) + 1} {
+			if x >= 1 && x <= k-1 {
+				pts = insertSorted(pts, schema.Value(x))
+			}
+		}
+		out.points[p.Attr] = pts
+	}
+	return out
+}
+
+func insertSorted(pts []schema.Value, x schema.Value) []schema.Value {
+	i := sort.Search(len(pts), func(j int) bool { return pts[j] >= x })
+	if i < len(pts) && pts[i] == x {
+		return pts
+	}
+	pts = append(pts, 0)
+	copy(pts[i+1:], pts[i:])
+	pts[i] = x
+	return pts
+}
+
+// Candidates returns the candidate split values x for attribute attr that
+// split the current range r into two non-empty halves [r.Lo, x-1] and
+// [x, r.Hi] — i.e. candidates with r.Lo < x <= r.Hi.
+func (sp SPSF) Candidates(attr int, r query.Range) []schema.Value {
+	pts := sp.points[attr]
+	lo := sort.Search(len(pts), func(i int) bool { return pts[i] > r.Lo })
+	hi := sort.Search(len(pts), func(i int) bool { return pts[i] > r.Hi })
+	return pts[lo:hi]
+}
+
+// NumPoints returns r_i, the number of candidate split points for
+// attribute attr.
+func (sp SPSF) NumPoints(attr int) int { return len(sp.points[attr]) }
+
+// Factor returns the Split Point Selection Factor, the product of the
+// per-attribute candidate counts (attributes with zero candidates count
+// as 1: they simply cannot be conditioned on).
+func (sp SPSF) Factor() float64 {
+	f := 1.0
+	for _, pts := range sp.points {
+		if len(pts) > 0 {
+			f *= float64(len(pts))
+		}
+	}
+	return f
+}

@@ -1,0 +1,146 @@
+package opt
+
+import (
+	"testing"
+
+	"acqp/internal/query"
+	"acqp/internal/schema"
+)
+
+func spsfSchema() *schema.Schema {
+	return schema.New(
+		schema.Attribute{Name: "a", K: 16, Cost: 1},
+		schema.Attribute{Name: "b", K: 9, Cost: 100},
+	)
+}
+
+func TestUniformSPSFValidation(t *testing.T) {
+	s := spsfSchema()
+	if _, err := UniformSPSF(s, []int{1}); err == nil {
+		t.Error("wrong arity accepted")
+	}
+	if _, err := UniformSPSF(s, []int{-1, 0}); err == nil {
+		t.Error("negative count accepted")
+	}
+}
+
+func TestUniformSPSFPoints(t *testing.T) {
+	s := spsfSchema()
+	sp, err := UniformSPSF(s, []int{3, 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// K=16, r=3: interior endpoints of 4 equal ranges: 4, 8, 12.
+	want := []schema.Value{4, 8, 12}
+	got := sp.Candidates(0, query.FullRange(16))
+	if len(got) != len(want) {
+		t.Fatalf("candidates = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("candidates = %v, want %v", got, want)
+		}
+	}
+	if n := sp.NumPoints(1); n != 0 {
+		t.Errorf("attribute with r=0 has %d points", n)
+	}
+	if f := sp.Factor(); f != 3 {
+		t.Errorf("Factor = %g, want 3", f)
+	}
+}
+
+func TestUniformSPSFClampsToDomain(t *testing.T) {
+	s := spsfSchema()
+	sp, err := UniformSPSF(s, []int{100, 100})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// r is clamped to K-1: every split point once.
+	if n := sp.NumPoints(0); n != 15 {
+		t.Errorf("NumPoints(a) = %d, want 15", n)
+	}
+	if n := sp.NumPoints(1); n != 8 {
+		t.Errorf("NumPoints(b) = %d, want 8", n)
+	}
+}
+
+func TestFullSPSFEqualsClampedUniform(t *testing.T) {
+	s := spsfSchema()
+	sp := FullSPSF(s)
+	for attr := 0; attr < s.NumAttrs(); attr++ {
+		pts := sp.Candidates(attr, query.FullRange(s.K(attr)))
+		if len(pts) != s.K(attr)-1 {
+			t.Fatalf("attr %d: %d points, want %d", attr, len(pts), s.K(attr)-1)
+		}
+		for i, x := range pts {
+			if int(x) != i+1 {
+				t.Fatalf("attr %d: point[%d] = %d, want %d", attr, i, x, i+1)
+			}
+		}
+	}
+}
+
+func TestCandidatesRespectRange(t *testing.T) {
+	s := spsfSchema()
+	sp := FullSPSF(s)
+	got := sp.Candidates(0, query.Range{Lo: 5, Hi: 9})
+	// Valid splits of [5,9]: x in {6,7,8,9}.
+	if len(got) != 4 || got[0] != 6 || got[3] != 9 {
+		t.Errorf("Candidates([5,9]) = %v, want [6 7 8 9]", got)
+	}
+	if got := sp.Candidates(0, query.Range{Lo: 7, Hi: 7}); len(got) != 0 {
+		t.Errorf("singleton range has candidates %v", got)
+	}
+}
+
+func TestWithQueryEndpoints(t *testing.T) {
+	s := spsfSchema()
+	sp := UniformSPSFSame(s, 1) // only the midpoints 8 and 4..5-ish
+	q := query.MustNewQuery(s,
+		query.Pred{Attr: 0, R: query.Range{Lo: 3, Hi: 11}},
+		query.Pred{Attr: 1, R: query.Range{Lo: 0, Hi: 6}},
+	)
+	aug := sp.WithQueryEndpoints(s, q)
+	// Attribute 0 gains 3 and 12.
+	has := func(attr int, x schema.Value) bool {
+		for _, v := range aug.Candidates(attr, query.FullRange(s.K(attr))) {
+			if v == x {
+				return true
+			}
+		}
+		return false
+	}
+	if !has(0, 3) || !has(0, 12) {
+		t.Error("attribute 0 missing predicate endpoints")
+	}
+	// Attribute 1's predicate starts at 0 (no split needed) and ends at 6
+	// (split at 7 needed).
+	if !has(1, 7) {
+		t.Error("attribute 1 missing endpoint 7")
+	}
+	// The original SPSF is untouched.
+	if len(sp.Candidates(0, query.FullRange(16))) != 1 {
+		t.Error("WithQueryEndpoints mutated the receiver")
+	}
+	// Idempotent: applying again adds nothing.
+	aug2 := aug.WithQueryEndpoints(s, q)
+	if len(aug2.Candidates(0, query.FullRange(16))) != len(aug.Candidates(0, query.FullRange(16))) {
+		t.Error("WithQueryEndpoints not idempotent")
+	}
+}
+
+func TestInsertSortedProperty(t *testing.T) {
+	pts := []schema.Value{}
+	for _, x := range []schema.Value{5, 1, 9, 5, 3, 9, 7} {
+		pts = insertSorted(pts, x)
+	}
+	want := []schema.Value{1, 3, 5, 7, 9}
+	if len(pts) != len(want) {
+		t.Fatalf("insertSorted produced %v", pts)
+	}
+	for i := range want {
+		if pts[i] != want[i] {
+			t.Fatalf("insertSorted produced %v, want %v", pts, want)
+		}
+	}
+}

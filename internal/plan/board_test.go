@@ -1,0 +1,111 @@
+package plan
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"acqp/internal/query"
+	"acqp/internal/schema"
+	"acqp/internal/stats"
+	"acqp/internal/table"
+)
+
+func boardSchema(t *testing.T) *schema.Schema {
+	t.Helper()
+	s := schema.New(
+		schema.Attribute{Name: "free", K: 4, Cost: 1},
+		schema.Attribute{Name: "s1", K: 4, Cost: 5, Board: 1},
+		schema.Attribute{Name: "s2", K: 4, Cost: 5, Board: 1},
+	)
+	if err := s.SetBoardCost(1, 50); err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func TestExecuteChargesBoardOnce(t *testing.T) {
+	s := boardSchema(t)
+	// Sequential plan touching both board sensors.
+	p := NewSeq([]query.Pred{
+		{Attr: 1, R: query.Range{Lo: 0, Hi: 3}}, // always true
+		{Attr: 2, R: query.Range{Lo: 0, Hi: 3}},
+	})
+	acquired := make([]bool, 3)
+	_, cost := p.Execute(s, []schema.Value{0, 1, 2}, acquired)
+	// 50 (board) + 5 + 5 — not 110.
+	if cost != 60 {
+		t.Errorf("cost = %g, want 60", cost)
+	}
+}
+
+func TestExecuteBoardNotChargedIfUnused(t *testing.T) {
+	s := boardSchema(t)
+	p := NewSeq([]query.Pred{
+		{Attr: 0, R: query.Range{Lo: 2, Hi: 3}}, // fails for value 0
+		{Attr: 1, R: query.Range{Lo: 0, Hi: 3}},
+	})
+	acquired := make([]bool, 3)
+	res, cost := p.Execute(s, []schema.Value{0, 1, 2}, acquired)
+	if res || cost != 1 {
+		t.Errorf("res=%v cost=%g, want false/1 (board never powered)", res, cost)
+	}
+}
+
+// The Equation-4 identity must hold with board costs too: analytic
+// expected cost equals the empirical per-tuple average.
+func TestExpectedCostMatchesEmpiricalAverageWithBoards(t *testing.T) {
+	s := schema.New(
+		schema.Attribute{Name: "a", K: 6, Cost: 2},
+		schema.Attribute{Name: "b", K: 4, Cost: 5, Board: 1},
+		schema.Attribute{Name: "c", K: 8, Cost: 1, Board: 1},
+		schema.Attribute{Name: "d", K: 4, Cost: 3, Board: 2},
+	)
+	if err := s.SetBoardCost(1, 40); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.SetBoardCost(2, 15); err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(99))
+	for trial := 0; trial < 40; trial++ {
+		tbl := randomTable(rng, s, 150)
+		p := randomPlan(rng, s, 4)
+		want := 0.0
+		acquired := make([]bool, s.NumAttrs())
+		var row []schema.Value
+		for r := 0; r < tbl.NumRows(); r++ {
+			row = tbl.Row(r, row)
+			for i := range acquired {
+				acquired[i] = false
+			}
+			_, c := p.Execute(s, row, acquired)
+			want += c
+		}
+		want /= float64(tbl.NumRows())
+		got := ExpectedCostRoot(p, stats.NewEmpirical(tbl))
+		if math.Abs(got-want) > 1e-9 {
+			t.Fatalf("trial %d: ExpectedCost = %.12f, empirical average = %.12f\n%s",
+				trial, got, want, Render(p, s))
+		}
+	}
+}
+
+func TestExpectedSeqCostBoardSharing(t *testing.T) {
+	s := boardSchema(t)
+	tbl := table.New(s, 8)
+	for i := 0; i < 8; i++ {
+		tbl.MustAppendRow([]schema.Value{
+			schema.Value(i % 4), schema.Value(i % 4), schema.Value((i + 1) % 4),
+		})
+	}
+	d := stats.NewEmpirical(tbl)
+	// Both predicates always true: the seq acquires s1 then s2.
+	p := NewSeq([]query.Pred{
+		{Attr: 1, R: query.Range{Lo: 0, Hi: 3}},
+		{Attr: 2, R: query.Range{Lo: 0, Hi: 3}},
+	})
+	if got := ExpectedCostRoot(p, d); math.Abs(got-60) > 1e-9 {
+		t.Errorf("expected cost = %g, want 60 (board charged once)", got)
+	}
+}

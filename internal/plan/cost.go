@@ -1,0 +1,90 @@
+package plan
+
+import (
+	"acqp/internal/query"
+	"acqp/internal/schema"
+	"acqp/internal/stats"
+)
+
+// ExpectedCost evaluates Equation (3) of the paper: the expected
+// acquisition cost of the plan under the conditioning context c, which
+// must already be restricted to the given box (the evidence t gathered so
+// far). For the cost of a complete plan, pass the distribution's root
+// context and the full box.
+func ExpectedCost(n *Node, s *schema.Schema, c stats.Cond, box query.Box) float64 {
+	switch n.Kind {
+	case Leaf:
+		return 0
+	case Split:
+		var atomic float64
+		if !box.Observed(n.Attr, s.K(n.Attr)) {
+			atomic = s.AcquisitionCostWith(n.Attr, func(i int) bool {
+				return box.Observed(i, s.K(i))
+			})
+		}
+		r := box[n.Attr]
+		// P(X >= x | evidence); clamp the split into the current range so
+		// degenerate splits cost through the single reachable branch.
+		var pRight float64
+		switch {
+		case n.X <= r.Lo:
+			pRight = 1
+		case int(n.X) > int(r.Hi):
+			pRight = 0
+		default:
+			pRight = c.ProbRange(n.Attr, query.Range{Lo: n.X, Hi: r.Hi})
+		}
+		cost := atomic
+		if pLeft := 1 - pRight; pLeft > 0 {
+			lr := query.Range{Lo: r.Lo, Hi: n.X - 1}
+			cost += pLeft * ExpectedCost(n.Left, s, c.RestrictRange(n.Attr, lr), box.With(n.Attr, lr))
+		}
+		if pRight > 0 {
+			rr := query.Range{Lo: maxVal(n.X, r.Lo), Hi: r.Hi}
+			cost += pRight * ExpectedCost(n.Right, s, c.RestrictRange(n.Attr, rr), box.With(n.Attr, rr))
+		}
+		return cost
+	case Seq:
+		return expectedSeqCost(n.Preds, s, c, box)
+	default:
+		panic("plan: invalid node kind")
+	}
+}
+
+// expectedSeqCost computes the expected cost of evaluating the predicates
+// in order, stopping at the first failure. Attributes already observed on
+// the path (restricted in the box) or by an earlier predicate of the same
+// sequence cost nothing to re-test.
+func expectedSeqCost(preds []query.Pred, s *schema.Schema, c stats.Cond, box query.Box) float64 {
+	acquired := make(map[int]bool, len(preds))
+	isAcq := func(i int) bool { return acquired[i] || box.Observed(i, s.K(i)) }
+	total := 0.0
+	reach := 1.0 // probability execution reaches the current predicate
+	for _, p := range preds {
+		if !isAcq(p.Attr) {
+			total += reach * s.AcquisitionCostWith(p.Attr, isAcq)
+		}
+		acquired[p.Attr] = true
+		pSat := c.ProbPred(p)
+		reach *= pSat
+		if reach == 0 {
+			break
+		}
+		c = c.RestrictPred(p, true)
+	}
+	return total
+}
+
+// ExpectedCostRoot is ExpectedCost evaluated from an unconditioned
+// distribution: C(P, {}) in the paper's notation.
+func ExpectedCostRoot(n *Node, d stats.Dist) float64 {
+	s := d.Schema()
+	return ExpectedCost(n, s, d.Root(), query.FullBox(s))
+}
+
+func maxVal(a, b schema.Value) schema.Value {
+	if a > b {
+		return a
+	}
+	return b
+}

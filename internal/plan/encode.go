@@ -1,0 +1,180 @@
+package plan
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"acqp/internal/query"
+	"acqp/internal/schema"
+)
+
+// Wire format. Plans are disseminated to sensor nodes over a low-bandwidth
+// radio (Section 2.4), so the encoding is deliberately compact: a two-byte
+// header followed by a pre-order node stream using unsigned varints.
+//
+//	header:  'A' 'Q'
+//	leaf:    0x00|result
+//	split:   0x02, attr uvarint, x uvarint, len(left) uvarint, left, right
+//	seq:     0x03, count uvarint, then per predicate:
+//	         flags (bit0 = negated), attr uvarint, lo uvarint, hi uvarint
+//
+// Size(P) (the paper's zeta(P)) is the length of this encoding in bytes.
+const (
+	wireMagic0 = 'A'
+	wireMagic1 = 'Q'
+
+	opLeafFalse = 0x00
+	opLeafTrue  = 0x01
+	opSplit     = 0x02
+	opSeq       = 0x03
+)
+
+// Encode serializes the plan to its wire format.
+func Encode(n *Node) []byte {
+	buf := []byte{wireMagic0, wireMagic1}
+	return appendNode(buf, n)
+}
+
+// Size returns zeta(P), the size of the plan in bytes on the wire
+// (Section 2.4's communication cost term).
+func Size(n *Node) int { return len(Encode(n)) }
+
+func appendNode(buf []byte, n *Node) []byte {
+	switch n.Kind {
+	case Leaf:
+		if n.Result {
+			return append(buf, opLeafTrue)
+		}
+		return append(buf, opLeafFalse)
+	case Split:
+		buf = append(buf, opSplit)
+		buf = binary.AppendUvarint(buf, uint64(n.Attr))
+		buf = binary.AppendUvarint(buf, uint64(n.X))
+		left := appendNode(nil, n.Left)
+		buf = binary.AppendUvarint(buf, uint64(len(left)))
+		buf = append(buf, left...)
+		return appendNode(buf, n.Right)
+	case Seq:
+		buf = append(buf, opSeq)
+		buf = binary.AppendUvarint(buf, uint64(len(n.Preds)))
+		for _, p := range n.Preds {
+			var flags byte
+			if p.Negated {
+				flags |= 1
+			}
+			buf = append(buf, flags)
+			buf = binary.AppendUvarint(buf, uint64(p.Attr))
+			buf = binary.AppendUvarint(buf, uint64(p.R.Lo))
+			buf = binary.AppendUvarint(buf, uint64(p.R.Hi))
+		}
+		return buf
+	default:
+		panic("plan: invalid node kind")
+	}
+}
+
+// Decode parses a wire-format plan and validates it against the schema,
+// as a sensor node would before installing a disseminated plan.
+func Decode(s *schema.Schema, data []byte) (*Node, error) {
+	if len(data) < 3 || data[0] != wireMagic0 || data[1] != wireMagic1 {
+		return nil, fmt.Errorf("plan: bad magic")
+	}
+	n, rest, err := decodeNode(data[2:])
+	if err != nil {
+		return nil, err
+	}
+	if len(rest) != 0 {
+		return nil, fmt.Errorf("plan: %d trailing bytes", len(rest))
+	}
+	if err := n.Validate(s); err != nil {
+		return nil, err
+	}
+	return n, nil
+}
+
+func decodeNode(data []byte) (*Node, []byte, error) {
+	if len(data) == 0 {
+		return nil, nil, fmt.Errorf("plan: truncated node")
+	}
+	op, data := data[0], data[1:]
+	switch op {
+	case opLeafFalse, opLeafTrue:
+		return NewLeaf(op == opLeafTrue), data, nil
+	case opSplit:
+		attr, data, err := readUvarint(data)
+		if err != nil {
+			return nil, nil, err
+		}
+		x, data, err := readUvarint(data)
+		if err != nil {
+			return nil, nil, err
+		}
+		leftLen, data, err := readUvarint(data)
+		if err != nil {
+			return nil, nil, err
+		}
+		if leftLen > uint64(len(data)) {
+			return nil, nil, fmt.Errorf("plan: left subtree length %d exceeds remaining %d bytes", leftLen, len(data))
+		}
+		left, rest, err := decodeNode(data[:leftLen])
+		if err != nil {
+			return nil, nil, err
+		}
+		if len(rest) != 0 {
+			return nil, nil, fmt.Errorf("plan: left subtree has trailing bytes")
+		}
+		right, data, err := decodeNode(data[leftLen:])
+		if err != nil {
+			return nil, nil, err
+		}
+		if x > uint64(schema.MaxDomain) {
+			return nil, nil, fmt.Errorf("plan: split threshold %d out of range", x)
+		}
+		return NewSplit(int(attr), schema.Value(x), left, right), data, nil
+	case opSeq:
+		count, data, err := readUvarint(data)
+		if err != nil {
+			return nil, nil, err
+		}
+		if count == 0 || count > 4096 {
+			return nil, nil, fmt.Errorf("plan: seq predicate count %d out of range", count)
+		}
+		preds := make([]query.Pred, 0, count)
+		for i := uint64(0); i < count; i++ {
+			if len(data) == 0 {
+				return nil, nil, fmt.Errorf("plan: truncated seq predicate")
+			}
+			flags := data[0]
+			data = data[1:]
+			var attr, lo, hi uint64
+			if attr, data, err = readUvarint(data); err != nil {
+				return nil, nil, err
+			}
+			if lo, data, err = readUvarint(data); err != nil {
+				return nil, nil, err
+			}
+			if hi, data, err = readUvarint(data); err != nil {
+				return nil, nil, err
+			}
+			if lo > uint64(schema.MaxDomain) || hi > uint64(schema.MaxDomain) {
+				return nil, nil, fmt.Errorf("plan: seq predicate range out of bounds")
+			}
+			preds = append(preds, query.Pred{
+				Attr:    int(attr),
+				R:       query.Range{Lo: schema.Value(lo), Hi: schema.Value(hi)},
+				Negated: flags&1 != 0,
+			})
+		}
+		return NewSeq(preds), data, nil
+	default:
+		return nil, nil, fmt.Errorf("plan: unknown opcode 0x%02x", op)
+	}
+}
+
+func readUvarint(data []byte) (uint64, []byte, error) {
+	v, n := binary.Uvarint(data)
+	if n <= 0 {
+		return 0, nil, fmt.Errorf("plan: bad varint")
+	}
+	return v, data[n:], nil
+}

@@ -1,0 +1,88 @@
+package plan
+
+import (
+	"math/rand"
+	"testing"
+
+	"acqp/internal/schema"
+)
+
+// fuzzSchema is the schema malformed-input decoding is checked against.
+func fuzzSchema() *schema.Schema {
+	return schema.New(
+		schema.Attribute{Name: "a", K: 8, Cost: 1},
+		schema.Attribute{Name: "b", K: 16, Cost: 100},
+	)
+}
+
+// FuzzDecode feeds arbitrary bytes to the wire decoder: a mote must
+// reject corrupt plans with an error, never a panic, and any plan that
+// decodes must validate.
+func FuzzDecode(f *testing.F) {
+	s := fuzzSchema()
+	f.Add([]byte{})
+	f.Add([]byte{'A', 'Q', 0x01})
+	f.Add(Encode(NewSplit(1, 7, NewLeaf(false), NewLeaf(true))))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		n, err := Decode(s, data)
+		if err == nil {
+			if vErr := n.Validate(s); vErr != nil {
+				t.Fatalf("Decode returned invalid plan: %v", vErr)
+			}
+		}
+	})
+}
+
+// TestDecodeNeverPanicsOnRandomBytes is the always-on property version of
+// FuzzDecode: random byte strings (including mutations of valid
+// encodings) must never panic the decoder.
+func TestDecodeNeverPanicsOnRandomBytes(t *testing.T) {
+	s := fuzzSchema()
+	rng := rand.New(rand.NewSource(123))
+	valid := Encode(NewSplit(1, 7,
+		NewSeq(nil),
+		NewSplit(0, 3, NewLeaf(false), NewLeaf(true)),
+	))
+	for trial := 0; trial < 5000; trial++ {
+		var data []byte
+		if trial%2 == 0 {
+			// Pure noise.
+			data = make([]byte, rng.Intn(40))
+			rng.Read(data)
+		} else {
+			// Corrupted valid encoding: flip a few bytes.
+			data = append([]byte(nil), valid...)
+			for k := 0; k < 1+rng.Intn(3); k++ {
+				if len(data) > 0 {
+					data[rng.Intn(len(data))] = byte(rng.Intn(256))
+				}
+			}
+		}
+		n, err := Decode(s, data) // must not panic
+		if err == nil {
+			if vErr := n.Validate(s); vErr != nil {
+				t.Fatalf("decoded plan fails validation: %v (input %x)", vErr, data)
+			}
+		}
+	}
+}
+
+// TestDecodeDepthBomb guards against stack exhaustion from deeply nested
+// split encodings.
+func TestDecodeDepthBomb(t *testing.T) {
+	s := fuzzSchema()
+	// Build a deeply right-nested plan and make sure round-tripping it
+	// works (bounded recursion, no quadratic blowup).
+	n := NewLeaf(true)
+	for i := 0; i < 2000; i++ {
+		n = NewSplit(0, 3, NewLeaf(false), n)
+	}
+	enc := Encode(n)
+	got, err := Decode(s, enc)
+	if err != nil {
+		t.Fatalf("deep plan rejected: %v", err)
+	}
+	if got.NumSplits() != 2000 {
+		t.Fatalf("deep plan lost splits: %d", got.NumSplits())
+	}
+}

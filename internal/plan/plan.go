@@ -1,0 +1,227 @@
+// Package plan defines the query plans of the paper and the machinery to
+// execute, cost, size, serialize, and render them.
+//
+// A conditional plan (Section 2.1) is a binary decision tree whose
+// interior nodes carry conditioning predicates T(X_i >= x) and whose
+// leaves either output the truth value of the WHERE clause directly or
+// hold a *sequential plan* — an ordered list of query predicates evaluated
+// until one fails (Section 4.1). The greedy planner of Section 4.2
+// produces exactly this shape: a small tree of splits with sequential
+// plans at the leaves; the exhaustive planner of Section 3 produces pure
+// split trees.
+//
+// An attribute is acquired (and its cost C_i paid) the first time any node
+// on the root-to-leaf path touches it; all later references are free
+// (Equation 1).
+package plan
+
+import (
+	"fmt"
+
+	"acqp/internal/query"
+	"acqp/internal/schema"
+)
+
+// Kind discriminates plan node types.
+type Kind int8
+
+// Plan node kinds.
+const (
+	// Leaf outputs a constant truth value.
+	Leaf Kind = iota
+	// Split evaluates the conditioning predicate T(X_Attr >= X) and
+	// descends into Left (false) or Right (true).
+	Split
+	// Seq evaluates Preds in order, outputting false at the first failed
+	// predicate and true if all pass.
+	Seq
+)
+
+// Node is one node of a plan. A Plan is simply its root *Node.
+type Node struct {
+	Kind Kind
+
+	// Leaf fields.
+	Result bool
+
+	// Split fields: test X_Attr >= X.
+	Attr        int
+	X           schema.Value
+	Left, Right *Node
+
+	// Seq fields.
+	Preds []query.Pred
+}
+
+// NewLeaf returns a leaf node with the given output.
+func NewLeaf(result bool) *Node { return &Node{Kind: Leaf, Result: result} }
+
+// NewSplit returns a split node testing X_attr >= x.
+func NewSplit(attr int, x schema.Value, left, right *Node) *Node {
+	return &Node{Kind: Split, Attr: attr, X: x, Left: left, Right: right}
+}
+
+// NewSeq returns a sequential-plan node over the given predicate order. An
+// empty predicate list is the constant-true plan.
+func NewSeq(preds []query.Pred) *Node {
+	if len(preds) == 0 {
+		return NewLeaf(true)
+	}
+	return &Node{Kind: Seq, Preds: append([]query.Pred(nil), preds...)}
+}
+
+// NumNodes returns the number of nodes in the plan (a Seq counts as one
+// node per predicate, matching how it is encoded on the wire).
+func (n *Node) NumNodes() int {
+	switch n.Kind {
+	case Leaf:
+		return 1
+	case Split:
+		return 1 + n.Left.NumNodes() + n.Right.NumNodes()
+	default:
+		return len(n.Preds)
+	}
+}
+
+// NumSplits returns the number of conditioning splits in the plan — the
+// quantity the paper's Heuristic-k bounds (Section 6: "at most k
+// conditional branches").
+func (n *Node) NumSplits() int {
+	if n.Kind != Split {
+		return 0
+	}
+	return 1 + n.Left.NumSplits() + n.Right.NumSplits()
+}
+
+// Depth returns the height of the plan tree (a leaf or Seq has depth 1).
+func (n *Node) Depth() int {
+	if n.Kind != Split {
+		return 1
+	}
+	l, r := n.Left.Depth(), n.Right.Depth()
+	if r > l {
+		l = r
+	}
+	return 1 + l
+}
+
+// Execute traverses the plan for one tuple, returning the plan's output
+// and the acquisition cost incurred (Equation 1). The acquired scratch
+// bitset must have one entry per schema attribute and be all-false; it is
+// left dirty for the caller to reuse via resetAcquired.
+func (n *Node) Execute(s *schema.Schema, row []schema.Value, acquired []bool) (result bool, cost float64) {
+	cur := n
+	for {
+		switch cur.Kind {
+		case Leaf:
+			return cur.Result, cost
+		case Split:
+			if !acquired[cur.Attr] {
+				cost += s.AcquisitionCost(cur.Attr, acquired)
+				acquired[cur.Attr] = true
+			}
+			if row[cur.Attr] >= cur.X {
+				cur = cur.Right
+			} else {
+				cur = cur.Left
+			}
+		case Seq:
+			for _, p := range cur.Preds {
+				if !acquired[p.Attr] {
+					cost += s.AcquisitionCost(p.Attr, acquired)
+					acquired[p.Attr] = true
+				}
+				if !p.Eval(row[p.Attr]) {
+					return false, cost
+				}
+			}
+			return true, cost
+		default:
+			panic(fmt.Sprintf("plan: invalid node kind %d", cur.Kind))
+		}
+	}
+}
+
+// Validate checks structural invariants of the plan against a schema:
+// split thresholds lie strictly inside the attribute's domain, attribute
+// indexes are in range, children of splits are present, and Seq nodes have
+// at least one predicate.
+func (n *Node) Validate(s *schema.Schema) error {
+	switch n.Kind {
+	case Leaf:
+		return nil
+	case Split:
+		if n.Attr < 0 || n.Attr >= s.NumAttrs() {
+			return fmt.Errorf("plan: split attribute %d out of range", n.Attr)
+		}
+		if n.X == 0 || int(n.X) >= s.K(n.Attr) {
+			return fmt.Errorf("plan: split %s >= %d is degenerate for domain [0,%d)", s.Name(n.Attr), n.X, s.K(n.Attr))
+		}
+		if n.Left == nil || n.Right == nil {
+			return fmt.Errorf("plan: split on %s has missing child", s.Name(n.Attr))
+		}
+		if err := n.Left.Validate(s); err != nil {
+			return err
+		}
+		return n.Right.Validate(s)
+	case Seq:
+		if len(n.Preds) == 0 {
+			return fmt.Errorf("plan: empty sequential node")
+		}
+		for _, p := range n.Preds {
+			if p.Attr < 0 || p.Attr >= s.NumAttrs() {
+				return fmt.Errorf("plan: seq predicate attribute %d out of range", p.Attr)
+			}
+			if !p.R.Valid() || int(p.R.Hi) >= s.K(p.Attr) {
+				return fmt.Errorf("plan: seq predicate range %v invalid for %s", p.R, s.Name(p.Attr))
+			}
+		}
+		return nil
+	default:
+		return fmt.Errorf("plan: invalid node kind %d", n.Kind)
+	}
+}
+
+// Equivalent checks that the plan computes phi(x) for every tuple of the
+// table, returning the first violating row index, or -1 if the plan is
+// correct on the whole table. It is the exhaustive correctness check used
+// in tests and by the executor's verify mode.
+func (n *Node) Equivalent(s *schema.Schema, q query.Query, tbl interface {
+	NumRows() int
+	Row(int, []schema.Value) []schema.Value
+}) int {
+	acquired := make([]bool, s.NumAttrs())
+	var row []schema.Value
+	for r := 0; r < tbl.NumRows(); r++ {
+		row = tbl.Row(r, row)
+		for i := range acquired {
+			acquired[i] = false
+		}
+		got, _ := n.Execute(s, row, acquired)
+		if got != q.Eval(row) {
+			return r
+		}
+	}
+	return -1
+}
+
+// Attrs returns the set of attributes the plan may acquire, as a bitset
+// indexed by attribute.
+func (n *Node) Attrs(numAttrs int) []bool {
+	set := make([]bool, numAttrs)
+	n.collectAttrs(set)
+	return set
+}
+
+func (n *Node) collectAttrs(set []bool) {
+	switch n.Kind {
+	case Split:
+		set[n.Attr] = true
+		n.Left.collectAttrs(set)
+		n.Right.collectAttrs(set)
+	case Seq:
+		for _, p := range n.Preds {
+			set[p.Attr] = true
+		}
+	}
+}

@@ -1,0 +1,399 @@
+package plan
+
+import (
+	"math"
+	"math/rand"
+	"reflect"
+	"strings"
+	"testing"
+
+	"acqp/internal/query"
+	"acqp/internal/schema"
+	"acqp/internal/stats"
+	"acqp/internal/table"
+)
+
+func testSchema() *schema.Schema {
+	return schema.New(
+		schema.Attribute{Name: "hour", K: 2, Cost: 0},
+		schema.Attribute{Name: "temp", K: 2, Cost: 1},
+		schema.Attribute{Name: "light", K: 2, Cost: 1},
+	)
+}
+
+// fig2Table reproduces the worked example of Figure 2: hour is a free
+// binary attribute (0 = night, 1 = day); the temp predicate (bit = 1) has
+// selectivity 0.1 at night and 0.9 during the day; the light predicate
+// has selectivity 0.9 at night and 0.1 during the day. Marginals are 0.5.
+func fig2Table() *table.Table {
+	tbl := table.New(testSchema(), 200)
+	add := func(count int, row []schema.Value) {
+		for i := 0; i < count; i++ {
+			tbl.MustAppendRow(row)
+		}
+	}
+	// Night (hour=0): P(temp)=0.1, P(light)=0.9, independent given hour.
+	add(9, []schema.Value{0, 1, 1})
+	add(1, []schema.Value{0, 1, 0})
+	add(81, []schema.Value{0, 0, 1})
+	add(9, []schema.Value{0, 0, 0})
+	// Day (hour=1): P(temp)=0.9, P(light)=0.1.
+	add(9, []schema.Value{1, 1, 1})
+	add(81, []schema.Value{1, 1, 0})
+	add(1, []schema.Value{1, 0, 1})
+	add(9, []schema.Value{1, 0, 0})
+	return tbl
+}
+
+func fig2Query(s *schema.Schema) query.Query {
+	return query.MustNewQuery(s,
+		query.Pred{Attr: 1, R: query.Range{Lo: 1, Hi: 1}}, // temp > 20C
+		query.Pred{Attr: 2, R: query.Range{Lo: 1, Hi: 1}}, // light < 100 Lux
+	)
+}
+
+func TestFigure2WorkedExample(t *testing.T) {
+	s := testSchema()
+	d := stats.NewEmpirical(fig2Table())
+	q := fig2Query(s)
+
+	// Traditional sequential plan: temp then light. Expected cost
+	// 1 + 0.5*1 = 1.5 units (Figure 2, left).
+	seq := NewSeq(q.Preds)
+	if got := ExpectedCostRoot(seq, d); math.Abs(got-1.5) > 1e-9 {
+		t.Errorf("sequential plan cost = %g, want 1.5", got)
+	}
+
+	// Conditional plan: condition on hour; at night temp first, during
+	// the day light first. Expected cost 1.1 units (Figure 2, right).
+	cond := NewSplit(0, 1,
+		NewSeq(q.Preds), // night: temp, light
+		NewSeq([]query.Pred{q.Preds[1], q.Preds[0]}), // day: light, temp
+	)
+	if got := ExpectedCostRoot(cond, d); math.Abs(got-1.1) > 1e-9 {
+		t.Errorf("conditional plan cost = %g, want 1.1", got)
+	}
+	// Both plans compute the same query.
+	if r := cond.Equivalent(s, q, fig2Table()); r != -1 {
+		t.Errorf("conditional plan wrong at row %d", r)
+	}
+	if r := seq.Equivalent(s, q, fig2Table()); r != -1 {
+		t.Errorf("sequential plan wrong at row %d", r)
+	}
+}
+
+func TestExecuteChargesAttributeOnce(t *testing.T) {
+	s := schema.New(
+		schema.Attribute{Name: "a", K: 10, Cost: 7},
+		schema.Attribute{Name: "b", K: 10, Cost: 3},
+	)
+	// Split twice on a, then a seq over a and b: a must cost 7 only once.
+	p := NewSplit(0, 5,
+		NewLeaf(false),
+		NewSplit(0, 8,
+			NewSeq([]query.Pred{
+				{Attr: 0, R: query.Range{Lo: 5, Hi: 7}},
+				{Attr: 1, R: query.Range{Lo: 0, Hi: 4}},
+			}),
+			NewLeaf(false),
+		),
+	)
+	acquired := make([]bool, 2)
+	res, cost := p.Execute(s, []schema.Value{6, 2}, acquired)
+	if !res {
+		t.Error("Execute result = false, want true")
+	}
+	if cost != 10 {
+		t.Errorf("cost = %g, want 10 (7 for a once + 3 for b)", cost)
+	}
+	// A tuple rejected at the first split only pays for a.
+	acquired = make([]bool, 2)
+	res, cost = p.Execute(s, []schema.Value{0, 0}, acquired)
+	if res || cost != 7 {
+		t.Errorf("rejected tuple: result=%v cost=%g, want false/7", res, cost)
+	}
+}
+
+func TestNodeCounts(t *testing.T) {
+	p := NewSplit(0, 1,
+		NewLeaf(false),
+		NewSplit(1, 1, NewSeq([]query.Pred{{Attr: 2, R: query.Range{Lo: 0, Hi: 0}}}), NewLeaf(true)),
+	)
+	if got := p.NumSplits(); got != 2 {
+		t.Errorf("NumSplits = %d, want 2", got)
+	}
+	if got := p.NumNodes(); got != 5 { // 2 splits + leaf + leaf + 1-pred seq
+		t.Errorf("NumNodes = %d, want 5", got)
+	}
+	if got := p.Depth(); got != 3 {
+		t.Errorf("Depth = %d, want 3", got)
+	}
+	set := p.Attrs(3)
+	if !set[0] || !set[1] || !set[2] {
+		t.Errorf("Attrs = %v, want all true", set)
+	}
+}
+
+func TestValidate(t *testing.T) {
+	s := testSchema()
+	good := NewSplit(1, 1, NewLeaf(false), NewLeaf(true))
+	if err := good.Validate(s); err != nil {
+		t.Errorf("valid plan rejected: %v", err)
+	}
+	cases := []struct {
+		name string
+		p    *Node
+	}{
+		{"attr out of range", NewSplit(7, 1, NewLeaf(false), NewLeaf(true))},
+		{"degenerate threshold 0", NewSplit(1, 0, NewLeaf(false), NewLeaf(true))},
+		{"threshold beyond domain", NewSplit(1, 2, NewLeaf(false), NewLeaf(true))},
+		{"missing child", &Node{Kind: Split, Attr: 1, X: 1, Left: NewLeaf(false)}},
+		{"empty seq", &Node{Kind: Seq}},
+		{"seq bad range", NewSeq([]query.Pred{{Attr: 1, R: query.Range{Lo: 1, Hi: 5}}})},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			if err := tc.p.Validate(s); err == nil {
+				t.Error("invalid plan accepted")
+			}
+		})
+	}
+}
+
+func TestEquivalentDetectsWrongPlan(t *testing.T) {
+	s := testSchema()
+	q := fig2Query(s)
+	wrong := NewLeaf(true) // claims everything passes
+	if r := wrong.Equivalent(s, q, fig2Table()); r == -1 {
+		t.Error("wrong plan reported equivalent")
+	}
+}
+
+// randomPlan builds a random valid plan over the schema.
+func randomPlan(rng *rand.Rand, s *schema.Schema, depth int) *Node {
+	if depth <= 0 || rng.Float64() < 0.3 {
+		switch rng.Intn(3) {
+		case 0:
+			return NewLeaf(rng.Intn(2) == 0)
+		default:
+			n := 1 + rng.Intn(3)
+			preds := make([]query.Pred, n)
+			for i := range preds {
+				attr := rng.Intn(s.NumAttrs())
+				k := s.K(attr)
+				lo := rng.Intn(k)
+				hi := lo + rng.Intn(k-lo)
+				preds[i] = query.Pred{
+					Attr:    attr,
+					R:       query.Range{Lo: schema.Value(lo), Hi: schema.Value(hi)},
+					Negated: rng.Intn(2) == 0,
+				}
+			}
+			return NewSeq(preds)
+		}
+	}
+	attr := rng.Intn(s.NumAttrs())
+	x := 1 + rng.Intn(s.K(attr)-1)
+	return NewSplit(attr, schema.Value(x), randomPlan(rng, s, depth-1), randomPlan(rng, s, depth-1))
+}
+
+func randomTable(rng *rand.Rand, s *schema.Schema, rows int) *table.Table {
+	tbl := table.New(s, rows)
+	row := make([]schema.Value, s.NumAttrs())
+	for r := 0; r < rows; r++ {
+		// Correlate: later attributes track the first one loosely so the
+		// test exercises non-trivial conditional probabilities.
+		base := rng.Intn(s.K(0))
+		row[0] = schema.Value(base)
+		for i := 1; i < s.NumAttrs(); i++ {
+			v := (base*s.K(i))/s.K(0) + rng.Intn(3) - 1
+			if v < 0 {
+				v = 0
+			}
+			if v >= s.K(i) {
+				v = s.K(i) - 1
+			}
+			row[i] = schema.Value(v)
+		}
+		tbl.MustAppendRow(row)
+	}
+	return tbl
+}
+
+// Property (Equation 4): on an empirical distribution built from table D,
+// the analytic expected cost of any plan equals the average per-tuple
+// execution cost over D exactly.
+func TestExpectedCostMatchesEmpiricalAverage(t *testing.T) {
+	s := schema.New(
+		schema.Attribute{Name: "a", K: 6, Cost: 2},
+		schema.Attribute{Name: "b", K: 4, Cost: 5},
+		schema.Attribute{Name: "c", K: 8, Cost: 1},
+	)
+	rng := rand.New(rand.NewSource(42))
+	for trial := 0; trial < 50; trial++ {
+		tbl := randomTable(rng, s, 200)
+		p := randomPlan(rng, s, 4)
+		if err := p.Validate(s); err != nil {
+			t.Fatalf("trial %d: random plan invalid: %v", trial, err)
+		}
+		want := 0.0
+		acquired := make([]bool, s.NumAttrs())
+		var row []schema.Value
+		for r := 0; r < tbl.NumRows(); r++ {
+			row = tbl.Row(r, row)
+			for i := range acquired {
+				acquired[i] = false
+			}
+			_, c := p.Execute(s, row, acquired)
+			want += c
+		}
+		want /= float64(tbl.NumRows())
+		got := ExpectedCostRoot(p, stats.NewEmpirical(tbl))
+		if math.Abs(got-want) > 1e-9 {
+			t.Fatalf("trial %d: ExpectedCost = %.12f, empirical average = %.12f", trial, got, want)
+		}
+	}
+}
+
+// Property: encode/decode round-trips any random plan bit-exactly.
+func TestEncodeDecodeRoundTrip(t *testing.T) {
+	s := schema.New(
+		schema.Attribute{Name: "a", K: 6, Cost: 2},
+		schema.Attribute{Name: "b", K: 4, Cost: 5},
+		schema.Attribute{Name: "c", K: 8, Cost: 1},
+	)
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 100; trial++ {
+		p := randomPlan(rng, s, 5)
+		enc := Encode(p)
+		if Size(p) != len(enc) {
+			t.Fatalf("Size disagrees with Encode length")
+		}
+		got, err := Decode(s, enc)
+		if err != nil {
+			t.Fatalf("trial %d: Decode: %v", trial, err)
+		}
+		if !reflect.DeepEqual(normalize(p), normalize(got)) {
+			t.Fatalf("trial %d: round trip mismatch\nwant %#v\ngot  %#v", trial, p, got)
+		}
+	}
+}
+
+// normalize clears capacity-only differences in predicate slices.
+func normalize(n *Node) *Node {
+	cp := *n
+	if n.Left != nil {
+		cp.Left = normalize(n.Left)
+	}
+	if n.Right != nil {
+		cp.Right = normalize(n.Right)
+	}
+	if n.Preds != nil {
+		cp.Preds = append([]query.Pred(nil), n.Preds...)
+	}
+	return &cp
+}
+
+func TestDecodeErrors(t *testing.T) {
+	s := testSchema()
+	good := Encode(NewSplit(1, 1, NewLeaf(false), NewLeaf(true)))
+	cases := []struct {
+		name string
+		data []byte
+	}{
+		{"empty", nil},
+		{"bad magic", []byte{'X', 'Q', 0x01}},
+		{"truncated", good[:len(good)-1]},
+		{"trailing", append(append([]byte{}, good...), 0x01)},
+		{"unknown opcode", []byte{'A', 'Q', 0x7f}},
+		{"zero-pred seq", []byte{'A', 'Q', opSeq, 0x00}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			if _, err := Decode(s, tc.data); err == nil {
+				t.Error("Decode accepted malformed input")
+			}
+		})
+	}
+}
+
+func TestDecodeRejectsInvalidPlan(t *testing.T) {
+	// Structurally parseable but semantically invalid for this schema:
+	// split threshold beyond the domain.
+	s := testSchema()
+	bad := Encode(NewSplit(1, 1, NewLeaf(false), NewLeaf(true)))
+	// Rebuild with an out-of-domain threshold via a schema with larger K.
+	big := schema.New(
+		schema.Attribute{Name: "hour", K: 100, Cost: 0},
+		schema.Attribute{Name: "temp", K: 100, Cost: 1},
+		schema.Attribute{Name: "light", K: 100, Cost: 1},
+	)
+	bad = Encode(NewSplit(1, 50, NewLeaf(false), NewLeaf(true)))
+	if _, err := Decode(big, bad); err != nil {
+		t.Fatalf("plan valid for big schema rejected: %v", err)
+	}
+	if _, err := Decode(s, bad); err == nil {
+		t.Error("plan with out-of-domain threshold accepted")
+	}
+}
+
+func TestRender(t *testing.T) {
+	s := schema.New(
+		schema.Attribute{Name: "hour", K: 24, Cost: 0},
+		schema.Attribute{Name: "light", K: 16, Cost: 100, Disc: schema.MustDiscretizer(0, 1600, 16)},
+	)
+	p := NewSplit(0, 12,
+		NewSeq([]query.Pred{{Attr: 1, R: query.Range{Lo: 0, Hi: 3}}}),
+		NewLeaf(false),
+	)
+	out := Render(p, s)
+	if !strings.Contains(out, "if hour >= 12") {
+		t.Errorf("Render missing split: %q", out)
+	}
+	if !strings.Contains(out, "light") {
+		t.Errorf("Render missing seq: %q", out)
+	}
+	dot := Dot(p, s)
+	if !strings.Contains(dot, "digraph plan") || !strings.Contains(dot, "->") {
+		t.Errorf("Dot output malformed: %q", dot)
+	}
+}
+
+func TestExpectedCostDegenerateSplit(t *testing.T) {
+	// A split whose threshold falls outside the already-restricted box
+	// must route all probability mass to the single reachable branch.
+	s := schema.New(schema.Attribute{Name: "a", K: 10, Cost: 1})
+	tbl := table.New(s, 10)
+	for i := 0; i < 10; i++ {
+		tbl.MustAppendRow([]schema.Value{schema.Value(i)})
+	}
+	d := stats.NewEmpirical(tbl)
+	// Outer split a>=5; inner right split a>=2 is degenerate (always true).
+	p := NewSplit(0, 5,
+		NewLeaf(false),
+		NewSplit(0, 2, NewLeaf(false), NewLeaf(true)),
+	)
+	// Only one acquisition of a, cost 1.
+	if got := ExpectedCostRoot(p, d); math.Abs(got-1) > 1e-12 {
+		t.Errorf("cost = %g, want 1", got)
+	}
+}
+
+func TestSeqSharedAttributeNotDoubleCharged(t *testing.T) {
+	s := schema.New(
+		schema.Attribute{Name: "a", K: 10, Cost: 4},
+	)
+	tbl := table.New(s, 10)
+	for i := 0; i < 10; i++ {
+		tbl.MustAppendRow([]schema.Value{schema.Value(i)})
+	}
+	d := stats.NewEmpirical(tbl)
+	// Two predicates over the same attribute: cost must be 4, not 8.
+	p := NewSeq([]query.Pred{
+		{Attr: 0, R: query.Range{Lo: 2, Hi: 9}},
+		{Attr: 0, R: query.Range{Lo: 0, Hi: 7}},
+	})
+	if got := ExpectedCostRoot(p, d); math.Abs(got-4) > 1e-12 {
+		t.Errorf("cost = %g, want 4", got)
+	}
+}

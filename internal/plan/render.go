@@ -1,0 +1,83 @@
+package plan
+
+import (
+	"fmt"
+	"strings"
+
+	"acqp/internal/schema"
+)
+
+// Render returns a human-readable indented rendering of the plan, in the
+// style of Figure 9 of the paper. Thresholds for attributes that carry a
+// discretizer are shown in raw units.
+func Render(n *Node, s *schema.Schema) string {
+	var sb strings.Builder
+	render(&sb, n, s, "")
+	return sb.String()
+}
+
+func render(sb *strings.Builder, n *Node, s *schema.Schema, indent string) {
+	switch n.Kind {
+	case Leaf:
+		if n.Result {
+			sb.WriteString(indent + "=> T\n")
+		} else {
+			sb.WriteString(indent + "=> F\n")
+		}
+	case Split:
+		sb.WriteString(indent + "if " + threshold(s, n.Attr, n.X) + ":\n")
+		render(sb, n.Right, s, indent+"    ")
+		sb.WriteString(indent + "else:\n")
+		render(sb, n.Left, s, indent+"    ")
+	case Seq:
+		parts := make([]string, len(n.Preds))
+		for i, p := range n.Preds {
+			parts[i] = p.Format(s)
+		}
+		sb.WriteString(indent + "eval " + strings.Join(parts, " ; ") + "\n")
+	}
+}
+
+func threshold(s *schema.Schema, attr int, x schema.Value) string {
+	a := s.Attr(attr)
+	if a.Disc != nil {
+		return fmt.Sprintf("%s >= %.4g", a.Name, a.Disc.Lower(x))
+	}
+	return fmt.Sprintf("%s >= %d", a.Name, x)
+}
+
+// Dot returns a Graphviz rendering of the plan for visual inspection.
+func Dot(n *Node, s *schema.Schema) string {
+	var sb strings.Builder
+	sb.WriteString("digraph plan {\n  node [shape=box fontname=\"Helvetica\"];\n")
+	id := 0
+	dot(&sb, n, s, &id)
+	sb.WriteString("}\n")
+	return sb.String()
+}
+
+func dot(sb *strings.Builder, n *Node, s *schema.Schema, id *int) int {
+	me := *id
+	*id++
+	switch n.Kind {
+	case Leaf:
+		label := "F"
+		if n.Result {
+			label = "T"
+		}
+		fmt.Fprintf(sb, "  n%d [label=%q shape=circle];\n", me, label)
+	case Split:
+		fmt.Fprintf(sb, "  n%d [label=%q];\n", me, threshold(s, n.Attr, n.X))
+		l := dot(sb, n.Left, s, id)
+		r := dot(sb, n.Right, s, id)
+		fmt.Fprintf(sb, "  n%d -> n%d [label=\"no\"];\n", me, l)
+		fmt.Fprintf(sb, "  n%d -> n%d [label=\"yes\"];\n", me, r)
+	case Seq:
+		parts := make([]string, len(n.Preds))
+		for i, p := range n.Preds {
+			parts[i] = p.Format(s)
+		}
+		fmt.Fprintf(sb, "  n%d [label=%q shape=note];\n", me, strings.Join(parts, "\\n"))
+	}
+	return me
+}

@@ -1,0 +1,125 @@
+package plan
+
+import (
+	"acqp/internal/query"
+	"acqp/internal/schema"
+)
+
+// Simplify returns a semantically identical plan with redundant structure
+// removed. Plans produced by the greedy planner can contain splits whose
+// branches are equivalent, splits already decided by the path above them,
+// and sequential predicates already proven true — dead weight that costs
+// zeta(P) bytes of radio on every dissemination (Section 2.4) without
+// changing a single acquisition.
+//
+// Rewrites applied (bottom-up, to fixpoint within one pass):
+//
+//   - a split whose threshold falls outside the reachable range of its
+//     attribute collapses to the only reachable child;
+//   - sequential predicates decided True by the reachable box are
+//     dropped; a predicate decided False truncates the plan to a false
+//     leaf;
+//   - a split whose children are structurally identical collapses to one
+//     child, unless the split acquires an attribute some child still
+//     needs (removing it would change which attributes are paid for
+//     before the children run — impossible here, since identical
+//     children pay for it themselves);
+//   - two identical leaves collapse trivially under the rule above.
+//
+// Simplify never changes the plan's output for any tuple, and never
+// increases its acquisition cost: the collapsed splits either tested an
+// attribute the path had already acquired (cost 0) or are re-acquired by
+// the children exactly where the original would have.
+func Simplify(n *Node, s *schema.Schema) *Node {
+	return simplify(n, s, query.FullBox(s))
+}
+
+func simplify(n *Node, s *schema.Schema, box query.Box) *Node {
+	switch n.Kind {
+	case Leaf:
+		return NewLeaf(n.Result)
+	case Split:
+		r := box[n.Attr]
+		// Decided splits: only one child is reachable. Collapsing is
+		// cost-safe only if the split was free (attribute already
+		// acquired on this path); otherwise the split's acquisition may
+		// be relied on by the subtree, so keep it.
+		if box.Observed(n.Attr, s.K(n.Attr)) {
+			if n.X <= r.Lo {
+				return simplify(n.Right, s, box)
+			}
+			if int(n.X) > int(r.Hi) {
+				return simplify(n.Left, s, box)
+			}
+		}
+		lo := query.Range{Lo: r.Lo, Hi: clampHi(n.X-1, r)}
+		hi := query.Range{Lo: clampLo(n.X, r), Hi: r.Hi}
+		left := simplify(n.Left, s, box.With(n.Attr, lo))
+		right := simplify(n.Right, s, box.With(n.Attr, hi))
+		// Identical children: the split contributes nothing to the
+		// output, so collapse to one child. Cost never increases: if the
+		// subtree re-tests the attribute it simply pays the acquisition
+		// at first use instead of at the removed split; if it never
+		// touches the attribute, the acquisition is saved outright.
+		if Equal(left, right) {
+			return left
+		}
+		return NewSplit(n.Attr, n.X, left, right)
+	case Seq:
+		preds := make([]query.Pred, 0, len(n.Preds))
+		for _, p := range n.Preds {
+			switch p.EvalRange(box[p.Attr]) {
+			case query.True:
+				continue // already proven; evaluating it is a no-op
+			case query.False:
+				// The reachable range (or, for an unobserved attribute,
+				// the full domain) already refutes the predicate, so no
+				// acquisition is needed to output false, and everything
+				// after it is unreachable.
+				return NewLeaf(false)
+			default:
+				preds = append(preds, p)
+			}
+		}
+		return NewSeq(preds)
+	default:
+		panic("plan: invalid node kind")
+	}
+}
+
+// Equal reports structural equality of two plans.
+func Equal(a, b *Node) bool {
+	if a.Kind != b.Kind {
+		return false
+	}
+	switch a.Kind {
+	case Leaf:
+		return a.Result == b.Result
+	case Split:
+		return a.Attr == b.Attr && a.X == b.X && Equal(a.Left, b.Left) && Equal(a.Right, b.Right)
+	default:
+		if len(a.Preds) != len(b.Preds) {
+			return false
+		}
+		for i := range a.Preds {
+			if a.Preds[i] != b.Preds[i] {
+				return false
+			}
+		}
+		return true
+	}
+}
+
+func clampHi(v schema.Value, r query.Range) schema.Value {
+	if v > r.Hi {
+		return r.Hi
+	}
+	return v
+}
+
+func clampLo(v schema.Value, r query.Range) schema.Value {
+	if v < r.Lo {
+		return r.Lo
+	}
+	return v
+}

@@ -1,0 +1,182 @@
+package plan
+
+import (
+	"math/rand"
+	"testing"
+
+	"acqp/internal/query"
+	"acqp/internal/schema"
+	"acqp/internal/stats"
+)
+
+func TestSimplifyCollapsesIdenticalChildren(t *testing.T) {
+	s := schema.New(
+		schema.Attribute{Name: "a", K: 8, Cost: 1},
+		schema.Attribute{Name: "b", K: 8, Cost: 1},
+	)
+	p := NewSplit(0, 4,
+		NewSeq([]query.Pred{{Attr: 1, R: query.Range{Lo: 0, Hi: 3}}}),
+		NewSeq([]query.Pred{{Attr: 1, R: query.Range{Lo: 0, Hi: 3}}}),
+	)
+	got := Simplify(p, s)
+	if got.Kind != Seq {
+		t.Fatalf("identical children not collapsed: %+v", got)
+	}
+}
+
+func TestSimplifyDropsDecidedSplit(t *testing.T) {
+	s := schema.New(schema.Attribute{Name: "a", K: 8, Cost: 1})
+	// Outer split a>=4; on the right branch, a>=2 is always true.
+	p := NewSplit(0, 4,
+		NewLeaf(false),
+		NewSplit(0, 2, NewLeaf(false), NewLeaf(true)),
+	)
+	got := Simplify(p, s)
+	if got.Kind != Split || got.X != 4 {
+		t.Fatalf("outer split altered: %+v", got)
+	}
+	if got.Right.Kind != Leaf || !got.Right.Result {
+		t.Fatalf("inner decided split not collapsed: %+v", got.Right)
+	}
+}
+
+func TestSimplifyPrunesDecidedSeqPreds(t *testing.T) {
+	s := schema.New(
+		schema.Attribute{Name: "a", K: 8, Cost: 1},
+		schema.Attribute{Name: "b", K: 8, Cost: 1},
+	)
+	// After a >= 4, the predicate a in [2,7] is proven; only b remains.
+	p := NewSplit(0, 4,
+		NewLeaf(false),
+		NewSeq([]query.Pred{
+			{Attr: 0, R: query.Range{Lo: 2, Hi: 7}},
+			{Attr: 1, R: query.Range{Lo: 0, Hi: 3}},
+		}),
+	)
+	got := Simplify(p, s)
+	if got.Right.Kind != Seq || len(got.Right.Preds) != 1 || got.Right.Preds[0].Attr != 1 {
+		t.Fatalf("proven predicate not dropped: %+v", got.Right)
+	}
+	// And a refuted predicate truncates to a false leaf.
+	p2 := NewSplit(0, 4,
+		NewSeq([]query.Pred{
+			{Attr: 0, R: query.Range{Lo: 4, Hi: 7}}, // a < 4 here: refuted
+			{Attr: 1, R: query.Range{Lo: 0, Hi: 3}},
+		}),
+		NewLeaf(false),
+	)
+	got2 := Simplify(p2, s)
+	if got2.Kind != Leaf || got2.Result {
+		t.Fatalf("refuted branch not truncated: %+v", got2)
+	}
+}
+
+func TestSimplifyEmptySeqBecomesTrueLeaf(t *testing.T) {
+	s := schema.New(schema.Attribute{Name: "a", K: 4, Cost: 1})
+	p := NewSplit(0, 2,
+		NewLeaf(false),
+		NewSeq([]query.Pred{{Attr: 0, R: query.Range{Lo: 2, Hi: 3}}}),
+	)
+	got := Simplify(p, s)
+	if got.Right.Kind != Leaf || !got.Right.Result {
+		t.Fatalf("fully-proven seq not reduced to true leaf: %+v", got.Right)
+	}
+}
+
+func TestEqual(t *testing.T) {
+	a := NewSplit(0, 2, NewLeaf(false), NewSeq([]query.Pred{{Attr: 1, R: query.Range{Lo: 0, Hi: 1}}}))
+	b := NewSplit(0, 2, NewLeaf(false), NewSeq([]query.Pred{{Attr: 1, R: query.Range{Lo: 0, Hi: 1}}}))
+	if !Equal(a, b) {
+		t.Error("identical plans not Equal")
+	}
+	c := NewSplit(0, 3, NewLeaf(false), NewLeaf(true))
+	if Equal(a, c) {
+		t.Error("different plans Equal")
+	}
+	if Equal(NewLeaf(true), NewLeaf(false)) {
+		t.Error("different leaves Equal")
+	}
+}
+
+// Property: Simplify preserves the output for every tuple in the domain,
+// never increases per-tuple cost, and never increases the wire size —
+// including under shared-board acquisition costs.
+func TestSimplifyPreservesSemanticsProperty(t *testing.T) {
+	plain := schema.New(
+		schema.Attribute{Name: "a", K: 4, Cost: 3},
+		schema.Attribute{Name: "b", K: 4, Cost: 5},
+		schema.Attribute{Name: "c", K: 4, Cost: 1},
+	)
+	boards := schema.New(
+		schema.Attribute{Name: "a", K: 4, Cost: 3, Board: 1},
+		schema.Attribute{Name: "b", K: 4, Cost: 5, Board: 1},
+		schema.Attribute{Name: "c", K: 4, Cost: 1},
+	)
+	if err := boards.SetBoardCost(1, 20); err != nil {
+		t.Fatal(err)
+	}
+	for _, s := range []*schema.Schema{plain, boards} {
+		simplifyProperty(t, s)
+	}
+}
+
+func simplifyProperty(t *testing.T, s *schema.Schema) {
+	t.Helper()
+	rng := rand.New(rand.NewSource(77))
+	for trial := 0; trial < 200; trial++ {
+		p := randomPlan(rng, s, 4)
+		sp := Simplify(p, s)
+		if err := sp.Validate(s); err != nil {
+			// An all-collapsed plan may be a single leaf, which is valid;
+			// anything else invalid is a bug.
+			t.Fatalf("trial %d: simplified plan invalid: %v", trial, err)
+		}
+		if Size(sp) > Size(p) {
+			t.Fatalf("trial %d: Simplify grew the plan: %d -> %d bytes", trial, Size(p), Size(sp))
+		}
+		acquired := make([]bool, s.NumAttrs())
+		row := make([]schema.Value, 3)
+		for a := 0; a < 4; a++ {
+			for b := 0; b < 4; b++ {
+				for c := 0; c < 4; c++ {
+					row[0], row[1], row[2] = schema.Value(a), schema.Value(b), schema.Value(c)
+					for i := range acquired {
+						acquired[i] = false
+					}
+					origRes, origCost := p.Execute(s, row, acquired)
+					for i := range acquired {
+						acquired[i] = false
+					}
+					simpRes, simpCost := sp.Execute(s, row, acquired)
+					if origRes != simpRes {
+						t.Fatalf("trial %d: output changed for %v: %v -> %v\norig:\n%s\nsimp:\n%s",
+							trial, row, origRes, simpRes, Render(p, s), Render(sp, s))
+					}
+					if simpCost > origCost+1e-9 {
+						t.Fatalf("trial %d: cost increased for %v: %g -> %g", trial, row, origCost, simpCost)
+					}
+				}
+			}
+		}
+	}
+}
+
+// Simplified greedy-planner output still matches expected-cost accounting.
+func TestSimplifyExpectedCostNeverWorse(t *testing.T) {
+	s := schema.New(
+		schema.Attribute{Name: "a", K: 6, Cost: 2},
+		schema.Attribute{Name: "b", K: 6, Cost: 7},
+	)
+	rng := rand.New(rand.NewSource(5))
+	for trial := 0; trial < 30; trial++ {
+		tbl := randomTable(rng, s, 150)
+		d := stats.NewEmpirical(tbl)
+		p := randomPlan(rng, s, 4)
+		sp := Simplify(p, s)
+		orig := ExpectedCostRoot(p, d)
+		simp := ExpectedCostRoot(sp, d)
+		if simp > orig+1e-9 {
+			t.Fatalf("trial %d: expected cost increased %g -> %g", trial, orig, simp)
+		}
+	}
+}

@@ -1,0 +1,274 @@
+// Package query defines multi-predicate range queries of the form the
+// paper targets (query (1) in Section 1):
+//
+//	SELECT a1, ..., an WHERE l1 <= a1 <= r1 AND ... AND lk <= ak <= rk
+//
+// plus the negated-range predicates used by the Garden workload in
+// Section 6.2. Predicates evaluate over single tuples and, three-valued,
+// over range boxes (the attribute-domain subspaces that define the
+// subproblems of the planning algorithms in Sections 3-4).
+package query
+
+import (
+	"fmt"
+	"strings"
+
+	"acqp/internal/schema"
+)
+
+// Truth is a three-valued logic value: a predicate restricted to a range
+// box is True if every tuple in the box satisfies it, False if none does,
+// and Unknown otherwise.
+type Truth int8
+
+// Three-valued truth values.
+const (
+	False Truth = iota
+	True
+	Unknown
+)
+
+func (t Truth) String() string {
+	switch t {
+	case False:
+		return "F"
+	case True:
+		return "T"
+	default:
+		return "?"
+	}
+}
+
+// Range is an inclusive interval [Lo, Hi] of discretized values of one
+// attribute. The planners' subproblems (Section 3.2) restrict each
+// attribute X_i to such a range R_i.
+type Range struct {
+	Lo, Hi schema.Value
+}
+
+// FullRange returns the range covering a domain of size k.
+func FullRange(k int) Range { return Range{0, schema.Value(k - 1)} }
+
+// Contains reports whether v lies in the range.
+func (r Range) Contains(v schema.Value) bool { return r.Lo <= v && v <= r.Hi }
+
+// Size returns the number of values in the range.
+func (r Range) Size() int { return int(r.Hi) - int(r.Lo) + 1 }
+
+// Valid reports whether the range is non-empty.
+func (r Range) Valid() bool { return r.Lo <= r.Hi }
+
+// IsFull reports whether the range spans the whole domain of size k.
+func (r Range) IsFull(k int) bool { return r.Lo == 0 && int(r.Hi) == k-1 }
+
+// Intersect returns the intersection of two ranges and whether it is
+// non-empty.
+func (r Range) Intersect(o Range) (Range, bool) {
+	lo, hi := r.Lo, r.Hi
+	if o.Lo > lo {
+		lo = o.Lo
+	}
+	if o.Hi < hi {
+		hi = o.Hi
+	}
+	return Range{lo, hi}, lo <= hi
+}
+
+func (r Range) String() string { return fmt.Sprintf("[%d,%d]", r.Lo, r.Hi) }
+
+// Box is a conjunction of per-attribute ranges: the subspace
+// (X_1 in R_1) AND ... AND (X_n in R_n). Index i is the schema attribute
+// index.
+type Box []Range
+
+// FullBox returns the box spanning the entire domain of the schema: the
+// root subproblem Subproblem(phi, R_1=[1,K_1], ..., R_n=[1,K_n]).
+func FullBox(s *schema.Schema) Box {
+	b := make(Box, s.NumAttrs())
+	for i := range b {
+		b[i] = FullRange(s.K(i))
+	}
+	return b
+}
+
+// Clone returns an independent copy of the box.
+func (b Box) Clone() Box { return append(Box(nil), b...) }
+
+// With returns a copy of the box with attribute attr restricted to r.
+func (b Box) With(attr int, r Range) Box {
+	c := b.Clone()
+	c[attr] = r
+	return c
+}
+
+// Contains reports whether the tuple lies inside the box.
+func (b Box) Contains(row []schema.Value) bool {
+	for i, r := range b {
+		if !r.Contains(row[i]) {
+			return false
+		}
+	}
+	return true
+}
+
+// Observed reports whether attribute attr has been restricted below its
+// full domain — the paper's test for whether the acquisition cost C_i has
+// already been paid (Section 3.2: C'_i = 0 iff [a_i,b_i] is a strict
+// subset of [1,K_i]).
+func (b Box) Observed(attr, k int) bool { return !b[attr].IsFull(k) }
+
+// Key returns a compact string key identifying the box, used to memoize
+// subproblems in the exhaustive planner.
+func (b Box) Key() string {
+	var sb strings.Builder
+	sb.Grow(len(b) * 8)
+	for _, r := range b {
+		sb.WriteByte(byte(r.Lo))
+		sb.WriteByte(byte(r.Lo >> 8))
+		sb.WriteByte(byte(r.Hi))
+		sb.WriteByte(byte(r.Hi >> 8))
+	}
+	return sb.String()
+}
+
+// Pred is a unary range predicate phi(l <= X_attr <= r), optionally
+// negated: NOT(l <= X_attr <= r) as used by the Garden workload.
+type Pred struct {
+	Attr    int
+	R       Range
+	Negated bool
+}
+
+// Eval evaluates the predicate on a single attribute value.
+func (p Pred) Eval(v schema.Value) bool { return p.R.Contains(v) != p.Negated }
+
+// EvalRange evaluates the predicate three-valued over the range [lo, hi]
+// of its attribute.
+func (p Pred) EvalRange(r Range) Truth {
+	inter, any := r.Intersect(p.R)
+	all := any && inter == r // every value of r lies inside p.R
+	switch {
+	case all:
+		if p.Negated {
+			return False
+		}
+		return True
+	case !any:
+		if p.Negated {
+			return True
+		}
+		return False
+	default:
+		return Unknown
+	}
+}
+
+// Format renders the predicate using the schema's attribute names and, when
+// the attribute has a discretizer, raw-unit thresholds.
+func (p Pred) Format(s *schema.Schema) string {
+	a := s.Attr(p.Attr)
+	body := fmt.Sprintf("%d <= %s <= %d", p.R.Lo, a.Name, p.R.Hi)
+	if a.Disc != nil {
+		body = fmt.Sprintf("%.4g <= %s < %.4g", a.Disc.Lower(p.R.Lo), a.Name, a.Disc.Upper(p.R.Hi))
+	}
+	if p.Negated {
+		return "NOT(" + body + ")"
+	}
+	return body
+}
+
+// Query is a conjunction of range predicates: the WHERE clause phi.
+type Query struct {
+	Preds []Pred
+}
+
+// NewQuery builds a query after validating the predicates against the
+// schema.
+func NewQuery(s *schema.Schema, preds ...Pred) (Query, error) {
+	seen := make(map[int]bool, len(preds))
+	for _, p := range preds {
+		if p.Attr < 0 || p.Attr >= s.NumAttrs() {
+			return Query{}, fmt.Errorf("query: predicate attribute %d out of schema range", p.Attr)
+		}
+		if !p.R.Valid() {
+			return Query{}, fmt.Errorf("query: predicate on %s has empty range %v", s.Name(p.Attr), p.R)
+		}
+		if int(p.R.Hi) >= s.K(p.Attr) {
+			return Query{}, fmt.Errorf("query: predicate on %s range %v exceeds domain [0,%d)", s.Name(p.Attr), p.R, s.K(p.Attr))
+		}
+		if seen[p.Attr] {
+			return Query{}, fmt.Errorf("query: multiple predicates on attribute %s; conjoin them into one range", s.Name(p.Attr))
+		}
+		seen[p.Attr] = true
+	}
+	return Query{Preds: append([]Pred(nil), preds...)}, nil
+}
+
+// MustNewQuery is NewQuery but panics on error.
+func MustNewQuery(s *schema.Schema, preds ...Pred) Query {
+	q, err := NewQuery(s, preds...)
+	if err != nil {
+		panic(err)
+	}
+	return q
+}
+
+// NumPreds returns the number of predicates p in the query.
+func (q Query) NumPreds() int { return len(q.Preds) }
+
+// Attrs returns the set of attribute indexes referenced by the query, in
+// predicate order.
+func (q Query) Attrs() []int {
+	out := make([]int, len(q.Preds))
+	for i, p := range q.Preds {
+		out[i] = p.Attr
+	}
+	return out
+}
+
+// PredOn returns the index within q.Preds of the predicate over attribute
+// attr, or -1 if the attribute is not referenced.
+func (q Query) PredOn(attr int) int {
+	for i, p := range q.Preds {
+		if p.Attr == attr {
+			return i
+		}
+	}
+	return -1
+}
+
+// Eval evaluates phi(x) on a full tuple.
+func (q Query) Eval(row []schema.Value) bool {
+	for _, p := range q.Preds {
+		if !p.Eval(row[p.Attr]) {
+			return false
+		}
+	}
+	return true
+}
+
+// EvalBox evaluates phi three-valued over a range box: True if every tuple
+// in the box satisfies the query, False if none does, Unknown otherwise.
+// This is the "ranges are sufficient to determine truth of phi" test of
+// the exhaustive algorithm (Figure 5).
+func (q Query) EvalBox(b Box) Truth {
+	result := True
+	for _, p := range q.Preds {
+		switch p.EvalRange(b[p.Attr]) {
+		case False:
+			return False // conjunction is false as soon as one conjunct is
+		case Unknown:
+			result = Unknown
+		}
+	}
+	return result
+}
+
+// Format renders the query's WHERE clause using the schema's names.
+func (q Query) Format(s *schema.Schema) string {
+	parts := make([]string, len(q.Preds))
+	for i, p := range q.Preds {
+		parts[i] = p.Format(s)
+	}
+	return strings.Join(parts, " AND ")
+}

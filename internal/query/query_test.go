@@ -1,0 +1,301 @@
+package query
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"acqp/internal/schema"
+)
+
+func testSchema() *schema.Schema {
+	return schema.New(
+		schema.Attribute{Name: "hour", K: 24, Cost: 1},
+		schema.Attribute{Name: "light", K: 16, Cost: 100, Disc: schema.MustDiscretizer(0, 1600, 16)},
+		schema.Attribute{Name: "temp", K: 8, Cost: 100},
+	)
+}
+
+func TestRangeBasics(t *testing.T) {
+	r := Range{3, 7}
+	if !r.Contains(3) || !r.Contains(7) || r.Contains(2) || r.Contains(8) {
+		t.Error("Contains boundaries wrong")
+	}
+	if r.Size() != 5 {
+		t.Errorf("Size = %d, want 5", r.Size())
+	}
+	if !r.Valid() || (Range{5, 4}).Valid() {
+		t.Error("Valid wrong")
+	}
+	if !FullRange(24).IsFull(24) || (Range{0, 22}).IsFull(24) {
+		t.Error("IsFull wrong")
+	}
+}
+
+func TestRangeIntersect(t *testing.T) {
+	cases := []struct {
+		a, b  Range
+		want  Range
+		wantO bool
+	}{
+		{Range{0, 5}, Range{3, 9}, Range{3, 5}, true},
+		{Range{3, 9}, Range{0, 5}, Range{3, 5}, true},
+		{Range{0, 2}, Range{3, 5}, Range{}, false},
+		{Range{2, 2}, Range{2, 2}, Range{2, 2}, true},
+	}
+	for _, tc := range cases {
+		got, ok := tc.a.Intersect(tc.b)
+		if ok != tc.wantO || (ok && got != tc.want) {
+			t.Errorf("%v.Intersect(%v) = %v,%v want %v,%v", tc.a, tc.b, got, ok, tc.want, tc.wantO)
+		}
+	}
+}
+
+func TestBox(t *testing.T) {
+	s := testSchema()
+	b := FullBox(s)
+	if len(b) != 3 || b[0] != (Range{0, 23}) || b[2] != (Range{0, 7}) {
+		t.Fatalf("FullBox = %v", b)
+	}
+	if b.Observed(0, 24) {
+		t.Error("full range reported observed")
+	}
+	b2 := b.With(0, Range{0, 11})
+	if !b2.Observed(0, 24) {
+		t.Error("restricted range not observed")
+	}
+	if b.Observed(0, 24) {
+		t.Error("With mutated the original box")
+	}
+	if !b2.Contains([]schema.Value{11, 0, 0}) || b2.Contains([]schema.Value{12, 0, 0}) {
+		t.Error("Box.Contains wrong")
+	}
+}
+
+func TestBoxKeyUniqueness(t *testing.T) {
+	s := testSchema()
+	b := FullBox(s)
+	seen := map[string]bool{}
+	for lo := 0; lo < 8; lo++ {
+		for hi := lo; hi < 8; hi++ {
+			k := b.With(2, Range{schema.Value(lo), schema.Value(hi)}).Key()
+			if seen[k] {
+				t.Fatalf("duplicate key for range [%d,%d]", lo, hi)
+			}
+			seen[k] = true
+		}
+	}
+}
+
+func TestPredEval(t *testing.T) {
+	p := Pred{Attr: 1, R: Range{2, 5}}
+	if !p.Eval(2) || !p.Eval(5) || p.Eval(1) || p.Eval(6) {
+		t.Error("Pred.Eval wrong")
+	}
+	n := Pred{Attr: 1, R: Range{2, 5}, Negated: true}
+	if n.Eval(2) || !n.Eval(6) {
+		t.Error("negated Pred.Eval wrong")
+	}
+}
+
+func TestPredEvalRange(t *testing.T) {
+	p := Pred{Attr: 0, R: Range{5, 10}}
+	cases := []struct {
+		r    Range
+		want Truth
+	}{
+		{Range{5, 10}, True},
+		{Range{6, 9}, True},
+		{Range{0, 4}, False},
+		{Range{11, 20}, False},
+		{Range{0, 7}, Unknown},
+		{Range{8, 15}, Unknown},
+		{Range{0, 20}, Unknown},
+	}
+	for _, tc := range cases {
+		if got := p.EvalRange(tc.r); got != tc.want {
+			t.Errorf("EvalRange(%v) = %v, want %v", tc.r, got, tc.want)
+		}
+		// Negation flips True/False and keeps Unknown.
+		n := p
+		n.Negated = true
+		want := tc.want
+		switch want {
+		case True:
+			want = False
+		case False:
+			want = True
+		}
+		if got := n.EvalRange(tc.r); got != want {
+			t.Errorf("negated EvalRange(%v) = %v, want %v", tc.r, got, want)
+		}
+	}
+}
+
+func TestNewQueryValidation(t *testing.T) {
+	s := testSchema()
+	cases := []struct {
+		name string
+		pred Pred
+	}{
+		{"bad attr", Pred{Attr: 9, R: Range{0, 1}}},
+		{"empty range", Pred{Attr: 0, R: Range{5, 4}}},
+		{"range exceeds domain", Pred{Attr: 2, R: Range{0, 8}}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			if _, err := NewQuery(s, tc.pred); err == nil {
+				t.Error("invalid predicate accepted")
+			}
+		})
+	}
+	if _, err := NewQuery(s, Pred{Attr: 0, R: Range{0, 5}}, Pred{Attr: 0, R: Range{3, 9}}); err == nil {
+		t.Error("duplicate attribute predicates accepted")
+	}
+}
+
+func TestQueryEval(t *testing.T) {
+	s := testSchema()
+	q := MustNewQuery(s,
+		Pred{Attr: 1, R: Range{0, 3}},                // dark
+		Pred{Attr: 2, R: Range{5, 7}, Negated: true}, // not hot
+	)
+	if !q.Eval([]schema.Value{0, 2, 1}) {
+		t.Error("satisfying tuple rejected")
+	}
+	if q.Eval([]schema.Value{0, 9, 1}) {
+		t.Error("light out of range accepted")
+	}
+	if q.Eval([]schema.Value{0, 2, 6}) {
+		t.Error("negated temp predicate failed to reject")
+	}
+}
+
+func TestQueryEvalBox(t *testing.T) {
+	s := testSchema()
+	q := MustNewQuery(s,
+		Pred{Attr: 1, R: Range{0, 3}},
+		Pred{Attr: 2, R: Range{0, 4}},
+	)
+	full := FullBox(s)
+	if got := q.EvalBox(full); got != Unknown {
+		t.Errorf("EvalBox(full) = %v, want Unknown", got)
+	}
+	sat := full.With(1, Range{1, 2}).With(2, Range{0, 4})
+	if got := q.EvalBox(sat); got != True {
+		t.Errorf("EvalBox(satisfied) = %v, want True", got)
+	}
+	rej := full.With(1, Range{4, 15})
+	if got := q.EvalBox(rej); got != False {
+		t.Errorf("EvalBox(rejected) = %v, want False", got)
+	}
+	// One True conjunct plus one False conjunct is still False.
+	mixed := full.With(1, Range{1, 2}).With(2, Range{5, 7})
+	if got := q.EvalBox(mixed); got != False {
+		t.Errorf("EvalBox(mixed) = %v, want False", got)
+	}
+}
+
+func TestQueryAccessors(t *testing.T) {
+	s := testSchema()
+	q := MustNewQuery(s,
+		Pred{Attr: 2, R: Range{0, 4}},
+		Pred{Attr: 1, R: Range{0, 3}},
+	)
+	if q.NumPreds() != 2 {
+		t.Errorf("NumPreds = %d", q.NumPreds())
+	}
+	if a := q.Attrs(); a[0] != 2 || a[1] != 1 {
+		t.Errorf("Attrs = %v", a)
+	}
+	if q.PredOn(1) != 1 || q.PredOn(0) != -1 {
+		t.Error("PredOn wrong")
+	}
+}
+
+func TestFormat(t *testing.T) {
+	s := testSchema()
+	q := MustNewQuery(s,
+		Pred{Attr: 1, R: Range{0, 3}},
+		Pred{Attr: 0, R: Range{8, 17}, Negated: true},
+	)
+	got := q.Format(s)
+	if !strings.Contains(got, "light") || !strings.Contains(got, "NOT(8 <= hour <= 17)") {
+		t.Errorf("Format = %q", got)
+	}
+	// light has a discretizer, so thresholds render in raw units (bin width 100).
+	if !strings.Contains(got, "0 <= light < 400") {
+		t.Errorf("Format did not use raw units: %q", got)
+	}
+}
+
+// Property: EvalBox is consistent with Eval — if EvalBox says True/False,
+// every tuple inside the box must agree.
+func TestEvalBoxConsistencyProperty(t *testing.T) {
+	s := schema.New(
+		schema.Attribute{Name: "a", K: 8, Cost: 1},
+		schema.Attribute{Name: "b", K: 8, Cost: 1},
+	)
+	q := MustNewQuery(s,
+		Pred{Attr: 0, R: Range{2, 5}},
+		Pred{Attr: 1, R: Range{0, 3}, Negated: true},
+	)
+	f := func(alo, ahi, blo, bhi uint8) bool {
+		box := Box{
+			{schema.Value(alo % 8), schema.Value(ahi % 8)},
+			{schema.Value(blo % 8), schema.Value(bhi % 8)},
+		}
+		if !box[0].Valid() || !box[1].Valid() {
+			return true // skip empty boxes
+		}
+		verdict := q.EvalBox(box)
+		for x := box[0].Lo; x <= box[0].Hi; x++ {
+			for y := box[1].Lo; y <= box[1].Hi; y++ {
+				truth := q.Eval([]schema.Value{x, y})
+				if verdict == True && !truth {
+					return false
+				}
+				if verdict == False && truth {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property (testing/quick): Intersect is commutative and intersecting a
+// range with itself is the identity.
+func TestIntersectAlgebraProperty(t *testing.T) {
+	f := func(a1, a2, b1, b2 uint16) bool {
+		a := Range{Lo: schema.Value(min16(a1, a2)), Hi: schema.Value(max16(a1, a2))}
+		b := Range{Lo: schema.Value(min16(b1, b2)), Hi: schema.Value(max16(b1, b2))}
+		ab, okAB := a.Intersect(b)
+		ba, okBA := b.Intersect(a)
+		if okAB != okBA || (okAB && ab != ba) {
+			return false
+		}
+		self, ok := a.Intersect(a)
+		return ok && self == a
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func min16(a, b uint16) uint16 {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+func max16(a, b uint16) uint16 {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,110 @@
+package schema
+
+import "testing"
+
+func boardSchema(t *testing.T) *Schema {
+	t.Helper()
+	s := New(
+		Attribute{Name: "free", K: 4, Cost: 1},
+		Attribute{Name: "s1", K: 4, Cost: 5, Board: 1},
+		Attribute{Name: "s2", K: 4, Cost: 5, Board: 1},
+		Attribute{Name: "s3", K: 4, Cost: 5, Board: 2},
+	)
+	if err := s.SetBoardCost(1, 50); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.SetBoardCost(2, 20); err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func TestSetBoardCostValidation(t *testing.T) {
+	s := New(Attribute{Name: "a", K: 2, Cost: 1})
+	if err := s.SetBoardCost(0, 10); err == nil {
+		t.Error("board id 0 accepted")
+	}
+	if err := s.SetBoardCost(-1, 10); err == nil {
+		t.Error("negative board id accepted")
+	}
+	if err := s.SetBoardCost(1, -5); err == nil {
+		t.Error("negative board cost accepted")
+	}
+}
+
+func TestBoardCostLookup(t *testing.T) {
+	s := boardSchema(t)
+	if s.BoardCost(1) != 50 || s.BoardCost(2) != 20 {
+		t.Error("registered board costs wrong")
+	}
+	if s.BoardCost(0) != 0 || s.BoardCost(99) != 0 {
+		t.Error("unregistered boards should cost 0")
+	}
+}
+
+func TestBoardAttrs(t *testing.T) {
+	s := boardSchema(t)
+	if got := s.BoardAttrs(1); len(got) != 2 || got[0] != 1 || got[1] != 2 {
+		t.Errorf("BoardAttrs(1) = %v", got)
+	}
+	if got := s.BoardAttrs(0); got != nil {
+		t.Errorf("BoardAttrs(0) = %v, want nil", got)
+	}
+}
+
+func TestAcquisitionCost(t *testing.T) {
+	s := boardSchema(t)
+	acquired := make([]bool, 4)
+	// First touch of s1: board 1 power-up + sensor.
+	if got := s.AcquisitionCost(1, acquired); got != 55 {
+		t.Errorf("first board-1 acquisition = %g, want 55", got)
+	}
+	acquired[1] = true
+	// s2 shares the powered board: sensor cost only.
+	if got := s.AcquisitionCost(2, acquired); got != 5 {
+		t.Errorf("second board-1 acquisition = %g, want 5", got)
+	}
+	// s3 is on a different board.
+	if got := s.AcquisitionCost(3, acquired); got != 25 {
+		t.Errorf("board-2 acquisition = %g, want 25", got)
+	}
+	// Boardless attribute unaffected.
+	if got := s.AcquisitionCost(0, acquired); got != 1 {
+		t.Errorf("boardless acquisition = %g, want 1", got)
+	}
+}
+
+func TestAcquisitionCostWith(t *testing.T) {
+	s := boardSchema(t)
+	none := func(int) bool { return false }
+	if got := s.AcquisitionCostWith(1, none); got != 55 {
+		t.Errorf("cost with nothing acquired = %g, want 55", got)
+	}
+	sibling := func(i int) bool { return i == 2 }
+	if got := s.AcquisitionCostWith(1, sibling); got != 5 {
+		t.Errorf("cost with sibling acquired = %g, want 5", got)
+	}
+	// The attribute itself being "acquired" must not power its own board
+	// (callers invoke this before marking the attribute).
+	self := func(i int) bool { return i == 1 }
+	if got := s.AcquisitionCostWith(1, self); got != 55 {
+		t.Errorf("self-acquisition powered own board: %g, want 55", got)
+	}
+}
+
+func TestHasBoardsAndMaxCost(t *testing.T) {
+	s := boardSchema(t)
+	if !s.HasBoards() {
+		t.Error("HasBoards = false")
+	}
+	plain := New(Attribute{Name: "a", K: 2, Cost: 1})
+	if plain.HasBoards() {
+		t.Error("boardless schema reports boards")
+	}
+	if got := s.MaxAcquisitionCost(1); got != 55 {
+		t.Errorf("MaxAcquisitionCost = %g, want 55", got)
+	}
+	if got := s.MaxAcquisitionCost(0); got != 1 {
+		t.Errorf("MaxAcquisitionCost(boardless) = %g, want 1", got)
+	}
+}

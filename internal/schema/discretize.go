@@ -1,0 +1,77 @@
+package schema
+
+import (
+	"fmt"
+	"math"
+)
+
+// Discretizer maps continuous readings into the discrete domain [0, K)
+// using equal-width bins over [Min, Max], the scheme Section 4.3 of the
+// paper proposes ("divide the domain of the variable into equal sized
+// ranges"). Values outside [Min, Max] clamp to the boundary bins, matching
+// how a saturating sensor ADC behaves.
+type Discretizer struct {
+	Min, Max float64
+	K        int
+}
+
+// NewDiscretizer builds an equal-width discretizer. It returns an error if
+// the range is empty or K < 2.
+func NewDiscretizer(min, max float64, k int) (*Discretizer, error) {
+	switch {
+	case k < 2:
+		return nil, fmt.Errorf("discretizer: K=%d < 2", k)
+	case !(min < max):
+		return nil, fmt.Errorf("discretizer: empty range [%g, %g]", min, max)
+	case math.IsNaN(min) || math.IsNaN(max) || math.IsInf(min, 0) || math.IsInf(max, 0):
+		return nil, fmt.Errorf("discretizer: non-finite range [%g, %g]", min, max)
+	}
+	return &Discretizer{Min: min, Max: max, K: k}, nil
+}
+
+// MustDiscretizer is NewDiscretizer but panics on error.
+func MustDiscretizer(min, max float64, k int) *Discretizer {
+	d, err := NewDiscretizer(min, max, k)
+	if err != nil {
+		panic(err)
+	}
+	return d
+}
+
+// Bin maps a raw reading to its bin in [0, K), clamping out-of-range
+// values.
+func (d *Discretizer) Bin(v float64) Value {
+	if math.IsNaN(v) || v <= d.Min {
+		return 0
+	}
+	if v >= d.Max {
+		return Value(d.K - 1)
+	}
+	b := int((v - d.Min) / (d.Max - d.Min) * float64(d.K))
+	if b >= d.K { // guard against floating-point edge at v == Max-epsilon
+		b = d.K - 1
+	}
+	return Value(b)
+}
+
+// Width returns the width of one bin in raw units.
+func (d *Discretizer) Width() float64 { return (d.Max - d.Min) / float64(d.K) }
+
+// Lower returns the inclusive lower raw boundary of bin b.
+func (d *Discretizer) Lower(b Value) float64 { return d.Min + float64(b)*d.Width() }
+
+// Upper returns the exclusive upper raw boundary of bin b.
+func (d *Discretizer) Upper(b Value) float64 { return d.Min + float64(b+1)*d.Width() }
+
+// Mid returns the midpoint of bin b in raw units; useful for rendering
+// plans with human-readable thresholds.
+func (d *Discretizer) Mid(b Value) float64 { return d.Min + (float64(b)+0.5)*d.Width() }
+
+// BinRange maps a raw closed interval [lo, hi] to the inclusive bin range
+// [loBin, hiBin] covering it. An empty raw interval yields ok=false.
+func (d *Discretizer) BinRange(lo, hi float64) (loBin, hiBin Value, ok bool) {
+	if !(lo <= hi) {
+		return 0, 0, false
+	}
+	return d.Bin(lo), d.Bin(hi), true
+}

@@ -1,0 +1,192 @@
+package schema
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestAddValidation(t *testing.T) {
+	cases := []struct {
+		name string
+		attr Attribute
+		want string // substring of the expected error; "" means success
+	}{
+		{"valid", Attribute{Name: "light", K: 16, Cost: 100}, ""},
+		{"empty name", Attribute{Name: "", K: 4, Cost: 1}, "empty name"},
+		{"tiny domain", Attribute{Name: "x", K: 1, Cost: 1}, "domain size 1"},
+		{"huge domain", Attribute{Name: "x", K: MaxDomain + 1, Cost: 1}, "exceeds max"},
+		{"negative cost", Attribute{Name: "x", K: 4, Cost: -1}, "negative cost"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			s := New()
+			err := s.Add(tc.attr)
+			if tc.want == "" {
+				if err != nil {
+					t.Fatalf("Add(%v) = %v, want nil", tc.attr, err)
+				}
+				return
+			}
+			if err == nil || !strings.Contains(err.Error(), tc.want) {
+				t.Fatalf("Add(%v) = %v, want error containing %q", tc.attr, err, tc.want)
+			}
+		})
+	}
+}
+
+func TestDuplicateName(t *testing.T) {
+	s := New(Attribute{Name: "temp", K: 8, Cost: 100})
+	if err := s.Add(Attribute{Name: "temp", K: 4, Cost: 1}); err == nil {
+		t.Fatal("adding duplicate attribute name succeeded, want error")
+	}
+}
+
+func TestIndexLookup(t *testing.T) {
+	s := New(
+		Attribute{Name: "hour", K: 24, Cost: 1},
+		Attribute{Name: "light", K: 16, Cost: 100},
+	)
+	if got := s.Index("light"); got != 1 {
+		t.Errorf("Index(light) = %d, want 1", got)
+	}
+	if got := s.Index("nope"); got != -1 {
+		t.Errorf("Index(nope) = %d, want -1", got)
+	}
+	if got := s.MustIndex("hour"); got != 0 {
+		t.Errorf("MustIndex(hour) = %d, want 0", got)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("MustIndex(unknown) did not panic")
+		}
+	}()
+	s.MustIndex("unknown")
+}
+
+func TestAccessors(t *testing.T) {
+	s := New(
+		Attribute{Name: "hour", K: 24, Cost: 1},
+		Attribute{Name: "light", K: 16, Cost: 100},
+		Attribute{Name: "temp", K: 32, Cost: 100},
+	)
+	if s.NumAttrs() != 3 {
+		t.Fatalf("NumAttrs = %d, want 3", s.NumAttrs())
+	}
+	if s.K(0) != 24 || s.Cost(0) != 1 || s.Name(0) != "hour" {
+		t.Errorf("attr 0 accessors wrong: K=%d C=%g name=%s", s.K(0), s.Cost(0), s.Name(0))
+	}
+	if s.MaxK() != 32 {
+		t.Errorf("MaxK = %d, want 32", s.MaxK())
+	}
+	if s.TotalCost() != 201 {
+		t.Errorf("TotalCost = %g, want 201", s.TotalCost())
+	}
+	if got := s.ExpensiveAttrs(1); len(got) != 2 || got[0] != 1 || got[1] != 2 {
+		t.Errorf("ExpensiveAttrs(1) = %v, want [1 2]", got)
+	}
+	if got := s.CheapAttrs(1); len(got) != 1 || got[0] != 0 {
+		t.Errorf("CheapAttrs(1) = %v, want [0]", got)
+	}
+	if got := s.SortedNames(); got[0] != "hour" || got[1] != "light" || got[2] != "temp" {
+		t.Errorf("SortedNames = %v", got)
+	}
+}
+
+func TestAttrsCopyIsIndependent(t *testing.T) {
+	s := New(Attribute{Name: "a", K: 2, Cost: 1})
+	attrs := s.Attrs()
+	attrs[0].Name = "mutated"
+	if s.Name(0) != "a" {
+		t.Error("mutating Attrs() copy changed the schema")
+	}
+}
+
+func TestDiscretizerValidation(t *testing.T) {
+	if _, err := NewDiscretizer(0, 10, 1); err == nil {
+		t.Error("K=1 accepted")
+	}
+	if _, err := NewDiscretizer(10, 10, 4); err == nil {
+		t.Error("empty range accepted")
+	}
+	if _, err := NewDiscretizer(0, 10, 4); err != nil {
+		t.Errorf("valid discretizer rejected: %v", err)
+	}
+}
+
+func TestDiscretizerBinning(t *testing.T) {
+	d := MustDiscretizer(0, 100, 10)
+	cases := []struct {
+		v    float64
+		want Value
+	}{
+		{-5, 0}, {0, 0}, {9.99, 0}, {10, 1}, {55, 5}, {99.99, 9}, {100, 9}, {200, 9},
+	}
+	for _, tc := range cases {
+		if got := d.Bin(tc.v); got != tc.want {
+			t.Errorf("Bin(%g) = %d, want %d", tc.v, got, tc.want)
+		}
+	}
+}
+
+func TestDiscretizerBoundaries(t *testing.T) {
+	d := MustDiscretizer(-50, 50, 4)
+	if w := d.Width(); w != 25 {
+		t.Errorf("Width = %g, want 25", w)
+	}
+	if lo := d.Lower(2); lo != 0 {
+		t.Errorf("Lower(2) = %g, want 0", lo)
+	}
+	if hi := d.Upper(2); hi != 25 {
+		t.Errorf("Upper(2) = %g, want 25", hi)
+	}
+	if m := d.Mid(0); m != -37.5 {
+		t.Errorf("Mid(0) = %g, want -37.5", m)
+	}
+}
+
+func TestDiscretizerBinRange(t *testing.T) {
+	d := MustDiscretizer(0, 100, 10)
+	lo, hi, ok := d.BinRange(25, 74)
+	if !ok || lo != 2 || hi != 7 {
+		t.Errorf("BinRange(25,74) = %d,%d,%v, want 2,7,true", lo, hi, ok)
+	}
+	if _, _, ok := d.BinRange(5, 4); ok {
+		t.Error("empty raw interval reported ok")
+	}
+}
+
+// Property: binning is monotone and always lands inside the domain.
+func TestDiscretizerMonotoneProperty(t *testing.T) {
+	d := MustDiscretizer(-1000, 1000, 37)
+	f := func(a, b float64) bool {
+		if a > b {
+			a, b = b, a
+		}
+		ba, bb := d.Bin(a), d.Bin(b)
+		return ba <= bb && int(bb) < d.K
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: every value inside a bin's [Lower, Upper) maps back to the bin.
+func TestDiscretizerRoundTripProperty(t *testing.T) {
+	d := MustDiscretizer(3, 97, 13)
+	f := func(b uint16, frac float64) bool {
+		bin := Value(int(b) % d.K)
+		if frac < 0 {
+			frac = -frac
+		}
+		frac -= math.Floor(frac) // into [0,1)
+		// Stay strictly inside the bin: exact boundaries are allowed to
+		// round either way in floating point.
+		v := d.Lower(bin) + (0.01+0.98*frac)*d.Width()
+		return d.Bin(v) == bin
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

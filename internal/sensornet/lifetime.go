@@ -1,0 +1,76 @@
+package sensornet
+
+import (
+	"fmt"
+
+	"acqp/internal/plan"
+	"acqp/internal/schema"
+)
+
+// LifetimeResult reports how long a deployment survives on battery power —
+// the quantity the paper's energy argument is ultimately about: "the cost
+// of acquiring a sensor reading once per second on a mote can be
+// comparable to the cost of running the processor" (Section 2.1).
+type LifetimeResult struct {
+	// Epochs survived before the first mote exhausted its battery.
+	Epochs int
+	// DeadMote is the index of the first mote to die (-1 if the world
+	// data ran out before any mote died).
+	DeadMote int
+	// ResultsReported counts tuples reported before death.
+	ResultsReported int
+	// Remaining holds each mote's remaining energy at the end.
+	Remaining []float64
+}
+
+// Lifetime runs the continuous query epoch by epoch until some mote's
+// battery is exhausted or the world data runs out. Each mote starts with
+// `battery` energy units and pays for its share of plan dissemination up
+// front, then for acquisitions and result reports as it processes its
+// reading each epoch (row r of the world belongs to mote r%NumMotes at
+// epoch r/NumMotes, as in Run).
+func (n *Network) Lifetime(p *plan.Node, world interface {
+	NumRows() int
+	Row(int, []schema.Value) []schema.Value
+}, battery float64) (LifetimeResult, error) {
+	if battery <= 0 {
+		return LifetimeResult{}, fmt.Errorf("sensornet: battery budget must be positive")
+	}
+	if _, err := n.Disseminate(p); err != nil {
+		return LifetimeResult{}, err
+	}
+	res := LifetimeResult{DeadMote: -1, Remaining: make([]float64, len(n.motes))}
+	wire := float64(plan.Size(p)) * n.radio.CostPerByte
+	for i := range n.motes {
+		res.Remaining[i] = battery - wire*float64(n.topo.Hops[i])
+		if res.Remaining[i] <= 0 {
+			// Dead on arrival: the plan alone drained the battery.
+			res.DeadMote = i
+			return res, nil
+		}
+	}
+	var row []schema.Value
+	motes := len(n.motes)
+	for r := 0; r < world.NumRows(); r++ {
+		m := n.motes[r%motes]
+		row = world.Row(r, row)
+		for i := range m.acquired {
+			m.acquired[i] = false
+		}
+		result, cost := m.plan.Execute(n.schema, row, m.acquired)
+		if result {
+			cost += float64(n.radio.ResultBytes) * n.radio.CostPerByte * float64(n.topo.Hops[m.id])
+			res.ResultsReported++
+		}
+		res.Remaining[m.id] -= cost
+		if res.Remaining[m.id] <= 0 {
+			res.DeadMote = m.id
+			res.Epochs = r / motes
+			return res, nil
+		}
+		if r%motes == motes-1 {
+			res.Epochs = r/motes + 1
+		}
+	}
+	return res, nil
+}

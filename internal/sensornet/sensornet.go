@@ -1,0 +1,212 @@
+// Package sensornet simulates the query processing architecture of
+// Figure 4 of the paper: a basestation builds conditional plans offline
+// from historical data, disseminates them over a multihop radio to the
+// motes, each mote executes the plan locally against its readings every
+// epoch, and satisfying results are routed back to the basestation.
+//
+// The simulator realizes the communication cost model of Section 2.4: the
+// plan's wire size zeta(P) is charged per byte per hop when disseminated,
+// so large conditional plans trade acquisition savings against radio
+// cost — the C(P) + alpha*zeta(P) optimization the paper sketches.
+package sensornet
+
+import (
+	"fmt"
+
+	"acqp/internal/plan"
+	"acqp/internal/query"
+	"acqp/internal/schema"
+	"acqp/internal/table"
+)
+
+// RadioModel prices radio traffic. Energy is in the same abstract units as
+// attribute acquisition costs.
+type RadioModel struct {
+	// CostPerByte is the energy to transmit one byte one hop.
+	CostPerByte float64
+	// ResultBytes is the payload size of one reported result tuple.
+	ResultBytes int
+}
+
+// DefaultRadio reflects the paper's setting where radio bytes are cheap
+// relative to a 100-unit sensor acquisition but not free.
+func DefaultRadio() RadioModel { return RadioModel{CostPerByte: 0.4, ResultBytes: 16} }
+
+// Topology places motes in a routing tree; Hops[m] is the hop count from
+// the basestation to mote m (at least 1).
+type Topology struct {
+	Hops []int
+}
+
+// LineTopology returns a chain of motes: mote m is m+1 hops out — the
+// worst case for dissemination cost.
+func LineTopology(motes int) Topology {
+	h := make([]int, motes)
+	for i := range h {
+		h[i] = i + 1
+	}
+	return Topology{Hops: h}
+}
+
+// StarTopology returns all motes one hop from the basestation.
+func StarTopology(motes int) Topology {
+	h := make([]int, motes)
+	for i := range h {
+		h[i] = 1
+	}
+	return Topology{Hops: h}
+}
+
+// MoteStats accumulates one mote's energy use.
+type MoteStats struct {
+	Tuples            int
+	Results           int
+	AcquisitionEnergy float64
+	RadioEnergy       float64
+	Mismatches        int
+}
+
+// Stats summarizes a simulation run.
+type Stats struct {
+	Epochs              int
+	TuplesProcessed     int
+	ResultsReported     int
+	AcquisitionEnergy   float64
+	DisseminationEnergy float64
+	ResultRadioEnergy   float64
+	PlanBytes           int
+	PerMote             []MoteStats
+	Mismatches          int
+}
+
+// TotalEnergy returns all energy spent in the run: dissemination +
+// acquisitions + result reporting.
+func (s Stats) TotalEnergy() float64 {
+	return s.DisseminationEnergy + s.AcquisitionEnergy + s.ResultRadioEnergy
+}
+
+// EnergyPerTuple returns the amortized energy per processed tuple, the
+// quantity that determines network lifetime.
+func (s Stats) EnergyPerTuple() float64 {
+	if s.TuplesProcessed == 0 {
+		return 0
+	}
+	return s.TotalEnergy() / float64(s.TuplesProcessed)
+}
+
+func (s Stats) String() string {
+	return fmt.Sprintf("epochs=%d tuples=%d results=%d energy{acq=%.0f dissem=%.0f radio=%.0f total=%.0f} plan=%dB",
+		s.Epochs, s.TuplesProcessed, s.ResultsReported,
+		s.AcquisitionEnergy, s.DisseminationEnergy, s.ResultRadioEnergy, s.TotalEnergy(), s.PlanBytes)
+}
+
+// Network is a simulated deployment executing one continuous query.
+type Network struct {
+	schema *schema.Schema
+	query  query.Query
+	radio  RadioModel
+	topo   Topology
+	motes  []*mote
+}
+
+type mote struct {
+	id       int
+	plan     *plan.Node
+	acquired []bool
+	stats    MoteStats
+}
+
+// New builds a network of len(topo.Hops) motes.
+func New(s *schema.Schema, q query.Query, radio RadioModel, topo Topology) (*Network, error) {
+	if len(topo.Hops) == 0 {
+		return nil, fmt.Errorf("sensornet: topology has no motes")
+	}
+	for m, h := range topo.Hops {
+		if h < 1 {
+			return nil, fmt.Errorf("sensornet: mote %d has hop count %d < 1", m, h)
+		}
+	}
+	n := &Network{schema: s, query: q, radio: radio, topo: topo}
+	for i := range topo.Hops {
+		n.motes = append(n.motes, &mote{id: i, acquired: make([]bool, s.NumAttrs())})
+	}
+	return n, nil
+}
+
+// NumMotes returns the deployment size.
+func (n *Network) NumMotes() int { return len(n.motes) }
+
+// Disseminate encodes the plan, "transmits" it to every mote (charging
+// zeta(P) bytes per hop), and has each mote decode and validate its own
+// copy — the full basestation-to-network path of Figure 4. It returns the
+// dissemination energy charged.
+func (n *Network) Disseminate(p *plan.Node) (float64, error) {
+	wire := plan.Encode(p)
+	var energy float64
+	for i, m := range n.motes {
+		decoded, err := plan.Decode(n.schema, wire)
+		if err != nil {
+			return 0, fmt.Errorf("sensornet: mote %d rejected plan: %w", i, err)
+		}
+		m.plan = decoded
+		energy += float64(len(wire)) * n.radio.CostPerByte * float64(n.topo.Hops[i])
+	}
+	return energy, nil
+}
+
+// Run executes the continuous query over the world table: row r is the
+// reading observed by mote r%NumMotes at epoch r/NumMotes. Disseminate
+// must have been called first.
+func (n *Network) Run(world *table.Table) (Stats, error) {
+	st := Stats{PerMote: make([]MoteStats, len(n.motes))}
+	for _, m := range n.motes {
+		if m.plan == nil {
+			return st, fmt.Errorf("sensornet: mote %d has no plan; call Disseminate first", m.id)
+		}
+		m.stats = MoteStats{}
+	}
+	var row []schema.Value
+	for r := 0; r < world.NumRows(); r++ {
+		m := n.motes[r%len(n.motes)]
+		row = world.Row(r, row)
+		for i := range m.acquired {
+			m.acquired[i] = false
+		}
+		result, cost := m.plan.Execute(n.schema, row, m.acquired)
+		m.stats.Tuples++
+		m.stats.AcquisitionEnergy += cost
+		if result != n.query.Eval(row) {
+			m.stats.Mismatches++
+		}
+		if result {
+			m.stats.Results++
+			m.stats.RadioEnergy += float64(n.radio.ResultBytes) * n.radio.CostPerByte * float64(n.topo.Hops[m.id])
+		}
+	}
+	for i, m := range n.motes {
+		st.PerMote[i] = m.stats
+		st.TuplesProcessed += m.stats.Tuples
+		st.ResultsReported += m.stats.Results
+		st.AcquisitionEnergy += m.stats.AcquisitionEnergy
+		st.ResultRadioEnergy += m.stats.RadioEnergy
+		st.Mismatches += m.stats.Mismatches
+	}
+	st.Epochs = (world.NumRows() + len(n.motes) - 1) / len(n.motes)
+	return st, nil
+}
+
+// Deploy is the full Figure 4 pipeline in one call: disseminate the plan,
+// run the query over the world, and return combined statistics.
+func (n *Network) Deploy(p *plan.Node, world *table.Table) (Stats, error) {
+	dissem, err := n.Disseminate(p)
+	if err != nil {
+		return Stats{}, err
+	}
+	st, err := n.Run(world)
+	if err != nil {
+		return Stats{}, err
+	}
+	st.DisseminationEnergy = dissem
+	st.PlanBytes = plan.Size(p)
+	return st, nil
+}

@@ -1,0 +1,287 @@
+package sensornet
+
+import (
+	"math"
+	"testing"
+
+	"acqp/internal/plan"
+	"acqp/internal/query"
+	"acqp/internal/schema"
+	"acqp/internal/table"
+)
+
+func testSchema() *schema.Schema {
+	return schema.New(
+		schema.Attribute{Name: "h", K: 2, Cost: 0},
+		schema.Attribute{Name: "a", K: 2, Cost: 10},
+		schema.Attribute{Name: "b", K: 2, Cost: 5},
+	)
+}
+
+func testQuery(s *schema.Schema) query.Query {
+	return query.MustNewQuery(s,
+		query.Pred{Attr: 1, R: query.Range{Lo: 1, Hi: 1}},
+		query.Pred{Attr: 2, R: query.Range{Lo: 1, Hi: 1}},
+	)
+}
+
+func world(rows int) *table.Table {
+	tbl := table.New(testSchema(), rows)
+	for i := 0; i < rows; i++ {
+		tbl.MustAppendRow([]schema.Value{
+			schema.Value(i % 2), schema.Value((i / 2) % 2), schema.Value((i / 4) % 2),
+		})
+	}
+	return tbl
+}
+
+func TestTopologies(t *testing.T) {
+	line := LineTopology(4)
+	if line.Hops[0] != 1 || line.Hops[3] != 4 {
+		t.Errorf("LineTopology = %v", line.Hops)
+	}
+	star := StarTopology(4)
+	for _, h := range star.Hops {
+		if h != 1 {
+			t.Errorf("StarTopology = %v", star.Hops)
+		}
+	}
+}
+
+func TestNewValidation(t *testing.T) {
+	s := testSchema()
+	q := testQuery(s)
+	if _, err := New(s, q, DefaultRadio(), Topology{}); err == nil {
+		t.Error("empty topology accepted")
+	}
+	if _, err := New(s, q, DefaultRadio(), Topology{Hops: []int{1, 0}}); err == nil {
+		t.Error("zero hop count accepted")
+	}
+}
+
+func TestRunRequiresDissemination(t *testing.T) {
+	s := testSchema()
+	n, err := New(s, testQuery(s), DefaultRadio(), StarTopology(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := n.Run(world(4)); err == nil {
+		t.Error("Run without Disseminate succeeded")
+	}
+}
+
+func TestDeployAccounting(t *testing.T) {
+	s := testSchema()
+	q := testQuery(s)
+	radio := RadioModel{CostPerByte: 1, ResultBytes: 10}
+	n, err := New(s, q, radio, LineTopology(2)) // hops 1 and 2
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := plan.NewSeq(q.Preds)
+	w := world(8)
+	st, err := n.Deploy(p, w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.TuplesProcessed != 8 || st.Epochs != 4 {
+		t.Errorf("tuples=%d epochs=%d", st.TuplesProcessed, st.Epochs)
+	}
+	if st.Mismatches != 0 {
+		t.Errorf("mismatches = %d", st.Mismatches)
+	}
+	// Dissemination: zeta(P) bytes to each mote, scaled by hops (1+2).
+	wantDissem := float64(plan.Size(p)) * 3
+	if math.Abs(st.DisseminationEnergy-wantDissem) > 1e-9 {
+		t.Errorf("dissemination = %g, want %g", st.DisseminationEnergy, wantDissem)
+	}
+	// Acquisition energy: every tuple pays a (10); those with a=1 pay b
+	// (5). In world(8), a = (i/2)%2 -> rows 2,3,6,7 have a=1.
+	wantAcq := 8*10.0 + 4*5.0
+	if math.Abs(st.AcquisitionEnergy-wantAcq) > 1e-9 {
+		t.Errorf("acquisition = %g, want %g", st.AcquisitionEnergy, wantAcq)
+	}
+	// Results: rows with a=1 and b=1 are 6 and 7 -> motes 0 and 1.
+	if st.ResultsReported != 2 {
+		t.Errorf("results = %d, want 2", st.ResultsReported)
+	}
+	wantRadio := 10.0*1*1 + 10.0*1*2 // mote 0 at hop 1, mote 1 at hop 2
+	if math.Abs(st.ResultRadioEnergy-wantRadio) > 1e-9 {
+		t.Errorf("result radio = %g, want %g", st.ResultRadioEnergy, wantRadio)
+	}
+	if math.Abs(st.TotalEnergy()-(wantDissem+wantAcq+wantRadio)) > 1e-9 {
+		t.Errorf("total energy mismatch")
+	}
+	if st.EnergyPerTuple() != st.TotalEnergy()/8 {
+		t.Errorf("EnergyPerTuple wrong")
+	}
+	if st.PlanBytes != plan.Size(p) {
+		t.Errorf("PlanBytes = %d", st.PlanBytes)
+	}
+}
+
+func TestPerMoteStats(t *testing.T) {
+	s := testSchema()
+	q := testQuery(s)
+	n, err := New(s, q, DefaultRadio(), StarTopology(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	st, err := n.Deploy(plan.NewSeq(q.Preds), world(8))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(st.PerMote) != 2 {
+		t.Fatalf("PerMote = %v", st.PerMote)
+	}
+	if st.PerMote[0].Tuples != 4 || st.PerMote[1].Tuples != 4 {
+		t.Errorf("per-mote tuples = %+v", st.PerMote)
+	}
+	var total float64
+	for _, m := range st.PerMote {
+		total += m.AcquisitionEnergy
+	}
+	if math.Abs(total-st.AcquisitionEnergy) > 1e-9 {
+		t.Error("per-mote energies do not sum to total")
+	}
+}
+
+func TestDisseminationRejectsCorruptPlanGracefully(t *testing.T) {
+	// A plan invalid for the schema must be rejected by the mote's
+	// decode-and-validate step.
+	s := testSchema()
+	q := testQuery(s)
+	n, err := New(s, q, DefaultRadio(), StarTopology(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	bad := plan.NewSplit(0, 5, plan.NewLeaf(false), plan.NewLeaf(true)) // threshold 5 beyond K=2
+	if _, err := n.Disseminate(bad); err == nil {
+		t.Error("mote accepted invalid plan")
+	}
+}
+
+func TestConditionalPlanSavesEnergyEndToEnd(t *testing.T) {
+	// Figure 2 end-to-end: on day/night-correlated data the conditional
+	// plan spends less total energy than the sequential plan, even after
+	// paying its larger dissemination cost.
+	s := testSchema()
+	q := testQuery(s)
+	// World with the Figure 2 correlation: at night (h=0) a=1 is rare,
+	// during day (h=1) b=1 is rare.
+	tbl := table.New(s, 2000)
+	for i := 0; i < 2000; i++ {
+		h := schema.Value(i % 2)
+		var a, b schema.Value
+		if h == 0 {
+			a, b = schema.Value(boolToInt(i%10 == 0)), 1
+		} else {
+			a, b = 1, schema.Value(boolToInt(i%10 == 5))
+		}
+		tbl.MustAppendRow([]schema.Value{h, a, b})
+	}
+	seq := plan.NewSeq(q.Preds)
+	cond := plan.NewSplit(0, 1,
+		plan.NewSeq(q.Preds),
+		plan.NewSeq([]query.Pred{q.Preds[1], q.Preds[0]}),
+	)
+	radio := DefaultRadio()
+	run := func(p *plan.Node) Stats {
+		n, err := New(s, q, radio, LineTopology(4))
+		if err != nil {
+			t.Fatal(err)
+		}
+		st, err := n.Deploy(p, tbl)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return st
+	}
+	seqStats, condStats := run(seq), run(cond)
+	if condStats.DisseminationEnergy <= seqStats.DisseminationEnergy {
+		t.Error("conditional plan should cost more to disseminate")
+	}
+	if condStats.TotalEnergy() >= seqStats.TotalEnergy() {
+		t.Errorf("conditional total %g not below sequential %g",
+			condStats.TotalEnergy(), seqStats.TotalEnergy())
+	}
+}
+
+func boolToInt(b bool) int {
+	if b {
+		return 1
+	}
+	return 0
+}
+
+func TestLifetimeValidation(t *testing.T) {
+	s := testSchema()
+	q := testQuery(s)
+	n, err := New(s, q, DefaultRadio(), StarTopology(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := n.Lifetime(plan.NewSeq(q.Preds), world(4), 0); err == nil {
+		t.Error("zero battery accepted")
+	}
+}
+
+func TestLifetimeDeadOnArrival(t *testing.T) {
+	s := testSchema()
+	q := testQuery(s)
+	radio := RadioModel{CostPerByte: 100, ResultBytes: 4}
+	n, err := New(s, q, radio, StarTopology(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := n.Lifetime(plan.NewSeq(q.Preds), world(4), 10) // plan bytes alone exceed budget
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.DeadMote == -1 || res.Epochs != 0 {
+		t.Errorf("result = %+v, want dead-on-arrival", res)
+	}
+}
+
+func TestConditionalPlanExtendsLifetime(t *testing.T) {
+	// The Figure 2 world: conditional plans acquire less per tuple, so a
+	// fixed battery survives more epochs.
+	s := testSchema()
+	q := testQuery(s)
+	tbl := table.New(s, 4000)
+	for i := 0; i < 4000; i++ {
+		h := schema.Value(i % 2)
+		var a, b schema.Value
+		if h == 0 {
+			a, b = schema.Value(boolToInt(i%10 == 0)), 1
+		} else {
+			a, b = 1, schema.Value(boolToInt(i%10 == 5))
+		}
+		tbl.MustAppendRow([]schema.Value{h, a, b})
+	}
+	seq := plan.NewSeq(q.Preds)
+	cond := plan.NewSplit(0, 1,
+		plan.NewSeq(q.Preds),
+		plan.NewSeq([]query.Pred{q.Preds[1], q.Preds[0]}),
+	)
+	battery := 2000.0
+	run := func(p *plan.Node) LifetimeResult {
+		n, err := New(s, q, DefaultRadio(), StarTopology(4))
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := n.Lifetime(p, tbl, battery)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	seqRes, condRes := run(seq), run(cond)
+	if seqRes.DeadMote == -1 || condRes.DeadMote == -1 {
+		t.Fatalf("batteries did not deplete: seq=%+v cond=%+v", seqRes, condRes)
+	}
+	if condRes.Epochs <= seqRes.Epochs {
+		t.Errorf("conditional lifetime %d epochs not beyond sequential %d",
+			condRes.Epochs, seqRes.Epochs)
+	}
+}

@@ -1,0 +1,122 @@
+// Package sql parses TinyDB-style acquisitional queries into the
+// library's query representations:
+//
+//	SELECT light, temp
+//	WHERE 100 <= light <= 900 AND temp >= 25 AND NOT (nodeid = 3 OR hour < 6)
+//
+// Thresholds are written in raw sensor units when the attribute carries a
+// discretizer (they are mapped to bins, so predicates are exact to bin
+// granularity) and as discrete values otherwise. Pure conjunctions parse
+// to a query.Query for the fast conjunctive planners; general boolean
+// clauses parse to a boolq.Expr.
+package sql
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+	"unicode"
+)
+
+// tokKind classifies lexer tokens.
+type tokKind int
+
+const (
+	tokEOF tokKind = iota
+	tokIdent
+	tokNumber
+	tokOp // <= >= < > =
+	tokLParen
+	tokRParen
+	tokComma
+	tokStar
+)
+
+type token struct {
+	kind tokKind
+	text string
+	pos  int
+}
+
+// keywords are case-insensitive.
+const (
+	kwSelect  = "SELECT"
+	kwWhere   = "WHERE"
+	kwAnd     = "AND"
+	kwOr      = "OR"
+	kwNot     = "NOT"
+	kwBetween = "BETWEEN"
+)
+
+type lexer struct {
+	in   string
+	pos  int
+	toks []token
+}
+
+func lex(in string) ([]token, error) {
+	l := &lexer{in: in}
+	for l.pos < len(l.in) {
+		c := l.in[l.pos]
+		switch {
+		case c == ' ' || c == '\t' || c == '\n' || c == '\r':
+			l.pos++
+		case c == '(':
+			l.emit(tokLParen, "(")
+		case c == ')':
+			l.emit(tokRParen, ")")
+		case c == ',':
+			l.emit(tokComma, ",")
+		case c == '*':
+			l.emit(tokStar, "*")
+		case c == '<' || c == '>' || c == '=':
+			op := string(c)
+			if c != '=' && l.pos+1 < len(l.in) && l.in[l.pos+1] == '=' {
+				op += "="
+				l.pos++
+			}
+			l.emit(tokOp, op)
+		case c == '-' || c == '.' || (c >= '0' && c <= '9'):
+			start := l.pos
+			l.pos++
+			for l.pos < len(l.in) && (l.in[l.pos] == '.' || l.in[l.pos] >= '0' && l.in[l.pos] <= '9') {
+				l.pos++
+			}
+			l.toks = append(l.toks, token{tokNumber, l.in[start:l.pos], start})
+		case isIdentStart(rune(c)):
+			start := l.pos
+			for l.pos < len(l.in) && isIdentRune(rune(l.in[l.pos])) {
+				l.pos++
+			}
+			l.toks = append(l.toks, token{tokIdent, l.in[start:l.pos], start})
+		default:
+			return nil, fmt.Errorf("sql: unexpected character %q at position %d", c, l.pos)
+		}
+	}
+	l.toks = append(l.toks, token{tokEOF, "", len(l.in)})
+	return l.toks, nil
+}
+
+func (l *lexer) emit(kind tokKind, text string) {
+	l.toks = append(l.toks, token{kind, text, l.pos})
+	l.pos += len(text)
+}
+
+func isIdentStart(r rune) bool { return unicode.IsLetter(r) || r == '_' }
+func isIdentRune(r rune) bool {
+	return unicode.IsLetter(r) || unicode.IsDigit(r) || r == '_' || r == '.'
+}
+
+// isKeyword reports whether an identifier token is the given keyword,
+// case-insensitively.
+func (t token) isKeyword(kw string) bool {
+	return t.kind == tokIdent && strings.EqualFold(t.text, kw)
+}
+
+func (t token) number() (float64, error) {
+	v, err := strconv.ParseFloat(t.text, 64)
+	if err != nil {
+		return 0, fmt.Errorf("sql: bad number %q at position %d", t.text, t.pos)
+	}
+	return v, nil
+}

@@ -1,0 +1,377 @@
+package sql
+
+import (
+	"fmt"
+
+	"acqp/internal/boolq"
+	"acqp/internal/query"
+	"acqp/internal/schema"
+)
+
+// Statement is a parsed acquisitional query.
+type Statement struct {
+	// Select lists the projected attribute indexes (the full schema for
+	// SELECT *). Projection does not affect planning — the paper's cost
+	// model concerns the WHERE clause — but is validated and carried for
+	// callers.
+	Select []int
+	// Where is the boolean WHERE clause (nil when absent, meaning
+	// "select everything").
+	Where *boolq.Expr
+}
+
+// Conjunctive converts the WHERE clause to a query.Query when it is a
+// pure conjunction of predicates; ok is false otherwise (use the boolq
+// planners then).
+func (st Statement) Conjunctive(s *schema.Schema) (query.Query, bool) {
+	if st.Where == nil {
+		return query.Query{}, false
+	}
+	preds, ok := flattenConjunction(st.Where)
+	if !ok {
+		return query.Query{}, false
+	}
+	q, err := query.NewQuery(s, preds...)
+	if err != nil {
+		// Multiple predicates on one attribute (e.g. "a<5 AND a>1" the
+		// parser kept separate) are valid boolean clauses but not a
+		// single-range conjunction.
+		return query.Query{}, false
+	}
+	return q, true
+}
+
+func flattenConjunction(e *boolq.Expr) ([]query.Pred, bool) {
+	switch e.Op {
+	case boolq.OpPred:
+		return []query.Pred{e.Pred}, true
+	case boolq.OpAnd:
+		var out []query.Pred
+		for _, k := range e.Kids {
+			kp, ok := flattenConjunction(k)
+			if !ok {
+				return nil, false
+			}
+			out = append(out, kp...)
+		}
+		return out, true
+	default:
+		return nil, false
+	}
+}
+
+// Parse parses a full statement against the schema.
+func Parse(s *schema.Schema, input string) (Statement, error) {
+	toks, err := lex(input)
+	if err != nil {
+		return Statement{}, err
+	}
+	p := &parser{s: s, toks: toks}
+	st, err := p.statement()
+	if err != nil {
+		return Statement{}, err
+	}
+	if p.peek().kind != tokEOF {
+		return Statement{}, fmt.Errorf("sql: trailing input at position %d: %q", p.peek().pos, p.peek().text)
+	}
+	if st.Where != nil {
+		if err := st.Where.Validate(s); err != nil {
+			return Statement{}, err
+		}
+	}
+	return st, nil
+}
+
+// ParseWhere parses just a boolean clause (no SELECT prefix).
+func ParseWhere(s *schema.Schema, input string) (*boolq.Expr, error) {
+	toks, err := lex(input)
+	if err != nil {
+		return nil, err
+	}
+	p := &parser{s: s, toks: toks}
+	e, err := p.orExpr()
+	if err != nil {
+		return nil, err
+	}
+	if p.peek().kind != tokEOF {
+		return nil, fmt.Errorf("sql: trailing input at position %d: %q", p.peek().pos, p.peek().text)
+	}
+	if err := e.Validate(s); err != nil {
+		return nil, err
+	}
+	return e, nil
+}
+
+type parser struct {
+	s    *schema.Schema
+	toks []token
+	i    int
+}
+
+func (p *parser) peek() token { return p.toks[p.i] }
+func (p *parser) next() token { t := p.toks[p.i]; p.i++; return t }
+
+func (p *parser) statement() (Statement, error) {
+	var st Statement
+	if !p.peek().isKeyword(kwSelect) {
+		return st, fmt.Errorf("sql: expected SELECT, got %q", p.peek().text)
+	}
+	p.next()
+	// Projection list.
+	if p.peek().kind == tokStar {
+		p.next()
+		for i := 0; i < p.s.NumAttrs(); i++ {
+			st.Select = append(st.Select, i)
+		}
+	} else {
+		for {
+			t := p.next()
+			if t.kind != tokIdent {
+				return st, fmt.Errorf("sql: expected attribute name at position %d, got %q", t.pos, t.text)
+			}
+			idx := p.s.Index(t.text)
+			if idx < 0 {
+				return st, fmt.Errorf("sql: unknown attribute %q at position %d", t.text, t.pos)
+			}
+			st.Select = append(st.Select, idx)
+			if p.peek().kind != tokComma {
+				break
+			}
+			p.next()
+		}
+	}
+	if p.peek().kind == tokEOF {
+		return st, nil
+	}
+	if !p.peek().isKeyword(kwWhere) {
+		return st, fmt.Errorf("sql: expected WHERE, got %q at position %d", p.peek().text, p.peek().pos)
+	}
+	p.next()
+	where, err := p.orExpr()
+	if err != nil {
+		return st, err
+	}
+	st.Where = where
+	return st, nil
+}
+
+// orExpr := andExpr (OR andExpr)*
+func (p *parser) orExpr() (*boolq.Expr, error) {
+	left, err := p.andExpr()
+	if err != nil {
+		return nil, err
+	}
+	kids := []*boolq.Expr{left}
+	for p.peek().isKeyword(kwOr) {
+		p.next()
+		right, err := p.andExpr()
+		if err != nil {
+			return nil, err
+		}
+		kids = append(kids, right)
+	}
+	if len(kids) == 1 {
+		return left, nil
+	}
+	return boolq.Or(kids...), nil
+}
+
+// andExpr := unary (AND unary)*
+func (p *parser) andExpr() (*boolq.Expr, error) {
+	left, err := p.unary()
+	if err != nil {
+		return nil, err
+	}
+	kids := []*boolq.Expr{left}
+	for p.peek().isKeyword(kwAnd) {
+		p.next()
+		right, err := p.unary()
+		if err != nil {
+			return nil, err
+		}
+		kids = append(kids, right)
+	}
+	if len(kids) == 1 {
+		return left, nil
+	}
+	return boolq.And(kids...), nil
+}
+
+// unary := NOT unary | '(' orExpr ')' | comparison
+func (p *parser) unary() (*boolq.Expr, error) {
+	switch {
+	case p.peek().isKeyword(kwNot):
+		p.next()
+		kid, err := p.unary()
+		if err != nil {
+			return nil, err
+		}
+		return boolq.Not(kid), nil
+	case p.peek().kind == tokLParen:
+		p.next()
+		e, err := p.orExpr()
+		if err != nil {
+			return nil, err
+		}
+		if p.peek().kind != tokRParen {
+			return nil, fmt.Errorf("sql: expected ')' at position %d", p.peek().pos)
+		}
+		p.next()
+		return e, nil
+	default:
+		return p.comparison()
+	}
+}
+
+// comparison handles:
+//
+//	attr OP value
+//	value OP attr OP value     (chained range, OPs must be < or <=)
+//	attr BETWEEN lo AND hi
+func (p *parser) comparison() (*boolq.Expr, error) {
+	switch p.peek().kind {
+	case tokNumber:
+		lo := p.next()
+		op1 := p.next()
+		if op1.kind != tokOp || (op1.text != "<" && op1.text != "<=") {
+			return nil, fmt.Errorf("sql: expected < or <= after %q, got %q", lo.text, op1.text)
+		}
+		attrTok := p.next()
+		if attrTok.kind != tokIdent {
+			return nil, fmt.Errorf("sql: expected attribute after %q, got %q", op1.text, attrTok.text)
+		}
+		op2 := p.next()
+		if op2.kind != tokOp || (op2.text != "<" && op2.text != "<=") {
+			return nil, fmt.Errorf("sql: expected < or <= after %q, got %q", attrTok.text, op2.text)
+		}
+		hi := p.next()
+		if hi.kind != tokNumber {
+			return nil, fmt.Errorf("sql: expected number after %q, got %q", op2.text, hi.text)
+		}
+		return p.rangePred(attrTok, lo, op1.text == "<", hi, op2.text == "<")
+	case tokIdent:
+		attrTok := p.next()
+		if p.peek().isKeyword(kwBetween) {
+			p.next()
+			lo := p.next()
+			if lo.kind != tokNumber {
+				return nil, fmt.Errorf("sql: expected number after BETWEEN, got %q", lo.text)
+			}
+			if !p.peek().isKeyword(kwAnd) {
+				return nil, fmt.Errorf("sql: expected AND in BETWEEN at position %d", p.peek().pos)
+			}
+			p.next()
+			hi := p.next()
+			if hi.kind != tokNumber {
+				return nil, fmt.Errorf("sql: expected number after BETWEEN ... AND, got %q", hi.text)
+			}
+			return p.rangePred(attrTok, lo, false, hi, false)
+		}
+		op := p.next()
+		if op.kind != tokOp {
+			return nil, fmt.Errorf("sql: expected comparison operator after %q, got %q", attrTok.text, op.text)
+		}
+		val := p.next()
+		if val.kind != tokNumber {
+			return nil, fmt.Errorf("sql: expected number after %q, got %q", op.text, val.text)
+		}
+		return p.simplePred(attrTok, op.text, val)
+	default:
+		return nil, fmt.Errorf("sql: expected predicate at position %d, got %q", p.peek().pos, p.peek().text)
+	}
+}
+
+// bin maps a raw threshold to the attribute's discrete domain.
+func (p *parser) bin(attr int, t token) (schema.Value, error) {
+	v, err := t.number()
+	if err != nil {
+		return 0, err
+	}
+	a := p.s.Attr(attr)
+	if a.Disc != nil {
+		return a.Disc.Bin(v), nil
+	}
+	iv := int(v)
+	if float64(iv) != v {
+		return 0, fmt.Errorf("sql: attribute %s is discrete; %q is not an integer", a.Name, t.text)
+	}
+	if iv < 0 {
+		return 0, nil
+	}
+	if iv >= a.K {
+		return schema.Value(a.K - 1), nil
+	}
+	return schema.Value(iv), nil
+}
+
+func (p *parser) attrIndex(t token) (int, error) {
+	idx := p.s.Index(t.text)
+	if idx < 0 {
+		return 0, fmt.Errorf("sql: unknown attribute %q at position %d", t.text, t.pos)
+	}
+	return idx, nil
+}
+
+// rangePred builds lo <= attr <= hi (strict bounds exclude one bin).
+func (p *parser) rangePred(attrTok, lo token, loStrict bool, hi token, hiStrict bool) (*boolq.Expr, error) {
+	attr, err := p.attrIndex(attrTok)
+	if err != nil {
+		return nil, err
+	}
+	loBin, err := p.bin(attr, lo)
+	if err != nil {
+		return nil, err
+	}
+	hiBin, err := p.bin(attr, hi)
+	if err != nil {
+		return nil, err
+	}
+	if loStrict && p.s.Attr(attr).Disc == nil {
+		loBin++
+	}
+	if hiStrict && p.s.Attr(attr).Disc == nil {
+		if hiBin == 0 {
+			return nil, fmt.Errorf("sql: empty range for %s", attrTok.text)
+		}
+		hiBin--
+	}
+	if loBin > hiBin {
+		return nil, fmt.Errorf("sql: empty range for %s", attrTok.text)
+	}
+	return boolq.Leaf(query.Pred{Attr: attr, R: query.Range{Lo: loBin, Hi: hiBin}}), nil
+}
+
+// simplePred builds attr OP value.
+func (p *parser) simplePred(attrTok token, op string, val token) (*boolq.Expr, error) {
+	attr, err := p.attrIndex(attrTok)
+	if err != nil {
+		return nil, err
+	}
+	v, err := p.bin(attr, val)
+	if err != nil {
+		return nil, err
+	}
+	k := schema.Value(p.s.K(attr))
+	var r query.Range
+	switch op {
+	case "=":
+		r = query.Range{Lo: v, Hi: v}
+	case "<=":
+		r = query.Range{Lo: 0, Hi: v}
+	case "<":
+		if v == 0 {
+			return nil, fmt.Errorf("sql: %s < %s is empty", attrTok.text, val.text)
+		}
+		r = query.Range{Lo: 0, Hi: v - 1}
+	case ">=":
+		r = query.Range{Lo: v, Hi: k - 1}
+	case ">":
+		if v >= k-1 {
+			return nil, fmt.Errorf("sql: %s > %s is empty", attrTok.text, val.text)
+		}
+		r = query.Range{Lo: v + 1, Hi: k - 1}
+	default:
+		return nil, fmt.Errorf("sql: unsupported operator %q", op)
+	}
+	return boolq.Leaf(query.Pred{Attr: attr, R: r}), nil
+}

@@ -1,0 +1,222 @@
+package sql
+
+import (
+	"strings"
+	"testing"
+
+	"acqp/internal/boolq"
+	"acqp/internal/query"
+	"acqp/internal/schema"
+)
+
+func sqlSchema() *schema.Schema {
+	return schema.New(
+		schema.Attribute{Name: "hour", K: 24, Cost: 1},
+		schema.Attribute{Name: "nodeid", K: 10, Cost: 1},
+		schema.Attribute{Name: "light", K: 32, Cost: 100,
+			Disc: schema.MustDiscretizer(0, 1600, 32)}, // 50 units per bin
+		schema.Attribute{Name: "temp", K: 32, Cost: 100,
+			Disc: schema.MustDiscretizer(10, 42, 32)}, // 1 degree per bin
+	)
+}
+
+func TestParseSelectList(t *testing.T) {
+	s := sqlSchema()
+	st, err := Parse(s, "SELECT light, temp WHERE light >= 800")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(st.Select) != 2 || st.Select[0] != 2 || st.Select[1] != 3 {
+		t.Errorf("Select = %v", st.Select)
+	}
+	star, err := Parse(s, "SELECT *")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(star.Select) != 4 || star.Where != nil {
+		t.Errorf("SELECT * = %+v", star)
+	}
+}
+
+func TestParseConjunctiveQuery(t *testing.T) {
+	s := sqlSchema()
+	st, err := Parse(s, "select light, temp where 100 <= light <= 900 and temp >= 25 and nodeid = 3")
+	if err != nil {
+		t.Fatal(err)
+	}
+	q, ok := st.Conjunctive(s)
+	if !ok {
+		t.Fatal("conjunctive clause not recognized")
+	}
+	if q.NumPreds() != 3 {
+		t.Fatalf("preds = %d", q.NumPreds())
+	}
+	// light in raw units: 100 -> bin 2, 900 -> bin 18.
+	if p := q.Preds[0]; p.Attr != 2 || p.R.Lo != 2 || p.R.Hi != 18 {
+		t.Errorf("light pred = %+v", p)
+	}
+	// temp >= 25C -> bin 15 .. 31.
+	if p := q.Preds[1]; p.Attr != 3 || p.R.Lo != 15 || p.R.Hi != 31 {
+		t.Errorf("temp pred = %+v", p)
+	}
+	if p := q.Preds[2]; p.Attr != 1 || p.R != (query.Range{Lo: 3, Hi: 3}) {
+		t.Errorf("nodeid pred = %+v", p)
+	}
+}
+
+func TestParseBetween(t *testing.T) {
+	s := sqlSchema()
+	e, err := ParseWhere(s, "hour BETWEEN 6 AND 18")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e.Op != boolq.OpPred || e.Pred.R != (query.Range{Lo: 6, Hi: 18}) {
+		t.Errorf("BETWEEN = %+v", e)
+	}
+}
+
+func TestParseBooleanStructure(t *testing.T) {
+	s := sqlSchema()
+	e, err := ParseWhere(s, "light >= 800 AND (hour < 6 OR hour >= 20) AND NOT nodeid = 0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e.Op != boolq.OpAnd || len(e.Kids) != 3 {
+		t.Fatalf("top = %+v", e)
+	}
+	if e.Kids[1].Op != boolq.OpOr {
+		t.Errorf("middle = %+v", e.Kids[1])
+	}
+	if e.Kids[2].Op != boolq.OpNot {
+		t.Errorf("last = %+v", e.Kids[2])
+	}
+	// Semantics: hour < 6 means bins [0,5].
+	or := e.Kids[1]
+	if or.Kids[0].Pred.R != (query.Range{Lo: 0, Hi: 5}) {
+		t.Errorf("hour < 6 = %+v", or.Kids[0].Pred)
+	}
+	if or.Kids[1].Pred.R != (query.Range{Lo: 20, Hi: 23}) {
+		t.Errorf("hour >= 20 = %+v", or.Kids[1].Pred)
+	}
+	// A disjunctive clause is not conjunctive.
+	st := Statement{Where: e}
+	if _, ok := st.Conjunctive(s); ok {
+		t.Error("disjunctive clause reported conjunctive")
+	}
+}
+
+func TestParsePrecedence(t *testing.T) {
+	s := sqlSchema()
+	// AND binds tighter than OR: a OR b AND c == a OR (b AND c).
+	e, err := ParseWhere(s, "hour = 0 OR hour = 1 AND nodeid = 2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e.Op != boolq.OpOr || len(e.Kids) != 2 {
+		t.Fatalf("top = %+v", e)
+	}
+	if e.Kids[1].Op != boolq.OpAnd {
+		t.Errorf("right OR operand should be AND, got %+v", e.Kids[1])
+	}
+}
+
+func TestParseOperatorEdges(t *testing.T) {
+	s := sqlSchema()
+	cases := []struct {
+		in     string
+		lo, hi schema.Value
+	}{
+		{"hour <= 5", 0, 5},
+		{"hour < 5", 0, 4},
+		{"hour > 20", 21, 23},
+		{"hour >= 20", 20, 23},
+		{"hour = 12", 12, 12},
+		{"hour <= 99", 0, 23}, // clamped
+	}
+	for _, tc := range cases {
+		e, err := ParseWhere(s, tc.in)
+		if err != nil {
+			t.Errorf("%q: %v", tc.in, err)
+			continue
+		}
+		if e.Pred.R.Lo != tc.lo || e.Pred.R.Hi != tc.hi {
+			t.Errorf("%q = %v, want [%d,%d]", tc.in, e.Pred.R, tc.lo, tc.hi)
+		}
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	s := sqlSchema()
+	cases := []string{
+		"",                                    // no SELECT
+		"WHERE hour = 1",                      // missing SELECT
+		"SELECT bogus",                        // unknown attribute
+		"SELECT light WHERE",                  // empty clause
+		"SELECT light WHERE light",            // dangling attribute
+		"SELECT light WHERE light ==",         // bad operator use
+		"SELECT light WHERE hour < 0",         // empty range
+		"SELECT light WHERE hour > 23",        // empty range
+		"SELECT light WHERE 5 >= hour <= 7",   // chained ops must be < or <=
+		"SELECT light WHERE (hour = 1",        // unclosed paren
+		"SELECT light WHERE hour = 1 extra",   // trailing tokens
+		"SELECT light WHERE hour = 1.5",       // non-integer for discrete attr
+		"SELECT light WHERE hour BETWEEN 1 2", // missing AND
+		"SELECT light WHERE nodeid @ 3",       // bad character
+	}
+	for _, in := range cases {
+		if _, err := Parse(s, in); err == nil {
+			t.Errorf("Parse(%q) succeeded, want error", in)
+		}
+	}
+}
+
+func TestParseWhereSemantics(t *testing.T) {
+	// End-to-end: the parsed clause must agree with hand-built semantics
+	// on every value.
+	s := sqlSchema()
+	e, err := ParseWhere(s, "NOT (6 <= hour <= 18) AND light >= 800")
+	if err != nil {
+		t.Fatal(err)
+	}
+	lightBin := s.Attr(2).Disc.Bin(800)
+	row := make([]schema.Value, 4)
+	for h := 0; h < 24; h++ {
+		for _, lb := range []schema.Value{0, lightBin - 1, lightBin, 31} {
+			row[0], row[2] = schema.Value(h), lb
+			want := (h < 6 || h > 18) && lb >= lightBin
+			if got := e.Eval(row); got != want {
+				t.Fatalf("hour=%d light-bin=%d: got %v want %v", h, lb, got, want)
+			}
+		}
+	}
+}
+
+func TestParseCaseInsensitiveKeywords(t *testing.T) {
+	s := sqlSchema()
+	if _, err := Parse(s, "SeLeCt light WhErE light >= 100 aNd hour nOt"); err == nil {
+		t.Error("garbage after clause accepted")
+	}
+	st, err := Parse(s, "SeLeCt light WhErE light >= 100 AnD hour <= 12")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := st.Conjunctive(s); !ok {
+		t.Error("mixed-case conjunction not recognized")
+	}
+}
+
+func TestConjunctiveRejectsDuplicateAttr(t *testing.T) {
+	s := sqlSchema()
+	st, err := Parse(s, "SELECT light WHERE hour >= 3 AND hour <= 20")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Two predicates on one attribute: a valid boolean clause but not a
+	// single-range conjunction; planners should use the boolq path.
+	if _, ok := st.Conjunctive(s); ok {
+		t.Error("duplicate-attribute conjunction accepted")
+	}
+	if strings.Count(st.Where.Format(s), "hour") != 2 {
+		t.Error("boolean clause lost a predicate")
+	}
+}

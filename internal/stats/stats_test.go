@@ -1,0 +1,317 @@
+package stats
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"acqp/internal/query"
+	"acqp/internal/schema"
+	"acqp/internal/table"
+)
+
+func testSchema() *schema.Schema {
+	return schema.New(
+		schema.Attribute{Name: "hour", K: 4, Cost: 1},
+		schema.Attribute{Name: "light", K: 4, Cost: 100},
+		schema.Attribute{Name: "temp", K: 4, Cost: 100},
+	)
+}
+
+// buildTable makes a small correlated dataset: light tracks hour, temp
+// tracks light.
+func buildTable(t *testing.T) *table.Table {
+	t.Helper()
+	tbl := table.New(testSchema(), 16)
+	rows := [][]schema.Value{
+		{0, 0, 0}, {0, 0, 1}, {0, 1, 0}, {0, 0, 0},
+		{1, 1, 1}, {1, 1, 2}, {1, 2, 1}, {1, 1, 1},
+		{2, 2, 2}, {2, 2, 3}, {2, 3, 2}, {2, 2, 2},
+		{3, 3, 3}, {3, 3, 0}, {3, 0, 3}, {3, 3, 3},
+	}
+	for _, r := range rows {
+		if err := tbl.AppendRow(r); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return tbl
+}
+
+func TestRootWeightAndHist(t *testing.T) {
+	d := NewEmpirical(buildTable(t))
+	c := d.Root()
+	if c.Weight() != 16 {
+		t.Fatalf("root weight = %g, want 16", c.Weight())
+	}
+	h := c.Hist(0)
+	for v := 0; v < 4; v++ {
+		if math.Abs(h[v]-0.25) > 1e-12 {
+			t.Errorf("Hist(hour)[%d] = %g, want 0.25", v, h[v])
+		}
+	}
+}
+
+func TestHistCaching(t *testing.T) {
+	d := NewEmpirical(buildTable(t))
+	c := d.Root()
+	h1 := c.Hist(1)
+	h2 := c.Hist(1)
+	if &h1[0] != &h2[0] {
+		t.Error("Hist not cached")
+	}
+}
+
+func TestProbRange(t *testing.T) {
+	d := NewEmpirical(buildTable(t))
+	c := d.Root()
+	// Light column: 0,0,1,0, 1,1,2,1, 2,2,3,2, 3,3,0,3 -> four of each value.
+	if got := c.ProbRange(1, query.Range{Lo: 0, Hi: 1}); math.Abs(got-0.5) > 1e-12 {
+		t.Errorf("ProbRange(light,[0,1]) = %g, want %g", got, 0.5)
+	}
+	if got := c.ProbRange(1, query.Range{Lo: 0, Hi: 3}); math.Abs(got-1) > 1e-12 {
+		t.Errorf("ProbRange(full) = %g, want 1", got)
+	}
+}
+
+func TestConditioning(t *testing.T) {
+	d := NewEmpirical(buildTable(t))
+	c := d.Root()
+	// Condition on hour = 0: light is 0,0,1,0.
+	c0 := c.RestrictRange(0, query.Range{Lo: 0, Hi: 0})
+	if c0.Weight() != 4 {
+		t.Fatalf("conditioned weight = %g, want 4", c0.Weight())
+	}
+	if got := c0.ProbRange(1, query.Range{Lo: 0, Hi: 0}); math.Abs(got-0.75) > 1e-12 {
+		t.Errorf("P(light=0 | hour=0) = %g, want 0.75", got)
+	}
+	// The original context is untouched.
+	if got := c.ProbRange(1, query.Range{Lo: 0, Hi: 0}); math.Abs(got-4.0/16) > 1e-12 {
+		t.Errorf("parent context mutated: %g", got)
+	}
+}
+
+func TestRestrictPredNegated(t *testing.T) {
+	d := NewEmpirical(buildTable(t))
+	p := query.Pred{Attr: 1, R: query.Range{Lo: 1, Hi: 2}, Negated: true}
+	c := d.Root().RestrictPred(p, true) // light NOT in [1,2] -> light in {0,3}
+	if c.Weight() != 8 {
+		t.Fatalf("negated restriction weight = %g, want 8", c.Weight())
+	}
+	cf := d.Root().RestrictPred(p, false) // light in [1,2]
+	if cf.Weight() != 8 {
+		t.Fatalf("complement weight = %g, want 8", cf.Weight())
+	}
+}
+
+func TestProbPred(t *testing.T) {
+	d := NewEmpirical(buildTable(t))
+	p := query.Pred{Attr: 2, R: query.Range{Lo: 0, Hi: 1}}
+	if got := d.Root().ProbPred(p); math.Abs(got-8.0/16) > 1e-12 {
+		t.Errorf("ProbPred = %g, want 0.5", got)
+	}
+	p.Negated = true
+	if got := d.Root().ProbPred(p); math.Abs(got-0.5) > 1e-12 {
+		t.Errorf("negated ProbPred = %g, want 0.5", got)
+	}
+}
+
+func TestEmptyContextFallsBackToUniform(t *testing.T) {
+	d := NewEmpirical(buildTable(t))
+	// hour=0 AND light=3 never co-occur.
+	c := d.Root().
+		RestrictRange(0, query.Range{Lo: 0, Hi: 0}).
+		RestrictRange(1, query.Range{Lo: 3, Hi: 3})
+	if c.Weight() != 0 {
+		t.Fatalf("weight = %g, want 0", c.Weight())
+	}
+	if got := c.ProbRange(2, query.Range{Lo: 0, Hi: 1}); math.Abs(got-0.5) > 1e-12 {
+		t.Errorf("empty-context prob = %g, want uniform 0.5", got)
+	}
+}
+
+func TestRestrictBox(t *testing.T) {
+	d := NewEmpirical(buildTable(t))
+	s := testSchema()
+	b := query.FullBox(s).
+		With(0, query.Range{Lo: 0, Hi: 1}).
+		With(1, query.Range{Lo: 0, Hi: 1})
+	c := RestrictBox(d.Root(), s, b)
+	// hour in [0,1] has 8 rows; of those, light in [0,1]: hour0 gives 4, hour1 gives 3.
+	if c.Weight() != 7 {
+		t.Errorf("RestrictBox weight = %g, want 7", c.Weight())
+	}
+}
+
+func TestSelectivityAndQueryTruthProb(t *testing.T) {
+	d := NewEmpirical(buildTable(t))
+	s := testSchema()
+	p1 := query.Pred{Attr: 1, R: query.Range{Lo: 0, Hi: 1}}
+	p2 := query.Pred{Attr: 2, R: query.Range{Lo: 0, Hi: 1}}
+	if got := Selectivity(d, p1); math.Abs(got-0.5) > 1e-12 {
+		t.Errorf("Selectivity = %g", got)
+	}
+	q := query.MustNewQuery(s, p1, p2)
+	// Count rows satisfying both: light<=1 && temp<=1:
+	// rows: (0,0),(0,1),(1,0),(0,0) hour0 all 4; (1,1),(1,2)x,(2,1)x,(1,1) -> 3... let's count directly in code instead.
+	want := 0.0
+	tbl := buildTable(t)
+	for r := 0; r < tbl.NumRows(); r++ {
+		if q.Eval(tbl.Row(r, nil)) {
+			want++
+		}
+	}
+	want /= float64(tbl.NumRows())
+	if got := QueryTruthProb(d, q); math.Abs(got-want) > 1e-12 {
+		t.Errorf("QueryTruthProb = %g, want %g", got, want)
+	}
+}
+
+func TestPredMaskJointEmpirical(t *testing.T) {
+	d := NewEmpirical(buildTable(t))
+	s := testSchema()
+	q := query.MustNewQuery(s,
+		query.Pred{Attr: 1, R: query.Range{Lo: 0, Hi: 1}},
+		query.Pred{Attr: 2, R: query.Range{Lo: 0, Hi: 1}},
+	)
+	joint := PredMaskJoint(d.Root(), q)
+	if len(joint) != 4 {
+		t.Fatalf("joint length = %d, want 4", len(joint))
+	}
+	var sum float64
+	for _, p := range joint {
+		sum += p
+	}
+	if math.Abs(sum-1) > 1e-12 {
+		t.Errorf("joint sums to %g, want 1", sum)
+	}
+	// Cross-check mask counts against direct evaluation.
+	tbl := buildTable(t)
+	want := make([]float64, 4)
+	for r := 0; r < tbl.NumRows(); r++ {
+		row := tbl.Row(r, nil)
+		mask := 0
+		if q.Preds[0].Eval(row[1]) {
+			mask |= 1
+		}
+		if q.Preds[1].Eval(row[2]) {
+			mask |= 2
+		}
+		want[mask]++
+	}
+	for i := range want {
+		want[i] /= float64(tbl.NumRows())
+		if math.Abs(joint[i]-want[i]) > 1e-12 {
+			t.Errorf("joint[%d] = %g, want %g", i, joint[i], want[i])
+		}
+	}
+}
+
+// The generic fallback (recursive conditioning) must agree with the
+// empirical fast path.
+type wrapCond struct{ Cond }
+
+func (w wrapCond) RestrictPred(p query.Pred, val bool) Cond {
+	return wrapCond{w.Cond.RestrictPred(p, val)}
+}
+func (w wrapCond) RestrictRange(attr int, r query.Range) Cond {
+	return wrapCond{w.Cond.RestrictRange(attr, r)}
+}
+
+func TestPredMaskJointFallbackAgrees(t *testing.T) {
+	d := NewEmpirical(buildTable(t))
+	s := testSchema()
+	q := query.MustNewQuery(s,
+		query.Pred{Attr: 1, R: query.Range{Lo: 0, Hi: 1}},
+		query.Pred{Attr: 2, R: query.Range{Lo: 1, Hi: 3}, Negated: true},
+	)
+	fast := PredMaskJoint(d.Root(), q)
+	slow := PredMaskJoint(wrapCond{d.Root()}, q)
+	for i := range fast {
+		if math.Abs(fast[i]-slow[i]) > 1e-9 {
+			t.Errorf("mask %d: fast %g, slow %g", i, fast[i], slow[i])
+		}
+	}
+}
+
+func TestSupersetSumsAndCondSatProb(t *testing.T) {
+	// Hand-built joint over 2 predicates:
+	// P(00)=0.1, P(01)=0.2, P(10)=0.3, P(11)=0.4.
+	joint := []float64{0.1, 0.2, 0.3, 0.4}
+	SupersetSums(joint, 2)
+	// satProb[S] = P(all preds in S hold):
+	// satProb[0]=1, satProb[01]=0.2+0.4=0.6, satProb[10]=0.3+0.4=0.7, satProb[11]=0.4.
+	want := []float64{1.0, 0.6, 0.7, 0.4}
+	for i := range want {
+		if math.Abs(joint[i]-want[i]) > 1e-12 {
+			t.Errorf("satProb[%d] = %g, want %g", i, joint[i], want[i])
+		}
+	}
+	// P(phi_1 | phi_0) = 0.4/0.6.
+	if got := CondSatProb(joint, 1, 1); math.Abs(got-0.4/0.6) > 1e-12 {
+		t.Errorf("CondSatProb = %g", got)
+	}
+	// Unsupported conditioning set.
+	zero := []float64{0, 0, 0, 0}
+	if got := CondSatProb(zero, 1, 1); got != 0.5 {
+		t.Errorf("CondSatProb on zero support = %g, want 0.5", got)
+	}
+}
+
+// Property: for random data, ProbRange equals a direct count, and
+// RestrictRange produces contexts whose weights partition the parent.
+func TestEmpiricalCountsProperty(t *testing.T) {
+	s := schema.New(
+		schema.Attribute{Name: "a", K: 8, Cost: 1},
+		schema.Attribute{Name: "b", K: 8, Cost: 1},
+	)
+	f := func(seed int64, cut uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		tbl := table.New(s, 64)
+		for i := 0; i < 64; i++ {
+			tbl.MustAppendRow([]schema.Value{schema.Value(rng.Intn(8)), schema.Value(rng.Intn(8))})
+		}
+		x := schema.Value(cut % 7) // split point in [0,6]
+		c := NewEmpirical(tbl).Root()
+		lo := c.RestrictRange(0, query.Range{Lo: 0, Hi: x})
+		hi := c.RestrictRange(0, query.Range{Lo: x + 1, Hi: 7})
+		if lo.Weight()+hi.Weight() != c.Weight() {
+			return false
+		}
+		p := c.ProbRange(0, query.Range{Lo: 0, Hi: x})
+		return math.Abs(p-lo.Weight()/c.Weight()) < 1e-12
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: Hist always sums to 1 (within epsilon), even for conditioned
+// and empty contexts.
+func TestHistNormalizationProperty(t *testing.T) {
+	s := schema.New(
+		schema.Attribute{Name: "a", K: 5, Cost: 1},
+		schema.Attribute{Name: "b", K: 5, Cost: 1},
+	)
+	f := func(seed int64, lo, hi uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		tbl := table.New(s, 32)
+		for i := 0; i < 32; i++ {
+			tbl.MustAppendRow([]schema.Value{schema.Value(rng.Intn(5)), schema.Value(rng.Intn(5))})
+		}
+		a, b := schema.Value(lo%5), schema.Value(hi%5)
+		if a > b {
+			a, b = b, a
+		}
+		c := NewEmpirical(tbl).Root().RestrictRange(0, query.Range{Lo: a, Hi: b})
+		h := c.Hist(1)
+		var sum float64
+		for _, v := range h {
+			sum += v
+		}
+		return math.Abs(sum-1) < 1e-9
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

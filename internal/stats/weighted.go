@@ -1,0 +1,137 @@
+package stats
+
+import (
+	"acqp/internal/query"
+	"acqp/internal/schema"
+	"acqp/internal/table"
+)
+
+// Weighted is an empirical distribution over deduplicated tuples: the
+// "multi-dimensional probability distribution" representation of
+// Section 2.5/Figure 4. After coarsening to an SPSF grid the domain is
+// tiny, so a 100k-row training table typically collapses to a few hundred
+// weighted cells — making every conditioning operation of the exhaustive
+// planner O(cells) instead of O(rows).
+type Weighted struct {
+	s       *schema.Schema
+	cells   *table.Table // one row per distinct tuple
+	weights []float64    // occurrence counts
+	total   float64
+}
+
+// Compress deduplicates the table into a weighted distribution.
+func Compress(tbl *table.Table) *Weighted {
+	s := tbl.Schema()
+	w := &Weighted{s: s, cells: table.New(s, 256)}
+	index := make(map[string]int, 1024)
+	var row []schema.Value
+	key := make([]byte, 2*s.NumAttrs())
+	for r := 0; r < tbl.NumRows(); r++ {
+		row = tbl.Row(r, row)
+		for i, v := range row {
+			key[2*i] = byte(v)
+			key[2*i+1] = byte(v >> 8)
+		}
+		ks := string(key)
+		if i, ok := index[ks]; ok {
+			w.weights[i]++
+		} else {
+			index[ks] = len(w.weights)
+			w.cells.MustAppendRow(row)
+			w.weights = append(w.weights, 1)
+		}
+		w.total++
+	}
+	return w
+}
+
+// NumCells returns the number of distinct tuples.
+func (w *Weighted) NumCells() int { return w.cells.NumRows() }
+
+// Schema implements Dist.
+func (w *Weighted) Schema() *schema.Schema { return w.s }
+
+// Root implements Dist.
+func (w *Weighted) Root() Cond {
+	rows := make([]int32, w.cells.NumRows())
+	for i := range rows {
+		rows[i] = int32(i)
+	}
+	return &wCond{
+		w:      w,
+		rows:   rows,
+		weight: w.total,
+		hists:  make([][]float64, w.s.NumAttrs()),
+	}
+}
+
+// wCond is a selection-vector context over weighted cells.
+type wCond struct {
+	w      *Weighted
+	rows   []int32
+	weight float64
+	hists  [][]float64
+}
+
+func (c *wCond) Weight() float64 { return c.weight }
+
+func (c *wCond) Hist(attr int) []float64 {
+	if h := c.hists[attr]; h != nil {
+		return h
+	}
+	k := c.w.s.K(attr)
+	h := make([]float64, k)
+	col := c.w.cells.Col(attr)
+	for _, r := range c.rows {
+		h[col[r]] += c.w.weights[r]
+	}
+	if c.weight > 0 {
+		for i := range h {
+			h[i] /= c.weight
+		}
+	} else {
+		for i := range h {
+			h[i] = 1 / float64(k)
+		}
+	}
+	c.hists[attr] = h
+	return h
+}
+
+func (c *wCond) ProbRange(attr int, r query.Range) float64 {
+	h := c.Hist(attr)
+	var p float64
+	for v := int(r.Lo); v <= int(r.Hi) && v < len(h); v++ {
+		p += h[v]
+	}
+	return clampProb(p)
+}
+
+func (c *wCond) ProbPred(p query.Pred) float64 {
+	in := c.ProbRange(p.Attr, p.R)
+	if p.Negated {
+		return clampProb(1 - in)
+	}
+	return in
+}
+
+func (c *wCond) RestrictRange(attr int, r query.Range) Cond {
+	return c.restrict(attr, func(v schema.Value) bool { return r.Contains(v) })
+}
+
+func (c *wCond) RestrictPred(p query.Pred, val bool) Cond {
+	return c.restrict(p.Attr, func(v schema.Value) bool { return p.Eval(v) == val })
+}
+
+func (c *wCond) restrict(attr int, keep func(schema.Value) bool) Cond {
+	col := c.w.cells.Col(attr)
+	sub := make([]int32, 0, len(c.rows)/2)
+	var weight float64
+	for _, row := range c.rows {
+		if keep(col[row]) {
+			sub = append(sub, row)
+			weight += c.w.weights[row]
+		}
+	}
+	return &wCond{w: c.w, rows: sub, weight: weight, hists: make([][]float64, c.w.s.NumAttrs())}
+}

@@ -1,0 +1,122 @@
+package stats
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"acqp/internal/query"
+	"acqp/internal/schema"
+	"acqp/internal/table"
+)
+
+func weightedTestTable(rng *rand.Rand, s *schema.Schema, rows int) *table.Table {
+	tbl := table.New(s, rows)
+	for i := 0; i < rows; i++ {
+		a := rng.Intn(s.K(0))
+		b := (a + rng.Intn(2)) % s.K(1)
+		tbl.MustAppendRow([]schema.Value{schema.Value(a), schema.Value(b)})
+	}
+	return tbl
+}
+
+func TestCompressDeduplicates(t *testing.T) {
+	s := schema.New(
+		schema.Attribute{Name: "a", K: 3, Cost: 1},
+		schema.Attribute{Name: "b", K: 3, Cost: 1},
+	)
+	tbl := table.New(s, 10)
+	for i := 0; i < 10; i++ {
+		tbl.MustAppendRow([]schema.Value{schema.Value(i % 2), schema.Value(i % 2)})
+	}
+	w := Compress(tbl)
+	if w.NumCells() != 2 {
+		t.Fatalf("NumCells = %d, want 2", w.NumCells())
+	}
+	if got := w.Root().Weight(); got != 10 {
+		t.Errorf("total weight = %g, want 10", got)
+	}
+}
+
+// Property: every probability the weighted distribution reports must match
+// the raw empirical distribution exactly — compression is lossless.
+func TestWeightedMatchesEmpirical(t *testing.T) {
+	s := schema.New(
+		schema.Attribute{Name: "a", K: 6, Cost: 1},
+		schema.Attribute{Name: "b", K: 6, Cost: 1},
+	)
+	rng := rand.New(rand.NewSource(33))
+	for trial := 0; trial < 20; trial++ {
+		tbl := weightedTestTable(rng, s, 300)
+		emp := NewEmpirical(tbl).Root()
+		wtd := Compress(tbl).Root()
+		if emp.Weight() != wtd.Weight() {
+			t.Fatalf("weights differ: %g vs %g", emp.Weight(), wtd.Weight())
+		}
+		// Compare histograms at the root and after a chain of mixed
+		// restrictions.
+		checkSame := func(e, w Cond, label string) {
+			for attr := 0; attr < 2; attr++ {
+				eh, wh := e.Hist(attr), w.Hist(attr)
+				for v := range eh {
+					if math.Abs(eh[v]-wh[v]) > 1e-12 {
+						t.Fatalf("%s: hist(%d)[%d]: %g vs %g", label, attr, v, eh[v], wh[v])
+					}
+				}
+			}
+			if math.Abs(e.Weight()-w.Weight()) > 1e-9 {
+				t.Fatalf("%s: weight %g vs %g", label, e.Weight(), w.Weight())
+			}
+		}
+		checkSame(emp, wtd, "root")
+		r := query.Range{Lo: 1, Hi: 4}
+		checkSame(emp.RestrictRange(0, r), wtd.RestrictRange(0, r), "range")
+		p := query.Pred{Attr: 1, R: query.Range{Lo: 2, Hi: 3}, Negated: true}
+		checkSame(emp.RestrictPred(p, true), wtd.RestrictPred(p, true), "pred")
+		checkSame(
+			emp.RestrictRange(0, r).RestrictPred(p, false),
+			wtd.RestrictRange(0, r).RestrictPred(p, false),
+			"chained")
+	}
+}
+
+func TestWeightedPredMaskJointMatches(t *testing.T) {
+	s := schema.New(
+		schema.Attribute{Name: "a", K: 4, Cost: 1},
+		schema.Attribute{Name: "b", K: 4, Cost: 1},
+	)
+	rng := rand.New(rand.NewSource(44))
+	tbl := weightedTestTable(rng, s, 200)
+	q := query.MustNewQuery(s,
+		query.Pred{Attr: 0, R: query.Range{Lo: 1, Hi: 2}},
+		query.Pred{Attr: 1, R: query.Range{Lo: 0, Hi: 1}, Negated: true},
+	)
+	emp := PredMaskJoint(NewEmpirical(tbl).Root(), q)
+	wtd := PredMaskJoint(Compress(tbl).Root(), q)
+	for i := range emp {
+		if math.Abs(emp[i]-wtd[i]) > 1e-12 {
+			t.Errorf("mask %d: %g vs %g", i, emp[i], wtd[i])
+		}
+	}
+}
+
+func TestWeightedEmptyContextUniform(t *testing.T) {
+	s := schema.New(schema.Attribute{Name: "a", K: 4, Cost: 1})
+	tbl := table.New(s, 4)
+	tbl.MustAppendRow([]schema.Value{0})
+	w := Compress(tbl)
+	c := w.Root().RestrictRange(0, query.Range{Lo: 2, Hi: 3})
+	if c.Weight() != 0 {
+		t.Fatalf("weight = %g", c.Weight())
+	}
+	h := c.Hist(0)
+	for _, v := range h {
+		if math.Abs(v-0.25) > 1e-12 {
+			t.Errorf("empty-context hist not uniform: %v", h)
+		}
+	}
+	joint := PredMaskJoint(c, query.MustNewQuery(s, query.Pred{Attr: 0, R: query.Range{Lo: 0, Hi: 1}}))
+	if math.Abs(joint[0]-0.5) > 1e-12 || math.Abs(joint[1]-0.5) > 1e-12 {
+		t.Errorf("empty-context mask joint not uniform: %v", joint)
+	}
+}

@@ -1,0 +1,219 @@
+// Package stream implements the "Queries over data streams" extension of
+// Section 7 of the paper: when a continuous query runs over a stream
+// whose distribution changes slowly, the probabilities of Section 5 are
+// maintained incrementally over a sliding window of recent tuples, and
+// the conditional plan is re-generated when the observed predicate
+// selectivities drift away from the ones the current plan was built for.
+package stream
+
+import (
+	"fmt"
+
+	"acqp/internal/opt"
+	"acqp/internal/plan"
+	"acqp/internal/query"
+	"acqp/internal/schema"
+	"acqp/internal/stats"
+	"acqp/internal/table"
+)
+
+// Window is a sliding window of the most recent tuples, the incremental
+// statistics store of Section 7 ("compute probabilities incrementally
+// over a sliding window of data").
+type Window struct {
+	s    *schema.Schema
+	cap  int
+	rows []schema.Value // ring buffer, row-major
+	n    int            // rows currently stored
+	next int            // ring insertion index
+}
+
+// NewWindow creates a window holding up to capacity tuples.
+func NewWindow(s *schema.Schema, capacity int) (*Window, error) {
+	if capacity <= 0 {
+		return nil, fmt.Errorf("stream: window capacity %d must be positive", capacity)
+	}
+	return &Window{s: s, cap: capacity, rows: make([]schema.Value, capacity*s.NumAttrs())}, nil
+}
+
+// Push adds a tuple, evicting the oldest when full.
+func (w *Window) Push(row []schema.Value) {
+	na := w.s.NumAttrs()
+	copy(w.rows[w.next*na:(w.next+1)*na], row)
+	w.next = (w.next + 1) % w.cap
+	if w.n < w.cap {
+		w.n++
+	}
+}
+
+// Len returns the number of tuples currently held.
+func (w *Window) Len() int { return w.n }
+
+// Materialize copies the window contents into a table for planning. Order
+// is not the arrival order (planning does not depend on it).
+func (w *Window) Materialize() *table.Table {
+	tbl := table.New(w.s, w.n)
+	na := w.s.NumAttrs()
+	for i := 0; i < w.n; i++ {
+		tbl.MustAppendRow(w.rows[i*na : (i+1)*na])
+	}
+	return tbl
+}
+
+// Config tunes the adaptive executor.
+type Config struct {
+	// WindowSize is the number of recent tuples statistics are computed
+	// over. Default 2000.
+	WindowSize int
+	// MinReplanInterval is the number of tuples between plan
+	// re-evaluations, bounding planner overhead. Default WindowSize / 4.
+	MinReplanInterval int
+	// DriftThreshold is the relative expected-cost improvement a freshly
+	// planned candidate must offer (under the current window) to replace
+	// the running plan. Default 0.1 (10% cheaper). Marginal selectivities
+	// are a poor drift signal — a flipped correlation can leave every
+	// marginal untouched — so drift is measured on what actually matters:
+	// the cost of the running plan versus the best plan for the data the
+	// stream is carrying now.
+	DriftThreshold float64
+	// MaxSplits and SplitPoints configure the greedy planner.
+	MaxSplits   int
+	SplitPoints int
+}
+
+func (c Config) withDefaults() Config {
+	if c.WindowSize == 0 {
+		c.WindowSize = 2000
+	}
+	if c.MinReplanInterval == 0 {
+		c.MinReplanInterval = c.WindowSize / 4
+	}
+	if c.DriftThreshold == 0 {
+		c.DriftThreshold = 0.1
+	}
+	if c.MaxSplits == 0 {
+		c.MaxSplits = 5
+	}
+	if c.SplitPoints == 0 {
+		c.SplitPoints = 8
+	}
+	return c
+}
+
+// Adaptive executes a continuous query over a stream, replanning when the
+// windowed predicate selectivities drift from the ones the current plan
+// was trained on.
+type Adaptive struct {
+	s   *schema.Schema
+	q   query.Query
+	cfg Config
+
+	window   *Window
+	plan     *plan.Node
+	plannedN int // tuples processed at last re-evaluation
+
+	processed int
+	acquired  []bool
+
+	// Stats.
+	totalCost float64
+	selected  int
+	replans   int
+}
+
+// NewAdaptive creates an adaptive executor seeded with historical data
+// (used both to warm the window and to build the initial plan).
+func NewAdaptive(s *schema.Schema, q query.Query, historical *table.Table, cfg Config) (*Adaptive, error) {
+	cfg = cfg.withDefaults()
+	w, err := NewWindow(s, cfg.WindowSize)
+	if err != nil {
+		return nil, err
+	}
+	a := &Adaptive{
+		s: s, q: q, cfg: cfg, window: w,
+		acquired: make([]bool, s.NumAttrs()),
+	}
+	var row []schema.Value
+	start := historical.NumRows() - cfg.WindowSize
+	if start < 0 {
+		start = 0
+	}
+	for r := start; r < historical.NumRows(); r++ {
+		row = historical.Row(r, row)
+		w.Push(row)
+	}
+	if w.Len() == 0 {
+		return nil, fmt.Errorf("stream: no historical data to build the initial plan")
+	}
+	a.plan, _ = a.freshPlan()
+	return a, nil
+}
+
+// freshPlan builds the best conditional plan for the current window and
+// returns it with its expected cost under the window distribution.
+func (a *Adaptive) freshPlan() (*plan.Node, float64) {
+	d := stats.NewEmpirical(a.window.Materialize())
+	g := opt.Greedy{
+		SPSF:      opt.UniformSPSFSame(a.s, a.cfg.SplitPoints),
+		MaxSplits: a.cfg.MaxSplits,
+		Base:      opt.SeqOpt,
+	}
+	return g.Plan(d, a.q)
+}
+
+// reevaluate compares the running plan against a freshly planned
+// candidate under the current window and adopts the candidate if it is
+// at least DriftThreshold cheaper — the "re-evaluate the plan and
+// consider (greedy) modifications" loop of Section 7.
+func (a *Adaptive) reevaluate() {
+	a.plannedN = a.processed
+	d := stats.NewEmpirical(a.window.Materialize())
+	current := plan.ExpectedCostRoot(a.plan, d)
+	fresh, freshCost := a.freshPlan()
+	if freshCost < current*(1-a.cfg.DriftThreshold) {
+		a.plan = fresh
+		a.replans++
+	}
+}
+
+// Process evaluates the query on one stream tuple, returning the result
+// and the acquisition cost paid. The tuple joins the statistics window,
+// and the plan is re-generated if the window has drifted and the replan
+// interval has elapsed.
+func (a *Adaptive) Process(row []schema.Value) (bool, float64) {
+	for i := range a.acquired {
+		a.acquired[i] = false
+	}
+	result, cost := a.plan.Execute(a.s, row, a.acquired)
+	a.processed++
+	a.totalCost += cost
+	if result {
+		a.selected++
+	}
+	a.window.Push(row)
+	if a.processed-a.plannedN >= a.cfg.MinReplanInterval {
+		a.reevaluate()
+	}
+	return result, cost
+}
+
+// Plan returns the executor's current plan.
+func (a *Adaptive) Plan() *plan.Node { return a.plan }
+
+// Replans returns how many times the plan has been re-generated since
+// construction.
+func (a *Adaptive) Replans() int { return a.replans }
+
+// Processed returns the number of stream tuples evaluated.
+func (a *Adaptive) Processed() int { return a.processed }
+
+// MeanCost returns the average per-tuple acquisition cost so far.
+func (a *Adaptive) MeanCost() float64 {
+	if a.processed == 0 {
+		return 0
+	}
+	return a.totalCost / float64(a.processed)
+}
+
+// Selected returns the number of tuples that satisfied the query.
+func (a *Adaptive) Selected() int { return a.selected }

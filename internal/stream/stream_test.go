@@ -1,0 +1,184 @@
+package stream
+
+import (
+	"math/rand"
+	"testing"
+
+	"acqp/internal/exec"
+	"acqp/internal/opt"
+	"acqp/internal/query"
+	"acqp/internal/schema"
+	"acqp/internal/stats"
+	"acqp/internal/table"
+)
+
+func streamSchema() *schema.Schema {
+	return schema.New(
+		schema.Attribute{Name: "hour", K: 2, Cost: 0},
+		schema.Attribute{Name: "a", K: 2, Cost: 10},
+		schema.Attribute{Name: "b", K: 2, Cost: 10},
+	)
+}
+
+func streamQuery(s *schema.Schema) query.Query {
+	return query.MustNewQuery(s,
+		query.Pred{Attr: 1, R: query.Range{Lo: 1, Hi: 1}},
+		query.Pred{Attr: 2, R: query.Range{Lo: 1, Hi: 1}},
+	)
+}
+
+// phaseTuple draws a tuple from one of two regimes. In phase 0, predicate
+// a is selective at night (the Figure 2 world); in phase 1 the
+// correlation flips: a is selective during the day.
+func phaseTuple(rng *rand.Rand, phase int) []schema.Value {
+	h := schema.Value(rng.Intn(2))
+	sel := h // phase 0: a passes mostly when h=1
+	if phase == 1 {
+		sel = 1 - h
+	}
+	a := sel
+	if rng.Float64() < 0.1 {
+		a = 1 - a
+	}
+	b := 1 - sel
+	if rng.Float64() < 0.1 {
+		b = 1 - b
+	}
+	return []schema.Value{h, a, b}
+}
+
+func phaseTable(s *schema.Schema, n int, phase int, seed int64) *table.Table {
+	rng := rand.New(rand.NewSource(seed))
+	tbl := table.New(s, n)
+	for i := 0; i < n; i++ {
+		tbl.MustAppendRow(phaseTuple(rng, phase))
+	}
+	return tbl
+}
+
+func TestWindowBasics(t *testing.T) {
+	s := streamSchema()
+	w, err := NewWindow(s, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := NewWindow(s, 0); err == nil {
+		t.Error("zero capacity accepted")
+	}
+	w.Push([]schema.Value{0, 0, 0})
+	w.Push([]schema.Value{1, 1, 1})
+	if w.Len() != 2 {
+		t.Fatalf("Len = %d", w.Len())
+	}
+	w.Push([]schema.Value{0, 1, 0})
+	w.Push([]schema.Value{1, 0, 1}) // evicts the first
+	if w.Len() != 3 {
+		t.Fatalf("Len = %d, want 3", w.Len())
+	}
+	tbl := w.Materialize()
+	if tbl.NumRows() != 3 {
+		t.Fatalf("materialized %d rows", tbl.NumRows())
+	}
+	// The evicted tuple {0,0,0} must be gone.
+	for r := 0; r < 3; r++ {
+		row := tbl.Row(r, nil)
+		if row[0] == 0 && row[1] == 0 && row[2] == 0 {
+			t.Error("evicted tuple still present")
+		}
+	}
+}
+
+func TestAdaptiveStationaryStreamDoesNotReplan(t *testing.T) {
+	s := streamSchema()
+	q := streamQuery(s)
+	hist := phaseTable(s, 2000, 0, 1)
+	a, err := NewAdaptive(s, q, hist, Config{WindowSize: 1000, DriftThreshold: 0.12})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(2))
+	for i := 0; i < 4000; i++ {
+		a.Process(phaseTuple(rng, 0))
+	}
+	if a.Replans() != 0 {
+		t.Errorf("stationary stream triggered %d replans", a.Replans())
+	}
+	if a.Processed() != 4000 {
+		t.Errorf("Processed = %d", a.Processed())
+	}
+}
+
+func TestAdaptiveDetectsDriftAndRecovers(t *testing.T) {
+	s := streamSchema()
+	q := streamQuery(s)
+	hist := phaseTable(s, 2000, 0, 3)
+	cfg := Config{WindowSize: 800, MinReplanInterval: 200, DriftThreshold: 0.1, MaxSplits: 3}
+	a, err := NewAdaptive(s, q, hist, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Static baseline: the phase-0 plan frozen forever.
+	frozen := a.Plan()
+
+	rng := rand.New(rand.NewSource(4))
+	// Phase 0 traffic, then an abrupt regime change to phase 1.
+	for i := 0; i < 2000; i++ {
+		a.Process(phaseTuple(rng, 0))
+	}
+	for i := 0; i < 6000; i++ {
+		a.Process(phaseTuple(rng, 1))
+	}
+	if a.Replans() == 0 {
+		t.Fatal("drift never detected")
+	}
+
+	// After adaptation, the adaptive plan must beat the frozen plan on
+	// phase-1 data.
+	test := phaseTable(s, 4000, 1, 5)
+	frozenRes := exec.Run(s, frozen, q, test)
+	adaptedRes := exec.Run(s, a.Plan(), q, test)
+	if adaptedRes.Mismatches != 0 || frozenRes.Mismatches != 0 {
+		t.Fatal("plans mismatch ground truth")
+	}
+	if adaptedRes.MeanCost() >= frozenRes.MeanCost() {
+		t.Errorf("adapted plan (%.2f) not cheaper than frozen plan (%.2f) after drift",
+			adaptedRes.MeanCost(), frozenRes.MeanCost())
+	}
+}
+
+func TestAdaptiveMatchesStaticPlannerQuality(t *testing.T) {
+	// On a stationary stream, the adaptive executor's per-tuple cost must
+	// track a statically planned Heuristic over the same data.
+	s := streamSchema()
+	q := streamQuery(s)
+	hist := phaseTable(s, 2000, 0, 6)
+	a, err := NewAdaptive(s, q, hist, Config{WindowSize: 1000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := opt.Greedy{SPSF: opt.FullSPSF(s), MaxSplits: 5, Base: opt.SeqOpt}
+	static, _ := g.Plan(stats.NewEmpirical(hist), q)
+
+	test := phaseTable(s, 3000, 0, 7)
+	var row []schema.Value
+	for r := 0; r < test.NumRows(); r++ {
+		row = test.Row(r, row)
+		a.Process(row)
+	}
+	staticRes := exec.Run(s, static, q, test)
+	if a.MeanCost() > staticRes.MeanCost()*1.1 {
+		t.Errorf("adaptive cost %.2f far above static %.2f on stationary data",
+			a.MeanCost(), staticRes.MeanCost())
+	}
+	if a.Selected() != staticRes.Selected {
+		t.Errorf("adaptive selected %d, static %d", a.Selected(), staticRes.Selected)
+	}
+}
+
+func TestNewAdaptiveRequiresHistory(t *testing.T) {
+	s := streamSchema()
+	q := streamQuery(s)
+	if _, err := NewAdaptive(s, q, table.New(s, 0), Config{}); err == nil {
+		t.Error("empty history accepted")
+	}
+}

@@ -1,0 +1,90 @@
+package table
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"strconv"
+
+	"acqp/internal/schema"
+)
+
+// WriteCSV writes the table as CSV with a header row of attribute names.
+// Values are written as their discretized integers.
+func (t *Table) WriteCSV(w io.Writer) error {
+	cw := csv.NewWriter(w)
+	n := t.schema.NumAttrs()
+	header := make([]string, n)
+	for i := 0; i < n; i++ {
+		header[i] = t.schema.Name(i)
+	}
+	if err := cw.Write(header); err != nil {
+		return fmt.Errorf("table: write csv header: %w", err)
+	}
+	rec := make([]string, n)
+	for r := 0; r < t.rows; r++ {
+		for i := 0; i < n; i++ {
+			rec[i] = strconv.Itoa(int(t.cols[i][r]))
+		}
+		if err := cw.Write(rec); err != nil {
+			return fmt.Errorf("table: write csv row %d: %w", r, err)
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// ReadCSV reads a CSV stream produced by WriteCSV (or any CSV whose header
+// names match the schema's attributes, in any column order) into a new
+// table bound to the given schema.
+func ReadCSV(s *schema.Schema, r io.Reader) (*Table, error) {
+	cr := csv.NewReader(r)
+	cr.ReuseRecord = true
+	header, err := cr.Read()
+	if err != nil {
+		return nil, fmt.Errorf("table: read csv header: %w", err)
+	}
+	n := s.NumAttrs()
+	if len(header) != n {
+		return nil, fmt.Errorf("table: csv has %d columns, schema has %d attributes", len(header), n)
+	}
+	// colFor[j] is the schema attribute index stored in csv column j.
+	colFor := make([]int, len(header))
+	seen := make([]bool, n)
+	for j, name := range header {
+		idx := s.Index(name)
+		if idx < 0 {
+			return nil, fmt.Errorf("table: csv column %q not in schema", name)
+		}
+		if seen[idx] {
+			return nil, fmt.Errorf("table: duplicate csv column %q", name)
+		}
+		seen[idx] = true
+		colFor[j] = idx
+	}
+	t := New(s, 1024)
+	row := make([]schema.Value, n)
+	for line := 2; ; line++ {
+		rec, err := cr.Read()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return nil, fmt.Errorf("table: read csv line %d: %w", line, err)
+		}
+		for j, field := range rec {
+			v, err := strconv.Atoi(field)
+			if err != nil {
+				return nil, fmt.Errorf("table: csv line %d column %q: %w", line, header[j], err)
+			}
+			if v < 0 || v >= s.K(colFor[j]) {
+				return nil, fmt.Errorf("table: csv line %d column %q: value %d out of domain [0,%d)", line, header[j], v, s.K(colFor[j]))
+			}
+			row[colFor[j]] = schema.Value(v)
+		}
+		if err := t.AppendRow(row); err != nil {
+			return nil, err
+		}
+	}
+	return t, nil
+}

@@ -1,0 +1,179 @@
+// Package table implements the column-major discretized dataset the
+// planners and probability engine operate on. A Table stores one column of
+// schema.Value per attribute; rows are tuples x = (x_1, ..., x_n).
+//
+// Tables hold the historical data used to estimate the probabilities of
+// Section 5 of the paper, and the disjoint test data plans are evaluated
+// against (Section 6, "Test v. Training").
+package table
+
+import (
+	"fmt"
+	"math"
+
+	"acqp/internal/schema"
+)
+
+// Table is an immutable-after-build column-major dataset bound to a schema.
+type Table struct {
+	schema *schema.Schema
+	cols   [][]schema.Value
+	rows   int
+}
+
+// New creates an empty table for the given schema with capacity hint rows.
+func New(s *schema.Schema, capacity int) *Table {
+	cols := make([][]schema.Value, s.NumAttrs())
+	for i := range cols {
+		cols[i] = make([]schema.Value, 0, capacity)
+	}
+	return &Table{schema: s, cols: cols}
+}
+
+// Schema returns the table's schema.
+func (t *Table) Schema() *schema.Schema { return t.schema }
+
+// NumRows returns the number of tuples d in the table.
+func (t *Table) NumRows() int { return t.rows }
+
+// AppendRow adds a tuple. It returns an error if the tuple has the wrong
+// arity or a value outside its attribute's domain.
+func (t *Table) AppendRow(row []schema.Value) error {
+	if len(row) != t.schema.NumAttrs() {
+		return fmt.Errorf("table: row has %d values, schema has %d attributes", len(row), t.schema.NumAttrs())
+	}
+	for i, v := range row {
+		if int(v) >= t.schema.K(i) {
+			return fmt.Errorf("table: value %d out of domain [0,%d) for attribute %s", v, t.schema.K(i), t.schema.Name(i))
+		}
+	}
+	for i, v := range row {
+		t.cols[i] = append(t.cols[i], v)
+	}
+	t.rows++
+	return nil
+}
+
+// MustAppendRow is AppendRow but panics on error; used by generators whose
+// output is valid by construction.
+func (t *Table) MustAppendRow(row []schema.Value) {
+	if err := t.AppendRow(row); err != nil {
+		panic(err)
+	}
+}
+
+// Value returns the value of attribute attr in row r.
+func (t *Table) Value(r, attr int) schema.Value { return t.cols[attr][r] }
+
+// Row copies row r into dst (allocating if dst is too small) and returns it.
+func (t *Table) Row(r int, dst []schema.Value) []schema.Value {
+	n := t.schema.NumAttrs()
+	if cap(dst) < n {
+		dst = make([]schema.Value, n)
+	}
+	dst = dst[:n]
+	for i := 0; i < n; i++ {
+		dst[i] = t.cols[i][r]
+	}
+	return dst
+}
+
+// Col returns the backing slice for attribute attr. Callers must not
+// mutate it; it is exposed for the hot counting loops in the probability
+// engine.
+func (t *Table) Col(attr int) []schema.Value { return t.cols[attr][:t.rows] }
+
+// Split divides the table into a training prefix and test suffix at the
+// given fraction, mirroring the paper's non-overlapping time windows: rows
+// are assumed to be in time order, so the earliest trainFrac of rows trains
+// the model and the remainder tests it.
+func (t *Table) Split(trainFrac float64) (train, test *Table) {
+	if trainFrac < 0 {
+		trainFrac = 0
+	}
+	if trainFrac > 1 {
+		trainFrac = 1
+	}
+	cut := int(float64(t.rows) * trainFrac)
+	return t.Slice(0, cut), t.Slice(cut, t.rows)
+}
+
+// Slice returns a new table holding rows [lo, hi). The returned table
+// shares no mutable state with the receiver.
+func (t *Table) Slice(lo, hi int) *Table {
+	if lo < 0 {
+		lo = 0
+	}
+	if hi > t.rows {
+		hi = t.rows
+	}
+	if lo > hi {
+		lo = hi
+	}
+	out := New(t.schema, hi-lo)
+	for i := range t.cols {
+		out.cols[i] = append(out.cols[i], t.cols[i][lo:hi]...)
+	}
+	out.rows = hi - lo
+	return out
+}
+
+// Sample returns a new table containing every stride-th row, used to study
+// sensitivity to the amount of historical data (Section 6.4).
+func (t *Table) Sample(stride int) *Table {
+	if stride <= 1 {
+		return t.Slice(0, t.rows)
+	}
+	out := New(t.schema, t.rows/stride+1)
+	for r := 0; r < t.rows; r += stride {
+		for i := range t.cols {
+			out.cols[i] = append(out.cols[i], t.cols[i][r])
+		}
+		out.rows++
+	}
+	return out
+}
+
+// Stats summarises one attribute of the table.
+type Stats struct {
+	Attr       int
+	Mean       float64 // mean of the discretized values
+	Std        float64 // standard deviation of the discretized values
+	Min, Max   schema.Value
+	NumNonZero int
+}
+
+// ColumnStats computes summary statistics for attribute attr. The paper's
+// lab workload sizes predicate widths as two standard deviations of the
+// attribute (Section 6.1); this provides the sigma.
+func (t *Table) ColumnStats(attr int) Stats {
+	st := Stats{Attr: attr}
+	col := t.Col(attr)
+	if len(col) == 0 {
+		return st
+	}
+	st.Min, st.Max = col[0], col[0]
+	var sum, sumSq float64
+	for _, v := range col {
+		f := float64(v)
+		sum += f
+		sumSq += f * f
+		if v < st.Min {
+			st.Min = v
+		}
+		if v > st.Max {
+			st.Max = v
+		}
+		if v != 0 {
+			st.NumNonZero++
+		}
+	}
+	n := float64(len(col))
+	st.Mean = sum / n
+	variance := sumSq/n - st.Mean*st.Mean
+	if variance < 0 {
+		variance = 0
+	}
+	st.Std = math.Sqrt(variance)
+	return st
+}

@@ -1,0 +1,226 @@
+package table
+
+import (
+	"bytes"
+	"math"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"acqp/internal/schema"
+)
+
+func testSchema() *schema.Schema {
+	return schema.New(
+		schema.Attribute{Name: "hour", K: 24, Cost: 1},
+		schema.Attribute{Name: "light", K: 16, Cost: 100},
+		schema.Attribute{Name: "temp", K: 8, Cost: 100},
+	)
+}
+
+func fill(t *testing.T, tbl *Table, rows [][]schema.Value) {
+	t.Helper()
+	for _, r := range rows {
+		if err := tbl.AppendRow(r); err != nil {
+			t.Fatalf("AppendRow(%v): %v", r, err)
+		}
+	}
+}
+
+func TestAppendAndAccess(t *testing.T) {
+	tbl := New(testSchema(), 4)
+	fill(t, tbl, [][]schema.Value{
+		{0, 1, 2},
+		{23, 15, 7},
+	})
+	if tbl.NumRows() != 2 {
+		t.Fatalf("NumRows = %d, want 2", tbl.NumRows())
+	}
+	if v := tbl.Value(1, 1); v != 15 {
+		t.Errorf("Value(1,1) = %d, want 15", v)
+	}
+	row := tbl.Row(0, nil)
+	if row[0] != 0 || row[1] != 1 || row[2] != 2 {
+		t.Errorf("Row(0) = %v", row)
+	}
+	// Row must reuse a sufficiently large dst.
+	buf := make([]schema.Value, 3)
+	row2 := tbl.Row(1, buf)
+	if &row2[0] != &buf[0] {
+		t.Error("Row did not reuse dst buffer")
+	}
+}
+
+func TestAppendValidation(t *testing.T) {
+	tbl := New(testSchema(), 1)
+	if err := tbl.AppendRow([]schema.Value{1, 2}); err == nil {
+		t.Error("wrong arity accepted")
+	}
+	if err := tbl.AppendRow([]schema.Value{24, 0, 0}); err == nil {
+		t.Error("out-of-domain value accepted")
+	}
+	if tbl.NumRows() != 0 {
+		t.Errorf("failed appends changed row count to %d", tbl.NumRows())
+	}
+}
+
+func TestSplit(t *testing.T) {
+	tbl := New(testSchema(), 10)
+	for i := 0; i < 10; i++ {
+		tbl.MustAppendRow([]schema.Value{schema.Value(i), 0, 0})
+	}
+	train, test := tbl.Split(0.7)
+	if train.NumRows() != 7 || test.NumRows() != 3 {
+		t.Fatalf("Split(0.7) = %d/%d rows, want 7/3", train.NumRows(), test.NumRows())
+	}
+	if train.Value(6, 0) != 6 || test.Value(0, 0) != 7 {
+		t.Error("Split broke time ordering")
+	}
+	// Slices are independent copies.
+	train.MustAppendRow([]schema.Value{0, 0, 0})
+	if tbl.NumRows() != 10 {
+		t.Error("appending to train mutated parent")
+	}
+}
+
+func TestSplitClamping(t *testing.T) {
+	tbl := New(testSchema(), 2)
+	tbl.MustAppendRow([]schema.Value{1, 1, 1})
+	for _, frac := range []float64{-1, 0, 1, 2} {
+		train, test := tbl.Split(frac)
+		if train.NumRows()+test.NumRows() != 1 {
+			t.Errorf("Split(%g) lost rows", frac)
+		}
+	}
+}
+
+func TestSample(t *testing.T) {
+	tbl := New(testSchema(), 10)
+	for i := 0; i < 10; i++ {
+		tbl.MustAppendRow([]schema.Value{schema.Value(i), 0, 0})
+	}
+	s := tbl.Sample(3)
+	if s.NumRows() != 4 { // rows 0,3,6,9
+		t.Fatalf("Sample(3) has %d rows, want 4", s.NumRows())
+	}
+	if s.Value(1, 0) != 3 || s.Value(3, 0) != 9 {
+		t.Error("Sample picked wrong rows")
+	}
+	if tbl.Sample(0).NumRows() != 10 {
+		t.Error("Sample(0) should copy all rows")
+	}
+}
+
+func TestColumnStats(t *testing.T) {
+	tbl := New(testSchema(), 4)
+	fill(t, tbl, [][]schema.Value{
+		{2, 0, 0}, {4, 0, 0}, {6, 0, 0}, {8, 0, 0},
+	})
+	st := tbl.ColumnStats(0)
+	if st.Mean != 5 {
+		t.Errorf("Mean = %g, want 5", st.Mean)
+	}
+	want := math.Sqrt(5) // population std of {2,4,6,8}
+	if math.Abs(st.Std-want) > 1e-12 {
+		t.Errorf("Std = %g, want %g", st.Std, want)
+	}
+	if st.Min != 2 || st.Max != 8 {
+		t.Errorf("Min/Max = %d/%d, want 2/8", st.Min, st.Max)
+	}
+	if st.NumNonZero != 4 {
+		t.Errorf("NumNonZero = %d, want 4", st.NumNonZero)
+	}
+}
+
+func TestColumnStatsEmpty(t *testing.T) {
+	tbl := New(testSchema(), 0)
+	st := tbl.ColumnStats(1)
+	if st.Mean != 0 || st.Std != 0 {
+		t.Error("empty table stats should be zero")
+	}
+}
+
+func TestCSVRoundTrip(t *testing.T) {
+	tbl := New(testSchema(), 3)
+	fill(t, tbl, [][]schema.Value{
+		{0, 1, 2}, {23, 15, 7}, {12, 8, 3},
+	})
+	var buf bytes.Buffer
+	if err := tbl.WriteCSV(&buf); err != nil {
+		t.Fatalf("WriteCSV: %v", err)
+	}
+	got, err := ReadCSV(testSchema(), &buf)
+	if err != nil {
+		t.Fatalf("ReadCSV: %v", err)
+	}
+	if got.NumRows() != 3 {
+		t.Fatalf("round trip rows = %d, want 3", got.NumRows())
+	}
+	for r := 0; r < 3; r++ {
+		for a := 0; a < 3; a++ {
+			if got.Value(r, a) != tbl.Value(r, a) {
+				t.Errorf("round trip value mismatch at (%d,%d)", r, a)
+			}
+		}
+	}
+}
+
+func TestCSVColumnReorder(t *testing.T) {
+	in := "temp,hour,light\n3,12,9\n"
+	tbl, err := ReadCSV(testSchema(), strings.NewReader(in))
+	if err != nil {
+		t.Fatalf("ReadCSV: %v", err)
+	}
+	if tbl.Value(0, 0) != 12 || tbl.Value(0, 1) != 9 || tbl.Value(0, 2) != 3 {
+		t.Errorf("reordered columns misparsed: row = %v", tbl.Row(0, nil))
+	}
+}
+
+func TestCSVErrors(t *testing.T) {
+	cases := []struct{ name, in string }{
+		{"unknown column", "hour,light,bogus\n1,2,3\n"},
+		{"duplicate column", "hour,hour,light\n1,2,3\n"},
+		{"wrong arity", "hour,light\n1,2\n"},
+		{"non-integer", "hour,light,temp\n1,x,3\n"},
+		{"out of domain", "hour,light,temp\n99,0,0\n"},
+		{"negative", "hour,light,temp\n-1,0,0\n"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			if _, err := ReadCSV(testSchema(), strings.NewReader(tc.in)); err == nil {
+				t.Errorf("ReadCSV(%q) succeeded, want error", tc.in)
+			}
+		})
+	}
+}
+
+// Property: Split preserves every row exactly once, for any fraction.
+func TestSplitPartitionProperty(t *testing.T) {
+	s := schema.New(schema.Attribute{Name: "v", K: 256, Cost: 1})
+	f := func(vals []uint8, frac float64) bool {
+		tbl := New(s, len(vals))
+		for _, v := range vals {
+			tbl.MustAppendRow([]schema.Value{schema.Value(v)})
+		}
+		frac = math.Abs(frac)
+		frac -= math.Floor(frac)
+		train, test := tbl.Split(frac)
+		if train.NumRows()+test.NumRows() != len(vals) {
+			return false
+		}
+		for i := 0; i < train.NumRows(); i++ {
+			if train.Value(i, 0) != schema.Value(vals[i]) {
+				return false
+			}
+		}
+		for i := 0; i < test.NumRows(); i++ {
+			if test.Value(i, 0) != schema.Value(vals[train.NumRows()+i]) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,112 @@
+package workload
+
+import (
+	"testing"
+
+	"acqp/internal/datagen"
+	"acqp/internal/query"
+	"acqp/internal/stats"
+)
+
+func TestLabQueriesShape(t *testing.T) {
+	tbl := datagen.Lab(datagen.LabConfig{Motes: 8, Rows: 10_000, Seed: 1, QuietMotes: 2})
+	cfg := LabQueryConfig{Count: 20, Seed: 3, SelLo: 0.3, SelHi: 0.7}
+	qs := LabQueries(tbl, cfg)
+	if len(qs) != 20 {
+		t.Fatalf("generated %d queries, want 20", len(qs))
+	}
+	d := stats.NewEmpirical(tbl)
+	inBand := 0
+	for _, q := range qs {
+		if q.NumPreds() != 3 {
+			t.Fatalf("query has %d predicates, want 3", q.NumPreds())
+		}
+		for _, p := range q.Preds {
+			if c := tbl.Schema().Cost(p.Attr); c != datagen.ExpensiveCost {
+				t.Errorf("predicate on cheap attribute %s", tbl.Schema().Name(p.Attr))
+			}
+			sel := d.Root().ProbPred(p)
+			if sel >= cfg.SelLo && sel <= cfg.SelHi {
+				inBand++
+			}
+		}
+	}
+	// The generator resamples toward the band; the overwhelming majority
+	// of predicates must land inside it.
+	if frac := float64(inBand) / float64(len(qs)*3); frac < 0.8 {
+		t.Errorf("only %.0f%% of predicates in the selectivity band", frac*100)
+	}
+}
+
+func TestLabQueriesDeterministic(t *testing.T) {
+	tbl := datagen.Lab(datagen.LabConfig{Motes: 8, Rows: 5_000, Seed: 1, QuietMotes: 2})
+	cfg := LabQueryConfig{Count: 5, Seed: 3, SelLo: 0.3, SelHi: 0.7}
+	a := LabQueries(tbl, cfg)
+	b := LabQueries(tbl, cfg)
+	for i := range a {
+		if a[i].Format(tbl.Schema()) != b[i].Format(tbl.Schema()) {
+			t.Fatalf("query %d differs between equal-seed runs", i)
+		}
+	}
+}
+
+func TestGardenQueriesShape(t *testing.T) {
+	tbl := datagen.Garden(datagen.GardenConfig{Motes: 5, Rows: 5_000, Seed: 2})
+	cfg := DefaultGardenQueryConfig(5)
+	cfg.Count = 15
+	qs := GardenQueries(tbl, cfg)
+	if len(qs) != 15 {
+		t.Fatalf("generated %d queries, want 15", len(qs))
+	}
+	for _, q := range qs {
+		if q.NumPreds() != 10 {
+			t.Fatalf("Garden-5 query has %d predicates, want 10", q.NumPreds())
+		}
+		// The temp range and negation flag are identical across motes.
+		var tempR, humR query.Range
+		var tempNeg, humNeg bool
+		for i, p := range q.Preds {
+			if i == 0 {
+				tempR, tempNeg = p.R, p.Negated
+			} else if i == 1 {
+				humR, humNeg = p.R, p.Negated
+			} else if i%2 == 0 {
+				if p.R != tempR || p.Negated != tempNeg {
+					t.Fatal("temperature predicates differ across motes")
+				}
+			} else if p.R != humR || p.Negated != humNeg {
+				t.Fatal("humidity predicates differ across motes")
+			}
+		}
+	}
+}
+
+func TestGardenQueriesProduceNegations(t *testing.T) {
+	tbl := datagen.Garden(datagen.GardenConfig{Motes: 3, Rows: 3_000, Seed: 2})
+	cfg := GardenQueryConfig{Count: 30, Seed: 7, Motes: 3, WidthLo: 1.25, WidthHi: 3.25, NegateProb: 0.5}
+	qs := GardenQueries(tbl, cfg)
+	sawNeg, sawPlain := false, false
+	for _, q := range qs {
+		for _, p := range q.Preds {
+			if p.Negated {
+				sawNeg = true
+			} else {
+				sawPlain = true
+			}
+		}
+	}
+	if !sawNeg || !sawPlain {
+		t.Errorf("negation mix missing: neg=%v plain=%v", sawNeg, sawPlain)
+	}
+}
+
+func TestGarden11QueriesHave22Preds(t *testing.T) {
+	tbl := datagen.Garden(datagen.GardenConfig{Motes: 11, Rows: 2_000, Seed: 2})
+	cfg := DefaultGardenQueryConfig(11)
+	cfg.Count = 3
+	for _, q := range GardenQueries(tbl, cfg) {
+		if q.NumPreds() != 22 {
+			t.Fatalf("Garden-11 query has %d predicates, want 22", q.NumPreds())
+		}
+	}
+}
