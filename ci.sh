@@ -1,0 +1,40 @@
+#!/usr/bin/env bash
+# ci.sh — the repo's tier-1 gate. Run from anywhere; it cds to the repo
+# root. Every check must pass before a change lands:
+#
+#   gofmt      formatting is canonical
+#   go vet     the compiler-adjacent checks
+#   go build   everything compiles
+#   go test    the full suite, with the race detector on
+#   acqlint    the domain-specific invariants (internal/analysis)
+#   fuzz smoke short runs of the fuzz targets (plan decoder, SQL parser)
+#
+# FUZZTIME overrides the per-target fuzzing budget (default 5s).
+set -euo pipefail
+cd "$(dirname "$0")"
+
+echo "== gofmt"
+unformatted=$(gofmt -l .)
+if [ -n "$unformatted" ]; then
+	echo "gofmt needed on:" >&2
+	echo "$unformatted" >&2
+	exit 1
+fi
+
+echo "== go vet"
+go vet ./...
+
+echo "== go build"
+go build ./...
+
+echo "== go test -race"
+go test -race ./...
+
+echo "== acqlint"
+go run ./cmd/acqlint ./...
+
+echo "== fuzz smoke"
+go test -run='^$' -fuzz=FuzzDecode -fuzztime="${FUZZTIME:-5s}" ./internal/plan
+go test -run='^$' -fuzz=FuzzParse -fuzztime="${FUZZTIME:-5s}" ./internal/sql
+
+echo "CI OK"

@@ -1,0 +1,142 @@
+// Command acqlint runs the repo's domain-specific static-analysis suite
+// (internal/analysis) over the named packages.
+//
+// Usage:
+//
+//	acqlint [-disable name,name] [-list] [patterns...]
+//
+// Patterns follow go-tool conventions ("./...", "internal/opt",
+// "internal/..."); the default is "./...". Diagnostics print as
+// file:line:col: analyzer: message. Exit status is 0 for a clean tree,
+// 1 when findings are reported, and 2 on usage or load errors.
+//
+// A finding is suppressed by a directive on its line or the line above:
+//
+//	//acqlint:ignore <analyzer> <reason>
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"acqp/internal/analysis"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("acqlint", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	disable := fs.String("disable", "", "comma-separated analyzer names to skip")
+	list := fs.Bool("list", false, "list analyzers and exit")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+
+	all := analysis.Analyzers()
+	if *list {
+		for _, a := range all {
+			fmt.Fprintf(stdout, "%-12s %s\n", a.Name, a.Doc)
+		}
+		return 0
+	}
+
+	known := make(map[string]bool, len(all))
+	for _, a := range all {
+		known[a.Name] = true
+	}
+	disabled := make(map[string]bool)
+	for _, name := range strings.Split(*disable, ",") {
+		if name = strings.TrimSpace(name); name == "" {
+			continue
+		} else if !known[name] {
+			fmt.Fprintf(stderr, "acqlint: unknown analyzer %q (see -list)\n", name)
+			return 2
+		} else {
+			disabled[name] = true
+		}
+	}
+	var enabled []*analysis.Analyzer
+	for _, a := range all {
+		if !disabled[a.Name] {
+			enabled = append(enabled, a)
+		}
+	}
+
+	patterns := fs.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+
+	cwd, err := os.Getwd()
+	if err != nil {
+		fmt.Fprintf(stderr, "acqlint: %v\n", err)
+		return 2
+	}
+	root := findModuleRoot(cwd)
+
+	// Patterns are relative to the invoker's directory, not the module
+	// root; rebase them.
+	rebased := make([]string, len(patterns))
+	for i, pat := range patterns {
+		rebased[i] = rebase(cwd, root, pat)
+	}
+
+	pkgs, err := analysis.Load(root, rebased)
+	if err != nil {
+		fmt.Fprintf(stderr, "acqlint: %v\n", err)
+		return 2
+	}
+	diags := analysis.RunAll(pkgs, enabled)
+	for _, d := range diags {
+		name := d.Pos.Filename
+		if rel, err := filepath.Rel(cwd, name); err == nil && !strings.HasPrefix(rel, "..") {
+			name = rel
+		}
+		fmt.Fprintf(stdout, "%s:%d:%d: %s: %s\n", name, d.Pos.Line, d.Pos.Column, d.Analyzer, d.Message)
+	}
+	if len(diags) > 0 {
+		fmt.Fprintf(stderr, "acqlint: %d finding(s)\n", len(diags))
+		return 1
+	}
+	return 0
+}
+
+// rebase turns a cwd-relative pattern into a root-relative one.
+func rebase(cwd, root, pat string) string {
+	suffix := ""
+	base := pat
+	if base == "..." {
+		base, suffix = ".", "/..."
+	} else if strings.HasSuffix(base, "/...") {
+		base, suffix = strings.TrimSuffix(base, "/..."), "/..."
+	}
+	if !filepath.IsAbs(base) {
+		base = filepath.Join(cwd, base)
+	}
+	if rel, err := filepath.Rel(root, base); err == nil {
+		return rel + suffix
+	}
+	return base + suffix
+}
+
+// findModuleRoot walks up from dir to the nearest go.mod; falls back to
+// dir itself.
+func findModuleRoot(dir string) string {
+	for d := dir; ; {
+		if _, err := os.Stat(filepath.Join(d, "go.mod")); err == nil {
+			return d
+		}
+		parent := filepath.Dir(d)
+		if parent == d {
+			return dir
+		}
+		d = parent
+	}
+}

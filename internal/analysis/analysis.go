@@ -1,0 +1,191 @@
+// Package analysis is acqlint's engine: a stdlib-only (go/ast, go/parser,
+// go/token) static-analysis driver enforcing repo-specific invariants the
+// Go compiler cannot see — epsilon-safe float comparisons, deterministic
+// iteration and randomness, package-prefixed panics, and handled errors.
+//
+// Each invariant is a named Analyzer over a parsed Package. Analyzers are
+// purely syntactic: they resolve types heuristically from declarations in
+// the AST (see Index), trading soundness for zero build-time dependencies
+// — the driver runs offline on any tree that parses, including the golden
+// fixtures under testdata.
+//
+// A finding on a given line is suppressed by a directive comment on that
+// line or the line above:
+//
+//	//acqlint:ignore <analyzer> <reason>
+//
+// The reason is mandatory; a malformed directive is itself reported.
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"sort"
+	"strings"
+)
+
+// Diagnostic is one finding: an invariant violation at a position.
+type Diagnostic struct {
+	Pos      token.Position
+	Analyzer string
+	Message  string
+}
+
+func (d Diagnostic) String() string {
+	return fmt.Sprintf("%s:%d:%d: %s: %s", d.Pos.Filename, d.Pos.Line, d.Pos.Column, d.Analyzer, d.Message)
+}
+
+// Analyzer is one named, individually-toggleable invariant check.
+type Analyzer struct {
+	// Name identifies the analyzer in diagnostics, -disable flags, and
+	// ignore directives.
+	Name string
+	// Doc is a one-line description of the invariant guarded.
+	Doc string
+	// Run reports every violation in the package. Suppression directives
+	// are applied by the driver, not by Run.
+	Run func(p *Package) []Diagnostic
+}
+
+// Analyzers returns the full suite in reporting order.
+func Analyzers() []*Analyzer {
+	return []*Analyzer{
+		FloatCmp,
+		GlobalRand,
+		MapOrder,
+		PanicPolicy,
+		ErrDrop,
+	}
+}
+
+// Package is one parsed package directory plus the indexes analyzers
+// consult.
+type Package struct {
+	// Fset positions every file in the package.
+	Fset *token.FileSet
+	// RelPath is the directory path relative to the module root, using
+	// forward slashes ("" for the root package).
+	RelPath string
+	// Name is the package name from the package clause (of the first
+	// non-test file, falling back to the first file).
+	Name string
+	// Files holds every parsed .go file, test files included; FileNames
+	// is parallel to it.
+	Files     []*ast.File
+	FileNames []string
+	// Index is the package-local heuristic symbol table.
+	Index *Index
+	// Global is the repo-wide exported symbol table, shared by all
+	// packages of a load.
+	Global *GlobalIndex
+
+	// ignores maps file index -> line -> analyzer names suppressed there.
+	ignores map[int]map[int][]string
+	// badDirectives are malformed ignore comments, reported by RunAll.
+	badDirectives []Diagnostic
+}
+
+// IsTestFile reports whether file i of the package is a _test.go file.
+func (p *Package) IsTestFile(i int) bool {
+	return strings.HasSuffix(p.FileNames[i], "_test.go")
+}
+
+// InDir reports whether the package lives under (or inside a path
+// containing) the given slash-separated directory, e.g. "internal/plan"
+// or "cmd". Matching by containment lets golden fixtures under
+// testdata/src/internal/plan/... exercise scoped analyzers.
+func (p *Package) InDir(dir string) bool {
+	rel := p.RelPath + "/"
+	return strings.HasPrefix(rel, dir+"/") || strings.Contains(rel, "/"+dir+"/")
+}
+
+// diag builds a Diagnostic at pos.
+func (p *Package) diag(analyzer string, pos token.Pos, format string, args ...any) Diagnostic {
+	return Diagnostic{Pos: p.Fset.Position(pos), Analyzer: analyzer, Message: fmt.Sprintf(format, args...)}
+}
+
+// suppressed reports whether a finding of the analyzer at the position is
+// covered by an ignore directive on its line or the line above.
+func (p *Package) suppressed(fileIdx int, analyzer string, pos token.Position) bool {
+	lines := p.ignores[fileIdx]
+	if lines == nil {
+		return false
+	}
+	for _, ln := range []int{pos.Line, pos.Line - 1} {
+		for _, name := range lines[ln] {
+			if name == analyzer || name == "all" {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// ignoreDirective is the comment prefix that suppresses a finding.
+const ignoreDirective = "//acqlint:ignore"
+
+// buildIgnores scans every comment for ignore directives.
+func (p *Package) buildIgnores() {
+	p.ignores = make(map[int]map[int][]string)
+	for i, f := range p.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				if !strings.HasPrefix(c.Text, ignoreDirective) {
+					continue
+				}
+				rest := strings.TrimPrefix(c.Text, ignoreDirective)
+				fields := strings.Fields(rest)
+				if len(fields) < 2 {
+					p.badDirectives = append(p.badDirectives, p.diag("acqlint", c.Pos(),
+						"malformed directive %q: want %s <analyzer> <reason>", c.Text, ignoreDirective))
+					continue
+				}
+				if p.ignores[i] == nil {
+					p.ignores[i] = make(map[int][]string)
+				}
+				line := p.Fset.Position(c.Pos()).Line
+				p.ignores[i][line] = append(p.ignores[i][line], fields[0])
+			}
+		}
+	}
+}
+
+// RunAll runs every enabled analyzer over every package, applies
+// suppression directives, and returns the surviving diagnostics sorted by
+// position. Malformed directives are always reported.
+func RunAll(pkgs []*Package, enabled []*Analyzer) []Diagnostic {
+	var out []Diagnostic
+	for _, p := range pkgs {
+		out = append(out, p.badDirectives...)
+		for _, a := range enabled {
+			for _, d := range a.Run(p) {
+				idx := -1
+				for i, name := range p.FileNames {
+					if name == d.Pos.Filename {
+						idx = i
+						break
+					}
+				}
+				if idx >= 0 && p.suppressed(idx, a.Name, d.Pos) {
+					continue
+				}
+				out = append(out, d)
+			}
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		a, b := out[i], out[j]
+		if a.Pos.Filename != b.Pos.Filename {
+			return a.Pos.Filename < b.Pos.Filename
+		}
+		if a.Pos.Line != b.Pos.Line {
+			return a.Pos.Line < b.Pos.Line
+		}
+		if a.Pos.Column != b.Pos.Column {
+			return a.Pos.Column < b.Pos.Column
+		}
+		return a.Analyzer < b.Analyzer
+	})
+	return out
+}

@@ -1,0 +1,135 @@
+package analysis
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"regexp"
+	"strings"
+	"testing"
+)
+
+// wantRe matches expectation comments in fixture sources. A fixture line
+// carrying `want "substring"` (in any comment form) expects exactly one
+// diagnostic on that line whose "analyzer: message" contains the
+// substring; multiple wants on one line expect multiple diagnostics.
+var wantRe = regexp.MustCompile(`want "([^"]+)"`)
+
+type expectation struct {
+	substr  string
+	matched bool
+}
+
+// loadFixtures parses everything under testdata/src and collects the
+// want expectations, keyed "file:line".
+func loadFixtures(t *testing.T) ([]*Package, map[string][]*expectation) {
+	t.Helper()
+	pkgs, err := Load(filepath.Join("testdata", "src"), []string{"./..."})
+	if err != nil {
+		t.Fatalf("Load: %v", err)
+	}
+	if len(pkgs) == 0 {
+		t.Fatal("no fixture packages loaded")
+	}
+	wants := make(map[string][]*expectation)
+	for _, p := range pkgs {
+		for _, name := range p.FileNames {
+			data, err := os.ReadFile(name)
+			if err != nil {
+				t.Fatalf("read fixture: %v", err)
+			}
+			for i, line := range strings.Split(string(data), "\n") {
+				for _, m := range wantRe.FindAllStringSubmatch(line, -1) {
+					key := fmt.Sprintf("%s:%d", name, i+1)
+					wants[key] = append(wants[key], &expectation{substr: m[1]})
+				}
+			}
+		}
+	}
+	return pkgs, wants
+}
+
+// TestGoldenFixtures runs the full suite over the fixtures and requires
+// an exact match between diagnostics and want comments: every diagnostic
+// explained by a want on its line, every want satisfied.
+func TestGoldenFixtures(t *testing.T) {
+	pkgs, wants := loadFixtures(t)
+	for _, d := range RunAll(pkgs, Analyzers()) {
+		key := fmt.Sprintf("%s:%d", d.Pos.Filename, d.Pos.Line)
+		found := false
+		for _, e := range wants[key] {
+			if !e.matched && strings.Contains(d.Analyzer+": "+d.Message, e.substr) {
+				e.matched = true
+				found = true
+				break
+			}
+		}
+		if !found {
+			t.Errorf("unexpected diagnostic: %s", d)
+		}
+	}
+	for key, es := range wants {
+		for _, e := range es {
+			if !e.matched {
+				t.Errorf("%s: expected a diagnostic containing %q, got none", key, e.substr)
+			}
+		}
+	}
+}
+
+// TestDisableAnalyzer checks that analyzers are individually toggleable:
+// dropping one from the enabled set removes exactly its findings.
+func TestDisableAnalyzer(t *testing.T) {
+	pkgs, _ := loadFixtures(t)
+	for _, skip := range []string{"floatcmp", "errdrop"} {
+		var enabled []*Analyzer
+		for _, a := range Analyzers() {
+			if a.Name != skip {
+				enabled = append(enabled, a)
+			}
+		}
+		saw := make(map[string]bool)
+		for _, d := range RunAll(pkgs, enabled) {
+			saw[d.Analyzer] = true
+		}
+		if saw[skip] {
+			t.Errorf("analyzer %q reported findings while disabled", skip)
+		}
+		if len(saw) == 0 {
+			t.Errorf("disabling %q silenced every analyzer", skip)
+		}
+	}
+}
+
+// TestRepoIsClean is the self-test the CI gate relies on: the repo's own
+// tree must produce zero diagnostics.
+func TestRepoIsClean(t *testing.T) {
+	pkgs, err := Load(filepath.Join("..", ".."), []string{"./..."})
+	if err != nil {
+		t.Fatalf("Load repo: %v", err)
+	}
+	for _, d := range RunAll(pkgs, Analyzers()) {
+		t.Errorf("repo finding: %s", d)
+	}
+}
+
+// TestInDir pins the containment semantics scope checks depend on.
+func TestInDir(t *testing.T) {
+	cases := []struct {
+		rel, dir string
+		want     bool
+	}{
+		{"internal/plan", "internal/plan", true},
+		{"internal/plan/sub", "internal/plan", true},
+		{"internal/analysis/testdata/src/internal/plan/floatfix", "internal/plan", true},
+		{"internal/planner", "internal/plan", false},
+		{"cmd/acqlint", "cmd", true},
+		{"internal/opt", "cmd", false},
+	}
+	for _, c := range cases {
+		p := &Package{RelPath: c.rel}
+		if got := p.InDir(c.dir); got != c.want {
+			t.Errorf("InDir(%q, %q) = %v, want %v", c.rel, c.dir, got, c.want)
+		}
+	}
+}

@@ -1,0 +1,148 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"strings"
+)
+
+// ErrDrop flags discarded error returns outside tests: a call used as a
+// bare statement when its last result is an error, and assignments that
+// blank the error position (`x, _ := f()`, `_ = f()`). Resolution is
+// heuristic: local functions, repo packages' exported functions, and
+// method names whose repo-wide declarations unambiguously end in error.
+// Deliberate discards take an //acqlint:ignore errdrop <reason> directive.
+var ErrDrop = &Analyzer{
+	Name: "errdrop",
+	Doc:  "forbid discarded error returns outside tests",
+	Run:  runErrDrop,
+}
+
+func runErrDrop(p *Package) []Diagnostic {
+	var out []Diagnostic
+	p.walkNonTest(func(_ int, f *ast.File) {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.DeferStmt, *ast.GoStmt:
+				// A deferred/concurrent drop is a different policy call;
+				// out of scope here.
+				return false
+			case *ast.ExprStmt:
+				if call, ok := unparen(n.X).(*ast.CallExpr); ok {
+					if name, ok := p.returnsError(call); ok {
+						out = append(out, p.diag("errdrop", call.Pos(),
+							"%s returns an error that is discarded; handle it or check it", name))
+					}
+				}
+				return false
+			case *ast.AssignStmt:
+				out = append(out, p.blankedErrors(n)...)
+				return true
+			}
+			return true
+		})
+	})
+	return out
+}
+
+// blankedErrors reports error results assigned to _ .
+func (p *Package) blankedErrors(as *ast.AssignStmt) []Diagnostic {
+	if as.Tok != token.DEFINE && as.Tok != token.ASSIGN {
+		return nil
+	}
+	// Multi-value form: x, _ := f() — the blank must sit in the error
+	// (last) position.
+	if len(as.Rhs) == 1 && len(as.Lhs) > 1 {
+		call, ok := unparen(as.Rhs[0]).(*ast.CallExpr)
+		if !ok {
+			return nil
+		}
+		last, ok := as.Lhs[len(as.Lhs)-1].(*ast.Ident)
+		if !ok || last.Name != "_" {
+			return nil
+		}
+		if name, ok := p.returnsError(call); ok {
+			return []Diagnostic{p.diag("errdrop", last.Pos(),
+				"error result of %s assigned to _; handle it or check it", name)}
+		}
+		return nil
+	}
+	// Pairwise form: _ = f().
+	var out []Diagnostic
+	if len(as.Lhs) == len(as.Rhs) {
+		for i, lhs := range as.Lhs {
+			id, ok := lhs.(*ast.Ident)
+			if !ok || id.Name != "_" {
+				continue
+			}
+			call, ok := unparen(as.Rhs[i]).(*ast.CallExpr)
+			if !ok {
+				continue
+			}
+			if name, ok := p.returnsError(call); ok {
+				out = append(out, p.diag("errdrop", id.Pos(),
+					"error result of %s assigned to _; handle it or check it", name))
+			}
+		}
+	}
+	return out
+}
+
+// returnsError resolves whether the called function's last result is an
+// error, returning a printable name for diagnostics.
+func (p *Package) returnsError(call *ast.CallExpr) (string, bool) {
+	switch fn := unparen(call.Fun).(type) {
+	case *ast.Ident:
+		if p.Index.ErrFuncs[fn.Name] {
+			return fn.Name, true
+		}
+	case *ast.SelectorExpr:
+		id, ok := unparen(fn.X).(*ast.Ident)
+		if ok {
+			// Qualified call into a repo package: pkg.Fn.
+			key := id.Name + "." + fn.Sel.Name
+			if p.importsRepoPackage(id.Name) && p.Global.ErrFuncs[key] {
+				return key, true
+			}
+			// Not a repo package selector: only method-name resolution
+			// below may still apply (e.g. value receivers).
+		}
+		name := fn.Sel.Name
+		if looksQualified(p, fn) {
+			return "", false // std or external package call: no signature info
+		}
+		if p.Index.ErrMethods[name] || p.Global.ErrMethods[name] {
+			return printableSelector(fn), true
+		}
+	}
+	return "", false
+}
+
+// looksQualified reports whether sel.X names an imported package (of any
+// origin), meaning sel is pkg.Func rather than value.Method.
+func looksQualified(p *Package, sel *ast.SelectorExpr) bool {
+	id, ok := unparen(sel.X).(*ast.Ident)
+	if !ok {
+		return false
+	}
+	for _, f := range p.Files {
+		for _, imp := range f.Imports {
+			path := strings.Trim(imp.Path.Value, `"`)
+			local := path[strings.LastIndex(path, "/")+1:]
+			if imp.Name != nil {
+				local = imp.Name.Name
+			}
+			if local == id.Name {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+func printableSelector(sel *ast.SelectorExpr) string {
+	if id, ok := unparen(sel.X).(*ast.Ident); ok {
+		return id.Name + "." + sel.Sel.Name
+	}
+	return sel.Sel.Name
+}

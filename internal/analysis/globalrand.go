@@ -1,0 +1,64 @@
+package analysis
+
+import (
+	"go/ast"
+	"strings"
+)
+
+// globalRandAllowed are the math/rand names that construct an explicit
+// generator rather than touching the shared global source.
+var globalRandAllowed = map[string]bool{
+	"New":       true,
+	"NewSource": true,
+	"NewZipf":   true,
+	"Rand":      true, // the type, in declarations like *rand.Rand
+	"Source":    true,
+}
+
+// GlobalRand forbids the top-level math/rand convenience functions
+// (rand.Float64, rand.Intn, rand.Seed, ...) outside tests: they draw from
+// a process-global source, so experiment and example output is not
+// reproducible run to run. Construct a seeded generator instead:
+// rng := rand.New(rand.NewSource(seed)).
+var GlobalRand = &Analyzer{
+	Name: "globalrand",
+	Doc:  "forbid global math/rand functions outside tests; inject a seeded *rand.Rand",
+	Run:  runGlobalRand,
+}
+
+func runGlobalRand(p *Package) []Diagnostic {
+	var out []Diagnostic
+	p.walkNonTest(func(_ int, f *ast.File) {
+		// Find the local name math/rand is imported under, if at all.
+		local := ""
+		for _, imp := range f.Imports {
+			path := strings.Trim(imp.Path.Value, `"`)
+			if path == "math/rand" || path == "math/rand/v2" {
+				local = path[strings.LastIndex(path, "/")+1:]
+				if local == "v2" {
+					local = "rand"
+				}
+				if imp.Name != nil {
+					local = imp.Name.Name
+				}
+			}
+		}
+		if local == "" || local == "." {
+			return
+		}
+		ast.Inspect(f, func(n ast.Node) bool {
+			sel, ok := n.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			id, ok := sel.X.(*ast.Ident)
+			if !ok || id.Name != local || globalRandAllowed[sel.Sel.Name] {
+				return true
+			}
+			out = append(out, p.diag("globalrand", sel.Pos(),
+				"global math/rand.%s is shared, unseeded state; inject a seeded *rand.Rand (rand.New(rand.NewSource(seed)))", sel.Sel.Name))
+			return true
+		})
+	})
+	return out
+}

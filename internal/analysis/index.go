@@ -1,0 +1,437 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"strings"
+)
+
+// Index is a package-local, purely syntactic symbol table. It records
+// which names are float64-, []float64-, map-, and error-shaped based on
+// declarations visible in the AST: var/const specs, function signatures,
+// struct fields, and short variable declarations whose right-hand side is
+// recognizably typed. It is deliberately heuristic — no go/types — so the
+// driver needs nothing beyond a parse, at the cost of missing names whose
+// types only type inference can recover.
+type Index struct {
+	// FloatNames holds identifiers (variables, params, consts, struct
+	// fields) declared float64.
+	FloatNames map[string]bool
+	// FloatSlices holds identifiers declared []float64, so a[i] is float.
+	FloatSlices map[string]bool
+	// FloatFuncs holds package functions and methods whose first result
+	// is float64.
+	FloatFuncs map[string]bool
+	// ErrFuncs holds package functions whose last result is error.
+	ErrFuncs map[string]bool
+	// ErrMethods holds method names (concrete or interface) whose last
+	// result is error and that never appear without one.
+	ErrMethods map[string]bool
+	// MapNames holds identifiers (variables, params, struct fields) with
+	// a map type.
+	MapNames map[string]bool
+}
+
+// GlobalIndex aggregates exported signatures across every loaded package,
+// so analyzers can resolve cross-package calls like plan.ExpectedCost or
+// method calls through interfaces like stats.Cond.
+type GlobalIndex struct {
+	// FloatFuncs and ErrFuncs are keyed "pkgname.FuncName".
+	FloatFuncs map[string]bool
+	ErrFuncs   map[string]bool
+	// FloatMethods and ErrMethods are keyed by bare method name and only
+	// contain names whose repo-wide declarations agree on the result
+	// shape; ambiguous names are dropped rather than guessed.
+	FloatMethods map[string]bool
+	ErrMethods   map[string]bool
+}
+
+func isIdentType(e ast.Expr, name string) bool {
+	id, ok := e.(*ast.Ident)
+	return ok && id.Name == name
+}
+
+func isFloatType(e ast.Expr) bool { return isIdentType(e, "float64") }
+func isErrorType(e ast.Expr) bool { return isIdentType(e, "error") }
+
+func isFloatSliceType(e ast.Expr) bool {
+	s, ok := e.(*ast.ArrayType)
+	return ok && isFloatType(s.Elt)
+}
+
+func isMapType(e ast.Expr) bool {
+	_, ok := e.(*ast.MapType)
+	return ok
+}
+
+// funcResults classifies a function type's results.
+func funcResults(ft *ast.FuncType) (firstFloat, lastErr bool) {
+	if ft.Results == nil || len(ft.Results.List) == 0 {
+		return false, false
+	}
+	rs := ft.Results.List
+	firstFloat = isFloatType(rs[0].Type)
+	lastErr = isErrorType(rs[len(rs)-1].Type)
+	return
+}
+
+// NewIndex builds the package-local index from the non-test files only:
+// every index consumer skips test files, and test helpers reusing a name
+// with a different type (a float `x` in a test, say) would otherwise
+// poison the package-flat name resolution.
+func NewIndex(p *Package) *Index {
+	idx := &Index{
+		FloatNames:  make(map[string]bool),
+		FloatSlices: make(map[string]bool),
+		FloatFuncs:  make(map[string]bool),
+		ErrFuncs:    make(map[string]bool),
+		ErrMethods:  make(map[string]bool),
+		MapNames:    make(map[string]bool),
+	}
+	p.Index = idx                          // the propagation passes below resolve through p.isFloatExpr
+	errMethodSeen := make(map[string]bool) // name -> some decl lacks error
+	p.walkNonTest(func(_ int, f *ast.File) {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.FuncDecl:
+				idx.addFieldList(n.Type.Params)
+				idx.addFieldList(n.Type.Results)
+				ff, le := funcResults(n.Type)
+				if n.Recv == nil {
+					if ff {
+						idx.FloatFuncs[n.Name.Name] = true
+					}
+					if le {
+						idx.ErrFuncs[n.Name.Name] = true
+					}
+				} else {
+					if ff {
+						idx.FloatFuncs[n.Name.Name] = true
+					}
+					if le {
+						idx.ErrMethods[n.Name.Name] = true
+					} else {
+						errMethodSeen[n.Name.Name] = true
+					}
+				}
+			case *ast.StructType:
+				idx.addFieldList(n.Fields)
+			case *ast.InterfaceType:
+				for _, m := range n.Methods.List {
+					ft, ok := m.Type.(*ast.FuncType)
+					if !ok {
+						continue
+					}
+					ff, le := funcResults(ft)
+					for _, name := range m.Names {
+						if ff {
+							idx.FloatFuncs[name.Name] = true
+						}
+						if le {
+							idx.ErrMethods[name.Name] = true
+						} else {
+							errMethodSeen[name.Name] = true
+						}
+					}
+				}
+			case *ast.ValueSpec:
+				idx.addSpec(n)
+			}
+			return true
+		})
+	})
+	for name := range errMethodSeen {
+		delete(idx.ErrMethods, name)
+	}
+	// Propagate through short variable declarations; two passes reach
+	// chains like x := f(); y := x * 2.
+	for pass := 0; pass < 2; pass++ {
+		p.walkNonTest(func(_ int, f *ast.File) {
+			ast.Inspect(f, func(n ast.Node) bool {
+				if as, ok := n.(*ast.AssignStmt); ok {
+					idx.addAssign(p, as)
+				}
+				if rg, ok := n.(*ast.RangeStmt); ok {
+					idx.addRange(p, rg)
+				}
+				return true
+			})
+		})
+	}
+	return idx
+}
+
+// addFieldList records params/results/fields by declared type.
+func (idx *Index) addFieldList(fl *ast.FieldList) {
+	if fl == nil {
+		return
+	}
+	for _, f := range fl.List {
+		for _, name := range f.Names {
+			switch {
+			case isFloatType(f.Type):
+				idx.FloatNames[name.Name] = true
+			case isFloatSliceType(f.Type):
+				idx.FloatSlices[name.Name] = true
+			case isMapType(f.Type):
+				idx.MapNames[name.Name] = true
+			}
+		}
+	}
+}
+
+// addSpec records var/const specs, inferring from initializers when no
+// explicit type is given.
+func (idx *Index) addSpec(vs *ast.ValueSpec) {
+	if vs.Type != nil {
+		for _, name := range vs.Names {
+			switch {
+			case isFloatType(vs.Type):
+				idx.FloatNames[name.Name] = true
+			case isFloatSliceType(vs.Type):
+				idx.FloatSlices[name.Name] = true
+			case isMapType(vs.Type):
+				idx.MapNames[name.Name] = true
+			}
+		}
+		return
+	}
+	for i, name := range vs.Names {
+		if i < len(vs.Values) {
+			idx.classifyInit(name.Name, vs.Values[i])
+		}
+	}
+}
+
+// addAssign propagates := initializer shapes onto the declared names.
+func (idx *Index) addAssign(p *Package, as *ast.AssignStmt) {
+	if as.Tok != token.DEFINE && as.Tok != token.ASSIGN {
+		return
+	}
+	if len(as.Lhs) != len(as.Rhs) {
+		return
+	}
+	for i, lhs := range as.Lhs {
+		id, ok := lhs.(*ast.Ident)
+		if !ok || id.Name == "_" {
+			continue
+		}
+		idx.classifyInit(id.Name, as.Rhs[i])
+		if p != nil && p.isFloatExpr(as.Rhs[i]) {
+			idx.FloatNames[id.Name] = true
+		}
+	}
+}
+
+// addRange records range variables over float slices: `for _, v := range
+// hist` makes v a float.
+func (idx *Index) addRange(p *Package, rg *ast.RangeStmt) {
+	if rg.Value == nil {
+		return
+	}
+	id, ok := rg.Value.(*ast.Ident)
+	if !ok || id.Name == "_" {
+		return
+	}
+	x := unparen(rg.X)
+	if xid, ok := x.(*ast.Ident); ok && idx.FloatSlices[xid.Name] {
+		idx.FloatNames[id.Name] = true
+	}
+}
+
+// classifyInit records a name whose initializer has a syntactically
+// obvious shape: float literal, float64() conversion, make(map...), or a
+// map/slice composite literal.
+func (idx *Index) classifyInit(name string, rhs ast.Expr) {
+	switch v := unparen(rhs).(type) {
+	case *ast.BasicLit:
+		if v.Kind == token.FLOAT {
+			idx.FloatNames[name] = true
+		}
+	case *ast.CompositeLit:
+		switch {
+		case isMapType(v.Type):
+			idx.MapNames[name] = true
+		case isFloatSliceType(v.Type):
+			idx.FloatSlices[name] = true
+		}
+	case *ast.CallExpr:
+		switch fn := unparen(v.Fun).(type) {
+		case *ast.Ident:
+			if fn.Name == "float64" {
+				idx.FloatNames[name] = true
+			}
+			if fn.Name == "make" && len(v.Args) > 0 {
+				switch {
+				case isMapType(v.Args[0]):
+					idx.MapNames[name] = true
+				case isFloatSliceType(v.Args[0]):
+					idx.FloatSlices[name] = true
+				}
+			}
+		case *ast.ArrayType:
+			if isFloatType(fn.Elt) {
+				idx.FloatSlices[name] = true
+			}
+		case *ast.MapType:
+			idx.MapNames[name] = true
+		}
+	}
+}
+
+// NewGlobalIndex merges exported signatures of every package.
+func NewGlobalIndex(pkgs []*Package) *GlobalIndex {
+	g := &GlobalIndex{
+		FloatFuncs:   make(map[string]bool),
+		ErrFuncs:     make(map[string]bool),
+		FloatMethods: make(map[string]bool),
+		ErrMethods:   make(map[string]bool),
+	}
+	errSeen := make(map[string]bool)   // method name declared without trailing error somewhere
+	floatSeen := make(map[string]bool) // method name declared without float64 first result somewhere
+	for _, p := range pkgs {
+		for _, f := range p.Files {
+			ast.Inspect(f, func(n ast.Node) bool {
+				switch n := n.(type) {
+				case *ast.FuncDecl:
+					ff, le := funcResults(n.Type)
+					if n.Recv == nil {
+						key := p.Name + "." + n.Name.Name
+						if ff {
+							g.FloatFuncs[key] = true
+						}
+						if le {
+							g.ErrFuncs[key] = true
+						}
+						return true
+					}
+					recordMethod(g, errSeen, floatSeen, n.Name.Name, ff, le)
+				case *ast.InterfaceType:
+					for _, m := range n.Methods.List {
+						ft, ok := m.Type.(*ast.FuncType)
+						if !ok {
+							continue
+						}
+						ff, le := funcResults(ft)
+						for _, name := range m.Names {
+							recordMethod(g, errSeen, floatSeen, name.Name, ff, le)
+						}
+					}
+				}
+				return true
+			})
+		}
+	}
+	for name := range errSeen {
+		delete(g.ErrMethods, name)
+	}
+	for name := range floatSeen {
+		delete(g.FloatMethods, name)
+	}
+	return g
+}
+
+func recordMethod(g *GlobalIndex, errSeen, floatSeen map[string]bool, name string, firstFloat, lastErr bool) {
+	if firstFloat {
+		g.FloatMethods[name] = true
+	} else {
+		floatSeen[name] = true
+	}
+	if lastErr {
+		g.ErrMethods[name] = true
+	} else {
+		errSeen[name] = true
+	}
+}
+
+// mathFloatFuncs are math-package functions returning float64 that the
+// numeric code compares; calls to any other math.* name are not treated
+// as float (Signbit, IsNaN, ...).
+var mathFloatFuncs = map[string]bool{
+	"Abs": true, "Max": true, "Min": true, "Inf": true, "NaN": true,
+	"Sqrt": true, "Pow": true, "Exp": true, "Log": true, "Log2": true,
+	"Floor": true, "Ceil": true, "Round": true, "Trunc": true, "Mod": true,
+	"Hypot": true, "Copysign": true,
+}
+
+func unparen(e ast.Expr) ast.Expr {
+	for {
+		pe, ok := e.(*ast.ParenExpr)
+		if !ok {
+			return e
+		}
+		e = pe.X
+	}
+}
+
+// isFloatExpr reports whether the expression is recognizably float64
+// under the package's heuristic index.
+func (p *Package) isFloatExpr(e ast.Expr) bool {
+	switch e := unparen(e).(type) {
+	case *ast.BasicLit:
+		return e.Kind == token.FLOAT
+	case *ast.Ident:
+		return p.Index.FloatNames[e.Name]
+	case *ast.SelectorExpr:
+		// x.Field where Field is a known float struct field; package
+		// selectors (math.Pi) are not indexed and fall through.
+		return p.Index.FloatNames[e.Sel.Name]
+	case *ast.IndexExpr:
+		if id, ok := unparen(e.X).(*ast.Ident); ok {
+			return p.Index.FloatSlices[id.Name]
+		}
+	case *ast.UnaryExpr:
+		if e.Op == token.SUB || e.Op == token.ADD {
+			return p.isFloatExpr(e.X)
+		}
+	case *ast.BinaryExpr:
+		switch e.Op {
+		case token.ADD, token.SUB, token.MUL, token.QUO:
+			return p.isFloatExpr(e.X) || p.isFloatExpr(e.Y)
+		}
+	case *ast.CallExpr:
+		switch fn := unparen(e.Fun).(type) {
+		case *ast.Ident:
+			return fn.Name == "float64" || p.Index.FloatFuncs[fn.Name]
+		case *ast.SelectorExpr:
+			if id, ok := unparen(fn.X).(*ast.Ident); ok {
+				if id.Name == "math" && mathFloatFuncs[fn.Sel.Name] {
+					return true
+				}
+				if p.importsRepoPackage(id.Name) && p.Global.FloatFuncs[id.Name+"."+fn.Sel.Name] {
+					return true
+				}
+			}
+			return p.Global.FloatMethods[fn.Sel.Name] || p.Index.FloatFuncs[fn.Sel.Name]
+		}
+	}
+	return false
+}
+
+// importsRepoPackage reports whether some file of the package imports a
+// module-local package under the given local name.
+func (p *Package) importsRepoPackage(name string) bool {
+	for _, f := range p.Files {
+		for _, imp := range f.Imports {
+			path := strings.Trim(imp.Path.Value, `"`)
+			if !isRepoImport(path) {
+				continue
+			}
+			local := path[strings.LastIndex(path, "/")+1:]
+			if imp.Name != nil {
+				local = imp.Name.Name
+			}
+			if local == name {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// modulePath is the import-path prefix identifying this repo's packages.
+const modulePath = "acqp"
+
+func isRepoImport(path string) bool {
+	return path == modulePath || strings.HasPrefix(path, modulePath+"/")
+}

@@ -1,0 +1,7 @@
+// Command panictool is the panicpolicy golden fixture for binaries:
+// under cmd/ even a prefixed panic is forbidden.
+package main
+
+func main() {
+	panic("main: binaries must report and exit instead") // want "binaries report errors and exit"
+}

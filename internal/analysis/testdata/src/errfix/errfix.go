@@ -1,0 +1,27 @@
+// Package errfix is the errdrop golden fixture.
+package errfix
+
+import "fmt"
+
+func mightFail() error { return nil }
+
+func compute() (int, error) { return 0, nil }
+
+func drops() {
+	mightFail()       // want "mightFail returns an error that is discarded"
+	v, _ := compute() // want "error result of compute assigned to _"
+	_ = mightFail()   // want "error result of mightFail assigned to _"
+	_ = v
+}
+
+func handles() error {
+	if err := mightFail(); err != nil {
+		return fmt.Errorf("errfix: %w", err)
+	}
+	v, err := compute()
+	if err != nil {
+		return err
+	}
+	fmt.Println(v) // std-library calls carry no signature info: not flagged
+	return nil
+}

@@ -1,0 +1,18 @@
+// Package ignorefix exercises the //acqlint:ignore directive: same-line
+// and line-above suppression, the "all" wildcard, and the
+// malformed-directive report (a directive without a reason both fails to
+// suppress and is itself flagged).
+package ignorefix
+
+func mightFail() error { return nil }
+
+func suppressed() {
+	mightFail() //acqlint:ignore errdrop fire-and-forget; failure is logged downstream
+	//acqlint:ignore errdrop next line: best-effort cache warm-up
+	mightFail()
+	mightFail() //acqlint:ignore all blanket suppression covers every analyzer
+}
+
+func malformed() {
+	mightFail() /* want "malformed directive" */ /* want "returns an error that is discarded" */ //acqlint:ignore errdrop
+}

@@ -1,0 +1,26 @@
+// Package floatfix is the floatcmp golden fixture. Its path contains
+// internal/plan, so it sits inside the analyzer's numeric scope.
+package floatfix
+
+import "math"
+
+var hist []float64
+
+func compare(a, b float64, n int, ptr *float64) bool {
+	if a == b { // want "exact float64 == comparison"
+		return true
+	}
+	if a != 0 { // want "exact float64 != comparison"
+		return false
+	}
+	if hist[0] == b { // want "exact float64 == comparison"
+		return false
+	}
+	if n == 0 { // integer comparison: exact equality is fine
+		return false
+	}
+	if ptr == nil { // nil comparison is never a float comparison
+		return false
+	}
+	return math.Abs(a-b) <= 1e-9
+}

@@ -1,0 +1,5 @@
+package floatfix
+
+func exactInTest(a, b float64) bool {
+	return a == b // test files may compare exactly, e.g. against golden values
+}

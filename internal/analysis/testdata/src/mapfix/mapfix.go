@@ -1,0 +1,32 @@
+// Package mapfix is the maporder golden fixture.
+package mapfix
+
+import (
+	"fmt"
+	"sort"
+)
+
+func report(counts map[string]int) []string {
+	var out []string
+	for k := range counts { // want "range over map with order-dependent body"
+		out = append(out, k)
+	}
+	for k, v := range counts { // want "range over map with order-dependent body"
+		fmt.Println(k, v)
+	}
+	keys := make([]string, 0, len(counts))
+	for k := range counts { // want "range over map with order-dependent body"
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	total := 0
+	for _, v := range counts { // order-independent fold: not flagged
+		total += v
+	}
+	inverse := make(map[int]string)
+	for k, v := range counts { // writes keyed back into a map: not flagged
+		inverse[v] = k
+	}
+	_ = total
+	return append(out, keys...)
+}

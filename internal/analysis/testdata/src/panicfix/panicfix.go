@@ -1,0 +1,28 @@
+// Package panicfix is the panicpolicy golden fixture for library
+// packages: panics must carry a "panicfix: "-prefixed message.
+package panicfix
+
+import (
+	"errors"
+	"fmt"
+)
+
+func mustPositive(x int) {
+	if x < 0 {
+		panic("panicfix: negative input") // prefixed literal: ok
+	}
+	if x == 0 {
+		panic(fmt.Sprintf("panicfix: zero input %d", x)) // prefixed Sprintf: ok
+	}
+	if x > 100 {
+		panic("panicfix: " + errors.New("too big").Error()) // prefixed concatenation: ok
+	}
+}
+
+func rethrow(err error) {
+	panic(err) // want "panic message must be a string starting with"
+}
+
+func unprefixed() {
+	panic("something went wrong") // want "panic message must be a string starting with"
+}

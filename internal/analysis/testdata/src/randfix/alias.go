@@ -1,0 +1,7 @@
+package randfix
+
+import mrand "math/rand"
+
+func aliased() float64 {
+	return mrand.Float64() // want "global math/rand.Float64"
+}

@@ -1,0 +1,17 @@
+// Package randfix is the globalrand golden fixture.
+package randfix
+
+import "math/rand"
+
+func global(n int) int {
+	return rand.Intn(n) // want "global math/rand.Intn"
+}
+
+func reseed() {
+	rand.Seed(42) // want "global math/rand.Seed"
+}
+
+func seeded(seed int64, n int) int {
+	rng := rand.New(rand.NewSource(seed)) // constructors are allowed
+	return rng.Intn(n)
+}

@@ -1,0 +1,7 @@
+package randfix
+
+import "math/rand"
+
+func shuffleForTest(xs []int) {
+	rand.Shuffle(len(xs), func(i, j int) { xs[i], xs[j] = xs[j], xs[i] }) // tests may use the global source
+}

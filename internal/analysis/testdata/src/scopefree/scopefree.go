@@ -1,0 +1,8 @@
+// Package scopefree holds a float comparison outside the numeric scope
+// (internal/plan, internal/stats, internal/opt, internal/model): floatcmp
+// must not flag it.
+package scopefree
+
+func same(a, b float64) bool {
+	return a == b
+}

@@ -110,18 +110,20 @@ func Summarize(sorted []float64) Summary {
 // WriteTable renders the result.
 func (r GardenResult) WriteTable(w io.Writer) error {
 	rows := [][]string{}
-	for name, series := range map[string][]float64{
-		"Naive / Heuristic":   r.RatioNaive,
-		"CorrSeq / Heuristic": r.RatioCorrSeq,
+	for _, sr := range []struct {
+		name   string
+		series []float64
+	}{
+		{"CorrSeq / Heuristic", r.RatioCorrSeq},
+		{"Naive / Heuristic", r.RatioNaive},
 	} {
-		s := Summarize(series)
+		s := Summarize(sr.series)
 		rows = append(rows, []string{
-			name, f2(s.Mean), f2(s.Median), f2(s.Max),
+			sr.name, f2(s.Mean), f2(s.Median), f2(s.Max),
 			fmt.Sprintf("%.0f%%", s.FracAbove1*100),
 			fmt.Sprintf("%.0f%%", s.FracBelow09*100),
 		})
 	}
-	sort.Slice(rows, func(i, j int) bool { return rows[i][0] < rows[j][0] })
 	return WriteTable(w,
 		fmt.Sprintf("Figure %d: Garden-%d (%d-predicate queries, %d queries) — cost ratio over Heuristic-10",
 			map[int]int{5: 10, 11: 11}[r.Motes], r.Motes, r.Preds, r.Queries),

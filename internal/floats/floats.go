@@ -1,0 +1,54 @@
+// Package floats provides epsilon-safe float64 comparisons for the
+// planner's probability and cost arithmetic. Probabilities accumulate
+// through products and prefix-sum differences (Eq. (7)) and costs through
+// branch-weighted sums (Eq. (3)), so exact `==`/`!=` on them is almost
+// always a latent bug: two mathematically equal quantities computed along
+// different paths differ in their last ulps. The acqlint `floatcmp`
+// analyzer forbids exact equality in the numeric packages and points
+// here.
+//
+// All helpers use a mixed absolute/relative tolerance: |a-b| is compared
+// against Eps scaled by max(1, |a|, |b|), so the tolerance is absolute
+// for the [0,1] probability regime and relative for large accumulated
+// costs. NaN compares unequal to everything, as with `==`.
+package floats
+
+import "math"
+
+// Eps is the default comparison tolerance. Probabilities live in [0,1]
+// and costs rarely exceed ~1e6 acquisition units, so 1e-9 sits several
+// orders of magnitude above float64 rounding error at that scale while
+// staying far below any physically meaningful cost or probability
+// difference.
+const Eps = 1e-9
+
+// tol returns the comparison tolerance for the pair (a, b).
+func tol(a, b float64) float64 {
+	m := math.Max(math.Abs(a), math.Abs(b))
+	if m < 1 {
+		m = 1
+	}
+	return Eps * m
+}
+
+// Eq reports whether a and b are equal within tolerance.
+func Eq(a, b float64) bool { return math.Abs(a-b) <= tol(a, b) }
+
+// Zero reports whether x is zero within absolute tolerance Eps.
+func Zero(x float64) bool { return math.Abs(x) <= Eps }
+
+// One reports whether x is one within tolerance; probabilities that have
+// been clamped or accumulated multiplicatively should be tested with One
+// rather than `== 1`.
+func One(x float64) bool { return Eq(x, 1) }
+
+// Less reports a < b by more than tolerance (strictly less, not merely
+// rounded below).
+func Less(a, b float64) bool { return a < b && !Eq(a, b) }
+
+// Leq reports a <= b within tolerance: a is smaller, or equal up to
+// rounding.
+func Leq(a, b float64) bool { return a <= b || Eq(a, b) }
+
+// Geq reports a >= b within tolerance.
+func Geq(a, b float64) bool { return a >= b || Eq(a, b) }

@@ -1,0 +1,76 @@
+package floats
+
+import (
+	"math"
+	"testing"
+)
+
+func TestEq(t *testing.T) {
+	cases := []struct {
+		a, b float64
+		want bool
+	}{
+		{0, 0, true},
+		{1, 1, true},
+		{0, 1e-12, true},               // below absolute tolerance
+		{0, 1e-6, false},               // above absolute tolerance
+		{1, 1 + 1e-12, true},           // rounding-level difference
+		{1, 1 + 1e-6, false},           // real difference
+		{1e9, 1e9 + 10, false},         // 10 units at 1e9 exceeds relative tol
+		{1e9, 1e9 * (1 + 1e-12), true}, // relative rounding at scale
+		{0.1 + 0.2, 0.3, true},         // the classic
+		{math.NaN(), math.NaN(), false},
+		{math.NaN(), 0, false},
+		{math.Inf(1), math.Inf(1), false}, // Inf-Inf is NaN: not equal
+		{-1, 1, false},
+	}
+	for _, c := range cases {
+		if got := Eq(c.a, c.b); got != c.want {
+			t.Errorf("Eq(%v, %v) = %v, want %v", c.a, c.b, got, c.want)
+		}
+		if got := Eq(c.b, c.a); got != c.want {
+			t.Errorf("Eq(%v, %v) = %v, want %v (asymmetric)", c.b, c.a, got, c.want)
+		}
+	}
+}
+
+func TestZeroOne(t *testing.T) {
+	if !Zero(0) || !Zero(1e-12) || !Zero(-1e-12) {
+		t.Error("Zero rejects rounding-level values")
+	}
+	if Zero(1e-6) || Zero(math.NaN()) {
+		t.Error("Zero accepts non-zero values")
+	}
+	// A probability accumulated as a product of many factors.
+	p := 1.0
+	for i := 0; i < 50; i++ {
+		p *= 0.98
+	}
+	for i := 0; i < 50; i++ {
+		p /= 0.98
+	}
+	if p == 1.0 {
+		t.Skip("platform computed the round trip exactly")
+	}
+	if !One(p) {
+		t.Errorf("One(%v) = false for round-tripped probability", p)
+	}
+}
+
+func TestOrderings(t *testing.T) {
+	if !Less(1, 2) || Less(2, 1) {
+		t.Error("Less violates ordering")
+	}
+	if Less(1, 1+1e-13) {
+		t.Error("Less treats rounding noise as strict inequality")
+	}
+	if !Leq(1, 1+1e-13) || !Leq(1+1e-13, 1) {
+		t.Error("Leq rejects values equal within tolerance")
+	}
+	if !Geq(2, 1) || Geq(1, 2) {
+		t.Error("Geq violates ordering")
+	}
+	if !Leq(1, 2) || Leq(2, 1) {
+		t.Error("Leq violates ordering")
+	}
+}

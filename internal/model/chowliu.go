@@ -4,6 +4,7 @@ import (
 	"math"
 	"sort"
 
+	"acqp/internal/floats"
 	"acqp/internal/query"
 	"acqp/internal/schema"
 	"acqp/internal/stats"
@@ -49,8 +50,14 @@ func FitChowLiu(tbl *table.Table, alpha float64) *ChowLiu {
 		}
 	}
 	sort.Slice(edges, func(i, j int) bool {
-		if edges[i].mi != edges[j].mi {
-			return edges[i].mi > edges[j].mi
+		// Strict float inequalities keep the order a valid strict weak
+		// ordering; ties (bit-identical MI, common with symmetric data)
+		// fall through to the deterministic index order.
+		if edges[i].mi > edges[j].mi {
+			return true
+		}
+		if edges[i].mi < edges[j].mi {
+			return false
 		}
 		if edges[i].a != edges[j].a {
 			return edges[i].a < edges[j].a
@@ -263,7 +270,9 @@ func (c *clCond) run() {
 		}
 		piV := make([]float64, kv)
 		for pv := 0; pv < kp; pv++ {
-			if parentExcl[pv] == 0 {
+			if floats.Zero(parentExcl[pv]) {
+				// Parent value carries (numerically) no mass; its CPT
+				// row cannot contribute to the child's prior.
 				continue
 			}
 			row := cpt[pv*kv : (pv+1)*kv]

@@ -3,6 +3,7 @@ package opt
 import (
 	"math"
 
+	"acqp/internal/floats"
 	"acqp/internal/plan"
 	"acqp/internal/query"
 	"acqp/internal/schema"
@@ -135,7 +136,7 @@ func naiveOrder(s *schema.Schema, c stats.Cond, box query.Box, open []query.Pred
 // rank computes C / pFail with the conventional boundary cases: a free
 // predicate ranks first, a predicate that can never fail ranks last.
 func rank(cost, pFail float64) float64 {
-	if cost == 0 {
+	if floats.Zero(cost) {
 		return 0
 	}
 	if pFail <= 0 {

@@ -71,7 +71,7 @@ func FullSPSF(s *schema.Schema) SPSF {
 	}
 	sp, err := UniformSPSF(s, r)
 	if err != nil {
-		panic(err) // unreachable: counts are valid by construction
+		panic("opt: " + err.Error()) // unreachable: counts are valid by construction
 	}
 	return sp
 }
@@ -85,7 +85,7 @@ func UniformSPSFSame(s *schema.Schema, r int) SPSF {
 	}
 	sp, err := UniformSPSF(s, rs)
 	if err != nil {
-		panic(err) // unreachable: counts are valid by construction
+		panic("opt: " + err.Error()) // unreachable: counts are valid by construction
 	}
 	return sp
 }

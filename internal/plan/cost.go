@@ -1,6 +1,7 @@
 package plan
 
 import (
+	"acqp/internal/floats"
 	"acqp/internal/query"
 	"acqp/internal/schema"
 	"acqp/internal/stats"
@@ -67,7 +68,10 @@ func expectedSeqCost(preds []query.Pred, s *schema.Schema, c stats.Cond, box que
 		acquired[p.Attr] = true
 		pSat := c.ProbPred(p)
 		reach *= pSat
-		if reach == 0 {
+		if floats.Zero(reach) {
+			// The remaining predicates are unreachable (or carry
+			// negligible probability mass); their cost contributes
+			// nothing.
 			break
 		}
 		c = c.RestrictPred(p, true)

@@ -1,0 +1,133 @@
+package plan
+
+import (
+	"math"
+	"testing"
+
+	"acqp/internal/floats"
+	"acqp/internal/query"
+	"acqp/internal/schema"
+	"acqp/internal/stats"
+	"acqp/internal/table"
+)
+
+// The cost-model edge cases of Equation (3): degenerate splits that leave
+// only one reachable branch, sequences whose reach probability hits zero,
+// and re-acquisition of already-observed attributes.
+
+func costSchema() *schema.Schema {
+	return schema.New(
+		schema.Attribute{Name: "a", K: 4, Cost: 10},
+		schema.Attribute{Name: "b", K: 4, Cost: 5},
+	)
+}
+
+// costDist holds a uniform on both attributes: a cycles 0..3, b repeats
+// each value twice, so P(a >= 2) = 1/2 exactly.
+func costDist() (*schema.Schema, *stats.Empirical) {
+	s := costSchema()
+	tbl := table.New(s, 8)
+	for i := 0; i < 8; i++ {
+		tbl.MustAppendRow([]schema.Value{schema.Value(i % 4), schema.Value(i / 2 % 4)})
+	}
+	return s, stats.NewEmpirical(tbl)
+}
+
+var bPred = query.Pred{Attr: 1, R: query.Range{Lo: 0, Hi: 1}}
+
+// TestDegenerateSplitLow: a split at x <= r.Lo sends all probability mass
+// right (pRight = 1); the left subtree must contribute nothing even when
+// it would be expensive.
+func TestDegenerateSplitLow(t *testing.T) {
+	_, d := costDist()
+	n := NewSplit(0, 0, NewSeq([]query.Pred{bPred}), NewLeaf(true))
+	got := ExpectedCostRoot(n, d)
+	if !floats.Eq(got, 10) {
+		t.Errorf("cost = %v, want 10 (acquire a, right leaf only)", got)
+	}
+}
+
+// TestDegenerateSplitHigh: a split above the range (int(x) > int(r.Hi))
+// sends all mass left (pRight = 0); the right subtree contributes nothing.
+func TestDegenerateSplitHigh(t *testing.T) {
+	_, d := costDist()
+	n := NewSplit(0, 4, NewLeaf(false), NewSeq([]query.Pred{bPred}))
+	got := ExpectedCostRoot(n, d)
+	if !floats.Eq(got, 10) {
+		t.Errorf("cost = %v, want 10 (acquire a, left leaf only)", got)
+	}
+}
+
+// TestSplitBranchWeighting: an interior split charges each subtree by its
+// branch probability: C = C_a + P(a < 2)*0 + P(a >= 2)*C_b.
+func TestSplitBranchWeighting(t *testing.T) {
+	_, d := costDist()
+	n := NewSplit(0, 2, NewLeaf(false), NewSeq([]query.Pred{bPred}))
+	got := ExpectedCostRoot(n, d)
+	if want := 10 + 0.5*5; !floats.Eq(got, want) {
+		t.Errorf("cost = %v, want %v", got, want)
+	}
+}
+
+// TestSeqReachZero: once a predicate's satisfaction probability drives the
+// reach to zero, later predicates are unreachable and must not be charged.
+func TestSeqReachZero(t *testing.T) {
+	s := costSchema()
+	tbl := table.New(s, 4)
+	for i := 0; i < 4; i++ {
+		tbl.MustAppendRow([]schema.Value{schema.Value(i % 2), schema.Value(i)})
+	}
+	d := stats.NewEmpirical(tbl)
+	impossible := query.Pred{Attr: 0, R: query.Range{Lo: 2, Hi: 3}} // a is only ever 0 or 1
+	n := NewSeq([]query.Pred{impossible, bPred})
+	got := ExpectedCostRoot(n, d)
+	if !floats.Eq(got, 10) {
+		t.Errorf("cost = %v, want 10 (b is unreachable after an impossible predicate)", got)
+	}
+}
+
+// TestSeqObservedAttributesAreFree: attributes already restricted in the
+// box (observed on the path) or acquired by an earlier predicate of the
+// same sequence cost nothing again.
+func TestSeqObservedAttributesAreFree(t *testing.T) {
+	s, d := costDist()
+	r := query.Range{Lo: 0, Hi: 1}
+	c := d.Root().RestrictRange(0, r)
+	box := query.FullBox(s).With(0, r)
+	aPred := query.Pred{Attr: 0, R: query.Range{Lo: 0, Hi: 0}}
+	if got := ExpectedCost(NewSeq([]query.Pred{aPred}), s, c, box); !floats.Zero(got) {
+		t.Errorf("cost = %v, want 0 for an already-observed attribute", got)
+	}
+	// Within one sequence, the second predicate on `a` re-tests for free;
+	// always-true first predicate keeps the reach at 1.
+	wide := query.Pred{Attr: 0, R: query.Range{Lo: 0, Hi: 3}}
+	n := NewSeq([]query.Pred{wide, aPred})
+	if got := ExpectedCostRoot(n, d); !floats.Eq(got, 10) {
+		t.Errorf("cost = %v, want 10 (single acquisition of a)", got)
+	}
+}
+
+// TestCostFiniteNonNegative sweeps every split point, including ones
+// outside the domain and unsupported (zero-weight) contexts: costs must
+// stay finite, non-negative, and bounded by the total acquisition cost.
+func TestCostFiniteNonNegative(t *testing.T) {
+	s, d := costDist()
+	const totalCost = 10 + 5
+	for x := 0; x <= 4; x++ {
+		n := NewSplit(0, schema.Value(x), NewSeq([]query.Pred{bPred}), NewSeq([]query.Pred{bPred}))
+		got := ExpectedCostRoot(n, d)
+		if math.IsNaN(got) || math.IsInf(got, 0) || got < 0 || !floats.Leq(got, totalCost) {
+			t.Errorf("split at %d: cost = %v, want finite in [0, %d]", x, got, totalCost)
+		}
+	}
+	// Unsupported context: no row has b = 3 after restricting b to 0, so
+	// the context weight is zero and probabilities fall back to uniform;
+	// the cost must still be finite.
+	c := d.Root().RestrictRange(1, query.Range{Lo: 0, Hi: 0}).RestrictRange(1, query.Range{Lo: 3, Hi: 3})
+	box := query.FullBox(s).With(1, query.Range{Lo: 3, Hi: 3})
+	aPred := query.Pred{Attr: 0, R: query.Range{Lo: 1, Hi: 2}}
+	got := ExpectedCost(NewSeq([]query.Pred{aPred, bPred}), s, c, box)
+	if math.IsNaN(got) || math.IsInf(got, 0) || got < 0 || !floats.Leq(got, totalCost) {
+		t.Errorf("zero-weight context: cost = %v, want finite in [0, %d]", got, totalCost)
+	}
+}

@@ -208,7 +208,7 @@ func NewQuery(s *schema.Schema, preds ...Pred) (Query, error) {
 func MustNewQuery(s *schema.Schema, preds ...Pred) Query {
 	q, err := NewQuery(s, preds...)
 	if err != nil {
-		panic(err)
+		panic("query: " + strings.TrimPrefix(err.Error(), "query: "))
 	}
 	return q
 }

@@ -33,7 +33,7 @@ func NewDiscretizer(min, max float64, k int) (*Discretizer, error) {
 func MustDiscretizer(min, max float64, k int) *Discretizer {
 	d, err := NewDiscretizer(min, max, k)
 	if err != nil {
-		panic(err)
+		panic("schema: " + err.Error())
 	}
 	return d
 }

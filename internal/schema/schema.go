@@ -72,7 +72,7 @@ func New(attrs ...Attribute) *Schema {
 // MustAdd appends an attribute, panicking on invalid input.
 func (s *Schema) MustAdd(a Attribute) {
 	if err := s.Add(a); err != nil {
-		panic(err)
+		panic("schema: " + strings.TrimPrefix(err.Error(), "schema: "))
 	}
 }
 

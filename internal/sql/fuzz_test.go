@@ -1,0 +1,53 @@
+package sql
+
+import (
+	"testing"
+)
+
+// FuzzParse feeds arbitrary input to the lexer and parser: whatever the
+// bytes, Parse and ParseWhere must return a value or an error — never
+// panic, never hang. The schema mixes discretized (light, temp) and
+// natively discrete (hour, nodeid) attributes so number handling hits
+// both the Discretizer path and the raw-value path.
+func FuzzParse(f *testing.F) {
+	seeds := []string{
+		"SELECT *",
+		"SELECT light, temp WHERE light >= 800",
+		"select * where 100 <= light <= 900 and temp >= 25",
+		"SELECT hour WHERE NOT (light < 200 OR temp > 30) AND nodeid = 3",
+		"SELECT light WHERE light BETWEEN 100 AND 900",
+		"SELECT light WHERE light >= 99999999999999999999",
+		"SELECT light WHERE ((((light > 1))))",
+		"SELECT light WHERE light = -0.5e308",
+		"WHERE",
+		"SELECT",
+		"SELECT light WHERE light >",
+		"SELECT nope WHERE nope = 1",
+		"\x00\xff(*,",
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	sch := sqlSchema()
+	f.Fuzz(func(t *testing.T, input string) {
+		st, err := Parse(sch, input)
+		if err == nil {
+			// A statement that parses must also survive downstream use.
+			if q, ok := st.Conjunctive(sch); ok {
+				for _, p := range q.Preds {
+					if p.Attr < 0 || p.Attr >= sch.NumAttrs() {
+						t.Fatalf("predicate attribute %d out of schema range", p.Attr)
+					}
+				}
+			}
+			for _, idx := range st.Select {
+				if idx < 0 || idx >= sch.NumAttrs() {
+					t.Fatalf("projection index %d out of schema range", idx)
+				}
+			}
+		}
+		if _, err := ParseWhere(sch, input); err == nil {
+			return
+		}
+	})
+}

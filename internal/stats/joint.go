@@ -1,6 +1,9 @@
 package stats
 
-import "acqp/internal/query"
+import (
+	"acqp/internal/floats"
+	"acqp/internal/query"
+)
 
 // PredMaskJoint returns the joint distribution over the rediscretized
 // query-predicate bits of Section 4.1.2: out[mask] is the probability,
@@ -30,7 +33,7 @@ func PredMaskJoint(c Cond, q query.Query) []float64 {
 }
 
 func fillMaskJoint(c Cond, q query.Query, i int, mask uint32, p float64, out []float64) {
-	if p == 0 {
+	if floats.Zero(p) {
 		return
 	}
 	if i == q.NumPreds() {
@@ -80,7 +83,7 @@ func (c *empCond) predMaskJoint(q query.Query) []float64 {
 func (c *wCond) predMaskJoint(q query.Query) []float64 {
 	m := q.NumPreds()
 	out := make([]float64, 1<<uint(m))
-	if c.weight == 0 {
+	if floats.Zero(c.weight) {
 		u := 1 / float64(len(out))
 		for i := range out {
 			out[i] = u

@@ -16,6 +16,7 @@
 package stats
 
 import (
+	"acqp/internal/floats"
 	"acqp/internal/query"
 	"acqp/internal/schema"
 	"acqp/internal/table"
@@ -232,7 +233,7 @@ func QueryTruthProb(d Dist, q query.Query) float64 {
 	for _, pred := range q.Preds {
 		pi := c.ProbPred(pred)
 		p *= pi
-		if p == 0 {
+		if floats.Zero(p) {
 			return 0
 		}
 		c = c.RestrictPred(pred, true)

@@ -10,6 +10,7 @@ package table
 import (
 	"fmt"
 	"math"
+	"strings"
 
 	"acqp/internal/schema"
 )
@@ -58,7 +59,7 @@ func (t *Table) AppendRow(row []schema.Value) error {
 // output is valid by construction.
 func (t *Table) MustAppendRow(row []schema.Value) {
 	if err := t.AppendRow(row); err != nil {
-		panic(err)
+		panic("table: " + strings.TrimPrefix(err.Error(), "table: "))
 	}
 }
 
