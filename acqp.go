@@ -30,7 +30,7 @@
 //		acqp.Pred{Attr: s.MustIndex("temp"), R: acqp.Range{Lo: 20, Hi: 31}},
 //	)
 //	d := acqp.NewEmpirical(historical)
-//	p, cost, _ := acqp.Optimize(d, q, acqp.Options{MaxSplits: 5})
+//	p, cost, _ := acqp.Optimize(context.Background(), d, q, acqp.Options{MaxSplits: 5})
 //	fmt.Println(acqp.Render(p, s), cost)
 //	res := acqp.Execute(s, p, q, liveData)
 //
@@ -39,6 +39,8 @@
 package acqp
 
 import (
+	"context"
+
 	"acqp/internal/boolq"
 	"acqp/internal/datagen"
 	"acqp/internal/exec"
@@ -204,7 +206,11 @@ func (o Options) withDefaults() Options {
 // Optimize builds a conditional plan for the query with the greedy
 // heuristic planner of Section 4.2 (the paper's Heuristic-k) and returns
 // it with its expected acquisition cost under the distribution.
-func Optimize(d Dist, q Query, o Options) (*Plan, float64, error) {
+//
+// Greedy planning is anytime: if ctx is cancelled or its deadline expires
+// mid-search, Optimize stops expanding and returns the best complete plan
+// found so far (at worst a purely sequential plan) rather than an error.
+func Optimize(ctx context.Context, d Dist, q Query, o Options) (*Plan, float64, error) {
 	o = o.withDefaults()
 	base := opt.SeqOpt
 	if o.UseGreedyBase {
@@ -216,7 +222,7 @@ func Optimize(d Dist, q Query, o Options) (*Plan, float64, error) {
 		Base:      base,
 		Alpha:     o.DisseminationAlpha,
 	}
-	node, cost := g.Plan(d, q)
+	node, cost := g.Plan(ctx, d, q)
 	return node, cost, nil
 }
 
@@ -224,26 +230,27 @@ func Optimize(d Dist, q Query, o Options) (*Plan, float64, error) {
 // exponential-time exhaustive planner of Section 3.2, restricted to the
 // given per-attribute split-point count. budget caps the number of
 // subproblems explored (0 = unlimited); opt.ErrBudget is returned when
-// exceeded.
-func OptimizeExhaustive(d Dist, q Query, splitPoints, budget int) (*Plan, float64, error) {
+// exceeded. Unlike Optimize, the exhaustive search cannot degrade
+// gracefully: cancelling ctx aborts it with ctx.Err().
+func OptimizeExhaustive(ctx context.Context, d Dist, q Query, splitPoints, budget int) (*Plan, float64, error) {
 	e := opt.Exhaustive{
 		SPSF:   opt.UniformSPSFSame(d.Schema(), splitPoints),
 		Budget: budget,
 	}
-	return e.Plan(d, q)
+	return e.Plan(ctx, d, q)
 }
 
 // NaivePlan builds the traditional optimizer baseline: predicates ordered
 // by cost over marginal failure probability, ignoring correlations.
 func NaivePlan(d Dist, q Query) (*Plan, float64) {
-	node, cost, _ := opt.NaivePlanner{}.Plan(d, q)
+	node, cost, _ := opt.NaivePlanner{}.Plan(context.Background(), d, q)
 	return node, cost
 }
 
 // CorrSeqPlan builds the correlation-aware sequential baseline (CorrSeq
 // in the paper's evaluation).
 func CorrSeqPlan(d Dist, q Query) (*Plan, float64) {
-	node, cost, _ := opt.CorrSeqPlanner{Alg: opt.SeqOpt}.Plan(d, q)
+	node, cost, _ := opt.CorrSeqPlanner{Alg: opt.SeqOpt}.Plan(context.Background(), d, q)
 	return node, cost
 }
 

@@ -1,6 +1,7 @@
 package acqp_test
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"strings"
@@ -55,12 +56,12 @@ func TestPublicAPIFigure2(t *testing.T) {
 	}
 	// A sequential-only plan via the negative MaxSplits convention, and
 	// the greedy base variant.
-	if seqPlan, _, err := acqp.Optimize(d, q, acqp.Options{MaxSplits: -1, UseGreedyBase: true}); err != nil {
+	if seqPlan, _, err := acqp.Optimize(context.Background(), d, q, acqp.Options{MaxSplits: -1, UseGreedyBase: true}); err != nil {
 		t.Fatal(err)
 	} else if seqPlan.NumSplits() != 0 {
 		t.Errorf("MaxSplits=-1 produced %d splits", seqPlan.NumSplits())
 	}
-	p, cost, err := acqp.Optimize(d, q, acqp.Options{MaxSplits: 5})
+	p, cost, err := acqp.Optimize(context.Background(), d, q, acqp.Options{MaxSplits: 5})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -82,7 +83,7 @@ func TestPublicAPIFigure2(t *testing.T) {
 func TestPublicAPIExhaustive(t *testing.T) {
 	_, tbl, q := figure2World()
 	d := acqp.NewEmpirical(tbl)
-	p, cost, err := acqp.OptimizeExhaustive(d, q, 4, 100_000)
+	p, cost, err := acqp.OptimizeExhaustive(context.Background(), d, q, 4, 100_000)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -97,7 +98,7 @@ func TestPublicAPIExhaustive(t *testing.T) {
 func TestPublicAPIWireRoundTrip(t *testing.T) {
 	s, tbl, q := figure2World()
 	d := acqp.NewEmpirical(tbl)
-	p, _, err := acqp.Optimize(d, q, acqp.Options{})
+	p, _, err := acqp.Optimize(context.Background(), d, q, acqp.Options{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -117,7 +118,7 @@ func TestPublicAPIWireRoundTrip(t *testing.T) {
 func TestPublicAPIModels(t *testing.T) {
 	_, tbl, q := figure2World()
 	cl := acqp.FitChowLiu(tbl, 0.1)
-	p, cost, err := acqp.Optimize(cl, q, acqp.Options{})
+	p, cost, err := acqp.Optimize(context.Background(), cl, q, acqp.Options{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -125,7 +126,7 @@ func TestPublicAPIModels(t *testing.T) {
 		t.Fatalf("model-backed optimize: plan=%v cost=%g", p, cost)
 	}
 	ind := acqp.FitIndependent(tbl, 0.1)
-	if _, _, err := acqp.Optimize(ind, q, acqp.Options{}); err != nil {
+	if _, _, err := acqp.Optimize(context.Background(), ind, q, acqp.Options{}); err != nil {
 		t.Fatal(err)
 	}
 }
@@ -133,7 +134,7 @@ func TestPublicAPIModels(t *testing.T) {
 func TestPublicAPISensorNetwork(t *testing.T) {
 	s, tbl, q := figure2World()
 	d := acqp.NewEmpirical(tbl)
-	p, _, err := acqp.Optimize(d, q, acqp.Options{})
+	p, _, err := acqp.Optimize(context.Background(), d, q, acqp.Options{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -173,8 +174,8 @@ func TestPublicAPICompress(t *testing.T) {
 		t.Errorf("NumCells = %d, want 8", w.NumCells())
 	}
 	// Planning on the compressed distribution matches the raw one.
-	_, rawCost, _ := acqp.Optimize(acqp.NewEmpirical(tbl), q, acqp.Options{})
-	_, wCost, _ := acqp.Optimize(w, q, acqp.Options{})
+	_, rawCost, _ := acqp.Optimize(context.Background(), acqp.NewEmpirical(tbl), q, acqp.Options{})
+	_, wCost, _ := acqp.Optimize(context.Background(), w, q, acqp.Options{})
 	if math.Abs(rawCost-wCost) > 1e-9 {
 		t.Errorf("compressed cost %g != raw cost %g", wCost, rawCost)
 	}
@@ -189,7 +190,7 @@ func Example() {
 	)
 	_, tbl, q := figure2World()
 	d := acqp.NewEmpirical(tbl)
-	p, cost, _ := acqp.Optimize(d, q, acqp.Options{MaxSplits: 3})
+	p, cost, _ := acqp.Optimize(context.Background(), d, q, acqp.Options{MaxSplits: 3})
 	fmt.Printf("expected cost: %.1f units\n", cost)
 	fmt.Println(strings.Contains(acqp.Render(p, s), "hour"))
 	// Output:
@@ -247,7 +248,7 @@ func TestPublicAPISQL(t *testing.T) {
 		t.Fatal("conjunction not recognized")
 	}
 	d := acqp.NewEmpirical(tbl)
-	_, cost, err := acqp.Optimize(d, q, acqp.Options{})
+	_, cost, err := acqp.Optimize(context.Background(), d, q, acqp.Options{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -287,7 +288,7 @@ func TestPublicAPIAdaptiveStream(t *testing.T) {
 func TestPublicAPINetworkLifetime(t *testing.T) {
 	s, tbl, q := figure2World()
 	d := acqp.NewEmpirical(tbl)
-	p, _, err := acqp.Optimize(d, q, acqp.Options{})
+	p, _, err := acqp.Optimize(context.Background(), d, q, acqp.Options{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -307,7 +308,7 @@ func TestPublicAPINetworkLifetime(t *testing.T) {
 func TestPublicAPIExecuteLimitAndExists(t *testing.T) {
 	s, tbl, q := figure2World()
 	d := acqp.NewEmpirical(tbl)
-	p, _, err := acqp.Optimize(d, q, acqp.Options{})
+	p, _, err := acqp.Optimize(context.Background(), d, q, acqp.Options{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -335,7 +336,7 @@ func Example_sql() {
 	st, _ := acqp.ParseSQL(s, "SELECT temp, light WHERE temp = 1 AND light = 1")
 	q, _ := st.Conjunctive(s)
 	d := acqp.NewEmpirical(tbl)
-	_, cost, _ := acqp.Optimize(d, q, acqp.Options{})
+	_, cost, _ := acqp.Optimize(context.Background(), d, q, acqp.Options{})
 	fmt.Printf("planned %d-predicate query at %.1f units/tuple\n", q.NumPreds(), cost)
 	// Output:
 	// planned 2-predicate query at 1.1 units/tuple

@@ -9,6 +9,7 @@
 package acqp_test
 
 import (
+	"context"
 	"testing"
 
 	"acqp"
@@ -132,7 +133,7 @@ func BenchmarkGreedyPlan(b *testing.B) {
 	d := acqp.NewEmpirical(train)
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, _, err := acqp.Optimize(d, q, acqp.Options{MaxSplits: 5}); err != nil {
+		if _, _, err := acqp.Optimize(context.Background(), d, q, acqp.Options{MaxSplits: 5}); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -159,7 +160,7 @@ func BenchmarkCorrSeqPlan(b *testing.B) {
 func BenchmarkExecutePerTuple(b *testing.B) {
 	train, test, q := benchWorld(b)
 	d := acqp.NewEmpirical(train)
-	p, _, err := acqp.Optimize(d, q, acqp.Options{MaxSplits: 5})
+	p, _, err := acqp.Optimize(context.Background(), d, q, acqp.Options{MaxSplits: 5})
 	if err != nil {
 		b.Fatal(err)
 	}
@@ -173,7 +174,7 @@ func BenchmarkExecutePerTuple(b *testing.B) {
 func BenchmarkEncodeDecode(b *testing.B) {
 	train, _, q := benchWorld(b)
 	d := acqp.NewEmpirical(train)
-	p, _, err := acqp.Optimize(d, q, acqp.Options{MaxSplits: 10})
+	p, _, err := acqp.Optimize(context.Background(), d, q, acqp.Options{MaxSplits: 10})
 	if err != nil {
 		b.Fatal(err)
 	}

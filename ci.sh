@@ -7,7 +7,11 @@
 #   go build   everything compiles
 #   go test    the full suite, with the race detector on
 #   acqlint    the domain-specific invariants (internal/analysis)
-#   fuzz smoke short runs of the fuzz targets (plan decoder, SQL parser)
+#   fuzz smoke short runs of the fuzz targets (plan decoder, SQL parser,
+#              planning-service request path)
+#   acqserved  an end-to-end smoke: boot the planning service on an
+#              ephemeral port, drive it with acqload, shut down cleanly
+#   benchmarks the serve cache hit/miss paths, teed to results/
 #
 # FUZZTIME overrides the per-target fuzzing budget (default 5s).
 set -euo pipefail
@@ -36,5 +40,37 @@ go run ./cmd/acqlint ./...
 echo "== fuzz smoke"
 go test -run='^$' -fuzz=FuzzDecode -fuzztime="${FUZZTIME:-5s}" ./internal/plan
 go test -run='^$' -fuzz=FuzzParse -fuzztime="${FUZZTIME:-5s}" ./internal/sql
+go test -run='^$' -fuzz=FuzzServeRequest -fuzztime="${FUZZTIME:-5s}" ./internal/serve
+
+echo "== acqserved smoke"
+smokedir=$(mktemp -d)
+trap 'rm -rf "$smokedir"' EXIT
+go build -o "$smokedir/acqserved" ./cmd/acqserved
+go build -o "$smokedir/acqload" ./cmd/acqload
+go run ./cmd/acqgen -dataset lab -rows 2000 -seed 1 -out "$smokedir/lab.csv"
+"$smokedir/acqserved" -addr 127.0.0.1:0 \
+	-schema "hour:24:1,nodeid:45:1,voltage:16:1,light:32:100,temp:32:100,humidity:32:100" \
+	-data "$smokedir/lab.csv" >"$smokedir/acqserved.log" 2>&1 &
+serverpid=$!
+url=""
+for _ in $(seq 1 100); do
+	url=$(grep -om1 'http://[0-9.:]*' "$smokedir/acqserved.log" || true)
+	[ -n "$url" ] && break
+	sleep 0.1
+done
+if [ -z "$url" ]; then
+	echo "acqserved never reported a listening address:" >&2
+	cat "$smokedir/acqserved.log" >&2
+	exit 1
+fi
+"$smokedir/acqload" -addr "$url" -clients 8 -requests 16 -pool 8 -seed 1
+"$smokedir/acqload" -addr "$url" -clients 2 -requests 4 -pool 4 -seed 2 -execute
+kill -TERM "$serverpid"
+wait "$serverpid"
+grep -q "acqserved: done" "$smokedir/acqserved.log"
+
+echo "== serve benchmarks"
+mkdir -p results
+go test -run='^$' -bench='BenchmarkServe' -benchtime=200x ./internal/serve | tee results/serve-bench.txt
 
 echo "CI OK"

@@ -11,6 +11,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"io"
@@ -57,6 +58,7 @@ var figures = []figure{
 func main() {
 	fig := flag.String("fig", "all", "figure to regenerate: 8a, 8b, 8c, 9, 10, 11, 12, scale, lifetime, sensor, ablation, or all")
 	scale := flag.String("scale", "quick", "experiment scale: quick or full")
+	timeout := flag.Duration("timeout", 0, "wall-clock budget for the whole run (e.g. 30s); 0 means none. Expiry cancels the in-flight planner and aborts")
 	flag.Parse()
 
 	var sc experiments.Scale
@@ -70,6 +72,11 @@ func main() {
 		os.Exit(2)
 	}
 	env := experiments.NewEnv(sc)
+	if *timeout > 0 {
+		ctx, cancel := context.WithTimeout(context.Background(), *timeout)
+		defer cancel()
+		env.Ctx = ctx
+	}
 
 	names := strings.Split(*fig, ",")
 	if *fig == "all" {

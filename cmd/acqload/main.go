@@ -1,0 +1,238 @@
+// Command acqload drives load against a running acqserved instance: N
+// concurrent clients each issue M planning (or execution) requests drawn
+// from a seeded random pool of conjunctive queries, then the tool reports
+// client-side latency percentiles and the server's cache statistics.
+//
+// Usage:
+//
+//	acqload -addr http://127.0.0.1:8077 [-clients 8] [-requests 64] \
+//	        [-pool 16] [-seed 1] [-planner greedy] [-execute]
+//
+// The query pool is generated against the server's own schema (fetched
+// from /stats), so acqload needs no schema flag. A pool much smaller than
+// clients*requests exercises the plan cache and singleflight; -pool 0
+// makes every request distinct (all cache misses).
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"math/rand"
+	"net/http"
+	"os"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+type attrInfo struct {
+	Name string `json:"name"`
+	K    int    `json:"k"`
+}
+
+type statsResponse struct {
+	Schema       []attrInfo `json:"schema"`
+	Epoch        uint64     `json:"epoch"`
+	CacheEntries int        `json:"cache_entries"`
+	CacheHitRate float64    `json:"cache_hit_rate"`
+	PlannerCalls int64      `json:"planner_calls"`
+	ShedRequests int64      `json:"shed_requests"`
+}
+
+type planResponse struct {
+	ExpectedCost float64 `json:"expected_cost"`
+	NaiveCost    float64 `json:"naive_cost"`
+	Cached       bool    `json:"cached"`
+	Shared       bool    `json:"shared"`
+	Degraded     bool    `json:"degraded"`
+}
+
+func main() {
+	addr := flag.String("addr", "http://127.0.0.1:8077", "acqserved base URL")
+	clients := flag.Int("clients", 8, "concurrent clients")
+	requests := flag.Int("requests", 64, "requests per client")
+	pool := flag.Int("pool", 16, "distinct queries in the workload pool (0 = every request distinct)")
+	seed := flag.Int64("seed", 1, "workload random seed")
+	planner := flag.String("planner", "", "planner to request (empty = server default)")
+	timeoutMS := flag.Int("timeout-ms", 0, "per-request planning deadline to send (0 = server default)")
+	execute := flag.Bool("execute", false, "POST /execute instead of /plan")
+	flag.Parse()
+	if *clients < 1 || *requests < 1 {
+		fatal(fmt.Errorf("need at least one client and one request"))
+	}
+
+	schema, err := fetchSchema(*addr)
+	if err != nil {
+		fatal(err)
+	}
+
+	// Pre-generate the query pool from the seed so runs are reproducible.
+	rng := rand.New(rand.NewSource(*seed))
+	n := *pool
+	if n <= 0 {
+		n = *clients * *requests
+	}
+	queries := make([]string, n)
+	for i := range queries {
+		queries[i] = randomQuery(rng, schema)
+	}
+
+	endpoint := *addr + "/plan"
+	if *execute {
+		endpoint = *addr + "/execute"
+	}
+	var (
+		wg        sync.WaitGroup
+		errs      atomic.Int64
+		cached    atomic.Int64
+		shared    atomic.Int64
+		degraded  atomic.Int64
+		nextQuery atomic.Int64 // used only when -pool 0: every request distinct
+	)
+	lat := make([][]float64, *clients)
+	start := time.Now()
+	for c := 0; c < *clients; c++ {
+		wg.Add(1) //acqlint:ignore errdrop sync.WaitGroup.Add returns nothing; name-collision with error-returning Add methods
+		go func(id int) {
+			defer wg.Done()
+			crng := rand.New(rand.NewSource(*seed + int64(id) + 1))
+			lat[id] = make([]float64, 0, *requests)
+			for r := 0; r < *requests; r++ {
+				var q string
+				if *pool <= 0 {
+					q = queries[nextQuery.Add(1)-1]
+				} else {
+					q = queries[crng.Intn(len(queries))]
+				}
+				body, _ := json.Marshal(map[string]any{
+					"sql": q, "planner": *planner, "timeout_ms": *timeoutMS,
+				})
+				t0 := time.Now()
+				resp, err := http.Post(endpoint, "application/json", bytes.NewReader(body))
+				if err != nil {
+					errs.Add(1)
+					continue
+				}
+				raw, _ := io.ReadAll(resp.Body)
+				resp.Body.Close()
+				lat[id] = append(lat[id], float64(time.Since(t0))/float64(time.Millisecond))
+				if resp.StatusCode != http.StatusOK {
+					errs.Add(1)
+					continue
+				}
+				var pr planResponse
+				if json.Unmarshal(raw, &pr) == nil {
+					if pr.Cached {
+						cached.Add(1)
+					}
+					if pr.Shared {
+						shared.Add(1)
+					}
+					if pr.Degraded {
+						degraded.Add(1)
+					}
+				}
+			}
+		}(c)
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+
+	var all []float64
+	for _, l := range lat {
+		all = append(all, l...)
+	}
+	sort.Float64s(all)
+	total := *clients * *requests
+	fmt.Printf("acqload: %d clients x %d requests against %s (pool %d)\n", *clients, *requests, endpoint, n)
+	fmt.Printf("  %d ok, %d errors in %.2fs (%.0f req/s)\n",
+		total-int(errs.Load()), errs.Load(), elapsed.Seconds(), float64(total)/elapsed.Seconds())
+	if len(all) > 0 {
+		fmt.Printf("  latency ms: p50 %.2f  p95 %.2f  p99 %.2f  max %.2f\n",
+			pct(all, 50), pct(all, 95), pct(all, 99), all[len(all)-1])
+	}
+	fmt.Printf("  client-observed: %d cached, %d shared, %d degraded\n",
+		cached.Load(), shared.Load(), degraded.Load())
+
+	if st, err := fetchStats(*addr); err == nil {
+		fmt.Printf("  server: epoch %d, %d cache entries, hit rate %.1f%%, %d planner calls, %d shed\n",
+			st.Epoch, st.CacheEntries, 100*st.CacheHitRate, st.PlannerCalls, st.ShedRequests)
+	}
+	if errs.Load() > 0 {
+		os.Exit(1)
+	}
+}
+
+// randomQuery builds a conjunctive TinyDB-style statement over 1-3 random
+// attributes with random sub-domain ranges.
+func randomQuery(rng *rand.Rand, schema []attrInfo) string {
+	nattrs := 1 + rng.Intn(3)
+	if nattrs > len(schema) {
+		nattrs = len(schema)
+	}
+	perm := rng.Perm(len(schema))[:nattrs]
+	sort.Ints(perm)
+	var terms []string
+	for _, ai := range perm {
+		a := schema[ai]
+		lo := rng.Intn(a.K)
+		hi := lo + rng.Intn(a.K-lo)
+		switch {
+		case lo == hi:
+			terms = append(terms, fmt.Sprintf("%s = %d", a.Name, lo))
+		case rng.Intn(4) == 0 && lo > 0 && hi < a.K-1:
+			terms = append(terms, fmt.Sprintf("NOT (%d <= %s <= %d)", lo, a.Name, hi))
+		default:
+			terms = append(terms, fmt.Sprintf("%d <= %s <= %d", lo, a.Name, hi))
+		}
+	}
+	return "SELECT * WHERE " + strings.Join(terms, " AND ")
+}
+
+func pct(sorted []float64, p int) float64 {
+	if len(sorted) == 0 {
+		return 0
+	}
+	i := len(sorted) * p / 100
+	if i >= len(sorted) {
+		i = len(sorted) - 1
+	}
+	return sorted[i]
+}
+
+func fetchSchema(addr string) ([]attrInfo, error) {
+	st, err := fetchStats(addr)
+	if err != nil {
+		return nil, err
+	}
+	if len(st.Schema) == 0 {
+		return nil, fmt.Errorf("server at %s reports an empty schema", addr)
+	}
+	return st.Schema, nil
+}
+
+func fetchStats(addr string) (statsResponse, error) {
+	var st statsResponse
+	resp, err := http.Get(addr + "/stats")
+	if err != nil {
+		return st, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return st, fmt.Errorf("GET /stats: status %d", resp.StatusCode)
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+		return st, fmt.Errorf("GET /stats: %v", err)
+	}
+	return st, nil
+}
+
+func fatal(err error) {
+	fmt.Fprintf(os.Stderr, "acqload: %v\n", err)
+	os.Exit(1)
+}

@@ -19,6 +19,8 @@
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
@@ -37,6 +39,7 @@ func main() {
 	exhaustive := flag.Bool("exhaustive", false, "use the optimal exhaustive planner (small schemas only)")
 	splitPoints := flag.Int("spsf", 8, "candidate split points per attribute")
 	dot := flag.Bool("dot", false, "emit Graphviz instead of indented text")
+	timeout := flag.Duration("timeout", 0, "planning deadline (e.g. 100ms); 0 means none. The greedy planner returns the best plan found so far, the exhaustive planner aborts")
 	flag.Parse()
 
 	if *schemaSpec == "" || (*querySpec == "" && *sqlSpec == "") || *dataPath == "" {
@@ -79,13 +82,25 @@ func main() {
 		fatal(err)
 	}
 
+	ctx := context.Background()
+	if *timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *timeout)
+		defer cancel()
+	}
 	d := acqp.NewEmpirical(tbl)
 	var p *acqp.Plan
 	var cost float64
 	if *exhaustive {
-		p, cost, err = acqp.OptimizeExhaustive(d, q, *splitPoints, 5_000_000)
+		p, cost, err = acqp.OptimizeExhaustive(ctx, d, q, *splitPoints, 5_000_000)
+		if errors.Is(err, context.DeadlineExceeded) {
+			fatal(fmt.Errorf("exhaustive search hit the %v deadline; re-run without -exhaustive for an anytime plan", *timeout))
+		}
 	} else {
-		p, cost, err = acqp.Optimize(d, q, acqp.Options{MaxSplits: *splits, SplitPoints: *splitPoints})
+		p, cost, err = acqp.Optimize(ctx, d, q, acqp.Options{MaxSplits: *splits, SplitPoints: *splitPoints})
+		if err == nil && ctx.Err() != nil {
+			fmt.Fprintf(os.Stderr, "acqplan: %v deadline hit; plan is the best found so far\n", *timeout)
+		}
 	}
 	if err != nil {
 		fatal(err)

@@ -1,0 +1,139 @@
+// Command acqserved runs the acquisitional query-planning service: an
+// HTTP/JSON API over the repository's planners with a canonical-query
+// plan cache, a bounded planning worker pool, deadline-aware degradation,
+// and a drift-triggered statistics refresher.
+//
+// Usage:
+//
+//	acqserved -schema "hour:24:1,light:32:100,temp:32:100" \
+//	          -data history.csv [-addr :8077] [-cache 256] \
+//	          [-workers 0] [-queue 0] [-timeout 2s] \
+//	          [-window 4096] [-refresh 30s] [-drift 0.05]
+//
+// Endpoints: POST /plan, /execute, /ingest, /refresh; GET /stats,
+// /metrics (Prometheus text), /healthz. See internal/serve for the
+// request and response schemas. Pass -addr :0 to bind an ephemeral port;
+// the chosen address is printed on the "listening" line.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"strconv"
+	"strings"
+	"syscall"
+	"time"
+
+	"acqp"
+	"acqp/internal/serve"
+)
+
+func main() {
+	addr := flag.String("addr", ":8077", "listen address (use :0 for an ephemeral port)")
+	schemaSpec := flag.String("schema", "", "comma-separated name:K:cost attribute triples")
+	dataPath := flag.String("data", "", "historical data CSV (header row of attribute names)")
+	cacheSize := flag.Int("cache", 0, "plan cache entries (0 = default 256)")
+	workers := flag.Int("workers", 0, "planning workers (0 = GOMAXPROCS)")
+	queue := flag.Int("queue", 0, "planning queue depth (0 = 4x workers, negative = none)")
+	timeout := flag.Duration("timeout", 0, "default planning deadline (0 = 2s)")
+	window := flag.Int("window", 0, "sliding statistics window capacity (0 = 4096)")
+	refresh := flag.Duration("refresh", 0, "background drift-check interval (0 = on-demand /refresh only)")
+	drift := flag.Float64("drift", 0, "total-variation drift threshold for an epoch bump (0 = 0.05)")
+	flag.Parse()
+
+	if *schemaSpec == "" || *dataPath == "" {
+		flag.Usage()
+		os.Exit(2)
+	}
+	s, err := parseSchema(*schemaSpec)
+	if err != nil {
+		fatal(err)
+	}
+	f, err := os.Open(*dataPath)
+	if err != nil {
+		fatal(err)
+	}
+	tbl, err := acqp.ReadCSV(s, f)
+	f.Close()
+	if err != nil {
+		fatal(err)
+	}
+
+	srv, err := serve.New(serve.Config{
+		Schema:          s,
+		History:         tbl,
+		CacheSize:       *cacheSize,
+		Workers:         *workers,
+		QueueDepth:      *queue,
+		DefaultTimeout:  *timeout,
+		WindowSize:      *window,
+		RefreshInterval: *refresh,
+		DriftThreshold:  *drift,
+	})
+	if err != nil {
+		fatal(err)
+	}
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		fatal(err)
+	}
+	httpSrv := &http.Server{Handler: srv, ReadHeaderTimeout: 5 * time.Second}
+	fmt.Printf("acqserved: %d attributes, %d history tuples\n", s.NumAttrs(), tbl.NumRows())
+	fmt.Printf("acqserved: listening on http://%s\n", ln.Addr())
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	errc := make(chan error, 1)
+	go func() { errc <- httpSrv.Serve(ln) }()
+
+	select {
+	case err := <-errc:
+		fatal(err) // Serve never returns nil before Shutdown
+	case <-ctx.Done():
+	}
+	fmt.Println("acqserved: shutting down")
+	// Stop accepting requests first, then stop the planning pool, so no
+	// request races the pool teardown.
+	sctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := httpSrv.Shutdown(sctx); err != nil {
+		fmt.Fprintf(os.Stderr, "acqserved: http shutdown: %v\n", err)
+	}
+	if err := srv.Shutdown(sctx); err != nil {
+		fatal(err)
+	}
+	fmt.Println("acqserved: done")
+}
+
+func parseSchema(spec string) (*acqp.Schema, error) {
+	s := acqp.NewSchema()
+	for _, part := range strings.Split(spec, ",") {
+		fields := strings.Split(part, ":")
+		if len(fields) != 3 {
+			return nil, fmt.Errorf("bad attribute spec %q (want name:K:cost)", part)
+		}
+		k, err := strconv.Atoi(fields[1])
+		if err != nil {
+			return nil, fmt.Errorf("bad domain size in %q: %v", part, err)
+		}
+		cost, err := strconv.ParseFloat(fields[2], 64)
+		if err != nil {
+			return nil, fmt.Errorf("bad cost in %q: %v", part, err)
+		}
+		if err := s.Add(acqp.Attribute{Name: fields[0], K: k, Cost: cost}); err != nil {
+			return nil, err
+		}
+	}
+	return s, nil
+}
+
+func fatal(err error) {
+	fmt.Fprintf(os.Stderr, "acqserved: %v\n", err)
+	os.Exit(1)
+}

@@ -19,6 +19,7 @@ package main
 
 import (
 	"bufio"
+	"context"
 	"flag"
 	"fmt"
 	"io"
@@ -132,7 +133,7 @@ func (sh *shell) query(w io.Writer, stmt string, planOnly, compareNaive bool) {
 		sh.booleanQuery(w, st, planOnly)
 		return
 	}
-	p, cost, err := acqp.Optimize(sh.dist, q, acqp.Options{MaxSplits: 6})
+	p, cost, err := acqp.Optimize(context.Background(), sh.dist, q, acqp.Options{MaxSplits: 6})
 	if err != nil {
 		fmt.Fprintf(w, "error: %v\n", err)
 		return

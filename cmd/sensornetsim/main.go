@@ -10,6 +10,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
@@ -54,7 +55,7 @@ func main() {
 	}
 
 	d := acqp.NewEmpirical(train)
-	cond, expCost, err := acqp.Optimize(d, q, acqp.Options{MaxSplits: *splits})
+	cond, expCost, err := acqp.Optimize(context.Background(), d, q, acqp.Options{MaxSplits: *splits})
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "sensornetsim: %v\n", err)
 		os.Exit(1)

@@ -14,6 +14,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -46,7 +47,7 @@ func main() {
 	fmt.Printf("history: %d tuples, test window: %d tuples\n\n", train.NumRows(), test.NumRows())
 
 	d := acqp.NewEmpirical(train)
-	cond, expCost, err := acqp.Optimize(d, q, acqp.Options{MaxSplits: 6})
+	cond, expCost, err := acqp.Optimize(context.Background(), d, q, acqp.Options{MaxSplits: 6})
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -10,6 +10,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -58,7 +59,7 @@ func main() {
 	fmt.Printf("traditional sequential plan (expected %.1f units/tuple):\n%s\n",
 		naiveCost, acqp.Render(naive, s))
 
-	cond, condCost, err := acqp.Optimize(d, q, acqp.Options{MaxSplits: 3})
+	cond, condCost, err := acqp.Optimize(context.Background(), d, q, acqp.Options{MaxSplits: 3})
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -8,6 +8,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -50,7 +51,7 @@ func main() {
 	fmt.Printf("%-10s %8s %8s %12s %12s %12s\n",
 		"splits", "bytes", "results", "acquisition", "dissem", "total")
 	for _, k := range []int{-1, 2, 5, 10, 20} { // -1 = sequential plan, no splits
-		p, _, err := acqp.Optimize(d, q, acqp.Options{MaxSplits: k, UseGreedyBase: true})
+		p, _, err := acqp.Optimize(context.Background(), d, q, acqp.Options{MaxSplits: k, UseGreedyBase: true})
 		if err != nil {
 			log.Fatal(err)
 		}

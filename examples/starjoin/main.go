@@ -15,6 +15,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"math/rand"
@@ -48,7 +49,7 @@ func main() {
 	fmt.Printf("fact rows: %d history, %d live\n\n", train.NumRows(), live.NumRows())
 
 	d := acqp.NewEmpirical(train)
-	cond, _, err := acqp.Optimize(d, q, acqp.Options{MaxSplits: 6})
+	cond, _, err := acqp.Optimize(context.Background(), d, q, acqp.Options{MaxSplits: 6})
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -13,6 +13,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"math/rand"
@@ -46,7 +47,7 @@ func main() {
 	fmt.Printf("history: %d offers, live stream: %d offers\n\n", train.NumRows(), live.NumRows())
 
 	d := acqp.NewEmpirical(train)
-	cond, _, err := acqp.Optimize(d, q, acqp.Options{MaxSplits: 8})
+	cond, _, err := acqp.Optimize(context.Background(), d, q, acqp.Options{MaxSplits: 8})
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -1,6 +1,7 @@
 package boolq
 
 import (
+	"context"
 	"math"
 	"math/rand"
 	"strings"
@@ -223,7 +224,7 @@ func TestExhaustiveMatchesConjunctivePlanner(t *testing.T) {
 		t.Fatal(err)
 	}
 	exC := opt.Exhaustive{SPSF: opt.FullSPSF(s), Budget: 2_000_000}
-	_, costC, err := exC.Plan(d, q)
+	_, costC, err := exC.Plan(context.Background(), d, q)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -54,7 +54,7 @@ func ModelAblation(e *Env) (AblationResult, error) {
 	naive := opt.NaivePlanner{}
 	naiveCosts := make([]float64, len(w.queries))
 	for qi, q := range w.queries {
-		node, _, err := naive.Plan(w.dist, q)
+		node, _, err := naive.Plan(e.ctx(), w.dist, q)
 		if err != nil {
 			return res, err
 		}
@@ -64,7 +64,7 @@ func ModelAblation(e *Env) (AblationResult, error) {
 		heur := heuristicPlanner(s, 5)
 		var costSum, gainSum float64
 		for qi, q := range w.queries {
-			node, _, err := heur.Plan(b.dist, q)
+			node, _, err := heur.Plan(e.ctx(), b.dist, q)
 			if err != nil {
 				return res, err
 			}

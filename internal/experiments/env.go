@@ -10,6 +10,8 @@
 package experiments
 
 import (
+	"context"
+
 	"acqp/internal/datagen"
 	"acqp/internal/table"
 )
@@ -36,6 +38,11 @@ func (s Scale) String() string {
 type Env struct {
 	Scale Scale
 
+	// Ctx, when non-nil, bounds every planner invocation of the run:
+	// cancelling it (e.g. via acqbench -timeout) aborts the experiment
+	// with the context's error instead of running to completion.
+	Ctx context.Context
+
 	lab      *table.Table
 	garden5  *table.Table
 	garden11 *table.Table
@@ -43,6 +50,14 @@ type Env struct {
 
 // NewEnv returns an environment at the given scale.
 func NewEnv(s Scale) *Env { return &Env{Scale: s} }
+
+// ctx returns the run's cancellation context, defaulting to Background.
+func (e *Env) ctx() context.Context {
+	if e.Ctx != nil {
+		return e.Ctx
+	}
+	return context.Background()
+}
 
 // TrainFrac is the fraction of each dataset used as the training window;
 // the remainder is the disjoint test window (Section 6, "Test v.

@@ -79,7 +79,7 @@ func Fig12(e *Env) (Fig12Result, error) {
 				{&point.Heur10, opt.GreedyPlanner{Greedy: opt.Greedy{SPSF: spsf, MaxSplits: 10, Base: opt.SeqGreedy}}},
 			}
 			for _, pl := range planners {
-				node, _, err := pl.p.Plan(d, q)
+				node, _, err := pl.p.Plan(e.ctx(), d, q)
 				if err != nil {
 					return res, err
 				}

@@ -1,6 +1,8 @@
 package experiments
 
 import (
+	"context"
+
 	"fmt"
 	"io"
 	"math"
@@ -54,7 +56,7 @@ const heuristicSPSF = 8
 // exhaustivePlan trains the exhaustive planner on the SPSF-coarsened view
 // of the training data (Section 6.1's "Exhaustive with SPSF s") and
 // returns the plan expanded back to the original domain.
-func exhaustivePlan(train *table.Table, q query.Query, r int, budget int) (*plan.Node, error) {
+func exhaustivePlan(ctx context.Context, train *table.Table, q query.Query, r int, budget int) (*plan.Node, error) {
 	s := train.Schema()
 	co, err := opt.NewCoarsening(s, opt.UniformSPSFSame(s, r), q)
 	if err != nil {
@@ -70,7 +72,7 @@ func exhaustivePlan(train *table.Table, q query.Query, r int, budget int) (*plan
 	// exhaustive search's conditioning O(cells) instead of O(rows).
 	ctrain := stats.Compress(co.CoarsenTable(train))
 	ex := opt.Exhaustive{SPSF: opt.FullSPSF(co.CoarseSchema()), Budget: budget}
-	cplan, _, err := ex.Plan(ctrain, cq)
+	cplan, _, err := ex.Plan(ctx, ctrain, cq)
 	if err != nil {
 		return nil, err
 	}
@@ -115,7 +117,7 @@ func Fig8a(e *Env) (Fig8aResult, error) {
 	res := Fig8aResult{}
 	var exCostSum float64
 	for _, q := range w.queries {
-		exPlan, err := exhaustivePlan(w.train, q, r, exhaustiveBudget)
+		exPlan, err := exhaustivePlan(e.ctx(), w.train, q, r, exhaustiveBudget)
 		if err == opt.ErrBudget {
 			res.Skipped++
 			continue
@@ -131,7 +133,7 @@ func Fig8a(e *Env) (Fig8aResult, error) {
 		exCostSum += exCost
 		res.Queries++
 		for i, p := range algos {
-			node, _, err := p.Plan(w.dist, q)
+			node, _, err := p.Plan(e.ctx(), w.dist, q)
 			if err != nil {
 				return res, err
 			}
@@ -213,7 +215,7 @@ func Fig8b(e *Env) (Fig8bResult, error) {
 	res := Fig8bResult{Queries: len(w.queries)}
 	heurCosts := make([]float64, len(w.queries))
 	for qi, q := range w.queries {
-		node, _, err := heur.Plan(w.dist, q)
+		node, _, err := heur.Plan(e.ctx(), w.dist, q)
 		if err != nil {
 			return res, err
 		}
@@ -229,7 +231,7 @@ func Fig8b(e *Env) (Fig8bResult, error) {
 		var sum float64
 		var count int
 		for qi, q := range w.queries {
-			exPlan, err := exhaustivePlan(w.train, q, r, exhaustiveBudget)
+			exPlan, err := exhaustivePlan(e.ctx(), w.train, q, r, exhaustiveBudget)
 			if err == opt.ErrBudget {
 				row.Skipped++
 				continue
@@ -287,13 +289,13 @@ func Fig8c(e *Env) (Fig8cResult, error) {
 	}
 	naive := opt.NaivePlanner{}
 	for _, q := range w.queries {
-		nNode, _, err := naive.Plan(w.dist, q)
+		nNode, _, err := naive.Plan(e.ctx(), w.dist, q)
 		if err != nil {
 			return res, err
 		}
 		nCost := runCost(s, nNode, q, w.test)
 		for _, p := range algos {
-			node, _, err := p.Plan(w.dist, q)
+			node, _, err := p.Plan(e.ctx(), w.dist, q)
 			if err != nil {
 				return res, err
 			}

@@ -44,15 +44,15 @@ func Fig9(e *Env) (Fig9Result, error) {
 	}
 
 	heur := heuristicPlanner(s, 6)
-	node, _, err := heur.Plan(w.dist, q)
+	node, _, err := heur.Plan(e.ctx(), w.dist, q)
 	if err != nil {
 		return Fig9Result{}, err
 	}
-	naive, _, err := opt.NaivePlanner{}.Plan(w.dist, q)
+	naive, _, err := opt.NaivePlanner{}.Plan(e.ctx(), w.dist, q)
 	if err != nil {
 		return Fig9Result{}, err
 	}
-	corr, _, err := (opt.CorrSeqPlanner{Alg: opt.SeqOpt}).Plan(w.dist, q)
+	corr, _, err := (opt.CorrSeqPlanner{Alg: opt.SeqOpt}).Plan(e.ctx(), w.dist, q)
 	if err != nil {
 		return Fig9Result{}, err
 	}

@@ -54,16 +54,16 @@ func Garden(e *Env, motes int) (GardenResult, error) {
 
 	res := GardenResult{Motes: motes, Preds: 2 * motes, Queries: len(queries)}
 	for _, q := range queries {
-		hNode, _, err := heur.Plan(d, q)
+		hNode, _, err := heur.Plan(e.ctx(), d, q)
 		if err != nil {
 			return res, err
 		}
 		hCost := runCost(s, hNode, q, test)
-		nNode, _, err := naive.Plan(d, q)
+		nNode, _, err := naive.Plan(e.ctx(), d, q)
 		if err != nil {
 			return res, err
 		}
-		cNode, _, err := corr.Plan(d, q)
+		cNode, _, err := corr.Plan(e.ctx(), d, q)
 		if err != nil {
 			return res, err
 		}

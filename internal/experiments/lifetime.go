@@ -44,7 +44,7 @@ func Lifetime(e *Env) (LifetimeResult, error) {
 	}
 	var naiveEpochs int
 	for i, p := range planners {
-		node, _, err := p.Plan(w.dist, q)
+		node, _, err := p.Plan(e.ctx(), w.dist, q)
 		if err != nil {
 			return res, err
 		}

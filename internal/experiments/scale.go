@@ -1,6 +1,8 @@
 package experiments
 
 import (
+	"context"
+
 	"fmt"
 	"io"
 	"math/rand"
@@ -93,20 +95,20 @@ func Scalability(e *Env) (ScaleResult, error) {
 	// Heuristic runtime vs dataset size (m=4, K=2).
 	for _, rows := range rowSteps {
 		d, q := scaleWorld(4, 2, rows, 31)
-		ms := timePlanner(heuristicFor(d), d, q)
+		ms := timePlanner(e.ctx(), heuristicFor(d), d, q)
 		res.DataRows = append(res.DataRows, ScalePoint{X: rows, HeuristicMS: ms})
 	}
 	// Heuristic runtime vs domain size (m=4).
 	for _, k := range kSteps {
 		d, q := scaleWorld(4, k, baseRows, 32)
-		ms := timePlanner(heuristicFor(d), d, q)
+		ms := timePlanner(e.ctx(), heuristicFor(d), d, q)
 		res.DomainK = append(res.DomainK, ScalePoint{X: k, HeuristicMS: ms})
 	}
 	// Heuristic runtime vs number of predicates (K=2, OptSeq base:
 	// exponential in m).
 	for _, m := range mSteps {
 		d, q := scaleWorld(m, 2, baseRows, 33)
-		ms := timePlanner(heuristicFor(d), d, q)
+		ms := timePlanner(e.ctx(), heuristicFor(d), d, q)
 		res.NumPreds = append(res.NumPreds, ScalePoint{X: m, HeuristicMS: ms})
 	}
 	// Exhaustive subproblems vs domain size (m=3 query attributes).
@@ -114,7 +116,7 @@ func Scalability(e *Env) (ScaleResult, error) {
 		d, q := scaleWorld(3, k, baseRows/4, 34)
 		ex := opt.Exhaustive{SPSF: opt.FullSPSF(d.Schema()), Budget: 5_000_000}
 		start := time.Now()
-		_, _, err := ex.Plan(d, q)
+		_, _, err := ex.Plan(e.ctx(), d, q)
 		elapsed := float64(time.Since(start).Microseconds()) / 1000
 		p := ScalePoint{X: k, ExhaustedMS: elapsed, Subproblems: ex.Expanded()}
 		if err != nil {
@@ -133,9 +135,9 @@ func heuristicFor(d *stats.Empirical) opt.Planner {
 	}}
 }
 
-func timePlanner(p opt.Planner, d stats.Dist, q query.Query) float64 {
+func timePlanner(ctx context.Context, p opt.Planner, d stats.Dist, q query.Query) float64 {
 	start := time.Now()
-	if _, _, err := p.Plan(d, q); err != nil {
+	if _, _, err := p.Plan(ctx, d, q); err != nil {
 		return -1
 	}
 	return float64(time.Since(start).Microseconds()) / 1000

@@ -47,7 +47,7 @@ func SensorTradeoff(e *Env) (SensorResult, error) {
 	radio := sensornet.RadioModel{CostPerByte: 4, ResultBytes: 16}
 	for _, k := range []int{0, 1, 2, 5, 10, 20} {
 		g := opt.Greedy{SPSF: opt.UniformSPSFSame(s, heuristicSPSF), MaxSplits: k, Base: opt.SeqOpt}
-		node, _ := g.Plan(w.dist, q)
+		node, _ := g.Plan(e.ctx(), w.dist, q)
 		net, err := sensornet.New(s, q, radio, sensornet.LineTopology(motes))
 		if err != nil {
 			return res, err

@@ -1,6 +1,7 @@
 package model
 
 import (
+	"context"
 	"math"
 	"math/rand"
 	"testing"
@@ -212,7 +213,7 @@ func TestPlannersRunOnModels(t *testing.T) {
 	}
 	for _, d := range []stats.Dist{FitChowLiu(tbl, 0.1), FitIndependent(tbl, 0.1)} {
 		g := opt.Greedy{SPSF: opt.FullSPSF(s), MaxSplits: 3, Base: opt.SeqOpt}
-		node, cost := g.Plan(d, q)
+		node, cost := g.Plan(context.Background(), d, q)
 		if r := node.Equivalent(s, q, all); r != -1 {
 			t.Errorf("model-backed plan wrong on tuple %d", r)
 		}

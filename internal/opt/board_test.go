@@ -1,6 +1,7 @@
 package opt
 
 import (
+	"context"
 	"math"
 	"math/rand"
 	"testing"
@@ -86,7 +87,7 @@ func TestGreedyPlanWithBoardsCorrect(t *testing.T) {
 	s, tbl, q := boardWorld(t)
 	d := stats.NewEmpirical(tbl)
 	g := Greedy{SPSF: FullSPSF(s), MaxSplits: 4, Base: SeqOpt}
-	node, cost := g.Plan(d, q)
+	node, cost := g.Plan(context.Background(), d, q)
 	if r := node.Equivalent(s, q, allTuples(s)); r != -1 {
 		t.Errorf("plan wrong on domain tuple %d", r)
 	}

@@ -1,0 +1,131 @@
+package opt
+
+import (
+	"context"
+	"errors"
+	"math/rand"
+	"testing"
+	"time"
+
+	"acqp/internal/plan"
+	"acqp/internal/query"
+	"acqp/internal/schema"
+	"acqp/internal/stats"
+	"acqp/internal/table"
+)
+
+// hardWorld builds a schema and dataset large enough that the exhaustive
+// search runs for a long time: m uniform attributes with domain k and a
+// query over all of them.
+func hardWorld(m, k, rows int, seed int64) (*stats.Empirical, query.Query) {
+	attrs := make([]schema.Attribute, m)
+	for i := range attrs {
+		attrs[i] = schema.Attribute{Name: string(rune('a' + i)), K: k, Cost: float64(1 + i%3)}
+	}
+	s := schema.New(attrs...)
+	rng := rand.New(rand.NewSource(seed))
+	tbl := table.New(s, rows)
+	row := make([]schema.Value, m)
+	for r := 0; r < rows; r++ {
+		base := rng.Intn(k)
+		for i := range row {
+			row[i] = schema.Value((base + rng.Intn(2)) % k)
+		}
+		tbl.MustAppendRow(row)
+	}
+	preds := make([]query.Pred, m)
+	for i := range preds {
+		preds[i] = query.Pred{Attr: i, R: query.Range{Lo: 0, Hi: schema.Value(k/2 - 1)}}
+	}
+	return stats.NewEmpirical(tbl), query.MustNewQuery(s, preds...)
+}
+
+func TestExhaustiveHonorsCancelledContext(t *testing.T) {
+	d, q := hardWorld(6, 6, 400, 7)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel() // already cancelled: the search must abort almost immediately
+	e := Exhaustive{SPSF: UniformSPSFSame(d.Schema(), 5)}
+	_, _, err := e.Plan(ctx, d, q)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+}
+
+func TestExhaustiveHonorsDeadline(t *testing.T) {
+	d, q := hardWorld(6, 6, 400, 7)
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Millisecond)
+	defer cancel()
+	e := Exhaustive{SPSF: UniformSPSFSame(d.Schema(), 5)}
+	start := time.Now()
+	_, _, err := e.Plan(ctx, d, q)
+	elapsed := time.Since(start)
+	if err == nil {
+		t.Skip("search finished inside the deadline; nothing to observe")
+	}
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("err = %v, want context.DeadlineExceeded", err)
+	}
+	// The check fires once per expanded subproblem, so the overshoot is
+	// bounded by one subproblem's work; allow generous CI slack.
+	if elapsed > 2*time.Second {
+		t.Fatalf("search ran %v past a 10ms deadline", elapsed)
+	}
+}
+
+func TestGreedyDegradesGracefullyOnCancel(t *testing.T) {
+	d, q := hardWorld(8, 4, 400, 9)
+	s := d.Schema()
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	g := Greedy{SPSF: UniformSPSFSame(s, 4), MaxSplits: 5, Base: SeqGreedy}
+	node, cost := g.Plan(ctx, d, q)
+	if node == nil {
+		t.Fatal("cancelled greedy plan returned nil")
+	}
+	// The degraded plan must still be a complete, correct plan.
+	if node.NumSplits() != 0 {
+		t.Errorf("cancelled-before-start plan has %d splits, want purely sequential", node.NumSplits())
+	}
+	if err := node.Validate(s); err != nil {
+		t.Fatalf("degraded plan invalid: %v", err)
+	}
+	if r := node.Equivalent(s, q, allTuples(s)); r != -1 {
+		t.Fatalf("degraded plan wrong on domain tuple %d", r)
+	}
+	if cost <= 0 {
+		t.Errorf("degraded plan cost %g, want positive", cost)
+	}
+	// An uncancelled run from the same state must do no worse.
+	full, fullCost := g.Plan(context.Background(), d, q)
+	if fullCost > cost+1e-9 {
+		t.Errorf("full greedy run (%g) worse than cancelled run (%g)", fullCost, cost)
+	}
+	if err := full.Validate(s); err != nil {
+		t.Fatalf("full plan invalid: %v", err)
+	}
+}
+
+func TestGreedyMidSearchDeadlineStillValid(t *testing.T) {
+	d, q := hardWorld(8, 4, 600, 5)
+	s := d.Schema()
+	// A deadline likely to fire mid-search: long enough to get past the
+	// root sequential plan, short enough to truncate the split loop. The
+	// exact truncation point does not matter — any outcome must be valid.
+	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Millisecond)
+	defer cancel()
+	g := Greedy{SPSF: UniformSPSFSame(s, 6), MaxSplits: 10, Base: SeqOpt}
+	node, _ := g.Plan(ctx, d, q)
+	if node == nil {
+		t.Fatal("deadline-truncated greedy plan returned nil")
+	}
+	if err := node.Validate(s); err != nil {
+		t.Fatalf("truncated plan invalid: %v", err)
+	}
+	if r := node.Equivalent(s, q, allTuples(s)); r != -1 {
+		t.Fatalf("truncated plan wrong on domain tuple %d", r)
+	}
+	if node.NumSplits() > 10 {
+		t.Errorf("truncated plan has %d splits, exceeding MaxSplits", node.NumSplits())
+	}
+	_ = plan.ExpectedCostRoot(node, d) // must not panic on the truncated tree
+}

@@ -1,6 +1,7 @@
 package opt
 
 import (
+	"context"
 	"math"
 	"math/rand"
 	"testing"
@@ -120,7 +121,7 @@ func TestCoarsenTableAndExpandPlanEndToEnd(t *testing.T) {
 		t.Fatal(err)
 	}
 	e := Exhaustive{SPSF: FullSPSF(co.CoarseSchema())}
-	cplan, _, err := e.Plan(stats.NewEmpirical(ctbl), cq)
+	cplan, _, err := e.Plan(context.Background(), stats.NewEmpirical(ctbl), cq)
 	if err != nil {
 		t.Fatal(err)
 	}

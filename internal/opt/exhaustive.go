@@ -1,6 +1,7 @@
 package opt
 
 import (
+	"context"
 	"math"
 
 	"acqp/internal/plan"
@@ -44,6 +45,7 @@ type exhaustiveMemoEntry struct {
 }
 
 type exhaustiveSearch struct {
+	ctx  context.Context
 	s    *schema.Schema
 	q    query.Query
 	spsf SPSF
@@ -57,10 +59,14 @@ type exhaustiveSearch struct {
 }
 
 // Plan runs the exhaustive search and returns the optimal plan and its
-// expected cost under the distribution.
-func (e *Exhaustive) Plan(d stats.Dist, q query.Query) (*plan.Node, float64, error) {
+// expected cost under the distribution. The search is not an anytime
+// algorithm: when ctx is cancelled or its deadline expires mid-search,
+// Plan returns ctx.Err() and callers wanting a plan anyway must fall back
+// to a sequential planner.
+func (e *Exhaustive) Plan(ctx context.Context, d stats.Dist, q query.Query) (*plan.Node, float64, error) {
 	s := d.Schema()
 	es := &exhaustiveSearch{
+		ctx:    ctx,
 		s:      s,
 		q:      q,
 		spsf:   e.SPSF.WithQueryEndpoints(s, q),
@@ -117,6 +123,13 @@ func (es *exhaustiveSearch) solve(getC lazyC, box query.Box, bound float64) (flo
 	es.count++
 	if es.budget > 0 && es.count > es.budget {
 		return 0, nil, ErrBudget
+	}
+	// One cancellation check per expanded subproblem: each expansion does
+	// orders of magnitude more work than the check (sequential seeding,
+	// split enumeration), so deadline overshoot stays within a single
+	// subproblem's planning time.
+	if err := es.ctx.Err(); err != nil {
+		return 0, nil, err
 	}
 	c := getC()
 

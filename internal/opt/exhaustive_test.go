@@ -1,6 +1,7 @@
 package opt
 
 import (
+	"context"
 	"errors"
 	"math"
 	"math/rand"
@@ -74,7 +75,7 @@ func TestExhaustiveFindsFigure2ConditionalPlan(t *testing.T) {
 	d := stats.NewEmpirical(fig2Table())
 	q := fig2Query(s)
 	e := Exhaustive{SPSF: FullSPSF(s)}
-	node, cost, err := e.Plan(d, q)
+	node, cost, err := e.Plan(context.Background(), d, q)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -117,7 +118,7 @@ func TestExhaustiveBeatsOrMatchesEveryOtherPlanner(t *testing.T) {
 		d := stats.NewEmpirical(tbl)
 		q := fig2Query(s)
 		e := Exhaustive{SPSF: FullSPSF(s)}
-		_, exCost, err := e.Plan(d, q)
+		_, exCost, err := e.Plan(context.Background(), d, q)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -127,7 +128,7 @@ func TestExhaustiveBeatsOrMatchesEveryOtherPlanner(t *testing.T) {
 			CorrSeqPlanner{Alg: SeqGreedy},
 			GreedyPlanner{Greedy: Greedy{SPSF: FullSPSF(s), MaxSplits: 5, Base: SeqOpt}},
 		} {
-			_, cost, err := p.Plan(d, q)
+			_, cost, err := p.Plan(context.Background(), d, q)
 			if err != nil {
 				t.Fatal(err)
 			}
@@ -158,7 +159,7 @@ func TestExhaustiveBudget(t *testing.T) {
 		query.Pred{Attr: 2, R: query.Range{Lo: 8, Hi: 23}},
 	)
 	e := Exhaustive{SPSF: FullSPSF(s), Budget: 10}
-	_, _, err := e.Plan(d, q)
+	_, _, err := e.Plan(context.Background(), d, q)
 	if !errors.Is(err, ErrBudget) {
 		t.Errorf("err = %v, want ErrBudget", err)
 	}
@@ -171,7 +172,7 @@ func TestExhaustiveWithCoarseSPSFStillCorrect(t *testing.T) {
 	d := stats.NewEmpirical(fig2Table())
 	q := fig2Query(s)
 	e := Exhaustive{SPSF: UniformSPSFSame(s, 0)}
-	node, cost, err := e.Plan(d, q)
+	node, cost, err := e.Plan(context.Background(), d, q)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -189,7 +190,7 @@ func TestExhaustiveDeterminedQueries(t *testing.T) {
 	// Predicate covering the full domain: trivially true.
 	q := query.MustNewQuery(s, query.Pred{Attr: 1, R: query.Range{Lo: 0, Hi: 1}})
 	e := Exhaustive{SPSF: FullSPSF(s)}
-	node, cost, err := e.Plan(d, q)
+	node, cost, err := e.Plan(context.Background(), d, q)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -219,7 +220,7 @@ func TestExhaustiveLargerDomains(t *testing.T) {
 		query.Pred{Attr: 2, R: query.Range{Lo: 0, Hi: 2}},
 	)
 	e := Exhaustive{SPSF: FullSPSF(s), Budget: 2_000_000}
-	node, cost, err := e.Plan(d, q)
+	node, cost, err := e.Plan(context.Background(), d, q)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -284,7 +285,7 @@ func TestExhaustiveDominatesRandomPlans(t *testing.T) {
 		query.Pred{Attr: 2, R: query.Range{Lo: 2, Hi: 3}},
 	)
 	ex := Exhaustive{SPSF: FullSPSF(big), Budget: 2_000_000}
-	_, exCost, err := ex.Plan(d, q)
+	_, exCost, err := ex.Plan(context.Background(), d, q)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -2,6 +2,7 @@ package opt
 
 import (
 	"container/heap"
+	"context"
 	"math"
 
 	"acqp/internal/plan"
@@ -53,9 +54,15 @@ type greedySplitResult struct {
 // greedySplit implements GreedySplit(phi, R_1..R_n) from Figure 6: the
 // locally optimal split point, assuming the optimal (or greedy)
 // sequential plan is used for each resulting subproblem.
-func (g *Greedy) greedySplit(s *schema.Schema, c stats.Cond, box query.Box, q query.Query, spsf SPSF) greedySplitResult {
+func (g *Greedy) greedySplit(ctx context.Context, s *schema.Schema, c stats.Cond, box query.Box, q query.Query, spsf SPSF) greedySplitResult {
 	res := greedySplitResult{cost: math.Inf(1)}
 	for attr := 0; attr < s.NumAttrs(); attr++ {
+		if ctx.Err() != nil {
+			// Cancelled mid-enumeration: report the best split seen so
+			// far (possibly none). The caller's plan stays valid either
+			// way because leaves are always complete sequential plans.
+			return res
+		}
 		atomic := predCost(s, box, attr)
 		if atomic >= res.cost {
 			continue
@@ -124,7 +131,13 @@ func (q *leafQueue) Pop() interface{} {
 
 // Plan runs the greedy conditional planning algorithm (Figure 7) and
 // returns the plan and its expected cost under the distribution.
-func (g *Greedy) Plan(d stats.Dist, q query.Query) (*plan.Node, float64) {
+//
+// Greedy planning is an anytime algorithm: the plan starts as a complete
+// sequential plan and every leaf expansion keeps it complete, so when ctx
+// is cancelled or its deadline expires the search simply stops expanding
+// and returns the best (possibly purely sequential) plan found so far.
+// Callers can distinguish a truncated run by checking ctx.Err.
+func (g *Greedy) Plan(ctx context.Context, d stats.Dist, q query.Query) (*plan.Node, float64) {
 	s := d.Schema()
 	spsf := g.SPSF.WithQueryEndpoints(s, q)
 	rootBox := query.FullBox(s)
@@ -134,10 +147,10 @@ func (g *Greedy) Plan(d stats.Dist, q query.Query) (*plan.Node, float64) {
 	root := rootPlan
 
 	pq := &leafQueue{}
-	g.enqueue(pq, s, q, spsf, root, rootCond, rootBox, 1, rootCost)
+	g.enqueue(ctx, pq, s, q, spsf, root, rootCond, rootBox, 1, rootCost)
 
 	splits := 0
-	for splits < g.MaxSplits && pq.Len() > 0 {
+	for splits < g.MaxSplits && pq.Len() > 0 && ctx.Err() == nil {
 		top := heap.Pop(pq).(*leafEntry)
 		if top.priority <= 0 {
 			break // no remaining split improves on its sequential plan
@@ -153,12 +166,12 @@ func (g *Greedy) Plan(d stats.Dist, q query.Query) (*plan.Node, float64) {
 		loRange := query.Range{Lo: top.box[sp.attr].Lo, Hi: sp.x - 1}
 		hiRange := query.Range{Lo: sp.x, Hi: top.box[sp.attr].Hi}
 		if sp.pLo > 0 {
-			g.enqueue(pq, s, q, spsf,
+			g.enqueue(ctx, pq, s, q, spsf,
 				top.node.Left, top.c.RestrictRange(sp.attr, loRange),
 				top.box.With(sp.attr, loRange), top.reach*sp.pLo, sp.loCost)
 		}
 		if pHi := 1 - sp.pLo; pHi > 0 {
-			g.enqueue(pq, s, q, spsf,
+			g.enqueue(ctx, pq, s, q, spsf,
 				top.node.Right, top.c.RestrictRange(sp.attr, hiRange),
 				top.box.With(sp.attr, hiRange), top.reach*pHi, sp.hiCost)
 		}
@@ -173,12 +186,12 @@ func (g *Greedy) Plan(d stats.Dist, q query.Query) (*plan.Node, float64) {
 // enqueue computes the greedy split for a leaf and inserts it into the
 // queue with priority P(reach) * (C(seq) - C(split)), the expected gain of
 // expanding it (Section 4.2.2).
-func (g *Greedy) enqueue(pq *leafQueue, s *schema.Schema, q query.Query, spsf SPSF,
+func (g *Greedy) enqueue(ctx context.Context, pq *leafQueue, s *schema.Schema, q query.Query, spsf SPSF,
 	node *plan.Node, c stats.Cond, box query.Box, reach, seqCost float64) {
 	if node.Kind == plan.Leaf {
 		return // already decided; nothing to split
 	}
-	sp := g.greedySplit(s, c, box, q, spsf)
+	sp := g.greedySplit(ctx, s, c, box, q, spsf)
 	if !sp.ok {
 		return
 	}

@@ -1,6 +1,7 @@
 package opt
 
 import (
+	"context"
 	"math"
 	"math/rand"
 	"testing"
@@ -17,7 +18,7 @@ func TestGreedyFindsFigure2Plan(t *testing.T) {
 	d := stats.NewEmpirical(fig2Table())
 	q := fig2Query(s)
 	g := Greedy{SPSF: FullSPSF(s), MaxSplits: 5, Base: SeqOpt}
-	node, cost := g.Plan(d, q)
+	node, cost := g.Plan(context.Background(), d, q)
 	// One split on hour suffices to reach the optimal 1.1.
 	if math.Abs(cost-1.1) > 1e-9 {
 		t.Errorf("greedy cost = %g, want 1.1", cost)
@@ -35,7 +36,7 @@ func TestGreedyZeroSplitsIsSequential(t *testing.T) {
 	d := stats.NewEmpirical(fig2Table())
 	q := fig2Query(s)
 	g := Greedy{SPSF: FullSPSF(s), MaxSplits: 0, Base: SeqOpt}
-	node, cost := g.Plan(d, q)
+	node, cost := g.Plan(context.Background(), d, q)
 	if node.NumSplits() != 0 {
 		t.Errorf("MaxSplits=0 produced %d splits", node.NumSplits())
 	}
@@ -69,7 +70,7 @@ func TestGreedyRespectsMaxSplits(t *testing.T) {
 	)
 	for _, k := range []int{1, 2, 3, 5, 10} {
 		g := Greedy{SPSF: FullSPSF(s), MaxSplits: k, Base: SeqOpt}
-		node, _ := g.Plan(d, q)
+		node, _ := g.Plan(context.Background(), d, q)
 		if got := node.NumSplits(); got > k {
 			t.Errorf("MaxSplits=%d produced %d splits", k, got)
 		}
@@ -101,7 +102,7 @@ func TestGreedyCostMonotoneInSplits(t *testing.T) {
 		prev := math.Inf(1)
 		for _, k := range []int{0, 1, 2, 5, 10} {
 			g := Greedy{SPSF: FullSPSF(s), MaxSplits: k, Base: SeqOpt}
-			_, cost := g.Plan(d, q)
+			_, cost := g.Plan(context.Background(), d, q)
 			if cost > prev+1e-9 {
 				t.Errorf("trial %d: Heuristic-%d cost %g worse than smaller k (%g)", trial, k, cost, prev)
 			}
@@ -137,7 +138,7 @@ func TestGreedyNeverWorseThanBaseSequential(t *testing.T) {
 		for _, base := range []SeqAlgorithm{SeqOpt, SeqGreedy} {
 			_, seqCost := SequentialPlan(base, s, d.Root(), query.FullBox(s), q)
 			g := Greedy{SPSF: FullSPSF(s), MaxSplits: 5, Base: base}
-			_, cost := g.Plan(d, q)
+			_, cost := g.Plan(context.Background(), d, q)
 			if cost > seqCost+1e-9 {
 				t.Errorf("trial %d base %v: greedy %g worse than sequential %g", trial, base, cost, seqCost)
 			}
@@ -185,7 +186,7 @@ func TestGreedyNegatedPredicates(t *testing.T) {
 		query.Pred{Attr: 2, R: query.Range{Lo: 0, Hi: 3}},
 	)
 	g := Greedy{SPSF: FullSPSF(s), MaxSplits: 4, Base: SeqOpt}
-	node, cost := g.Plan(d, q)
+	node, cost := g.Plan(context.Background(), d, q)
 	if r := node.Equivalent(s, q, allTuples(s)); r != -1 {
 		t.Errorf("plan wrong on domain tuple %d", r)
 	}
@@ -202,11 +203,11 @@ func TestGreedyFirstSplitIsRootGreedySplit(t *testing.T) {
 	d := stats.NewEmpirical(fig2Table())
 	q := fig2Query(s)
 	g := Greedy{SPSF: FullSPSF(s), MaxSplits: 1, Base: SeqOpt}
-	node, _ := g.Plan(d, q)
+	node, _ := g.Plan(context.Background(), d, q)
 	if node.Kind != plan.Split {
 		t.Fatalf("root is %v, want Split", node.Kind)
 	}
-	sp := g.greedySplit(s, d.Root(), query.FullBox(s), q, g.SPSF.WithQueryEndpoints(s, q))
+	sp := g.greedySplit(context.Background(), s, d.Root(), query.FullBox(s), q, g.SPSF.WithQueryEndpoints(s, q))
 	if !sp.ok || node.Attr != sp.attr || node.X != sp.x {
 		t.Errorf("root split (%d,%d) != greedySplit (%d,%d)", node.Attr, node.X, sp.attr, sp.x)
 	}
@@ -218,21 +219,21 @@ func TestGreedyAlphaTradesSplitsForBytes(t *testing.T) {
 	q := fig2Query(s)
 	// Without alpha: the hour split is taken (saves 0.4 units/tuple).
 	free := Greedy{SPSF: FullSPSF(s), MaxSplits: 10, Base: SeqOpt}
-	freeNode, freeCost := free.Plan(d, q)
+	freeNode, freeCost := free.Plan(context.Background(), d, q)
 	if freeNode.NumSplits() == 0 {
 		t.Fatal("baseline greedy took no splits")
 	}
 	// A tiny alpha should not change the plan: the split saves 0.4
 	// units/tuple, far above the byte charge.
 	cheap := Greedy{SPSF: FullSPSF(s), MaxSplits: 10, Base: SeqOpt, Alpha: 1e-6}
-	cheapNode, cheapCost := cheap.Plan(d, q)
+	cheapNode, cheapCost := cheap.Plan(context.Background(), d, q)
 	if cheapNode.NumSplits() != freeNode.NumSplits() || math.Abs(cheapCost-freeCost) > 1e-9 {
 		t.Errorf("negligible alpha changed the plan: %d splits, cost %g", cheapNode.NumSplits(), cheapCost)
 	}
 	// A huge alpha makes every split unaffordable: plan collapses to the
 	// sequential plan.
 	dear := Greedy{SPSF: FullSPSF(s), MaxSplits: 10, Base: SeqOpt, Alpha: 1e6}
-	dearNode, dearCost := dear.Plan(d, q)
+	dearNode, dearCost := dear.Plan(context.Background(), d, q)
 	if dearNode.NumSplits() != 0 {
 		t.Errorf("huge alpha still produced %d splits", dearNode.NumSplits())
 	}
@@ -244,7 +245,7 @@ func TestGreedyAlphaTradesSplitsForBytes(t *testing.T) {
 	// must not exceed either extreme's objective.
 	alpha := 0.4 / 20.0 // split saves 0.4/tuple and costs ~18 extra bytes
 	mid := Greedy{SPSF: FullSPSF(s), MaxSplits: 10, Base: SeqOpt, Alpha: alpha}
-	midNode, midCost := mid.Plan(d, q)
+	midNode, midCost := mid.Plan(context.Background(), d, q)
 	objective := func(n *plan.Node, c float64) float64 {
 		return c + alpha*float64(plan.Size(n))
 	}

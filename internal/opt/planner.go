@@ -1,6 +1,7 @@
 package opt
 
 import (
+	"context"
 	"fmt"
 
 	"acqp/internal/plan"
@@ -15,7 +16,10 @@ type Planner interface {
 	Name() string
 	// Plan builds a plan for the query under the distribution and
 	// returns it with its expected cost on the training distribution.
-	Plan(d stats.Dist, q query.Query) (*plan.Node, float64, error)
+	// Cancelling the context stops the search: planners that can degrade
+	// gracefully (Greedy) return the best valid plan found so far, while
+	// anytime-incapable planners (Exhaustive) return the context error.
+	Plan(ctx context.Context, d stats.Dist, q query.Query) (*plan.Node, float64, error)
 }
 
 // NaivePlanner is the traditional optimizer baseline: a sequential plan
@@ -26,7 +30,10 @@ type NaivePlanner struct{}
 func (NaivePlanner) Name() string { return "Naive" }
 
 // Plan implements Planner.
-func (NaivePlanner) Plan(d stats.Dist, q query.Query) (*plan.Node, float64, error) {
+func (NaivePlanner) Plan(ctx context.Context, d stats.Dist, q query.Query) (*plan.Node, float64, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, 0, err
+	}
 	s := d.Schema()
 	node, cost := SequentialPlan(SeqNaive, s, d.Root(), query.FullBox(s), q)
 	return node, cost, nil
@@ -44,7 +51,10 @@ type CorrSeqPlanner struct {
 func (p CorrSeqPlanner) Name() string { return "CorrSeq(" + p.Alg.String() + ")" }
 
 // Plan implements Planner.
-func (p CorrSeqPlanner) Plan(d stats.Dist, q query.Query) (*plan.Node, float64, error) {
+func (p CorrSeqPlanner) Plan(ctx context.Context, d stats.Dist, q query.Query) (*plan.Node, float64, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, 0, err
+	}
 	s := d.Schema()
 	node, cost := SequentialPlan(p.Alg, s, d.Root(), query.FullBox(s), q)
 	return node, cost, nil
@@ -60,8 +70,8 @@ type GreedyPlanner struct {
 func (p GreedyPlanner) Name() string { return fmt.Sprintf("Heuristic-%d", p.Greedy.MaxSplits) }
 
 // Plan implements Planner.
-func (p GreedyPlanner) Plan(d stats.Dist, q query.Query) (*plan.Node, float64, error) {
-	node, cost := p.Greedy.Plan(d, q)
+func (p GreedyPlanner) Plan(ctx context.Context, d stats.Dist, q query.Query) (*plan.Node, float64, error) {
+	node, cost := p.Greedy.Plan(ctx, d, q)
 	return node, cost, nil
 }
 
@@ -74,6 +84,6 @@ type ExhaustivePlanner struct {
 func (p ExhaustivePlanner) Name() string { return "Exhaustive" }
 
 // Plan implements Planner.
-func (p ExhaustivePlanner) Plan(d stats.Dist, q query.Query) (*plan.Node, float64, error) {
-	return p.Exhaustive.Plan(d, q)
+func (p ExhaustivePlanner) Plan(ctx context.Context, d stats.Dist, q query.Query) (*plan.Node, float64, error) {
+	return p.Exhaustive.Plan(ctx, d, q)
 }

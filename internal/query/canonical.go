@@ -1,0 +1,174 @@
+package query
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"strings"
+
+	"acqp/internal/schema"
+)
+
+// ErrUnsatisfiable reports that a predicate list admits no satisfying
+// tuple (e.g. "a <= 3 AND a >= 7"): the canonical query is the constant
+// false and needs no acquisitions at all.
+var ErrUnsatisfiable = errors.New("query: predicates are unsatisfiable")
+
+// ErrNotSingleRange reports that a satisfiable predicate list cannot be
+// expressed with one (possibly negated) range predicate per attribute —
+// the conjunctive form the planners accept. Callers should route such
+// clauses to the boolean planner instead.
+var ErrNotSingleRange = errors.New("query: conjunction is not expressible as one range predicate per attribute")
+
+// Canonical normalizes a raw predicate conjunction into canonical form:
+//
+//   - ranges are clamped to the attribute's domain [0, K-1];
+//   - duplicate and overlapping predicates on one attribute are merged
+//     (positive ranges intersect; negated "holes" union when they overlap
+//     or touch);
+//   - holes touching the edge of the admissible range are folded into a
+//     tighter positive range;
+//   - trivially-true predicates (full-domain ranges, holes outside the
+//     admissible range) are dropped;
+//   - predicates are sorted by attribute index.
+//
+// Two predicate lists describing the same region of the domain therefore
+// canonicalize to the same Query, making Query.Key usable as a cache key.
+// Canonical returns an error wrapping ErrUnsatisfiable when no tuple can
+// match, and one wrapping ErrNotSingleRange when the region needs more
+// than one predicate on some attribute (a sub-domain range with an
+// interior hole, or several disjoint interior holes).
+func Canonical(s *schema.Schema, preds []Pred) (Query, error) {
+	type attrState struct {
+		pos   Range // intersection of positive ranges, clamped
+		holes []Range
+	}
+	// Indexed by attribute so the output order is deterministic without a
+	// sort; schemas are small (sensor boards, not wide tables).
+	states := make([]*attrState, s.NumAttrs())
+	for _, p := range preds {
+		if p.Attr < 0 || p.Attr >= s.NumAttrs() {
+			return Query{}, fmt.Errorf("query: predicate attribute %d out of schema range", p.Attr)
+		}
+		k := s.K(p.Attr)
+		st := states[p.Attr]
+		if st == nil {
+			st = &attrState{pos: FullRange(k)}
+			states[p.Attr] = st
+		}
+		r := p.R
+		if int(r.Hi) >= k {
+			r.Hi = schema.Value(k - 1)
+		}
+		if p.Negated {
+			if r.Valid() {
+				st.holes = append(st.holes, r)
+			}
+			// An empty hole excludes nothing: drop it.
+			continue
+		}
+		if !r.Valid() {
+			return Query{}, fmt.Errorf("%w: empty range on %s", ErrUnsatisfiable, s.Name(p.Attr))
+		}
+		inter, ok := st.pos.Intersect(r)
+		if !ok {
+			return Query{}, fmt.Errorf("%w: disjoint ranges on %s", ErrUnsatisfiable, s.Name(p.Attr))
+		}
+		st.pos = inter
+	}
+
+	out := make([]Pred, 0, len(preds))
+	for a, st := range states {
+		if st == nil {
+			continue
+		}
+		p, keep, err := canonAttr(s.K(a), st.pos, st.holes)
+		if err != nil {
+			return Query{}, fmt.Errorf("%w on %s", err, s.Name(a))
+		}
+		if keep {
+			p.Attr = a
+			out = append(out, p)
+		}
+	}
+	return Query{Preds: out}, nil
+}
+
+// canonAttr reduces one attribute's positive range and negated holes to a
+// single predicate. keep is false when the attribute imposes no
+// constraint at all.
+func canonAttr(k int, pos Range, holes []Range) (p Pred, keep bool, err error) {
+	// Fold edge-touching holes into the positive range until fixpoint:
+	// clipping an edge can expose another hole to the new edge.
+	for changed := true; changed; {
+		changed = false
+		live := holes[:0]
+		for _, h := range holes {
+			inter, ok := h.Intersect(pos)
+			if !ok {
+				continue // hole entirely outside the admissible range
+			}
+			switch {
+			case inter == pos:
+				return Pred{}, false, ErrUnsatisfiable
+			case inter.Lo == pos.Lo:
+				pos.Lo = inter.Hi + 1
+				changed = true
+			case inter.Hi == pos.Hi:
+				pos.Hi = inter.Lo - 1
+				changed = true
+			default:
+				live = append(live, inter)
+			}
+		}
+		holes = live
+	}
+	if len(holes) == 0 {
+		if pos.IsFull(k) {
+			return Pred{}, false, nil // trivially true: no constraint
+		}
+		return Pred{R: pos}, true, nil
+	}
+	// Remaining holes are strictly interior to pos. Merge overlapping or
+	// adjacent ones: NOT[2,3] AND NOT[4,6] == NOT[2,6].
+	sort.Slice(holes, func(i, j int) bool { return holes[i].Lo < holes[j].Lo })
+	merged := holes[:1]
+	for _, h := range holes[1:] {
+		last := &merged[len(merged)-1]
+		if h.Lo <= last.Hi+1 {
+			if h.Hi > last.Hi {
+				last.Hi = h.Hi
+			}
+			continue
+		}
+		merged = append(merged, h)
+	}
+	if len(merged) > 1 {
+		// Two disjoint interior holes would need two negated predicates.
+		return Pred{}, false, ErrNotSingleRange
+	}
+	if !pos.IsFull(k) {
+		// "sub-range AND NOT interior-hole" needs two predicates.
+		return Pred{}, false, ErrNotSingleRange
+	}
+	return Pred{R: merged[0], Negated: true}, true, nil
+}
+
+// Key returns a compact deterministic identifier for the query, intended
+// for canonical queries (see Canonical): two equivalent predicate lists
+// canonicalize to the same Key. The encoding is "attr:lo:hi" per
+// predicate, '!'-prefixed when negated, joined with ';'.
+func (q Query) Key() string {
+	var sb strings.Builder
+	sb.Grow(len(q.Preds) * 10)
+	for i, p := range q.Preds {
+		if i > 0 {
+			sb.WriteByte(';')
+		}
+		if p.Negated {
+			sb.WriteByte('!')
+		}
+		fmt.Fprintf(&sb, "%d:%d:%d", p.Attr, p.R.Lo, p.R.Hi)
+	}
+	return sb.String()
+}

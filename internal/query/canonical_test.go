@@ -1,0 +1,227 @@
+package query
+
+import (
+	"errors"
+	"math/rand"
+	"testing"
+
+	"acqp/internal/schema"
+)
+
+func canonSchema() *schema.Schema {
+	return schema.New(
+		schema.Attribute{Name: "a", K: 10, Cost: 1},
+		schema.Attribute{Name: "b", K: 10, Cost: 1},
+		schema.Attribute{Name: "c", K: 10, Cost: 1},
+	)
+}
+
+func TestCanonicalOrderInsensitive(t *testing.T) {
+	s := canonSchema()
+	preds := []Pred{
+		{Attr: 2, R: Range{Lo: 1, Hi: 8}},
+		{Attr: 0, R: Range{Lo: 0, Hi: 5}},
+		{Attr: 1, R: Range{Lo: 3, Hi: 9}},
+		{Attr: 0, R: Range{Lo: 2, Hi: 9}}, // overlaps the first a-pred
+	}
+	want, err := Canonical(s, preds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(17))
+	for trial := 0; trial < 20; trial++ {
+		shuffled := append([]Pred(nil), preds...)
+		rng.Shuffle(len(shuffled), func(i, j int) { shuffled[i], shuffled[j] = shuffled[j], shuffled[i] })
+		got, err := Canonical(s, shuffled)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got.Key() != want.Key() {
+			t.Fatalf("trial %d: key %q != %q", trial, got.Key(), want.Key())
+		}
+	}
+	if want.Key() != "0:2:5;1:3:9;2:1:8" {
+		t.Errorf("canonical key = %q", want.Key())
+	}
+}
+
+func TestCanonicalMergesOverlappingRanges(t *testing.T) {
+	s := canonSchema()
+	q, err := Canonical(s,
+		[]Pred{{Attr: 0, R: Range{Lo: 2, Hi: 7}}, {Attr: 0, R: Range{Lo: 5, Hi: 9}}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(q.Preds) != 1 || q.Preds[0].R != (Range{Lo: 5, Hi: 7}) {
+		t.Errorf("merged query = %+v, want single [5,7] on a", q.Preds)
+	}
+}
+
+func TestCanonicalDropsTriviallyTrue(t *testing.T) {
+	s := canonSchema()
+	q, err := Canonical(s, []Pred{
+		{Attr: 0, R: Range{Lo: 0, Hi: 9}},                // full domain
+		{Attr: 1, R: Range{Lo: 0, Hi: 500}},              // clamps to full domain
+		{Attr: 2, R: Range{Lo: 3, Hi: 2}, Negated: true}, // empty hole excludes nothing
+		{Attr: 2, R: Range{Lo: 4, Hi: 6}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(q.Preds) != 1 || q.Preds[0].Attr != 2 || q.Preds[0].R != (Range{Lo: 4, Hi: 6}) {
+		t.Errorf("query = %+v, want only [4,6] on c", q.Preds)
+	}
+	// All predicates trivially true: the empty conjunction.
+	q, err = Canonical(s, []Pred{{Attr: 0, R: Range{Lo: 0, Hi: 9}}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(q.Preds) != 0 || q.Key() != "" {
+		t.Errorf("trivially-true query = %+v key %q, want empty", q.Preds, q.Key())
+	}
+}
+
+func TestCanonicalClampsToDomain(t *testing.T) {
+	s := canonSchema()
+	q, err := Canonical(s, []Pred{{Attr: 0, R: Range{Lo: 4, Hi: 500}}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(q.Preds) != 1 || q.Preds[0].R != (Range{Lo: 4, Hi: 9}) {
+		t.Errorf("clamped query = %+v, want [4,9]", q.Preds)
+	}
+}
+
+func TestCanonicalUnsatisfiable(t *testing.T) {
+	s := canonSchema()
+	cases := [][]Pred{
+		{{Attr: 0, R: Range{Lo: 0, Hi: 3}}, {Attr: 0, R: Range{Lo: 7, Hi: 9}}},
+		{{Attr: 1, R: Range{Lo: 2, Hi: 6}}, {Attr: 1, R: Range{Lo: 0, Hi: 9}, Negated: true}},
+		{{Attr: 2, R: Range{Lo: 5, Hi: 4}}}, // empty positive range
+	}
+	for i, preds := range cases {
+		if _, err := Canonical(s, preds); !errors.Is(err, ErrUnsatisfiable) {
+			t.Errorf("case %d: err = %v, want ErrUnsatisfiable", i, err)
+		}
+	}
+}
+
+func TestCanonicalEdgeHolesFoldIntoRange(t *testing.T) {
+	s := canonSchema()
+	// NOT[0,2] AND NOT[8,9] on a: equivalent to 3 <= a <= 7.
+	q, err := Canonical(s, []Pred{
+		{Attr: 0, R: Range{Lo: 0, Hi: 2}, Negated: true},
+		{Attr: 0, R: Range{Lo: 8, Hi: 9}, Negated: true},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(q.Preds) != 1 || q.Preds[0].Negated || q.Preds[0].R != (Range{Lo: 3, Hi: 7}) {
+		t.Errorf("folded query = %+v, want positive [3,7]", q.Preds)
+	}
+	// Cascading clip: [2,9] positive, NOT[7,9] clips to [2,6], which makes
+	// NOT[5,6] edge-touching -> [2,4].
+	q, err = Canonical(s, []Pred{
+		{Attr: 1, R: Range{Lo: 2, Hi: 9}},
+		{Attr: 1, R: Range{Lo: 7, Hi: 9}, Negated: true},
+		{Attr: 1, R: Range{Lo: 5, Hi: 6}, Negated: true},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(q.Preds) != 1 || q.Preds[0].Negated || q.Preds[0].R != (Range{Lo: 2, Hi: 4}) {
+		t.Errorf("cascaded query = %+v, want positive [2,4]", q.Preds)
+	}
+}
+
+func TestCanonicalInteriorHoles(t *testing.T) {
+	s := canonSchema()
+	// A single interior hole over the full domain stays negated, and
+	// adjacent holes merge first.
+	q, err := Canonical(s, []Pred{
+		{Attr: 0, R: Range{Lo: 3, Hi: 4}, Negated: true},
+		{Attr: 0, R: Range{Lo: 5, Hi: 6}, Negated: true},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(q.Preds) != 1 || !q.Preds[0].Negated || q.Preds[0].R != (Range{Lo: 3, Hi: 6}) {
+		t.Errorf("merged-hole query = %+v, want NOT[3,6]", q.Preds)
+	}
+	// Two disjoint interior holes are not a single-range conjunction.
+	_, err = Canonical(s, []Pred{
+		{Attr: 0, R: Range{Lo: 2, Hi: 3}, Negated: true},
+		{Attr: 0, R: Range{Lo: 6, Hi: 7}, Negated: true},
+	})
+	if !errors.Is(err, ErrNotSingleRange) {
+		t.Errorf("disjoint holes: err = %v, want ErrNotSingleRange", err)
+	}
+	// A sub-domain positive range plus an interior hole likewise.
+	_, err = Canonical(s, []Pred{
+		{Attr: 0, R: Range{Lo: 1, Hi: 8}},
+		{Attr: 0, R: Range{Lo: 4, Hi: 5}, Negated: true},
+	})
+	if !errors.Is(err, ErrNotSingleRange) {
+		t.Errorf("range+hole: err = %v, want ErrNotSingleRange", err)
+	}
+}
+
+func TestCanonicalSemanticsPreserved(t *testing.T) {
+	// Property check: on random predicate soups that canonicalize
+	// successfully, the canonical query agrees with the raw conjunction on
+	// every tuple of the domain.
+	s := schema.New(
+		schema.Attribute{Name: "a", K: 6, Cost: 1},
+		schema.Attribute{Name: "b", K: 6, Cost: 1},
+	)
+	rng := rand.New(rand.NewSource(23))
+	randRange := func() Range {
+		lo := rng.Intn(6)
+		return Range{Lo: schema.Value(lo), Hi: schema.Value(lo + rng.Intn(6-lo))}
+	}
+	evalRaw := func(preds []Pred, row []schema.Value) bool {
+		for _, p := range preds {
+			if !p.Eval(row[p.Attr]) {
+				return false
+			}
+		}
+		return true
+	}
+	for trial := 0; trial < 500; trial++ {
+		n := 1 + rng.Intn(4)
+		preds := make([]Pred, n)
+		for i := range preds {
+			preds[i] = Pred{Attr: rng.Intn(2), R: randRange(), Negated: rng.Intn(3) == 0}
+		}
+		q, err := Canonical(s, preds)
+		if errors.Is(err, ErrNotSingleRange) {
+			continue
+		}
+		unsat := errors.Is(err, ErrUnsatisfiable)
+		if err != nil && !unsat {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		for a := 0; a < 6; a++ {
+			for b := 0; b < 6; b++ {
+				row := []schema.Value{schema.Value(a), schema.Value(b)}
+				raw := evalRaw(preds, row)
+				canon := !unsat && q.Eval(row)
+				if raw != canon {
+					t.Fatalf("trial %d: preds %+v canon %+v disagree on %v: raw=%v canon=%v",
+						trial, preds, q.Preds, row, raw, canon)
+				}
+			}
+		}
+	}
+}
+
+func TestQueryKeyDistinguishesNegation(t *testing.T) {
+	q1 := Query{Preds: []Pred{{Attr: 0, R: Range{Lo: 1, Hi: 3}}}}
+	q2 := Query{Preds: []Pred{{Attr: 0, R: Range{Lo: 1, Hi: 3}, Negated: true}}}
+	if q1.Key() == q2.Key() {
+		t.Error("negated and positive predicates share a key")
+	}
+	if q1.Key() != "0:1:3" || q2.Key() != "!0:1:3" {
+		t.Errorf("keys = %q, %q", q1.Key(), q2.Key())
+	}
+}

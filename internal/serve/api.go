@@ -1,0 +1,409 @@
+package serve
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"time"
+
+	"acqp/internal/exec"
+	"acqp/internal/query"
+	"acqp/internal/schema"
+	"acqp/internal/sql"
+)
+
+// maxBodyBytes bounds request bodies; planning requests are tiny and
+// ingest batches are capped well below this.
+const maxBodyBytes = 1 << 20
+
+// planRequest is the /plan (and /execute) request body.
+type planRequest struct {
+	// SQL is a TinyDB-style statement, e.g.
+	// "SELECT * WHERE 10 <= temp <= 20 AND light > 100".
+	SQL string `json:"sql"`
+	// Planner selects the algorithm: "greedy" (default), "exhaustive",
+	// "corrseq", or "naive".
+	Planner string `json:"planner,omitempty"`
+	// MaxSplits and SplitPoints override the server's greedy defaults.
+	MaxSplits   int `json:"max_splits,omitempty"`
+	SplitPoints int `json:"split_points,omitempty"`
+	// TimeoutMS shortens (never extends) the server's planning deadline.
+	TimeoutMS int `json:"timeout_ms,omitempty"`
+	// NoCache bypasses the plan cache for this request.
+	NoCache bool `json:"no_cache,omitempty"`
+}
+
+// planResponse is the /plan response body.
+type planResponse struct {
+	Plan         string  `json:"plan"`
+	PlanB64      string  `json:"plan_b64"`
+	ExpectedCost float64 `json:"expected_cost"`
+	NaiveCost    float64 `json:"naive_cost"`
+	Splits       int     `json:"splits"`
+	SizeBytes    int     `json:"size_bytes"`
+	Cached       bool    `json:"cached"`
+	Shared       bool    `json:"shared,omitempty"`
+	Degraded     bool    `json:"degraded,omitempty"`
+	Epoch        uint64  `json:"epoch"`
+	Key          string  `json:"key"`
+	PlanMS       float64 `json:"plan_ms"`
+	ElapsedMS    float64 `json:"elapsed_ms"`
+}
+
+type errorResponse struct {
+	Error string `json:"error"`
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	if err := json.NewEncoder(w).Encode(v); err != nil {
+		return // client went away mid-write; nothing useful to do
+	}
+}
+
+func writeError(w http.ResponseWriter, code int, format string, args ...any) {
+	writeJSON(w, code, errorResponse{Error: fmt.Sprintf(format, args...)})
+}
+
+// decodeRequest parses a JSON body strictly (unknown fields rejected).
+func decodeRequest(w http.ResponseWriter, r *http.Request, v any) error {
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxBodyBytes))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(v); err != nil {
+		return err
+	}
+	return nil
+}
+
+// canonicalize parses the request SQL and reduces its WHERE clause to the
+// canonical conjunction. The boolean results distinguish the trivial
+// cases: done=true means a constant-answer response was already written.
+func (s *Server) canonicalize(w http.ResponseWriter, req planRequest) (canon query.Query, trivial, trivialResult bool, ok bool) {
+	if req.SQL == "" {
+		writeError(w, http.StatusBadRequest, "missing sql field")
+		return query.Query{}, false, false, false
+	}
+	st, err := sql.Parse(s.s, req.SQL)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return query.Query{}, false, false, false
+	}
+	preds, conj := st.Predicates()
+	if !conj {
+		writeError(w, http.StatusUnprocessableEntity,
+			"WHERE clause is not a conjunction of range predicates; the planning service handles conjunctive queries only")
+		return query.Query{}, false, false, false
+	}
+	canon, err = query.Canonical(s.s, preds)
+	switch {
+	case errors.Is(err, query.ErrUnsatisfiable):
+		return query.Query{}, true, false, true
+	case errors.Is(err, query.ErrNotSingleRange):
+		writeError(w, http.StatusUnprocessableEntity, "%v", err)
+		return query.Query{}, false, false, false
+	case err != nil:
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return query.Query{}, false, false, false
+	}
+	if len(canon.Preds) == 0 {
+		return query.Query{}, true, true, true
+	}
+	return canon, false, false, true
+}
+
+// handlePlan serves POST /plan.
+func (s *Server) handlePlan(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		writeError(w, http.StatusMethodNotAllowed, "POST required")
+		return
+	}
+	count(&s.metrics.inFlight, 1)
+	defer s.metrics.inFlight.Add(-1)
+	start := time.Now()
+
+	var req planRequest
+	if err := decodeRequest(w, r, &req); err != nil {
+		writeError(w, http.StatusBadRequest, "bad request body: %v", err)
+		return
+	}
+	p, err := s.resolveParams(req)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	canon, trivial, trivialResult, ok := s.canonicalize(w, req)
+	if !ok {
+		return
+	}
+	var out planOutcome
+	var cached, shared bool
+	if trivial {
+		out = s.trivialOutcome(trivialResult, s.Epoch())
+	} else {
+		out, cached, shared, err = s.planCached(r.Context(), canon, p, req.NoCache)
+		if err != nil {
+			writePlanError(w, err)
+			return
+		}
+	}
+	writeJSON(w, http.StatusOK, planResponse{
+		Plan:         out.rendered,
+		PlanB64:      out.encoded,
+		ExpectedCost: out.cost,
+		NaiveCost:    out.naiveCost,
+		Splits:       out.splits,
+		SizeBytes:    out.sizeBytes,
+		Cached:       cached,
+		Shared:       shared,
+		Degraded:     out.degraded,
+		Epoch:        out.epoch,
+		Key:          canon.Key(),
+		PlanMS:       out.planMS,
+		ElapsedMS:    float64(time.Since(start)) / float64(time.Millisecond),
+	})
+}
+
+func writePlanError(w http.ResponseWriter, err error) {
+	switch {
+	case errors.Is(err, errShed):
+		w.Header().Set("Retry-After", "1")
+		writeError(w, http.StatusServiceUnavailable, "%v", err)
+	case errors.Is(err, errShutdown):
+		writeError(w, http.StatusServiceUnavailable, "%v", err)
+	default:
+		writeError(w, http.StatusInternalServerError, "%v", err)
+	}
+}
+
+// executeResponse is the /execute response body: the plan summary plus
+// metered execution over the current statistics window.
+type executeResponse struct {
+	planResponse
+	Tuples       int     `json:"tuples"`
+	Selected     int     `json:"selected"`
+	MeanCost     float64 `json:"mean_cost"`
+	MaxCost      float64 `json:"max_cost"`
+	Mismatches   int     `json:"mismatches"`
+	ExecuteMS    float64 `json:"execute_ms"`
+	WindowTuples int     `json:"window_tuples"`
+}
+
+// handleExecute serves POST /execute: plan (through the cache) and run
+// the plan over the sliding window's tuples with full acquisition
+// metering.
+func (s *Server) handleExecute(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		writeError(w, http.StatusMethodNotAllowed, "POST required")
+		return
+	}
+	count(&s.metrics.inFlight, 1)
+	defer s.metrics.inFlight.Add(-1)
+	start := time.Now()
+
+	var req planRequest
+	if err := decodeRequest(w, r, &req); err != nil {
+		writeError(w, http.StatusBadRequest, "bad request body: %v", err)
+		return
+	}
+	p, err := s.resolveParams(req)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	canon, trivial, trivialResult, ok := s.canonicalize(w, req)
+	if !ok {
+		return
+	}
+	var out planOutcome
+	var cached, shared bool
+	if trivial {
+		out = s.trivialOutcome(trivialResult, s.Epoch())
+	} else {
+		out, cached, shared, err = s.planCached(r.Context(), canon, p, req.NoCache)
+		if err != nil {
+			writePlanError(w, err)
+			return
+		}
+	}
+	s.wmu.Lock()
+	tbl := s.window.Materialize()
+	s.wmu.Unlock()
+	execStart := time.Now()
+	res := exec.Run(s.s, out.node, canon, tbl)
+	count(&s.metrics.executed, 1)
+	writeJSON(w, http.StatusOK, executeResponse{
+		planResponse: planResponse{
+			Plan:         out.rendered,
+			PlanB64:      out.encoded,
+			ExpectedCost: out.cost,
+			NaiveCost:    out.naiveCost,
+			Splits:       out.splits,
+			SizeBytes:    out.sizeBytes,
+			Cached:       cached,
+			Shared:       shared,
+			Degraded:     out.degraded,
+			Epoch:        out.epoch,
+			Key:          canon.Key(),
+			PlanMS:       out.planMS,
+			ElapsedMS:    float64(time.Since(start)) / float64(time.Millisecond),
+		},
+		Tuples:       res.Tuples,
+		Selected:     res.Selected,
+		MeanCost:     res.MeanCost(),
+		MaxCost:      res.MaxCost,
+		Mismatches:   res.Mismatches,
+		ExecuteMS:    float64(time.Since(execStart)) / float64(time.Millisecond),
+		WindowTuples: tbl.NumRows(),
+	})
+}
+
+// ingestRequest is the /ingest request body: a batch of tuples for the
+// statistics window, one value per schema attribute in schema order.
+type ingestRequest struct {
+	Rows [][]int `json:"rows"`
+}
+
+type ingestResponse struct {
+	Accepted     int    `json:"accepted"`
+	WindowTuples int    `json:"window_tuples"`
+	Epoch        uint64 `json:"epoch"`
+}
+
+// handleIngest serves POST /ingest.
+func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		writeError(w, http.StatusMethodNotAllowed, "POST required")
+		return
+	}
+	var req ingestRequest
+	if err := decodeRequest(w, r, &req); err != nil {
+		writeError(w, http.StatusBadRequest, "bad request body: %v", err)
+		return
+	}
+	na := s.s.NumAttrs()
+	row := make([]schema.Value, na)
+	// Validate the whole batch before accepting any of it.
+	for i, raw := range req.Rows {
+		if len(raw) != na {
+			writeError(w, http.StatusBadRequest, "row %d has %d values, schema has %d attributes", i, len(raw), na)
+			return
+		}
+		for a, v := range raw {
+			if v < 0 || v >= s.s.K(a) {
+				writeError(w, http.StatusBadRequest, "row %d: value %d out of domain [0,%d) for %s", i, v, s.s.K(a), s.s.Name(a))
+				return
+			}
+		}
+	}
+	s.wmu.Lock()
+	for _, raw := range req.Rows {
+		for a, v := range raw {
+			row[a] = schema.Value(v)
+		}
+		s.window.Push(row)
+	}
+	n := s.window.Len()
+	s.wmu.Unlock()
+	count(&s.metrics.ingested, int64(len(req.Rows)))
+	writeJSON(w, http.StatusOK, ingestResponse{Accepted: len(req.Rows), WindowTuples: n, Epoch: s.Epoch()})
+}
+
+// refreshRequest is the /refresh request body.
+type refreshRequest struct {
+	// Force bumps the epoch even when the measured drift is below the
+	// threshold.
+	Force bool `json:"force,omitempty"`
+}
+
+type refreshResponse struct {
+	Refreshed bool    `json:"refreshed"`
+	Drift     float64 `json:"drift"`
+	Epoch     uint64  `json:"epoch"`
+	Purged    int     `json:"purged"`
+}
+
+// handleRefresh serves POST /refresh: an on-demand drift check.
+func (s *Server) handleRefresh(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		writeError(w, http.StatusMethodNotAllowed, "POST required")
+		return
+	}
+	var req refreshRequest
+	// An empty body is an unforced refresh.
+	if err := decodeRequest(w, r, &req); err != nil && !errors.Is(err, io.EOF) {
+		writeError(w, http.StatusBadRequest, "bad request body: %v", err)
+		return
+	}
+	refreshed, drift, epoch, purged := s.Refresh(req.Force)
+	writeJSON(w, http.StatusOK, refreshResponse{Refreshed: refreshed, Drift: drift, Epoch: epoch, Purged: purged})
+}
+
+// statsResponse is the /stats response body.
+type statsResponse struct {
+	Schema        []attrInfo `json:"schema"`
+	Epoch         uint64     `json:"epoch"`
+	WindowTuples  int        `json:"window_tuples"`
+	HistoryTuples int        `json:"history_tuples"`
+	CacheEntries  int        `json:"cache_entries"`
+	CacheCapacity int        `json:"cache_capacity"`
+	CacheHitRate  float64    `json:"cache_hit_rate"`
+	PlannerCalls  int64      `json:"planner_calls"`
+	ShedRequests  int64      `json:"shed_requests"`
+	UptimeSec     float64    `json:"uptime_sec"`
+}
+
+type attrInfo struct {
+	Name string  `json:"name"`
+	K    int     `json:"k"`
+	Cost float64 `json:"cost"`
+}
+
+// handleStats serves GET /stats.
+func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		writeError(w, http.StatusMethodNotAllowed, "GET required")
+		return
+	}
+	attrs := make([]attrInfo, s.s.NumAttrs())
+	for i := range attrs {
+		a := s.s.Attr(i)
+		attrs[i] = attrInfo{Name: a.Name, K: a.K, Cost: a.Cost}
+	}
+	s.wmu.Lock()
+	win := s.window.Len()
+	s.wmu.Unlock()
+	n, max := s.cache.lens()
+	writeJSON(w, http.StatusOK, statsResponse{
+		Schema:        attrs,
+		Epoch:         s.Epoch(),
+		WindowTuples:  win,
+		HistoryTuples: s.cfg.History.NumRows(),
+		CacheEntries:  n,
+		CacheCapacity: max,
+		CacheHitRate:  s.metrics.hitRate(),
+		PlannerCalls:  s.metrics.plannerCalls.Load(),
+		ShedRequests:  s.metrics.shed.Load(),
+		UptimeSec:     time.Since(s.started).Seconds(),
+	})
+}
+
+// handleMetrics serves GET /metrics in Prometheus text format.
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		writeError(w, http.StatusMethodNotAllowed, "GET required")
+		return
+	}
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4")
+	n, max := s.cache.lens()
+	if err := s.metrics.write(w, s.Epoch(), n, max); err != nil {
+		return // client went away mid-write
+	}
+}
+
+// handleHealthz serves GET /healthz.
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]any{"ok": true, "epoch": s.Epoch()})
+}

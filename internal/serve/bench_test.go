@@ -1,0 +1,69 @@
+package serve
+
+import (
+	"bytes"
+	"context"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+	"time"
+)
+
+func newBenchServer(b *testing.B) *Server {
+	b.Helper()
+	s := testSchema()
+	srv, err := New(Config{Schema: s, History: testHistory(s, 2000, 42), CacheSize: 8192})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Cleanup(func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		if err := srv.Shutdown(ctx); err != nil {
+			b.Fatal(err)
+		}
+	})
+	return srv
+}
+
+func benchPost(b *testing.B, srv *Server, body string) {
+	b.Helper()
+	req := httptest.NewRequest(http.MethodPost, "/plan", bytes.NewReader([]byte(body)))
+	w := httptest.NewRecorder()
+	srv.ServeHTTP(w, req)
+	if w.Code != http.StatusOK {
+		b.Fatalf("status %d: %s", w.Code, w.Body.String())
+	}
+}
+
+// BenchmarkServeCacheHit measures the full request path — HTTP mux, JSON
+// decode, SQL parse, canonicalization, cache lookup, JSON encode — when
+// the plan is already cached.
+func BenchmarkServeCacheHit(b *testing.B) {
+	srv := newBenchServer(b)
+	const body = `{"sql":"SELECT * WHERE temp > 7 AND light > 11"}`
+	benchPost(b, srv, body) // warm the cache
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		benchPost(b, srv, body)
+	}
+}
+
+// BenchmarkServeCacheMiss measures the same path when every request is a
+// distinct canonical query and the greedy planner must run.
+func BenchmarkServeCacheMiss(b *testing.B) {
+	srv := newBenchServer(b)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		// Cycle distinct (temp, humid) rectangles: 15*16 = 240 distinct
+		// canonical queries, far beyond what one benchtime run revisits
+		// before the cache (8192 entries) would matter, and each repeat
+		// lands on a different epoch-keyed entry only after 240 plans.
+		lo := i % 15
+		hhi := i / 15 % 16
+		benchPost(b, srv, fmt.Sprintf(`{"sql":"SELECT * WHERE temp > %d AND humid <= %d","no_cache":true}`, lo, hhi))
+	}
+}

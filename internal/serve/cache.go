@@ -1,0 +1,90 @@
+package serve
+
+import (
+	"container/list"
+	"sync"
+)
+
+// cacheEntry is one cached planning outcome. Entries are immutable after
+// insertion: the stored plan node is shared by reference across requests,
+// which is safe because plan.Node trees are read-only once built.
+type cacheEntry struct {
+	key     string
+	epoch   uint64
+	outcome planOutcome
+}
+
+// lruCache is a fixed-capacity LRU map from cache key to planning
+// outcome. Keys embed the statistics epoch (see Server.cacheKey), so a
+// stale entry can never be returned for a fresh query; InvalidateBefore
+// additionally purges superseded epochs eagerly so their memory is
+// reclaimed ahead of LRU pressure.
+type lruCache struct {
+	mu  sync.Mutex
+	max int
+	ll  *list.List // front = most recently used; values are *cacheEntry
+	m   map[string]*list.Element
+}
+
+func newLRUCache(max int) *lruCache {
+	if max < 1 {
+		max = 1
+	}
+	return &lruCache{max: max, ll: list.New(), m: make(map[string]*list.Element, max)}
+}
+
+// get returns the cached outcome for key, marking it most recently used.
+func (c *lruCache) get(key string) (planOutcome, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.m[key]
+	if !ok {
+		return planOutcome{}, false
+	}
+	c.ll.MoveToFront(el)
+	return el.Value.(*cacheEntry).outcome, true
+}
+
+// add inserts an outcome, evicting the least recently used entry when the
+// cache is full. Re-adding an existing key refreshes its value and
+// recency.
+func (c *lruCache) add(key string, epoch uint64, out planOutcome) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.m[key]; ok {
+		c.ll.MoveToFront(el)
+		el.Value.(*cacheEntry).outcome = out
+		return
+	}
+	c.m[key] = c.ll.PushFront(&cacheEntry{key: key, epoch: epoch, outcome: out})
+	for c.ll.Len() > c.max {
+		oldest := c.ll.Back()
+		c.ll.Remove(oldest)
+		delete(c.m, oldest.Value.(*cacheEntry).key)
+	}
+}
+
+// invalidateBefore removes every entry planned under an epoch older than
+// the given one, returning how many were purged.
+func (c *lruCache) invalidateBefore(epoch uint64) int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	purged := 0
+	for el := c.ll.Front(); el != nil; {
+		next := el.Next()
+		if e := el.Value.(*cacheEntry); e.epoch < epoch {
+			c.ll.Remove(el)
+			delete(c.m, e.key)
+			purged++
+		}
+		el = next
+	}
+	return purged
+}
+
+// lens returns the current entry count and capacity.
+func (c *lruCache) lens() (n, max int) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.ll.Len(), c.max
+}

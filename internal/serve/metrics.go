@@ -1,0 +1,123 @@
+package serve
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// metrics holds the service counters exposed on /metrics. Counters are
+// atomics; the latency sample buffer has its own lock.
+type metrics struct {
+	cacheHits    atomic.Int64 // /plan answered from the LRU cache
+	flightShared atomic.Int64 // /plan answered by another caller's in-flight planning
+	cacheMisses  atomic.Int64 // /plan that required planning
+	plannerCalls atomic.Int64 // primary planner invocations (excludes sequential fallbacks)
+	degraded     atomic.Int64 // planning outcomes degraded by a deadline
+	shed         atomic.Int64 // requests rejected because the queue was full
+	executed     atomic.Int64 // /execute runs
+	ingested     atomic.Int64 // tuples accepted by /ingest
+	refreshes    atomic.Int64 // statistics refreshes that bumped the epoch
+	invalidated  atomic.Int64 // cache entries purged by epoch bumps
+	inFlight     atomic.Int64 // /plan and /execute requests currently being served
+
+	lat latencyRing
+}
+
+// count adds delta to an atomic counter and returns the new value. The
+// indirection keeps call sites as expression-statements of a non-error
+// function: the errdrop analyzer resolves bare .Add(...) calls by method
+// name alone and would mistake atomic.Int64.Add for the error-returning
+// Add methods elsewhere in the repository.
+func count(c *atomic.Int64, delta int64) int64 { return c.Add(delta) }
+
+// latencyRing keeps the most recent planning latencies for percentile
+// estimation: a fixed ring so memory stays bounded under any load.
+type latencyRing struct {
+	mu      sync.Mutex
+	samples [1024]float64 // milliseconds
+	n       int           // total recorded (ring holds min(n, len))
+}
+
+func (r *latencyRing) record(d time.Duration) {
+	ms := float64(d) / float64(time.Millisecond)
+	r.mu.Lock()
+	r.samples[r.n%len(r.samples)] = ms
+	r.n++
+	r.mu.Unlock()
+}
+
+// percentiles returns the p50/p95/p99 of the retained samples, in
+// milliseconds; zeros when nothing has been recorded.
+func (r *latencyRing) percentiles() (p50, p95, p99 float64) {
+	r.mu.Lock()
+	n := r.n
+	if n > len(r.samples) {
+		n = len(r.samples)
+	}
+	buf := make([]float64, n)
+	copy(buf, r.samples[:n])
+	r.mu.Unlock()
+	if n == 0 {
+		return 0, 0, 0
+	}
+	sort.Float64s(buf)
+	at := func(p float64) float64 {
+		i := int(p*float64(n)+0.5) - 1
+		if i < 0 {
+			i = 0
+		}
+		if i >= n {
+			i = n - 1
+		}
+		return buf[i]
+	}
+	return at(0.50), at(0.95), at(0.99)
+}
+
+// hitRate returns the fraction of /plan requests served without a planner
+// run (cache hits plus singleflight-shared results).
+func (m *metrics) hitRate() float64 {
+	h := m.cacheHits.Load() + m.flightShared.Load()
+	total := h + m.cacheMisses.Load()
+	if total == 0 {
+		return 0
+	}
+	return float64(h) / float64(total)
+}
+
+// write renders the counters in Prometheus text exposition format.
+func (m *metrics) write(w io.Writer, epoch uint64, cacheLen, cacheCap int) error {
+	p50, p95, p99 := m.lat.percentiles()
+	lines := []struct {
+		name string
+		val  float64
+	}{
+		{"acqserved_cache_hits", float64(m.cacheHits.Load())},
+		{"acqserved_flight_shared", float64(m.flightShared.Load())},
+		{"acqserved_cache_misses", float64(m.cacheMisses.Load())},
+		{"acqserved_planner_calls", float64(m.plannerCalls.Load())},
+		{"acqserved_degraded_plans", float64(m.degraded.Load())},
+		{"acqserved_shed_requests", float64(m.shed.Load())},
+		{"acqserved_executions", float64(m.executed.Load())},
+		{"acqserved_ingested_tuples", float64(m.ingested.Load())},
+		{"acqserved_stats_refreshes", float64(m.refreshes.Load())},
+		{"acqserved_cache_invalidated", float64(m.invalidated.Load())},
+		{"acqserved_in_flight", float64(m.inFlight.Load())},
+		{"acqserved_cache_entries", float64(cacheLen)},
+		{"acqserved_cache_capacity", float64(cacheCap)},
+		{"acqserved_stats_epoch", float64(epoch)},
+		{"acqserved_plan_latency_ms_p50", p50},
+		{"acqserved_plan_latency_ms_p95", p95},
+		{"acqserved_plan_latency_ms_p99", p99},
+	}
+	for _, l := range lines {
+		if _, err := fmt.Fprintf(w, "%s %g\n", l.name, l.val); err != nil {
+			return err
+		}
+	}
+	return nil
+}

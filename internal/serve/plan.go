@@ -1,0 +1,248 @@
+package serve
+
+import (
+	"context"
+	"encoding/base64"
+	"errors"
+	"fmt"
+	"time"
+
+	"acqp/internal/opt"
+	"acqp/internal/plan"
+	"acqp/internal/query"
+	"acqp/internal/stats"
+)
+
+// Planning-path errors mapped to HTTP statuses by the handlers.
+var (
+	errShed     = errors.New("serve: planning queue is full")
+	errShutdown = errors.New("serve: server is shutting down")
+)
+
+// plannerParams is the resolved, clamped planner configuration for one
+// request; it is part of the cache key.
+type plannerParams struct {
+	name        string // "greedy", "exhaustive", "corrseq", "naive"
+	maxSplits   int
+	splitPoints int
+	timeout     time.Duration
+}
+
+// resolveParams validates and clamps the request's planner selection.
+func (s *Server) resolveParams(req planRequest) (plannerParams, error) {
+	p := plannerParams{
+		name:        req.Planner,
+		maxSplits:   req.MaxSplits,
+		splitPoints: req.SplitPoints,
+		timeout:     s.cfg.DefaultTimeout,
+	}
+	if p.name == "" {
+		p.name = "greedy"
+	}
+	switch p.name {
+	case "greedy", "exhaustive", "corrseq", "naive":
+	default:
+		return p, fmt.Errorf("unknown planner %q (want greedy, exhaustive, corrseq, or naive)", p.name)
+	}
+	if p.maxSplits <= 0 {
+		p.maxSplits = s.cfg.MaxSplits
+	} else if p.maxSplits > 64 {
+		p.maxSplits = 64
+	}
+	if p.splitPoints <= 0 {
+		p.splitPoints = s.cfg.SplitPoints
+	} else if p.splitPoints > 256 {
+		p.splitPoints = 256
+	}
+	if req.TimeoutMS > 0 {
+		if t := time.Duration(req.TimeoutMS) * time.Millisecond; t < p.timeout {
+			p.timeout = t
+		}
+	}
+	return p, nil
+}
+
+// cacheKey identifies a planning outcome: planner configuration plus the
+// canonical query plus the statistics epoch. The timeout is deliberately
+// excluded — it changes how long planning may take, not which plan is
+// optimal — so clients with different deadlines share cache entries.
+func cacheKey(p plannerParams, q query.Query, epoch uint64) string {
+	return fmt.Sprintf("%s/k%d/s%d@%d|%s", p.name, p.maxSplits, p.splitPoints, epoch, q.Key())
+}
+
+// planOutcome is one completed planning run, in cache-ready form. The
+// node is immutable after planning, so sharing it across cached
+// responses and /execute runs is safe.
+type planOutcome struct {
+	node      *plan.Node
+	rendered  string
+	encoded   string // base64 of the wire encoding
+	cost      float64
+	naiveCost float64
+	splits    int
+	sizeBytes int
+	degraded  bool
+	epoch     uint64
+	planMS    float64
+}
+
+// trivialOutcome wraps a constant-answer plan (empty or unsatisfiable
+// canonical query): no statistics, no planner, zero cost.
+func (s *Server) trivialOutcome(result bool, epoch uint64) planOutcome {
+	return s.finishOutcome(plan.NewLeaf(result), 0, 0, false, epoch, 0)
+}
+
+func (s *Server) finishOutcome(node *plan.Node, cost, naive float64, degraded bool, epoch uint64, elapsed time.Duration) planOutcome {
+	enc := plan.Encode(node)
+	return planOutcome{
+		node:      node,
+		rendered:  plan.Render(node, s.s),
+		encoded:   base64.StdEncoding.EncodeToString(enc),
+		cost:      cost,
+		naiveCost: naive,
+		splits:    node.NumSplits(),
+		sizeBytes: len(enc),
+		degraded:  degraded,
+		epoch:     epoch,
+		planMS:    float64(elapsed) / float64(time.Millisecond),
+	}
+}
+
+// runPlanner executes one planner invocation under the request deadline.
+// It is called from worker goroutines; the distribution snapshot is
+// read-only and each run derives its own conditioning contexts, so
+// concurrent runs never share mutable state.
+func (s *Server) runPlanner(d distEpoch, q query.Query, p plannerParams) (planOutcome, error) {
+	ctx, cancel := context.WithTimeout(s.baseCtx, p.timeout)
+	defer cancel()
+	count(&s.metrics.plannerCalls, 1)
+	start := time.Now()
+
+	var (
+		node     *plan.Node
+		cost     float64
+		degraded bool
+		err      error
+	)
+	switch p.name {
+	case "greedy":
+		g := opt.Greedy{
+			SPSF:      opt.UniformSPSFSame(s.s, p.splitPoints),
+			MaxSplits: p.maxSplits,
+			Base:      opt.SeqOpt,
+		}
+		node, cost = g.Plan(ctx, d.dist, q)
+		degraded = ctx.Err() != nil
+	case "exhaustive":
+		e := opt.Exhaustive{
+			SPSF:   opt.UniformSPSFSame(s.s, p.splitPoints),
+			Budget: s.cfg.ExhaustiveBudget,
+		}
+		node, cost, err = e.Plan(ctx, d.dist, q)
+		if err != nil {
+			if s.baseCtx.Err() != nil {
+				return planOutcome{}, errShutdown
+			}
+			if !errors.Is(err, context.DeadlineExceeded) && !errors.Is(err, opt.ErrBudget) {
+				return planOutcome{}, err
+			}
+			// Deadline or budget exhausted: degrade to the best sequential
+			// plan, which is fast to build and always valid.
+			node, cost, err = opt.CorrSeqPlanner{Alg: opt.SeqGreedy}.Plan(context.Background(), d.dist, q)
+			if err != nil {
+				return planOutcome{}, err
+			}
+			degraded = true
+		}
+	case "corrseq":
+		node, cost, err = opt.CorrSeqPlanner{Alg: opt.SeqOpt}.Plan(ctx, d.dist, q)
+	case "naive":
+		node, cost, err = opt.NaivePlanner{}.Plan(ctx, d.dist, q)
+	}
+	if err != nil {
+		if s.baseCtx.Err() != nil {
+			return planOutcome{}, errShutdown
+		}
+		return planOutcome{}, err
+	}
+	elapsed := time.Since(start)
+	s.metrics.lat.record(elapsed)
+	if degraded {
+		count(&s.metrics.degraded, 1)
+	}
+
+	// The naive baseline cost contextualizes the savings for clients; it
+	// is analytic and cheap relative to any planning run.
+	naive := 0.0
+	if p.name != "naive" {
+		if _, nc, nerr := (opt.NaivePlanner{}).Plan(context.Background(), d.dist, q); nerr == nil {
+			naive = nc
+		}
+	} else {
+		naive = cost
+	}
+	return s.finishOutcome(node, cost, naive, degraded, d.epoch, elapsed), nil
+}
+
+// distEpoch pairs a distribution with the epoch it was installed at.
+type distEpoch struct {
+	dist  stats.Dist
+	epoch uint64
+}
+
+// planCached answers a planning request through the cache and
+// singleflight group. cached reports an LRU hit; shared reports a result
+// taken from a concurrent identical request's run.
+func (s *Server) planCached(reqCtx context.Context, canon query.Query, p plannerParams, noCache bool) (out planOutcome, cached, shared bool, err error) {
+	dist, epoch := s.snapshot()
+	key := cacheKey(p, canon, epoch)
+	if !noCache {
+		if hit, ok := s.cache.get(key); ok {
+			count(&s.metrics.cacheHits, 1)
+			return hit, true, false, nil
+		}
+	}
+	out, err, shared = s.flight.do(reqCtx, key, func() (planOutcome, error) {
+		// Re-check the cache inside the flight: a previous leader may have
+		// populated it between our miss and acquiring leadership.
+		if !noCache {
+			if hit, ok := s.cache.get(key); ok {
+				return hit, nil
+			}
+		}
+		done := make(chan struct{})
+		var jout planOutcome
+		var jerr error
+		job := func() {
+			defer close(done)
+			jout, jerr = s.runPlanner(distEpoch{dist: dist, epoch: epoch}, canon, p)
+		}
+		if !s.submit(job) {
+			count(&s.metrics.shed, 1)
+			return planOutcome{}, errShed
+		}
+		select {
+		case <-done:
+		case <-s.baseCtx.Done():
+			// The job may still be queued, never to run; abandon it.
+			return planOutcome{}, errShutdown
+		}
+		if jerr != nil {
+			return planOutcome{}, jerr
+		}
+		// Degraded plans reflect a deadline, not the query: never cached.
+		if !jout.degraded && !noCache {
+			s.cache.add(key, epoch, jout)
+		}
+		return jout, nil
+	})
+	if err != nil {
+		return planOutcome{}, false, shared, err
+	}
+	if shared {
+		count(&s.metrics.flightShared, 1)
+	} else {
+		count(&s.metrics.cacheMisses, 1)
+	}
+	return out, false, shared, nil
+}

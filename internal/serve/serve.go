@@ -1,0 +1,260 @@
+// Package serve implements a long-running acquisitional query-planning
+// service over the repository's planners: an HTTP/JSON API that parses
+// TinyDB-style SQL, canonicalizes the WHERE clause, and answers planning
+// requests from an LRU plan cache backed by a bounded worker pool.
+//
+// The design follows the deployment the paper sketches in Section 1 — a
+// basestation that compiles each user query into a conditional plan
+// before disseminating it to the motes — hardened for multi-client use:
+//
+//   - Plans are cached per canonical query and statistics epoch, so the
+//     exponential-cost planners run at most once per distinct query
+//     (singleflight collapses concurrent duplicates onto one run).
+//   - Planning runs on a fixed-size worker pool with a bounded queue;
+//     when the queue is full, requests are shed with 503 rather than
+//     piling up unboundedly.
+//   - Each planning run carries a deadline. The greedy planner is an
+//     anytime algorithm and degrades to the best plan found so far; the
+//     exhaustive planner aborts and falls back to the best sequential
+//     plan. Degraded plans are returned but never cached.
+//   - A sliding window of ingested tuples (internal/stream.Window) feeds
+//     a statistics refresher: when the windowed distribution drifts from
+//     the one plans were built on, the epoch advances and stale cache
+//     entries are invalidated.
+package serve
+
+import (
+	"context"
+	"fmt"
+	"net/http"
+	"runtime"
+	"sync"
+	"time"
+
+	"acqp/internal/schema"
+	"acqp/internal/stats"
+	"acqp/internal/stream"
+	"acqp/internal/table"
+)
+
+// Config parameterizes a Server. Zero values select the documented
+// defaults.
+type Config struct {
+	// Schema is the attribute schema all queries are parsed against.
+	// Required.
+	Schema *schema.Schema
+	// History is the initial training data; it seeds both the first
+	// statistics epoch and the sliding window. Required, non-empty.
+	History *table.Table
+
+	// CacheSize bounds the plan cache entry count. Default 256.
+	CacheSize int
+	// Workers is the planning worker-pool size. Default GOMAXPROCS.
+	Workers int
+	// QueueDepth bounds the number of queued (not yet running) planning
+	// jobs; beyond it requests are shed with 503. Default 4*Workers;
+	// negative means no queue (admit only when a worker is idle).
+	QueueDepth int
+	// DefaultTimeout caps each planning run. A request's timeout_ms may
+	// shorten it but never extend it. Default 2s.
+	DefaultTimeout time.Duration
+	// MaxSplits and SplitPoints are the greedy planner defaults applied
+	// when a request does not set them. Defaults 5 and 8.
+	MaxSplits   int
+	SplitPoints int
+	// ExhaustiveBudget caps exhaustive-search subproblem expansions.
+	// Default 2,000,000.
+	ExhaustiveBudget int
+
+	// WindowSize is the sliding statistics window capacity. Default 4096.
+	WindowSize int
+	// RefreshInterval is the cadence of the background drift check; zero
+	// disables it (refresh then happens only via the /refresh endpoint).
+	RefreshInterval time.Duration
+	// DriftThreshold is the total-variation distance (max over
+	// attributes) between the current epoch's distribution and the
+	// window at which a refresh bumps the epoch. Default 0.05.
+	DriftThreshold float64
+}
+
+func (c Config) withDefaults() Config {
+	if c.CacheSize == 0 {
+		c.CacheSize = 256
+	}
+	if c.Workers <= 0 {
+		c.Workers = runtime.GOMAXPROCS(0)
+	}
+	if c.QueueDepth == 0 {
+		c.QueueDepth = 4 * c.Workers
+	}
+	if c.QueueDepth < 0 {
+		c.QueueDepth = 0
+	}
+	if c.DefaultTimeout <= 0 {
+		c.DefaultTimeout = 2 * time.Second
+	}
+	if c.MaxSplits == 0 {
+		c.MaxSplits = 5
+	}
+	if c.SplitPoints == 0 {
+		c.SplitPoints = 8
+	}
+	if c.ExhaustiveBudget == 0 {
+		c.ExhaustiveBudget = 2_000_000
+	}
+	if c.WindowSize == 0 {
+		c.WindowSize = 4096
+	}
+	if c.DriftThreshold == 0 {
+		c.DriftThreshold = 0.05
+	}
+	return c
+}
+
+// Server is the planning service. It implements http.Handler; transport
+// concerns (listening, TLS, connection shutdown) belong to the caller's
+// http.Server.
+type Server struct {
+	cfg Config
+	s   *schema.Schema
+
+	baseCtx context.Context // cancelled by Shutdown; parent of every planning deadline
+	cancel  context.CancelFunc
+
+	mu    sync.RWMutex // guards dist and epoch
+	dist  stats.Dist
+	epoch uint64
+
+	wmu    sync.Mutex // guards window (stream.Window is not goroutine-safe)
+	window *stream.Window
+
+	cache   *lruCache
+	flight  *flightGroup
+	jobs    chan func()
+	wg      sync.WaitGroup // workers + refresher
+	metrics metrics
+	mux     *http.ServeMux
+
+	started time.Time
+}
+
+// New builds and starts a Server: workers begin immediately, and the
+// background refresher starts when Config.RefreshInterval is set. Callers
+// own transport shutdown; Shutdown stops the pool and refresher.
+func New(cfg Config) (*Server, error) {
+	cfg = cfg.withDefaults()
+	if cfg.Schema == nil || cfg.Schema.NumAttrs() == 0 {
+		return nil, fmt.Errorf("serve: config needs a non-empty schema")
+	}
+	if cfg.History == nil || cfg.History.NumRows() == 0 {
+		return nil, fmt.Errorf("serve: config needs non-empty historical data")
+	}
+	win, err := stream.NewWindow(cfg.Schema, cfg.WindowSize)
+	if err != nil {
+		return nil, fmt.Errorf("serve: %v", err)
+	}
+	var row []schema.Value
+	start := cfg.History.NumRows() - cfg.WindowSize
+	if start < 0 {
+		start = 0
+	}
+	for r := start; r < cfg.History.NumRows(); r++ {
+		row = cfg.History.Row(r, row)
+		win.Push(row)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	s := &Server{
+		cfg:     cfg,
+		s:       cfg.Schema,
+		baseCtx: ctx,
+		cancel:  cancel,
+		dist:    stats.NewEmpirical(cfg.History),
+		epoch:   1,
+		window:  win,
+		cache:   newLRUCache(cfg.CacheSize),
+		flight:  newFlightGroup(),
+		jobs:    make(chan func(), cfg.QueueDepth),
+		started: time.Now(),
+	}
+	s.mux = http.NewServeMux()
+	s.mux.HandleFunc("/plan", s.handlePlan)
+	s.mux.HandleFunc("/execute", s.handleExecute)
+	s.mux.HandleFunc("/ingest", s.handleIngest)
+	s.mux.HandleFunc("/refresh", s.handleRefresh)
+	s.mux.HandleFunc("/stats", s.handleStats)
+	s.mux.HandleFunc("/metrics", s.handleMetrics)
+	s.mux.HandleFunc("/healthz", s.handleHealthz)
+
+	for i := 0; i < cfg.Workers; i++ {
+		s.wg.Add(1) //acqlint:ignore errdrop sync.WaitGroup.Add returns nothing; name-collision with error-returning Add methods
+		go s.worker()
+	}
+	if cfg.RefreshInterval > 0 {
+		s.wg.Add(1) //acqlint:ignore errdrop sync.WaitGroup.Add returns nothing; name-collision with error-returning Add methods
+		go s.refresher()
+	}
+	return s, nil
+}
+
+// ServeHTTP implements http.Handler.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
+
+// Epoch returns the current statistics epoch.
+func (s *Server) Epoch() uint64 {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.epoch
+}
+
+// Shutdown cancels all in-flight planning (greedy runs degrade, the
+// exhaustive search aborts), stops the workers and the refresher, and
+// waits for them up to ctx's deadline. HTTP transport shutdown is the
+// caller's responsibility and should happen first, so no new requests
+// race the pool teardown.
+func (s *Server) Shutdown(ctx context.Context) error {
+	s.cancel()
+	done := make(chan struct{})
+	go func() {
+		s.wg.Wait()
+		close(done)
+	}()
+	select {
+	case <-done:
+		return nil
+	case <-ctx.Done():
+		return fmt.Errorf("serve: shutdown wait: %w", ctx.Err())
+	}
+}
+
+// worker executes queued planning jobs until Shutdown.
+func (s *Server) worker() {
+	defer s.wg.Done()
+	for {
+		select {
+		case job := <-s.jobs:
+			job()
+		case <-s.baseCtx.Done():
+			return
+		}
+	}
+}
+
+// submit offers a job to the pool without blocking; false means the queue
+// is full and the request must be shed.
+func (s *Server) submit(job func()) bool {
+	select {
+	case s.jobs <- job:
+		return true
+	default:
+		return false
+	}
+}
+
+// snapshot returns the distribution and epoch a planning run should use.
+// The pair is read atomically so a concurrent refresh cannot mix an old
+// distribution with a new epoch.
+func (s *Server) snapshot() (stats.Dist, uint64) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.dist, s.epoch
+}

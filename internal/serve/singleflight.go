@@ -1,0 +1,55 @@
+package serve
+
+import (
+	"context"
+	"sync"
+)
+
+// flightGroup collapses concurrent calls with the same key into one
+// execution whose result every caller shares — the standard singleflight
+// pattern, hand-rolled on a channel (rather than a WaitGroup) so waiters
+// can also abandon the wait when their context ends.
+type flightGroup struct {
+	mu sync.Mutex
+	m  map[string]*flightCall
+}
+
+type flightCall struct {
+	done chan struct{} // closed when val/err are set
+	val  planOutcome
+	err  error
+}
+
+func newFlightGroup() *flightGroup {
+	return &flightGroup{m: make(map[string]*flightCall)}
+}
+
+// do executes fn for key, unless a call for the same key is already in
+// flight, in which case it waits for that call's result instead. shared
+// reports whether the result came from another caller's execution. When
+// ctx ends while waiting on another caller, do returns ctx.Err() — the
+// in-flight execution itself is not cancelled, since its result may still
+// serve other waiters and the cache.
+func (g *flightGroup) do(ctx context.Context, key string, fn func() (planOutcome, error)) (out planOutcome, err error, shared bool) {
+	g.mu.Lock()
+	if c, ok := g.m[key]; ok {
+		g.mu.Unlock()
+		select {
+		case <-c.done:
+			return c.val, c.err, true
+		case <-ctx.Done():
+			return planOutcome{}, ctx.Err(), true
+		}
+	}
+	c := &flightCall{done: make(chan struct{})}
+	g.m[key] = c
+	g.mu.Unlock()
+
+	c.val, c.err = fn()
+
+	g.mu.Lock()
+	delete(g.m, key)
+	g.mu.Unlock()
+	close(c.done)
+	return c.val, c.err, false
+}

@@ -41,10 +41,33 @@ func (st Statement) Conjunctive(s *schema.Schema) (query.Query, bool) {
 	return q, true
 }
 
+// Predicates returns the WHERE clause's predicates when it is a pure
+// conjunction of (possibly NOT-wrapped) range predicates; ok is false for
+// clauses containing OR or NOT over a non-leaf. A nil WHERE clause yields
+// the empty conjunction (trivially true) with ok true. Unlike
+// Conjunctive, the list may contain several predicates on one attribute;
+// query.Canonical merges them.
+func (st Statement) Predicates() (preds []query.Pred, ok bool) {
+	if st.Where == nil {
+		return nil, true
+	}
+	return flattenConjunction(st.Where)
+}
+
 func flattenConjunction(e *boolq.Expr) ([]query.Pred, bool) {
 	switch e.Op {
 	case boolq.OpPred:
 		return []query.Pred{e.Pred}, true
+	case boolq.OpNot:
+		// Fold NOT over a leaf into the predicate's Negated flag (NOT is
+		// unary: Kids[0] is the operand). Deeper negations (De Morgan)
+		// stay with the boolean planner.
+		if kid := e.Kids[0]; kid.Op == boolq.OpPred {
+			p := kid.Pred
+			p.Negated = !p.Negated
+			return []query.Pred{p}, true
+		}
+		return nil, false
 	case boolq.OpAnd:
 		var out []query.Pred
 		for _, k := range e.Kids {

@@ -7,6 +7,7 @@
 package stream
 
 import (
+	"context"
 	"fmt"
 
 	"acqp/internal/opt"
@@ -158,7 +159,7 @@ func (a *Adaptive) freshPlan() (*plan.Node, float64) {
 		MaxSplits: a.cfg.MaxSplits,
 		Base:      opt.SeqOpt,
 	}
-	return g.Plan(d, a.q)
+	return g.Plan(context.Background(), d, a.q)
 }
 
 // reevaluate compares the running plan against a freshly planned

@@ -1,6 +1,7 @@
 package stream
 
 import (
+	"context"
 	"math/rand"
 	"testing"
 
@@ -157,7 +158,7 @@ func TestAdaptiveMatchesStaticPlannerQuality(t *testing.T) {
 		t.Fatal(err)
 	}
 	g := opt.Greedy{SPSF: opt.FullSPSF(s), MaxSplits: 5, Base: opt.SeqOpt}
-	static, _ := g.Plan(stats.NewEmpirical(hist), q)
+	static, _ := g.Plan(context.Background(), stats.NewEmpirical(hist), q)
 
 	test := phaseTable(s, 3000, 0, 7)
 	var row []schema.Value
