@@ -40,6 +40,7 @@ package acqp
 
 import (
 	"context"
+	"fmt"
 
 	"acqp/internal/boolq"
 	"acqp/internal/datagen"
@@ -171,11 +172,70 @@ var (
 	ExecuteExistsOrdered = exec.RunExistsOrdered
 )
 
-// Options configures Optimize.
+// Algorithm selects the planning algorithm Optimize runs. The zero value
+// is AlgorithmGreedy, so an Options zero value keeps its historical
+// greedy behavior.
+type Algorithm int
+
+const (
+	// AlgorithmGreedy is the paper's Heuristic-k conditional planner
+	// (Section 4.2): anytime, polynomial, the default.
+	AlgorithmGreedy Algorithm = iota
+	// AlgorithmExhaustive is the optimal dynamic-programming search of
+	// Section 3.2, exponential in the SPSF; bound it with Budget.
+	AlgorithmExhaustive
+	// AlgorithmCorrSeq is the correlation-aware sequential baseline
+	// (CorrSeq in the paper's evaluation): no conditioning splits.
+	AlgorithmCorrSeq
+	// AlgorithmNaive is the traditional optimizer baseline: predicates
+	// ordered by cost over marginal selectivity, ignoring correlations.
+	AlgorithmNaive
+)
+
+// String returns the algorithm's canonical lowercase name, matching the
+// planning service's "planner" request field.
+func (a Algorithm) String() string {
+	switch a {
+	case AlgorithmGreedy:
+		return "greedy"
+	case AlgorithmExhaustive:
+		return "exhaustive"
+	case AlgorithmCorrSeq:
+		return "corrseq"
+	case AlgorithmNaive:
+		return "naive"
+	default:
+		return fmt.Sprintf("algorithm(%d)", int(a))
+	}
+}
+
+// ParseAlgorithm maps a canonical name back to its Algorithm.
+func ParseAlgorithm(name string) (Algorithm, error) {
+	switch name {
+	case "greedy":
+		return AlgorithmGreedy, nil
+	case "exhaustive":
+		return AlgorithmExhaustive, nil
+	case "corrseq":
+		return AlgorithmCorrSeq, nil
+	case "naive":
+		return AlgorithmNaive, nil
+	default:
+		return 0, fmt.Errorf("acqp: unknown algorithm %q (want greedy, exhaustive, corrseq, or naive)", name)
+	}
+}
+
+// Options configures Optimize. The zero value selects the documented
+// defaults (greedy planning, 5 splits, 8 split points, sequential search),
+// so existing callers passing Options{} keep their behavior; new callers
+// should start from DefaultOptions.
 type Options struct {
+	// Algorithm selects the planner. The zero value is AlgorithmGreedy.
+	Algorithm Algorithm
 	// MaxSplits bounds the number of conditioning splits (the paper's
 	// Heuristic-k). Zero means the default of 5; a negative value
-	// requests a purely sequential plan (Heuristic-0).
+	// requests a purely sequential plan (Heuristic-0). Ignored by the
+	// non-greedy algorithms.
 	MaxSplits int
 	// SplitPoints is the per-attribute SPSF candidate count. Default 8.
 	SplitPoints int
@@ -188,6 +248,48 @@ type Options struct {
 	// charged alpha cost units per extra wire byte, so plan size is
 	// traded off against acquisition savings instead of being hard-capped.
 	DisseminationAlpha float64
+	// Parallelism bounds the goroutines the planner may use to evaluate
+	// candidate splits and frontier leaves concurrently. Zero or one
+	// plans sequentially. Plans are deterministic regardless of
+	// Parallelism: identical cost bits and plan shape at any setting.
+	Parallelism int
+	// Budget caps exhaustive-search subproblem expansions; 0 means no
+	// cap. When exceeded, Optimize returns ErrBudgetExceeded. Ignored by
+	// the other algorithms.
+	Budget int
+}
+
+// DefaultOptions returns the documented defaults with every knob explicit.
+func DefaultOptions() Options {
+	return Options{
+		Algorithm:   AlgorithmGreedy,
+		MaxSplits:   5,
+		SplitPoints: 8,
+		Parallelism: 1,
+	}
+}
+
+// Validate reports whether the options are well-formed: a known algorithm
+// and non-negative knobs. withDefaults-style zero values are valid.
+func (o Options) Validate() error {
+	switch o.Algorithm {
+	case AlgorithmGreedy, AlgorithmExhaustive, AlgorithmCorrSeq, AlgorithmNaive:
+	default:
+		return fmt.Errorf("acqp: unknown algorithm %d", int(o.Algorithm))
+	}
+	if o.SplitPoints < 0 {
+		return fmt.Errorf("acqp: negative SplitPoints %d", o.SplitPoints)
+	}
+	if o.Parallelism < 0 {
+		return fmt.Errorf("acqp: negative Parallelism %d", o.Parallelism)
+	}
+	if o.Budget < 0 {
+		return fmt.Errorf("acqp: negative Budget %d", o.Budget)
+	}
+	if o.DisseminationAlpha < 0 {
+		return fmt.Errorf("acqp: negative DisseminationAlpha %g", o.DisseminationAlpha)
+	}
+	return nil
 }
 
 func (o Options) withDefaults() Options {
@@ -200,57 +302,91 @@ func (o Options) withDefaults() Options {
 	if o.SplitPoints == 0 {
 		o.SplitPoints = 8
 	}
+	if o.Parallelism <= 0 {
+		o.Parallelism = 1
+	}
 	return o
 }
 
-// Optimize builds a conditional plan for the query with the greedy
-// heuristic planner of Section 4.2 (the paper's Heuristic-k) and returns
-// it with its expected acquisition cost under the distribution.
+// Optimize builds a conditional plan for the query with the selected
+// algorithm and returns it with its expected acquisition cost under the
+// distribution.
 //
-// Greedy planning is anytime: if ctx is cancelled or its deadline expires
-// mid-search, Optimize stops expanding and returns the best complete plan
-// found so far (at worst a purely sequential plan) rather than an error.
+// Greedy planning (the default) is anytime: if ctx is cancelled or its
+// deadline expires mid-search, Optimize stops expanding and returns the
+// best complete plan found so far (at worst a purely sequential plan)
+// rather than an error. The exhaustive search cannot degrade: cancelling
+// ctx aborts it with ctx.Err(), and exceeding Budget aborts it with
+// ErrBudgetExceeded.
 func Optimize(ctx context.Context, d Dist, q Query, o Options) (*Plan, float64, error) {
+	if err := o.Validate(); err != nil {
+		return nil, 0, err
+	}
 	o = o.withDefaults()
-	base := opt.SeqOpt
-	if o.UseGreedyBase {
-		base = opt.SeqGreedy
+	switch o.Algorithm {
+	case AlgorithmExhaustive:
+		e := opt.Exhaustive{
+			SPSF:        opt.UniformSPSFSame(d.Schema(), o.SplitPoints),
+			Budget:      o.Budget,
+			Parallelism: o.Parallelism,
+		}
+		node, cost, err := e.Plan(ctx, d, q)
+		if err != nil {
+			return nil, 0, convertPlannerError(err)
+		}
+		return node, cost, nil
+	case AlgorithmCorrSeq:
+		node, cost, err := opt.CorrSeqPlanner{Alg: opt.SeqOpt}.Plan(ctx, d, q)
+		return node, cost, err
+	case AlgorithmNaive:
+		node, cost, err := opt.NaivePlanner{}.Plan(ctx, d, q)
+		return node, cost, err
+	default: // AlgorithmGreedy
+		base := opt.SeqOpt
+		if o.UseGreedyBase {
+			base = opt.SeqGreedy
+		}
+		g := opt.Greedy{
+			SPSF:        opt.UniformSPSFSame(d.Schema(), o.SplitPoints),
+			MaxSplits:   o.MaxSplits,
+			Base:        base,
+			Alpha:       o.DisseminationAlpha,
+			Parallelism: o.Parallelism,
+		}
+		node, cost := g.Plan(ctx, d, q)
+		return node, cost, nil
 	}
-	g := opt.Greedy{
-		SPSF:      opt.UniformSPSFSame(d.Schema(), o.SplitPoints),
-		MaxSplits: o.MaxSplits,
-		Base:      base,
-		Alpha:     o.DisseminationAlpha,
-	}
-	node, cost := g.Plan(ctx, d, q)
-	return node, cost, nil
 }
 
 // OptimizeExhaustive builds the optimal conditional plan with the
 // exponential-time exhaustive planner of Section 3.2, restricted to the
 // given per-attribute split-point count. budget caps the number of
-// subproblems explored (0 = unlimited); opt.ErrBudget is returned when
-// exceeded. Unlike Optimize, the exhaustive search cannot degrade
-// gracefully: cancelling ctx aborts it with ctx.Err().
+// subproblems explored (0 = unlimited); ErrBudgetExceeded is returned when
+// exceeded.
+//
+// Deprecated-style convenience kept for source compatibility: new code
+// should call Optimize with Algorithm: AlgorithmExhaustive.
 func OptimizeExhaustive(ctx context.Context, d Dist, q Query, splitPoints, budget int) (*Plan, float64, error) {
-	e := opt.Exhaustive{
-		SPSF:   opt.UniformSPSFSame(d.Schema(), splitPoints),
-		Budget: budget,
-	}
-	return e.Plan(ctx, d, q)
+	return Optimize(ctx, d, q, Options{
+		Algorithm:   AlgorithmExhaustive,
+		SplitPoints: splitPoints,
+		Budget:      budget,
+	})
 }
 
 // NaivePlan builds the traditional optimizer baseline: predicates ordered
 // by cost over marginal failure probability, ignoring correlations.
 func NaivePlan(d Dist, q Query) (*Plan, float64) {
-	node, cost, _ := opt.NaivePlanner{}.Plan(context.Background(), d, q)
+	//acqlint:ignore errdrop sequential baseline under a background context and fixed valid options cannot fail
+	node, cost, _ := Optimize(context.Background(), d, q, Options{Algorithm: AlgorithmNaive})
 	return node, cost
 }
 
 // CorrSeqPlan builds the correlation-aware sequential baseline (CorrSeq
 // in the paper's evaluation).
 func CorrSeqPlan(d Dist, q Query) (*Plan, float64) {
-	node, cost, _ := opt.CorrSeqPlanner{Alg: opt.SeqOpt}.Plan(context.Background(), d, q)
+	//acqlint:ignore errdrop sequential baseline under a background context and fixed valid options cannot fail
+	node, cost, _ := Optimize(context.Background(), d, q, Options{Algorithm: AlgorithmCorrSeq})
 	return node, cost
 }
 

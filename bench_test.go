@@ -9,11 +9,18 @@
 package acqp_test
 
 import (
+	"bytes"
 	"context"
+	"fmt"
 	"testing"
 
 	"acqp"
+	"acqp/internal/datagen"
 	"acqp/internal/experiments"
+	"acqp/internal/opt"
+	"acqp/internal/plan"
+	"acqp/internal/query"
+	"acqp/internal/stats"
 	"acqp/internal/workload"
 )
 
@@ -112,6 +119,54 @@ func BenchmarkModelAblation(b *testing.B) {
 		if _, err := experiments.ModelAblation(benchEnv); err != nil {
 			b.Fatal(err)
 		}
+	}
+}
+
+// BenchmarkPlanParallel measures the parallel exhaustive search on the
+// Garden-11 workload of the speedup study (acqbench -fig parallel): one
+// heavy query, SPSF restricted to the time attribute plus the queried
+// attributes. Sub-benchmarks vary only the worker count, and every
+// iteration checks the encoded plan is byte-identical to the workers=1
+// plan; ci.sh tees the output to results/parallel-bench.txt and gates on
+// the ns/op ratio when the host has enough cores for parallel speedup to
+// be physically possible.
+func BenchmarkPlanParallel(b *testing.B) {
+	cfg := datagen.DefaultGardenConfig(11)
+	cfg.Rows = 6_000
+	tbl := datagen.Garden(cfg)
+	train, _ := tbl.Split(0.6)
+	s := tbl.Schema()
+	qcfg := workload.DefaultGardenQueryConfig(11)
+	qcfg.Count = 1
+	gq := workload.GardenQueries(train, qcfg)[0]
+	q := query.MustNewQuery(s, gq.Preds[:4]...)
+	r := make([]int, s.NumAttrs())
+	r[0] = 6 // time drives the correlations
+	for _, p := range q.Preds {
+		r[p.Attr] = 6
+	}
+	spsf, err := opt.UniformSPSF(s, r)
+	if err != nil {
+		b.Fatal(err)
+	}
+	d := stats.NewEmpirical(train)
+	var baseline []byte
+	for _, workers := range []int{1, 8} {
+		b.Run(fmt.Sprintf("Exhaustive/workers=%d", workers), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				ex := opt.Exhaustive{SPSF: spsf, Budget: 50_000_000, Parallelism: workers}
+				node, _, err := ex.Plan(context.Background(), d, q)
+				if err != nil {
+					b.Fatal(err)
+				}
+				enc := plan.Encode(node)
+				if baseline == nil {
+					baseline = enc
+				} else if !bytes.Equal(enc, baseline) {
+					b.Fatalf("plan at %d workers differs from the workers=1 plan", workers)
+				}
+			}
+		})
 	}
 }
 

@@ -11,7 +11,12 @@
 #              planning-service request path)
 #   acqserved  an end-to-end smoke: boot the planning service on an
 #              ephemeral port, drive it with acqload, shut down cleanly
-#   benchmarks the serve cache hit/miss paths, teed to results/
+#   benchmarks the serve cache hit/miss paths and the parallel planner,
+#              teed to results/; the parallel run always verifies plans
+#              are byte-identical across worker counts, and on hosts with
+#              >= 4 cores additionally gates on a 2x exhaustive speedup
+#              at 8 workers (a single-core host cannot speed up threads,
+#              so the ratio check is skipped there)
 #
 # FUZZTIME overrides the per-target fuzzing budget (default 5s).
 set -euo pipefail
@@ -72,5 +77,30 @@ grep -q "acqserved: done" "$smokedir/acqserved.log"
 echo "== serve benchmarks"
 mkdir -p results
 go test -run='^$' -bench='BenchmarkServe' -benchtime=200x ./internal/serve | tee results/serve-bench.txt
+
+echo "== parallel plan benchmark"
+# The benchmark itself fails if any worker count produces a different
+# plan, so determinism is enforced on every host.
+go test -run='^$' -bench='BenchmarkPlanParallel' -benchtime=1x . | tee results/parallel-bench.txt
+cores=$(nproc)
+if [ "$cores" -ge 4 ]; then
+	awk '
+		/\/workers=1[^0-9]/ { base = $3 }
+		/\/workers=8[^0-9]/ { par = $3 }
+		END {
+			if (base == "" || par == "") {
+				print "parallel-bench: missing workers=1 or workers=8 measurement" > "/dev/stderr"
+				exit 1
+			}
+			speedup = base / par
+			printf "parallel exhaustive speedup at 8 workers: %.2fx\n", speedup
+			if (speedup < 2.0) {
+				print "parallel-bench: speedup below the 2x gate" > "/dev/stderr"
+				exit 1
+			}
+		}' results/parallel-bench.txt
+else
+	echo "parallel speedup gate skipped: $cores core(s); plans still verified byte-identical"
+fi
 
 echo "CI OK"

@@ -40,6 +40,7 @@ func main() {
 	splitPoints := flag.Int("spsf", 8, "candidate split points per attribute")
 	dot := flag.Bool("dot", false, "emit Graphviz instead of indented text")
 	timeout := flag.Duration("timeout", 0, "planning deadline (e.g. 100ms); 0 means none. The greedy planner returns the best plan found so far, the exhaustive planner aborts")
+	parallelism := flag.Int("parallelism", 1, "planner worker count; the plan is identical at every setting")
 	flag.Parse()
 
 	if *schemaSpec == "" || (*querySpec == "" && *sqlSpec == "") || *dataPath == "" {
@@ -92,12 +93,24 @@ func main() {
 	var p *acqp.Plan
 	var cost float64
 	if *exhaustive {
-		p, cost, err = acqp.OptimizeExhaustive(ctx, d, q, *splitPoints, 5_000_000)
+		p, cost, err = acqp.Optimize(ctx, d, q, acqp.Options{
+			Algorithm:   acqp.AlgorithmExhaustive,
+			SplitPoints: *splitPoints,
+			Budget:      5_000_000,
+			Parallelism: *parallelism,
+		})
 		if errors.Is(err, context.DeadlineExceeded) {
 			fatal(fmt.Errorf("exhaustive search hit the %v deadline; re-run without -exhaustive for an anytime plan", *timeout))
 		}
+		if errors.Is(err, acqp.ErrBudgetExceeded) {
+			fatal(fmt.Errorf("exhaustive search exceeded its subproblem budget; re-run without -exhaustive for an anytime plan"))
+		}
 	} else {
-		p, cost, err = acqp.Optimize(ctx, d, q, acqp.Options{MaxSplits: *splits, SplitPoints: *splitPoints})
+		p, cost, err = acqp.Optimize(ctx, d, q, acqp.Options{
+			MaxSplits:   *splits,
+			SplitPoints: *splitPoints,
+			Parallelism: *parallelism,
+		})
 		if err == nil && ctx.Err() != nil {
 			fmt.Fprintf(os.Stderr, "acqplan: %v deadline hit; plan is the best found so far\n", *timeout)
 		}

@@ -44,6 +44,7 @@ func main() {
 	window := flag.Int("window", 0, "sliding statistics window capacity (0 = 4096)")
 	refresh := flag.Duration("refresh", 0, "background drift-check interval (0 = on-demand /refresh only)")
 	drift := flag.Float64("drift", 0, "total-variation drift threshold for an epoch bump (0 = 0.05)")
+	parallelism := flag.Int("parallelism", 0, "default planner worker count per request (0 = 1, capped at GOMAXPROCS)")
 	flag.Parse()
 
 	if *schemaSpec == "" || *dataPath == "" {
@@ -71,6 +72,7 @@ func main() {
 		Workers:         *workers,
 		QueueDepth:      *queue,
 		DefaultTimeout:  *timeout,
+		PlanParallelism: *parallelism,
 		WindowSize:      *window,
 		RefreshInterval: *refresh,
 		DriftThreshold:  *drift,

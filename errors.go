@@ -1,0 +1,64 @@
+package acqp
+
+import (
+	"errors"
+	"fmt"
+
+	"acqp/internal/opt"
+	"acqp/internal/query"
+)
+
+// Typed sentinel errors of the facade. Callers match them with errors.Is
+// instead of string comparison:
+//
+//	if errors.Is(err, acqp.ErrBudgetExceeded) { ... }
+//
+// Each sentinel wraps the internal error it abstracts, so errors.Is on a
+// facade sentinel also matches the internal sentinel (the reverse is not
+// true: internal errors escaping a lower layer must be converted at the
+// facade boundary, which Optimize and Canonicalize do).
+var (
+	// ErrUnsatisfiable reports a query whose predicates admit no tuple.
+	// It wraps query.ErrUnsatisfiable.
+	ErrUnsatisfiable error = wrappedSentinel{
+		msg:   "acqp: query predicates are unsatisfiable",
+		inner: query.ErrUnsatisfiable,
+	}
+	// ErrBudgetExceeded reports an exhaustive search aborted by its
+	// subproblem budget. It wraps opt.ErrBudget.
+	ErrBudgetExceeded error = wrappedSentinel{
+		msg:   "acqp: exhaustive planning exceeded its subproblem budget",
+		inner: opt.ErrBudget,
+	}
+)
+
+// wrappedSentinel is a sentinel error that chains to the internal error it
+// re-exports.
+type wrappedSentinel struct {
+	msg   string
+	inner error
+}
+
+func (s wrappedSentinel) Error() string { return s.msg }
+func (s wrappedSentinel) Unwrap() error { return s.inner }
+
+// convertPlannerError lifts internal planner errors to the facade's typed
+// sentinels; everything else passes through unchanged.
+func convertPlannerError(err error) error {
+	if errors.Is(err, opt.ErrBudget) {
+		return fmt.Errorf("%w", ErrBudgetExceeded)
+	}
+	return err
+}
+
+// Canonicalize reduces a predicate list to the canonical conjunctive query
+// (per-attribute range intersection, clamping, hole folding). It returns
+// ErrUnsatisfiable when the predicates admit no tuple; the remaining
+// canonicalization errors of internal/query pass through.
+func Canonicalize(s *Schema, preds []Pred) (Query, error) {
+	q, err := query.Canonical(s, preds)
+	if errors.Is(err, query.ErrUnsatisfiable) {
+		return q, fmt.Errorf("%w", ErrUnsatisfiable)
+	}
+	return q, err
+}

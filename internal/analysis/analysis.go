@@ -56,6 +56,7 @@ func Analyzers() []*Analyzer {
 		MapOrder,
 		PanicPolicy,
 		ErrDrop,
+		CondShare,
 	}
 }
 

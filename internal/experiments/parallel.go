@@ -1,0 +1,182 @@
+package experiments
+
+import (
+	"bytes"
+	"fmt"
+	"io"
+	"time"
+
+	"acqp/internal/datagen"
+	"acqp/internal/opt"
+	"acqp/internal/plan"
+	"acqp/internal/query"
+	"acqp/internal/schema"
+	"acqp/internal/stats"
+	"acqp/internal/workload"
+)
+
+// ParallelPoint is one (workload, algorithm, parallelism) measurement,
+// aggregated over the workload's queries and repeats.
+type ParallelPoint struct {
+	Workload    string
+	Algorithm   string
+	Parallelism int
+	// MillisPerQuery is the best-of-repeats mean wall-clock planning time.
+	MillisPerQuery float64
+	// Speedup is the parallelism-1 time divided by this point's time.
+	Speedup float64
+}
+
+// ParallelResult holds the parallel-search speedup study: wall-clock
+// planning time versus worker count on the Garden-11 and Babu synthetic
+// workloads, with the plans verified byte-identical at every level.
+type ParallelResult struct {
+	Points  []ParallelPoint
+	Queries int
+	Repeats int
+}
+
+// parallelWorkload is one dataset/query-set under study.
+type parallelWorkload struct {
+	name    string
+	dist    stats.Dist
+	queries []query.Query
+	spsf    opt.SPSF
+}
+
+// parallelWorkloads builds the two workloads. Garden-11 queries are cut
+// down to the first two motes (4 predicates) and the SPSF restricted to
+// the time attribute plus the queried attributes, so the exhaustive
+// search is heavy but tractable; the synthetic workload uses the paper's
+// Gamma=3, n=10 setting whose binary domains keep the full SPSF small.
+func parallelWorkloads(e *Env, queries int) []parallelWorkload {
+	gtbl := e.Garden(11)
+	gtrain, _ := gtbl.Split(TrainFrac)
+	gs := gtbl.Schema()
+	cfg := workload.DefaultGardenQueryConfig(11)
+	cfg.Count = queries
+	var gqs []query.Query
+	for _, q := range workload.GardenQueries(gtrain, cfg) {
+		// Each garden query carries a (temp, hum) predicate pair per mote;
+		// keep motes 0 and 1.
+		gqs = append(gqs, query.MustNewQuery(gs, q.Preds[:4]...))
+	}
+	gspsf := gardenParallelSPSF(gs, gqs)
+
+	scfg := datagen.SynthConfig{N: 10, Gamma: 3, Sel: 0.7, Rows: e.SynthRows(), Seed: 61}
+	stbl := datagen.Synthetic(scfg)
+	strain, _ := stbl.Split(TrainFrac)
+	ss := stbl.Schema()
+	sqs := make([]query.Query, 0, queries)
+	for i := 0; i < queries; i++ {
+		sqs = append(sqs, datagen.SynthQuery(ss))
+	}
+
+	return []parallelWorkload{
+		{name: "Garden-11", dist: stats.NewEmpirical(gtrain), queries: gqs, spsf: gspsf},
+		{name: "Babu synthetic", dist: stats.NewEmpirical(strain), queries: sqs, spsf: opt.FullSPSF(ss)},
+	}
+}
+
+// gardenParallelSPSF allows conditioning only on the cheap time attribute
+// and the attributes the workload queries touch; every other attribute
+// gets zero split points, which keeps the exhaustive box space bounded on
+// the 34-attribute Garden-11 schema.
+func gardenParallelSPSF(s *schema.Schema, qs []query.Query) opt.SPSF {
+	r := make([]int, s.NumAttrs())
+	r[0] = 6 // time drives the correlations
+	for _, q := range qs {
+		for _, p := range q.Preds {
+			r[p.Attr] = 6
+		}
+	}
+	sp, err := opt.UniformSPSF(s, r)
+	if err != nil {
+		panic("experiments: garden SPSF: " + err.Error())
+	}
+	return sp
+}
+
+// ParallelSpeedup measures the tentpole's payoff: identical plans, less
+// wall-clock. For every workload and worker count it plans each query
+// with the exhaustive and greedy planners, checks the encoded plan is
+// byte-identical to the single-worker run, and reports the speedup.
+func ParallelSpeedup(e *Env) (ParallelResult, error) {
+	queries, repeats := 4, 3
+	levels := []int{1, 2, 4, 8}
+	if e.Scale == Quick {
+		queries, repeats = 2, 1
+		levels = []int{1, 4}
+	}
+	res := ParallelResult{Queries: queries, Repeats: repeats}
+	for _, w := range parallelWorkloads(e, queries) {
+		for _, algo := range []string{"Exhaustive", "Heuristic-6"} {
+			baseline := 0.0
+			var want [][]byte
+			for _, par := range levels {
+				var best float64
+				for rep := 0; rep < repeats; rep++ {
+					start := time.Now()
+					var encoded [][]byte
+					for _, q := range w.queries {
+						var node *plan.Node
+						var err error
+						if algo == "Exhaustive" {
+							ex := opt.Exhaustive{SPSF: w.spsf, Budget: 50_000_000, Parallelism: par}
+							node, _, err = ex.Plan(e.ctx(), w.dist, q)
+						} else {
+							g := opt.Greedy{SPSF: w.spsf, MaxSplits: 6, Base: opt.SeqGreedy, Parallelism: par}
+							node, _ = g.Plan(e.ctx(), w.dist, q)
+							err = e.ctx().Err()
+						}
+						if err != nil {
+							return res, fmt.Errorf("%s/%s parallelism %d: %w", w.name, algo, par, err)
+						}
+						encoded = append(encoded, plan.Encode(node))
+					}
+					elapsed := float64(time.Since(start)) / float64(time.Millisecond) / float64(len(w.queries))
+					if rep == 0 || elapsed < best {
+						best = elapsed
+					}
+					if want == nil {
+						want = encoded
+					}
+					for i := range encoded {
+						if !bytes.Equal(encoded[i], want[i]) {
+							return res, fmt.Errorf("%s/%s: plan for query %d differs at parallelism %d",
+								w.name, algo, i, par)
+						}
+					}
+				}
+				if par == 1 {
+					baseline = best
+				}
+				speedup := 0.0
+				if best > 0 {
+					speedup = baseline / best
+				}
+				res.Points = append(res.Points, ParallelPoint{
+					Workload: w.name, Algorithm: algo, Parallelism: par,
+					MillisPerQuery: best, Speedup: speedup,
+				})
+			}
+		}
+	}
+	return res, nil
+}
+
+// WriteTable renders the study.
+func (r ParallelResult) WriteTable(w io.Writer) error {
+	var rows [][]string
+	for _, p := range r.Points {
+		rows = append(rows, []string{
+			p.Workload, p.Algorithm, fmt.Sprintf("%d", p.Parallelism),
+			f2(p.MillisPerQuery), fmt.Sprintf("%.2fx", p.Speedup),
+		})
+	}
+	return WriteTable(w,
+		fmt.Sprintf("Parallel search speedup — %d queries/workload, best of %d runs, plans byte-identical across worker counts",
+			r.Queries, r.Repeats),
+		[]string{"workload", "algorithm", "workers", "ms/query", "speedup"},
+		rows)
+}

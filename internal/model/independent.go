@@ -14,6 +14,8 @@
 package model
 
 import (
+	"sync"
+
 	"acqp/internal/query"
 	"acqp/internal/schema"
 	"acqp/internal/stats"
@@ -65,7 +67,18 @@ func (m *Independent) Root() stats.Cond {
 		}
 		masks[a] = mask
 	}
-	return &indCond{m: m, masks: masks, weight: m.rows}
+	return newIndCond(m, masks, m.rows)
+}
+
+func newIndCond(m *Independent, masks [][]float64, weight float64) *indCond {
+	return &indCond{m: m, masks: masks, weight: weight, hists: make([]indHist, m.s.NumAttrs())}
+}
+
+// indHist is one attribute's lazily published renormalized marginal;
+// once makes the publication safe for concurrent readers.
+type indHist struct {
+	once sync.Once
+	h    []float64
 }
 
 // indCond conditions the independence model: evidence is a per-attribute
@@ -74,36 +87,33 @@ type indCond struct {
 	m      *Independent
 	masks  [][]float64
 	weight float64
-	hists  []([]float64)
+	hists  []indHist
 }
 
 func (c *indCond) Weight() float64 { return c.weight }
 
 func (c *indCond) Hist(attr int) []float64 {
-	if c.hists == nil {
-		c.hists = make([][]float64, c.m.s.NumAttrs())
-	}
-	if h := c.hists[attr]; h != nil {
-		return h
-	}
-	k := c.m.s.K(attr)
-	h := make([]float64, k)
-	var z float64
-	for v := 0; v < k; v++ {
-		h[v] = c.m.marg[attr][v] * c.masks[attr][v]
-		z += h[v]
-	}
-	if z <= 0 {
-		for v := range h {
-			h[v] = 1 / float64(k)
+	st := &c.hists[attr]
+	st.once.Do(func() {
+		k := c.m.s.K(attr)
+		h := make([]float64, k)
+		var z float64
+		for v := 0; v < k; v++ {
+			h[v] = c.m.marg[attr][v] * c.masks[attr][v]
+			z += h[v]
 		}
-	} else {
-		for v := range h {
-			h[v] /= z
+		if z <= 0 {
+			for v := range h {
+				h[v] = 1 / float64(k)
+			}
+		} else {
+			for v := range h {
+				h[v] /= z
+			}
 		}
-	}
-	c.hists[attr] = h
-	return h
+		st.h = h
+	})
+	return st.h
 }
 
 func (c *indCond) ProbRange(attr int, r query.Range) float64 {
@@ -144,7 +154,7 @@ func (c *indCond) restrict(attr int, keep func(v int) bool) stats.Cond {
 	masks := make([][]float64, len(c.masks))
 	copy(masks, c.masks)
 	masks[attr] = newMask
-	return &indCond{m: c.m, masks: masks, weight: c.weight * pKeep}
+	return newIndCond(c.m, masks, c.weight*pKeep)
 }
 
 func clampProb(p float64) float64 {

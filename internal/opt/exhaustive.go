@@ -3,6 +3,8 @@ package opt
 import (
 	"context"
 	"math"
+	"sync"
+	"sync/atomic"
 
 	"acqp/internal/plan"
 	"acqp/internal/query"
@@ -11,22 +13,37 @@ import (
 )
 
 // Exhaustive implements the optimal dynamic-programming planner of
-// Section 3.2 (Figure 5): a depth-first search over subproblems — range
-// boxes over the attribute-domain space — with memoization keyed by the
-// box and cost-bound pruning. Candidate conditioning predicates are
-// restricted to the SPSF's split points; with a full SPSF the returned
-// plan is the optimal conditional plan P* of Equation (2).
+// Section 3.2 (Figure 5): a search over subproblems — range boxes over the
+// attribute-domain space — with memoization keyed by the box and
+// cost-bound pruning. Candidate conditioning predicates are restricted to
+// the SPSF's split points; with a full SPSF the returned plan is the
+// optimal conditional plan P* of Equation (2).
 //
 // The worst-case complexity is exponential in the number of attributes
 // (Theorem 3.1 shows the problem is #P-hard), so this planner is only
 // feasible for small schemas and SPSFs; Budget guards against runaway
 // searches.
+//
+// With Parallelism > 1 the candidate splits of each subproblem are
+// evaluated concurrently on a bounded goroutine pool over the sharded
+// memo, with branch-and-bound pruning against an atomic best-so-far
+// bound. The search is plan-deterministic: the returned cost is
+// bit-identical and the plan shape identical at every Parallelism (see
+// DESIGN.md §9 for the argument — pruning is strict, so cost ties always
+// evaluate exactly, and a fixed candidate total order breaks them).
 type Exhaustive struct {
 	// SPSF restricts candidate split points. Required.
 	SPSF SPSF
 	// Budget caps the number of subproblems expanded; 0 means no cap.
-	// When exceeded, Plan returns ErrBudget.
+	// When exceeded, Plan returns ErrBudget. Under Parallelism > 1
+	// concurrent workers may re-expand a subproblem another worker is
+	// still solving, so the exact point of budget exhaustion can vary
+	// with worker count; determinism is guaranteed for runs that finish
+	// within budget.
 	Budget int
+	// Parallelism bounds the goroutines evaluating candidate splits
+	// concurrently; values <= 1 search sequentially.
+	Parallelism int
 
 	expanded int
 }
@@ -39,23 +56,15 @@ type errBudget struct{}
 
 func (errBudget) Error() string { return "opt: exhaustive search exceeded its subproblem budget" }
 
-type exhaustiveMemoEntry struct {
-	cost float64
-	node *plan.Node
-}
-
 type exhaustiveSearch struct {
-	ctx  context.Context
-	s    *schema.Schema
-	q    query.Query
-	spsf SPSF
-	memo map[string]exhaustiveMemoEntry
-	// pruned[key] is the largest bound under which the subproblem was
-	// searched without finding a plan: its true optimum is >= that value,
-	// so re-visits with a bound at or below it prune instantly.
-	pruned map[string]float64
-	budget int
-	count  int
+	ctx    context.Context
+	s      *schema.Schema
+	q      query.Query
+	spsf   SPSF
+	memo   *boxMemo
+	sem    gate
+	budget int64
+	count  atomic.Int64
 }
 
 // Plan runs the exhaustive search and returns the optimal plan and its
@@ -70,13 +79,13 @@ func (e *Exhaustive) Plan(ctx context.Context, d stats.Dist, q query.Query) (*pl
 		s:      s,
 		q:      q,
 		spsf:   e.SPSF.WithQueryEndpoints(s, q),
-		memo:   make(map[string]exhaustiveMemoEntry),
-		pruned: make(map[string]float64),
-		budget: e.Budget,
+		memo:   newBoxMemo(),
+		sem:    newGate(e.Parallelism),
+		budget: int64(e.Budget),
 	}
 	root := d.Root()
 	cost, node, err := es.solve(func() stats.Cond { return root }, query.FullBox(s), math.Inf(1))
-	e.expanded = es.count
+	e.expanded = int(es.count.Load())
 	if err != nil {
 		return nil, 0, err
 	}
@@ -92,11 +101,26 @@ func (e *Exhaustive) Expanded() int { return e.expanded }
 // needs probabilities — base cases and memo hits never pay it.
 type lazyC func() stats.Cond
 
-// solve implements ExhaustivePlan(phi, R_1..R_n, bound) from Figure 5. It
-// returns the optimal completion cost and plan for the subproblem, or
-// (+Inf, nil) if every candidate exceeded the bound (in which case nothing
-// is cached, per the "only cache results if an optimal plan is obtained"
-// rule).
+// candResult is one candidate split's evaluation: its exact completion
+// cost and plan, or cost = +Inf when pruned (in which case the candidate
+// is provably strictly worse than the subproblem's final optimum).
+type candResult struct {
+	cost float64
+	node *plan.Node
+}
+
+// solve implements ExhaustivePlan(phi, R_1..R_n, bound) from Figure 5,
+// extended with branch-and-bound and bounded-parallel candidate
+// evaluation. Its contract: a non-nil node is the subproblem's exact
+// optimum; a nil node means the optimum is strictly greater than bound
+// (nothing is cached then, per the "only cache results if an optimal plan
+// is obtained" rule).
+//
+// Pruning is deliberately strict (>) rather than >=: a candidate tied
+// with the best-so-far cost is still evaluated exactly, so cost ties are
+// broken by the fixed candidate order in the final reduction, never by
+// evaluation timing. That is what makes the plan shape independent of
+// Parallelism.
 func (es *exhaustiveSearch) solve(getC lazyC, box query.Box, bound float64) (float64, *plan.Node, error) {
 	// Base case 1: the ranges determine the truth value of phi.
 	switch es.q.EvalBox(box) {
@@ -111,17 +135,12 @@ func (es *exhaustiveSearch) solve(getC lazyC, box query.Box, bound float64) (flo
 		return 0, plan.NewSeq(openPreds(es.q, box)), nil
 	}
 	key := box.Key()
-	if hit, ok := es.memo[key]; ok {
-		if hit.cost >= bound {
-			return math.Inf(1), nil, nil
-		}
+	if hit, exact, prunes := es.memo.lookup(key, bound); exact {
 		return hit.cost, hit.node, nil
-	}
-	if lb, ok := es.pruned[key]; ok && bound <= lb {
+	} else if prunes {
 		return math.Inf(1), nil, nil
 	}
-	es.count++
-	if es.budget > 0 && es.count > es.budget {
+	if n := es.count.Add(1); es.budget > 0 && n > es.budget {
 		return 0, nil, ErrBudget
 	}
 	// One cancellation check per expanded subproblem: each expansion does
@@ -139,79 +158,132 @@ func (es *exhaustiveSearch) solve(getC lazyC, box query.Box, bound float64) (flo
 	// contains), so it provides an immediate incumbent and a tight
 	// pruning bound. This extends Figure 5 with the "more elaborate
 	// pruning techniques, such as branch-and-bound" the paper suggests.
-	cMin := bound
-	var best *plan.Node
-	if seqNode, seqCost := SequentialPlan(SeqOpt, es.s, c, box, es.q); seqCost < cMin {
-		cMin, best = seqCost, seqNode
-	}
-	for attr := 0; attr < es.s.NumAttrs(); attr++ {
-		atomic := predCost(es.s, box, attr)
-		if atomic >= cMin {
-			continue // pruning: acquiring this attribute alone exceeds the bound
-		}
-		r := box[attr]
-		for _, x := range es.spsf.Candidates(attr, r) {
-			cost := atomic
-			loRange := query.Range{Lo: r.Lo, Hi: x - 1}
-			hiRange := query.Range{Lo: x, Hi: r.Hi}
-			pLo := c.ProbRange(attr, loRange)
+	seqNode, seqCost := SequentialPlan(SeqOpt, es.s, c, box, es.q)
+	best := newMinBound(bound)
+	best.lower(seqCost)
 
-			// Each branch with non-zero probability is solved recursively
-			// under the remaining budget; a zero-probability branch (no
-			// training mass) gets a safe fallback plan so the generated
-			// plan stays correct for out-of-distribution test tuples.
-			loNode := fallbackNode(es.q, box.With(attr, loRange))
-			if pLo > 0 {
-				loCost, node, err := es.solve(
-					restrictLazy(c, attr, loRange), box.With(attr, loRange), (cMin-cost)/pLo)
-				if err != nil {
-					return 0, nil, err
-				}
-				if node == nil {
-					continue // left branch alone exceeds the bound
-				}
-				loNode = node
-				cost += pLo * loCost
-				if cost >= cMin {
-					continue
-				}
-			}
-			hiNode := fallbackNode(es.q, box.With(attr, hiRange))
-			if pHi := 1 - pLo; pHi > 0 {
-				hiCost, node, err := es.solve(
-					restrictLazy(c, attr, hiRange), box.With(attr, hiRange), (cMin-cost)/pHi)
-				if err != nil {
-					return 0, nil, err
-				}
-				if node == nil {
-					continue
-				}
-				hiNode = node
-				cost += pHi * hiCost
-			}
-			if cost < cMin {
-				cMin = cost
-				best = plan.NewSplit(attr, x, loNode, hiNode)
-			}
+	// Candidates in their fixed total order: (attr, x) ascending, with
+	// the sequential seed ordered before all of them.
+	type candidate struct {
+		attr int
+		x    schema.Value
+	}
+	var cands []candidate
+	for attr := 0; attr < es.s.NumAttrs(); attr++ {
+		for _, x := range es.spsf.Candidates(attr, box[attr]) {
+			cands = append(cands, candidate{attr: attr, x: x})
 		}
 	}
-	if best != nil && cMin < bound {
-		// cMin is the subproblem's true optimum even under a finite
-		// bound: candidates are only discarded when their partial cost
-		// already meets an achievable incumbent, and child searches
-		// return Inf only when their optimum provably pushes the
-		// candidate to cMin or beyond. So the entry is always cacheable
-		// (the "only cache results if an optimal plan is obtained" rule
-		// of Figure 5 refers to the pruned case below).
-		es.memo[key] = exhaustiveMemoEntry{cost: cMin, node: best}
-		return cMin, best, nil
+	results := make([]candResult, len(cands))
+	var wg sync.WaitGroup
+	var firstErr errBox
+	for i := range cands {
+		i := i
+		es.sem.run(&wg, func() {
+			results[i] = es.evalCandidate(c, box, cands[i].attr, cands[i].x, best, &firstErr)
+		})
 	}
-	// Nothing beat the bound: record "optimum >= bound" so re-visits with
-	// an equal or tighter bound prune without searching.
-	if lb, ok := es.pruned[key]; !ok || bound > lb {
-		es.pruned[key] = bound
+	wg.Wait()
+	if err := firstErr.get(); err != nil {
+		return 0, nil, err
 	}
-	return math.Inf(1), nil, nil
+
+	// Deterministic reduction: scan candidates in their fixed order and
+	// take strictly better costs only, so the first candidate achieving
+	// the optimum wins regardless of evaluation timing. Pruned candidates
+	// (cost +Inf, nil node) are provably strictly worse and never win.
+	cMin, bestNode := seqCost, seqNode
+	for i := range results {
+		if results[i].node != nil && results[i].cost < cMin {
+			cMin, bestNode = results[i].cost, results[i].node
+		}
+	}
+	if cMin > bound {
+		// Nothing met the bound: record "optimum > bound" so re-visits
+		// with an equal or tighter bound prune without searching.
+		es.memo.recordPruned(key, bound)
+		return math.Inf(1), nil, nil
+	}
+	// cMin is the subproblem's true optimum even under a finite bound:
+	// candidates are only discarded when their cost provably exceeds an
+	// incumbent that is itself >= the optimum, so the entry is always
+	// cacheable.
+	es.memo.store(key, exhaustiveMemoEntry{cost: cMin, node: bestNode})
+	return cMin, bestNode, nil
+}
+
+// evalCandidate evaluates one candidate split exactly, or abandons it as
+// soon as its cost provably (strictly) exceeds the shared best-so-far
+// bound.
+func (es *exhaustiveSearch) evalCandidate(c stats.Cond, box query.Box, attr int, x schema.Value, best *minBound, firstErr *errBox) candResult {
+	out := candResult{cost: math.Inf(1)}
+	if firstErr.hasErr() {
+		return out // a sibling already failed; stop doing work
+	}
+	cost := predCost(es.s, box, attr)
+	if cost > best.get() {
+		return out // pruning: acquiring this attribute alone exceeds the bound
+	}
+	r := box[attr]
+	loRange := query.Range{Lo: r.Lo, Hi: x - 1}
+	hiRange := query.Range{Lo: x, Hi: r.Hi}
+	pLo := c.ProbRange(attr, loRange)
+
+	// Each branch with non-zero probability is solved recursively under
+	// the remaining budget; a zero-probability branch (no training mass)
+	// gets a safe fallback plan so the generated plan stays correct for
+	// out-of-distribution test tuples.
+	loNode := fallbackNode(es.q, box.With(attr, loRange))
+	if pLo > 0 {
+		loCost, node, err := es.solve(
+			restrictLazy(c, attr, loRange), box.With(attr, loRange), childBound(best.get(), cost, pLo))
+		if err != nil {
+			firstErr.record(err)
+			return out
+		}
+		if node == nil {
+			return out // left branch alone pushes the candidate past the bound
+		}
+		loNode = node
+		cost += pLo * loCost
+		if cost > best.get() {
+			return out
+		}
+	}
+	hiNode := fallbackNode(es.q, box.With(attr, hiRange))
+	if pHi := 1 - pLo; pHi > 0 {
+		hiCost, node, err := es.solve(
+			restrictLazy(c, attr, hiRange), box.With(attr, hiRange), childBound(best.get(), cost, pHi))
+		if err != nil {
+			firstErr.record(err)
+			return out
+		}
+		if node == nil {
+			return out
+		}
+		hiNode = node
+		cost += pHi * hiCost
+	}
+	best.lower(cost)
+	return candResult{cost: cost, node: plan.NewSplit(attr, x, loNode, hiNode)}
+}
+
+// childBound converts the candidate's remaining cost allowance into the
+// child subproblem's bound, with slack proportional to the operand
+// magnitudes. The slack keeps the search plan-deterministic: when a
+// cost-tied sibling has already tightened best to exactly this
+// candidate's total cost, (best-cost) suffers catastrophic cancellation
+// and the division can round an ulp below the child's true optimum,
+// which would prune a candidate that ties the optimum — and then the tie
+// would be broken by evaluation timing instead of the fixed candidate
+// order. Inflating the bound never costs exactness (children returning a
+// plan are exact under any bound) and a pruned candidate remains provably
+// strictly worse than the final optimum: its cost exceeds best-so-far,
+// which never drops below the subproblem optimum.
+func childBound(best, cost, p float64) float64 {
+	rem := best - cost
+	rem += 1e-9 * (math.Abs(best) + math.Abs(cost) + 1)
+	return rem / p
 }
 
 func restrictLazy(c stats.Cond, attr int, r query.Range) lazyC {

@@ -4,6 +4,7 @@ import (
 	"container/heap"
 	"context"
 	"math"
+	"sync"
 
 	"acqp/internal/plan"
 	"acqp/internal/query"
@@ -38,6 +39,11 @@ type Greedy struct {
 	// saving exceeds their amortized dissemination cost. MaxSplits still
 	// applies as a hard cap (set it large to let alpha alone decide).
 	Alpha float64
+	// Parallelism bounds the goroutines evaluating candidate splits and
+	// frontier leaves concurrently; values <= 1 plan sequentially. Plans
+	// are identical at every Parallelism (ties are broken by the fixed
+	// candidate order, not evaluation timing).
+	Parallelism int
 }
 
 // greedySplitResult is the outcome of GreedySplit at one leaf.
@@ -53,8 +59,86 @@ type greedySplitResult struct {
 
 // greedySplit implements GreedySplit(phi, R_1..R_n) from Figure 6: the
 // locally optimal split point, assuming the optimal (or greedy)
-// sequential plan is used for each resulting subproblem.
-func (g *Greedy) greedySplit(ctx context.Context, s *schema.Schema, c stats.Cond, box query.Box, q query.Query, spsf SPSF) greedySplitResult {
+// sequential plan is used for each resulting subproblem. With a non-nil
+// gate the candidates are evaluated concurrently; the deterministic
+// reduction picks the same split the sequential loop would (first
+// candidate in (attr, x) order achieving the minimum cost).
+func (g *Greedy) greedySplit(ctx context.Context, s *schema.Schema, c stats.Cond, box query.Box, q query.Query, spsf SPSF, sem gate) greedySplitResult {
+	if sem == nil {
+		return g.greedySplitSeq(ctx, s, c, box, q, spsf)
+	}
+	type candidate struct {
+		attr int
+		x    schema.Value
+	}
+	var cands []candidate
+	for attr := 0; attr < s.NumAttrs(); attr++ {
+		for _, x := range spsf.Candidates(attr, box[attr]) {
+			cands = append(cands, candidate{attr: attr, x: x})
+		}
+	}
+	best := newMinBound(math.Inf(1))
+	results := make([]greedySplitResult, len(cands))
+	var wg sync.WaitGroup
+	for i := range cands {
+		i := i
+		sem.run(&wg, func() {
+			results[i] = g.evalSplit(ctx, s, c, box, q, cands[i].attr, cands[i].x, best)
+		})
+	}
+	wg.Wait()
+	res := greedySplitResult{cost: math.Inf(1)}
+	for i := range results {
+		if results[i].ok && results[i].cost < res.cost {
+			res = results[i]
+		}
+	}
+	return res
+}
+
+// evalSplit evaluates one candidate split exactly, or abandons it once its
+// partial cost strictly exceeds the shared best-so-far bound. Strict (>)
+// pruning means cost ties always evaluate fully, so the reduction's
+// fixed-order tie-break sees them.
+func (g *Greedy) evalSplit(ctx context.Context, s *schema.Schema, c stats.Cond, box query.Box, q query.Query, attr int, x schema.Value, best *minBound) greedySplitResult {
+	if ctx.Err() != nil {
+		return greedySplitResult{}
+	}
+	cost := predCost(s, box, attr)
+	if cost > best.get() {
+		return greedySplitResult{}
+	}
+	r := box[attr]
+	loRange := query.Range{Lo: r.Lo, Hi: x - 1}
+	hiRange := query.Range{Lo: x, Hi: r.Hi}
+	pLo := c.ProbRange(attr, loRange)
+
+	loBox := box.With(attr, loRange)
+	loPlan, loCost := fallbackNode(q, loBox), 0.0
+	if pLo > 0 {
+		loPlan, loCost = SequentialPlan(g.Base, s, childCond(c, attr, loRange), loBox, q)
+		cost += pLo * loCost
+		if cost > best.get() {
+			return greedySplitResult{}
+		}
+	}
+	hiBox := box.With(attr, hiRange)
+	hiPlan, hiCost := fallbackNode(q, hiBox), 0.0
+	if pHi := 1 - pLo; pHi > 0 {
+		hiPlan, hiCost = SequentialPlan(g.Base, s, childCond(c, attr, hiRange), hiBox, q)
+		cost += pHi * hiCost
+	}
+	best.lower(cost)
+	return greedySplitResult{
+		ok: true, cost: cost, attr: attr, x: x,
+		loPlan: loPlan, hiPlan: hiPlan,
+		loCost: loCost, hiCost: hiCost, pLo: pLo,
+	}
+}
+
+// greedySplitSeq is the sequential candidate loop, kept free of atomics
+// and goroutines for the Parallelism <= 1 path.
+func (g *Greedy) greedySplitSeq(ctx context.Context, s *schema.Schema, c stats.Cond, box query.Box, q query.Query, spsf SPSF) greedySplitResult {
 	res := greedySplitResult{cost: math.Inf(1)}
 	for attr := 0; attr < s.NumAttrs(); attr++ {
 		if ctx.Err() != nil {
@@ -77,7 +161,7 @@ func (g *Greedy) greedySplit(ctx context.Context, s *schema.Schema, c stats.Cond
 			loBox := box.With(attr, loRange)
 			loPlan, loCost := fallbackNode(q, loBox), 0.0
 			if pLo > 0 {
-				loPlan, loCost = SequentialPlan(g.Base, s, c.RestrictRange(attr, loRange), loBox, q)
+				loPlan, loCost = SequentialPlan(g.Base, s, childCond(c, attr, loRange), loBox, q)
 				cost += pLo * loCost
 				if cost >= res.cost {
 					continue
@@ -86,7 +170,7 @@ func (g *Greedy) greedySplit(ctx context.Context, s *schema.Schema, c stats.Cond
 			hiBox := box.With(attr, hiRange)
 			hiPlan, hiCost := fallbackNode(q, hiBox), 0.0
 			if pHi := 1 - pLo; pHi > 0 {
-				hiPlan, hiCost = SequentialPlan(g.Base, s, c.RestrictRange(attr, hiRange), hiBox, q)
+				hiPlan, hiCost = SequentialPlan(g.Base, s, childCond(c, attr, hiRange), hiBox, q)
 				cost += pHi * hiCost
 			}
 			if cost < res.cost {
@@ -137,17 +221,25 @@ func (q *leafQueue) Pop() interface{} {
 // is cancelled or its deadline expires the search simply stops expanding
 // and returns the best (possibly purely sequential) plan found so far.
 // Callers can distinguish a truncated run by checking ctx.Err.
+//
+// With Parallelism > 1 the two frontier leaves created by each expansion
+// are analyzed concurrently, and each analysis evaluates its candidate
+// splits concurrently, all on one bounded goroutine pool. The expansion
+// loop itself stays sequential — heap order, not evaluation timing,
+// decides which leaf is expanded next — so the resulting plan is
+// identical at every Parallelism.
 func (g *Greedy) Plan(ctx context.Context, d stats.Dist, q query.Query) (*plan.Node, float64) {
 	s := d.Schema()
 	spsf := g.SPSF.WithQueryEndpoints(s, q)
 	rootBox := query.FullBox(s)
 	rootCond := d.Root()
+	sem := newGate(g.Parallelism)
 
 	rootPlan, rootCost := SequentialPlan(g.Base, s, rootCond, rootBox, q)
 	root := rootPlan
 
 	pq := &leafQueue{}
-	g.enqueue(ctx, pq, s, q, spsf, root, rootCond, rootBox, 1, rootCost)
+	g.enqueue(ctx, pq, s, q, spsf, sem, root, rootCond, rootBox, 1, rootCost)
 
 	splits := 0
 	for splits < g.MaxSplits && pq.Len() > 0 && ctx.Err() == nil {
@@ -165,15 +257,30 @@ func (g *Greedy) Plan(ctx context.Context, d stats.Dist, q query.Query) (*plan.N
 		}
 		loRange := query.Range{Lo: top.box[sp.attr].Lo, Hi: sp.x - 1}
 		hiRange := query.Range{Lo: sp.x, Hi: top.box[sp.attr].Hi}
+		// The two new frontier leaves are independent subproblems;
+		// analyze them concurrently, then push lo before hi so the heap's
+		// tie order is fixed.
+		var entries [2]*leafEntry
+		var wg sync.WaitGroup
 		if sp.pLo > 0 {
-			g.enqueue(ctx, pq, s, q, spsf,
-				top.node.Left, top.c.RestrictRange(sp.attr, loRange),
-				top.box.With(sp.attr, loRange), top.reach*sp.pLo, sp.loCost)
+			sem.run(&wg, func() {
+				entries[0] = g.splitEntry(ctx, s, q, spsf, sem,
+					top.node.Left, childCond(top.c, sp.attr, loRange),
+					top.box.With(sp.attr, loRange), top.reach*sp.pLo, sp.loCost)
+			})
 		}
 		if pHi := 1 - sp.pLo; pHi > 0 {
-			g.enqueue(ctx, pq, s, q, spsf,
-				top.node.Right, top.c.RestrictRange(sp.attr, hiRange),
-				top.box.With(sp.attr, hiRange), top.reach*pHi, sp.hiCost)
+			sem.run(&wg, func() {
+				entries[1] = g.splitEntry(ctx, s, q, spsf, sem,
+					top.node.Right, childCond(top.c, sp.attr, hiRange),
+					top.box.With(sp.attr, hiRange), top.reach*pHi, sp.hiCost)
+			})
+		}
+		wg.Wait()
+		for _, e := range entries {
+			if e != nil {
+				heap.Push(pq, e)
+			}
 		}
 	}
 	// Canonicalize: drop structure that cannot affect any tuple (decided
@@ -183,17 +290,17 @@ func (g *Greedy) Plan(ctx context.Context, d stats.Dist, q query.Query) (*plan.N
 	return root, plan.ExpectedCostRoot(root, d)
 }
 
-// enqueue computes the greedy split for a leaf and inserts it into the
-// queue with priority P(reach) * (C(seq) - C(split)), the expected gain of
-// expanding it (Section 4.2.2).
-func (g *Greedy) enqueue(ctx context.Context, pq *leafQueue, s *schema.Schema, q query.Query, spsf SPSF,
-	node *plan.Node, c stats.Cond, box query.Box, reach, seqCost float64) {
+// splitEntry computes the greedy split for a leaf and builds its queue
+// entry with priority P(reach) * (C(seq) - C(split)), the expected gain of
+// expanding it (Section 4.2.2). It returns nil when no split applies.
+func (g *Greedy) splitEntry(ctx context.Context, s *schema.Schema, q query.Query, spsf SPSF, sem gate,
+	node *plan.Node, c stats.Cond, box query.Box, reach, seqCost float64) *leafEntry {
 	if node.Kind == plan.Leaf {
-		return // already decided; nothing to split
+		return nil // already decided; nothing to split
 	}
-	sp := g.greedySplit(ctx, s, c, box, q, spsf)
+	sp := g.greedySplit(ctx, s, c, box, q, spsf, sem)
 	if !sp.ok {
-		return
+		return nil
 	}
 	priority := reach * (seqCost - sp.cost)
 	if g.Alpha > 0 {
@@ -202,9 +309,18 @@ func (g *Greedy) enqueue(ctx context.Context, pq *leafQueue, s *schema.Schema, q
 		deltaBytes := plan.Size(plan.NewSplit(sp.attr, sp.x, sp.loPlan, sp.hiPlan)) - plan.Size(node)
 		priority -= g.Alpha * float64(deltaBytes)
 	}
-	heap.Push(pq, &leafEntry{
+	return &leafEntry{
 		node: node, c: c, box: box, reach: reach,
 		seqCost: seqCost, split: sp,
 		priority: priority,
-	})
+	}
+}
+
+// enqueue computes the greedy split for a leaf and inserts it into the
+// queue.
+func (g *Greedy) enqueue(ctx context.Context, pq *leafQueue, s *schema.Schema, q query.Query, spsf SPSF, sem gate,
+	node *plan.Node, c stats.Cond, box query.Box, reach, seqCost float64) {
+	if e := g.splitEntry(ctx, s, q, spsf, sem, node, c, box, reach, seqCost); e != nil {
+		heap.Push(pq, e)
+	}
 }

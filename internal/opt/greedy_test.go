@@ -207,7 +207,7 @@ func TestGreedyFirstSplitIsRootGreedySplit(t *testing.T) {
 	if node.Kind != plan.Split {
 		t.Fatalf("root is %v, want Split", node.Kind)
 	}
-	sp := g.greedySplit(context.Background(), s, d.Root(), query.FullBox(s), q, g.SPSF.WithQueryEndpoints(s, q))
+	sp := g.greedySplit(context.Background(), s, d.Root(), query.FullBox(s), q, g.SPSF.WithQueryEndpoints(s, q), nil)
 	if !sp.ok || node.Attr != sp.attr || node.X != sp.x {
 		t.Errorf("root split (%d,%d) != greedySplit (%d,%d)", node.Attr, node.X, sp.attr, sp.x)
 	}

@@ -1,0 +1,169 @@
+package opt
+
+import (
+	"bytes"
+	"context"
+	"math"
+	"math/rand"
+	"runtime"
+	"testing"
+
+	"acqp/internal/plan"
+	"acqp/internal/query"
+	"acqp/internal/schema"
+	"acqp/internal/stats"
+	"acqp/internal/table"
+)
+
+// randTable fills a table whose expensive attributes noisily track the
+// cheap driver attribute, so conditional plans genuinely help.
+func randTable(s *schema.Schema, rng *rand.Rand, rows, k int) *table.Table {
+	tbl := table.New(s, rows)
+	row := make([]schema.Value, s.NumAttrs())
+	for i := 0; i < rows; i++ {
+		driver := schema.Value(rng.Intn(k))
+		row[0] = driver
+		for a := 1; a < s.NumAttrs(); a++ {
+			v := int(driver) + rng.Intn(3) - 1 // tracks driver with noise
+			if rng.Intn(5) == 0 {
+				v = rng.Intn(k) // occasional outlier
+			}
+			if v < 0 {
+				v = 0
+			}
+			if v >= k {
+				v = k - 1
+			}
+			row[a] = schema.Value(v)
+		}
+		tbl.MustAppendRow(row)
+	}
+	return tbl
+}
+
+// randWorld builds a seeded correlated dataset and query: a cheap driver
+// attribute, expensive attributes that noisily track it, and a conjunctive
+// query over the expensive ones. This is the Figure 2 shape randomized.
+func randWorld(seed int64) (*schema.Schema, stats.Dist, query.Query) {
+	rng := rand.New(rand.NewSource(seed))
+	k := 4 + rng.Intn(3) // domain size 4..6
+	s := schema.New(
+		schema.Attribute{Name: "driver", K: k, Cost: 1},
+		schema.Attribute{Name: "e1", K: k, Cost: 50 + float64(rng.Intn(100))},
+		schema.Attribute{Name: "e2", K: k, Cost: 50 + float64(rng.Intn(100))},
+		schema.Attribute{Name: "e3", K: k, Cost: 50 + float64(rng.Intn(100))},
+	)
+	tbl := randTable(s, rng, 300+rng.Intn(200), k)
+	preds := []query.Pred{
+		{Attr: 1, R: query.Range{Lo: 0, Hi: schema.Value(rng.Intn(k-1) + 1)}},
+		{Attr: 2, R: query.Range{Lo: schema.Value(rng.Intn(k - 1)), Hi: schema.Value(k - 1)}},
+	}
+	if rng.Intn(2) == 0 {
+		preds = append(preds, query.Pred{Attr: 3, R: query.Range{Lo: 0, Hi: schema.Value(rng.Intn(k))}, Negated: rng.Intn(2) == 0})
+	}
+	q, err := query.NewQuery(s, preds...)
+	if err != nil {
+		panic("opt: test query invalid: " + err.Error())
+	}
+	return s, stats.NewEmpirical(tbl), q
+}
+
+// encodedOutcome fingerprints a plan run: the cost's exact bit pattern and
+// the plan's wire encoding. Determinism means both are byte-identical
+// across worker counts.
+type encodedOutcome struct {
+	costBits uint64
+	encoded  []byte
+}
+
+func fingerprint(node *plan.Node, cost float64) encodedOutcome {
+	return encodedOutcome{costBits: math.Float64bits(cost), encoded: plan.Encode(node)}
+}
+
+func parallelismLevels() []int {
+	levels := []int{1, 4}
+	if p := runtime.GOMAXPROCS(0); p != 1 && p != 4 {
+		levels = append(levels, p)
+	}
+	return levels
+}
+
+// TestExhaustiveParallelDeterminism asserts the tentpole guarantee: the
+// exhaustive search returns a bit-identical cost and byte-identical
+// encoded plan at Parallelism 1, 4, and GOMAXPROCS, across many seeded
+// distributions. Run under -race it also exercises the sharded memo,
+// atomic bound, and shared-Cond statistics layer.
+func TestExhaustiveParallelDeterminism(t *testing.T) {
+	const seeds = 24
+	for seed := int64(0); seed < seeds; seed++ {
+		s, d, q := randWorld(seed)
+		var want encodedOutcome
+		for i, par := range parallelismLevels() {
+			e := Exhaustive{SPSF: UniformSPSFSame(s, 4), Parallelism: par}
+			node, cost, err := e.Plan(context.Background(), d, q)
+			if err != nil {
+				t.Fatalf("seed %d parallelism %d: %v", seed, par, err)
+			}
+			got := fingerprint(node, cost)
+			if i == 0 {
+				want = got
+				continue
+			}
+			if got.costBits != want.costBits {
+				t.Errorf("seed %d: cost differs at parallelism %d: %x vs %x (%g vs %g)",
+					seed, par, got.costBits, want.costBits,
+					math.Float64frombits(got.costBits), math.Float64frombits(want.costBits))
+			}
+			if !bytes.Equal(got.encoded, want.encoded) {
+				t.Errorf("seed %d: encoded plan differs at parallelism %d", seed, par)
+			}
+		}
+	}
+}
+
+// TestGreedyParallelDeterminism is the same property for the greedy
+// planner: frontier leaves and candidate splits evaluated concurrently
+// must yield the plan the sequential loop yields.
+func TestGreedyParallelDeterminism(t *testing.T) {
+	const seeds = 24
+	for seed := int64(100); seed < 100+seeds; seed++ {
+		s, d, q := randWorld(seed)
+		var want encodedOutcome
+		for i, par := range parallelismLevels() {
+			g := Greedy{SPSF: UniformSPSFSame(s, 4), MaxSplits: 4, Base: SeqOpt, Parallelism: par}
+			node, cost := g.Plan(context.Background(), d, q)
+			got := fingerprint(node, cost)
+			if i == 0 {
+				want = got
+				continue
+			}
+			if got.costBits != want.costBits {
+				t.Errorf("seed %d: cost differs at parallelism %d: %g vs %g",
+					seed, par, math.Float64frombits(got.costBits), math.Float64frombits(want.costBits))
+			}
+			if !bytes.Equal(got.encoded, want.encoded) {
+				t.Errorf("seed %d: encoded plan differs at parallelism %d", seed, par)
+			}
+		}
+	}
+}
+
+// TestExhaustiveGreedyCostSanity pins the planners' relationship on the
+// randomized worlds: the exhaustive optimum never costs more than the
+// greedy plan (both evaluated analytically under the same distribution).
+func TestExhaustiveGreedyCostSanity(t *testing.T) {
+	for seed := int64(200); seed < 210; seed++ {
+		s, d, q := randWorld(seed)
+		e := Exhaustive{SPSF: UniformSPSFSame(s, 4), Parallelism: 4}
+		_, eCost, err := e.Plan(context.Background(), d, q)
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		g := Greedy{SPSF: UniformSPSFSame(s, 4), MaxSplits: 4, Base: SeqOpt, Parallelism: 4}
+		gNode, _ := g.Plan(context.Background(), d, q)
+		gCost := plan.ExpectedCostRoot(gNode, d)
+		if eCost > gCost+1e-9 {
+			t.Errorf("seed %d: exhaustive cost %g exceeds greedy cost %g", seed, eCost, gCost)
+		}
+	}
+}

@@ -165,7 +165,7 @@ func greedyOrder(s *schema.Schema, c stats.Cond, box query.Box, open []query.Pre
 		out = append(out, pick)
 		chosen[pick.Attr] = true
 		remaining = append(remaining[:best], remaining[best+1:]...)
-		c = c.RestrictPred(pick, true)
+		c = predTrueCond(c, pick)
 	}
 	return out
 }

@@ -1,6 +1,7 @@
 package serve
 
 import (
+	"context"
 	"encoding/json"
 	"errors"
 	"fmt"
@@ -8,6 +9,7 @@ import (
 	"net/http"
 	"time"
 
+	"acqp"
 	"acqp/internal/exec"
 	"acqp/internal/query"
 	"acqp/internal/schema"
@@ -31,6 +33,15 @@ type planRequest struct {
 	SplitPoints int `json:"split_points,omitempty"`
 	// TimeoutMS shortens (never extends) the server's planning deadline.
 	TimeoutMS int `json:"timeout_ms,omitempty"`
+	// Parallelism sets the planner's worker count for this request,
+	// clamped to GOMAXPROCS; zero means the server default. The resulting
+	// plan is identical at every setting — only planning latency changes.
+	Parallelism int `json:"parallelism,omitempty"`
+	// Strict disables the service's graceful fallbacks: an unsatisfiable
+	// query is a 422 error instead of a constant-false plan, and an
+	// exhaustive search that exhausts its budget or deadline is a 504
+	// instead of degrading to a sequential plan.
+	Strict bool `json:"strict,omitempty"`
 	// NoCache bypasses the plan cache for this request.
 	NoCache bool `json:"no_cache,omitempty"`
 }
@@ -80,8 +91,10 @@ func decodeRequest(w http.ResponseWriter, r *http.Request, v any) error {
 
 // canonicalize parses the request SQL and reduces its WHERE clause to the
 // canonical conjunction. The boolean results distinguish the trivial
-// cases: done=true means a constant-answer response was already written.
-func (s *Server) canonicalize(w http.ResponseWriter, req planRequest) (canon query.Query, trivial, trivialResult bool, ok bool) {
+// cases: trivial=true means the answer is the constant trivialResult. In
+// strict mode an unsatisfiable WHERE clause is a typed 422 error rather
+// than a constant-false plan.
+func (s *Server) canonicalize(w http.ResponseWriter, req planRequest, strict bool) (canon query.Query, trivial, trivialResult bool, ok bool) {
 	if req.SQL == "" {
 		writeError(w, http.StatusBadRequest, "missing sql field")
 		return query.Query{}, false, false, false
@@ -100,6 +113,10 @@ func (s *Server) canonicalize(w http.ResponseWriter, req planRequest) (canon que
 	canon, err = query.Canonical(s.s, preds)
 	switch {
 	case errors.Is(err, query.ErrUnsatisfiable):
+		if strict {
+			writeError(w, http.StatusUnprocessableEntity, "%v", acqp.ErrUnsatisfiable)
+			return query.Query{}, false, false, false
+		}
 		return query.Query{}, true, false, true
 	case errors.Is(err, query.ErrNotSingleRange):
 		writeError(w, http.StatusUnprocessableEntity, "%v", err)
@@ -134,7 +151,7 @@ func (s *Server) handlePlan(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, "%v", err)
 		return
 	}
-	canon, trivial, trivialResult, ok := s.canonicalize(w, req)
+	canon, trivial, trivialResult, ok := s.canonicalize(w, req, p.strict)
 	if !ok {
 		return
 	}
@@ -173,6 +190,12 @@ func writePlanError(w http.ResponseWriter, err error) {
 		writeError(w, http.StatusServiceUnavailable, "%v", err)
 	case errors.Is(err, errShutdown):
 		writeError(w, http.StatusServiceUnavailable, "%v", err)
+	case errors.Is(err, acqp.ErrBudgetExceeded), errors.Is(err, context.DeadlineExceeded):
+		// Strict requests surface budget/deadline exhaustion instead of
+		// degrading; the search ran out of time upstream of the client.
+		writeError(w, http.StatusGatewayTimeout, "%v", err)
+	case errors.Is(err, acqp.ErrUnsatisfiable):
+		writeError(w, http.StatusUnprocessableEntity, "%v", err)
 	default:
 		writeError(w, http.StatusInternalServerError, "%v", err)
 	}
@@ -213,7 +236,7 @@ func (s *Server) handleExecute(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, "%v", err)
 		return
 	}
-	canon, trivial, trivialResult, ok := s.canonicalize(w, req)
+	canon, trivial, trivialResult, ok := s.canonicalize(w, req, p.strict)
 	if !ok {
 		return
 	}

@@ -55,6 +55,10 @@ func FuzzServeRequest(f *testing.F) {
 		[]byte(``),
 		[]byte(`[1,2,3]`),
 		[]byte(`{"sql":"SELECT * WHERE bogus = 1"}`),
+		[]byte(`{"sql":"SELECT * WHERE temp > 7","parallelism":4,"strict":true}`),
+		[]byte(`{"sql":"SELECT * WHERE 8 <= temp <= 15","planner":"exhaustive","strict":true,"timeout_ms":1}`),
+		[]byte(`{"sql":"SELECT * WHERE temp < 4 AND temp > 11","strict":true}`),
+		[]byte(`{"sql":"SELECT * WHERE temp > 7","parallelism":-2}`),
 	}
 	for _, s := range seeds {
 		f.Add(s)
@@ -66,7 +70,7 @@ func FuzzServeRequest(f *testing.F) {
 		srv.ServeHTTP(w, req)
 		switch w.Code {
 		case http.StatusOK, http.StatusBadRequest, http.StatusUnprocessableEntity,
-			http.StatusServiceUnavailable:
+			http.StatusServiceUnavailable, http.StatusGatewayTimeout:
 		default:
 			t.Fatalf("unexpected status %d for body %q: %s", w.Code, body, w.Body.String())
 		}

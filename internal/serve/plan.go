@@ -5,8 +5,10 @@ import (
 	"encoding/base64"
 	"errors"
 	"fmt"
+	"runtime"
 	"time"
 
+	"acqp"
 	"acqp/internal/opt"
 	"acqp/internal/plan"
 	"acqp/internal/query"
@@ -20,11 +22,15 @@ var (
 )
 
 // plannerParams is the resolved, clamped planner configuration for one
-// request; it is part of the cache key.
+// request; it is part of the cache key (except parallelism, strict, and
+// the timeout, which affect how the run behaves but never which plan the
+// search returns — parallel search is plan-deterministic).
 type plannerParams struct {
 	name        string // "greedy", "exhaustive", "corrseq", "naive"
 	maxSplits   int
 	splitPoints int
+	parallelism int
+	strict      bool
 	timeout     time.Duration
 }
 
@@ -34,6 +40,8 @@ func (s *Server) resolveParams(req planRequest) (plannerParams, error) {
 		name:        req.Planner,
 		maxSplits:   req.MaxSplits,
 		splitPoints: req.SplitPoints,
+		parallelism: req.Parallelism,
+		strict:      req.Strict,
 		timeout:     s.cfg.DefaultTimeout,
 	}
 	if p.name == "" {
@@ -58,6 +66,15 @@ func (s *Server) resolveParams(req planRequest) (plannerParams, error) {
 		if t := time.Duration(req.TimeoutMS) * time.Millisecond; t < p.timeout {
 			p.timeout = t
 		}
+	}
+	if p.parallelism < 0 {
+		return p, fmt.Errorf("parallelism must be non-negative, got %d", p.parallelism)
+	}
+	if p.parallelism == 0 {
+		p.parallelism = s.cfg.PlanParallelism
+	}
+	if max := runtime.GOMAXPROCS(0); p.parallelism > max {
+		p.parallelism = max
 	}
 	return p, nil
 }
@@ -127,16 +144,18 @@ func (s *Server) runPlanner(d distEpoch, q query.Query, p plannerParams) (planOu
 	switch p.name {
 	case "greedy":
 		g := opt.Greedy{
-			SPSF:      opt.UniformSPSFSame(s.s, p.splitPoints),
-			MaxSplits: p.maxSplits,
-			Base:      opt.SeqOpt,
+			SPSF:        opt.UniformSPSFSame(s.s, p.splitPoints),
+			MaxSplits:   p.maxSplits,
+			Base:        opt.SeqOpt,
+			Parallelism: p.parallelism,
 		}
 		node, cost = g.Plan(ctx, d.dist, q)
 		degraded = ctx.Err() != nil
 	case "exhaustive":
 		e := opt.Exhaustive{
-			SPSF:   opt.UniformSPSFSame(s.s, p.splitPoints),
-			Budget: s.cfg.ExhaustiveBudget,
+			SPSF:        opt.UniformSPSFSame(s.s, p.splitPoints),
+			Budget:      s.cfg.ExhaustiveBudget,
+			Parallelism: p.parallelism,
 		}
 		node, cost, err = e.Plan(ctx, d.dist, q)
 		if err != nil {
@@ -144,6 +163,14 @@ func (s *Server) runPlanner(d distEpoch, q query.Query, p plannerParams) (planOu
 				return planOutcome{}, errShutdown
 			}
 			if !errors.Is(err, context.DeadlineExceeded) && !errors.Is(err, opt.ErrBudget) {
+				return planOutcome{}, err
+			}
+			if p.strict {
+				// Strict clients asked for the true optimum or a typed
+				// failure, never a silent downgrade.
+				if errors.Is(err, opt.ErrBudget) {
+					return planOutcome{}, fmt.Errorf("%w", acqp.ErrBudgetExceeded)
+				}
 				return planOutcome{}, err
 			}
 			// Deadline or budget exhausted: degrade to the best sequential
@@ -196,13 +223,21 @@ type distEpoch struct {
 func (s *Server) planCached(reqCtx context.Context, canon query.Query, p plannerParams, noCache bool) (out planOutcome, cached, shared bool, err error) {
 	dist, epoch := s.snapshot()
 	key := cacheKey(p, canon, epoch)
+	// Strict and lax requests share cache entries (a cached plan is never
+	// degraded, so it satisfies both) but not singleflight runs: a lax
+	// leader would hand a strict follower a silently degraded plan, and a
+	// strict leader would hand a lax follower a typed error.
+	flightKey := key
+	if p.strict {
+		flightKey += "|strict"
+	}
 	if !noCache {
 		if hit, ok := s.cache.get(key); ok {
 			count(&s.metrics.cacheHits, 1)
 			return hit, true, false, nil
 		}
 	}
-	out, err, shared = s.flight.do(reqCtx, key, func() (planOutcome, error) {
+	out, err, shared = s.flight.do(reqCtx, flightKey, func() (planOutcome, error) {
 		// Re-check the cache inside the flight: a previous leader may have
 		// populated it between our miss and acquiring leadership.
 		if !noCache {

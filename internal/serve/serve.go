@@ -65,6 +65,10 @@ type Config struct {
 	// ExhaustiveBudget caps exhaustive-search subproblem expansions.
 	// Default 2,000,000.
 	ExhaustiveBudget int
+	// PlanParallelism is the default per-request planner worker count
+	// applied when a request does not set parallelism. Requests may raise
+	// it up to GOMAXPROCS. Default 1.
+	PlanParallelism int
 
 	// WindowSize is the sliding statistics window capacity. Default 4096.
 	WindowSize int
@@ -101,6 +105,11 @@ func (c Config) withDefaults() Config {
 	}
 	if c.ExhaustiveBudget == 0 {
 		c.ExhaustiveBudget = 2_000_000
+	}
+	if c.PlanParallelism <= 0 {
+		c.PlanParallelism = 1
+	} else if c.PlanParallelism > runtime.GOMAXPROCS(0) {
+		c.PlanParallelism = runtime.GOMAXPROCS(0)
 	}
 	if c.WindowSize == 0 {
 		c.WindowSize = 4096
@@ -177,11 +186,23 @@ func New(cfg Config) (*Server, error) {
 		started: time.Now(),
 	}
 	s.mux = http.NewServeMux()
-	s.mux.HandleFunc("/plan", s.handlePlan)
-	s.mux.HandleFunc("/execute", s.handleExecute)
-	s.mux.HandleFunc("/ingest", s.handleIngest)
-	s.mux.HandleFunc("/refresh", s.handleRefresh)
-	s.mux.HandleFunc("/stats", s.handleStats)
+	// The API is versioned under /v1/. The original unversioned paths
+	// remain as aliases so existing clients keep working, but every alias
+	// response carries a Deprecation header (draft-ietf-httpapi-deprecation
+	// style) pointing at the successor route.
+	for _, rt := range []struct {
+		path string
+		h    http.HandlerFunc
+	}{
+		{"/plan", s.handlePlan},
+		{"/execute", s.handleExecute},
+		{"/ingest", s.handleIngest},
+		{"/refresh", s.handleRefresh},
+		{"/stats", s.handleStats},
+	} {
+		s.mux.HandleFunc("/v1"+rt.path, rt.h)
+		s.mux.HandleFunc(rt.path, deprecatedAlias("/v1"+rt.path, rt.h))
+	}
 	s.mux.HandleFunc("/metrics", s.handleMetrics)
 	s.mux.HandleFunc("/healthz", s.handleHealthz)
 
@@ -198,6 +219,17 @@ func New(cfg Config) (*Server, error) {
 
 // ServeHTTP implements http.Handler.
 func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
+
+// deprecatedAlias wraps a handler registered under a legacy unversioned
+// path: the behavior is unchanged, but responses advertise the versioned
+// successor so clients can migrate.
+func deprecatedAlias(successor string, h http.HandlerFunc) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Deprecation", "true")
+		w.Header().Set("Link", fmt.Sprintf("<%s>; rel=%q", successor, "successor-version"))
+		h(w, r)
+	}
+}
 
 // Epoch returns the current statistics epoch.
 func (s *Server) Epoch() uint64 {

@@ -1,0 +1,175 @@
+package serve
+
+import (
+	"net/http"
+	"runtime"
+	"testing"
+	"time"
+)
+
+// TestV1RoutesServeAllEndpoints exercises every endpoint through its /v1
+// path and checks the versioned routes carry no deprecation marker.
+func TestV1RoutesServeAllEndpoints(t *testing.T) {
+	srv := newTestServer(t, nil)
+	defer shutdownServer(t, srv)
+
+	w := postJSON(t, srv, "/v1/plan", planRequest{SQL: "SELECT * WHERE temp > 7"})
+	if w.Code != http.StatusOK {
+		t.Fatalf("/v1/plan: %d %s", w.Code, w.Body.String())
+	}
+	if w.Header().Get("Deprecation") != "" {
+		t.Error("/v1/plan carries a Deprecation header")
+	}
+	if resp := decodeResp[planResponse](t, w); resp.ExpectedCost <= 0 {
+		t.Errorf("/v1/plan expected_cost = %g", resp.ExpectedCost)
+	}
+
+	w = postJSON(t, srv, "/v1/execute", planRequest{SQL: "SELECT * WHERE light > 11"})
+	if w.Code != http.StatusOK {
+		t.Fatalf("/v1/execute: %d %s", w.Code, w.Body.String())
+	}
+	w = postJSON(t, srv, "/v1/ingest", ingestRequest{Rows: [][]int{{1, 2, 3, 4}}})
+	if w.Code != http.StatusOK {
+		t.Fatalf("/v1/ingest: %d %s", w.Code, w.Body.String())
+	}
+	w = postJSON(t, srv, "/v1/refresh", refreshRequest{})
+	if w.Code != http.StatusOK {
+		t.Fatalf("/v1/refresh: %d %s", w.Code, w.Body.String())
+	}
+	w = getPath(t, srv, "/v1/stats")
+	if w.Code != http.StatusOK {
+		t.Fatalf("/v1/stats: %d %s", w.Code, w.Body.String())
+	}
+}
+
+// TestLegacyAliasesDeprecatedButIdentical pins the compatibility promise:
+// unversioned paths still work, return the same payloads, and advertise
+// their successor via Deprecation/Link headers.
+func TestLegacyAliasesDeprecatedButIdentical(t *testing.T) {
+	srv := newTestServer(t, nil)
+	defer shutdownServer(t, srv)
+
+	body := planRequest{SQL: "SELECT * WHERE temp > 7", NoCache: true}
+	legacy := postJSON(t, srv, "/plan", body)
+	if legacy.Code != http.StatusOK {
+		t.Fatalf("/plan: %d %s", legacy.Code, legacy.Body.String())
+	}
+	if legacy.Header().Get("Deprecation") != "true" {
+		t.Errorf("legacy /plan Deprecation header = %q, want \"true\"", legacy.Header().Get("Deprecation"))
+	}
+	if link := legacy.Header().Get("Link"); link != `</v1/plan>; rel="successor-version"` {
+		t.Errorf("legacy /plan Link header = %q", link)
+	}
+	v1 := postJSON(t, srv, "/v1/plan", body)
+	lr := decodeResp[planResponse](t, legacy)
+	vr := decodeResp[planResponse](t, v1)
+	if lr.Plan != vr.Plan || lr.ExpectedCost != vr.ExpectedCost || lr.PlanB64 != vr.PlanB64 {
+		t.Error("legacy and /v1 plan responses differ")
+	}
+
+	for _, path := range []string{"/execute", "/ingest", "/refresh", "/stats"} {
+		var w interface{ Header() http.Header }
+		switch path {
+		case "/stats":
+			w = getPath(t, srv, path)
+		case "/ingest":
+			w = postJSON(t, srv, path, ingestRequest{Rows: [][]int{{0, 0, 0, 0}}})
+		case "/refresh":
+			w = postJSON(t, srv, path, refreshRequest{})
+		default:
+			w = postJSON(t, srv, path, planRequest{SQL: "SELECT * WHERE temp > 7"})
+		}
+		if w.Header().Get("Deprecation") != "true" {
+			t.Errorf("legacy %s lacks Deprecation header", path)
+		}
+	}
+}
+
+// TestPlanParallelismRequest checks the parallelism knob: accepted and
+// clamped, identical plans at every level, excluded from the cache key so
+// differently-parallel clients share entries, and rejected when negative.
+func TestPlanParallelismRequest(t *testing.T) {
+	srv := newTestServer(t, nil)
+	defer shutdownServer(t, srv)
+
+	base := decodeResp[planResponse](t, postJSON(t, srv, "/v1/plan",
+		planRequest{SQL: "SELECT * WHERE temp > 7 AND light > 11", Parallelism: 1}))
+	for _, par := range []int{2, 4, runtime.GOMAXPROCS(0) + 100} {
+		w := postJSON(t, srv, "/v1/plan",
+			planRequest{SQL: "SELECT * WHERE temp > 7 AND light > 11", Parallelism: par})
+		if w.Code != http.StatusOK {
+			t.Fatalf("parallelism %d: %d %s", par, w.Code, w.Body.String())
+		}
+		resp := decodeResp[planResponse](t, w)
+		if resp.PlanB64 != base.PlanB64 || resp.ExpectedCost != base.ExpectedCost {
+			t.Errorf("parallelism %d changed the plan", par)
+		}
+		// Same cache key regardless of parallelism: every follow-up is a hit.
+		if !resp.Cached {
+			t.Errorf("parallelism %d missed the cache", par)
+		}
+	}
+	if w := postJSON(t, srv, "/v1/plan",
+		planRequest{SQL: "SELECT * WHERE temp > 7", Parallelism: -1}); w.Code != http.StatusBadRequest {
+		t.Errorf("negative parallelism: %d, want 400", w.Code)
+	}
+}
+
+// TestStrictModeTypedErrors pins the strict error contract: budget
+// exhaustion is a 504 instead of a degraded plan, and an unsatisfiable
+// query is a 422 instead of a constant-false plan.
+func TestStrictModeTypedErrors(t *testing.T) {
+	srv := newTestServer(t, func(c *Config) {
+		c.ExhaustiveBudget = 1 // starve the exhaustive search immediately
+		c.DefaultTimeout = 5 * time.Second
+	})
+	defer shutdownServer(t, srv)
+
+	// Non-strict: budget exhaustion degrades, 200 with degraded=true.
+	lax := postJSON(t, srv, "/v1/plan",
+		planRequest{SQL: "SELECT * WHERE temp > 7 AND light > 11", Planner: "exhaustive", NoCache: true})
+	if lax.Code != http.StatusOK {
+		t.Fatalf("lax exhaustive: %d %s", lax.Code, lax.Body.String())
+	}
+	if !decodeResp[planResponse](t, lax).Degraded {
+		t.Error("budget-starved lax exhaustive not marked degraded")
+	}
+
+	// Strict: the same request is a 504 gateway timeout.
+	strict := postJSON(t, srv, "/v1/plan",
+		planRequest{SQL: "SELECT * WHERE temp > 7 AND light > 11", Planner: "exhaustive", Strict: true, NoCache: true})
+	if strict.Code != http.StatusGatewayTimeout {
+		t.Errorf("strict budget exhaustion: %d %s, want 504", strict.Code, strict.Body.String())
+	}
+
+	// Non-strict unsatisfiable: a constant-false plan.
+	lax = postJSON(t, srv, "/v1/plan", planRequest{SQL: "SELECT * WHERE temp < 4 AND temp > 11"})
+	if lax.Code != http.StatusOK {
+		t.Fatalf("lax unsatisfiable: %d %s", lax.Code, lax.Body.String())
+	}
+	// Strict unsatisfiable: 422.
+	strict = postJSON(t, srv, "/v1/plan",
+		planRequest{SQL: "SELECT * WHERE temp < 4 AND temp > 11", Strict: true})
+	if strict.Code != http.StatusUnprocessableEntity {
+		t.Errorf("strict unsatisfiable: %d %s, want 422", strict.Code, strict.Body.String())
+	}
+}
+
+// TestStrictSuccessIsCachedForEveryone checks that a strict request whose
+// search completes feeds the shared cache: strictness affects failure
+// handling, never which plan a successful run returns.
+func TestStrictSuccessIsCachedForEveryone(t *testing.T) {
+	srv := newTestServer(t, nil)
+	defer shutdownServer(t, srv)
+
+	first := postJSON(t, srv, "/v1/plan",
+		planRequest{SQL: "SELECT * WHERE humid > 9", Strict: true, Parallelism: 2})
+	if first.Code != http.StatusOK {
+		t.Fatalf("strict plan: %d %s", first.Code, first.Body.String())
+	}
+	second := decodeResp[planResponse](t, postJSON(t, srv, "/v1/plan",
+		planRequest{SQL: "SELECT * WHERE humid > 9"}))
+	if !second.Cached {
+		t.Error("lax request missed the cache a strict request populated")
+	}
+}

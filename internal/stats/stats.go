@@ -16,6 +16,8 @@
 package stats
 
 import (
+	"sync"
+
 	"acqp/internal/floats"
 	"acqp/internal/query"
 	"acqp/internal/schema"
@@ -35,10 +37,11 @@ type Dist interface {
 // Cond is a distribution conditioned on the evidence gathered so far along
 // one plan branch. All probabilities are conditional on that evidence.
 //
-// Conds lazily cache histograms and are therefore NOT safe for concurrent
-// use; create one context chain per goroutine (Dist implementations are
-// read-only after construction, so sharing a Dist across goroutines and
-// calling Root in each is fine).
+// Conds are safe for concurrent use: lazily computed histograms and prefix
+// sums are published through sync.Once and immutable afterwards, so one
+// Cond (and any chain of contexts derived from it) can back many search
+// goroutines without copies. Restrict methods only read the parent and
+// return a fresh child context.
 type Cond interface {
 	// Weight is the effective number of tuples consistent with the
 	// evidence (a count for empirical distributions, an expected count
@@ -96,62 +99,65 @@ func (e *Empirical) Root() Cond {
 }
 
 func newEmpCond(tbl *table.Table, rows []int32) *empCond {
-	n := tbl.Schema().NumAttrs()
-	return &empCond{tbl: tbl, rows: rows, hists: make([][]float64, n), prefixes: make([][]float64, n)}
+	return &empCond{tbl: tbl, rows: rows, attrs: make([]attrStat, tbl.Schema().NumAttrs())}
+}
+
+// attrStat is one attribute's lazily published statistics: the normalized
+// histogram and its prefix sums. once guards a single computation of both;
+// after Do returns they are immutable, so any number of goroutines can
+// share the slices without further synchronization.
+type attrStat struct {
+	once   sync.Once
+	hist   []float64
+	prefix []float64 // prefix[v] = P(X < v): the incremental rule of Eq. (7)
 }
 
 // empCond is a selection-vector conditioning context.
 type empCond struct {
-	tbl      *table.Table
-	rows     []int32
-	hists    [][]float64 // lazily computed normalized histograms, per attribute
-	prefixes [][]float64 // prefix sums of hists: the incremental rule of Eq. (7)
+	tbl   *table.Table
+	rows  []int32
+	attrs []attrStat
 }
 
 func (c *empCond) Weight() float64 { return float64(len(c.rows)) }
 
-func (c *empCond) Hist(attr int) []float64 {
-	if h := c.hists[attr]; h != nil {
-		return h
-	}
-	k := c.tbl.Schema().K(attr)
-	h := make([]float64, k)
-	col := c.tbl.Col(attr)
-	for _, r := range c.rows {
-		h[col[r]]++
-	}
-	if n := float64(len(c.rows)); n > 0 {
-		for i := range h {
-			h[i] /= n
+// stat computes (once) and returns the attribute's histogram and prefix
+// sums. This is the safe-publication point for the lazy caches.
+func (c *empCond) stat(attr int) *attrStat {
+	st := &c.attrs[attr]
+	st.once.Do(func() {
+		k := c.tbl.Schema().K(attr)
+		h := make([]float64, k)
+		col := c.tbl.Col(attr)
+		for _, r := range c.rows {
+			h[col[r]]++
 		}
-	} else {
-		// Unsupported context: fall back to a uniform histogram so the
-		// planners get finite, uninformative probabilities instead of
-		// NaN (the high-variance regime Section 7 warns about).
-		for i := range h {
-			h[i] = 1 / float64(k)
+		if n := float64(len(c.rows)); n > 0 {
+			for i := range h {
+				h[i] /= n
+			}
+		} else {
+			// Unsupported context: fall back to a uniform histogram so the
+			// planners get finite, uninformative probabilities instead of
+			// NaN (the high-variance regime Section 7 warns about).
+			for i := range h {
+				h[i] = 1 / float64(k)
+			}
 		}
-	}
-	c.hists[attr] = h
-	return h
+		p := make([]float64, len(h)+1)
+		for v, hv := range h {
+			p[v+1] = p[v] + hv
+		}
+		st.hist, st.prefix = h, p
+	})
+	return st
 }
 
-// prefix returns cumulative sums of the attribute's histogram:
-// prefix[v] = P(X < v). Range probabilities then follow in O(1) by the
-// incremental rule of Equation (7): P(X in [lo,hi]) =
-// prefix[hi+1] - prefix[lo].
-func (c *empCond) prefix(attr int) []float64 {
-	if p := c.prefixes[attr]; p != nil {
-		return p
-	}
-	h := c.Hist(attr)
-	p := make([]float64, len(h)+1)
-	for v, hv := range h {
-		p[v+1] = p[v] + hv
-	}
-	c.prefixes[attr] = p
-	return p
-}
+func (c *empCond) Hist(attr int) []float64 { return c.stat(attr).hist }
+
+// prefix returns cumulative sums of the attribute's histogram. Range
+// probabilities follow in O(1): P(X in [lo,hi]) = prefix[hi+1] - prefix[lo].
+func (c *empCond) prefix(attr int) []float64 { return c.stat(attr).prefix }
 
 func (c *empCond) ProbRange(attr int, r query.Range) float64 {
 	p := c.prefix(attr)

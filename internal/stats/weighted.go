@@ -61,41 +61,43 @@ func (w *Weighted) Root() Cond {
 		w:      w,
 		rows:   rows,
 		weight: w.total,
-		hists:  make([][]float64, w.s.NumAttrs()),
+		attrs:  make([]attrStat, w.s.NumAttrs()),
 	}
 }
 
-// wCond is a selection-vector context over weighted cells.
+// wCond is a selection-vector context over weighted cells. Like empCond it
+// publishes lazily computed histograms through sync.Once, so a shared
+// context is safe for concurrent readers.
 type wCond struct {
 	w      *Weighted
 	rows   []int32
 	weight float64
-	hists  [][]float64
+	attrs  []attrStat
 }
 
 func (c *wCond) Weight() float64 { return c.weight }
 
 func (c *wCond) Hist(attr int) []float64 {
-	if h := c.hists[attr]; h != nil {
-		return h
-	}
-	k := c.w.s.K(attr)
-	h := make([]float64, k)
-	col := c.w.cells.Col(attr)
-	for _, r := range c.rows {
-		h[col[r]] += c.w.weights[r]
-	}
-	if c.weight > 0 {
-		for i := range h {
-			h[i] /= c.weight
+	st := &c.attrs[attr]
+	st.once.Do(func() {
+		k := c.w.s.K(attr)
+		h := make([]float64, k)
+		col := c.w.cells.Col(attr)
+		for _, r := range c.rows {
+			h[col[r]] += c.w.weights[r]
 		}
-	} else {
-		for i := range h {
-			h[i] = 1 / float64(k)
+		if c.weight > 0 {
+			for i := range h {
+				h[i] /= c.weight
+			}
+		} else {
+			for i := range h {
+				h[i] = 1 / float64(k)
+			}
 		}
-	}
-	c.hists[attr] = h
-	return h
+		st.hist = h
+	})
+	return st.hist
 }
 
 func (c *wCond) ProbRange(attr int, r query.Range) float64 {
@@ -133,5 +135,5 @@ func (c *wCond) restrict(attr int, keep func(schema.Value) bool) Cond {
 			weight += c.w.weights[row]
 		}
 	}
-	return &wCond{w: c.w, rows: sub, weight: weight, hists: make([][]float64, c.w.s.NumAttrs())}
+	return &wCond{w: c.w, rows: sub, weight: weight, attrs: make([]attrStat, c.w.s.NumAttrs())}
 }
