@@ -11,6 +11,11 @@
 #              planning-service request path)
 #   acqserved  an end-to-end smoke: boot the planning service on an
 #              ephemeral port, drive it with acqload, shut down cleanly
+#   chaos smoke rerun the exec fault-policy tests and the seeded
+#              lossy-sensornet simulation, then regenerate the faults
+#              figure (which self-checks rate-zero equivalence,
+#              non-negative costs, zero plan mismatches, and seeded
+#              reproducibility, and exits nonzero on any regression)
 #   benchmarks the serve cache hit/miss paths and the parallel planner,
 #              teed to results/; the parallel run always verifies plans
 #              are byte-identical across worker counts, and on hosts with
@@ -73,6 +78,16 @@ fi
 kill -TERM "$serverpid"
 wait "$serverpid"
 grep -q "acqserved: done" "$smokedir/acqserved.log"
+
+echo "== chaos smoke"
+# Fault-injection gate: the policy tests pin exact retry-cost accounting
+# and rate-zero byte-identity, the sensornet test drives a seeded lossy
+# network end to end, and the faults figure aborts on any panic, negative
+# cost, or mismatch regression (its invariants are checked in-process).
+go test -run='TestRunFaulty' -count=1 ./internal/exec
+go test -run='TestZeroFaultProfileIsByteIdentical|TestLossyLinksChargeRetransmissions|TestDeployFaultyNeverNegative' -count=1 ./internal/sensornet
+mkdir -p results
+go run ./cmd/acqbench -fig faults | tee results/faults-bench.txt
 
 echo "== serve benchmarks"
 mkdir -p results

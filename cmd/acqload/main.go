@@ -24,6 +24,7 @@ import (
 	"net/http"
 	"os"
 	"sort"
+	"strconv"
 	"strings"
 	"sync"
 	"sync/atomic"
@@ -61,6 +62,7 @@ func main() {
 	planner := flag.String("planner", "", "planner to request (empty = server default)")
 	timeoutMS := flag.Int("timeout-ms", 0, "per-request planning deadline to send (0 = server default)")
 	execute := flag.Bool("execute", false, "POST /execute instead of /plan")
+	maxRetries := flag.Int("max-retries", 3, "retries per request when the server sheds load with 503")
 	flag.Parse()
 	if *clients < 1 || *requests < 1 {
 		fatal(fmt.Errorf("need at least one client and one request"))
@@ -89,6 +91,7 @@ func main() {
 	var (
 		wg        sync.WaitGroup
 		errs      atomic.Int64
+		retries   atomic.Int64
 		cached    atomic.Int64
 		shared    atomic.Int64
 		degraded  atomic.Int64
@@ -113,15 +116,14 @@ func main() {
 					"sql": q, "planner": *planner, "timeout_ms": *timeoutMS,
 				})
 				t0 := time.Now()
-				resp, err := http.Post(endpoint, "application/json", bytes.NewReader(body))
+				status, raw, tries, err := postWithRetry(endpoint, body, *maxRetries, crng)
+				retries.Add(int64(tries))
 				if err != nil {
 					errs.Add(1)
 					continue
 				}
-				raw, _ := io.ReadAll(resp.Body)
-				resp.Body.Close()
 				lat[id] = append(lat[id], float64(time.Since(t0))/float64(time.Millisecond))
-				if resp.StatusCode != http.StatusOK {
+				if status != http.StatusOK {
 					errs.Add(1)
 					continue
 				}
@@ -150,8 +152,8 @@ func main() {
 	sort.Float64s(all)
 	total := *clients * *requests
 	fmt.Printf("acqload: %d clients x %d requests against %s (pool %d)\n", *clients, *requests, endpoint, n)
-	fmt.Printf("  %d ok, %d errors in %.2fs (%.0f req/s)\n",
-		total-int(errs.Load()), errs.Load(), elapsed.Seconds(), float64(total)/elapsed.Seconds())
+	fmt.Printf("  %d ok, %d errors, %d retries in %.2fs (%.0f req/s)\n",
+		total-int(errs.Load()), errs.Load(), retries.Load(), elapsed.Seconds(), float64(total)/elapsed.Seconds())
 	if len(all) > 0 {
 		fmt.Printf("  latency ms: p50 %.2f  p95 %.2f  p99 %.2f  max %.2f\n",
 			pct(all, 50), pct(all, 95), pct(all, 99), all[len(all)-1])
@@ -192,6 +194,40 @@ func randomQuery(rng *rand.Rand, schema []attrInfo) string {
 		}
 	}
 	return "SELECT * WHERE " + strings.Join(terms, " AND ")
+}
+
+// retryBackoffCap bounds the wait between 503 retries; the server's
+// Retry-After hint is honored up to this cap.
+const retryBackoffCap = 2 * time.Second
+
+// postWithRetry posts the body, retrying up to maxRetries times when the
+// server sheds load with 503. Each wait honors the Retry-After header if
+// present (falling back to 100ms doubling per attempt), capped and spread
+// with +/-50% jitter so the shed cohort does not stampede back in phase.
+// tries reports how many retries were consumed, whether or not the final
+// attempt succeeded.
+func postWithRetry(endpoint string, body []byte, maxRetries int, rng *rand.Rand) (status int, raw []byte, tries int, err error) {
+	for attempt := 0; ; attempt++ {
+		resp, err := http.Post(endpoint, "application/json", bytes.NewReader(body))
+		if err != nil {
+			return 0, nil, tries, err
+		}
+		raw, _ = io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusServiceUnavailable || attempt >= maxRetries {
+			return resp.StatusCode, raw, tries, nil
+		}
+		wait := 100 * time.Millisecond << attempt
+		if s, herr := strconv.Atoi(resp.Header.Get("Retry-After")); herr == nil && s >= 0 {
+			wait = time.Duration(s) * time.Second
+		}
+		if wait > retryBackoffCap {
+			wait = retryBackoffCap
+		}
+		wait = time.Duration(float64(wait) * (0.5 + rng.Float64()))
+		tries++
+		time.Sleep(wait)
+	}
 }
 
 func pct(sorted []float64, p int) float64 {

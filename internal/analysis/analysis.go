@@ -57,6 +57,7 @@ func Analyzers() []*Analyzer {
 		PanicPolicy,
 		ErrDrop,
 		CondShare,
+		FaultDet,
 	}
 }
 

@@ -1,0 +1,64 @@
+package analysis
+
+import (
+	"go/ast"
+	"strings"
+)
+
+// FaultDet keeps internal/fault deterministic: the fault injector's whole
+// contract is that the same seed replays the same faults, bit for bit,
+// under any goroutine interleaving — the executor's equivalence tests,
+// the seeded acqbench study, and the what-if API all lean on it. Any
+// math/rand generator (stateful, order-sensitive) or wall-clock read
+// (time.Now, time.Since) inside the package would silently break replay,
+// so both are forbidden outright; randomness must come from the package's
+// counter-based hash and "time" from caller-supplied epochs.
+var FaultDet = &Analyzer{
+	Name: "faultdet",
+	Doc:  "forbid math/rand and wall-clock reads in internal/fault; fault injection must replay from the seed alone",
+	Run:  runFaultDet,
+}
+
+func runFaultDet(p *Package) []Diagnostic {
+	if !p.InDir("internal/fault") {
+		return nil
+	}
+	var out []Diagnostic
+	p.walkNonTest(func(_ int, f *ast.File) {
+		timeLocal := ""
+		for _, imp := range f.Imports {
+			path := strings.Trim(imp.Path.Value, `"`)
+			switch path {
+			case "math/rand", "math/rand/v2":
+				// The import alone is banned: even a seeded *rand.Rand is
+				// mutable state whose draws depend on call order.
+				out = append(out, p.diag("faultdet", imp.Pos(),
+					"import of %s in internal/fault; derive randomness from the seed via the counter-based hash", path))
+			case "time":
+				timeLocal = "time"
+				if imp.Name != nil {
+					timeLocal = imp.Name.Name
+				}
+			}
+		}
+		if timeLocal == "" || timeLocal == "." {
+			return
+		}
+		ast.Inspect(f, func(n ast.Node) bool {
+			sel, ok := n.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			id, ok := sel.X.(*ast.Ident)
+			if !ok || id.Name != timeLocal {
+				return true
+			}
+			if sel.Sel.Name == "Now" || sel.Sel.Name == "Since" || sel.Sel.Name == "Until" {
+				out = append(out, p.diag("faultdet", sel.Pos(),
+					"wall-clock read time.%s in internal/fault; fault schedules must depend only on the seed and attempt counters", sel.Sel.Name))
+			}
+			return true
+		})
+	})
+	return out
+}

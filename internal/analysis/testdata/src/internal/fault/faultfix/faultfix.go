@@ -1,0 +1,26 @@
+// Package faultfix is the faultdet golden fixture. Its path contains
+// internal/fault, so it sits inside the analyzer's determinism scope.
+package faultfix
+
+import (
+	"math/rand" // want "import of math/rand in internal/fault"
+	"time"
+)
+
+func draw(seed int64) float64 {
+	rng := rand.New(rand.NewSource(seed))
+	return rng.Float64()
+}
+
+func stamp() int64 {
+	return time.Now().UnixNano() // want "wall-clock read time.Now"
+}
+
+func elapsed(t0 time.Time) time.Duration {
+	return time.Since(t0) // want "wall-clock read time.Since"
+}
+
+func backoff(d time.Duration) time.Duration {
+	// Pure duration arithmetic never reads the clock: allowed.
+	return 2 * d
+}

@@ -1,0 +1,505 @@
+package exec
+
+import (
+	"fmt"
+
+	"acqp/internal/fault"
+	"acqp/internal/plan"
+	"acqp/internal/query"
+	"acqp/internal/schema"
+	"acqp/internal/stats"
+	"acqp/internal/table"
+)
+
+// FallbackPolicy selects what the executor does with a tuple when an
+// attribute acquisition ultimately fails (all retries exhausted, or the
+// sensor is dead).
+type FallbackPolicy int8
+
+// Fallback policies.
+const (
+	// Abstain answers Unknown for the tuple. Never wrong, but every
+	// abstained tuple is an unanswered one.
+	Abstain FallbackPolicy = iota
+	// Impute predicts the missing value from the attributes acquired so
+	// far using a fitted joint model (typically the Chow–Liu tree from
+	// internal/model) — the same correlations the planner exploits for
+	// cost. The plan then proceeds as if the prediction were the reading.
+	Impute
+	// Replan drops the failed attribute and re-runs planning on the
+	// residual query (the conjunction minus any predicate on that
+	// attribute, which is optimistically treated as satisfied). Residual
+	// plans are cached per failed-attribute set.
+	Replan
+)
+
+func (p FallbackPolicy) String() string {
+	switch p {
+	case Abstain:
+		return "abstain"
+	case Impute:
+		return "impute"
+	case Replan:
+		return "replan"
+	default:
+		return fmt.Sprintf("policy(%d)", int(p))
+	}
+}
+
+// ParseFallbackPolicy parses the textual policy names used by flags and
+// the serving API.
+func ParseFallbackPolicy(s string) (FallbackPolicy, error) {
+	switch s {
+	case "abstain":
+		return Abstain, nil
+	case "impute":
+		return Impute, nil
+	case "replan":
+		return Replan, nil
+	default:
+		return 0, fmt.Errorf("exec: unknown fallback policy %q (want abstain, impute, or replan)", s)
+	}
+}
+
+// FaultConfig configures the fault-aware execution path.
+type FaultConfig struct {
+	// Injector decides per-attempt outcomes; nil injects nothing.
+	Injector *fault.Injector
+	// Retrier governs retries of transient/timeout failures and the cost
+	// charged for them. The zero value never retries.
+	Retrier fault.Retrier
+	// Policy is the fallback applied when an acquisition ultimately fails.
+	Policy FallbackPolicy
+	// Model is the joint distribution used by the Impute policy (required
+	// for it, ignored otherwise).
+	Model stats.Dist
+	// Replanner builds a plan for the residual query when the Replan
+	// policy drops the failed attributes (marked true in failed). Nil
+	// defaults to the correlation-unaware sequential plan over the
+	// residual predicates, which is always correct and needs no planner.
+	Replanner func(failed []bool, residual query.Query) (*plan.Node, error)
+}
+
+// TupleOutcome reports the fault-aware execution of one tuple.
+type TupleOutcome struct {
+	// Answer is the plan's three-valued output: Unknown iff the tuple was
+	// abstained.
+	Answer query.Truth
+	// Cost is everything charged for the tuple, retries and backoff
+	// included.
+	Cost float64
+	// RetryCost is the portion of Cost beyond fault-free execution: retry
+	// sampling costs, backoff waits, and timeout surcharges.
+	RetryCost float64
+	// Retries counts retry attempts performed.
+	Retries int
+	// Failures counts attributes whose acquisition ultimately failed.
+	Failures int
+	// StaleReads counts acquisitions satisfied by a stuck previous value.
+	StaleReads int
+	// Imputed counts attribute values predicted by the model.
+	Imputed int
+	// Replanned reports whether a residual plan was used.
+	Replanned bool
+	// Touched reports whether a fault could have changed the answer: a
+	// stale or imputed value differed from the true reading, or a replan
+	// dropped an attribute carrying a query predicate. Wrong answers on
+	// untouched tuples indicate a planner bug, not fault damage.
+	Touched bool
+}
+
+// TupleExecutor executes a plan tuple-by-tuple under fault injection. It
+// carries cross-tuple state — stale-value latches, learned-dead sensors,
+// and the residual-plan cache — so callers that stream tuples (the
+// sensornet motes) create one per logical node and feed it rows in order.
+//
+// With an inactive (or nil) injector the traversal performs exactly the
+// same sequence of cost additions as plan.Node.Execute, so results are
+// byte-identical to the fault-free path.
+type TupleExecutor struct {
+	s   *schema.Schema
+	p   *plan.Node
+	q   query.Query
+	cfg FaultConfig
+
+	// Cross-tuple state.
+	stale     []schema.Value // last successfully latched reading
+	haveStale []bool
+	deadKnown []bool // sensor observed dead; later tuples skip it at zero cost
+	replans   map[string]*plan.Node
+	acq       []int64 // per-attribute tuples-that-paid counts
+
+	// Per-tuple scratch.
+	paid    []bool // cost charged (board powered) this tuple
+	known   []bool // value available this tuple (fresh, stale, or imputed)
+	failed  []bool // acquisition ultimately failed this tuple
+	imputed []bool
+	vals    []schema.Value
+}
+
+// NewTupleExecutor validates the configuration and builds an executor for
+// the plan.
+func NewTupleExecutor(s *schema.Schema, p *plan.Node, q query.Query, cfg FaultConfig) (*TupleExecutor, error) {
+	switch cfg.Policy {
+	case Abstain, Replan:
+	case Impute:
+		if cfg.Model == nil {
+			return nil, fmt.Errorf("exec: Impute policy requires a model distribution")
+		}
+		if got := cfg.Model.Schema().NumAttrs(); got != s.NumAttrs() {
+			return nil, fmt.Errorf("exec: impute model covers %d attributes, schema has %d", got, s.NumAttrs())
+		}
+	default:
+		return nil, fmt.Errorf("exec: unknown fallback policy %d", cfg.Policy)
+	}
+	if cfg.Injector != nil && cfg.Injector.NumAttrs() != s.NumAttrs() {
+		return nil, fmt.Errorf("exec: injector covers %d attributes, schema has %d", cfg.Injector.NumAttrs(), s.NumAttrs())
+	}
+	n := s.NumAttrs()
+	return &TupleExecutor{
+		s: s, p: p, q: q, cfg: cfg,
+		stale: make([]schema.Value, n), haveStale: make([]bool, n),
+		deadKnown: make([]bool, n), acq: make([]int64, n),
+		paid: make([]bool, n), known: make([]bool, n), failed: make([]bool, n),
+		imputed: make([]bool, n), vals: make([]schema.Value, n),
+	}, nil
+}
+
+// AcquisitionCounts returns the live per-attribute counts of tuples that
+// paid for the attribute so far (the fault-aware analogue of
+// Result.Acquisitions).
+func (e *TupleExecutor) AcquisitionCounts() []int64 { return e.acq }
+
+// ExecTuple runs the plan on one tuple. rowIdx must be the tuple's global
+// index (it seeds the injector's per-tuple randomness) and strictly
+// increase across calls for the stale/dead state to make physical sense.
+func (e *TupleExecutor) ExecTuple(rowIdx int, row []schema.Value) TupleOutcome {
+	for i := range e.paid {
+		e.paid[i] = false
+		e.known[i] = false
+		e.failed[i] = false
+		e.imputed[i] = false
+	}
+	var out TupleOutcome
+	out.Answer = e.execPlan(e.p, rowIdx, row, &out, 0)
+	for a, p := range e.paid {
+		if p {
+			e.acq[a]++
+		}
+	}
+	return out
+}
+
+// execPlan traverses one plan, consulting the fallback policy on
+// acquisition failure. depth bounds replan recursion.
+func (e *TupleExecutor) execPlan(p *plan.Node, rowIdx int, row []schema.Value, out *TupleOutcome, depth int) query.Truth {
+	cur := p
+	for {
+		switch cur.Kind {
+		case plan.Leaf:
+			if cur.Result {
+				return query.True
+			}
+			return query.False
+		case plan.Split:
+			if !e.ensure(rowIdx, cur.Attr, row, out) {
+				return e.fallback(rowIdx, row, out, depth)
+			}
+			if e.vals[cur.Attr] >= cur.X {
+				cur = cur.Right
+			} else {
+				cur = cur.Left
+			}
+		case plan.Seq:
+			for _, pd := range cur.Preds {
+				if !e.ensure(rowIdx, pd.Attr, row, out) {
+					return e.fallback(rowIdx, row, out, depth)
+				}
+				if !pd.Eval(e.vals[pd.Attr]) {
+					return query.False
+				}
+			}
+			return query.True
+		default:
+			panic(fmt.Sprintf("exec: invalid node kind %d", cur.Kind))
+		}
+	}
+}
+
+// ensure makes attribute a's value available in e.vals[a], acquiring (and
+// retrying) as needed. It returns false when the acquisition ultimately
+// failed and no value could be substituted under the Abstain/Replan
+// policies; under Impute it substitutes a prediction and returns true.
+func (e *TupleExecutor) ensure(rowIdx, a int, row []schema.Value, out *TupleOutcome) bool {
+	if e.known[a] {
+		return true
+	}
+	if e.failed[a] {
+		return false
+	}
+	if e.deadKnown[a] {
+		// Learned-dead sensors are not re-powered: fail at zero cost.
+		return e.attrFailed(rowIdx, a, row, out)
+	}
+	inj, ret := e.cfg.Injector, e.cfg.Retrier
+	for attempt := 0; ; attempt++ {
+		// Every attempt pays the sampling cost; the first additionally
+		// powers the board, exactly as the fault-free executor charges.
+		c := e.s.AcquisitionCost(a, e.paid)
+		out.Cost += c
+		if e.paid[a] {
+			out.RetryCost += c
+		} else {
+			e.paid[a] = true
+		}
+		switch o := inj.Attempt(rowIdx, a, attempt); o {
+		case fault.OK:
+			e.vals[a] = row[a]
+			e.known[a] = true
+			e.stale[a], e.haveStale[a] = row[a], true
+			return true
+		case fault.Stale:
+			// Stuck sensor: it reports its previous latched value. With
+			// nothing latched yet the first reading is necessarily fresh.
+			if e.haveStale[a] {
+				e.vals[a] = e.stale[a]
+				out.StaleReads++
+				if e.vals[a] != row[a] {
+					out.Touched = true
+				}
+			} else {
+				e.vals[a] = row[a]
+				e.stale[a], e.haveStale[a] = row[a], true
+			}
+			e.known[a] = true
+			return true
+		case fault.FailDead:
+			e.deadKnown[a] = true
+			return e.attrFailed(rowIdx, a, row, out)
+		default: // FailTransient, FailTimeout
+			if o == fault.FailTimeout {
+				surch := ret.TimeoutSurcharge(c)
+				out.Cost += surch
+				out.RetryCost += surch
+			}
+			if attempt >= ret.MaxRetries {
+				return e.attrFailed(rowIdx, a, row, out)
+			}
+			retry := attempt + 1
+			b := ret.Backoff(retry, inj.JitterU(rowIdx, a, retry))
+			out.Cost += b
+			out.RetryCost += b
+			out.Retries++
+		}
+	}
+}
+
+// attrFailed records an ultimate acquisition failure on attribute a and,
+// under the Impute policy, substitutes a model prediction.
+func (e *TupleExecutor) attrFailed(rowIdx, a int, row []schema.Value, out *TupleOutcome) bool {
+	out.Failures++
+	if e.cfg.Policy == Impute {
+		v := e.imputeValue(a)
+		e.vals[a] = v
+		e.known[a] = true
+		e.imputed[a] = true
+		out.Imputed++
+		if v != row[a] {
+			out.Touched = true
+		}
+		return true
+	}
+	e.failed[a] = true
+	return false
+}
+
+// imputeValue predicts attribute a from the genuinely observed values of
+// this tuple: the model is conditioned on every known, non-imputed
+// attribute and the argmax of the resulting histogram is returned.
+// Imputed values are not used as evidence, so one bad prediction does not
+// compound into the next.
+func (e *TupleExecutor) imputeValue(a int) schema.Value {
+	c := e.cfg.Model.Root()
+	for k := range e.known {
+		if k != a && e.known[k] && !e.imputed[k] {
+			c = c.RestrictRange(k, query.Range{Lo: e.vals[k], Hi: e.vals[k]})
+		}
+	}
+	h := c.Hist(a)
+	best := 0
+	for v := 1; v < len(h); v++ {
+		if h[v] > h[best] {
+			best = v
+		}
+	}
+	return schema.Value(best)
+}
+
+// fallback resolves a tuple whose traversal hit a failed acquisition
+// under the Abstain or Replan policy (Impute is handled inside ensure).
+func (e *TupleExecutor) fallback(rowIdx int, row []schema.Value, out *TupleOutcome, depth int) query.Truth {
+	if e.cfg.Policy != Replan || depth >= e.s.NumAttrs() {
+		return query.Unknown
+	}
+	rp, err := e.residualPlan(out)
+	if err != nil || rp == nil {
+		return query.Unknown
+	}
+	out.Replanned = true
+	return e.execPlan(rp, rowIdx, row, out, depth+1)
+}
+
+// residualPlan returns (building and caching on first use) the plan for
+// the query minus the predicates on currently failed attributes. Dropping
+// a predicate-bearing attribute optimistically treats that predicate as
+// satisfied, which marks the tuple as fault-touched.
+func (e *TupleExecutor) residualPlan(out *TupleOutcome) (*plan.Node, error) {
+	key := make([]byte, (len(e.failed)+7)/8)
+	for a, f := range e.failed {
+		if f {
+			key[a/8] |= 1 << (a % 8)
+			if e.q.PredOn(a) >= 0 {
+				out.Touched = true
+			}
+		}
+	}
+	if p, ok := e.replans[string(key)]; ok {
+		return p, nil
+	}
+	residual := make([]query.Pred, 0, len(e.q.Preds))
+	for _, pd := range e.q.Preds {
+		if !e.failed[pd.Attr] {
+			residual = append(residual, pd)
+		}
+	}
+	var rp *plan.Node
+	if e.cfg.Replanner != nil {
+		var err error
+		rp, err = e.cfg.Replanner(append([]bool(nil), e.failed...), query.Query{Preds: residual})
+		if err != nil {
+			return nil, err
+		}
+		// A residual plan that still touches a failed attribute would fail
+		// again immediately; fall back to the always-safe sequential plan.
+		if rp != nil {
+			for a, used := range rp.Attrs(e.s.NumAttrs()) {
+				if used && e.failed[a] {
+					rp = nil
+					break
+				}
+			}
+		}
+	}
+	if rp == nil {
+		rp = plan.NewSeq(residual)
+	}
+	if e.replans == nil {
+		e.replans = make(map[string]*plan.Node)
+	}
+	e.replans[string(key)] = rp
+	return rp, nil
+}
+
+// FaultResult extends Result with fault-path accounting. The embedded
+// Result fields keep their meanings, with two refinements: Selected and
+// Mismatches consider only answered (non-abstained) tuples, and
+// Mismatches counts only wrong answers on tuples no fault touched —
+// fault-induced errors are classed as FalsePositives/FalseNegatives.
+type FaultResult struct {
+	Result
+	// Failures counts (tuple, attribute) acquisition failures after all
+	// retries.
+	Failures int
+	// Retries counts retry attempts performed.
+	Retries int
+	// RetryCost is the portion of TotalCost charged to retries, backoff
+	// waits, and timeout surcharges.
+	RetryCost float64
+	// StaleReads counts acquisitions satisfied by a stuck previous value.
+	StaleReads int
+	// Abstained counts tuples answered Unknown; AbstainedTrue is the
+	// subset whose ground truth was positive (answers lost to faults).
+	Abstained     int
+	AbstainedTrue int
+	// Imputed counts model-predicted attribute values.
+	Imputed int
+	// Replans counts tuples answered by a residual plan.
+	Replans int
+	// FalsePositives / FalseNegatives count fault-touched tuples answered
+	// wrongly (selected-but-false / rejected-but-true).
+	FalsePositives int
+	FalseNegatives int
+}
+
+// Answered returns the number of tuples that received a definite answer.
+func (r FaultResult) Answered() int { return r.Tuples - r.Abstained }
+
+// Accuracy returns the fraction of answered tuples answered correctly.
+func (r FaultResult) Accuracy() float64 {
+	n := r.Answered()
+	if n == 0 {
+		return 1
+	}
+	return float64(n-r.Mismatches-r.FalsePositives-r.FalseNegatives) / float64(n)
+}
+
+func (r FaultResult) String() string {
+	return fmt.Sprintf("%s failures=%d retries=%d retry-cost=%.3f abstained=%d imputed=%d replans=%d fp=%d fn=%d",
+		r.Result.String(), r.Failures, r.Retries, r.RetryCost, r.Abstained, r.Imputed, r.Replans, r.FalsePositives, r.FalseNegatives)
+}
+
+// RunFaulty executes the plan over every tuple of the table under fault
+// injection, verifying answered tuples against ground truth. With an
+// inactive injector the embedded Result is byte-identical to Run's.
+func RunFaulty(s *schema.Schema, p *plan.Node, q query.Query, tbl *table.Table, cfg FaultConfig) (FaultResult, error) {
+	ex, err := NewTupleExecutor(s, p, q, cfg)
+	if err != nil {
+		return FaultResult{}, err
+	}
+	res := FaultResult{Result: Result{Acquisitions: make([]int64, s.NumAttrs())}}
+	var row []schema.Value
+	for r := 0; r < tbl.NumRows(); r++ {
+		row = tbl.Row(r, row)
+		out := ex.ExecTuple(r, row)
+		res.Tuples++
+		res.TotalCost += out.Cost
+		if out.Cost > res.MaxCost {
+			res.MaxCost = out.Cost
+		}
+		res.RetryCost += out.RetryCost
+		res.Retries += out.Retries
+		res.Failures += out.Failures
+		res.StaleReads += out.StaleReads
+		res.Imputed += out.Imputed
+		if out.Replanned {
+			res.Replans++
+		}
+		truth := q.Eval(row)
+		switch out.Answer {
+		case query.Unknown:
+			res.Abstained++
+			if truth {
+				res.AbstainedTrue++
+			}
+		case query.True:
+			res.Selected++
+			if !truth {
+				if out.Touched {
+					res.FalsePositives++
+				} else {
+					res.Mismatches++
+				}
+			}
+		default:
+			if truth {
+				if out.Touched {
+					res.FalseNegatives++
+				} else {
+					res.Mismatches++
+				}
+			}
+		}
+	}
+	copy(res.Acquisitions, ex.AcquisitionCounts())
+	return res, nil
+}

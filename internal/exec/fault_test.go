@@ -1,0 +1,491 @@
+package exec
+
+import (
+	"reflect"
+	"sync"
+	"testing"
+
+	"acqp/internal/fault"
+	"acqp/internal/plan"
+	"acqp/internal/query"
+	"acqp/internal/schema"
+	"acqp/internal/stats"
+	"acqp/internal/table"
+)
+
+// corrSchema is a 3-attribute schema with a cheap conditioning attribute
+// A, an expensive attribute B perfectly correlated with A, and a medium
+// attribute C derived from A.
+func corrSchema() *schema.Schema {
+	return schema.New(
+		schema.Attribute{Name: "A", K: 4, Cost: 1},
+		schema.Attribute{Name: "B", K: 4, Cost: 10},
+		schema.Attribute{Name: "C", K: 2, Cost: 5},
+	)
+}
+
+// corrTrain holds the pure joint: B = A, C = 1 iff A >= 2.
+func corrTrain(s *schema.Schema) *table.Table {
+	tbl := table.New(s, 32)
+	for a := schema.Value(0); a < 4; a++ {
+		c := schema.Value(0)
+		if a >= 2 {
+			c = 1
+		}
+		for i := 0; i < 8; i++ {
+			tbl.MustAppendRow([]schema.Value{a, a, c})
+		}
+	}
+	return tbl
+}
+
+// corrTest is corrTrain plus 4 noise rows where C = 1 but B = 0, so
+// optimistic fallbacks (replan dropping B's predicate, imputing B from A)
+// produce exactly 4 false positives.
+func corrTest(s *schema.Schema) *table.Table {
+	train := corrTrain(s)
+	tbl := table.New(s, train.NumRows()+4)
+	var row []schema.Value
+	for r := 0; r < train.NumRows(); r++ {
+		row = train.Row(r, row)
+		tbl.MustAppendRow(row)
+	}
+	for i := 0; i < 4; i++ {
+		tbl.MustAppendRow([]schema.Value{3, 0, 1})
+	}
+	return tbl
+}
+
+func corrQuery(s *schema.Schema) query.Query {
+	return query.MustNewQuery(s,
+		query.Pred{Attr: 1, R: query.Range{Lo: 2, Hi: 3}},
+		query.Pred{Attr: 2, R: query.Range{Lo: 1, Hi: 1}},
+	)
+}
+
+// corrPlan conditions on A before evaluating the query, so A is already
+// acquired evidence when B's acquisition fails.
+func corrPlan(q query.Query) *plan.Node {
+	return plan.NewSplit(0, 2, plan.NewSeq(q.Preds), plan.NewSeq(q.Preds))
+}
+
+func TestRunFaultyZeroFaultEquivalence(t *testing.T) {
+	s := testSchema()
+	q := testQuery(s)
+	plans := map[string]*plan.Node{
+		"seq":   plan.NewSeq(q.Preds),
+		"split": plan.NewSplit(2, 1, plan.NewLeaf(false), plan.NewSeq(q.Preds)),
+	}
+	for name, p := range plans {
+		base := Run(s, p, q, testTable())
+		for _, policy := range []FallbackPolicy{Abstain, Replan} {
+			for _, inj := range []*fault.Injector{nil, fault.NewInjector(s.NumAttrs(), 7)} {
+				res, err := RunFaulty(s, p, q, testTable(), FaultConfig{
+					Injector: inj, Retrier: fault.DefaultRetrier(), Policy: policy,
+				})
+				if err != nil {
+					t.Fatalf("%s/%v: %v", name, policy, err)
+				}
+				if !reflect.DeepEqual(res.Result, base) {
+					t.Errorf("%s/%v: fault-free RunFaulty differs from Run:\n got %+v\nwant %+v", name, policy, res.Result, base)
+				}
+				if res.Failures != 0 || res.Retries != 0 || res.RetryCost != 0 || res.Abstained != 0 || res.Imputed != 0 || res.Replans != 0 {
+					t.Errorf("%s/%v: fault counters nonzero without faults: %+v", name, policy, res)
+				}
+			}
+		}
+	}
+}
+
+func TestRunFaultyFallbackPolicies(t *testing.T) {
+	s := corrSchema()
+	q := corrQuery(s)
+	p := corrPlan(q)
+	tbl := corrTest(s)
+	model := stats.NewEmpirical(corrTrain(s))
+
+	mkInjector := func() *fault.Injector {
+		inj := fault.NewInjector(s.NumAttrs(), 1)
+		if err := inj.SetAttr(1, fault.AttrFault{Dead: true}); err != nil {
+			t.Fatal(err)
+		}
+		return inj
+	}
+
+	cases := []struct {
+		name           string
+		cfg            FaultConfig
+		wantAnswered   int
+		wantAbstained  int
+		wantAbsTrue    int
+		wantSelected   int
+		wantImputed    int
+		wantReplans    int
+		wantFP, wantFN int
+		minAccuracy    float64
+	}{
+		{
+			name:          "abstain",
+			cfg:           FaultConfig{Injector: mkInjector(), Policy: Abstain},
+			wantAnswered:  0,
+			wantAbstained: 36,
+			wantAbsTrue:   16,
+			minAccuracy:   1, // vacuous: nothing answered, nothing wrong
+		},
+		{
+			name:         "impute",
+			cfg:          FaultConfig{Injector: mkInjector(), Policy: Impute, Model: model},
+			wantAnswered: 36,
+			wantSelected: 20,
+			wantImputed:  36,
+			wantFP:       4, // noise rows: A=3 imputes B=3, truth has B=0
+			minAccuracy:  32.0 / 36,
+		},
+		{
+			name:         "replan",
+			cfg:          FaultConfig{Injector: mkInjector(), Policy: Replan},
+			wantAnswered: 36,
+			wantSelected: 20,
+			wantReplans:  36,
+			wantFP:       4, // dropped B predicate optimistically satisfied
+			minAccuracy:  32.0 / 36,
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			res, err := RunFaulty(s, p, q, tbl, tc.cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if res.Tuples != 36 {
+				t.Fatalf("Tuples = %d", res.Tuples)
+			}
+			if got := res.Answered(); got != tc.wantAnswered {
+				t.Errorf("Answered = %d, want %d", got, tc.wantAnswered)
+			}
+			if res.Abstained != tc.wantAbstained || res.AbstainedTrue != tc.wantAbsTrue {
+				t.Errorf("Abstained = %d/%d true, want %d/%d", res.Abstained, res.AbstainedTrue, tc.wantAbstained, tc.wantAbsTrue)
+			}
+			if res.Selected != tc.wantSelected {
+				t.Errorf("Selected = %d, want %d", res.Selected, tc.wantSelected)
+			}
+			if res.Imputed != tc.wantImputed {
+				t.Errorf("Imputed = %d, want %d", res.Imputed, tc.wantImputed)
+			}
+			if res.Replans != tc.wantReplans {
+				t.Errorf("Replans = %d, want %d", res.Replans, tc.wantReplans)
+			}
+			if res.FalsePositives != tc.wantFP || res.FalseNegatives != tc.wantFN {
+				t.Errorf("FP/FN = %d/%d, want %d/%d", res.FalsePositives, res.FalseNegatives, tc.wantFP, tc.wantFN)
+			}
+			if res.Mismatches != 0 {
+				t.Errorf("Mismatches = %d; fault damage must be classed as FP/FN", res.Mismatches)
+			}
+			if acc := res.Accuracy(); acc < tc.minAccuracy {
+				t.Errorf("Accuracy = %.4f, want >= %.4f", acc, tc.minAccuracy)
+			}
+			// Every tuple hits the dead attribute exactly once.
+			if res.Failures != 36 {
+				t.Errorf("Failures = %d, want 36", res.Failures)
+			}
+			// The dead board is only powered once, on the first tuple; the
+			// executor learns the sensor is dead and stops paying for it.
+			if res.Acquisitions[1] != 1 {
+				t.Errorf("Acquisitions[B] = %d, want 1", res.Acquisitions[1])
+			}
+		})
+	}
+}
+
+func TestRunFaultyImputeVsAbstainAnswersMore(t *testing.T) {
+	// The acceptance invariant: under failures, Impute and Replan answer
+	// strictly more tuples than Abstain at bounded extra cost.
+	s := corrSchema()
+	q := corrQuery(s)
+	p := corrPlan(q)
+	tbl := corrTest(s)
+	model := stats.NewEmpirical(corrTrain(s))
+	mk := func() *fault.Injector {
+		inj := fault.NewInjector(s.NumAttrs(), 3)
+		if err := inj.SetAttr(1, fault.AttrFault{PTransient: 0.5}); err != nil {
+			t.Fatal(err)
+		}
+		return inj
+	}
+	ret := fault.DefaultRetrier()
+	abstain, err := RunFaulty(s, p, q, tbl, FaultConfig{Injector: mk(), Retrier: ret, Policy: Abstain})
+	if err != nil {
+		t.Fatal(err)
+	}
+	impute, err := RunFaulty(s, p, q, tbl, FaultConfig{Injector: mk(), Retrier: ret, Policy: Impute, Model: model})
+	if err != nil {
+		t.Fatal(err)
+	}
+	replan, err := RunFaulty(s, p, q, tbl, FaultConfig{Injector: mk(), Retrier: ret, Policy: Replan})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if abstain.Abstained == 0 {
+		t.Fatal("expected some ultimate failures at PTransient=0.5 with 2 retries")
+	}
+	if impute.Answered() <= abstain.Answered() || replan.Answered() <= abstain.Answered() {
+		t.Errorf("Answered: impute=%d replan=%d abstain=%d; fallbacks must answer strictly more",
+			impute.Answered(), replan.Answered(), abstain.Answered())
+	}
+	// Same injector and retrier: identical retry behaviour, so the extra
+	// cost of answering more is bounded by the residual work.
+	for name, r := range map[string]FaultResult{"impute": impute, "replan": replan} {
+		if r.TotalCost < abstain.TotalCost {
+			t.Errorf("%s TotalCost %.1f < abstain %.1f: answering more cannot cost less here", name, r.TotalCost, abstain.TotalCost)
+		}
+		if r.TotalCost > 2*abstain.TotalCost {
+			t.Errorf("%s TotalCost %.1f unreasonably above abstain %.1f", name, r.TotalCost, abstain.TotalCost)
+		}
+	}
+}
+
+// TestRunFaultyExactAccounting replays the injector and retrier decision-
+// by-decision and checks RunFaulty's cost and counter accounting to the
+// last bit.
+func TestRunFaultyExactAccounting(t *testing.T) {
+	s := schema.New(
+		schema.Attribute{Name: "x", K: 4, Cost: 7},
+		schema.Attribute{Name: "y", K: 2, Cost: 3},
+	)
+	q := query.MustNewQuery(s,
+		query.Pred{Attr: 0, R: query.Range{Lo: 1, Hi: 3}},
+		query.Pred{Attr: 1, R: query.Range{Lo: 1, Hi: 1}},
+	)
+	p := plan.NewSeq(q.Preds)
+	tbl := table.New(s, 200)
+	for r := 0; r < 200; r++ {
+		tbl.MustAppendRow([]schema.Value{schema.Value(r % 4), schema.Value((r / 2) % 2)})
+	}
+	inj := fault.NewInjector(2, 11)
+	if err := inj.SetAttr(0, fault.AttrFault{PTransient: 0.3, PTimeout: 0.2, PStale: 0.2}); err != nil {
+		t.Fatal(err)
+	}
+	if err := inj.SetAttr(1, fault.AttrFault{PTransient: 0.4}); err != nil {
+		t.Fatal(err)
+	}
+	ret := fault.Retrier{MaxRetries: 2, BackoffBase: 1.5, BackoffMult: 2, BackoffCap: 5, Jitter: 0.5, TimeoutCostFactor: 2}
+
+	res, err := RunFaulty(s, p, q, tbl, FaultConfig{Injector: inj, Retrier: ret, Policy: Abstain})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Independent replay of the executor's charging contract.
+	var want FaultResult
+	stale := make([]schema.Value, 2)
+	haveStale := make([]bool, 2)
+	var row []schema.Value
+	for r := 0; r < tbl.NumRows(); r++ {
+		row = tbl.Row(r, row)
+		var cost, retryCost float64
+		answer := query.True
+		touched := false
+	preds:
+		for _, pd := range q.Preds {
+			a := pd.Attr
+			var val schema.Value
+			for attempt := 0; ; attempt++ {
+				c := s.Cost(a)
+				cost += c
+				if attempt > 0 {
+					retryCost += c
+				}
+				o := inj.Attempt(r, a, attempt)
+				if o == fault.OK {
+					val = row[a]
+					stale[a], haveStale[a] = row[a], true
+					break
+				}
+				if o == fault.Stale {
+					if haveStale[a] {
+						val = stale[a]
+						want.StaleReads++
+						if val != row[a] {
+							touched = true
+						}
+					} else {
+						val = row[a]
+						stale[a], haveStale[a] = row[a], true
+					}
+					break
+				}
+				if o == fault.FailTimeout {
+					surch := ret.TimeoutSurcharge(c)
+					cost += surch
+					retryCost += surch
+				}
+				if attempt >= ret.MaxRetries {
+					want.Failures++
+					answer = query.Unknown
+					break preds
+				}
+				b := ret.Backoff(attempt+1, inj.JitterU(r, a, attempt+1))
+				cost += b
+				retryCost += b
+				want.Retries++
+			}
+			if !pd.Eval(val) {
+				answer = query.False
+				break
+			}
+		}
+		want.Tuples++
+		want.TotalCost += cost
+		if cost > want.MaxCost {
+			want.MaxCost = cost
+		}
+		want.RetryCost += retryCost
+		truth := q.Eval(row)
+		switch answer {
+		case query.Unknown:
+			want.Abstained++
+			if truth {
+				want.AbstainedTrue++
+			}
+		case query.True:
+			want.Selected++
+			if !truth && touched {
+				want.FalsePositives++
+			}
+		default:
+			if truth && touched {
+				want.FalseNegatives++
+			}
+		}
+	}
+
+	if res.TotalCost != want.TotalCost || res.RetryCost != want.RetryCost || res.MaxCost != want.MaxCost {
+		t.Errorf("cost accounting: got total=%v retry=%v max=%v, want total=%v retry=%v max=%v",
+			res.TotalCost, res.RetryCost, res.MaxCost, want.TotalCost, want.RetryCost, want.MaxCost)
+	}
+	if res.Retries != want.Retries || res.Failures != want.Failures || res.StaleReads != want.StaleReads {
+		t.Errorf("counters: got retries=%d failures=%d stale=%d, want %d/%d/%d",
+			res.Retries, res.Failures, res.StaleReads, want.Retries, want.Failures, want.StaleReads)
+	}
+	if res.Selected != want.Selected || res.Abstained != want.Abstained || res.AbstainedTrue != want.AbstainedTrue {
+		t.Errorf("answers: got selected=%d abstained=%d/%d, want %d/%d/%d",
+			res.Selected, res.Abstained, res.AbstainedTrue, want.Selected, want.Abstained, want.AbstainedTrue)
+	}
+	if res.FalsePositives != want.FalsePositives || res.FalseNegatives != want.FalseNegatives {
+		t.Errorf("FP/FN: got %d/%d, want %d/%d", res.FalsePositives, res.FalseNegatives, want.FalsePositives, want.FalseNegatives)
+	}
+	if res.Mismatches != 0 {
+		t.Errorf("Mismatches = %d", res.Mismatches)
+	}
+	if res.Retries == 0 || res.StaleReads == 0 || res.Abstained == 0 {
+		t.Errorf("test vacuous: retries=%d stale=%d abstained=%d — want all exercised", res.Retries, res.StaleReads, res.Abstained)
+	}
+}
+
+func TestRunFaultySharedInjectorParallel(t *testing.T) {
+	// One Injector backing concurrent executors must be race-free and give
+	// every goroutine bit-identical results (run with -race in CI).
+	s := corrSchema()
+	q := corrQuery(s)
+	p := corrPlan(q)
+	tbl := corrTest(s)
+	model := stats.NewEmpirical(corrTrain(s))
+	inj := fault.NewInjector(s.NumAttrs(), 17)
+	if err := inj.SetAll(fault.AttrFault{PTransient: 0.3, PStale: 0.1}); err != nil {
+		t.Fatal(err)
+	}
+	cfg := FaultConfig{Injector: inj, Retrier: fault.DefaultRetrier(), Policy: Impute, Model: model}
+	base, err := RunFaulty(s, p, q, tbl, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			res, err := RunFaulty(s, p, q, tbl, cfg)
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			if !reflect.DeepEqual(res, base) {
+				t.Errorf("concurrent run differs:\n got %+v\nwant %+v", res, base)
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+func TestNewTupleExecutorValidation(t *testing.T) {
+	s := corrSchema()
+	q := corrQuery(s)
+	p := corrPlan(q)
+	if _, err := NewTupleExecutor(s, p, q, FaultConfig{Policy: Impute}); err == nil {
+		t.Error("Impute without model accepted")
+	}
+	if _, err := NewTupleExecutor(s, p, q, FaultConfig{Policy: FallbackPolicy(9)}); err == nil {
+		t.Error("unknown policy accepted")
+	}
+	if _, err := NewTupleExecutor(s, p, q, FaultConfig{Injector: fault.NewInjector(2, 0)}); err == nil {
+		t.Error("injector/schema attribute mismatch accepted")
+	}
+	if _, err := NewTupleExecutor(s, p, q, FaultConfig{Injector: fault.NewInjector(3, 0)}); err != nil {
+		t.Errorf("valid config rejected: %v", err)
+	}
+}
+
+func TestParseFallbackPolicy(t *testing.T) {
+	for _, name := range []string{"abstain", "impute", "replan"} {
+		pol, err := ParseFallbackPolicy(name)
+		if err != nil || pol.String() != name {
+			t.Errorf("round trip %q: %v, %v", name, pol, err)
+		}
+	}
+	if _, err := ParseFallbackPolicy("retry-harder"); err == nil {
+		t.Error("bad policy name accepted")
+	}
+}
+
+func TestRunFaultyReplanCustomReplanner(t *testing.T) {
+	s := corrSchema()
+	q := corrQuery(s)
+	p := corrPlan(q)
+	tbl := corrTest(s)
+	inj := fault.NewInjector(s.NumAttrs(), 1)
+	if err := inj.SetAttr(1, fault.AttrFault{Dead: true}); err != nil {
+		t.Fatal(err)
+	}
+	calls := 0
+	cfg := FaultConfig{Injector: inj, Policy: Replan,
+		Replanner: func(failed []bool, residual query.Query) (*plan.Node, error) {
+			calls++
+			if !failed[1] || len(residual.Preds) != 1 || residual.Preds[0].Attr != 2 {
+				t.Errorf("replanner got failed=%v residual=%+v", failed, residual)
+			}
+			return plan.NewSeq(residual.Preds), nil
+		}}
+	res, err := RunFaulty(s, p, q, tbl, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if calls != 1 {
+		t.Errorf("replanner called %d times; residual plans must be cached per dead-set", calls)
+	}
+	if res.Replans != 36 || res.Answered() != 36 {
+		t.Errorf("Replans=%d Answered=%d, want 36/36", res.Replans, res.Answered())
+	}
+
+	// A replanner whose plan still touches the dead attribute is rejected
+	// in favour of the safe sequential residual.
+	cfg.Replanner = func(failed []bool, residual query.Query) (*plan.Node, error) {
+		return plan.NewSeq(q.Preds), nil // still references dead B
+	}
+	res2, err := RunFaulty(s, p, q, tbl, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res2.Answered() != 36 {
+		t.Errorf("bad replanner output not recovered: answered %d", res2.Answered())
+	}
+}

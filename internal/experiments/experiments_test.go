@@ -338,3 +338,53 @@ func TestExperimentsDeterministic(t *testing.T) {
 		t.Errorf("Fig9 output differs between identical environments:\n%s\n---\n%s", a, b)
 	}
 }
+
+func TestFaultStudyShape(t *testing.T) {
+	res, err := FaultStudy(testEnv)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) == 0 {
+		t.Fatal("no rows")
+	}
+	byCell := map[string]FaultRow{}
+	var maxRate float64
+	for _, r := range res.Rows {
+		byCell[r.Policy+"@"+f2(r.Rate)] = r
+		if r.Rate > maxRate {
+			maxRate = r.Rate
+		}
+	}
+	// Rate zero is fault-free for every policy.
+	for _, p := range []string{"abstain", "impute", "replan"} {
+		r, ok := byCell[p+"@"+f2(0)]
+		if !ok {
+			t.Fatalf("missing rate-0 row for %s", p)
+		}
+		if r.Retries != 0 || r.Failures != 0 || r.AnsweredFrac != 1 || r.Accuracy != 1 || r.WrongAnswers != 0 {
+			t.Errorf("rate-0 %s row shows fault activity: %+v", p, r)
+		}
+	}
+	// At the highest rate, abstention loses answers while the fallback
+	// policies keep answering everything; faults must actually fire.
+	ab := byCell["abstain@"+f2(maxRate)]
+	im := byCell["impute@"+f2(maxRate)]
+	re := byCell["replan@"+f2(maxRate)]
+	if ab.Failures == 0 || ab.Retries == 0 {
+		t.Errorf("no faults fired at rate %g: %+v", maxRate, ab)
+	}
+	if ab.AnsweredFrac >= 1 {
+		t.Errorf("abstain answered everything at rate %g", maxRate)
+	}
+	if im.AnsweredFrac <= ab.AnsweredFrac || re.AnsweredFrac <= ab.AnsweredFrac {
+		t.Errorf("fallbacks did not answer more than abstain: impute %.3f replan %.3f abstain %.3f",
+			im.AnsweredFrac, re.AnsweredFrac, ab.AnsweredFrac)
+	}
+	if im.Imputed == 0 || re.Replans == 0 {
+		t.Errorf("fallback counters empty: imputed %d, replans %d", im.Imputed, re.Replans)
+	}
+	var buf bytes.Buffer
+	if err := res.WriteTable(&buf); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,243 @@
+// Package fault provides deterministic, seedable fault injection for
+// acquisitional query processing: per-attribute sensor failure modes
+// (transient loss, permanent death, timeouts, stale reads), a retry
+// policy with capped exponential backoff whose waits are charged as
+// acquisition cost, and a lossy radio link model for the sensornet
+// simulator.
+//
+// The paper's setting — TinyDB motes sampling sensors over lossy multihop
+// radio — is one where acquisitions routinely fail, yet every executor in
+// the reproduction assumed success. This package supplies the failure
+// substrate those layers inject; the graceful-degradation policies built
+// on top of it live in internal/exec (fallbacks) and internal/sensornet
+// (retransmission, mote death).
+//
+// All randomness is counter-based: every draw is a pure hash of
+// (seed, row, attribute, attempt, stream). There is no mutable generator
+// state, so outcomes are reproducible bit-for-bit regardless of goroutine
+// interleaving, and one Injector can back any number of concurrent
+// executors without synchronization. The faultdet analyzer (internal/
+// analysis) statically forbids math/rand and clock reads in this package
+// so that property cannot erode.
+package fault
+
+import "fmt"
+
+// Outcome classifies one acquisition attempt.
+type Outcome int8
+
+// Acquisition attempt outcomes.
+const (
+	// OK is a successful fresh reading.
+	OK Outcome = iota
+	// Stale is a "successful" attempt that returned the sensor's previous
+	// latched reading instead of a fresh sample (stuck-at-stale).
+	Stale
+	// FailTransient is a recoverable failure: the sample was lost and a
+	// retry may succeed.
+	FailTransient
+	// FailTimeout is a recoverable failure where the mote waited out a
+	// timeout before giving up; it costs more energy than a fast failure
+	// (see Retrier.TimeoutCostFactor).
+	FailTimeout
+	// FailDead is a permanent failure: the sensor is dead and no retry can
+	// succeed.
+	FailDead
+)
+
+// Failed reports whether the outcome yielded no usable value.
+func (o Outcome) Failed() bool { return o == FailTransient || o == FailTimeout || o == FailDead }
+
+func (o Outcome) String() string {
+	switch o {
+	case OK:
+		return "ok"
+	case Stale:
+		return "stale"
+	case FailTransient:
+		return "transient"
+	case FailTimeout:
+		return "timeout"
+	case FailDead:
+		return "dead"
+	default:
+		return fmt.Sprintf("outcome(%d)", int(o))
+	}
+}
+
+// AttrFault configures one attribute's failure modes. The zero value is a
+// perfectly healthy sensor.
+type AttrFault struct {
+	// PTransient is the probability an acquisition attempt fails fast.
+	PTransient float64
+	// PTimeout is the probability an attempt fails by timing out (charged
+	// extra energy by the retrier's cost model).
+	PTimeout float64
+	// PStale is the probability a non-failing attempt returns the previous
+	// reading instead of a fresh one.
+	PStale float64
+	// Dead marks the sensor permanently dead from the first tuple.
+	Dead bool
+	// DeadFrom, when positive, marks the sensor permanently dead for every
+	// tuple index at or after it (mote hardware dying mid-run).
+	DeadFrom int
+}
+
+// deadAt reports whether the sensor is permanently dead at tuple row.
+func (f AttrFault) deadAt(row int) bool {
+	return f.Dead || (f.DeadFrom > 0 && row >= f.DeadFrom)
+}
+
+// active reports whether the configuration can ever produce a non-OK
+// outcome.
+func (f AttrFault) active() bool {
+	return f.PTransient > 0 || f.PTimeout > 0 || f.PStale > 0 || f.Dead || f.DeadFrom > 0
+}
+
+// validate checks the probabilities.
+func (f AttrFault) validate() error {
+	for _, p := range []struct {
+		name string
+		v    float64
+	}{{"PTransient", f.PTransient}, {"PTimeout", f.PTimeout}, {"PStale", f.PStale}} {
+		if p.v < 0 || p.v > 1 {
+			return fmt.Errorf("fault: %s = %g outside [0,1]", p.name, p.v)
+		}
+	}
+	if s := f.PTransient + f.PTimeout; s > 1 {
+		return fmt.Errorf("fault: PTransient+PTimeout = %g exceeds 1", s)
+	}
+	if f.DeadFrom < 0 {
+		return fmt.Errorf("fault: DeadFrom = %d is negative (use Dead for dead-from-start)", f.DeadFrom)
+	}
+	return nil
+}
+
+// Injector decides the outcome of every acquisition attempt. It is
+// immutable after configuration and safe for unsynchronized concurrent
+// use: outcomes are pure functions of (seed, row, attr, attempt).
+//
+// A nil *Injector is valid and injects nothing (every attempt is OK).
+type Injector struct {
+	seed   uint64
+	faults []AttrFault
+	any    bool
+}
+
+// NewInjector returns an injector over numAttrs attributes, initially
+// fault-free.
+func NewInjector(numAttrs int, seed int64) *Injector {
+	return &Injector{seed: uint64(seed), faults: make([]AttrFault, numAttrs)}
+}
+
+// SetAttr configures attribute attr's failure modes.
+func (inj *Injector) SetAttr(attr int, f AttrFault) error {
+	if attr < 0 || attr >= len(inj.faults) {
+		return fmt.Errorf("fault: attribute %d out of range [0,%d)", attr, len(inj.faults))
+	}
+	if err := f.validate(); err != nil {
+		return err
+	}
+	inj.faults[attr] = f
+	inj.any = inj.any || f.active()
+	return nil
+}
+
+// SetAll configures every attribute with the same failure modes.
+func (inj *Injector) SetAll(f AttrFault) error {
+	for a := range inj.faults {
+		if err := inj.SetAttr(a, f); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Fault returns attribute attr's configuration.
+func (inj *Injector) Fault(attr int) AttrFault {
+	if inj == nil {
+		return AttrFault{}
+	}
+	return inj.faults[attr]
+}
+
+// Active reports whether any attribute can fail; executors use it to take
+// the exact fault-free fast path when nothing is injected.
+func (inj *Injector) Active() bool { return inj != nil && inj.any }
+
+// NumAttrs returns the number of attributes configured.
+func (inj *Injector) NumAttrs() int {
+	if inj == nil {
+		return 0
+	}
+	return len(inj.faults)
+}
+
+// Draw streams: independent uniform variates for one (row, attr, attempt)
+// are obtained by hashing with distinct stream tags.
+const (
+	streamFail   = 0x5fa11 // shared draw deciding transient/timeout failure
+	streamStale  = 0x57a1e
+	streamJitter = 0x717e6 // exported via JitterU for backoff jitter
+)
+
+// Attempt returns the outcome of acquisition attempt number attempt
+// (0-based) of attribute attr on tuple row. Identical arguments always
+// yield identical outcomes for the same seed.
+func (inj *Injector) Attempt(row, attr, attempt int) Outcome {
+	if inj == nil || !inj.any {
+		return OK
+	}
+	f := inj.faults[attr]
+	if !f.active() {
+		return OK
+	}
+	if f.deadAt(row) {
+		return FailDead
+	}
+	if f.PTransient > 0 || f.PTimeout > 0 {
+		u := inj.uniform(row, attr, attempt, streamFail)
+		if u < f.PTimeout {
+			return FailTimeout
+		}
+		if u < f.PTimeout+f.PTransient {
+			return FailTransient
+		}
+	}
+	if f.PStale > 0 && inj.uniform(row, attr, attempt, streamStale) < f.PStale {
+		return Stale
+	}
+	return OK
+}
+
+// JitterU returns the deterministic uniform variate in [0,1) used to
+// jitter the backoff before retry number retry (1-based) of attribute
+// attr on tuple row.
+func (inj *Injector) JitterU(row, attr, retry int) float64 {
+	if inj == nil {
+		return 0.5
+	}
+	return inj.uniform(row, attr, retry, streamJitter)
+}
+
+// uniform hashes the coordinates into [0,1).
+func (inj *Injector) uniform(row, attr, attempt, stream int) float64 {
+	return u01(inj.seed, uint64(row), uint64(attr)<<32|uint64(uint32(attempt)), uint64(stream))
+}
+
+// mix is the splitmix64 finalizer: a high-quality 64-bit bijection.
+func mix(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}
+
+// u01 maps (seed, a, b, c) to a uniform float64 in [0,1): 53 random bits
+// scaled by 2^-53.
+func u01(seed, a, b, c uint64) float64 {
+	h := mix(seed ^ mix(a))
+	h = mix(h ^ b)
+	h = mix(h ^ c)
+	return float64(h>>11) / (1 << 53)
+}

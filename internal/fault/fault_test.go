@@ -1,0 +1,249 @@
+package fault
+
+import (
+	"math"
+	"sync"
+	"testing"
+)
+
+func TestNilAndInactiveInjectorAlwaysOK(t *testing.T) {
+	var nilInj *Injector
+	if nilInj.Active() {
+		t.Fatal("nil injector reports Active")
+	}
+	if got := nilInj.Attempt(3, 1, 0); got != OK {
+		t.Fatalf("nil injector Attempt = %v, want OK", got)
+	}
+	if got := nilInj.JitterU(0, 0, 1); got != 0.5 {
+		t.Fatalf("nil injector JitterU = %g, want 0.5", got)
+	}
+	if nilInj.NumAttrs() != 0 {
+		t.Fatalf("nil injector NumAttrs = %d", nilInj.NumAttrs())
+	}
+
+	inj := NewInjector(4, 42)
+	if inj.Active() {
+		t.Fatal("fresh injector reports Active")
+	}
+	for row := 0; row < 50; row++ {
+		for attr := 0; attr < 4; attr++ {
+			if got := inj.Attempt(row, attr, 0); got != OK {
+				t.Fatalf("inactive injector Attempt(%d,%d) = %v", row, attr, got)
+			}
+		}
+	}
+}
+
+func TestInjectorDeterminism(t *testing.T) {
+	mk := func() *Injector {
+		inj := NewInjector(3, 7)
+		if err := inj.SetAttr(0, AttrFault{PTransient: 0.3, PTimeout: 0.1, PStale: 0.2}); err != nil {
+			t.Fatal(err)
+		}
+		if err := inj.SetAttr(1, AttrFault{PTransient: 0.5}); err != nil {
+			t.Fatal(err)
+		}
+		if err := inj.SetAttr(2, AttrFault{DeadFrom: 40}); err != nil {
+			t.Fatal(err)
+		}
+		return inj
+	}
+	a, b := mk(), mk()
+	for row := 0; row < 200; row++ {
+		for attr := 0; attr < 3; attr++ {
+			for att := 0; att < 3; att++ {
+				if ga, gb := a.Attempt(row, attr, att), b.Attempt(row, attr, att); ga != gb {
+					t.Fatalf("Attempt(%d,%d,%d) nondeterministic: %v vs %v", row, attr, att, ga, gb)
+				}
+			}
+			if ja, jb := a.JitterU(row, attr, 1), b.JitterU(row, attr, 1); ja != jb {
+				t.Fatalf("JitterU(%d,%d) nondeterministic", row, attr)
+			}
+		}
+	}
+	// A different seed must give a different outcome sequence.
+	c := NewInjector(3, 8)
+	if err := c.SetAll(AttrFault{PTransient: 0.5}); err != nil {
+		t.Fatal(err)
+	}
+	same := true
+	for row := 0; row < 200 && same; row++ {
+		if a.Attempt(row, 1, 0) != c.Attempt(row, 1, 0) {
+			same = false
+		}
+	}
+	if same {
+		t.Fatal("seeds 7 and 8 produced identical outcome sequences")
+	}
+}
+
+func TestInjectorConcurrentDeterminism(t *testing.T) {
+	inj := NewInjector(2, 99)
+	if err := inj.SetAll(AttrFault{PTransient: 0.25, PTimeout: 0.25, PStale: 0.3}); err != nil {
+		t.Fatal(err)
+	}
+	const rows = 500
+	want := make([]Outcome, rows)
+	for r := range want {
+		want[r] = inj.Attempt(r, 1, 0)
+	}
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for r := 0; r < rows; r++ {
+				if got := inj.Attempt(r, 1, 0); got != want[r] {
+					t.Errorf("concurrent Attempt(%d) = %v, want %v", r, got, want[r])
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+func TestInjectorFrequencies(t *testing.T) {
+	inj := NewInjector(1, 12345)
+	f := AttrFault{PTransient: 0.2, PTimeout: 0.1, PStale: 0.25}
+	if err := inj.SetAttr(0, f); err != nil {
+		t.Fatal(err)
+	}
+	const n = 200000
+	counts := map[Outcome]int{}
+	for row := 0; row < n; row++ {
+		counts[inj.Attempt(row, 0, 0)]++
+	}
+	got := func(o Outcome) float64 { return float64(counts[o]) / n }
+	check := func(o Outcome, want float64) {
+		t.Helper()
+		if g := got(o); math.Abs(g-want) > 0.01 {
+			t.Errorf("freq(%v) = %.4f, want %.2f ± 0.01", o, g, want)
+		}
+	}
+	check(FailTransient, f.PTransient)
+	check(FailTimeout, f.PTimeout)
+	// Stale applies only to non-failing attempts.
+	check(Stale, (1-f.PTransient-f.PTimeout)*f.PStale)
+	check(OK, (1-f.PTransient-f.PTimeout)*(1-f.PStale))
+}
+
+func TestDeadModes(t *testing.T) {
+	inj := NewInjector(2, 0)
+	if err := inj.SetAttr(0, AttrFault{Dead: true}); err != nil {
+		t.Fatal(err)
+	}
+	if err := inj.SetAttr(1, AttrFault{DeadFrom: 10}); err != nil {
+		t.Fatal(err)
+	}
+	if got := inj.Attempt(0, 0, 0); got != FailDead {
+		t.Fatalf("Dead sensor Attempt = %v", got)
+	}
+	if got := inj.Attempt(9, 1, 0); got != OK {
+		t.Fatalf("DeadFrom=10 at row 9 = %v, want OK", got)
+	}
+	if got := inj.Attempt(10, 1, 2); got != FailDead {
+		t.Fatalf("DeadFrom=10 at row 10 = %v, want FailDead", got)
+	}
+	if !FailDead.Failed() || !FailTransient.Failed() || !FailTimeout.Failed() || OK.Failed() || Stale.Failed() {
+		t.Fatal("Failed() classification wrong")
+	}
+}
+
+func TestAttrFaultValidation(t *testing.T) {
+	inj := NewInjector(1, 0)
+	bad := []AttrFault{
+		{PTransient: -0.1},
+		{PTimeout: 1.5},
+		{PStale: 2},
+		{PTransient: 0.7, PTimeout: 0.7},
+		{DeadFrom: -1},
+	}
+	for i, f := range bad {
+		if err := inj.SetAttr(0, f); err == nil {
+			t.Errorf("case %d: Set(%+v) accepted invalid config", i, f)
+		}
+	}
+	if err := inj.SetAttr(5, AttrFault{}); err == nil {
+		t.Error("out-of-range attribute accepted")
+	}
+	if inj.Active() {
+		t.Error("injector became active after rejected configs")
+	}
+}
+
+func TestRetrierBackoff(t *testing.T) {
+	r := Retrier{MaxRetries: 5, BackoffBase: 1, BackoffMult: 2, BackoffCap: 4}
+	for retry, want := range map[int]float64{1: 1, 2: 2, 3: 4, 4: 4, 0: 0, -1: 0} {
+		if got := r.Backoff(retry, 0.5); got != want {
+			t.Errorf("Backoff(%d) = %g, want %g", retry, got, want)
+		}
+	}
+	// Jitter keeps the wait within [1-J/2, 1+J/2] of nominal.
+	rj := Retrier{BackoffBase: 2, BackoffMult: 2, Jitter: 0.5}
+	for _, u := range []float64{0, 0.25, 0.5, 0.75, 0.999} {
+		got := rj.Backoff(1, u)
+		if got < 2*0.75 || got > 2*1.25 {
+			t.Errorf("jittered Backoff(1,%g) = %g outside [1.5,2.5]", u, got)
+		}
+	}
+	// Zero value: no backoff, no surcharge.
+	var z Retrier
+	if z.Backoff(1, 0.5) != 0 || z.TimeoutSurcharge(10) != 0 {
+		t.Error("zero Retrier charges energy")
+	}
+	if got := (Retrier{TimeoutCostFactor: 2}).TimeoutSurcharge(3); got != 3 {
+		t.Errorf("TimeoutSurcharge = %g, want 3", got)
+	}
+}
+
+func TestLinkDeliver(t *testing.T) {
+	var perfect Link
+	if att, ok := perfect.Deliver(1, 2); att != 1 || !ok {
+		t.Fatalf("perfect link Deliver = (%d,%v)", att, ok)
+	}
+	if perfect.Lossy() {
+		t.Fatal("zero Link is lossy")
+	}
+
+	always := Link{PDrop: 1, MaxRetransmits: 3}
+	if att, ok := always.Deliver(0, 0); att != 4 || ok {
+		t.Fatalf("PDrop=1 Deliver = (%d,%v), want (4,false)", att, ok)
+	}
+
+	l := Link{Seed: 5, PDrop: 0.4, MaxRetransmits: 2}
+	delivered, totalAttempts := 0, 0
+	const n = 100000
+	for m := 0; m < n; m++ {
+		att, ok := l.Deliver(m, 1)
+		if att < 1 || att > 1+l.MaxRetransmits {
+			t.Fatalf("attempts = %d outside [1,%d]", att, 1+l.MaxRetransmits)
+		}
+		if ok {
+			delivered++
+		}
+		totalAttempts += att
+		// Determinism.
+		att2, ok2 := l.Deliver(m, 1)
+		if att2 != att || ok2 != ok {
+			t.Fatalf("Deliver(%d,1) nondeterministic", m)
+		}
+	}
+	// P(lost) = PDrop^(1+MaxRetransmits) = 0.4^3 = 0.064.
+	lossRate := 1 - float64(delivered)/n
+	if math.Abs(lossRate-0.064) > 0.005 {
+		t.Errorf("loss rate = %.4f, want 0.064 ± 0.005", lossRate)
+	}
+	// E[attempts] = 1 + 0.4 + 0.16 = 1.56.
+	if mean := float64(totalAttempts) / n; math.Abs(mean-1.56) > 0.02 {
+		t.Errorf("mean attempts = %.4f, want 1.56 ± 0.02", mean)
+	}
+}
+
+func TestOutcomeString(t *testing.T) {
+	for o, want := range map[Outcome]string{OK: "ok", Stale: "stale", FailTransient: "transient", FailTimeout: "timeout", FailDead: "dead", Outcome(99): "outcome(99)"} {
+		if got := o.String(); got != want {
+			t.Errorf("Outcome(%d).String() = %q, want %q", int(o), got, want)
+		}
+	}
+}

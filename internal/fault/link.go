@@ -1,0 +1,46 @@
+package fault
+
+// Link models a lossy radio hop: each transmission of a message over a
+// hop is dropped independently with probability PDrop and retransmitted
+// up to MaxRetransmits times. Every transmission — delivered or dropped —
+// costs energy at the sender; the sensornet simulator charges them all.
+//
+// Like the Injector, a Link is stateless: delivery is a pure function of
+// (Seed, msg, hop, attempt), so simulations are reproducible and links
+// can be shared across goroutines freely. The zero value is a perfect
+// link (one transmission, always delivered).
+type Link struct {
+	// Seed isolates this link's randomness stream.
+	Seed int64
+	// PDrop is the per-transmission drop probability in [0,1).
+	PDrop float64
+	// MaxRetransmits bounds retransmissions after the first attempt; a
+	// message still undelivered afterwards is lost.
+	MaxRetransmits int
+}
+
+// Lossy reports whether the link can drop anything.
+func (l Link) Lossy() bool { return l.PDrop > 0 }
+
+const streamLink = 0x11c4
+
+// Deliver simulates sending message msg over hop (both caller-chosen
+// coordinates that must be unique per logical message/hop). It returns
+// the number of transmissions attempted (at least 1) and whether the
+// message ultimately got through.
+func (l Link) Deliver(msg, hop int) (attempts int, delivered bool) {
+	if l.PDrop <= 0 {
+		return 1, true
+	}
+	if l.PDrop >= 1 {
+		return 1 + l.MaxRetransmits, false
+	}
+	for a := 0; ; a++ {
+		if u01(uint64(l.Seed), uint64(msg), uint64(hop), uint64(streamLink)+uint64(a)<<16) >= l.PDrop {
+			return a + 1, true
+		}
+		if a >= l.MaxRetransmits {
+			return a + 1, false
+		}
+	}
+}

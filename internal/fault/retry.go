@@ -1,0 +1,79 @@
+package fault
+
+// Retrier is a retry policy for failed acquisition attempts: up to
+// MaxRetries retries with capped exponential backoff plus jitter. In a
+// mote there is no separate wall clock to spend — waiting is idle
+// listening, which drains the battery — so backoff is charged in the same
+// abstract energy units as acquisition costs. The executor charges:
+//
+//   - every attempt: the attribute's sampling cost (the first attempt
+//     additionally pays any board power-up, exactly as a fault-free
+//     acquisition would);
+//   - a timed-out attempt: the attempt cost multiplied by
+//     TimeoutCostFactor (the radio and CPU stayed up for the full window);
+//   - before retry i (1-based): Backoff(i, u) energy units of idle wait.
+//
+// The zero value retries nothing and charges no backoff.
+type Retrier struct {
+	// MaxRetries bounds retries after the first attempt; 0 means fail on
+	// the first unsuccessful attempt.
+	MaxRetries int
+	// BackoffBase is the energy charged for the wait before the first
+	// retry.
+	BackoffBase float64
+	// BackoffMult grows the wait per retry; values below 1 (including the
+	// zero value) mean the conventional doubling.
+	BackoffMult float64
+	// BackoffCap bounds a single wait's energy; 0 means uncapped.
+	BackoffCap float64
+	// Jitter in [0,1] spreads each wait uniformly over
+	// [1-Jitter/2, 1+Jitter/2] times its nominal value.
+	Jitter float64
+	// TimeoutCostFactor multiplies the cost of an attempt that fails by
+	// timeout; values below 1 (including the zero value) mean no
+	// surcharge.
+	TimeoutCostFactor float64
+}
+
+// DefaultRetrier reflects a mote-style budget: two retries, backoff
+// starting at one cost unit and doubling, capped at four units, half-width
+// jitter, and timeouts costing twice a clean sample.
+func DefaultRetrier() Retrier {
+	return Retrier{MaxRetries: 2, BackoffBase: 1, BackoffMult: 2, BackoffCap: 4, Jitter: 0.5, TimeoutCostFactor: 2}
+}
+
+// Backoff returns the energy charged for the wait before retry number
+// retry (1-based), jittered by the uniform variate u in [0,1).
+func (r Retrier) Backoff(retry int, u float64) float64 {
+	if retry < 1 || r.BackoffBase <= 0 {
+		return 0
+	}
+	mult := r.BackoffMult
+	if mult < 1 {
+		mult = 2
+	}
+	b := r.BackoffBase
+	for i := 1; i < retry; i++ {
+		b *= mult
+		if r.BackoffCap > 0 && b >= r.BackoffCap {
+			b = r.BackoffCap
+			break
+		}
+	}
+	if r.BackoffCap > 0 && b > r.BackoffCap {
+		b = r.BackoffCap
+	}
+	if r.Jitter > 0 {
+		b *= 1 + r.Jitter*(u-0.5)
+	}
+	return b
+}
+
+// TimeoutSurcharge returns the extra cost (beyond the attempt cost c)
+// charged when the attempt fails by timeout.
+func (r Retrier) TimeoutSurcharge(c float64) float64 {
+	if r.TimeoutCostFactor <= 1 {
+		return 0
+	}
+	return c * (r.TimeoutCostFactor - 1)
+}

@@ -1,0 +1,180 @@
+package sensornet
+
+import (
+	"fmt"
+
+	"acqp/internal/exec"
+	"acqp/internal/fault"
+	"acqp/internal/plan"
+	"acqp/internal/query"
+	"acqp/internal/schema"
+	"acqp/internal/table"
+)
+
+// FaultProfile configures fault injection for a deployment: per-attribute
+// acquisition faults on every mote (with the executor's fallback policy),
+// lossy radio links for plan dissemination and result reporting, and
+// whole-mote death mid-run. The zero value injects nothing, and a network
+// carrying it produces stats byte-identical to a pristine one — the
+// property the equivalence tests pin.
+type FaultProfile struct {
+	// Exec configures acquisition faults and the fallback policy each mote
+	// runs; every mote gets its own exec.TupleExecutor (its own stale
+	// latches and learned-dead state) over the shared injector.
+	Exec exec.FaultConfig
+	// DissemLink is the lossy per-hop link plan dissemination crosses.
+	// Every transmission — including retransmissions of dropped packets —
+	// is charged at the radio's per-byte cost; a plan that exhausts its
+	// retransmissions leaves the mote planless and its tuples unprocessed.
+	DissemLink fault.Link
+	// ReportLink is the lossy per-hop link result reports cross. A report
+	// dropped at hop h has paid for its transmissions up to h and is
+	// counted in Stats.LostResults.
+	ReportLink fault.Link
+	// MoteDeadFrom maps a mote id to the epoch at which the whole mote
+	// dies; its remaining tuples count as LostTuples at zero energy.
+	MoteDeadFrom map[int]int
+}
+
+// SetFaults installs (or, with nil, removes) a fault profile. It must be
+// called before Disseminate.
+func (n *Network) SetFaults(fp *FaultProfile) error {
+	if fp != nil {
+		if inj := fp.Exec.Injector; inj != nil && inj.NumAttrs() != n.schema.NumAttrs() {
+			return fmt.Errorf("sensornet: injector covers %d attributes, schema has %d", inj.NumAttrs(), n.schema.NumAttrs())
+		}
+		for id, epoch := range fp.MoteDeadFrom {
+			if id < 0 || id >= len(n.motes) {
+				return fmt.Errorf("sensornet: MoteDeadFrom mote %d out of range [0,%d)", id, len(n.motes))
+			}
+			if epoch < 0 {
+				return fmt.Errorf("sensornet: MoteDeadFrom[%d] = %d is negative", id, epoch)
+			}
+		}
+	}
+	n.faults = fp
+	n.dissemRetrans, n.undelivered = 0, 0
+	return nil
+}
+
+// disseminateFaulty is Disseminate over the profile's lossy link. To keep
+// the zero-fault path byte-identical to the pristine one, the energy for
+// each mote is computed as one product over its total transmission count
+// (which equals its hop count on a perfect link).
+func (n *Network) disseminateFaulty(wire []byte) (float64, error) {
+	link := n.faults.DissemLink
+	n.dissemRetrans, n.undelivered = 0, 0
+	var energy float64
+	for i, m := range n.motes {
+		totalTx, delivered := 0, true
+		for h := 0; h < n.topo.Hops[i]; h++ {
+			att, ok := link.Deliver(i, h)
+			totalTx += att
+			n.dissemRetrans += att - 1
+			if !ok {
+				delivered = false
+				break
+			}
+		}
+		energy += float64(len(wire)) * n.radio.CostPerByte * float64(totalTx)
+		if !delivered {
+			m.plan, m.planLost = nil, true
+			n.undelivered++
+			continue
+		}
+		decoded, err := plan.Decode(n.schema, wire)
+		if err != nil {
+			return 0, fmt.Errorf("sensornet: mote %d rejected plan: %w", i, err)
+		}
+		m.plan, m.planLost = decoded, false
+	}
+	return energy, nil
+}
+
+// runFaulty is Run under the installed fault profile.
+func (n *Network) runFaulty(world *table.Table) (Stats, error) {
+	fp := n.faults
+	st := Stats{PerMote: make([]MoteStats, len(n.motes))}
+	for _, m := range n.motes {
+		m.stats = MoteStats{}
+		m.ex = nil
+		if m.planLost {
+			continue
+		}
+		if m.plan == nil {
+			return st, fmt.Errorf("sensornet: mote %d has no plan; call Disseminate first", m.id)
+		}
+		ex, err := exec.NewTupleExecutor(n.schema, m.plan, n.query, fp.Exec)
+		if err != nil {
+			return st, fmt.Errorf("sensornet: mote %d: %w", m.id, err)
+		}
+		m.ex = ex
+	}
+	var row []schema.Value
+	for r := 0; r < world.NumRows(); r++ {
+		m := n.motes[r%len(n.motes)]
+		epoch := r / len(n.motes)
+		if dead, ok := fp.MoteDeadFrom[m.id]; (ok && epoch >= dead) || m.planLost {
+			st.LostTuples++
+			continue
+		}
+		row = world.Row(r, row)
+		out := m.ex.ExecTuple(r, row)
+		m.stats.Tuples++
+		m.stats.AcquisitionEnergy += out.Cost
+		m.stats.Failures += out.Failures
+		m.stats.Retries += out.Retries
+		st.RetryEnergy += out.RetryCost
+		st.Failures += out.Failures
+		st.Retries += out.Retries
+		st.StaleReads += out.StaleReads
+		st.Imputed += out.Imputed
+		if out.Replanned {
+			st.Replans++
+		}
+		truth := n.query.Eval(row)
+		switch {
+		case out.Answer == query.Unknown:
+			m.stats.Abstained++
+			st.Abstained++
+		case (out.Answer == query.True) != truth:
+			if out.Touched {
+				if truth {
+					st.FalseNegatives++
+				} else {
+					st.FalsePositives++
+				}
+			} else {
+				m.stats.Mismatches++
+			}
+		}
+		if out.Answer == query.True {
+			m.stats.Results++
+			totalTx, delivered := 0, true
+			for h := 0; h < n.topo.Hops[m.id]; h++ {
+				att, ok := fp.ReportLink.Deliver(r, h)
+				totalTx += att
+				st.Retransmissions += att - 1
+				if !ok {
+					delivered = false
+					break
+				}
+			}
+			m.stats.RadioEnergy += float64(n.radio.ResultBytes) * n.radio.CostPerByte * float64(totalTx)
+			if !delivered {
+				st.LostResults++
+			}
+		}
+	}
+	for i, m := range n.motes {
+		st.PerMote[i] = m.stats
+		st.TuplesProcessed += m.stats.Tuples
+		st.ResultsReported += m.stats.Results
+		st.AcquisitionEnergy += m.stats.AcquisitionEnergy
+		st.ResultRadioEnergy += m.stats.RadioEnergy
+		st.Mismatches += m.stats.Mismatches
+	}
+	st.ResultsReported -= st.LostResults
+	st.Epochs = (world.NumRows() + len(n.motes) - 1) / len(n.motes)
+	return st, nil
+}

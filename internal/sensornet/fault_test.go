@@ -1,0 +1,270 @@
+package sensornet
+
+import (
+	"reflect"
+	"testing"
+
+	"acqp/internal/exec"
+	"acqp/internal/fault"
+	"acqp/internal/plan"
+	"acqp/internal/table"
+)
+
+func TestZeroFaultProfileIsByteIdentical(t *testing.T) {
+	s := testSchema()
+	q := testQuery(s)
+	p := plan.NewSeq(q.Preds)
+	w := world(64)
+
+	pristine, err := New(s, q, DefaultRadio(), LineTopology(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	base, err := pristine.Deploy(p, w)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	faulty, err := New(s, q, DefaultRadio(), LineTopology(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := faulty.SetFaults(&FaultProfile{}); err != nil {
+		t.Fatal(err)
+	}
+	got, err := faulty.Deploy(p, w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, base) {
+		t.Errorf("zero-fault profile diverges from pristine network:\n got %+v\nwant %+v", got, base)
+	}
+
+	// Same with an inactive injector configured explicitly.
+	faulty2, err := New(s, q, DefaultRadio(), LineTopology(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := faulty2.SetFaults(&FaultProfile{Exec: exec.FaultConfig{
+		Injector: fault.NewInjector(s.NumAttrs(), 123),
+		Retrier:  fault.DefaultRetrier(),
+	}}); err != nil {
+		t.Fatal(err)
+	}
+	got2, err := faulty2.Deploy(p, w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got2, base) {
+		t.Errorf("inactive injector diverges from pristine network:\n got %+v\nwant %+v", got2, base)
+	}
+}
+
+func TestLossyLinksChargeRetransmissions(t *testing.T) {
+	s := testSchema()
+	q := testQuery(s)
+	p := plan.NewSeq(q.Preds)
+	w := world(200)
+
+	mk := func(fp *FaultProfile) Stats {
+		t.Helper()
+		n, err := New(s, q, DefaultRadio(), LineTopology(5))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := n.SetFaults(fp); err != nil {
+			t.Fatal(err)
+		}
+		st, err := n.Deploy(p, w)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return st
+	}
+
+	base := mk(&FaultProfile{})
+	lossy := mk(&FaultProfile{
+		DissemLink: fault.Link{Seed: 1, PDrop: 0.3, MaxRetransmits: 4},
+		ReportLink: fault.Link{Seed: 2, PDrop: 0.3, MaxRetransmits: 4},
+	})
+	if lossy.Retransmissions == 0 {
+		t.Fatal("no retransmissions at PDrop=0.3")
+	}
+	if lossy.DisseminationEnergy <= base.DisseminationEnergy {
+		t.Errorf("dissemination energy %f not above lossless %f", lossy.DisseminationEnergy, base.DisseminationEnergy)
+	}
+	if lossy.TotalEnergy() < 0 || lossy.AcquisitionEnergy < 0 || lossy.RetryEnergy < 0 {
+		t.Errorf("negative energy in %+v", lossy)
+	}
+	// Deterministic: the same seeds reproduce the exact run.
+	again := mk(&FaultProfile{
+		DissemLink: fault.Link{Seed: 1, PDrop: 0.3, MaxRetransmits: 4},
+		ReportLink: fault.Link{Seed: 2, PDrop: 0.3, MaxRetransmits: 4},
+	})
+	if !reflect.DeepEqual(lossy, again) {
+		t.Error("seeded lossy run not reproducible")
+	}
+
+	// A hopeless dissemination link leaves far motes planless: their
+	// tuples are lost, not crashed on.
+	dark := mk(&FaultProfile{DissemLink: fault.Link{Seed: 3, PDrop: 1}})
+	if dark.UndeliveredPlans != 5 {
+		t.Errorf("UndeliveredPlans = %d, want 5", dark.UndeliveredPlans)
+	}
+	if dark.LostTuples != 200 || dark.TuplesProcessed != 0 {
+		t.Errorf("lost=%d processed=%d, want 200/0", dark.LostTuples, dark.TuplesProcessed)
+	}
+
+	// A hopeless report link loses every result but still charges the
+	// first-hop transmissions.
+	mute := mk(&FaultProfile{ReportLink: fault.Link{Seed: 4, PDrop: 1}})
+	if mute.ResultsReported != 0 || mute.LostResults != base.ResultsReported {
+		t.Errorf("reported=%d lost=%d, want 0/%d", mute.ResultsReported, mute.LostResults, base.ResultsReported)
+	}
+}
+
+func TestMoteDeathMidRun(t *testing.T) {
+	s := testSchema()
+	q := testQuery(s)
+	p := plan.NewSeq(q.Preds)
+	w := world(80) // 4 motes x 20 epochs
+
+	n, err := New(s, q, DefaultRadio(), StarTopology(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := n.SetFaults(&FaultProfile{MoteDeadFrom: map[int]int{2: 5}}); err != nil {
+		t.Fatal(err)
+	}
+	st, err := n.Deploy(p, w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.LostTuples != 15 { // epochs 5..19 on mote 2
+		t.Errorf("LostTuples = %d, want 15", st.LostTuples)
+	}
+	if st.PerMote[2].Tuples != 5 {
+		t.Errorf("dead mote processed %d tuples, want 5", st.PerMote[2].Tuples)
+	}
+	if st.TuplesProcessed != 65 {
+		t.Errorf("TuplesProcessed = %d, want 65", st.TuplesProcessed)
+	}
+
+	if err := n.SetFaults(&FaultProfile{MoteDeadFrom: map[int]int{9: 0}}); err == nil {
+		t.Error("out-of-range mote id accepted")
+	}
+	if err := n.SetFaults(&FaultProfile{MoteDeadFrom: map[int]int{0: -1}}); err == nil {
+		t.Error("negative death epoch accepted")
+	}
+	if err := n.SetFaults(&FaultProfile{Exec: exec.FaultConfig{Injector: fault.NewInjector(1, 0)}}); err == nil {
+		t.Error("injector/schema mismatch accepted")
+	}
+}
+
+func TestMoteAcquisitionFaultsAggregate(t *testing.T) {
+	s := testSchema()
+	q := testQuery(s)
+	p := plan.NewSeq(q.Preds)
+	w := world(120)
+
+	inj := fault.NewInjector(s.NumAttrs(), 21)
+	if err := inj.SetAttr(1, fault.AttrFault{PTransient: 0.4, PStale: 0.2}); err != nil {
+		t.Fatal(err)
+	}
+	n, err := New(s, q, DefaultRadio(), StarTopology(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := n.SetFaults(&FaultProfile{Exec: exec.FaultConfig{
+		Injector: inj,
+		Retrier:  fault.DefaultRetrier(),
+		Policy:   exec.Abstain,
+	}}); err != nil {
+		t.Fatal(err)
+	}
+	st, err := n.Deploy(p, w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Retries == 0 || st.RetryEnergy <= 0 {
+		t.Errorf("retries=%d retry-energy=%f; expected retry activity", st.Retries, st.RetryEnergy)
+	}
+	if st.Abstained == 0 {
+		t.Error("expected some abstained tuples at PTransient=0.4")
+	}
+	if st.Mismatches != 0 {
+		t.Errorf("Mismatches = %d; fault damage must land in FP/FN", st.Mismatches)
+	}
+	var motesRetries, motesFailures, motesAbstained int
+	for _, m := range st.PerMote {
+		motesRetries += m.Retries
+		motesFailures += m.Failures
+		motesAbstained += m.Abstained
+	}
+	if motesRetries != st.Retries || motesFailures != st.Failures || motesAbstained != st.Abstained {
+		t.Errorf("per-mote sums %d/%d/%d disagree with totals %d/%d/%d",
+			motesRetries, motesFailures, motesAbstained, st.Retries, st.Failures, st.Abstained)
+	}
+	if st.RetryEnergy >= st.AcquisitionEnergy {
+		t.Errorf("RetryEnergy %f must be a strict part of AcquisitionEnergy %f", st.RetryEnergy, st.AcquisitionEnergy)
+	}
+}
+
+// TestDeployFaultyNeverNegative drives a heavily faulted deployment and
+// checks the invariants the ci.sh chaos gate relies on: no panics, no
+// negative energies, and mismatches stay at zero (fault damage is
+// classified, never silently miscounted).
+func TestDeployFaultyNeverNegative(t *testing.T) {
+	s := testSchema()
+	q := testQuery(s)
+	p := plan.NewSplit(0, 1, plan.NewSeq(q.Preds), plan.NewSeq(q.Preds))
+	w := world(300)
+
+	inj := fault.NewInjector(s.NumAttrs(), 5)
+	if err := inj.SetAll(fault.AttrFault{PTransient: 0.3, PTimeout: 0.2, PStale: 0.2}); err != nil {
+		t.Fatal(err)
+	}
+	if err := inj.SetAttr(2, fault.AttrFault{DeadFrom: 150}); err != nil {
+		t.Fatal(err)
+	}
+	n, err := New(s, q, DefaultRadio(), LineTopology(6))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := n.SetFaults(&FaultProfile{
+		Exec: exec.FaultConfig{
+			Injector: inj,
+			Retrier:  fault.DefaultRetrier(),
+			Policy:   exec.Replan,
+		},
+		DissemLink:   fault.Link{Seed: 6, PDrop: 0.2, MaxRetransmits: 5},
+		ReportLink:   fault.Link{Seed: 7, PDrop: 0.2, MaxRetransmits: 2},
+		MoteDeadFrom: map[int]int{5: 10},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	st, err := n.Deploy(p, w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.AcquisitionEnergy < 0 || st.DisseminationEnergy < 0 || st.ResultRadioEnergy < 0 || st.RetryEnergy < 0 {
+		t.Errorf("negative energy: %+v", st)
+	}
+	if st.Mismatches != 0 {
+		t.Errorf("Mismatches = %d under faults; must be classified FP/FN", st.Mismatches)
+	}
+	if st.TuplesProcessed+st.LostTuples != 300 {
+		t.Errorf("processed %d + lost %d != 300", st.TuplesProcessed, st.LostTuples)
+	}
+	if st.ResultsReported < 0 || st.ResultsReported+st.LostResults > st.TuplesProcessed {
+		t.Errorf("result accounting broken: %+v", st)
+	}
+	tbl := table.New(s, 0)
+	empty, err := n.Run(tbl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if empty.TuplesProcessed != 0 || empty.EnergyPerTuple() != 0 {
+		t.Errorf("empty world: %+v", empty)
+	}
+}

@@ -13,6 +13,7 @@ package sensornet
 import (
 	"fmt"
 
+	"acqp/internal/exec"
 	"acqp/internal/plan"
 	"acqp/internal/query"
 	"acqp/internal/schema"
@@ -57,13 +58,19 @@ func StarTopology(motes int) Topology {
 	return Topology{Hops: h}
 }
 
-// MoteStats accumulates one mote's energy use.
+// MoteStats accumulates one mote's energy use. The fault fields stay zero
+// unless a FaultProfile is installed with SetFaults.
 type MoteStats struct {
 	Tuples            int
 	Results           int
 	AcquisitionEnergy float64
 	RadioEnergy       float64
 	Mismatches        int
+
+	// Fault-path fields.
+	Failures  int
+	Retries   int
+	Abstained int
 }
 
 // Stats summarizes a simulation run.
@@ -77,6 +84,23 @@ type Stats struct {
 	PlanBytes           int
 	PerMote             []MoteStats
 	Mismatches          int
+
+	// Fault-path fields (all zero unless SetFaults installed a profile;
+	// with an all-zero profile they stay zero and every field above is
+	// byte-identical to the fault-free run).
+	Retransmissions  int     // extra radio transmissions forced by lossy links
+	UndeliveredPlans int     // motes the plan never reached
+	LostResults      int     // satisfying results dropped en route to the base
+	LostTuples       int     // tuples unprocessed (dead mote or missing plan)
+	Failures         int     // acquisitions that ultimately failed
+	Retries          int     // acquisition retry attempts
+	RetryEnergy      float64 // portion of AcquisitionEnergy spent on retries
+	StaleReads       int
+	Abstained        int
+	Imputed          int
+	Replans          int
+	FalsePositives   int // fault-touched wrong answers (vs Mismatches: planner bugs)
+	FalseNegatives   int
 }
 
 // TotalEnergy returns all energy spent in the run: dissemination +
@@ -107,6 +131,11 @@ type Network struct {
 	radio  RadioModel
 	topo   Topology
 	motes  []*mote
+
+	// Fault state (nil profile = pristine network, original code paths).
+	faults        *FaultProfile
+	dissemRetrans int
+	undelivered   int
 }
 
 type mote struct {
@@ -114,6 +143,8 @@ type mote struct {
 	plan     *plan.Node
 	acquired []bool
 	stats    MoteStats
+	planLost bool // dissemination never reached this mote
+	ex       *exec.TupleExecutor
 }
 
 // New builds a network of len(topo.Hops) motes.
@@ -142,6 +173,9 @@ func (n *Network) NumMotes() int { return len(n.motes) }
 // dissemination energy charged.
 func (n *Network) Disseminate(p *plan.Node) (float64, error) {
 	wire := plan.Encode(p)
+	if n.faults != nil {
+		return n.disseminateFaulty(wire)
+	}
 	var energy float64
 	for i, m := range n.motes {
 		decoded, err := plan.Decode(n.schema, wire)
@@ -158,6 +192,9 @@ func (n *Network) Disseminate(p *plan.Node) (float64, error) {
 // reading observed by mote r%NumMotes at epoch r/NumMotes. Disseminate
 // must have been called first.
 func (n *Network) Run(world *table.Table) (Stats, error) {
+	if n.faults != nil {
+		return n.runFaulty(world)
+	}
 	st := Stats{PerMote: make([]MoteStats, len(n.motes))}
 	for _, m := range n.motes {
 		if m.plan == nil {
@@ -208,5 +245,7 @@ func (n *Network) Deploy(p *plan.Node, world *table.Table) (Stats, error) {
 	}
 	st.DisseminationEnergy = dissem
 	st.PlanBytes = plan.Size(p)
+	st.Retransmissions += n.dissemRetrans
+	st.UndeliveredPlans = n.undelivered
 	return st, nil
 }

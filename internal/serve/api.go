@@ -44,6 +44,10 @@ type planRequest struct {
 	Strict bool `json:"strict,omitempty"`
 	// NoCache bypasses the plan cache for this request.
 	NoCache bool `json:"no_cache,omitempty"`
+	// Faults injects deterministic acquisition faults for what-if
+	// analysis. Requests carrying it may read the cache but never store
+	// into it, and /execute runs the fault-aware executor.
+	Faults *faultSpec `json:"faults,omitempty"`
 }
 
 // planResponse is the /plan response body.
@@ -155,12 +159,21 @@ func (s *Server) handlePlan(w http.ResponseWriter, r *http.Request) {
 	if !ok {
 		return
 	}
+	if req.Faults != nil {
+		// Validate the what-if section even though /plan does not execute:
+		// clients iterating on a faults spec get errors at plan time.
+		dist, _ := s.snapshot()
+		if _, err := s.buildFaultConfig(req.Faults, dist); err != nil {
+			writeError(w, http.StatusBadRequest, "%v", err)
+			return
+		}
+	}
 	var out planOutcome
 	var cached, shared bool
 	if trivial {
 		out = s.trivialOutcome(trivialResult, s.Epoch())
 	} else {
-		out, cached, shared, err = s.planCached(r.Context(), canon, p, req.NoCache)
+		out, cached, shared, err = s.planCached(r.Context(), canon, p, req.NoCache, req.Faults != nil)
 		if err != nil {
 			writePlanError(w, err)
 			return
@@ -212,6 +225,9 @@ type executeResponse struct {
 	Mismatches   int     `json:"mismatches"`
 	ExecuteMS    float64 `json:"execute_ms"`
 	WindowTuples int     `json:"window_tuples"`
+	// Faults reports the fault-aware execution when the request carried a
+	// faults section.
+	Faults *faultReport `json:"faults,omitempty"`
 }
 
 // handleExecute serves POST /execute: plan (through the cache) and run
@@ -240,12 +256,21 @@ func (s *Server) handleExecute(w http.ResponseWriter, r *http.Request) {
 	if !ok {
 		return
 	}
+	dist, _ := s.snapshot()
+	var faultCfg exec.FaultConfig
+	if req.Faults != nil {
+		faultCfg, err = s.buildFaultConfig(req.Faults, dist)
+		if err != nil {
+			writeError(w, http.StatusBadRequest, "%v", err)
+			return
+		}
+	}
 	var out planOutcome
 	var cached, shared bool
 	if trivial {
 		out = s.trivialOutcome(trivialResult, s.Epoch())
 	} else {
-		out, cached, shared, err = s.planCached(r.Context(), canon, p, req.NoCache)
+		out, cached, shared, err = s.planCached(r.Context(), canon, p, req.NoCache, req.Faults != nil)
 		if err != nil {
 			writePlanError(w, err)
 			return
@@ -255,7 +280,24 @@ func (s *Server) handleExecute(w http.ResponseWriter, r *http.Request) {
 	tbl := s.window.Materialize()
 	s.wmu.Unlock()
 	execStart := time.Now()
-	res := exec.Run(s.s, out.node, canon, tbl)
+	var res exec.Result
+	var report *faultReport
+	if req.Faults != nil {
+		fres, ferr := exec.RunFaulty(s.s, out.node, canon, tbl, faultCfg)
+		if ferr != nil {
+			writeError(w, http.StatusInternalServerError, "%v", ferr)
+			return
+		}
+		res = fres.Result
+		report = newFaultReport(req.Faults, faultCfg.Policy, fres)
+		count(&s.metrics.faultExecutions, 1)
+		count(&s.metrics.faultRetries, int64(fres.Retries))
+		count(&s.metrics.faultFailures, int64(fres.Failures))
+		count(&s.metrics.faultFallbacks, int64(fres.Abstained+fres.Imputed+fres.Replans))
+		count(&s.metrics.degradedAnswers, int64(fres.Abstained+fres.FalsePositives+fres.FalseNegatives))
+	} else {
+		res = exec.Run(s.s, out.node, canon, tbl)
+	}
 	count(&s.metrics.executed, 1)
 	writeJSON(w, http.StatusOK, executeResponse{
 		planResponse: planResponse{
@@ -280,6 +322,7 @@ func (s *Server) handleExecute(w http.ResponseWriter, r *http.Request) {
 		Mismatches:   res.Mismatches,
 		ExecuteMS:    float64(time.Since(execStart)) / float64(time.Millisecond),
 		WindowTuples: tbl.NumRows(),
+		Faults:       report,
 	})
 }
 

@@ -1,0 +1,173 @@
+package serve
+
+import (
+	"net/http"
+	"strings"
+	"testing"
+)
+
+// faultsOf wraps a faults section into a request map.
+func faultsReq(sql string, faults map[string]any) map[string]any {
+	req := map[string]any{"sql": sql}
+	if faults != nil {
+		req["faults"] = faults
+	}
+	return req
+}
+
+func TestFaultInjectedRequestsNeverCached(t *testing.T) {
+	srv := newTestServer(t, nil)
+	defer shutdownServer(t, srv)
+	// Distinct queries per endpoint: /plan and /execute share the plan
+	// cache, and this test tracks per-key hit/miss transitions.
+	queries := map[string]string{
+		"/v1/plan":    "SELECT * WHERE temp > 7 AND light > 9",
+		"/v1/execute": "SELECT * WHERE temp > 5 AND humid > 3",
+	}
+
+	for _, path := range []string{"/v1/plan", "/v1/execute"} {
+		sql := queries[path]
+		before, _ := srv.cache.lens()
+		w := postJSON(t, srv, path, faultsReq(sql, map[string]any{"seed": 1, "p_fail": 0.2}))
+		if w.Code != http.StatusOK {
+			t.Fatalf("%s with faults: %d %s", path, w.Code, w.Body.String())
+		}
+		resp := decodeResp[planResponse](t, w)
+		if resp.Cached {
+			t.Fatalf("%s: first fault-injected request reported cached", path)
+		}
+		after, _ := srv.cache.lens()
+		if after != before {
+			t.Fatalf("%s: fault-injected request stored a cache entry (%d -> %d)", path, before, after)
+		}
+		// A later plain request must be a miss: the fault run left nothing.
+		w2 := postJSON(t, srv, path, faultsReq(sql, nil))
+		if w2.Code != http.StatusOK {
+			t.Fatalf("%s plain: %d %s", path, w2.Code, w2.Body.String())
+		}
+		if decodeResp[planResponse](t, w2).Cached {
+			t.Fatalf("%s: plain request after a fault-injected one hit the cache", path)
+		}
+		// And the plain request did store: a repeat is a hit.
+		if !decodeResp[planResponse](t, postJSON(t, srv, path, faultsReq(sql, nil))).Cached {
+			t.Fatalf("%s: plain repeat missed the cache", path)
+		}
+		// Fault-injected requests may still read the entry the plain one
+		// stored, without disturbing it.
+		n0, _ := srv.cache.lens()
+		w3 := postJSON(t, srv, path, faultsReq(sql, map[string]any{"seed": 1, "p_fail": 0.2}))
+		if !decodeResp[planResponse](t, w3).Cached {
+			t.Fatalf("%s: fault-injected request did not read the warm cache", path)
+		}
+		n1, _ := srv.cache.lens()
+		if n1 != n0 {
+			t.Fatalf("%s: fault-injected cache read changed entry count", path)
+		}
+	}
+}
+
+func TestExecuteZeroFaultSpecMatchesPlain(t *testing.T) {
+	srv := newTestServer(t, nil)
+	defer shutdownServer(t, srv)
+	sql := "SELECT * WHERE temp > 7 AND light > 9"
+
+	plain := decodeResp[executeResponse](t, postJSON(t, srv, "/v1/execute", faultsReq(sql, nil)))
+	zero := decodeResp[executeResponse](t, postJSON(t, srv, "/v1/execute", faultsReq(sql, map[string]any{"seed": 9})))
+	if zero.Faults == nil {
+		t.Fatal("faults section missing from fault-injected execute response")
+	}
+	if zero.Tuples != plain.Tuples || zero.Selected != plain.Selected ||
+		zero.MeanCost != plain.MeanCost || zero.MaxCost != plain.MaxCost ||
+		zero.Mismatches != plain.Mismatches {
+		t.Errorf("zero-probability faults diverge from plain execute:\n got %+v\nwant %+v", zero, plain)
+	}
+	f := zero.Faults
+	if f.Failures != 0 || f.Retries != 0 || f.RetryCost != 0 || f.Abstained != 0 || f.Imputed != 0 || f.Replans != 0 {
+		t.Errorf("zero-probability faults report nonzero activity: %+v", f)
+	}
+	if f.Answered != zero.Tuples || f.Accuracy != 1 {
+		t.Errorf("answered=%d accuracy=%g, want %d/1", f.Answered, f.Accuracy, zero.Tuples)
+	}
+}
+
+func TestExecuteFaultPolicies(t *testing.T) {
+	srv := newTestServer(t, nil)
+	defer shutdownServer(t, srv)
+	sql := "SELECT * WHERE temp > 7 AND light > 9"
+
+	run := func(faults map[string]any) executeResponse {
+		t.Helper()
+		w := postJSON(t, srv, "/v1/execute", faultsReq(sql, faults))
+		if w.Code != http.StatusOK {
+			t.Fatalf("execute: %d %s", w.Code, w.Body.String())
+		}
+		return decodeResp[executeResponse](t, w)
+	}
+
+	abstain := run(map[string]any{"seed": 4, "dead": []string{"light"}, "policy": "abstain"})
+	impute := run(map[string]any{"seed": 4, "dead": []string{"light"}, "policy": "impute"})
+	replan := run(map[string]any{"seed": 4, "dead": []string{"light"}, "policy": "replan"})
+
+	if abstain.Faults.Abstained == 0 {
+		t.Fatal("dead attribute produced no abstentions under abstain")
+	}
+	if impute.Faults.Answered <= abstain.Faults.Answered || replan.Faults.Answered <= abstain.Faults.Answered {
+		t.Errorf("answered: impute=%d replan=%d abstain=%d; fallbacks must answer more",
+			impute.Faults.Answered, replan.Faults.Answered, abstain.Faults.Answered)
+	}
+	if impute.Faults.Imputed == 0 {
+		t.Error("impute policy reported no imputations")
+	}
+	if replan.Faults.Replans == 0 {
+		t.Error("replan policy reported no replans")
+	}
+	// Seeded what-if runs are reproducible.
+	again := run(map[string]any{"seed": 4, "dead": []string{"light"}, "policy": "impute"})
+	if *again.Faults != *impute.Faults {
+		t.Errorf("seeded fault run not reproducible: %+v vs %+v", again.Faults, impute.Faults)
+	}
+
+	// Retries show up when failures are transient.
+	flaky := run(map[string]any{"seed": 5, "p_fail": 0.4, "policy": "abstain"})
+	if flaky.Faults.Retries == 0 || flaky.Faults.RetryCost <= 0 {
+		t.Errorf("transient faults produced no retries: %+v", flaky.Faults)
+	}
+
+	// Metrics surface the fault counters.
+	body := getPath(t, srv, "/metrics").Body.String()
+	for _, metric := range []string{
+		"acqserved_fault_executions",
+		"acqserved_fault_retries",
+		"acqserved_fault_failures",
+		"acqserved_fault_fallbacks",
+		"acqserved_degraded_answers",
+	} {
+		if !strings.Contains(body, metric+" ") {
+			t.Errorf("metric %s missing from /metrics", metric)
+		}
+	}
+	if strings.Contains(body, "acqserved_fault_executions 0\n") {
+		t.Error("fault executions counter never incremented")
+	}
+}
+
+func TestFaultSpecValidation(t *testing.T) {
+	srv := newTestServer(t, nil)
+	defer shutdownServer(t, srv)
+	sql := "SELECT * WHERE temp > 7"
+	bad := []map[string]any{
+		{"seed": 1, "p_fail": 1.5},
+		{"seed": 1, "p_fail": 0.6, "p_timeout": 0.6},
+		{"seed": 1, "dead": []string{"no_such_attr"}},
+		{"seed": 1, "max_retries": -1},
+		{"seed": 1, "policy": "shrug"},
+	}
+	for i, f := range bad {
+		for _, path := range []string{"/v1/plan", "/v1/execute"} {
+			w := postJSON(t, srv, path, faultsReq(sql, f))
+			if w.Code != http.StatusBadRequest {
+				t.Errorf("case %d %s: code %d, want 400 (%s)", i, path, w.Code, w.Body.String())
+			}
+		}
+	}
+}

@@ -24,6 +24,12 @@ type metrics struct {
 	invalidated  atomic.Int64 // cache entries purged by epoch bumps
 	inFlight     atomic.Int64 // /plan and /execute requests currently being served
 
+	faultExecutions atomic.Int64 // /execute runs under a faults section
+	faultRetries    atomic.Int64 // acquisition retries across fault-injected runs
+	faultFailures   atomic.Int64 // ultimate acquisition failures across fault-injected runs
+	faultFallbacks  atomic.Int64 // fallback resolutions (abstentions + imputations + replans)
+	degradedAnswers atomic.Int64 // abstained or fault-corrupted answers returned
+
 	lat latencyRing
 }
 
@@ -107,6 +113,11 @@ func (m *metrics) write(w io.Writer, epoch uint64, cacheLen, cacheCap int) error
 		{"acqserved_stats_refreshes", float64(m.refreshes.Load())},
 		{"acqserved_cache_invalidated", float64(m.invalidated.Load())},
 		{"acqserved_in_flight", float64(m.inFlight.Load())},
+		{"acqserved_fault_executions", float64(m.faultExecutions.Load())},
+		{"acqserved_fault_retries", float64(m.faultRetries.Load())},
+		{"acqserved_fault_failures", float64(m.faultFailures.Load())},
+		{"acqserved_fault_fallbacks", float64(m.faultFallbacks.Load())},
+		{"acqserved_degraded_answers", float64(m.degradedAnswers.Load())},
 		{"acqserved_cache_entries", float64(cacheLen)},
 		{"acqserved_cache_capacity", float64(cacheCap)},
 		{"acqserved_stats_epoch", float64(epoch)},

@@ -219,8 +219,10 @@ type distEpoch struct {
 
 // planCached answers a planning request through the cache and
 // singleflight group. cached reports an LRU hit; shared reports a result
-// taken from a concurrent identical request's run.
-func (s *Server) planCached(reqCtx context.Context, canon query.Query, p plannerParams, noCache bool) (out planOutcome, cached, shared bool, err error) {
+// taken from a concurrent identical request's run. noStore suppresses
+// cache writes while still allowing reads: fault-injected requests use it
+// so the what-if path can never populate the cache.
+func (s *Server) planCached(reqCtx context.Context, canon query.Query, p plannerParams, noCache, noStore bool) (out planOutcome, cached, shared bool, err error) {
 	dist, epoch := s.snapshot()
 	key := cacheKey(p, canon, epoch)
 	// Strict and lax requests share cache entries (a cached plan is never
@@ -265,8 +267,9 @@ func (s *Server) planCached(reqCtx context.Context, canon query.Query, p planner
 		if jerr != nil {
 			return planOutcome{}, jerr
 		}
-		// Degraded plans reflect a deadline, not the query: never cached.
-		if !jout.degraded && !noCache {
+		// Degraded plans reflect a deadline, not the query, and
+		// fault-injected requests are what-if analyses: never cached.
+		if !jout.degraded && !noCache && !noStore {
 			s.cache.add(key, epoch, jout)
 		}
 		return jout, nil
