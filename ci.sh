@@ -89,6 +89,20 @@ go test -run='TestZeroFaultProfileIsByteIdentical|TestLossyLinksChargeRetransmis
 mkdir -p results
 go run ./cmd/acqbench -fig faults | tee results/faults-bench.txt
 
+echo "== trace zero-alloc gate"
+# The disabled tracing path must cost nothing: testing.AllocsPerRun on
+# nil-span/nil-profile hot loops must report exactly 0 allocs/op. Run
+# without -race (the race runtime allocates; the test skips itself under
+# it, which would silently void the gate).
+go test -run='TestDisabledPathZeroAllocs' -count=1 ./internal/trace
+
+echo "== trace figure smoke"
+# The trace study self-checks its invariants in-process: traced plans
+# byte-identical to untraced, profiled runs equal to unprofiled, and
+# per-node costs summing bit-exactly to the executor total.
+mkdir -p results
+go run ./cmd/acqbench -fig trace | tee results/trace-bench.txt
+
 echo "== serve benchmarks"
 mkdir -p results
 go test -run='^$' -bench='BenchmarkServe' -benchtime=200x ./internal/serve | tee results/serve-bench.txt

@@ -3,7 +3,7 @@
 //
 // Usage:
 //
-//	acqbench -fig 8a|8b|8c|9|10|11|12|scale|sensor|ablation|faults|all [-scale quick|full]
+//	acqbench -fig 8a|8b|8c|9|10|11|12|scale|sensor|ablation|faults|trace|all [-scale quick|full]
 //
 // Each figure corresponds to an experiment in internal/experiments; see
 // DESIGN.md for the experiment index and EXPERIMENTS.md for recorded
@@ -55,10 +55,11 @@ var figures = []figure{
 	{"ablation", tableWriter(experiments.ModelAblation)},
 	{"parallel", tableWriter(experiments.ParallelSpeedup)},
 	{"faults", tableWriter(experiments.FaultStudy)},
+	{"trace", tableWriter(experiments.TraceStudy)},
 }
 
 func main() {
-	fig := flag.String("fig", "all", "figure to regenerate: 8a, 8b, 8c, 9, 10, 11, 12, scale, lifetime, sensor, ablation, parallel, faults, or all")
+	fig := flag.String("fig", "all", "figure to regenerate: 8a, 8b, 8c, 9, 10, 11, 12, scale, lifetime, sensor, ablation, parallel, faults, trace, or all")
 	scale := flag.String("scale", "quick", "experiment scale: quick or full")
 	timeout := flag.Duration("timeout", 0, "wall-clock budget for the whole run (e.g. 30s); 0 means none. Expiry cancels the in-flight planner and aborts")
 	flag.Parse()

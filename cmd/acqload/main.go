@@ -29,6 +29,8 @@ import (
 	"sync"
 	"sync/atomic"
 	"time"
+
+	"acqp/internal/floats"
 )
 
 type attrInfo struct {
@@ -230,15 +232,11 @@ func postWithRetry(endpoint string, body []byte, maxRetries int, rng *rand.Rand)
 	}
 }
 
+// pct is the nearest-rank percentile, shared with the server's /metrics
+// gauges so client-side and server-side latency reports agree on small
+// sample counts.
 func pct(sorted []float64, p int) float64 {
-	if len(sorted) == 0 {
-		return 0
-	}
-	i := len(sorted) * p / 100
-	if i >= len(sorted) {
-		i = len(sorted) - 1
-	}
-	return sorted[i]
+	return floats.Percentile(sorted, float64(p))
 }
 
 func fetchSchema(addr string) ([]attrInfo, error) {

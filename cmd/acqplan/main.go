@@ -26,8 +26,10 @@ import (
 	"os"
 	"strconv"
 	"strings"
+	"time"
 
 	"acqp"
+	"acqp/internal/trace"
 )
 
 func main() {
@@ -41,6 +43,7 @@ func main() {
 	dot := flag.Bool("dot", false, "emit Graphviz instead of indented text")
 	timeout := flag.Duration("timeout", 0, "planning deadline (e.g. 100ms); 0 means none. The greedy planner returns the best plan found so far, the exhaustive planner aborts")
 	parallelism := flag.Int("parallelism", 1, "planner worker count; the plan is identical at every setting")
+	traced := flag.Bool("trace", false, "print planner phase timings and search counters to stderr (conjunctive queries)")
 	flag.Parse()
 
 	if *schemaSpec == "" || (*querySpec == "" && *sqlSpec == "") || *dataPath == "" {
@@ -89,6 +92,11 @@ func main() {
 		ctx, cancel = context.WithTimeout(ctx, *timeout)
 		defer cancel()
 	}
+	var sp *trace.Span
+	if *traced {
+		sp = trace.NewSpan(time.Now)
+		ctx = trace.NewContext(ctx, sp)
+	}
 	d := acqp.NewEmpirical(tbl)
 	var p *acqp.Plan
 	var cost float64
@@ -130,6 +138,25 @@ func main() {
 	fmt.Printf("\nexpected cost: %.2f units/tuple (naive ordering: %.2f, %.1f%% saved)\n",
 		cost, naiveCost, (1-cost/naiveCost)*100)
 	fmt.Printf("plan: %d splits, %d bytes on the wire\n", p.NumSplits(), acqp.PlanSize(p))
+	printTrace(sp)
+}
+
+// printTrace writes a span's snapshot to stderr in a fixed order (phases
+// as recorded, counters sorted by name).
+func printTrace(sp *trace.Span) {
+	if sp == nil {
+		return
+	}
+	snap := sp.Snapshot()
+	fmt.Fprintln(os.Stderr, "trace:")
+	for _, ph := range snap.Phases {
+		fmt.Fprintf(os.Stderr, "  phase %-18s %10.3f ms\n", ph.Name, ph.DurationMS)
+	}
+	for _, name := range trace.CounterNames() {
+		if v, ok := snap.Counters[name]; ok {
+			fmt.Fprintf(os.Stderr, "  %-24s %10d\n", name, v)
+		}
+	}
 }
 
 // planBoolean handles non-conjunctive WHERE clauses via the boolean

@@ -8,7 +8,8 @@
 //	acqserved -schema "hour:24:1,light:32:100,temp:32:100" \
 //	          -data history.csv [-addr :8077] [-cache 256] \
 //	          [-workers 0] [-queue 0] [-timeout 2s] \
-//	          [-window 4096] [-refresh 30s] [-drift 0.05]
+//	          [-window 4096] [-refresh 30s] [-drift 0.05] \
+//	          [-access-log] [-debug-addr localhost:6060]
 //
 // Endpoints: POST /plan, /execute, /ingest, /refresh; GET /stats,
 // /metrics (Prometheus text), /healthz. See internal/serve for the
@@ -22,6 +23,7 @@ import (
 	"fmt"
 	"net"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"strconv"
@@ -45,6 +47,8 @@ func main() {
 	refresh := flag.Duration("refresh", 0, "background drift-check interval (0 = on-demand /refresh only)")
 	drift := flag.Float64("drift", 0, "total-variation drift threshold for an epoch bump (0 = 0.05)")
 	parallelism := flag.Int("parallelism", 0, "default planner worker count per request (0 = 1, capped at GOMAXPROCS)")
+	accessLog := flag.Bool("access-log", false, "write one structured log line per request to stderr")
+	debugAddr := flag.String("debug-addr", "", "optional separate listener for net/http/pprof (e.g. localhost:6060); disabled when empty")
 	flag.Parse()
 
 	if *schemaSpec == "" || *dataPath == "" {
@@ -65,7 +69,7 @@ func main() {
 		fatal(err)
 	}
 
-	srv, err := serve.New(serve.Config{
+	cfg := serve.Config{
 		Schema:          s,
 		History:         tbl,
 		CacheSize:       *cacheSize,
@@ -76,7 +80,11 @@ func main() {
 		WindowSize:      *window,
 		RefreshInterval: *refresh,
 		DriftThreshold:  *drift,
-	})
+	}
+	if *accessLog {
+		cfg.AccessLog = os.Stderr
+	}
+	srv, err := serve.New(cfg)
 	if err != nil {
 		fatal(err)
 	}
@@ -85,7 +93,39 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
-	httpSrv := &http.Server{Handler: srv, ReadHeaderTimeout: 5 * time.Second}
+	// Full request/response timeouts, not just the header read: a stalled
+	// client must not pin a connection (and its MaxBytesReader body)
+	// indefinitely.
+	httpSrv := &http.Server{
+		Handler:           srv,
+		ReadHeaderTimeout: 5 * time.Second,
+		ReadTimeout:       30 * time.Second,
+		WriteTimeout:      60 * time.Second,
+		IdleTimeout:       2 * time.Minute,
+	}
+
+	// The pprof listener is opt-in and separate from the API listener so
+	// profiling endpoints are never exposed on the service address.
+	if *debugAddr != "" {
+		dln, err := net.Listen("tcp", *debugAddr)
+		if err != nil {
+			fatal(err)
+		}
+		debugMux := http.NewServeMux()
+		debugMux.HandleFunc("/debug/pprof/", pprof.Index)
+		debugMux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		debugMux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		debugMux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		debugMux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+		debugSrv := &http.Server{Handler: debugMux, ReadHeaderTimeout: 5 * time.Second}
+		fmt.Printf("acqserved: pprof on http://%s/debug/pprof/\n", dln.Addr())
+		go func() {
+			if err := debugSrv.Serve(dln); err != nil && err != http.ErrServerClosed {
+				fmt.Fprintf(os.Stderr, "acqserved: debug listener: %v\n", err)
+			}
+		}()
+		defer debugSrv.Close()
+	}
 	fmt.Printf("acqserved: %d attributes, %d history tuples\n", s.NumAttrs(), tbl.NumRows())
 	fmt.Printf("acqserved: listening on http://%s\n", ln.Addr())
 

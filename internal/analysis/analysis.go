@@ -58,6 +58,7 @@ func Analyzers() []*Analyzer {
 		ErrDrop,
 		CondShare,
 		FaultDet,
+		TraceDet,
 	}
 }
 

@@ -1,0 +1,37 @@
+// Package tracefix is the tracedet golden fixture. Its path contains
+// internal/trace, so it sits inside the analyzer's injected-clock scope.
+package tracefix
+
+import (
+	"math/rand" // want "import of math/rand in internal/trace"
+	"time"
+)
+
+func jitter(seed int64) float64 {
+	rng := rand.New(rand.NewSource(seed))
+	return rng.Float64()
+}
+
+func stamp() time.Time {
+	return time.Now() // want "wall-clock read time.Now"
+}
+
+func elapsed(t0 time.Time) time.Duration {
+	return time.Since(t0) // want "wall-clock read time.Since"
+}
+
+func remaining(deadline time.Time) time.Duration {
+	return time.Until(deadline) // want "wall-clock read time.Until"
+}
+
+// durationMS converts a caller-supplied duration: pure arithmetic on
+// injected values never reads the clock, so this is allowed.
+func durationMS(d time.Duration) float64 {
+	return float64(d) / float64(time.Millisecond)
+}
+
+// tick reads the clock through an injected now func, the sanctioned
+// pattern.
+func tick(now func() time.Time, t0 time.Time) time.Duration {
+	return now().Sub(t0)
+}

@@ -1,0 +1,63 @@
+package analysis
+
+import (
+	"go/ast"
+	"strings"
+)
+
+// TraceDet keeps internal/trace testable and deterministic: spans report
+// phase durations, so the package is one careless time.Now() away from
+// timings that cannot be pinned in tests. The package's contract is that
+// every clock read flows through the injected `now func() time.Time`
+// (NewSpan's parameter), letting tests drive a fake clock and letting the
+// disabled path stay allocation- and syscall-free. Direct wall-clock
+// reads (time.Now, time.Since, time.Until) and math/rand generators are
+// therefore forbidden in the package; time.Time/time.Duration arithmetic
+// on values the caller handed in is fine.
+var TraceDet = &Analyzer{
+	Name: "tracedet",
+	Doc:  "forbid direct wall-clock reads and math/rand in internal/trace; the clock is injected via now func() time.Time",
+	Run:  runTraceDet,
+}
+
+func runTraceDet(p *Package) []Diagnostic {
+	if !p.InDir("internal/trace") {
+		return nil
+	}
+	var out []Diagnostic
+	p.walkNonTest(func(_ int, f *ast.File) {
+		timeLocal := ""
+		for _, imp := range f.Imports {
+			path := strings.Trim(imp.Path.Value, `"`)
+			switch path {
+			case "math/rand", "math/rand/v2":
+				out = append(out, p.diag("tracedet", imp.Pos(),
+					"import of %s in internal/trace; tracing must be deterministic under a test clock", path))
+			case "time":
+				timeLocal = "time"
+				if imp.Name != nil {
+					timeLocal = imp.Name.Name
+				}
+			}
+		}
+		if timeLocal == "" || timeLocal == "." {
+			return
+		}
+		ast.Inspect(f, func(n ast.Node) bool {
+			sel, ok := n.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			id, ok := sel.X.(*ast.Ident)
+			if !ok || id.Name != timeLocal {
+				return true
+			}
+			if sel.Sel.Name == "Now" || sel.Sel.Name == "Since" || sel.Sel.Name == "Until" {
+				out = append(out, p.diag("tracedet", sel.Pos(),
+					"wall-clock read time.%s in internal/trace; read the clock through the injected now func() time.Time", sel.Sel.Name))
+			}
+			return true
+		})
+	})
+	return out
+}

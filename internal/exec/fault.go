@@ -9,6 +9,7 @@ import (
 	"acqp/internal/schema"
 	"acqp/internal/stats"
 	"acqp/internal/table"
+	"acqp/internal/trace"
 )
 
 // FallbackPolicy selects what the executor does with a tuple when an
@@ -78,6 +79,12 @@ type FaultConfig struct {
 	// defaults to the correlation-unaware sequential plan over the
 	// residual predicates, which is always correct and needs no planner.
 	Replanner func(failed []bool, residual query.Query) (*plan.Node, error)
+	// Profile, when non-nil, receives per-node and per-attribute cost
+	// attribution for the run (see trace.ExecProfile). Charges made while
+	// executing a replanned residual plan are attributed to node ID -1
+	// (totals only), since residual nodes are not part of the profiled
+	// plan. Nil disables attribution at zero cost.
+	Profile *trace.ExecProfile
 }
 
 // TupleOutcome reports the fault-aware execution of one tuple.
@@ -135,6 +142,9 @@ type TupleExecutor struct {
 	failed  []bool // acquisition ultimately failed this tuple
 	imputed []bool
 	vals    []schema.Value
+
+	// Profiling (nil when cfg.Profile is nil).
+	ids map[*plan.Node]int
 }
 
 // NewTupleExecutor validates the configuration and builds an executor for
@@ -156,13 +166,30 @@ func NewTupleExecutor(s *schema.Schema, p *plan.Node, q query.Query, cfg FaultCo
 		return nil, fmt.Errorf("exec: injector covers %d attributes, schema has %d", cfg.Injector.NumAttrs(), s.NumAttrs())
 	}
 	n := s.NumAttrs()
-	return &TupleExecutor{
+	ex := &TupleExecutor{
 		s: s, p: p, q: q, cfg: cfg,
 		stale: make([]schema.Value, n), haveStale: make([]bool, n),
 		deadKnown: make([]bool, n), acq: make([]int64, n),
 		paid: make([]bool, n), known: make([]bool, n), failed: make([]bool, n),
 		imputed: make([]bool, n), vals: make([]schema.Value, n),
-	}, nil
+	}
+	if cfg.Profile != nil {
+		ex.ids = plan.NodeIDs(p)
+	}
+	return ex, nil
+}
+
+// nodeID returns the profiled plan's pre-order ID for n, or -1 when
+// profiling is off or n is not in the profiled plan (replanned residual
+// nodes).
+func (e *TupleExecutor) nodeID(n *plan.Node) int {
+	if e.cfg.Profile == nil {
+		return -1
+	}
+	if id, ok := e.ids[n]; ok {
+		return id
+	}
+	return -1
 }
 
 // AcquisitionCounts returns the live per-attribute counts of tuples that
@@ -195,6 +222,8 @@ func (e *TupleExecutor) ExecTuple(rowIdx int, row []schema.Value) TupleOutcome {
 func (e *TupleExecutor) execPlan(p *plan.Node, rowIdx int, row []schema.Value, out *TupleOutcome, depth int) query.Truth {
 	cur := p
 	for {
+		id := e.nodeID(cur)
+		e.cfg.Profile.Visit(id)
 		switch cur.Kind {
 		case plan.Leaf:
 			if cur.Result {
@@ -202,7 +231,7 @@ func (e *TupleExecutor) execPlan(p *plan.Node, rowIdx int, row []schema.Value, o
 			}
 			return query.False
 		case plan.Split:
-			if !e.ensure(rowIdx, cur.Attr, row, out) {
+			if !e.ensure(rowIdx, cur.Attr, row, out, id) {
 				return e.fallback(rowIdx, row, out, depth)
 			}
 			if e.vals[cur.Attr] >= cur.X {
@@ -212,7 +241,7 @@ func (e *TupleExecutor) execPlan(p *plan.Node, rowIdx int, row []schema.Value, o
 			}
 		case plan.Seq:
 			for _, pd := range cur.Preds {
-				if !e.ensure(rowIdx, pd.Attr, row, out) {
+				if !e.ensure(rowIdx, pd.Attr, row, out, id) {
 					return e.fallback(rowIdx, row, out, depth)
 				}
 				if !pd.Eval(e.vals[pd.Attr]) {
@@ -230,7 +259,8 @@ func (e *TupleExecutor) execPlan(p *plan.Node, rowIdx int, row []schema.Value, o
 // retrying) as needed. It returns false when the acquisition ultimately
 // failed and no value could be substituted under the Abstain/Replan
 // policies; under Impute it substitutes a prediction and returns true.
-func (e *TupleExecutor) ensure(rowIdx, a int, row []schema.Value, out *TupleOutcome) bool {
+// nodeID attributes the charges to the plan node requesting the value.
+func (e *TupleExecutor) ensure(rowIdx, a int, row []schema.Value, out *TupleOutcome, nodeID int) bool {
 	if e.known[a] {
 		return true
 	}
@@ -247,6 +277,7 @@ func (e *TupleExecutor) ensure(rowIdx, a int, row []schema.Value, out *TupleOutc
 		// powers the board, exactly as the fault-free executor charges.
 		c := e.s.AcquisitionCost(a, e.paid)
 		out.Cost += c
+		e.cfg.Profile.Charge(nodeID, a, c, 1)
 		if e.paid[a] {
 			out.RetryCost += c
 		} else {
@@ -281,6 +312,7 @@ func (e *TupleExecutor) ensure(rowIdx, a int, row []schema.Value, out *TupleOutc
 				surch := ret.TimeoutSurcharge(c)
 				out.Cost += surch
 				out.RetryCost += surch
+				e.cfg.Profile.Charge(nodeID, a, surch, 0)
 			}
 			if attempt >= ret.MaxRetries {
 				return e.attrFailed(rowIdx, a, row, out)
@@ -289,6 +321,7 @@ func (e *TupleExecutor) ensure(rowIdx, a int, row []schema.Value, out *TupleOutc
 			b := ret.Backoff(retry, inj.JitterU(rowIdx, a, retry))
 			out.Cost += b
 			out.RetryCost += b
+			e.cfg.Profile.Charge(nodeID, a, b, 0)
 			out.Retries++
 		}
 	}
@@ -461,6 +494,7 @@ func RunFaulty(s *schema.Schema, p *plan.Node, q query.Query, tbl *table.Table, 
 	for r := 0; r < tbl.NumRows(); r++ {
 		row = tbl.Row(r, row)
 		out := ex.ExecTuple(r, row)
+		cfg.Profile.FinishTuple()
 		res.Tuples++
 		res.TotalCost += out.Cost
 		if out.Cost > res.MaxCost {

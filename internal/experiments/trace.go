@@ -1,0 +1,139 @@
+package experiments
+
+import (
+	"bytes"
+	"fmt"
+	"io"
+	"math"
+	"reflect"
+	"time"
+
+	"acqp/internal/exec"
+	"acqp/internal/plan"
+	"acqp/internal/trace"
+)
+
+// TraceRow is one query of the trace study: the plan's per-node cost
+// heatmap summarized as its hottest node, plus the predicted-vs-observed
+// per-tuple cost drift.
+type TraceRow struct {
+	Query      int
+	Nodes      int     // plan nodes (pre-order count)
+	Splits     int     // conditioning splits
+	Predicted  float64 // planner's expected per-tuple cost (training dist)
+	Observed   float64 // measured mean per-tuple cost on the test window
+	DriftPct   float64 // (observed - predicted) / predicted
+	HotNode    int     // node ID carrying the largest observed cost
+	HotLabel   string
+	HotShare   float64 // fraction of the total cost charged to HotNode
+	Candidates int64   // planner search counter for this query's run
+	Pruned     int64
+}
+
+// TraceStudyResult is the tracing study: the per-node attribution the
+// trace subsystem produces, validated against the untraced planner and
+// executor. Expected shape: observed cost tracks predicted cost within
+// the train/test sampling error, and most plans concentrate their cost
+// on one hot node (the first expensive-attribute acquisition).
+type TraceStudyResult struct {
+	Queries int
+	Tuples  int
+	Rows    []TraceRow
+}
+
+// TraceStudy plans and profiles the lab workload. Beyond producing the
+// table it enforces the tracing invariants — a span never changes the
+// planner's output (byte-identical encoding, bit-identical cost), a
+// profiled run returns exactly the unprofiled executor's Result, and the
+// per-node observed costs sum bit-exactly to the executor's total (lab
+// acquisition costs are integers, so no rounding slack is tolerated) —
+// returning an error on any violation so CI can gate on it.
+func TraceStudy(e *Env) (TraceStudyResult, error) {
+	w := e.labWorld(e.LabQueryCount())
+	s := w.train.Schema()
+	heur := heuristicPlanner(s, 5)
+
+	res := TraceStudyResult{Queries: len(w.queries), Tuples: w.test.NumRows() * len(w.queries)}
+	for qi, q := range w.queries {
+		node, cost, err := heur.Plan(e.ctx(), w.dist, q)
+		if err != nil {
+			return res, err
+		}
+		sp := trace.NewSpan(time.Now)
+		tnode, tcost, err := heur.Plan(trace.NewContext(e.ctx(), sp), w.dist, q)
+		if err != nil {
+			return res, err
+		}
+		if math.Float64bits(cost) != math.Float64bits(tcost) {
+			return res, fmt.Errorf("experiments: trace: query %d traced plan cost differs: %v vs %v", qi, tcost, cost)
+		}
+		if !bytes.Equal(plan.Encode(node), plan.Encode(tnode)) {
+			return res, fmt.Errorf("experiments: trace: query %d traced plan differs from untraced plan", qi)
+		}
+
+		nodes := node.Preorder()
+		prof := trace.NewExecProfile(len(nodes), s.NumAttrs())
+		got := exec.RunProfiled(s, node, q, w.test, prof)
+		want := exec.Run(s, node, q, w.test)
+		if !reflect.DeepEqual(got, want) {
+			return res, fmt.Errorf("experiments: trace: query %d profiled run diverges from unprofiled executor", qi)
+		}
+		if math.Float64bits(prof.SumNodeCost()) != math.Float64bits(want.TotalCost) {
+			return res, fmt.Errorf("experiments: trace: query %d node costs sum to %v, executor total %v",
+				qi, prof.SumNodeCost(), want.TotalCost)
+		}
+		if prof.NodeVisits[0] != int64(want.Tuples) {
+			return res, fmt.Errorf("experiments: trace: query %d root visits %d != tuples %d",
+				qi, prof.NodeVisits[0], want.Tuples)
+		}
+		for a := range want.Acquisitions {
+			if prof.AttrAcquisitions[a] != want.Acquisitions[a] {
+				return res, fmt.Errorf("experiments: trace: query %d attr %d acquisitions %d != executor's %d",
+					qi, a, prof.AttrAcquisitions[a], want.Acquisitions[a])
+			}
+		}
+
+		row := TraceRow{
+			Query:      qi,
+			Nodes:      len(nodes),
+			Splits:     node.NumSplits(),
+			Predicted:  cost,
+			Candidates: sp.Counter(trace.Candidates),
+			Pruned:     sp.Counter(trace.Pruned),
+		}
+		if want.Tuples > 0 {
+			row.Observed = want.TotalCost / float64(want.Tuples)
+		}
+		if cost > 0 {
+			row.DriftPct = 100 * (row.Observed - cost) / cost
+		}
+		for id := range nodes {
+			if prof.NodeCost[id] > prof.NodeCost[row.HotNode] {
+				row.HotNode = id
+			}
+		}
+		row.HotLabel = plan.NodeLabel(nodes[row.HotNode], s.Name)
+		if want.TotalCost > 0 {
+			row.HotShare = prof.NodeCost[row.HotNode] / want.TotalCost
+		}
+		res.Rows = append(res.Rows, row)
+	}
+	return res, nil
+}
+
+// WriteTable renders the study.
+func (r TraceStudyResult) WriteTable(w io.Writer) error {
+	rows := make([][]string, len(r.Rows))
+	for i, row := range r.Rows {
+		rows[i] = []string{
+			fmt.Sprintf("%d", row.Query), fmt.Sprintf("%d", row.Nodes), fmt.Sprintf("%d", row.Splits),
+			f2(row.Predicted), f2(row.Observed), f1(row.DriftPct),
+			fmt.Sprintf("%d", row.HotNode), row.HotLabel, f3(row.HotShare),
+			fmt.Sprintf("%d", row.Candidates), fmt.Sprintf("%d", row.Pruned),
+		}
+	}
+	return WriteTable(w,
+		fmt.Sprintf("Trace study: per-node cost attribution and predicted-vs-observed drift — lab dataset (%d queries, %d tuple-runs)", r.Queries, r.Tuples),
+		[]string{"query", "nodes", "splits", "predicted", "observed", "drift%", "hot", "hot label", "hot share", "candidates", "pruned"},
+		rows)
+}

@@ -1,0 +1,23 @@
+package floats
+
+import "math"
+
+// Percentile returns the p-th percentile (0 < p <= 100) of sorted using
+// the nearest-rank rule: the value at rank ceil(p/100 * n), 1-indexed.
+// This is the single percentile definition shared by the server metrics
+// ring and the load driver, so their reported quantiles agree. The
+// input must be sorted ascending; an empty slice yields 0.
+func Percentile(sorted []float64, p float64) float64 {
+	n := len(sorted)
+	if n == 0 {
+		return 0
+	}
+	rank := int(math.Ceil(p / 100 * float64(n)))
+	if rank < 1 {
+		rank = 1
+	}
+	if rank > n {
+		rank = n
+	}
+	return sorted[rank-1]
+}

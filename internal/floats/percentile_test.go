@@ -1,0 +1,40 @@
+package floats
+
+import "testing"
+
+func TestPercentileSmallN(t *testing.T) {
+	cases := []struct {
+		name   string
+		sorted []float64
+		p      float64
+		want   float64
+	}{
+		{"empty", nil, 50, 0},
+		{"n1-p50", []float64{7}, 50, 7},
+		{"n1-p99", []float64{7}, 99, 7},
+		{"n2-p50", []float64{1, 2}, 50, 1},
+		{"n2-p51", []float64{1, 2}, 51, 2},
+		{"n2-p99", []float64{1, 2}, 99, 2},
+		{"n2-p100", []float64{1, 2}, 100, 2},
+		{"p0-clamps-to-min", []float64{1, 2}, 0, 1},
+	}
+	for _, c := range cases {
+		if got := Percentile(c.sorted, c.p); got != c.want {
+			t.Errorf("%s: Percentile(%v, %v) = %v, want %v", c.name, c.sorted, c.p, got, c.want)
+		}
+	}
+}
+
+func TestPercentileN100(t *testing.T) {
+	// sorted[i] = i+1, so the nearest-rank p-th percentile is exactly p
+	// for integer p: rank = ceil(p/100*100) = p, value = sorted[p-1] = p.
+	sorted := make([]float64, 100)
+	for i := range sorted {
+		sorted[i] = float64(i + 1)
+	}
+	for _, p := range []float64{1, 25, 50, 90, 95, 99, 100} {
+		if got := Percentile(sorted, p); got != p {
+			t.Errorf("n=100: Percentile(p=%v) = %v, want %v", p, got, p)
+		}
+	}
+}

@@ -10,6 +10,7 @@ import (
 	"acqp/internal/query"
 	"acqp/internal/schema"
 	"acqp/internal/stats"
+	"acqp/internal/trace"
 )
 
 // Exhaustive implements the optimal dynamic-programming planner of
@@ -62,9 +63,10 @@ type exhaustiveSearch struct {
 	q      query.Query
 	spsf   SPSF
 	memo   *boxMemo
-	sem    gate
+	sem    *gate
 	budget int64
 	count  atomic.Int64
+	span   *trace.Span // nil unless the caller's ctx carries one
 }
 
 // Plan runs the exhaustive search and returns the optimal plan and its
@@ -74,18 +76,22 @@ type exhaustiveSearch struct {
 // to a sequential planner.
 func (e *Exhaustive) Plan(ctx context.Context, d stats.Dist, q query.Query) (*plan.Node, float64, error) {
 	s := d.Schema()
+	sp := trace.FromContext(ctx)
+	ref := sp.Begin("exhaustive-search")
 	es := &exhaustiveSearch{
 		ctx:    ctx,
 		s:      s,
 		q:      q,
 		spsf:   e.SPSF.WithQueryEndpoints(s, q),
 		memo:   newBoxMemo(),
-		sem:    newGate(e.Parallelism),
+		sem:    newGate(e.Parallelism, sp),
 		budget: int64(e.Budget),
+		span:   sp,
 	}
 	root := d.Root()
 	cost, node, err := es.solve(func() stats.Cond { return root }, query.FullBox(s), math.Inf(1))
 	e.expanded = int(es.count.Load())
+	sp.End(ref)
 	if err != nil {
 		return nil, 0, err
 	}
@@ -136,13 +142,16 @@ func (es *exhaustiveSearch) solve(getC lazyC, box query.Box, bound float64) (flo
 	}
 	key := box.Key()
 	if hit, exact, prunes := es.memo.lookup(key, bound); exact {
+		es.span.Count(trace.MemoHits, 1)
 		return hit.cost, hit.node, nil
 	} else if prunes {
+		es.span.Count(trace.MemoHits, 1)
 		return math.Inf(1), nil, nil
 	}
 	if n := es.count.Add(1); es.budget > 0 && n > es.budget {
 		return 0, nil, ErrBudget
 	}
+	es.span.Count(trace.Expanded, 1)
 	// One cancellation check per expanded subproblem: each expansion does
 	// orders of magnitude more work than the check (sequential seeding,
 	// split enumeration), so deadline overshoot stays within a single
@@ -174,6 +183,7 @@ func (es *exhaustiveSearch) solve(getC lazyC, box query.Box, bound float64) (flo
 			cands = append(cands, candidate{attr: attr, x: x})
 		}
 	}
+	es.span.Count(trace.Candidates, int64(len(cands)))
 	results := make([]candResult, len(cands))
 	var wg sync.WaitGroup
 	var firstErr errBox
@@ -208,6 +218,7 @@ func (es *exhaustiveSearch) solve(getC lazyC, box query.Box, bound float64) (flo
 	// candidates are only discarded when their cost provably exceeds an
 	// incumbent that is itself >= the optimum, so the entry is always
 	// cacheable.
+	es.span.Count(trace.MemoStores, 1)
 	es.memo.store(key, exhaustiveMemoEntry{cost: cMin, node: bestNode})
 	return cMin, bestNode, nil
 }
@@ -222,6 +233,7 @@ func (es *exhaustiveSearch) evalCandidate(c stats.Cond, box query.Box, attr int,
 	}
 	cost := predCost(es.s, box, attr)
 	if cost > best.get() {
+		es.span.Count(trace.Pruned, 1)
 		return out // pruning: acquiring this attribute alone exceeds the bound
 	}
 	r := box[attr]
@@ -242,11 +254,13 @@ func (es *exhaustiveSearch) evalCandidate(c stats.Cond, box query.Box, attr int,
 			return out
 		}
 		if node == nil {
+			es.span.Count(trace.Pruned, 1)
 			return out // left branch alone pushes the candidate past the bound
 		}
 		loNode = node
 		cost += pLo * loCost
 		if cost > best.get() {
+			es.span.Count(trace.Pruned, 1)
 			return out
 		}
 	}
@@ -259,6 +273,7 @@ func (es *exhaustiveSearch) evalCandidate(c stats.Cond, box query.Box, attr int,
 			return out
 		}
 		if node == nil {
+			es.span.Count(trace.Pruned, 1)
 			return out
 		}
 		hiNode = node

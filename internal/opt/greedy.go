@@ -10,6 +10,7 @@ import (
 	"acqp/internal/query"
 	"acqp/internal/schema"
 	"acqp/internal/stats"
+	"acqp/internal/trace"
 )
 
 // Greedy is the heuristic conditional planner of Section 4.2: it starts
@@ -63,7 +64,7 @@ type greedySplitResult struct {
 // gate the candidates are evaluated concurrently; the deterministic
 // reduction picks the same split the sequential loop would (first
 // candidate in (attr, x) order achieving the minimum cost).
-func (g *Greedy) greedySplit(ctx context.Context, s *schema.Schema, c stats.Cond, box query.Box, q query.Query, spsf SPSF, sem gate) greedySplitResult {
+func (g *Greedy) greedySplit(ctx context.Context, s *schema.Schema, c stats.Cond, box query.Box, q query.Query, spsf SPSF, sem *gate) greedySplitResult {
 	if sem == nil {
 		return g.greedySplitSeq(ctx, s, c, box, q, spsf)
 	}
@@ -77,6 +78,7 @@ func (g *Greedy) greedySplit(ctx context.Context, s *schema.Schema, c stats.Cond
 			cands = append(cands, candidate{attr: attr, x: x})
 		}
 	}
+	trace.FromContext(ctx).Count(trace.Candidates, int64(len(cands)))
 	best := newMinBound(math.Inf(1))
 	results := make([]greedySplitResult, len(cands))
 	var wg sync.WaitGroup
@@ -106,6 +108,7 @@ func (g *Greedy) evalSplit(ctx context.Context, s *schema.Schema, c stats.Cond, 
 	}
 	cost := predCost(s, box, attr)
 	if cost > best.get() {
+		trace.FromContext(ctx).Count(trace.Pruned, 1)
 		return greedySplitResult{}
 	}
 	r := box[attr]
@@ -119,6 +122,7 @@ func (g *Greedy) evalSplit(ctx context.Context, s *schema.Schema, c stats.Cond, 
 		loPlan, loCost = SequentialPlan(g.Base, s, childCond(c, attr, loRange), loBox, q)
 		cost += pLo * loCost
 		if cost > best.get() {
+			trace.FromContext(ctx).Count(trace.Pruned, 1)
 			return greedySplitResult{}
 		}
 	}
@@ -139,6 +143,7 @@ func (g *Greedy) evalSplit(ctx context.Context, s *schema.Schema, c stats.Cond, 
 // greedySplitSeq is the sequential candidate loop, kept free of atomics
 // and goroutines for the Parallelism <= 1 path.
 func (g *Greedy) greedySplitSeq(ctx context.Context, s *schema.Schema, c stats.Cond, box query.Box, q query.Query, spsf SPSF) greedySplitResult {
+	sp := trace.FromContext(ctx)
 	res := greedySplitResult{cost: math.Inf(1)}
 	for attr := 0; attr < s.NumAttrs(); attr++ {
 		if ctx.Err() != nil {
@@ -153,6 +158,7 @@ func (g *Greedy) greedySplitSeq(ctx context.Context, s *schema.Schema, c stats.C
 		}
 		r := box[attr]
 		for _, x := range spsf.Candidates(attr, r) {
+			sp.Count(trace.Candidates, 1)
 			cost := atomic
 			loRange := query.Range{Lo: r.Lo, Hi: x - 1}
 			hiRange := query.Range{Lo: x, Hi: r.Hi}
@@ -164,6 +170,7 @@ func (g *Greedy) greedySplitSeq(ctx context.Context, s *schema.Schema, c stats.C
 				loPlan, loCost = SequentialPlan(g.Base, s, childCond(c, attr, loRange), loBox, q)
 				cost += pLo * loCost
 				if cost >= res.cost {
+					sp.Count(trace.Pruned, 1)
 					continue
 				}
 			}
@@ -230,17 +237,21 @@ func (q *leafQueue) Pop() interface{} {
 // identical at every Parallelism.
 func (g *Greedy) Plan(ctx context.Context, d stats.Dist, q query.Query) (*plan.Node, float64) {
 	s := d.Schema()
+	tsp := trace.FromContext(ctx)
 	spsf := g.SPSF.WithQueryEndpoints(s, q)
 	rootBox := query.FullBox(s)
 	rootCond := d.Root()
-	sem := newGate(g.Parallelism)
+	sem := newGate(g.Parallelism, tsp)
 
+	seedRef := tsp.Begin("greedy-seed")
 	rootPlan, rootCost := SequentialPlan(g.Base, s, rootCond, rootBox, q)
 	root := rootPlan
 
 	pq := &leafQueue{}
 	g.enqueue(ctx, pq, s, q, spsf, sem, root, rootCond, rootBox, 1, rootCost)
+	tsp.End(seedRef)
 
+	expandRef := tsp.Begin("greedy-expand")
 	splits := 0
 	for splits < g.MaxSplits && pq.Len() > 0 && ctx.Err() == nil {
 		top := heap.Pop(pq).(*leafEntry)
@@ -252,6 +263,7 @@ func (g *Greedy) Plan(ctx context.Context, d stats.Dist, q query.Query) (*plan.N
 		// children start as the split's sequential plans.
 		*top.node = *plan.NewSplit(sp.attr, sp.x, sp.loPlan, sp.hiPlan)
 		splits++
+		trace.FromContext(ctx).Count(trace.LeafExpansions, 1)
 		if splits >= g.MaxSplits {
 			break
 		}
@@ -283,17 +295,21 @@ func (g *Greedy) Plan(ctx context.Context, d stats.Dist, q query.Query) (*plan.N
 			}
 		}
 	}
+	tsp.End(expandRef)
 	// Canonicalize: drop structure that cannot affect any tuple (decided
 	// splits, proven predicates, identical branches) so the disseminated
 	// zeta(P) is minimal.
+	simplifyRef := tsp.Begin("greedy-simplify")
 	root = plan.Simplify(root, s)
-	return root, plan.ExpectedCostRoot(root, d)
+	cost := plan.ExpectedCostRoot(root, d)
+	tsp.End(simplifyRef)
+	return root, cost
 }
 
 // splitEntry computes the greedy split for a leaf and builds its queue
 // entry with priority P(reach) * (C(seq) - C(split)), the expected gain of
 // expanding it (Section 4.2.2). It returns nil when no split applies.
-func (g *Greedy) splitEntry(ctx context.Context, s *schema.Schema, q query.Query, spsf SPSF, sem gate,
+func (g *Greedy) splitEntry(ctx context.Context, s *schema.Schema, q query.Query, spsf SPSF, sem *gate,
 	node *plan.Node, c stats.Cond, box query.Box, reach, seqCost float64) *leafEntry {
 	if node.Kind == plan.Leaf {
 		return nil // already decided; nothing to split
@@ -318,7 +334,7 @@ func (g *Greedy) splitEntry(ctx context.Context, s *schema.Schema, q query.Query
 
 // enqueue computes the greedy split for a leaf and inserts it into the
 // queue.
-func (g *Greedy) enqueue(ctx context.Context, pq *leafQueue, s *schema.Schema, q query.Query, spsf SPSF, sem gate,
+func (g *Greedy) enqueue(ctx context.Context, pq *leafQueue, s *schema.Schema, q query.Query, spsf SPSF, sem *gate,
 	node *plan.Node, c stats.Cond, box query.Box, reach, seqCost float64) {
 	if e := g.splitEntry(ctx, s, q, spsf, sem, node, c, box, reach, seqCost); e != nil {
 		heap.Push(pq, e)

@@ -8,6 +8,7 @@ import (
 	"acqp/internal/plan"
 	"acqp/internal/query"
 	"acqp/internal/stats"
+	"acqp/internal/trace"
 )
 
 // This file holds the concurrency substrate shared by the parallel
@@ -131,27 +132,34 @@ func (m *boxMemo) recordPruned(key string, bound float64) {
 // (Parallelism <= 1) runs everything inline; otherwise run hands fn to a
 // new goroutine when a token is free and falls back to running it inline,
 // so progress never blocks on pool capacity and recursion cannot deadlock.
-type gate chan struct{}
+// The optional span records the pool's spawn-vs-inline placement
+// decisions (trace.Spawned / trace.Inlined).
+type gate struct {
+	tokens chan struct{}
+	span   *trace.Span
+}
 
-func newGate(parallelism int) gate {
+func newGate(parallelism int, span *trace.Span) *gate {
 	if parallelism <= 1 {
 		return nil
 	}
-	return make(gate, parallelism-1)
+	return &gate{tokens: make(chan struct{}, parallelism-1), span: span}
 }
 
-func (g gate) run(wg *sync.WaitGroup, fn func()) {
+func (g *gate) run(wg *sync.WaitGroup, fn func()) {
 	if g != nil {
 		select {
-		case g <- struct{}{}:
+		case g.tokens <- struct{}{}:
+			g.span.Count(trace.Spawned, 1)
 			wg.Add(1) //acqlint:ignore errdrop sync.WaitGroup.Add returns nothing; name-collision with error-returning Add methods
 			go func() {
 				defer wg.Done()
-				defer func() { <-g }()
+				defer func() { <-g.tokens }()
 				fn()
 			}()
 			return
 		default:
+			g.span.Count(trace.Inlined, 1)
 		}
 	}
 	fn()

@@ -1,0 +1,70 @@
+package plan
+
+// Node identity for tracing (internal/trace): a node's ID is its index
+// in the pre-order traversal of the plan (root=0, then the false child,
+// then the true child; Leaf and Seq nodes are single entries regardless
+// of predicate count).
+//
+// Stability rule: both planners are plan-deterministic — the same
+// statistics epoch, query, and planner parameters produce a
+// byte-identical tree — so pre-order indices are stable across runs for
+// the same plan and can be compared across processes. IDs are NOT
+// stable across different plans: any change to statistics or planner
+// parameters yields a new tree with its own numbering, which is why the
+// /v1 API always returns the rendered plan alongside per-node data.
+
+import "strconv"
+
+// Preorder returns the plan's nodes in pre-order; the slice index is
+// the node's ID.
+func (n *Node) Preorder() []*Node {
+	if n == nil {
+		return nil
+	}
+	out := make([]*Node, 0, 8)
+	var walk func(*Node)
+	walk = func(cur *Node) {
+		out = append(out, cur)
+		if cur.Kind == Split {
+			walk(cur.Left)
+			walk(cur.Right)
+		}
+	}
+	walk(n)
+	return out
+}
+
+// NodeIDs maps each node of the plan to its pre-order ID. Executors use
+// it to attribute acquisition cost to nodes; nodes not in the map (for
+// example, nodes of a replanned residual plan) have no ID.
+func NodeIDs(root *Node) map[*Node]int {
+	nodes := root.Preorder()
+	ids := make(map[*Node]int, len(nodes))
+	for i, nd := range nodes {
+		ids[nd] = i
+	}
+	return ids
+}
+
+// NodeLabel renders a short human-readable label for a node, used by
+// cost-heatmap output: "split attr>=x", "seq a,b,c", "leaf true".
+func NodeLabel(n *Node, name func(attr int) string) string {
+	switch n.Kind {
+	case Leaf:
+		if n.Result {
+			return "leaf true"
+		}
+		return "leaf false"
+	case Split:
+		return "split " + name(n.Attr) + ">=" + strconv.Itoa(int(n.X))
+	default:
+		s := "seq "
+		for i, p := range n.Preds {
+			if i > 0 {
+				s += ","
+			}
+			s += name(p.Attr)
+		}
+		return s
+	}
+}

@@ -1,0 +1,80 @@
+package plan
+
+import (
+	"strconv"
+	"testing"
+
+	"acqp/internal/query"
+)
+
+func TestPreorderIDs(t *testing.T) {
+	// split(a0)
+	//   L: seq(p1)
+	//   R: split(a1)
+	//        L: leaf false
+	//        R: leaf true
+	seq := NewSeq([]query.Pred{{Attr: 1, R: query.Range{Lo: 0, Hi: 3}}})
+	inner := NewSplit(1, 2, NewLeaf(false), NewLeaf(true))
+	root := NewSplit(0, 1, seq, inner)
+
+	nodes := root.Preorder()
+	if len(nodes) != 5 {
+		t.Fatalf("Preorder returned %d nodes, want 5", len(nodes))
+	}
+	want := []*Node{root, seq, inner, inner.Left, inner.Right}
+	for i, nd := range want {
+		if nodes[i] != nd {
+			t.Fatalf("Preorder[%d] wrong node", i)
+		}
+	}
+
+	ids := NodeIDs(root)
+	if len(ids) != 5 {
+		t.Fatalf("NodeIDs has %d entries, want 5", len(ids))
+	}
+	for i, nd := range want {
+		if ids[nd] != i {
+			t.Fatalf("NodeIDs[%v] = %d, want %d", nd, ids[nd], i)
+		}
+	}
+}
+
+func TestPreorderStableAcrossCalls(t *testing.T) {
+	root := NewSplit(0, 1, NewLeaf(false), NewSplit(1, 3, NewLeaf(false), NewLeaf(true)))
+	a, b := root.Preorder(), root.Preorder()
+	if len(a) != len(b) {
+		t.Fatalf("lengths differ")
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("Preorder not stable at %d", i)
+		}
+	}
+}
+
+func TestPreorderNil(t *testing.T) {
+	var n *Node
+	if got := n.Preorder(); got != nil {
+		t.Fatalf("nil Preorder = %v", got)
+	}
+}
+
+func TestNodeLabel(t *testing.T) {
+	name := func(a int) string { return "x" + strconv.Itoa(a) }
+	if got := NodeLabel(NewLeaf(true), name); got != "leaf true" {
+		t.Fatalf("leaf true label = %q", got)
+	}
+	if got := NodeLabel(NewLeaf(false), name); got != "leaf false" {
+		t.Fatalf("leaf false label = %q", got)
+	}
+	if got := NodeLabel(NewSplit(2, 5, NewLeaf(false), NewLeaf(true)), name); got != "split x2>=5" {
+		t.Fatalf("split label = %q", got)
+	}
+	seq := NewSeq([]query.Pred{
+		{Attr: 0, R: query.Range{Lo: 0, Hi: 1}},
+		{Attr: 3, R: query.Range{Lo: 0, Hi: 1}},
+	})
+	if got := NodeLabel(seq, name); got != "seq x0,x3" {
+		t.Fatalf("seq label = %q", got)
+	}
+}

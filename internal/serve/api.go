@@ -11,9 +11,11 @@ import (
 
 	"acqp"
 	"acqp/internal/exec"
+	"acqp/internal/plan"
 	"acqp/internal/query"
 	"acqp/internal/schema"
 	"acqp/internal/sql"
+	"acqp/internal/trace"
 )
 
 // maxBodyBytes bounds request bodies; planning requests are tiny and
@@ -44,6 +46,10 @@ type planRequest struct {
 	Strict bool `json:"strict,omitempty"`
 	// NoCache bypasses the plan cache for this request.
 	NoCache bool `json:"no_cache,omitempty"`
+	// Trace asks for the planner's phase timings and search counters in
+	// the response (and, on /execute, the per-node execution profile).
+	// It never affects which plan is returned or whether it is cached.
+	Trace bool `json:"trace,omitempty"`
 	// Faults injects deterministic acquisition faults for what-if
 	// analysis. Requests carrying it may read the cache but never store
 	// into it, and /execute runs the fault-aware executor.
@@ -65,6 +71,10 @@ type planResponse struct {
 	Key          string  `json:"key"`
 	PlanMS       float64 `json:"plan_ms"`
 	ElapsedMS    float64 `json:"elapsed_ms"`
+	RequestID    string  `json:"request_id,omitempty"`
+	// Trace is present when the request set trace=true and a planner run
+	// actually happened (cache hits report no trace: no planner ran).
+	Trace *trace.Snapshot `json:"trace,omitempty"`
 }
 
 type errorResponse struct {
@@ -91,6 +101,17 @@ func decodeRequest(w http.ResponseWriter, r *http.Request, v any) error {
 		return err
 	}
 	return nil
+}
+
+// writeDecodeError maps a request-body decoding failure to a status: 413
+// when the MaxBytesReader limit tripped, 400 for malformed JSON.
+func writeDecodeError(w http.ResponseWriter, err error) {
+	var mbe *http.MaxBytesError
+	if errors.As(err, &mbe) {
+		writeError(w, http.StatusRequestEntityTooLarge, "request body exceeds %d bytes", mbe.Limit)
+		return
+	}
+	writeError(w, http.StatusBadRequest, "bad request body: %v", err)
 }
 
 // canonicalize parses the request SQL and reduces its WHERE clause to the
@@ -147,7 +168,7 @@ func (s *Server) handlePlan(w http.ResponseWriter, r *http.Request) {
 
 	var req planRequest
 	if err := decodeRequest(w, r, &req); err != nil {
-		writeError(w, http.StatusBadRequest, "bad request body: %v", err)
+		writeDecodeError(w, err)
 		return
 	}
 	p, err := s.resolveParams(req)
@@ -179,6 +200,7 @@ func (s *Server) handlePlan(w http.ResponseWriter, r *http.Request) {
 			return
 		}
 	}
+	s.metrics.recordRequest(epPlan, requestOutcome(out.degraded, cached || shared), time.Since(start))
 	writeJSON(w, http.StatusOK, planResponse{
 		Plan:         out.rendered,
 		PlanB64:      out.encoded,
@@ -193,7 +215,22 @@ func (s *Server) handlePlan(w http.ResponseWriter, r *http.Request) {
 		Key:          canon.Key(),
 		PlanMS:       out.planMS,
 		ElapsedMS:    float64(time.Since(start)) / float64(time.Millisecond),
+		RequestID:    requestIDFrom(r.Context()),
+		Trace:        out.traceSnap,
 	})
+}
+
+// requestOutcome classifies one answered request for the per-endpoint
+// latency rings: degradation dominates, then hit vs miss.
+func requestOutcome(degraded, hit bool) int {
+	switch {
+	case degraded:
+		return outcomeDegraded
+	case hit:
+		return outcomeHit
+	default:
+		return outcomeMiss
+	}
 }
 
 func writePlanError(w http.ResponseWriter, err error) {
@@ -228,6 +265,52 @@ type executeResponse struct {
 	// Faults reports the fault-aware execution when the request carried a
 	// faults section.
 	Faults *faultReport `json:"faults,omitempty"`
+	// ExecTrace is the per-node cost heatmap and predicted-vs-observed
+	// drift, present when the request set trace=true.
+	ExecTrace *execTraceReport `json:"exec_trace,omitempty"`
+}
+
+// execTraceNode is one plan node's observed execution profile. IDs are
+// pre-order indices into the returned plan (see plan.NodeIDs); they are
+// stable across runs of the same plan, not across different plans.
+type execTraceNode struct {
+	ID     int     `json:"id"`
+	Label  string  `json:"label"`
+	Visits int64   `json:"visits"`
+	Cost   float64 `json:"cost"`
+}
+
+// execTraceReport is the "exec_trace" section of an /execute response.
+type execTraceReport struct {
+	Nodes []execTraceNode `json:"nodes"`
+	// ObservedTotal includes charges that have no node attribution
+	// (replanned residual plans under fault injection), so it can exceed
+	// the sum over Nodes but never fall below it.
+	ObservedTotal float64 `json:"observed_total_cost"`
+	ObservedMean  float64 `json:"observed_mean_cost"`
+	// PredictedMean is the planner's expected per-tuple cost under the
+	// statistics the plan was built on; DriftPct is the relative gap.
+	PredictedMean float64 `json:"predicted_mean_cost"`
+	DriftPct      float64 `json:"drift_pct"`
+}
+
+// execTraceFor renders an execution profile against its plan.
+func (s *Server) execTraceFor(node *plan.Node, prof *trace.ExecProfile, predictedMean float64) *execTraceReport {
+	if prof == nil {
+		return nil
+	}
+	nodes := node.Preorder()
+	rep := &execTraceReport{Nodes: make([]execTraceNode, len(nodes)), ObservedTotal: prof.TotalCost, PredictedMean: predictedMean}
+	for i, n := range nodes {
+		rep.Nodes[i] = execTraceNode{ID: i, Label: plan.NodeLabel(n, s.s.Name), Visits: prof.NodeVisits[i], Cost: prof.NodeCost[i]}
+	}
+	if prof.Tuples > 0 {
+		rep.ObservedMean = prof.TotalCost / float64(prof.Tuples)
+	}
+	if predictedMean > 0 {
+		rep.DriftPct = 100 * (rep.ObservedMean - predictedMean) / predictedMean
+	}
+	return rep
 }
 
 // handleExecute serves POST /execute: plan (through the cache) and run
@@ -244,7 +327,7 @@ func (s *Server) handleExecute(w http.ResponseWriter, r *http.Request) {
 
 	var req planRequest
 	if err := decodeRequest(w, r, &req); err != nil {
-		writeError(w, http.StatusBadRequest, "bad request body: %v", err)
+		writeDecodeError(w, err)
 		return
 	}
 	p, err := s.resolveParams(req)
@@ -280,9 +363,14 @@ func (s *Server) handleExecute(w http.ResponseWriter, r *http.Request) {
 	tbl := s.window.Materialize()
 	s.wmu.Unlock()
 	execStart := time.Now()
+	var prof *trace.ExecProfile
+	if p.traced {
+		prof = trace.NewExecProfile(len(out.node.Preorder()), s.s.NumAttrs())
+	}
 	var res exec.Result
 	var report *faultReport
 	if req.Faults != nil {
+		faultCfg.Profile = prof
 		fres, ferr := exec.RunFaulty(s.s, out.node, canon, tbl, faultCfg)
 		if ferr != nil {
 			writeError(w, http.StatusInternalServerError, "%v", ferr)
@@ -296,9 +384,10 @@ func (s *Server) handleExecute(w http.ResponseWriter, r *http.Request) {
 		count(&s.metrics.faultFallbacks, int64(fres.Abstained+fres.Imputed+fres.Replans))
 		count(&s.metrics.degradedAnswers, int64(fres.Abstained+fres.FalsePositives+fres.FalseNegatives))
 	} else {
-		res = exec.Run(s.s, out.node, canon, tbl)
+		res = exec.RunProfiled(s.s, out.node, canon, tbl, prof)
 	}
 	count(&s.metrics.executed, 1)
+	s.metrics.recordRequest(epExecute, requestOutcome(out.degraded, cached || shared), time.Since(start))
 	writeJSON(w, http.StatusOK, executeResponse{
 		planResponse: planResponse{
 			Plan:         out.rendered,
@@ -314,6 +403,8 @@ func (s *Server) handleExecute(w http.ResponseWriter, r *http.Request) {
 			Key:          canon.Key(),
 			PlanMS:       out.planMS,
 			ElapsedMS:    float64(time.Since(start)) / float64(time.Millisecond),
+			RequestID:    requestIDFrom(r.Context()),
+			Trace:        out.traceSnap,
 		},
 		Tuples:       res.Tuples,
 		Selected:     res.Selected,
@@ -323,6 +414,7 @@ func (s *Server) handleExecute(w http.ResponseWriter, r *http.Request) {
 		ExecuteMS:    float64(time.Since(execStart)) / float64(time.Millisecond),
 		WindowTuples: tbl.NumRows(),
 		Faults:       report,
+		ExecTrace:    s.execTraceFor(out.node, prof, out.cost),
 	})
 }
 
@@ -346,7 +438,7 @@ func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request) {
 	}
 	var req ingestRequest
 	if err := decodeRequest(w, r, &req); err != nil {
-		writeError(w, http.StatusBadRequest, "bad request body: %v", err)
+		writeDecodeError(w, err)
 		return
 	}
 	na := s.s.NumAttrs()
@@ -400,7 +492,7 @@ func (s *Server) handleRefresh(w http.ResponseWriter, r *http.Request) {
 	var req refreshRequest
 	// An empty body is an unforced refresh.
 	if err := decodeRequest(w, r, &req); err != nil && !errors.Is(err, io.EOF) {
-		writeError(w, http.StatusBadRequest, "bad request body: %v", err)
+		writeDecodeError(w, err)
 		return
 	}
 	refreshed, drift, epoch, purged := s.Refresh(req.Force)

@@ -1,7 +1,6 @@
 package serve
 
 import (
-	"context"
 	"fmt"
 
 	"acqp/internal/exec"
@@ -86,7 +85,9 @@ func (s *Server) buildFaultConfig(spec *faultSpec, dist stats.Dist) (exec.FaultC
 			if len(residual.Preds) == 0 {
 				return plan.NewLeaf(true), nil
 			}
-			node, _, err := opt.CorrSeqPlanner{Alg: opt.SeqGreedy}.Plan(context.Background(), dist, residual)
+			// baseCtx, not a detached Background: mid-execution replans
+			// must stop promptly when the server shuts down.
+			node, _, err := opt.CorrSeqPlanner{Alg: opt.SeqGreedy}.Plan(s.baseCtx, dist, residual)
 			return node, err
 		}
 	}

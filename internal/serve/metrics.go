@@ -7,6 +7,9 @@ import (
 	"sync"
 	"sync/atomic"
 	"time"
+
+	"acqp/internal/floats"
+	"acqp/internal/trace"
 )
 
 // metrics holds the service counters exposed on /metrics. Counters are
@@ -30,7 +33,51 @@ type metrics struct {
 	faultFallbacks  atomic.Int64 // fallback resolutions (abstentions + imputations + replans)
 	degradedAnswers atomic.Int64 // abstained or fault-corrupted answers returned
 
-	lat latencyRing
+	// Planner search counters, aggregated from the per-run trace spans
+	// (trace.Counter order).
+	search [8]atomic.Int64
+
+	// lat keeps the planner-run latencies (one sample per planner
+	// invocation, the historical acqserved_plan_latency_ms_* gauges);
+	// requests splits end-to-end request latency by endpoint and outcome.
+	lat      latencyRing
+	requests [numEndpoints][numOutcomes]latencyRing
+}
+
+// Endpoint and outcome axes of the per-request latency rings.
+const (
+	epPlan = iota
+	epExecute
+	numEndpoints
+)
+
+const (
+	outcomeHit = iota // answered from the cache or a shared in-flight run
+	outcomeMiss
+	outcomeDegraded
+	numOutcomes
+)
+
+var endpointNames = [numEndpoints]string{"plan", "execute"}
+var outcomeNames = [numOutcomes]string{"hit", "miss", "degraded"}
+
+// recordRequest files one completed request's latency under its
+// endpoint and outcome.
+func (m *metrics) recordRequest(endpoint, outcome int, d time.Duration) {
+	if endpoint < 0 || endpoint >= numEndpoints || outcome < 0 || outcome >= numOutcomes {
+		return
+	}
+	m.requests[endpoint][outcome].record(d)
+}
+
+// mergeSpan folds one planner run's search counters into the service
+// aggregates surfaced on /metrics.
+func (m *metrics) mergeSpan(sp *trace.Span) {
+	for c := trace.Counter(0); int(c) < len(m.search); c++ {
+		if v := sp.Counter(c); v != 0 {
+			count(&m.search[c], v)
+		}
+	}
 }
 
 // count adds delta to an atomic counter and returns the new value. The
@@ -71,17 +118,7 @@ func (r *latencyRing) percentiles() (p50, p95, p99 float64) {
 		return 0, 0, 0
 	}
 	sort.Float64s(buf)
-	at := func(p float64) float64 {
-		i := int(p*float64(n)+0.5) - 1
-		if i < 0 {
-			i = 0
-		}
-		if i >= n {
-			i = n - 1
-		}
-		return buf[i]
-	}
-	return at(0.50), at(0.95), at(0.99)
+	return floats.Percentile(buf, 50), floats.Percentile(buf, 95), floats.Percentile(buf, 99)
 }
 
 // hitRate returns the fraction of /plan requests served without a planner
@@ -125,9 +162,30 @@ func (m *metrics) write(w io.Writer, epoch uint64, cacheLen, cacheCap int) error
 		{"acqserved_plan_latency_ms_p95", p95},
 		{"acqserved_plan_latency_ms_p99", p99},
 	}
+	for c := trace.Counter(0); int(c) < len(m.search); c++ {
+		lines = append(lines, struct {
+			name string
+			val  float64
+		}{"acqserved_search_" + c.String(), float64(m.search[c].Load())})
+	}
 	for _, l := range lines {
 		if _, err := fmt.Fprintf(w, "%s %g\n", l.name, l.val); err != nil {
 			return err
+		}
+	}
+	// Per-request latency percentiles, labelled by endpoint and outcome.
+	for e := 0; e < numEndpoints; e++ {
+		for o := 0; o < numOutcomes; o++ {
+			q50, q95, q99 := m.requests[e][o].percentiles()
+			for _, q := range []struct {
+				name string
+				val  float64
+			}{{"p50", q50}, {"p95", q95}, {"p99", q99}} {
+				if _, err := fmt.Fprintf(w, "acqserved_request_latency_ms{endpoint=%q,outcome=%q,quantile=%q} %g\n",
+					endpointNames[e], outcomeNames[o], q.name, q.val); err != nil {
+					return err
+				}
+			}
 		}
 	}
 	return nil

@@ -13,6 +13,7 @@ import (
 	"acqp/internal/plan"
 	"acqp/internal/query"
 	"acqp/internal/stats"
+	"acqp/internal/trace"
 )
 
 // Planning-path errors mapped to HTTP statuses by the handlers.
@@ -31,6 +32,7 @@ type plannerParams struct {
 	splitPoints int
 	parallelism int
 	strict      bool
+	traced      bool // client asked for the trace section (never part of the key)
 	timeout     time.Duration
 }
 
@@ -42,6 +44,7 @@ func (s *Server) resolveParams(req planRequest) (plannerParams, error) {
 		splitPoints: req.SplitPoints,
 		parallelism: req.Parallelism,
 		strict:      req.Strict,
+		traced:      req.Trace,
 		timeout:     s.cfg.DefaultTimeout,
 	}
 	if p.name == "" {
@@ -101,6 +104,12 @@ type planOutcome struct {
 	degraded  bool
 	epoch     uint64
 	planMS    float64
+	// traceSnap carries the planner run's phase timings and search
+	// counters when the request asked for them. It describes one run, so
+	// it is stripped before the outcome enters the cache: a cache hit
+	// reports no trace because no planner ran. Requests that join another
+	// caller's in-flight run only see a trace if that leader asked for one.
+	traceSnap *trace.Snapshot
 }
 
 // trivialOutcome wraps a constant-answer plan (empty or unsatisfiable
@@ -133,6 +142,12 @@ func (s *Server) runPlanner(d distEpoch, q query.Query, p plannerParams) (planOu
 	ctx, cancel := context.WithTimeout(s.baseCtx, p.timeout)
 	defer cancel()
 	count(&s.metrics.plannerCalls, 1)
+	// Every run carries a span: its search counters feed the /metrics
+	// aggregates, and its snapshot feeds the response's trace section when
+	// the client asked for one. Spans never change planner output (pinned
+	// by byte-identity tests at the opt and serve layers).
+	sp := trace.NewSpan(time.Now)
+	ctx = trace.NewContext(ctx, sp)
 	start := time.Now()
 
 	var (
@@ -174,9 +189,19 @@ func (s *Server) runPlanner(d distEpoch, q query.Query, p plannerParams) (planOu
 				return planOutcome{}, err
 			}
 			// Deadline or budget exhausted: degrade to the best sequential
-			// plan, which is fast to build and always valid.
-			node, cost, err = opt.CorrSeqPlanner{Alg: opt.SeqGreedy}.Plan(context.Background(), d.dist, q)
+			// plan, which is fast to build and always valid. It runs under
+			// baseCtx, not the (already expired) request context, so the
+			// degraded answer can still be produced for the waiting client —
+			// but Shutdown must be able to interrupt it, which a detached
+			// context.Background() would not allow.
+			if s.hookBeforeFallback != nil {
+				s.hookBeforeFallback()
+			}
+			node, cost, err = opt.CorrSeqPlanner{Alg: opt.SeqGreedy}.Plan(trace.NewContext(s.baseCtx, sp), d.dist, q)
 			if err != nil {
+				if s.baseCtx.Err() != nil {
+					return planOutcome{}, errShutdown
+				}
 				return planOutcome{}, err
 			}
 			degraded = true
@@ -202,13 +227,19 @@ func (s *Server) runPlanner(d distEpoch, q query.Query, p plannerParams) (planOu
 	// is analytic and cheap relative to any planning run.
 	naive := 0.0
 	if p.name != "naive" {
-		if _, nc, nerr := (opt.NaivePlanner{}).Plan(context.Background(), d.dist, q); nerr == nil {
+		// Under baseCtx so Shutdown interrupts the comparison run too.
+		if _, nc, nerr := (opt.NaivePlanner{}).Plan(s.baseCtx, d.dist, q); nerr == nil {
 			naive = nc
 		}
 	} else {
 		naive = cost
 	}
-	return s.finishOutcome(node, cost, naive, degraded, d.epoch, elapsed), nil
+	s.metrics.mergeSpan(sp)
+	out := s.finishOutcome(node, cost, naive, degraded, d.epoch, elapsed)
+	if p.traced {
+		out.traceSnap = sp.Snapshot()
+	}
+	return out, nil
 }
 
 // distEpoch pairs a distribution with the epoch it was installed at.
@@ -270,7 +301,9 @@ func (s *Server) planCached(reqCtx context.Context, canon query.Query, p planner
 		// Degraded plans reflect a deadline, not the query, and
 		// fault-injected requests are what-if analyses: never cached.
 		if !jout.degraded && !noCache && !noStore {
-			s.cache.add(key, epoch, jout)
+			stored := jout
+			stored.traceSnap = nil // a cached hit reports no planner run
+			s.cache.add(key, epoch, stored)
 		}
 		return jout, nil
 	})

@@ -26,9 +26,11 @@ package serve
 import (
 	"context"
 	"fmt"
+	"io"
 	"net/http"
 	"runtime"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"acqp/internal/schema"
@@ -79,6 +81,12 @@ type Config struct {
 	// attributes) between the current epoch's distribution and the
 	// window at which a refresh bumps the epoch. Default 0.05.
 	DriftThreshold float64
+
+	// AccessLog, when set, receives one structured line per HTTP request
+	// (request ID, method, path, status, bytes, duration). Nil disables
+	// access logging. The writer must be safe for concurrent use
+	// (os.File and bytes-free loggers are).
+	AccessLog io.Writer
 }
 
 func (c Config) withDefaults() Config {
@@ -145,6 +153,12 @@ type Server struct {
 	mux     *http.ServeMux
 
 	started time.Time
+	reqSeq  atomic.Int64 // generated X-Request-Id sequence
+
+	// hookBeforeFallback, when non-nil, runs immediately before the
+	// exhaustive planner's sequential degradation fallback. Tests use it
+	// to pin that Shutdown interrupts an in-flight fallback run.
+	hookBeforeFallback func()
 }
 
 // New builds and starts a Server: workers begin immediately, and the
@@ -217,8 +231,58 @@ func New(cfg Config) (*Server, error) {
 	return s, nil
 }
 
-// ServeHTTP implements http.Handler.
-func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
+// requestIDKey carries the per-request trace ID through the request
+// context so handlers can echo it in response bodies.
+type requestIDKey struct{}
+
+// requestIDFrom returns the request's trace ID, or "" outside ServeHTTP.
+func requestIDFrom(ctx context.Context) string {
+	id, _ := ctx.Value(requestIDKey{}).(string)
+	return id
+}
+
+// statusRecorder captures the response status and body size for the
+// access log.
+type statusRecorder struct {
+	http.ResponseWriter
+	status int
+	bytes  int
+}
+
+func (r *statusRecorder) WriteHeader(code int) {
+	r.status = code
+	r.ResponseWriter.WriteHeader(code)
+}
+
+func (r *statusRecorder) Write(p []byte) (int, error) {
+	n, err := r.ResponseWriter.Write(p)
+	r.bytes += n
+	return n, err
+}
+
+// ServeHTTP implements http.Handler. Every request carries a trace ID:
+// the caller's X-Request-Id when present, otherwise a generated one. The
+// ID is echoed in the X-Request-Id response header, surfaced in JSON
+// response bodies, and stamps the structured access-log line when
+// Config.AccessLog is set.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	id := r.Header.Get("X-Request-Id")
+	if id == "" {
+		id = fmt.Sprintf("%x-%06x", s.started.UnixNano()&0xffffffff, count(&s.reqSeq, 1))
+	}
+	w.Header().Set("X-Request-Id", id)
+	req := r.WithContext(context.WithValue(r.Context(), requestIDKey{}, id))
+	if s.cfg.AccessLog == nil {
+		s.mux.ServeHTTP(w, req)
+		return
+	}
+	rec := &statusRecorder{ResponseWriter: w, status: http.StatusOK}
+	start := time.Now()
+	s.mux.ServeHTTP(rec, req)
+	fmt.Fprintf(s.cfg.AccessLog, "time=%s request_id=%s method=%s path=%s status=%d bytes=%d dur_ms=%.3f\n",
+		start.UTC().Format(time.RFC3339Nano), id, r.Method, r.URL.Path, rec.status, rec.bytes,
+		float64(time.Since(start))/float64(time.Millisecond))
+}
 
 // deprecatedAlias wraps a handler registered under a legacy unversioned
 // path: the behavior is unchanged, but responses advertise the versioned

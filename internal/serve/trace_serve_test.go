@@ -1,0 +1,415 @@
+package serve
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"math"
+	"net/http"
+	"net/http/httptest"
+	"strconv"
+	"strings"
+	"testing"
+	"time"
+)
+
+// TestShutdownInterruptsFallbackRun pins the context-plumbing fix for the
+// exhaustive planner's degradation fallback: the fallback must run under
+// the server's base context, so Shutdown interrupts it. Before the fix the
+// fallback ran under context.Background() and completed (HTTP 200) even
+// though the server had already shut down around it.
+func TestShutdownInterruptsFallbackRun(t *testing.T) {
+	srv := newTestServer(t, func(c *Config) { c.ExhaustiveBudget = 1 })
+	entered := make(chan struct{})
+	release := make(chan struct{})
+	srv.hookBeforeFallback = func() {
+		close(entered)
+		<-release
+	}
+
+	raw, err := json.Marshal(planRequest{SQL: "SELECT * WHERE temp > 7 AND light > 11 AND hour < 12", Planner: "exhaustive"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan *httptest.ResponseRecorder, 1)
+	go func() {
+		req := httptest.NewRequest(http.MethodPost, "/v1/plan", bytes.NewReader(raw))
+		w := httptest.NewRecorder()
+		srv.ServeHTTP(w, req)
+		done <- w
+	}()
+	<-entered
+
+	// Start Shutdown while the worker is parked at the fallback boundary.
+	// It cancels baseCtx immediately, then blocks waiting for the worker.
+	shutdownErr := make(chan error, 1)
+	go func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		shutdownErr <- srv.Shutdown(ctx)
+	}()
+	select {
+	case <-srv.baseCtx.Done():
+	case <-time.After(5 * time.Second):
+		t.Fatal("Shutdown did not cancel baseCtx")
+	}
+	close(release)
+
+	w := <-done
+	if w.Code != http.StatusServiceUnavailable {
+		t.Fatalf("fallback run after shutdown: got HTTP %d (%s), want 503", w.Code, w.Body.String())
+	}
+	if err := <-shutdownErr; err != nil {
+		t.Fatalf("shutdown: %v", err)
+	}
+}
+
+// TestPlanTraceSection checks the opt-in trace section: present with
+// phase timings and counters on a planner run, absent on a cache hit
+// (no planner ran), and absent when not requested.
+func TestPlanTraceSection(t *testing.T) {
+	srv := newTestServer(t, nil)
+	defer shutdownServer(t, srv)
+
+	req := planRequest{SQL: "SELECT * WHERE temp > 7 AND light > 11", Trace: true}
+	w := postJSON(t, srv, "/v1/plan", req)
+	if w.Code != http.StatusOK {
+		t.Fatalf("plan: HTTP %d: %s", w.Code, w.Body.String())
+	}
+	resp := decodeResp[planResponse](t, w)
+	if resp.Trace == nil {
+		t.Fatal("traced planner run returned no trace section")
+	}
+	if len(resp.Trace.Phases) == 0 {
+		t.Error("trace has no phases")
+	}
+	names := make(map[string]bool)
+	for _, p := range resp.Trace.Phases {
+		names[p.Name] = true
+	}
+	for _, want := range []string{"greedy-seed", "greedy-expand", "greedy-simplify"} {
+		if !names[want] {
+			t.Errorf("trace missing phase %q: %+v", want, resp.Trace.Phases)
+		}
+	}
+	if len(resp.Trace.Counters) == 0 {
+		t.Error("trace has no counters")
+	}
+
+	// Same request again: a cache hit carries no trace.
+	w2 := postJSON(t, srv, "/v1/plan", req)
+	resp2 := decodeResp[planResponse](t, w2)
+	if !resp2.Cached {
+		t.Fatal("second identical request was not a cache hit")
+	}
+	if resp2.Trace != nil {
+		t.Errorf("cache hit carried a trace section: %+v", resp2.Trace)
+	}
+
+	// Untraced request to a fresh query: no trace section.
+	w3 := postJSON(t, srv, "/v1/plan", planRequest{SQL: "SELECT * WHERE humid = 5"})
+	resp3 := decodeResp[planResponse](t, w3)
+	if resp3.Trace != nil {
+		t.Errorf("untraced request carried a trace section: %+v", resp3.Trace)
+	}
+}
+
+// TestPlanByteIdenticalWithTrace pins the tentpole invariant at the serve
+// layer: trace=true never changes the plan, its cost, or its encoding.
+func TestPlanByteIdenticalWithTrace(t *testing.T) {
+	srv := newTestServer(t, nil)
+	defer shutdownServer(t, srv)
+	for _, sqlText := range []string{
+		"SELECT * WHERE temp > 7 AND light > 11",
+		"SELECT * WHERE hour < 12 AND light <= 3",
+		"SELECT * WHERE humid = 5 AND temp >= 4",
+	} {
+		plain := decodeResp[planResponse](t, postJSON(t, srv, "/v1/plan",
+			planRequest{SQL: sqlText, NoCache: true}))
+		traced := decodeResp[planResponse](t, postJSON(t, srv, "/v1/plan",
+			planRequest{SQL: sqlText, NoCache: true, Trace: true}))
+		if plain.PlanB64 != traced.PlanB64 {
+			t.Errorf("%s: traced plan encoding differs", sqlText)
+		}
+		if plain.Plan != traced.Plan {
+			t.Errorf("%s: traced plan rendering differs", sqlText)
+		}
+		if math.Float64bits(plain.ExpectedCost) != math.Float64bits(traced.ExpectedCost) {
+			t.Errorf("%s: traced expected cost differs: %v vs %v", sqlText, plain.ExpectedCost, traced.ExpectedCost)
+		}
+	}
+}
+
+// TestExecuteTraceSection checks the per-node execution heatmap: node
+// costs must sum exactly to the observed total, the root's visit count
+// must equal the tuple count, and the observed mean must match the
+// response's mean cost.
+func TestExecuteTraceSection(t *testing.T) {
+	srv := newTestServer(t, nil)
+	defer shutdownServer(t, srv)
+
+	w := postJSON(t, srv, "/v1/execute", planRequest{SQL: "SELECT * WHERE temp > 7 AND light > 11", Trace: true})
+	if w.Code != http.StatusOK {
+		t.Fatalf("execute: HTTP %d: %s", w.Code, w.Body.String())
+	}
+	resp := decodeResp[executeResponse](t, w)
+	if resp.ExecTrace == nil {
+		t.Fatal("traced execute returned no exec_trace section")
+	}
+	et := resp.ExecTrace
+	if len(et.Nodes) == 0 {
+		t.Fatal("exec_trace has no nodes")
+	}
+	var sum float64
+	for _, n := range et.Nodes {
+		if n.Label == "" {
+			t.Errorf("node %d has no label", n.ID)
+		}
+		sum += n.Cost
+	}
+	// Pristine execution with integer per-attribute costs: the heatmap
+	// must account for the total exactly, bit for bit.
+	if math.Float64bits(sum) != math.Float64bits(et.ObservedTotal) {
+		t.Errorf("node costs sum to %v, observed total %v", sum, et.ObservedTotal)
+	}
+	if et.Nodes[0].Visits != int64(resp.Tuples) {
+		t.Errorf("root visits = %d, tuples = %d", et.Nodes[0].Visits, resp.Tuples)
+	}
+	if resp.Tuples > 0 && math.Abs(et.ObservedMean-resp.MeanCost) > 1e-9 {
+		t.Errorf("observed mean %v != response mean cost %v", et.ObservedMean, resp.MeanCost)
+	}
+	if math.Float64bits(et.PredictedMean) != math.Float64bits(resp.ExpectedCost) {
+		t.Errorf("predicted mean %v != expected cost %v", et.PredictedMean, resp.ExpectedCost)
+	}
+
+	// Untraced execute: no exec_trace and identical execution results.
+	w2 := postJSON(t, srv, "/v1/execute", planRequest{SQL: "SELECT * WHERE temp > 7 AND light > 11"})
+	resp2 := decodeResp[executeResponse](t, w2)
+	if resp2.ExecTrace != nil {
+		t.Error("untraced execute carried an exec_trace section")
+	}
+	if resp2.Tuples != resp.Tuples || resp2.Selected != resp.Selected ||
+		math.Float64bits(resp2.MeanCost) != math.Float64bits(resp.MeanCost) ||
+		math.Float64bits(resp2.MaxCost) != math.Float64bits(resp.MaxCost) {
+		t.Errorf("traced execution results differ from untraced: %+v vs %+v", resp2, resp)
+	}
+}
+
+// TestExecuteFaultTraceSection checks the heatmap under fault injection
+// with replanning: residual-plan charges are totals-only, so the node sum
+// may fall below the observed total but never exceed it.
+func TestExecuteFaultTraceSection(t *testing.T) {
+	srv := newTestServer(t, nil)
+	defer shutdownServer(t, srv)
+	w := postJSON(t, srv, "/v1/execute", planRequest{
+		SQL:    "SELECT * WHERE temp > 7 AND light > 11",
+		Trace:  true,
+		Faults: &faultSpec{Seed: 7, Dead: []string{"light"}, Policy: "replan"},
+	})
+	if w.Code != http.StatusOK {
+		t.Fatalf("execute: HTTP %d: %s", w.Code, w.Body.String())
+	}
+	resp := decodeResp[executeResponse](t, w)
+	if resp.ExecTrace == nil {
+		t.Fatal("traced faulty execute returned no exec_trace section")
+	}
+	var sum float64
+	for _, n := range resp.ExecTrace.Nodes {
+		sum += n.Cost
+	}
+	if sum > resp.ExecTrace.ObservedTotal+1e-9 {
+		t.Errorf("node cost sum %v exceeds observed total %v", sum, resp.ExecTrace.ObservedTotal)
+	}
+}
+
+// TestRequestIDPropagation checks that a caller-provided X-Request-Id is
+// echoed in the response header and body, and that one is generated when
+// absent.
+func TestRequestIDPropagation(t *testing.T) {
+	srv := newTestServer(t, nil)
+	defer shutdownServer(t, srv)
+
+	raw := []byte(`{"sql":"SELECT * WHERE temp > 7"}`)
+	req := httptest.NewRequest(http.MethodPost, "/v1/plan", bytes.NewReader(raw))
+	req.Header.Set("X-Request-Id", "client-abc-123")
+	w := httptest.NewRecorder()
+	srv.ServeHTTP(w, req)
+	if got := w.Header().Get("X-Request-Id"); got != "client-abc-123" {
+		t.Errorf("response header X-Request-Id = %q, want client-abc-123", got)
+	}
+	resp := decodeResp[planResponse](t, w)
+	if resp.RequestID != "client-abc-123" {
+		t.Errorf("body request_id = %q, want client-abc-123", resp.RequestID)
+	}
+
+	req2 := httptest.NewRequest(http.MethodPost, "/v1/plan", bytes.NewReader(raw))
+	w2 := httptest.NewRecorder()
+	srv.ServeHTTP(w2, req2)
+	if got := w2.Header().Get("X-Request-Id"); got == "" {
+		t.Error("no X-Request-Id generated for a request without one")
+	}
+	if resp2 := decodeResp[planResponse](t, w2); resp2.RequestID == "" {
+		t.Error("no request_id in body for a request without X-Request-Id")
+	}
+}
+
+// TestAccessLog checks the structured per-request log line.
+func TestAccessLog(t *testing.T) {
+	var buf bytes.Buffer
+	srv := newTestServer(t, func(c *Config) { c.AccessLog = &buf })
+	defer shutdownServer(t, srv)
+
+	raw := []byte(`{"sql":"SELECT * WHERE temp > 7"}`)
+	req := httptest.NewRequest(http.MethodPost, "/v1/plan", bytes.NewReader(raw))
+	req.Header.Set("X-Request-Id", "log-check-1")
+	w := httptest.NewRecorder()
+	srv.ServeHTTP(w, req)
+
+	line := buf.String()
+	for _, want := range []string{"request_id=log-check-1", "method=POST", "path=/v1/plan", "status=200", "dur_ms="} {
+		if !strings.Contains(line, want) {
+			t.Errorf("access log line %q missing %q", line, want)
+		}
+	}
+}
+
+// TestRequestBodyLimit413 checks that an oversized request body is
+// rejected with 413, not 400.
+func TestRequestBodyLimit413(t *testing.T) {
+	srv := newTestServer(t, nil)
+	defer shutdownServer(t, srv)
+
+	big := []byte(`{"sql":"` + strings.Repeat("x", maxBodyBytes+1024) + `"}`)
+	req := httptest.NewRequest(http.MethodPost, "/v1/plan", bytes.NewReader(big))
+	w := httptest.NewRecorder()
+	srv.ServeHTTP(w, req)
+	if w.Code != http.StatusRequestEntityTooLarge {
+		t.Errorf("oversized body: HTTP %d, want 413", w.Code)
+	}
+}
+
+// TestRequestLatencyRings checks that the per-endpoint rings record hits,
+// misses, and degraded outcomes on both /plan and /execute.
+func TestRequestLatencyRings(t *testing.T) {
+	srv := newTestServer(t, func(c *Config) { c.ExhaustiveBudget = 1 })
+	defer shutdownServer(t, srv)
+
+	sample := func(ep, oc int) int {
+		r := &srv.metrics.requests[ep][oc]
+		r.mu.Lock()
+		defer r.mu.Unlock()
+		return r.n
+	}
+
+	req := planRequest{SQL: "SELECT * WHERE temp > 7 AND light > 11"}
+	if w := postJSON(t, srv, "/v1/plan", req); w.Code != http.StatusOK {
+		t.Fatalf("plan: HTTP %d: %s", w.Code, w.Body.String())
+	}
+	if sample(epPlan, outcomeMiss) == 0 {
+		t.Error("plan miss not recorded")
+	}
+	if w := postJSON(t, srv, "/v1/plan", req); w.Code != http.StatusOK {
+		t.Fatalf("plan: HTTP %d: %s", w.Code, w.Body.String())
+	}
+	if sample(epPlan, outcomeHit) == 0 {
+		t.Error("plan cache hit not recorded")
+	}
+	if w := postJSON(t, srv, "/v1/execute", req); w.Code != http.StatusOK {
+		t.Fatalf("execute: HTTP %d: %s", w.Code, w.Body.String())
+	}
+	if sample(epExecute, outcomeHit) == 0 {
+		t.Error("execute hit not recorded")
+	}
+
+	// Budget-1 exhaustive degrades to the sequential fallback.
+	dreq := planRequest{SQL: "SELECT * WHERE hour < 12 AND light <= 3", Planner: "exhaustive"}
+	w := postJSON(t, srv, "/v1/plan", dreq)
+	resp := decodeResp[planResponse](t, w)
+	if !resp.Degraded {
+		t.Fatalf("expected a degraded plan outcome, got %+v", resp)
+	}
+	if sample(epPlan, outcomeDegraded) == 0 {
+		t.Error("degraded plan outcome not recorded")
+	}
+}
+
+// TestMetricsPrometheusParse checks that /metrics output — including the
+// new labelled request-latency gauges and search counters — parses as
+// Prometheus text exposition lines with finite values.
+func TestMetricsPrometheusParse(t *testing.T) {
+	srv := newTestServer(t, nil)
+	defer shutdownServer(t, srv)
+
+	// Generate some traffic so the gauges are non-trivial.
+	req := planRequest{SQL: "SELECT * WHERE temp > 7 AND light > 11"}
+	for i := 0; i < 2; i++ {
+		if w := postJSON(t, srv, "/v1/plan", req); w.Code != http.StatusOK {
+			t.Fatalf("plan: HTTP %d", w.Code)
+		}
+	}
+	if w := postJSON(t, srv, "/v1/execute", req); w.Code != http.StatusOK {
+		t.Fatalf("execute: HTTP %d", w.Code)
+	}
+
+	w := getPath(t, srv, "/metrics")
+	if w.Code != http.StatusOK {
+		t.Fatalf("/metrics: HTTP %d", w.Code)
+	}
+	seen := make(map[string]bool)
+	for _, line := range strings.Split(strings.TrimRight(w.Body.String(), "\n"), "\n") {
+		name, value, ok := parsePromLine(line)
+		if !ok {
+			t.Errorf("line %q is not valid Prometheus text format", line)
+			continue
+		}
+		v, err := strconv.ParseFloat(value, 64)
+		if err != nil {
+			t.Errorf("line %q: value %q is not a float: %v", line, value, err)
+			continue
+		}
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			t.Errorf("line %q: non-finite value", line)
+		}
+		seen[name] = true
+	}
+	for _, want := range []string{
+		"acqserved_cache_hits",
+		"acqserved_search_candidates",
+		"acqserved_request_latency_ms",
+	} {
+		if !seen[want] {
+			t.Errorf("/metrics missing %s", want)
+		}
+	}
+}
+
+// parsePromLine validates one exposition line: name[{labels}] value.
+func parsePromLine(line string) (name, value string, ok bool) {
+	sp := strings.LastIndex(line, " ")
+	if sp < 0 {
+		return "", "", false
+	}
+	name, value = line[:sp], line[sp+1:]
+	if i := strings.IndexByte(name, '{'); i >= 0 {
+		if !strings.HasSuffix(name, "}") {
+			return "", "", false
+		}
+		labels := name[i+1 : len(name)-1]
+		name = name[:i]
+		for _, kv := range strings.Split(labels, ",") {
+			eq := strings.Index(kv, "=")
+			if eq <= 0 || len(kv) < eq+3 || kv[eq+1] != '"' || !strings.HasSuffix(kv, `"`) {
+				return "", "", false
+			}
+		}
+	}
+	if name == "" {
+		return "", "", false
+	}
+	for _, r := range name {
+		if !(r == '_' || r >= 'a' && r <= 'z' || r >= 'A' && r <= 'Z' || r >= '0' && r <= '9') {
+			return "", "", false
+		}
+	}
+	return name, value, true
+}

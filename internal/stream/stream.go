@@ -80,6 +80,11 @@ type Config struct {
 	// MaxSplits and SplitPoints configure the greedy planner.
 	MaxSplits   int
 	SplitPoints int
+	// Ctx bounds every replanning run the executor starts. A caller
+	// embedding the executor in a service should pass its lifecycle
+	// context so shutdown interrupts mid-stream replans; nil means
+	// context.Background() (replans are never interrupted).
+	Ctx context.Context
 }
 
 func (c Config) withDefaults() Config {
@@ -97,6 +102,9 @@ func (c Config) withDefaults() Config {
 	}
 	if c.SplitPoints == 0 {
 		c.SplitPoints = 8
+	}
+	if c.Ctx == nil {
+		c.Ctx = context.Background()
 	}
 	return c
 }
@@ -159,7 +167,11 @@ func (a *Adaptive) freshPlan() (*plan.Node, float64) {
 		MaxSplits: a.cfg.MaxSplits,
 		Base:      opt.SeqOpt,
 	}
-	return g.Plan(context.Background(), d, a.q)
+	// The configured lifecycle context, not a detached Background: the
+	// greedy planner is anytime, so a cancelled context degrades the
+	// replan to the sequential seed instead of burning planner time after
+	// the owner has shut down.
+	return g.Plan(a.cfg.Ctx, d, a.q)
 }
 
 // reevaluate compares the running plan against a freshly planned

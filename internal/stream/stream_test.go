@@ -183,3 +183,33 @@ func TestNewAdaptiveRequiresHistory(t *testing.T) {
 		t.Error("empty history accepted")
 	}
 }
+
+// TestAdaptiveHonorsConfigCtx pins the context-plumbing fix for the
+// drift replanner: planning runs under Config.Ctx, so a cancelled owner
+// context degrades the initial plan (and every replan) to the sequential
+// seed instead of running a detached full planning pass. Before the fix
+// freshPlan used context.Background() and planned splits regardless.
+func TestAdaptiveHonorsConfigCtx(t *testing.T) {
+	s := streamSchema()
+	q := streamQuery(s)
+	hist := phaseTable(s, 2000, 0, 5)
+
+	// Sanity: with a live context the correlated world yields a split plan.
+	live, err := NewAdaptive(s, q, hist, Config{WindowSize: 1000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if live.Plan().NumSplits() == 0 {
+		t.Fatal("live-context plan has no splits; the world is supposed to be correlated")
+	}
+
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	a, err := NewAdaptive(s, q, hist, Config{WindowSize: 1000, Ctx: ctx})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n := a.Plan().NumSplits(); n != 0 {
+		t.Errorf("cancelled-context plan has %d splits, want the sequential seed", n)
+	}
+}

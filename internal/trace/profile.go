@@ -1,0 +1,102 @@
+package trace
+
+// ExecProfile attributes one executor run's acquisitions to plan nodes
+// and attributes: per-node visit counts and accumulated acquisition
+// cost, per-attribute acquisition counts and cost, and run totals. A
+// nil *ExecProfile is the disabled state: every method no-ops without
+// allocating, so the pristine executor path is unchanged.
+//
+// Node IDs are the plan's pre-order indices (plan.NodeIDs); attribute
+// indices are schema positions. Out-of-range IDs are ignored rather
+// than rejected: replanned residual plans contain nodes that are not in
+// the profiled plan, and their charges still land in the run totals.
+//
+// Cost accounting is exact, not approximate: every charge recorded via
+// Charge is added to both the per-node and per-attribute accumulators
+// and to TotalCost in the same order the executor pays it, so with
+// integer-valued acquisition costs the per-node sum reproduces the
+// executor's total bit for bit (pinned by TestProfileBitExactSum).
+//
+// An ExecProfile is not safe for concurrent use; profile one executor
+// run at a time.
+type ExecProfile struct {
+	// NodeVisits[id] counts times node id was reached during traversal.
+	NodeVisits []int64
+	// NodeCost[id] accumulates acquisition cost charged while evaluating
+	// node id (first-touch acquisitions, retries, surcharges).
+	NodeCost []float64
+	// AttrAcquisitions[a] counts acquisitions of attribute a.
+	AttrAcquisitions []int64
+	// AttrCost[a] accumulates acquisition cost charged for attribute a.
+	AttrCost []float64
+	// Tuples counts tuples executed through the profile.
+	Tuples int64
+	// TotalCost accumulates every charge recorded, including charges at
+	// nodes outside the profiled plan (replanned residual nodes).
+	TotalCost float64
+}
+
+// NewExecProfile sizes a profile for a plan with numNodes nodes over a
+// schema with numAttrs attributes.
+func NewExecProfile(numNodes, numAttrs int) *ExecProfile {
+	if numNodes < 0 {
+		numNodes = 0
+	}
+	if numAttrs < 0 {
+		numAttrs = 0
+	}
+	return &ExecProfile{
+		NodeVisits:       make([]int64, numNodes),
+		NodeCost:         make([]float64, numNodes),
+		AttrAcquisitions: make([]int64, numAttrs),
+		AttrCost:         make([]float64, numAttrs),
+	}
+}
+
+// Visit records that node id was reached. Nil profiles and out-of-range
+// ids no-op.
+func (p *ExecProfile) Visit(id int) {
+	if p == nil || id < 0 || id >= len(p.NodeVisits) {
+		return
+	}
+	p.NodeVisits[id]++
+}
+
+// Charge records acquisition cost c for attribute attr paid while
+// evaluating node id. The charge always lands in TotalCost; the node
+// and attribute accumulators are skipped when the index is out of range
+// (replanned residual nodes, unknown attributes).
+func (p *ExecProfile) Charge(id, attr int, c float64, acquisitions int64) {
+	if p == nil {
+		return
+	}
+	p.TotalCost += c
+	if id >= 0 && id < len(p.NodeCost) {
+		p.NodeCost[id] += c
+	}
+	if attr >= 0 && attr < len(p.AttrCost) {
+		p.AttrCost[attr] += c
+		p.AttrAcquisitions[attr] += acquisitions
+	}
+}
+
+// FinishTuple records that one tuple completed.
+func (p *ExecProfile) FinishTuple() {
+	if p == nil {
+		return
+	}
+	p.Tuples++
+}
+
+// SumNodeCost returns the sum over per-node accumulated cost, in node-ID
+// order (a deterministic summation order, so it is reproducible).
+func (p *ExecProfile) SumNodeCost() float64 {
+	if p == nil {
+		return 0
+	}
+	var total float64
+	for _, c := range p.NodeCost {
+		total += c
+	}
+	return total
+}

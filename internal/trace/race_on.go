@@ -1,0 +1,8 @@
+//go:build race
+
+package trace
+
+// RaceEnabled reports whether the race detector is compiled in.
+// testing.AllocsPerRun is unreliable under -race (the detector itself
+// allocates), so the zero-alloc gates skip when this is true.
+const RaceEnabled = true

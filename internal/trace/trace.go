@@ -1,0 +1,225 @@
+// Package trace is the repository's zero-dependency tracing and
+// profiling layer: it explains where plan cost actually goes, per plan
+// node and per planner phase, so the paper's expected-cost model (Eq. 2/3)
+// can be cross-checked against observed acquisition totals.
+//
+// Three concerns live here:
+//
+//   - Span: phase timings and search counters for one planner run,
+//     carried through a context.Context. Planners (internal/opt) record
+//     into the span when one is present and do nothing otherwise.
+//   - ExecProfile: per-plan-node and per-attribute acquisition
+//     attribution for one executor run (internal/exec).
+//   - Snapshot: the JSON-ready rendering of a Span for API responses
+//     (the /v1/plan "trace" section) and CLI output.
+//
+// Tracing is strictly opt-in. Every method is nil-safe: a nil *Span or
+// nil *ExecProfile is the disabled state, and the disabled path performs
+// no allocations (pinned by TestDisabledPathZeroAllocs and
+// BenchmarkDisabledSpan) and never changes planner or executor output.
+//
+// The package never reads the wall clock itself: time enters only
+// through the `now func() time.Time` injected into NewSpan (enforced by
+// acqlint's tracedet analyzer), which keeps traces replayable under
+// tests with a fake clock.
+package trace
+
+import (
+	"context"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Counter identifies one planner search counter. Counters are recorded
+// with Span.Count from concurrent search workers, so they are atomics.
+type Counter int
+
+// Search counters. Candidates/Pruned/LeafExpansions are shared by both
+// planners; Expanded/MemoHits/MemoStores belong to the exhaustive
+// search; Spawned/Inlined count the bounded pool's placement decisions.
+const (
+	// Candidates counts candidate conditioning splits evaluated.
+	Candidates Counter = iota
+	// Pruned counts candidates abandoned by branch-and-bound before an
+	// exact cost was obtained.
+	Pruned
+	// Expanded counts exhaustive-search subproblems expanded.
+	Expanded
+	// MemoHits counts exact subproblem memo hits.
+	MemoHits
+	// MemoStores counts exact subproblem results stored in the memo.
+	MemoStores
+	// LeafExpansions counts greedy leaf expansions applied to the plan.
+	LeafExpansions
+	// Spawned counts evaluations handed to a new pool goroutine.
+	Spawned
+	// Inlined counts evaluations run inline on the caller's goroutine.
+	Inlined
+
+	numCounters
+)
+
+// counterNames indexes Counter names for snapshots; order matches the
+// constants above.
+var counterNames = [numCounters]string{
+	"candidates", "pruned", "expanded", "memo_hits", "memo_stores",
+	"leaf_expansions", "workers_spawned", "inlined",
+}
+
+func (c Counter) String() string {
+	if c < 0 || c >= numCounters {
+		return "counter(?)"
+	}
+	return counterNames[c]
+}
+
+// CounterNames lists every counter name in Counter order, for callers
+// that need deterministic iteration over a Snapshot's counters map.
+func CounterNames() []string {
+	out := make([]string, numCounters)
+	copy(out, counterNames[:])
+	return out
+}
+
+// PhaseRef identifies a phase opened by Begin; the zero of a disabled
+// span is NoPhase.
+type PhaseRef int
+
+// NoPhase is the PhaseRef returned by a nil span's Begin; End accepts it
+// as a no-op.
+const NoPhase PhaseRef = -1
+
+// phase is one timed planner phase.
+type phase struct {
+	name  string
+	start time.Time
+	dur   time.Duration
+	open  bool
+}
+
+// Span collects phase timings and search counters for one planner run.
+// A nil *Span is the disabled state: every method no-ops without
+// allocating. Counters are safe for concurrent recording; phases are
+// expected to be opened and closed from the goroutine driving the run.
+type Span struct {
+	now      func() time.Time
+	counters [numCounters]atomic.Int64
+
+	mu     sync.Mutex
+	phases []phase
+}
+
+// NewSpan builds an enabled span whose clock is the injected now
+// function (pass time.Now in production; a fake in tests). A nil now
+// yields a span that still counts but records zero durations — the
+// package itself never falls back to the wall clock.
+func NewSpan(now func() time.Time) *Span {
+	if now == nil {
+		now = func() time.Time { return time.Time{} }
+	}
+	return &Span{now: now}
+}
+
+// Count adds n to the counter. Nil-safe and allocation-free.
+func (s *Span) Count(c Counter, n int64) {
+	if s == nil || c < 0 || c >= numCounters {
+		return
+	}
+	count(&s.counters[c], n)
+}
+
+// count bumps an atomic counter through a value-returning call so that
+// acqlint's errdrop — which indexes error-returning method names
+// repo-wide — does not mistake atomic.Int64.Add for schema's Add.
+func count(c *atomic.Int64, delta int64) int64 { return c.Add(delta) }
+
+// Counter returns the counter's current value (0 on a nil span).
+func (s *Span) Counter(c Counter) int64 {
+	if s == nil || c < 0 || c >= numCounters {
+		return 0
+	}
+	return s.counters[c].Load()
+}
+
+// Begin opens a named phase and returns its reference. On a nil span it
+// returns NoPhase without allocating.
+func (s *Span) Begin(name string) PhaseRef {
+	if s == nil {
+		return NoPhase
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.phases = append(s.phases, phase{name: name, start: s.now(), open: true})
+	return PhaseRef(len(s.phases) - 1)
+}
+
+// End closes a phase opened by Begin, recording its duration. Nil spans
+// and NoPhase references no-op; double-End keeps the first duration.
+func (s *Span) End(ref PhaseRef) {
+	if s == nil || ref < 0 {
+		return
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if int(ref) >= len(s.phases) || !s.phases[ref].open {
+		return
+	}
+	s.phases[ref].dur = s.now().Sub(s.phases[ref].start)
+	s.phases[ref].open = false
+}
+
+// PhaseTiming is one phase of a snapshot.
+type PhaseTiming struct {
+	Name       string  `json:"name"`
+	DurationMS float64 `json:"duration_ms"`
+}
+
+// Snapshot is the JSON-ready rendering of a span: the /v1/plan response
+// "trace" section and the acqplan -trace output.
+type Snapshot struct {
+	Phases   []PhaseTiming    `json:"phases,omitempty"`
+	Counters map[string]int64 `json:"counters,omitempty"`
+}
+
+// Snapshot renders the span. Open phases are reported with the duration
+// accumulated so far. A nil span snapshots to nil.
+func (s *Span) Snapshot() *Snapshot {
+	if s == nil {
+		return nil
+	}
+	snap := &Snapshot{Counters: make(map[string]int64, numCounters)}
+	for c := Counter(0); c < numCounters; c++ {
+		if v := s.counters[c].Load(); v != 0 {
+			snap.Counters[c.String()] = v
+		}
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for _, p := range s.phases {
+		d := p.dur
+		if p.open {
+			d = s.now().Sub(p.start)
+		}
+		snap.Phases = append(snap.Phases, PhaseTiming{
+			Name:       p.name,
+			DurationMS: float64(d) / float64(time.Millisecond),
+		})
+	}
+	return snap
+}
+
+// ctxKey is the context key carrying a *Span.
+type ctxKey struct{}
+
+// NewContext returns ctx carrying the span.
+func NewContext(ctx context.Context, s *Span) context.Context {
+	return context.WithValue(ctx, ctxKey{}, s)
+}
+
+// FromContext returns the span carried by ctx, or nil (the disabled
+// state) when none is present. Allocation-free on both paths.
+func FromContext(ctx context.Context) *Span {
+	s, _ := ctx.Value(ctxKey{}).(*Span)
+	return s
+}

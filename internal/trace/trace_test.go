@@ -1,0 +1,260 @@
+package trace
+
+import (
+	"context"
+	"encoding/json"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+// fakeClock is a deterministic injected clock: each call advances by the
+// step, so phase durations are exactly predictable.
+type fakeClock struct {
+	t    time.Time
+	step time.Duration
+}
+
+func (f *fakeClock) now() time.Time {
+	f.t = f.t.Add(f.step)
+	return f.t
+}
+
+func TestSpanPhasesWithFakeClock(t *testing.T) {
+	clk := &fakeClock{t: time.Unix(0, 0), step: 10 * time.Millisecond}
+	s := NewSpan(clk.now)
+
+	ref := s.Begin("search")
+	inner := s.Begin("seed")
+	s.End(inner)
+	s.End(ref)
+
+	snap := s.Snapshot()
+	if snap == nil || len(snap.Phases) != 2 {
+		t.Fatalf("want 2 phases, got %+v", snap)
+	}
+	// Clock ticks: Begin(search)=10ms, Begin(seed)=20ms, End(seed)=30ms,
+	// End(search)=40ms — so seed=10ms and search=30ms.
+	if got := snap.Phases[0]; got.Name != "search" || got.DurationMS != 30 {
+		t.Fatalf("search phase = %+v, want 30ms", got)
+	}
+	if got := snap.Phases[1]; got.Name != "seed" || got.DurationMS != 10 {
+		t.Fatalf("seed phase = %+v, want 10ms", got)
+	}
+}
+
+func TestSpanEndIdempotent(t *testing.T) {
+	clk := &fakeClock{t: time.Unix(0, 0), step: time.Millisecond}
+	s := NewSpan(clk.now)
+	ref := s.Begin("p")
+	s.End(ref)
+	first := s.Snapshot().Phases[0].DurationMS
+	s.End(ref) // double End keeps the first duration
+	s.End(PhaseRef(99))
+	s.End(NoPhase)
+	if got := s.Snapshot().Phases[0].DurationMS; got != first {
+		t.Fatalf("double End changed duration: %v -> %v", first, got)
+	}
+}
+
+func TestSpanCounters(t *testing.T) {
+	s := NewSpan(nil)
+	s.Count(Candidates, 3)
+	s.Count(Candidates, 2)
+	s.Count(MemoHits, 7)
+	s.Count(Counter(-1), 5)
+	s.Count(numCounters, 5)
+	if got := s.Counter(Candidates); got != 5 {
+		t.Fatalf("Candidates = %d, want 5", got)
+	}
+	if got := s.Counter(MemoHits); got != 7 {
+		t.Fatalf("MemoHits = %d, want 7", got)
+	}
+	snap := s.Snapshot()
+	if snap.Counters["candidates"] != 5 || snap.Counters["memo_hits"] != 7 {
+		t.Fatalf("snapshot counters = %v", snap.Counters)
+	}
+	if _, ok := snap.Counters["pruned"]; ok {
+		t.Fatalf("zero counters should be omitted, got %v", snap.Counters)
+	}
+}
+
+func TestSpanConcurrentCount(t *testing.T) {
+	s := NewSpan(nil)
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 1000; j++ {
+				s.Count(Pruned, 1)
+			}
+		}()
+	}
+	wg.Wait()
+	if got := s.Counter(Pruned); got != 8000 {
+		t.Fatalf("Pruned = %d, want 8000", got)
+	}
+}
+
+func TestNilSpanIsSafe(t *testing.T) {
+	var s *Span
+	s.Count(Candidates, 1)
+	if got := s.Counter(Candidates); got != 0 {
+		t.Fatalf("nil Counter = %d, want 0", got)
+	}
+	if ref := s.Begin("x"); ref != NoPhase {
+		t.Fatalf("nil Begin = %v, want NoPhase", ref)
+	}
+	s.End(NoPhase)
+	if snap := s.Snapshot(); snap != nil {
+		t.Fatalf("nil Snapshot = %+v, want nil", snap)
+	}
+}
+
+func TestContextRoundTrip(t *testing.T) {
+	if got := FromContext(context.Background()); got != nil {
+		t.Fatalf("FromContext(background) = %v, want nil", got)
+	}
+	s := NewSpan(nil)
+	ctx := NewContext(context.Background(), s)
+	if got := FromContext(ctx); got != s {
+		t.Fatalf("FromContext lost the span")
+	}
+	var nilSpan *Span
+	ctx = NewContext(context.Background(), nilSpan)
+	if got := FromContext(ctx); got != nil {
+		t.Fatalf("FromContext(nil span) = %v, want nil", got)
+	}
+}
+
+func TestCounterString(t *testing.T) {
+	seen := map[string]bool{}
+	for c := Counter(0); c < numCounters; c++ {
+		name := c.String()
+		if name == "" || name == "counter(?)" {
+			t.Fatalf("counter %d has no name", c)
+		}
+		if seen[name] {
+			t.Fatalf("duplicate counter name %q", name)
+		}
+		seen[name] = true
+	}
+	if Counter(-1).String() != "counter(?)" || numCounters.String() != "counter(?)" {
+		t.Fatalf("out-of-range counters should stringify to counter(?)")
+	}
+}
+
+func TestSnapshotJSON(t *testing.T) {
+	clk := &fakeClock{t: time.Unix(0, 0), step: time.Millisecond}
+	s := NewSpan(clk.now)
+	ref := s.Begin("search")
+	s.Count(Candidates, 2)
+	s.End(ref)
+	b, err := json.Marshal(s.Snapshot())
+	if err != nil {
+		t.Fatalf("marshal: %v", err)
+	}
+	for _, want := range []string{`"phases"`, `"search"`, `"counters"`, `"candidates":2`} {
+		if !strings.Contains(string(b), want) {
+			t.Fatalf("snapshot JSON %s missing %s", b, want)
+		}
+	}
+}
+
+func TestExecProfile(t *testing.T) {
+	p := NewExecProfile(3, 2)
+	p.Visit(0)
+	p.Visit(0)
+	p.Visit(2)
+	p.Charge(0, 1, 50, 1)
+	p.Charge(2, 0, 25, 1)
+	p.Charge(2, 0, 25, 1)
+	// Out-of-range node (replanned residual) still lands in totals.
+	p.Charge(-1, 1, 10, 1)
+	p.Charge(99, 99, 5, 1)
+	p.FinishTuple()
+
+	if p.NodeVisits[0] != 2 || p.NodeVisits[1] != 0 || p.NodeVisits[2] != 1 {
+		t.Fatalf("NodeVisits = %v", p.NodeVisits)
+	}
+	if p.NodeCost[0] != 50 || p.NodeCost[2] != 50 {
+		t.Fatalf("NodeCost = %v", p.NodeCost)
+	}
+	if p.AttrCost[0] != 50 || p.AttrCost[1] != 60 {
+		t.Fatalf("AttrCost = %v", p.AttrCost)
+	}
+	if p.AttrAcquisitions[0] != 2 || p.AttrAcquisitions[1] != 2 {
+		t.Fatalf("AttrAcquisitions = %v", p.AttrAcquisitions)
+	}
+	if p.TotalCost != 115 {
+		t.Fatalf("TotalCost = %v, want 115", p.TotalCost)
+	}
+	if p.SumNodeCost() != 100 {
+		t.Fatalf("SumNodeCost = %v, want 100", p.SumNodeCost())
+	}
+	if p.Tuples != 1 {
+		t.Fatalf("Tuples = %d", p.Tuples)
+	}
+}
+
+func TestNilExecProfileIsSafe(t *testing.T) {
+	var p *ExecProfile
+	p.Visit(0)
+	p.Charge(0, 0, 1, 1)
+	p.FinishTuple()
+	if p.SumNodeCost() != 0 {
+		t.Fatalf("nil SumNodeCost = %v", p.SumNodeCost())
+	}
+}
+
+// TestDisabledPathZeroAllocs pins the tentpole invariant: the disabled
+// (nil) path allocates nothing. Skipped under -race, where
+// AllocsPerRun is unreliable.
+func TestDisabledPathZeroAllocs(t *testing.T) {
+	if RaceEnabled {
+		t.Skip("AllocsPerRun is unreliable under -race")
+	}
+	var s *Span
+	var p *ExecProfile
+	ctx := context.Background()
+	allocs := testing.AllocsPerRun(1000, func() {
+		s.Count(Candidates, 1)
+		ref := s.Begin("x")
+		s.End(ref)
+		_ = s.Counter(Candidates)
+		got := FromContext(ctx)
+		got.Count(Pruned, 1)
+		p.Visit(0)
+		p.Charge(0, 0, 1, 1)
+		p.FinishTuple()
+	})
+	if allocs != 0 {
+		t.Fatalf("disabled path allocates %v allocs/op, want 0", allocs)
+	}
+}
+
+func BenchmarkDisabledSpan(b *testing.B) {
+	var s *Span
+	var p *ExecProfile
+	ctx := context.Background()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		s.Count(Candidates, 1)
+		ref := s.Begin("x")
+		s.End(ref)
+		got := FromContext(ctx)
+		got.Count(Pruned, 1)
+		p.Visit(0)
+		p.Charge(0, 0, 1, 1)
+	}
+}
+
+func BenchmarkEnabledSpanCount(b *testing.B) {
+	s := NewSpan(nil)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		s.Count(Candidates, 1)
+	}
+}
