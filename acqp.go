@@ -378,7 +378,7 @@ func OptimizeExhaustive(ctx context.Context, d Dist, q Query, splitPoints, budge
 // by cost over marginal failure probability, ignoring correlations.
 func NaivePlan(d Dist, q Query) (*Plan, float64) {
 	//acqlint:ignore errdrop sequential baseline under a background context and fixed valid options cannot fail
-	node, cost, _ := Optimize(context.Background(), d, q, Options{Algorithm: AlgorithmNaive})
+	node, cost, _ := Optimize(context.Background(), d, q, Options{Algorithm: AlgorithmNaive}) //acqlint:ignore ctxbg exported convenience wrapper with no ctx parameter; Optimize is the context-threading API
 	return node, cost
 }
 
@@ -386,7 +386,7 @@ func NaivePlan(d Dist, q Query) (*Plan, float64) {
 // in the paper's evaluation).
 func CorrSeqPlan(d Dist, q Query) (*Plan, float64) {
 	//acqlint:ignore errdrop sequential baseline under a background context and fixed valid options cannot fail
-	node, cost, _ := Optimize(context.Background(), d, q, Options{Algorithm: AlgorithmCorrSeq})
+	node, cost, _ := Optimize(context.Background(), d, q, Options{Algorithm: AlgorithmCorrSeq}) //acqlint:ignore ctxbg exported convenience wrapper with no ctx parameter; Optimize is the context-threading API
 	return node, cost
 }
 

@@ -6,7 +6,10 @@
 #   go vet     the compiler-adjacent checks
 #   go build   everything compiles
 #   go test    the full suite, with the race detector on
-#   acqlint    the domain-specific invariants (internal/analysis)
+#   acqlint    the domain-specific invariants (internal/analysis); the
+#              machine-readable report (findings, typed-package coverage,
+#              timing) is archived to results/acqlint-report.json and the
+#              timing summary prints to stderr
 #   fuzz smoke short runs of the fuzz targets (plan decoder, SQL parser,
 #              planning-service request path)
 #   acqserved  an end-to-end smoke: boot the planning service on an
@@ -45,7 +48,8 @@ echo "== go test -race"
 go test -race ./...
 
 echo "== acqlint"
-go run ./cmd/acqlint ./...
+mkdir -p results
+go run ./cmd/acqlint -json ./... | tee results/acqlint-report.json
 
 echo "== fuzz smoke"
 go test -run='^$' -fuzz=FuzzDecode -fuzztime="${FUZZTIME:-5s}" ./internal/plan

@@ -3,12 +3,16 @@
 //
 // Usage:
 //
-//	acqlint [-disable name,name] [-list] [patterns...]
+//	acqlint [-disable name,name] [-list] [-json] [patterns...]
 //
 // Patterns follow go-tool conventions ("./...", "internal/opt",
 // "internal/..."); the default is "./...". Diagnostics print as
-// file:line:col: analyzer: message. Exit status is 0 for a clean tree,
-// 1 when findings are reported, and 2 on usage or load errors.
+// file:line:col: analyzer: message, or as a machine-readable report with
+// -json (findings plus package/typed-coverage counts and the analysis
+// duration, for CI archiving). A summary line with the same counts and
+// timing always goes to stderr, so analysis-cost regressions are visible
+// in CI logs. Exit status is 0 for a clean tree, 1 when findings are
+// reported, and 2 on usage or load errors.
 //
 // A finding is suppressed by a directive on its line or the line above:
 //
@@ -16,12 +20,14 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"io"
 	"os"
 	"path/filepath"
 	"strings"
+	"time"
 
 	"acqp/internal/analysis"
 )
@@ -35,6 +41,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 	fs.SetOutput(stderr)
 	disable := fs.String("disable", "", "comma-separated analyzer names to skip")
 	list := fs.Bool("list", false, "list analyzers and exit")
+	jsonOut := fs.Bool("json", false, "emit a machine-readable JSON report on stdout")
 	if err := fs.Parse(args); err != nil {
 		return 2
 	}
@@ -88,24 +95,84 @@ func run(args []string, stdout, stderr io.Writer) int {
 		rebased[i] = rebase(cwd, root, pat)
 	}
 
+	start := time.Now()
 	pkgs, err := analysis.Load(root, rebased)
 	if err != nil {
 		fmt.Fprintf(stderr, "acqlint: %v\n", err)
 		return 2
 	}
 	diags := analysis.RunAll(pkgs, enabled)
-	for _, d := range diags {
-		name := d.Pos.Filename
-		if rel, err := filepath.Rel(cwd, name); err == nil && !strings.HasPrefix(rel, "..") {
-			name = rel
+	elapsed := time.Since(start)
+
+	typed := 0
+	for _, p := range pkgs {
+		if p.TypesInfo != nil {
+			typed++
 		}
-		fmt.Fprintf(stdout, "%s:%d:%d: %s: %s\n", name, d.Pos.Line, d.Pos.Column, d.Analyzer, d.Message)
 	}
+
+	relName := func(name string) string {
+		if rel, err := filepath.Rel(cwd, name); err == nil && !strings.HasPrefix(rel, "..") {
+			return rel
+		}
+		return name
+	}
+
+	if *jsonOut {
+		report := jsonReport{
+			Findings:      []jsonFinding{},
+			Count:         len(diags),
+			Packages:      len(pkgs),
+			TypedPackages: typed,
+			DurationMS:    elapsed.Milliseconds(),
+		}
+		for _, a := range enabled {
+			report.Analyzers = append(report.Analyzers, a.Name)
+		}
+		for _, d := range diags {
+			report.Findings = append(report.Findings, jsonFinding{
+				File:     relName(d.Pos.Filename),
+				Line:     d.Pos.Line,
+				Col:      d.Pos.Column,
+				Analyzer: d.Analyzer,
+				Message:  d.Message,
+			})
+		}
+		enc := json.NewEncoder(stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(report); err != nil {
+			fmt.Fprintf(stderr, "acqlint: %v\n", err)
+			return 2
+		}
+	} else {
+		for _, d := range diags {
+			fmt.Fprintf(stdout, "%s:%d:%d: %s: %s\n", relName(d.Pos.Filename), d.Pos.Line, d.Pos.Column, d.Analyzer, d.Message)
+		}
+	}
+	fmt.Fprintf(stderr, "acqlint: %d finding(s) in %d package(s) (%d typed) in %dms\n",
+		len(diags), len(pkgs), typed, elapsed.Milliseconds())
 	if len(diags) > 0 {
-		fmt.Fprintf(stderr, "acqlint: %d finding(s)\n", len(diags))
 		return 1
 	}
 	return 0
+}
+
+// jsonReport is the -json output shape, archived by CI.
+type jsonReport struct {
+	Findings      []jsonFinding `json:"findings"`
+	Count         int           `json:"count"`
+	Packages      int           `json:"packages"`
+	TypedPackages int           `json:"typed_packages"`
+	Analyzers     []string      `json:"analyzers"`
+	DurationMS    int64         `json:"duration_ms"`
+}
+
+type jsonFinding struct {
+	File     string `json:"file"`
+	Line     int    `json:"line"`
+	Col      int    `json:"col"`
+	Analyzer string `json:"analyzer"`
+	Message  string `json:"message"`
 }
 
 // rebase turns a cwd-relative pattern into a root-relative one.

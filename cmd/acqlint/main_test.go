@@ -2,6 +2,7 @@ package main
 
 import (
 	"bytes"
+	"encoding/json"
 	"regexp"
 	"strings"
 	"testing"
@@ -39,6 +40,66 @@ func TestRunUnknownAnalyzer(t *testing.T) {
 	}
 }
 
+// TestRunJSON checks the machine-readable report CI archives: the
+// finding list mirrors the text diagnostics, the coverage counters are
+// filled in, and a clean (fully disabled) run still emits a well-formed
+// report with a non-null findings array.
+func TestRunJSON(t *testing.T) {
+	const dir = "../../internal/analysis/testdata/src/ctxfix"
+	var out, errb bytes.Buffer
+	if code := run([]string{"-json", dir}, &out, &errb); code != 1 {
+		t.Fatalf("exit %d, want 1; stderr:\n%s", code, errb.String())
+	}
+	var report struct {
+		Findings []struct {
+			File     string `json:"file"`
+			Line     int    `json:"line"`
+			Col      int    `json:"col"`
+			Analyzer string `json:"analyzer"`
+			Message  string `json:"message"`
+		} `json:"findings"`
+		Count         int      `json:"count"`
+		Packages      int      `json:"packages"`
+		TypedPackages int      `json:"typed_packages"`
+		Analyzers     []string `json:"analyzers"`
+		DurationMS    *int64   `json:"duration_ms"`
+	}
+	if err := json.Unmarshal(out.Bytes(), &report); err != nil {
+		t.Fatalf("unmarshal report: %v\n%s", err, out.String())
+	}
+	if report.Count != 2 || len(report.Findings) != 2 {
+		t.Errorf("count=%d findings=%d, want 2/2", report.Count, len(report.Findings))
+	}
+	for _, f := range report.Findings {
+		if f.Analyzer != "ctxbg" || f.Line == 0 || f.Col == 0 || !strings.HasSuffix(f.File, "ctxfix.go") {
+			t.Errorf("malformed finding: %+v", f)
+		}
+	}
+	if report.Packages != 1 || report.TypedPackages != 1 {
+		t.Errorf("packages=%d typed=%d, want 1/1", report.Packages, report.TypedPackages)
+	}
+	hasDetflow := false
+	for _, name := range report.Analyzers {
+		hasDetflow = hasDetflow || name == "detflow"
+	}
+	if !hasDetflow {
+		t.Errorf("analyzers list missing detflow: %v", report.Analyzers)
+	}
+	if report.DurationMS == nil {
+		t.Error("duration_ms missing from report")
+	}
+
+	// A clean run keeps the shape: count 0 and findings [] (never null).
+	out.Reset()
+	errb.Reset()
+	if code := run([]string{"-json", "-disable", "ctxbg", dir}, &out, &errb); code != 0 {
+		t.Fatalf("exit %d with ctxbg disabled, want 0:\n%s", code, out.String())
+	}
+	if !strings.Contains(out.String(), `"findings": []`) {
+		t.Errorf("clean report findings not an empty array:\n%s", out.String())
+	}
+}
+
 // TestRunNegativeFixtures runs the CLI against each analyzer's bad
 // fixture and checks the exit status, the file:line:col diagnostic shape,
 // and that -disable removes exactly the targeted findings.
@@ -55,6 +116,7 @@ func TestRunNegativeFixtures(t *testing.T) {
 		{fixtures + "/panicfix", "panicpolicy", 2},
 		{fixtures + "/cmd/panictool", "panicpolicy", 1},
 		{fixtures + "/errfix", "errdrop", 3},
+		{fixtures + "/ctxfix", "ctxbg", 2},
 	}
 	for _, c := range cases {
 		var out, errb bytes.Buffer

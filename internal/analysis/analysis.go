@@ -1,28 +1,46 @@
-// Package analysis is acqlint's engine: a stdlib-only (go/ast, go/parser,
-// go/token) static-analysis driver enforcing repo-specific invariants the
-// Go compiler cannot see — epsilon-safe float comparisons, deterministic
-// iteration and randomness, package-prefixed panics, and handled errors.
+// Package analysis is acqlint's engine: a stdlib-only static-analysis
+// driver enforcing repo-specific invariants the Go compiler cannot see —
+// epsilon-safe float comparisons, deterministic iteration and randomness,
+// package-prefixed panics, handled errors, threaded contexts, and the
+// cross-package determinism of the planner core.
 //
-// Each invariant is a named Analyzer over a parsed Package. Analyzers are
-// purely syntactic: they resolve types heuristically from declarations in
-// the AST (see Index), trading soundness for zero build-time dependencies
-// — the driver runs offline on any tree that parses, including the golden
-// fixtures under testdata.
+// Each invariant is a named Analyzer over a parsed Package. The engine is
+// typed: Load type-checks every package with go/types, resolving repo
+// imports against the load itself and standard-library imports from
+// GOROOT source (go/importer "source" mode — still zero external
+// dependencies). When type-checking fails — golden fixtures with
+// deliberate type errors, partial loads — the package keeps TypesInfo nil
+// and every analyzer falls back to the original syntactic heuristics
+// (see Index), so the driver still runs on any tree that parses.
+//
+// The driver analyzes packages in parallel; diagnostics are ordered
+// deterministically regardless of scheduling, so two runs over the same
+// tree emit byte-identical output.
 //
 // A finding on a given line is suppressed by a directive comment on that
 // line or the line above:
 //
 //	//acqlint:ignore <analyzer> <reason>
 //
-// The reason is mandatory; a malformed directive is itself reported.
+// A function that deliberately contains a nondeterminism-source pattern
+// but is audited deterministic (e.g. a goroutine fan-out with an
+// order-independent reduction) asserts so in its doc comment:
+//
+//	//acqlint:pure <reason>
+//
+// The reason is mandatory in both; a malformed directive is itself
+// reported.
 package analysis
 
 import (
 	"fmt"
 	"go/ast"
 	"go/token"
+	"go/types"
+	"runtime"
 	"sort"
 	"strings"
+	"sync"
 )
 
 // Diagnostic is one finding: an invariant violation at a position.
@@ -48,7 +66,9 @@ type Analyzer struct {
 	Run func(p *Package) []Diagnostic
 }
 
-// Analyzers returns the full suite in reporting order.
+// Analyzers returns the full suite in reporting order. FaultDet and
+// TraceDet are detscope instances (see detscope.go) kept under their
+// original names; CtxBg and DetFlow are the typed-era additions.
 func Analyzers() []*Analyzer {
 	return []*Analyzer{
 		FloatCmp,
@@ -59,6 +79,8 @@ func Analyzers() []*Analyzer {
 		CondShare,
 		FaultDet,
 		TraceDet,
+		CtxBg,
+		DetFlow,
 	}
 }
 
@@ -77,15 +99,31 @@ type Package struct {
 	// is parallel to it.
 	Files     []*ast.File
 	FileNames []string
-	// Index is the package-local heuristic symbol table.
+	// Index is the package-local heuristic symbol table, the fallback
+	// when type-checking fails.
 	Index *Index
 	// Global is the repo-wide exported symbol table, shared by all
 	// packages of a load.
 	Global *GlobalIndex
 
+	// ImportPath is the package's module import path (modulePath for the
+	// root package), the key under which siblings import it.
+	ImportPath string
+	// TypesPkg and TypesInfo carry full go/types information for the
+	// non-test files, or are nil when type-checking failed; TypeErr then
+	// records why. Analyzers consult TypesInfo where available and fall
+	// back to the heuristic Index otherwise.
+	TypesPkg  *types.Package
+	TypesInfo *types.Info
+	TypeErr   error
+
+	// prog is the whole-load view shared by every package, for
+	// cross-package passes like detflow.
+	prog *program
+
 	// ignores maps file index -> line -> analyzer names suppressed there.
 	ignores map[int]map[int][]string
-	// badDirectives are malformed ignore comments, reported by RunAll.
+	// badDirectives are malformed ignore/pure comments, reported by RunAll.
 	badDirectives []Diagnostic
 }
 
@@ -128,12 +166,22 @@ func (p *Package) suppressed(fileIdx int, analyzer string, pos token.Position) b
 // ignoreDirective is the comment prefix that suppresses a finding.
 const ignoreDirective = "//acqlint:ignore"
 
-// buildIgnores scans every comment for ignore directives.
+// buildIgnores scans every comment for ignore directives, and validates
+// pure assertions (their semantics live in the call graph; the mandatory
+// reason is checked here so a bare //acqlint:pure is reported even in
+// fallback mode).
 func (p *Package) buildIgnores() {
 	p.ignores = make(map[int]map[int][]string)
 	for i, f := range p.Files {
 		for _, cg := range f.Comments {
 			for _, c := range cg.List {
+				if strings.HasPrefix(c.Text, pureDirective) {
+					if strings.TrimSpace(strings.TrimPrefix(c.Text, pureDirective)) == "" {
+						p.badDirectives = append(p.badDirectives, p.diag("acqlint", c.Pos(),
+							"malformed directive %q: want %s <reason>", c.Text, pureDirective))
+					}
+					continue
+				}
 				if !strings.HasPrefix(c.Text, ignoreDirective) {
 					continue
 				}
@@ -156,26 +204,27 @@ func (p *Package) buildIgnores() {
 
 // RunAll runs every enabled analyzer over every package, applies
 // suppression directives, and returns the surviving diagnostics sorted by
-// position. Malformed directives are always reported.
+// position. Malformed directives are always reported. Packages are
+// analyzed in parallel (bounded by GOMAXPROCS); results are collected per
+// package and fully ordered afterwards, so output is byte-identical run
+// to run regardless of scheduling.
 func RunAll(pkgs []*Package, enabled []*Analyzer) []Diagnostic {
+	perPkg := make([][]Diagnostic, len(pkgs))
+	sem := make(chan struct{}, runtime.GOMAXPROCS(0))
+	var wg sync.WaitGroup
+	for i := range pkgs {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			perPkg[i] = runPackage(pkgs[i], enabled)
+		}(i)
+	}
+	wg.Wait()
 	var out []Diagnostic
-	for _, p := range pkgs {
-		out = append(out, p.badDirectives...)
-		for _, a := range enabled {
-			for _, d := range a.Run(p) {
-				idx := -1
-				for i, name := range p.FileNames {
-					if name == d.Pos.Filename {
-						idx = i
-						break
-					}
-				}
-				if idx >= 0 && p.suppressed(idx, a.Name, d.Pos) {
-					continue
-				}
-				out = append(out, d)
-			}
-		}
+	for _, ds := range perPkg {
+		out = append(out, ds...)
 	}
 	sort.Slice(out, func(i, j int) bool {
 		a, b := out[i], out[j]
@@ -188,7 +237,32 @@ func RunAll(pkgs []*Package, enabled []*Analyzer) []Diagnostic {
 		if a.Pos.Column != b.Pos.Column {
 			return a.Pos.Column < b.Pos.Column
 		}
-		return a.Analyzer < b.Analyzer
+		if a.Analyzer != b.Analyzer {
+			return a.Analyzer < b.Analyzer
+		}
+		return a.Message < b.Message
 	})
+	return out
+}
+
+// runPackage runs the enabled analyzers over one package and applies its
+// suppression directives.
+func runPackage(p *Package, enabled []*Analyzer) []Diagnostic {
+	out := append([]Diagnostic(nil), p.badDirectives...)
+	for _, a := range enabled {
+		for _, d := range a.Run(p) {
+			idx := -1
+			for i, name := range p.FileNames {
+				if name == d.Pos.Filename {
+					idx = i
+					break
+				}
+			}
+			if idx >= 0 && p.suppressed(idx, a.Name, d.Pos) {
+				continue
+			}
+			out = append(out, d)
+		}
+	}
 	return out
 }

@@ -8,10 +8,13 @@ import (
 
 // ErrDrop flags discarded error returns outside tests: a call used as a
 // bare statement when its last result is an error, and assignments that
-// blank the error position (`x, _ := f()`, `_ = f()`). Resolution is
-// heuristic: local functions, repo packages' exported functions, and
-// method names whose repo-wide declarations unambiguously end in error.
-// Deliberate discards take an //acqlint:ignore errdrop <reason> directive.
+// blank the error position (`x, _ := f()`, `_ = f()`). The policy covers
+// repo-declared functions and methods only — standard-library drops
+// (fmt.Println and friends) are out of scope by design. In typed mode
+// callees resolve exactly from signatures; fallback mode is heuristic:
+// local functions, repo packages' exported functions, and method names
+// whose repo-wide declarations unambiguously end in error. Deliberate
+// discards take an //acqlint:ignore errdrop <reason> directive.
 var ErrDrop = &Analyzer{
 	Name: "errdrop",
 	Doc:  "forbid discarded error returns outside tests",
@@ -91,6 +94,22 @@ func (p *Package) blankedErrors(as *ast.AssignStmt) []Diagnostic {
 // returnsError resolves whether the called function's last result is an
 // error, returning a printable name for diagnostics.
 func (p *Package) returnsError(call *ast.CallExpr) (string, bool) {
+	if p.TypesInfo != nil {
+		fn := p.calleeOf(call)
+		// Dynamic calls and non-repo callees are out of scope; see the
+		// analyzer doc.
+		if fn == nil || !isRepoObject(fn) || !lastResultIsError(fn) {
+			return "", false
+		}
+		name := fn.Name()
+		switch callee := unparen(call.Fun).(type) {
+		case *ast.SelectorExpr:
+			name = printableSelector(callee)
+		case *ast.Ident:
+			name = callee.Name
+		}
+		return name, true
+	}
 	switch fn := unparen(call.Fun).(type) {
 	case *ast.Ident:
 		if p.Index.ErrFuncs[fn.Name] {

@@ -20,10 +20,21 @@ var floatCmpScope = []string{
 // costs are branch-weighted sums, so two mathematically equal values
 // rarely compare equal; use the helpers in internal/floats (floats.Eq,
 // floats.Zero, floats.One) or an explicit <=/>= against a bound instead.
+// In typed mode operands resolve exactly (named float types, inferred
+// locals); fallback mode uses the heuristic index.
 var FloatCmp = &Analyzer{
 	Name: "floatcmp",
 	Doc:  "forbid ==/!= between float64 expressions in the numeric packages",
 	Run:  runFloatCmp,
+}
+
+// floatOperand resolves whether an expression is float-kinded, typed
+// where available.
+func (p *Package) floatOperand(e ast.Expr) bool {
+	if isFloat, ok := p.typedFloat(e); ok {
+		return isFloat
+	}
+	return p.isFloatExpr(e)
 }
 
 func runFloatCmp(p *Package) []Diagnostic {
@@ -49,7 +60,7 @@ func runFloatCmp(p *Package) []Diagnostic {
 			if isIdentType(unparen(be.X), "nil") || isIdentType(unparen(be.Y), "nil") {
 				return true
 			}
-			if p.isFloatExpr(be.X) || p.isFloatExpr(be.Y) {
+			if p.floatOperand(be.X) || p.floatOperand(be.Y) {
 				out = append(out, p.diag("floatcmp", be.OpPos,
 					"exact float64 %s comparison; use floats.Eq/Zero/One (internal/floats) or an inequality with tolerance", be.Op))
 			}

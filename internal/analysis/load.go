@@ -98,6 +98,14 @@ func Load(root string, patterns []string) ([]*Package, error) {
 		NewIndex(p)
 		p.buildIgnores()
 	}
+	// The typed layer: best-effort go/types over the whole load, then the
+	// shared program view for cross-package passes. Packages that fail to
+	// type-check keep TypesInfo nil and fall back to the heuristic index.
+	typeCheckAll(fset, pkgs)
+	prog := &program{fset: fset, pkgs: pkgs}
+	for _, p := range pkgs {
+		p.prog = prog
+	}
 	return pkgs, nil
 }
 
@@ -116,7 +124,11 @@ func parseDir(fset *token.FileSet, root, dir string) (*Package, error) {
 	if rel == "." {
 		rel = ""
 	}
-	p := &Package{Fset: fset, RelPath: rel}
+	importPath := modulePath
+	if rel != "" {
+		importPath = modulePath + "/" + rel
+	}
+	p := &Package{Fset: fset, RelPath: rel, ImportPath: importPath}
 	for _, e := range entries {
 		if e.IsDir() || !strings.HasSuffix(e.Name(), ".go") {
 			continue

@@ -28,7 +28,7 @@ func runMapOrder(p *Package) []Diagnostic {
 	p.walkNonTest(func(_ int, f *ast.File) {
 		ast.Inspect(f, func(n ast.Node) bool {
 			rg, ok := n.(*ast.RangeStmt)
-			if !ok || !p.isMapExpr(rg.X) {
+			if !ok || !p.mapOperand(rg.X) {
 				return true
 			}
 			if why := orderDependent(rg.Body); why != "" {
@@ -39,6 +39,15 @@ func runMapOrder(p *Package) []Diagnostic {
 		})
 	})
 	return out
+}
+
+// mapOperand resolves whether the ranged expression is a map, typed where
+// available.
+func (p *Package) mapOperand(e ast.Expr) bool {
+	if isMap, ok := p.typedMap(e); ok {
+		return isMap
+	}
+	return p.isMapExpr(e)
 }
 
 // isMapExpr reports whether the ranged expression is recognizably a map:

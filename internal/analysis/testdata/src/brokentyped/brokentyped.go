@@ -1,0 +1,13 @@
+// Package brokentyped parses cleanly but fails type-checking (the
+// undefined type below), pinning the fallback contract: TypesInfo stays
+// nil and the syntactic analyzers still report.
+package brokentyped
+
+// broken is the deliberate type error; everything else is well-formed.
+var broken missingType // this identifier is defined nowhere
+
+func helper() error { return nil }
+
+func drop() {
+	helper() // want "errdrop: helper returns an error that is discarded"
+}

@@ -1,7 +1,12 @@
 // Command panictool is the panicpolicy golden fixture for binaries:
-// under cmd/ even a prefixed panic is forbidden.
+// under cmd/ even a prefixed panic is forbidden. The root context is
+// fine here — binaries own their lifecycle, so ctxbg stays silent.
 package main
 
+import "context"
+
 func main() {
+	ctx := context.Background()
+	_ = ctx
 	panic("main: binaries must report and exit instead") // want "binaries report errors and exit"
 }

@@ -1,0 +1,25 @@
+// Package ctxfix is the ctxbg golden fixture: a library package may not
+// mint root contexts — it threads the caller's.
+package ctxfix
+
+import "context"
+
+// Run detaches the work from the caller's cancellation: flagged.
+func Run() context.Context {
+	return context.Background() // want "ctxbg: context.Background outside cmd/ and package main"
+}
+
+// Later is a placeholder root, no better: flagged.
+func Later() context.Context {
+	return context.TODO() // want "ctxbg: context.TODO outside cmd/ and package main"
+}
+
+// Threaded accepts the caller's context, the sanctioned pattern.
+func Threaded(ctx context.Context) context.Context {
+	return ctx
+}
+
+// Base is a documented, justified default root.
+func Base() context.Context {
+	return context.Background() //acqlint:ignore ctxbg fixture: documented default root for the harness
+}

@@ -1,0 +1,98 @@
+// Package detfix is the detflow golden fixture. Its path contains
+// internal/plan, so it is in the declared-pure scope: every call path
+// from an exported function to a nondeterminism source is reported at
+// the entry point, and the sanctioned injection patterns (a now func
+// field, a *rand.Rand parameter, an audited //acqlint:pure assertion)
+// stay silent.
+package detfix
+
+import (
+	"math/rand"
+	"os"
+	"sync"
+	"time"
+)
+
+// Stamp reads the wall clock directly.
+func Stamp() int64 { // want "detflow: nondeterminism reachable from exported detfix.Stamp: detfix.Stamp -> time.Now (wall-clock read)"
+	return time.Now().UnixNano()
+}
+
+// Draw is tainted transitively through an unexported helper.
+func Draw() int { // want "detflow: nondeterminism reachable from exported detfix.Draw: detfix.Draw -> detfix.pick -> math/rand.Intn (process-global randomness)"
+	return pick(10)
+}
+
+func pick(n int) int {
+	return rand.Intn(n) // want "globalrand: global math/rand.Intn"
+}
+
+// Env reads the process environment.
+func Env() string { // want "detflow: nondeterminism reachable from exported detfix.Env: detfix.Env -> os.Getenv (environment/file/network I/O)"
+	return os.Getenv("ACQP_MODE")
+}
+
+// Keys leaks map iteration order into its ordered result; the loop is
+// flagged by maporder on its own line too.
+func Keys(m map[string]int) []string { // want "detflow: nondeterminism reachable from exported detfix.Keys: detfix.Keys -> map iteration order feeding ordered output (append)"
+	var out []string
+	for k := range m { // want "maporder: range over map with order-dependent body"
+		out = append(out, k)
+	}
+	return out
+}
+
+// clock reads time through an injected source.
+type clock struct {
+	now func() time.Time
+}
+
+// NewClock defeats the injection discipline by capturing time.Now itself
+// as the source value.
+func NewClock() clock { // want "detflow: nondeterminism reachable from exported detfix.NewClock: detfix.NewClock -> time.Now (wall-clock read), referenced as a value"
+	return clock{now: time.Now}
+}
+
+// Elapsed reads the clock only through the injected now func — a dynamic
+// call, not a call-graph edge, so it never taints.
+func (c clock) Elapsed(t0 time.Time) time.Duration {
+	return c.now().Sub(t0)
+}
+
+// Jitter draws from an injected, seeded generator: methods on a
+// *rand.Rand are the sanctioned pattern and are not sources.
+func Jitter(rng *rand.Rand) float64 {
+	return rng.Float64()
+}
+
+// Total is clean because fanOut carries an audited pure assertion.
+func Total(xs []float64) float64 {
+	return fanOut(xs)
+}
+
+// fanOut spawns one goroutine per element but folds the partials with an
+// order-independent reduction behind a Wait barrier.
+//
+//acqlint:pure order-independent reduction: every worker adds into one mutex-guarded sum and the result is read only after Wait
+func fanOut(xs []float64) float64 {
+	var mu sync.Mutex
+	var wg sync.WaitGroup
+	total := 0.0
+	for _, x := range xs {
+		wg.Add(1)
+		go func(v float64) {
+			defer wg.Done()
+			mu.Lock()
+			total += v
+			mu.Unlock()
+		}(x)
+	}
+	wg.Wait()
+	return total
+}
+
+// BuildStamp reads the clock deliberately; the suppression carries the
+// audit trail.
+func BuildStamp() int64 { //acqlint:ignore detflow fixture: deliberate, documented wall-clock read
+	return time.Now().UnixNano()
+}

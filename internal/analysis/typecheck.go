@@ -1,0 +1,219 @@
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/build"
+	"go/importer"
+	"go/token"
+	"go/types"
+	"path/filepath"
+	"sync"
+)
+
+// The typed layer. Load attempts to type-check every package it parsed
+// using stdlib go/types: repo-internal imports resolve against the other
+// packages of the same load, standard-library imports are type-checked
+// from GOROOT source by a shared go/importer "source"-mode importer (no
+// compiled export data, no external tooling, works offline on any box
+// with a Go toolchain). Type-checking is strictly best-effort: a package
+// that fails — a golden fixture with deliberate type errors, a partial
+// load whose dependencies were not named, a stdlib package the source
+// importer cannot process — keeps TypesInfo nil and every analyzer falls
+// back to the PR-1 syntactic heuristics for it. Analyzers therefore never
+// assume types; they ask the typed helpers below, which degrade
+// gracefully.
+
+// stdImporterState is the process-wide source importer for standard
+// library packages. It is shared across Load calls so the (substantial,
+// one-time) cost of type-checking fmt/net/http/... from source is paid
+// once per process; srcimporter instances are not documented
+// concurrency-safe, so every use holds the mutex. It owns a private
+// FileSet — stdlib positions never surface in diagnostics, so they need
+// not be comparable with package positions.
+var stdImporterState struct {
+	once sync.Once
+	mu   sync.Mutex
+	imp  types.Importer
+}
+
+func stdlibImport(path string) (*types.Package, error) {
+	stdImporterState.once.Do(func() {
+		stdImporterState.imp = importer.ForCompiler(token.NewFileSet(), "source", nil)
+	})
+	stdImporterState.mu.Lock()
+	defer stdImporterState.mu.Unlock()
+	return stdImporterState.imp.Import(path)
+}
+
+// typeChecker type-checks one load's packages in dependency order. It is
+// the types.Importer handed to go/types: repo import paths resolve to
+// sibling packages (checking them on demand), everything else goes to the
+// shared stdlib importer.
+type typeChecker struct {
+	fset   *token.FileSet
+	byPath map[string]*Package
+	// state guards against import cycles: 0 unseen, 1 in progress, 2 done.
+	state map[string]int
+}
+
+// typeCheckAll annotates every package with TypesPkg/TypesInfo, or
+// records TypeErr and leaves them nil when checking fails.
+func typeCheckAll(fset *token.FileSet, pkgs []*Package) {
+	tc := &typeChecker{
+		fset:   fset,
+		byPath: make(map[string]*Package, len(pkgs)),
+		state:  make(map[string]int, len(pkgs)),
+	}
+	for _, p := range pkgs {
+		tc.byPath[p.ImportPath] = p
+	}
+	for _, p := range pkgs {
+		//acqlint:ignore errdrop best-effort by design: the error is recorded on p.TypeErr and the package falls back to syntactic mode
+		tc.check(p)
+	}
+}
+
+func (tc *typeChecker) Import(path string) (*types.Package, error) {
+	if p, ok := tc.byPath[path]; ok {
+		if err := tc.check(p); err != nil {
+			return nil, err
+		}
+		return p.TypesPkg, nil
+	}
+	if isRepoImport(path) {
+		// A repo package outside this load (partial pattern): do not let
+		// the stdlib importer hunt for it in GOPATH.
+		return nil, fmt.Errorf("package %s is not part of this load", path)
+	}
+	return stdlibImport(path)
+}
+
+func (tc *typeChecker) check(p *Package) error {
+	switch tc.state[p.ImportPath] {
+	case 2:
+		return p.TypeErr
+	case 1:
+		return fmt.Errorf("import cycle through %s", p.ImportPath)
+	}
+	tc.state[p.ImportPath] = 1
+	defer func() { tc.state[p.ImportPath] = 2 }()
+
+	// Honor build constraints for the type-check file set: the parser keeps
+	// every file (so syntactic analyzers still see both halves of a
+	// //go:build pair), but type-checking both race_on.go and race_off.go
+	// would redeclare their shared names. Files the default build context
+	// excludes simply carry no type information.
+	var files []*ast.File
+	p.walkNonTest(func(_ int, f *ast.File) {
+		name := tc.fset.Position(f.Package).Filename
+		if match, err := build.Default.MatchFile(filepath.Dir(name), filepath.Base(name)); err == nil && !match {
+			return
+		}
+		files = append(files, f)
+	})
+	if len(files) == 0 {
+		p.TypeErr = fmt.Errorf("no non-test files in %s", p.ImportPath)
+		return p.TypeErr
+	}
+	info := &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+		Implicits:  make(map[ast.Node]types.Object),
+		Instances:  make(map[*ast.Ident]types.Instance),
+	}
+	conf := types.Config{Importer: tc}
+	tpkg, err := conf.Check(p.ImportPath, tc.fset, files, info)
+	if err != nil {
+		// All or nothing: partial type information would make analyzer
+		// behavior depend on *where* checking failed. Fall back cleanly.
+		p.TypeErr = err
+		return err
+	}
+	p.TypesPkg, p.TypesInfo = tpkg, info
+	return nil
+}
+
+// calleeOf resolves the statically-called function or method of a call
+// expression, nil when the package is untyped or the call is dynamic (a
+// func-typed variable, field, or parameter — exactly the injected escape
+// hatches detflow treats as sanitized). Generic instantiations resolve to
+// their origin.
+func (p *Package) calleeOf(call *ast.CallExpr) *types.Func {
+	if p.TypesInfo == nil {
+		return nil
+	}
+	fun := unparen(call.Fun)
+	// Unwrap explicit instantiations: f[int](x).
+	switch ix := fun.(type) {
+	case *ast.IndexExpr:
+		fun = unparen(ix.X)
+	case *ast.IndexListExpr:
+		fun = unparen(ix.X)
+	}
+	var obj types.Object
+	switch fn := fun.(type) {
+	case *ast.Ident:
+		obj = p.TypesInfo.Uses[fn]
+	case *ast.SelectorExpr:
+		obj = p.TypesInfo.Uses[fn.Sel]
+	}
+	if f, ok := obj.(*types.Func); ok {
+		return f.Origin()
+	}
+	return nil
+}
+
+// isRepoObject reports whether the object was declared in a package of
+// this module (as opposed to the standard library).
+func isRepoObject(obj types.Object) bool {
+	return obj != nil && obj.Pkg() != nil && isRepoImport(obj.Pkg().Path())
+}
+
+// typedFloat classifies an expression as float-kinded under full type
+// information; ok is false when the package is untyped and the caller
+// should fall back to the heuristic index.
+func (p *Package) typedFloat(e ast.Expr) (isFloat, ok bool) {
+	if p.TypesInfo == nil {
+		return false, false
+	}
+	tv, found := p.TypesInfo.Types[e]
+	if !found || tv.Type == nil {
+		return false, true
+	}
+	b, isBasic := tv.Type.Underlying().(*types.Basic)
+	return isBasic && b.Info()&types.IsFloat != 0, true
+}
+
+// typedMap classifies an expression as map-typed under full type
+// information; ok is false when the package is untyped.
+func (p *Package) typedMap(e ast.Expr) (isMap, ok bool) {
+	if p.TypesInfo == nil {
+		return false, false
+	}
+	tv, found := p.TypesInfo.Types[e]
+	if !found || tv.Type == nil {
+		return false, true
+	}
+	_, isM := tv.Type.Underlying().(*types.Map)
+	return isM, true
+}
+
+// errorType is the universe error interface, for signature checks.
+var errorType = types.Universe.Lookup("error").Type()
+
+// lastResultIsError reports whether the function's final result is the
+// error type.
+func lastResultIsError(fn *types.Func) bool {
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok {
+		return false
+	}
+	res := sig.Results()
+	if res.Len() == 0 {
+		return false
+	}
+	return types.Identical(res.At(res.Len()-1).Type(), errorType)
+}

@@ -1,0 +1,172 @@
+package analysis
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// findPkg returns the loaded package whose RelPath ends with suffix.
+func findPkg(t *testing.T, pkgs []*Package, suffix string) *Package {
+	t.Helper()
+	for _, p := range pkgs {
+		if p.RelPath == suffix || strings.HasSuffix(p.RelPath, "/"+suffix) {
+			return p
+		}
+	}
+	t.Fatalf("package %q not in load", suffix)
+	return nil
+}
+
+// TestTypedFallback pins the all-or-nothing contract: a package that
+// fails type-checking keeps TypesInfo nil (and records why), while its
+// siblings in the same load stay fully typed — and, per the golden test,
+// its syntactic diagnostics still fire.
+func TestTypedFallback(t *testing.T) {
+	pkgs, _ := loadFixtures(t)
+	broken := findPkg(t, pkgs, "brokentyped")
+	if broken.TypesInfo != nil || broken.TypesPkg != nil {
+		t.Errorf("brokentyped type-checked; its fixture type error went undetected")
+	}
+	if broken.TypeErr == nil || !strings.Contains(broken.TypeErr.Error(), "missingType") {
+		t.Errorf("brokentyped TypeErr = %v, want the missingType failure", broken.TypeErr)
+	}
+	for _, suffix := range []string{"detfix", "ctxfix", "errfix"} {
+		if p := findPkg(t, pkgs, suffix); p.TypesInfo == nil {
+			t.Errorf("%s lost type information (TypeErr: %v); one broken package must not degrade the load", suffix, p.TypeErr)
+		}
+	}
+}
+
+// TestPurePackagesTyped guards detflow's coverage: the taint pass only
+// sees type-checked packages, so every declared-pure package (and every
+// package they pull in) must type-check when the repo tree is loaded. A
+// regression here would silence detflow without failing any fixture.
+func TestPurePackagesTyped(t *testing.T) {
+	pkgs, err := Load(filepath.Join("..", ".."), []string{"./..."})
+	if err != nil {
+		t.Fatalf("Load repo: %v", err)
+	}
+	for _, p := range pkgs {
+		if p.TypesInfo == nil {
+			t.Errorf("%s fell back to syntactic mode: %v", p.ImportPath, p.TypeErr)
+		}
+	}
+}
+
+// TestDriverDeterminism runs two independent loads of the fixture tree
+// through the parallel driver and requires byte-identical rendered
+// output — the property the paper's experiment scripts rely on when they
+// diff lint reports across runs.
+func TestDriverDeterminism(t *testing.T) {
+	render := func() string {
+		pkgs, err := Load(filepath.Join("testdata", "src"), []string{"./..."})
+		if err != nil {
+			t.Fatalf("Load: %v", err)
+		}
+		var b strings.Builder
+		for _, d := range RunAll(pkgs, Analyzers()) {
+			b.WriteString(d.String())
+			b.WriteByte('\n')
+		}
+		return b.String()
+	}
+	first := render()
+	if first == "" {
+		t.Fatal("fixture run produced no diagnostics; determinism check is vacuous")
+	}
+	for i := 0; i < 3; i++ {
+		if got := render(); got != first {
+			t.Fatalf("run %d differs from first run\nfirst:\n%s\ngot:\n%s", i+2, first, got)
+		}
+	}
+}
+
+// TestDetflowMutation is the seeded-mutation acceptance check: copy the
+// planner core (internal/opt and its repo dependency closure) into a
+// scratch tree, introduce a transitive wall-clock read, and require
+// exactly one detflow diagnostic naming the full call path.
+func TestDetflowMutation(t *testing.T) {
+	// go list -deps ./internal/opt, repo packages only.
+	closure := []string{
+		"internal/floats", "internal/schema", "internal/query",
+		"internal/table", "internal/stats", "internal/plan",
+		"internal/trace", "internal/opt",
+	}
+	root := t.TempDir()
+	repo := filepath.Join("..", "..")
+	for _, dir := range closure {
+		dst := filepath.Join(root, dir)
+		if err := os.MkdirAll(dst, 0o755); err != nil {
+			t.Fatal(err)
+		}
+		entries, err := os.ReadDir(filepath.Join(repo, dir))
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, e := range entries {
+			name := e.Name()
+			if e.IsDir() || !strings.HasSuffix(name, ".go") || strings.HasSuffix(name, "_test.go") {
+				continue
+			}
+			data, err := os.ReadFile(filepath.Join(repo, dir, name))
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := os.WriteFile(filepath.Join(dst, name), data, 0o644); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	mutation := `package opt
+
+import "time"
+
+func wallClock() time.Time { return time.Now() }
+
+// SeedMutation hides a wall-clock read two calls deep.
+func SeedMutation() float64 { return float64(wallClock().Nanosecond()) }
+`
+	if err := os.WriteFile(filepath.Join(root, "internal/opt/zz_mutation.go"), []byte(mutation), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	pkgs, err := Load(root, []string{"./..."})
+	if err != nil {
+		t.Fatalf("Load mutated tree: %v", err)
+	}
+	if p := findPkg(t, pkgs, "internal/opt"); p.TypesInfo == nil {
+		t.Fatalf("mutated internal/opt fell back to syntactic mode: %v", p.TypeErr)
+	}
+	diags := RunAll(pkgs, []*Analyzer{DetFlow})
+	if len(diags) != 1 {
+		t.Fatalf("got %d detflow diagnostics, want exactly 1:\n%v", len(diags), diags)
+	}
+	const path = "opt.SeedMutation -> opt.wallClock -> time.Now (wall-clock read)"
+	if !strings.Contains(diags[0].Message, path) {
+		t.Errorf("diagnostic does not name the call path %q:\n%s", path, diags[0])
+	}
+	if !strings.HasSuffix(diags[0].Pos.Filename, "zz_mutation.go") {
+		t.Errorf("diagnostic anchored at %s, want the mutated entry point", diags[0].Pos.Filename)
+	}
+}
+
+// TestAnalyzerNameCompat pins the registry names: the detscope
+// subsumption kept tracedet and faultdet addressable (fixtures, -disable
+// flags, and ignore directives written against PR 4/5 keep working), and
+// the typed-era analyzers are present.
+func TestAnalyzerNameCompat(t *testing.T) {
+	names := make(map[string]bool)
+	for _, a := range Analyzers() {
+		names[a.Name] = true
+	}
+	for _, want := range []string{
+		"floatcmp", "globalrand", "maporder", "panicpolicy", "errdrop",
+		"condshare", "faultdet", "tracedet", "ctxbg", "detflow",
+	} {
+		if !names[want] {
+			t.Errorf("analyzer %q missing from registry", want)
+		}
+	}
+}

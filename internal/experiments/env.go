@@ -56,7 +56,7 @@ func (e *Env) ctx() context.Context {
 	if e.Ctx != nil {
 		return e.Ctx
 	}
-	return context.Background()
+	return context.Background() //acqlint:ignore ctxbg documented default when Env.Ctx is unset; callers opt in by leaving it nil
 }
 
 // TrainFrac is the fraction of each dataset used as the training window;

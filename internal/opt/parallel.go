@@ -146,6 +146,9 @@ func newGate(parallelism int, span *trace.Span) *gate {
 	return &gate{tokens: make(chan struct{}, parallelism-1), span: span}
 }
 
+// run dispatches fn to a pooled goroutine or inline.
+//
+//acqlint:pure completion order never reaches output: workers fold into the sharded memo and the plan chosen is the cost-minimal one regardless of arrival order (covered by TestExhaustiveParallelDeterminism / TestGreedyParallelDeterminism)
 func (g *gate) run(wg *sync.WaitGroup, fn func()) {
 	if g != nil {
 		select {

@@ -185,7 +185,7 @@ func New(cfg Config) (*Server, error) {
 		row = cfg.History.Row(r, row)
 		win.Push(row)
 	}
-	ctx, cancel := context.WithCancel(context.Background())
+	ctx, cancel := context.WithCancel(context.Background()) //acqlint:ignore ctxbg server-lifetime base context owned by the Server, cancelled in Close
 	s := &Server{
 		cfg:     cfg,
 		s:       cfg.Schema,

@@ -104,7 +104,7 @@ func (c Config) withDefaults() Config {
 		c.SplitPoints = 8
 	}
 	if c.Ctx == nil {
-		c.Ctx = context.Background()
+		c.Ctx = context.Background() //acqlint:ignore ctxbg documented default when Config.Ctx is unset; callers opt in by leaving it nil
 	}
 	return c
 }
