@@ -14,6 +14,13 @@
 #              planning-service request path)
 #   acqserved  an end-to-end smoke: boot the planning service on an
 #              ephemeral port, drive it with acqload, shut down cleanly
+#   cluster smoke boot three acqserved nodes on loopback with full peer
+#              lists, drive a seeded workload through every entry node,
+#              and gate on the cluster invariants: replaying the query
+#              pool through all nodes adds zero planner runs (rendezvous
+#              sharding + forwarding = cluster-wide singleflight) and a
+#              forced refresh on one node reaches every peer's epoch via
+#              gossip; teed to results/cluster-smoke.txt
 #   chaos smoke rerun the exec fault-policy tests and the seeded
 #              lossy-sensornet simulation, then regenerate the faults
 #              figure (which self-checks rate-zero equivalence,
@@ -58,7 +65,7 @@ go test -run='^$' -fuzz=FuzzServeRequest -fuzztime="${FUZZTIME:-5s}" ./internal/
 
 echo "== acqserved smoke"
 smokedir=$(mktemp -d)
-trap 'rm -rf "$smokedir"' EXIT
+trap 'jobs -p | xargs -r kill 2>/dev/null; rm -rf "$smokedir"' EXIT
 go build -o "$smokedir/acqserved" ./cmd/acqserved
 go build -o "$smokedir/acqload" ./cmd/acqload
 go run ./cmd/acqgen -dataset lab -rows 2000 -seed 1 -out "$smokedir/lab.csv"
@@ -82,6 +89,33 @@ fi
 kill -TERM "$serverpid"
 wait "$serverpid"
 grep -q "acqserved: done" "$smokedir/acqserved.log"
+
+echo "== cluster smoke"
+# Three nodes on fixed loopback ports, each configured with the full
+# peer list (self is filtered out). acqload waits for every /readyz,
+# drives the workload through random entry nodes, then -cluster-check
+# replays the pool through every node (must add zero planner runs) and
+# forces a refresh on node 1 (every peer's epoch must catch up via
+# gossip). Nodes shut down cleanly on TERM like the standalone smoke.
+cports="18471 18472 18473"
+cpeers="http://127.0.0.1:18471,http://127.0.0.1:18472,http://127.0.0.1:18473"
+cpids=""
+for port in $cports; do
+	"$smokedir/acqserved" -addr "127.0.0.1:$port" -peers "$cpeers" -gossip-interval 200ms \
+		-schema "hour:24:1,nodeid:45:1,voltage:16:1,light:32:100,temp:32:100,humidity:32:100" \
+		-data "$smokedir/lab.csv" >"$smokedir/cluster-$port.log" 2>&1 &
+	cpids="$cpids $!"
+done
+mkdir -p results
+"$smokedir/acqload" -targets "$cpeers" -wait-ready 15s \
+	-clients 8 -requests 16 -pool 12 -seed 3 -cluster-check | tee results/cluster-smoke.txt
+grep -q "cluster-check: singleflight OK" results/cluster-smoke.txt
+grep -q "cluster-check: epoch coherence OK" results/cluster-smoke.txt
+kill -TERM $cpids
+wait $cpids
+for port in $cports; do
+	grep -q "acqserved: done" "$smokedir/cluster-$port.log"
+done
 
 echo "== chaos smoke"
 # Fault-injection gate: the policy tests pin exact retry-cost accounting

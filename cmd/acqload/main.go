@@ -12,6 +12,15 @@
 // from /stats), so acqload needs no schema flag. A pool much smaller than
 // clients*requests exercises the plan cache and singleflight; -pool 0
 // makes every request distinct (all cache misses).
+//
+// Against a cluster, -targets takes a comma-separated list of node URLs
+// and every request picks a random entry node; -wait-ready polls each
+// target's /readyz first, and -cluster-check verifies the cluster
+// invariants after the workload: replaying the whole pool through every
+// entry node adds zero planner runs (each distinct query was planned
+// once cluster-wide and is served from its owner's cache), and a forced
+// refresh on one node converges every target to the new statistics
+// epoch via gossip.
 package main
 
 import (
@@ -65,12 +74,35 @@ func main() {
 	timeoutMS := flag.Int("timeout-ms", 0, "per-request planning deadline to send (0 = server default)")
 	execute := flag.Bool("execute", false, "POST /execute instead of /plan")
 	maxRetries := flag.Int("max-retries", 3, "retries per request when the server sheds load with 503")
+	targetsFlag := flag.String("targets", "", "comma-separated acqserved base URLs; each request picks a random entry node (overrides -addr)")
+	waitReady := flag.Duration("wait-ready", 0, "poll every target's /readyz until ready, up to this long, before driving load")
+	clusterCheck := flag.Bool("cluster-check", false, "after the workload, verify the cluster's single-planner-run and epoch-coherence invariants")
 	flag.Parse()
 	if *clients < 1 || *requests < 1 {
 		fatal(fmt.Errorf("need at least one client and one request"))
 	}
 
-	schema, err := fetchSchema(*addr)
+	targets := []string{strings.TrimSuffix(*addr, "/")}
+	if *targetsFlag != "" {
+		targets = targets[:0]
+		for _, t := range strings.Split(*targetsFlag, ",") {
+			t = strings.TrimSuffix(strings.TrimSpace(t), "/")
+			if t != "" {
+				targets = append(targets, t)
+			}
+		}
+		if len(targets) == 0 {
+			fatal(fmt.Errorf("-targets lists no URLs"))
+		}
+	}
+	if *waitReady > 0 {
+		if err := awaitReady(targets, *waitReady); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("acqload: %d target(s) ready\n", len(targets))
+	}
+
+	schema, err := fetchSchema(targets[0])
 	if err != nil {
 		fatal(err)
 	}
@@ -86,9 +118,9 @@ func main() {
 		queries[i] = randomQuery(rng, schema)
 	}
 
-	endpoint := *addr + "/plan"
+	path := "/plan"
 	if *execute {
-		endpoint = *addr + "/execute"
+		path = "/execute"
 	}
 	var (
 		wg        sync.WaitGroup
@@ -117,6 +149,7 @@ func main() {
 				body, _ := json.Marshal(map[string]any{
 					"sql": q, "planner": *planner, "timeout_ms": *timeoutMS,
 				})
+				endpoint := targets[crng.Intn(len(targets))] + path
 				t0 := time.Now()
 				status, raw, tries, err := postWithRetry(endpoint, body, *maxRetries, crng)
 				retries.Add(int64(tries))
@@ -153,7 +186,8 @@ func main() {
 	}
 	sort.Float64s(all)
 	total := *clients * *requests
-	fmt.Printf("acqload: %d clients x %d requests against %s (pool %d)\n", *clients, *requests, endpoint, n)
+	fmt.Printf("acqload: %d clients x %d requests against %s (pool %d)\n",
+		*clients, *requests, strings.Join(targets, ","), n)
 	fmt.Printf("  %d ok, %d errors, %d retries in %.2fs (%.0f req/s)\n",
 		total-int(errs.Load()), errs.Load(), retries.Load(), elapsed.Seconds(), float64(total)/elapsed.Seconds())
 	if len(all) > 0 {
@@ -163,13 +197,147 @@ func main() {
 	fmt.Printf("  client-observed: %d cached, %d shared, %d degraded\n",
 		cached.Load(), shared.Load(), degraded.Load())
 
-	if st, err := fetchStats(*addr); err == nil {
-		fmt.Printf("  server: epoch %d, %d cache entries, hit rate %.1f%%, %d planner calls, %d shed\n",
-			st.Epoch, st.CacheEntries, 100*st.CacheHitRate, st.PlannerCalls, st.ShedRequests)
+	for _, target := range targets {
+		if st, err := fetchStats(target); err == nil {
+			fmt.Printf("  server %s: epoch %d, %d cache entries, hit rate %.1f%%, %d planner calls, %d shed\n",
+				target, st.Epoch, st.CacheEntries, 100*st.CacheHitRate, st.PlannerCalls, st.ShedRequests)
+		}
 	}
 	if errs.Load() > 0 {
 		os.Exit(1)
 	}
+	if *clusterCheck {
+		if err := runClusterCheck(targets, queries, path, *planner, *timeoutMS, *maxRetries, *seed); err != nil {
+			fatal(err)
+		}
+	}
+}
+
+// awaitReady polls every target's /readyz until it answers 200 or the
+// budget runs out.
+func awaitReady(targets []string, budget time.Duration) error {
+	deadline := time.Now().Add(budget)
+	for _, target := range targets {
+		for {
+			resp, err := http.Get(target + "/readyz")
+			ready := false
+			var detail string
+			if err != nil {
+				detail = err.Error()
+			} else {
+				body, _ := io.ReadAll(io.LimitReader(resp.Body, 4096))
+				resp.Body.Close()
+				ready = resp.StatusCode == http.StatusOK
+				detail = strings.TrimSpace(string(body))
+			}
+			if ready {
+				break
+			}
+			if time.Now().After(deadline) {
+				return fmt.Errorf("target %s not ready after %v: %s", target, budget, detail)
+			}
+			time.Sleep(100 * time.Millisecond)
+		}
+	}
+	return nil
+}
+
+// plannerCallsTotal sums planner invocations across the targets — for a
+// cluster, the number of planner runs cluster-wide.
+func plannerCallsTotal(targets []string) (int64, error) {
+	var total int64
+	for _, target := range targets {
+		st, err := fetchStats(target)
+		if err != nil {
+			return 0, err
+		}
+		total += st.PlannerCalls
+	}
+	return total, nil
+}
+
+// runClusterCheck verifies the two cluster invariants a black-box
+// driver can see:
+//
+//  1. Single planner run cluster-wide: replaying the entire query pool
+//     through every entry node must add zero planner calls — each
+//     distinct canonical query was planned once, on its shard owner,
+//     and every replay is a cache hit or a forward to one.
+//  2. Epoch coherence: a forced statistics refresh on one node must
+//     propagate its new epoch to every target via gossip.
+//
+// The replay runs before the refresh, since the refresh purges every
+// cache the replay relies on.
+func runClusterCheck(targets, queries []string, path, planner string, timeoutMS, maxRetries int, seed int64) error {
+	rng := rand.New(rand.NewSource(seed + 0x5f3759df))
+	base, err := plannerCallsTotal(targets)
+	if err != nil {
+		return fmt.Errorf("cluster-check: %v", err)
+	}
+	for _, q := range queries {
+		for _, target := range targets {
+			body, _ := json.Marshal(map[string]any{
+				"sql": q, "planner": planner, "timeout_ms": timeoutMS,
+			})
+			status, raw, _, err := postWithRetry(target+path, body, maxRetries, rng)
+			if err != nil {
+				return fmt.Errorf("cluster-check: replay via %s: %v", target, err)
+			}
+			if status != http.StatusOK {
+				return fmt.Errorf("cluster-check: replay via %s: status %d: %s", target, status, raw)
+			}
+		}
+	}
+	after, err := plannerCallsTotal(targets)
+	if err != nil {
+		return fmt.Errorf("cluster-check: %v", err)
+	}
+	if after != base {
+		return fmt.Errorf("cluster-check: replaying %d queries through %d entry nodes added %d planner runs, want 0 (cluster-wide singleflight broken)",
+			len(queries), len(targets), after-base)
+	}
+	fmt.Printf("cluster-check: singleflight OK (%d planner runs for %d pool queries, full replay added 0)\n", base, len(queries))
+
+	refreshed, err := forceRefresh(targets[0])
+	if err != nil {
+		return fmt.Errorf("cluster-check: %v", err)
+	}
+	deadline := time.Now().Add(10 * time.Second)
+	for _, target := range targets {
+		for {
+			st, err := fetchStats(target)
+			if err == nil && st.Epoch >= refreshed {
+				break
+			}
+			if time.Now().After(deadline) {
+				return fmt.Errorf("cluster-check: target %s never reached epoch %d (gossip epoch propagation broken)", target, refreshed)
+			}
+			time.Sleep(100 * time.Millisecond)
+		}
+	}
+	fmt.Printf("cluster-check: epoch coherence OK (all %d targets at epoch >= %d after one forced refresh)\n", len(targets), refreshed)
+	return nil
+}
+
+// forceRefresh POSTs a forced /refresh to one node and returns the new
+// epoch.
+func forceRefresh(target string) (uint64, error) {
+	resp, err := http.Post(target+"/refresh", "application/json", strings.NewReader(`{"force":true}`))
+	if err != nil {
+		return 0, err
+	}
+	defer resp.Body.Close()
+	var rr struct {
+		Refreshed bool   `json:"refreshed"`
+		Epoch     uint64 `json:"epoch"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&rr); err != nil {
+		return 0, fmt.Errorf("POST /refresh: %v", err)
+	}
+	if resp.StatusCode != http.StatusOK || !rr.Refreshed {
+		return 0, fmt.Errorf("POST /refresh: status %d, refreshed=%v", resp.StatusCode, rr.Refreshed)
+	}
+	return rr.Epoch, nil
 }
 
 // randomQuery builds a conjunctive TinyDB-style statement over 1-3 random

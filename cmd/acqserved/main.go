@@ -9,12 +9,22 @@
 //	          -data history.csv [-addr :8077] [-cache 256] \
 //	          [-workers 0] [-queue 0] [-timeout 2s] \
 //	          [-window 4096] [-refresh 30s] [-drift 0.05] \
-//	          [-access-log] [-debug-addr localhost:6060]
+//	          [-access-log] [-debug-addr localhost:6060] \
+//	          [-peers http://h1:8077,http://h2:8077] [-advertise URL] \
+//	          [-gossip-interval 1s] [-fail-after 3] [-cluster-seed 1]
 //
 // Endpoints: POST /plan, /execute, /ingest, /refresh; GET /stats,
-// /metrics (Prometheus text), /healthz. See internal/serve for the
-// request and response schemas. Pass -addr :0 to bind an ephemeral port;
-// the chosen address is printed on the "listening" line.
+// /metrics (Prometheus text), /healthz, /readyz. See internal/serve for
+// the request and response schemas. Pass -addr :0 to bind an ephemeral
+// port; the chosen address is printed on the "listening" line.
+//
+// With -peers (or -advertise), the process joins a sharded planning
+// cluster: each canonical query has one rendezvous-hashed shard owner
+// that plans and caches it, other nodes forward /v1/plan to it, and
+// statistics epochs stay coherent across nodes via gossip (GET
+// /v1/cluster shows the membership view). -advertise is the URL peers
+// reach this node at; it defaults from the bound address when that
+// address names a concrete host.
 package main
 
 import (
@@ -49,6 +59,11 @@ func main() {
 	parallelism := flag.Int("parallelism", 0, "default planner worker count per request (0 = 1, capped at GOMAXPROCS)")
 	accessLog := flag.Bool("access-log", false, "write one structured log line per request to stderr")
 	debugAddr := flag.String("debug-addr", "", "optional separate listener for net/http/pprof (e.g. localhost:6060); disabled when empty")
+	peers := flag.String("peers", "", "comma-separated peer base URLs; joins a sharded planning cluster when set")
+	advertise := flag.String("advertise", "", "URL peers reach this node at (default: derived from the bound address when it names a concrete host)")
+	gossipInterval := flag.Duration("gossip-interval", time.Second, "cluster heartbeat/anti-entropy cadence")
+	failAfter := flag.Int("fail-after", 3, "consecutive failed exchanges before a peer is declared dead")
+	clusterSeed := flag.Uint64("cluster-seed", 1, "seed for the deterministic gossip jitter")
 	flag.Parse()
 
 	if *schemaSpec == "" || *dataPath == "" {
@@ -69,6 +84,13 @@ func main() {
 		fatal(err)
 	}
 
+	// Listen before building the server: when clustering, the advertised
+	// URL defaults from the address actually bound.
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		fatal(err)
+	}
+
 	cfg := serve.Config{
 		Schema:          s,
 		History:         tbl,
@@ -84,12 +106,24 @@ func main() {
 	if *accessLog {
 		cfg.AccessLog = os.Stderr
 	}
-	srv, err := serve.New(cfg)
-	if err != nil {
-		fatal(err)
+	if *peers != "" || *advertise != "" {
+		self, err := advertiseURL(*advertise, ln.Addr())
+		if err != nil {
+			fatal(err)
+		}
+		cfg.Cluster = &serve.ClusterConfig{
+			Self:           self,
+			Peers:          splitPeers(*peers),
+			GossipInterval: *gossipInterval,
+			FailAfter:      *failAfter,
+			Seed:           *clusterSeed,
+			Logf: func(format string, args ...any) {
+				fmt.Fprintf(os.Stderr, "acqserved: "+format+"\n", args...)
+			},
+		}
+		fmt.Printf("acqserved: cluster node %s, %d seed peer(s)\n", self, len(cfg.Cluster.Peers))
 	}
-
-	ln, err := net.Listen("tcp", *addr)
+	srv, err := serve.New(cfg)
 	if err != nil {
 		fatal(err)
 	}
@@ -151,6 +185,38 @@ func main() {
 		fatal(err)
 	}
 	fmt.Println("acqserved: done")
+}
+
+// advertiseURL resolves the URL peers use to reach this node: the
+// explicit -advertise value when given, otherwise derived from the
+// bound address — which only works when that address names a concrete
+// host (listening on ":8077" binds every interface, and peers cannot
+// dial "[::]").
+func advertiseURL(flagValue string, bound net.Addr) (string, error) {
+	if flagValue != "" {
+		return strings.TrimSuffix(flagValue, "/"), nil
+	}
+	host, port, err := net.SplitHostPort(bound.String())
+	if err != nil {
+		return "", fmt.Errorf("cluster: cannot derive -advertise from %q: %v", bound, err)
+	}
+	if ip := net.ParseIP(host); ip == nil || ip.IsUnspecified() {
+		return "", fmt.Errorf("cluster: -advertise required when listening on %q (no concrete host to advertise)", bound)
+	}
+	return "http://" + net.JoinHostPort(host, port), nil
+}
+
+// splitPeers parses the -peers list, dropping empties and trailing
+// slashes so URL identity comparisons are exact.
+func splitPeers(spec string) []string {
+	var peers []string
+	for _, p := range strings.Split(spec, ",") {
+		p = strings.TrimSuffix(strings.TrimSpace(p), "/")
+		if p != "" {
+			peers = append(peers, p)
+		}
+	}
+	return peers
 }
 
 func parseSchema(spec string) (*acqp.Schema, error) {

@@ -66,9 +66,10 @@ type Analyzer struct {
 	Run func(p *Package) []Diagnostic
 }
 
-// Analyzers returns the full suite in reporting order. FaultDet and
-// TraceDet are detscope instances (see detscope.go) kept under their
-// original names; CtxBg and DetFlow are the typed-era additions.
+// Analyzers returns the full suite in reporting order. FaultDet,
+// TraceDet, and ClusterDet are detscope instances (see detscope.go) —
+// the first two kept under their original names; CtxBg and DetFlow are
+// the typed-era additions.
 func Analyzers() []*Analyzer {
 	return []*Analyzer{
 		FloatCmp,
@@ -79,6 +80,7 @@ func Analyzers() []*Analyzer {
 		CondShare,
 		FaultDet,
 		TraceDet,
+		ClusterDet,
 		CtxBg,
 		DetFlow,
 	}

@@ -42,13 +42,22 @@ var detScopes = []detScope{
 		randWhy:  "tracing must be deterministic under a test clock",
 		clockWhy: "read the clock through the injected now func() time.Time",
 	},
+	{
+		name:     "clusterdet",
+		dir:      "internal/cluster",
+		doc:      "forbid math/rand and wall-clock reads in internal/cluster; heartbeats and gossip jitter must replay from Config.Seed and the injected Config.Now",
+		randWhy:  "derive gossip jitter from Config.Seed via the counter-based splitmix64 hash",
+		clockWhy: "read the clock through the injected Config.Now so multi-node tests are deterministic",
+	},
 }
 
-// FaultDet and TraceDet are the detscope instances for internal/fault and
-// internal/trace, under their PR-4/PR-5 names.
+// FaultDet, TraceDet, and ClusterDet are the detscope instances for
+// internal/fault, internal/trace (under their PR-4/PR-5 names), and
+// internal/cluster.
 var (
-	FaultDet = detScopes[0].analyzer()
-	TraceDet = detScopes[1].analyzer()
+	FaultDet   = detScopes[0].analyzer()
+	TraceDet   = detScopes[1].analyzer()
+	ClusterDet = detScopes[2].analyzer()
 )
 
 func (sc detScope) analyzer() *Analyzer {

@@ -1,0 +1,42 @@
+// Package clusterfix is the clusterdet golden fixture. Its path
+// contains internal/cluster, so it sits inside the analyzer's
+// seeded-gossip determinism scope.
+package clusterfix
+
+import (
+	"math/rand" // want "import of math/rand in internal/cluster"
+	"time"
+)
+
+func jitterWrong(base time.Duration, seed int64) time.Duration {
+	rng := rand.New(rand.NewSource(seed))
+	return time.Duration(float64(base) * (0.8 + 0.4*rng.Float64()))
+}
+
+func heartbeatAt() time.Time {
+	return time.Now() // want "wall-clock read time.Now"
+}
+
+func sinceLastSeen(t0 time.Time) time.Duration {
+	return time.Since(t0) // want "wall-clock read time.Since"
+}
+
+func untilDeadline(d time.Time) time.Duration {
+	return time.Until(d) // want "wall-clock read time.Until"
+}
+
+// jitterSeeded is the sanctioned pattern: jitter derived from a seed
+// and round counter via a counter-based hash, no clock or global rand.
+func jitterSeeded(base time.Duration, seed, round uint64) time.Duration {
+	x := seed ^ (round * 0x9e3779b97f4a7c15)
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	frac := float64(x>>11) / float64(uint64(1)<<53)
+	return time.Duration(float64(base) * (0.8 + 0.4*frac))
+}
+
+// lastSeen records an injected clock reading — timers may be built, the
+// clock just can't be read directly.
+func lastSeen(now func() time.Time) time.Time {
+	return now()
+}

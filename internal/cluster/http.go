@@ -1,0 +1,151 @@
+package cluster
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"sort"
+	"time"
+)
+
+// maxDigestBytes bounds gossip and introspection bodies; a digest is a
+// few dozen bytes per member, so 1 MiB is three orders of magnitude of
+// headroom.
+const maxDigestBytes = 1 << 20
+
+// MemberInfo is one row of the /v1/cluster introspection document.
+type MemberInfo struct {
+	URL      string `json:"url"`
+	State    string `json:"state"`
+	Epoch    uint64 `json:"epoch"`
+	Digest   string `json:"digest"`
+	Misses   int    `json:"misses,omitempty"`
+	LastSeen string `json:"last_seen,omitempty"` // RFC 3339, zero when never heard from
+}
+
+// Info is the /v1/cluster introspection document: this node's identity
+// and view, with members (self included) sorted by URL.
+type Info struct {
+	Self     string       `json:"self"`
+	Joined   bool         `json:"joined"`
+	Ready    bool         `json:"ready"`
+	Reason   string       `json:"reason,omitempty"`
+	MaxEpoch uint64       `json:"max_epoch"`
+	Members  []MemberInfo `json:"members"`
+}
+
+// Info returns the current introspection document.
+func (n *Node) Info() Info {
+	epoch := n.cfg.Local.Epoch()
+	dg := n.cfg.Local.StatsDigest()
+	ready, reason := n.Ready()
+	info := Info{Self: n.cfg.Self, Ready: ready, Reason: reason}
+	info.Members = append(info.Members, MemberInfo{
+		URL:    n.cfg.Self,
+		State:  stateAlive.String(),
+		Epoch:  epoch,
+		Digest: fmt.Sprintf("%016x", dg),
+	})
+	n.mu.Lock()
+	info.Joined = n.joined
+	info.MaxEpoch = n.maxEpoch
+	for _, u := range n.memberURLsLocked(nil) {
+		m := n.members[u]
+		mi := MemberInfo{
+			URL:    m.url,
+			State:  m.state.String(),
+			Epoch:  m.epoch,
+			Digest: fmt.Sprintf("%016x", m.digest),
+			Misses: m.misses,
+		}
+		if !m.lastSeen.IsZero() {
+			mi.LastSeen = m.lastSeen.UTC().Format(time.RFC3339Nano)
+		}
+		info.Members = append(info.Members, mi)
+	}
+	n.mu.Unlock()
+	sort.Slice(info.Members, func(i, j int) bool { return info.Members[i].URL < info.Members[j].URL })
+	return info
+}
+
+// leaveRequest is the /v1/cluster/leave body.
+type leaveRequest struct {
+	From string `json:"from"`
+}
+
+// ServeHTTP handles the cluster control endpoints. The serving layer
+// mounts it at /v1/cluster and below:
+//
+//	GET  /v1/cluster        — introspection (Info)
+//	POST /v1/cluster/join   — first-contact gossip exchange
+//	POST /v1/cluster/gossip — steady-state gossip exchange
+//	POST /v1/cluster/leave  — graceful departure announcement
+func (n *Node) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	switch r.URL.Path {
+	case "/v1/cluster":
+		if r.Method != http.MethodGet {
+			http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
+			return
+		}
+		writeJSON(w, n.Info())
+	case "/v1/cluster/join", "/v1/cluster/gossip":
+		if r.Method != http.MethodPost {
+			http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
+			return
+		}
+		var d wireDigest
+		if err := json.NewDecoder(io.LimitReader(r.Body, maxDigestBytes)).Decode(&d); err != nil {
+			http.Error(w, fmt.Sprintf("bad digest: %v", err), http.StatusBadRequest)
+			return
+		}
+		if r.URL.Path == "/v1/cluster/join" {
+			n.logf("cluster: join request from %s", d.From)
+		}
+		n.merge(d)
+		writeJSON(w, n.digest())
+	case "/v1/cluster/leave":
+		if r.Method != http.MethodPost {
+			http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
+			return
+		}
+		var lr leaveRequest
+		if err := json.NewDecoder(io.LimitReader(r.Body, maxDigestBytes)).Decode(&lr); err != nil {
+			http.Error(w, fmt.Sprintf("bad leave request: %v", err), http.StatusBadRequest)
+			return
+		}
+		n.markLeft(lr.From)
+		w.WriteHeader(http.StatusNoContent)
+	default:
+		http.NotFound(w, r)
+	}
+}
+
+// markLeft records a graceful departure: the peer stops owning shards
+// and stops being probed until it contacts us again (merge revives it).
+func (n *Node) markLeft(url string) {
+	if url == "" || url == n.cfg.Self {
+		return
+	}
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	m, ok := n.members[url]
+	if !ok {
+		return
+	}
+	if m.state != stateLeft {
+		n.logf("cluster: peer %s left", url)
+	}
+	m.state = stateLeft
+	m.misses = 0
+}
+
+func writeJSON(w http.ResponseWriter, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(v); err != nil {
+		// The header is already out; nothing to do but note it.
+		return
+	}
+}

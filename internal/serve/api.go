@@ -1,6 +1,7 @@
 package serve
 
 import (
+	"bytes"
 	"context"
 	"encoding/json"
 	"errors"
@@ -72,6 +73,11 @@ type planResponse struct {
 	PlanMS       float64 `json:"plan_ms"`
 	ElapsedMS    float64 `json:"elapsed_ms"`
 	RequestID    string  `json:"request_id,omitempty"`
+	// Node is the advertised URL of the node that did the planning work
+	// and Forwarded reports an internal shard-owner hop; both are empty
+	// when the server runs standalone.
+	Node      string `json:"node,omitempty"`
+	Forwarded bool   `json:"forwarded,omitempty"`
 	// Trace is present when the request set trace=true and a planner run
 	// actually happened (cache hits report no trace: no planner ran).
 	Trace *trace.Snapshot `json:"trace,omitempty"`
@@ -101,6 +107,22 @@ func decodeRequest(w http.ResponseWriter, r *http.Request, v any) error {
 		return err
 	}
 	return nil
+}
+
+// decodeRequestRaw is decodeRequest for handlers that may forward the
+// request to a peer: it returns the raw body alongside the strict
+// parse, so the forwarded hop carries the client's bytes verbatim.
+func decodeRequestRaw(w http.ResponseWriter, r *http.Request, v any) ([]byte, error) {
+	raw, err := io.ReadAll(http.MaxBytesReader(w, r.Body, maxBodyBytes))
+	if err != nil {
+		return nil, err
+	}
+	dec := json.NewDecoder(bytes.NewReader(raw))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(v); err != nil {
+		return nil, err
+	}
+	return raw, nil
 }
 
 // writeDecodeError maps a request-body decoding failure to a status: 413
@@ -167,7 +189,8 @@ func (s *Server) handlePlan(w http.ResponseWriter, r *http.Request) {
 	start := time.Now()
 
 	var req planRequest
-	if err := decodeRequest(w, r, &req); err != nil {
+	raw, err := decodeRequestRaw(w, r, &req)
+	if err != nil {
 		writeDecodeError(w, err)
 		return
 	}
@@ -190,11 +213,14 @@ func (s *Server) handlePlan(w http.ResponseWriter, r *http.Request) {
 		}
 	}
 	var out planOutcome
-	var cached, shared bool
+	var cached, shared, forwarded bool
+	var servedBy string
 	if trivial {
+		// Constant-answer plans are free; no node forwards them.
 		out = s.trivialOutcome(trivialResult, s.Epoch())
+		servedBy = s.clusterSelf
 	} else {
-		out, cached, shared, err = s.planCached(r.Context(), canon, p, req.NoCache, req.Faults != nil)
+		out, cached, shared, servedBy, forwarded, err = s.planRouted(r, canon, p, req, raw)
 		if err != nil {
 			writePlanError(w, err)
 			return
@@ -216,6 +242,8 @@ func (s *Server) handlePlan(w http.ResponseWriter, r *http.Request) {
 		PlanMS:       out.planMS,
 		ElapsedMS:    float64(time.Since(start)) / float64(time.Millisecond),
 		RequestID:    requestIDFrom(r.Context()),
+		Node:         servedBy,
+		Forwarded:    forwarded,
 		Trace:        out.traceSnap,
 	})
 }
@@ -234,7 +262,17 @@ func requestOutcome(degraded, hit bool) int {
 }
 
 func writePlanError(w http.ResponseWriter, err error) {
+	var re *remoteError
 	switch {
+	case errors.As(err, &re):
+		// A shard owner answered with an error; relay its verdict (and
+		// backpressure hint) untouched.
+		if re.retryAfter != "" {
+			w.Header().Set("Retry-After", re.retryAfter)
+		}
+		w.Header().Set("Content-Type", "application/json")
+		w.WriteHeader(re.status)
+		_, _ = w.Write(re.body)
 	case errors.Is(err, errShed):
 		w.Header().Set("Retry-After", "1")
 		writeError(w, http.StatusServiceUnavailable, "%v", err)
@@ -557,6 +595,9 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4")
 	n, max := s.cache.lens()
 	if err := s.metrics.write(w, s.Epoch(), n, max); err != nil {
+		return // client went away mid-write
+	}
+	if err := s.writeClusterMetrics(w); err != nil {
 		return // client went away mid-write
 	}
 }

@@ -1,0 +1,371 @@
+package serve
+
+import (
+	"bytes"
+	"context"
+	"encoding/binary"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"hash/fnv"
+	"io"
+	"math"
+	"net/http"
+	"sort"
+	"strconv"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"acqp/internal/cluster"
+	"acqp/internal/query"
+)
+
+// Clustered serving: N acqserved processes share the planning load by
+// rendezvous-hashing each canonical query to one shard owner. The owner
+// runs (and caches) the planner; every other node forwards /v1/plan to
+// it over an internal hop, so the exponential-cost planners run exactly
+// once cluster-wide per distinct query — the in-process singleflight
+// guarantee, extended across processes. Statistics epochs stay coherent
+// through internal/cluster's gossip: a drift refresh on one node bumps
+// every peer's epoch and purges their stale cache entries; the
+// distributions themselves remain local (each node re-learns from its
+// own window), which is safe because only a key's owner plans it.
+
+// ClusterConfig joins a Server to a planning cluster.
+type ClusterConfig struct {
+	// Self is the URL peers reach this node at (scheme://host:port, no
+	// trailing slash). Required.
+	Self string
+	// Peers are the other members' URLs (static seed list; more can join
+	// over HTTP).
+	Peers []string
+	// GossipInterval is the heartbeat/anti-entropy cadence. Zero means
+	// no background loop — tests drive the protocol by hand through the
+	// cluster.Node.
+	GossipInterval time.Duration
+	// FailAfter is the consecutive-failure threshold for declaring a
+	// peer dead. Default 3.
+	FailAfter int
+	// Seed makes the gossip jitter reproducible. Default 1.
+	Seed uint64
+	// ForwardTimeout bounds one forwarded planning request (and one
+	// gossip exchange). Default 5s.
+	ForwardTimeout time.Duration
+	// Logf receives membership transitions; nil silences them.
+	Logf func(format string, args ...any)
+}
+
+// Forwarding headers. Hops guards against routing loops: a request that
+// already took an internal hop is always planned where it lands, even
+// if membership views briefly diverge on who owns the key.
+const (
+	hopsHeader = "X-Acq-Cluster-Hops"
+	fromHeader = "X-Acq-Cluster-From"
+)
+
+// startCluster wires the cluster node into the server: routes, the
+// forwarding client, and the gossip loop (under baseCtx, so Shutdown
+// stops it).
+func (s *Server) startCluster(cc *ClusterConfig) error {
+	ft := cc.ForwardTimeout
+	if ft <= 0 {
+		ft = 5 * time.Second
+	}
+	client := &http.Client{Timeout: ft}
+	n, err := cluster.New(cluster.Config{
+		Self:           cc.Self,
+		Peers:          cc.Peers,
+		GossipInterval: cc.GossipInterval,
+		FailAfter:      cc.FailAfter,
+		Seed:           cc.Seed,
+		Now:            time.Now,
+		Client:         client,
+		Local:          s,
+		Logf:           cc.Logf,
+	})
+	if err != nil {
+		return err
+	}
+	s.cluster = n
+	s.clusterSelf = cc.Self
+	s.forwardClient = client
+	s.mux.Handle("/v1/cluster", n)
+	s.mux.Handle("/v1/cluster/", n)
+	n.Start(s.baseCtx)
+	return nil
+}
+
+// Server implements cluster.Local: the epoch accessor lives in
+// serve.go; StatsDigest and AdvanceTo follow.
+
+// StatsDigest hashes the current distribution's marginal histograms
+// (with the epoch folded in), giving gossip a cheap fingerprint that
+// distinguishes "same epoch, same statistics" from "same epoch,
+// diverged statistics" in cluster introspection.
+func (s *Server) StatsDigest() uint64 {
+	dist, epoch := s.snapshot()
+	root := dist.Root() // fresh conditioning context, private to this call
+	h := fnv.New64a()
+	var buf [8]byte
+	binary.LittleEndian.PutUint64(buf[:], epoch)
+	_, _ = h.Write(buf[:])
+	sch := dist.Schema()
+	for i := 0; i < sch.NumAttrs(); i++ {
+		for _, v := range root.Hist(i) {
+			binary.LittleEndian.PutUint64(buf[:], math.Float64bits(v))
+			_, _ = h.Write(buf[:])
+		}
+	}
+	return h.Sum64()
+}
+
+// AdvanceTo installs a statistics epoch learned from a peer: the local
+// epoch ratchets up to it and cache entries planned under older epochs
+// are purged — the cross-node half of the drift-invalidation story. The
+// distribution is deliberately left in place: epochs are the cluster's
+// cache-coherence clock, while distributions stay local to each node's
+// window (and only a key's owner plans it, so nodes never mix plans
+// from diverged statistics for the same key).
+func (s *Server) AdvanceTo(epoch uint64, from string) (uint64, int) {
+	s.mu.Lock()
+	if epoch <= s.epoch {
+		cur := s.epoch
+		s.mu.Unlock()
+		return cur, 0
+	}
+	s.epoch = epoch
+	s.mu.Unlock()
+	purged := s.cache.invalidateBefore(epoch)
+	count(&s.metrics.invalidated, int64(purged))
+	count(&s.metrics.epochBumps, 1)
+	if from != "" {
+		count(&s.metrics.peer(from).epochBumps, 1)
+	}
+	return epoch, purged
+}
+
+// remoteError relays a shard owner's HTTP error verbatim: the owner
+// already rendered the right status and JSON body (400, 422, 503, ...),
+// so the forwarding node must not re-wrap it.
+type remoteError struct {
+	status     int
+	body       []byte
+	retryAfter string
+}
+
+func (e *remoteError) Error() string {
+	return fmt.Sprintf("shard owner returned %d: %s", e.status, bytes.TrimSpace(e.body))
+}
+
+// planRouted answers a planning request under cluster routing:
+//
+//   - no cluster, we own the key, or the request already took an
+//     internal hop → plan locally through the cache;
+//   - a peer owns the key → forward the raw request to it;
+//   - the owner is unreachable → report the failure, plan locally at
+//     the last-known epoch, and mark the outcome degraded (never
+//     cached) — answers over errors during a partition.
+//
+// servedBy is the advertised URL of the node that did the planning work
+// ("" when unclustered) and forwarded reports an internal hop.
+func (s *Server) planRouted(r *http.Request, canon query.Query, p plannerParams, req planRequest, raw []byte) (out planOutcome, cached, shared bool, servedBy string, forwarded bool, err error) {
+	if s.cluster == nil {
+		out, cached, shared, err = s.planCached(r.Context(), canon, p, req.NoCache, req.Faults != nil)
+		return out, cached, shared, "", false, err
+	}
+	if hops, _ := strconv.Atoi(r.Header.Get(hopsHeader)); hops > 0 {
+		if from := r.Header.Get(fromHeader); from != "" {
+			count(&s.metrics.peer(from).forwardsReceived, 1)
+		}
+		out, cached, shared, err = s.planCached(r.Context(), canon, p, req.NoCache, req.Faults != nil)
+		return out, cached, shared, s.clusterSelf, false, err
+	}
+	owner, self := s.cluster.Owner(canon.Key())
+	if self {
+		out, cached, shared, err = s.planCached(r.Context(), canon, p, req.NoCache, req.Faults != nil)
+		return out, cached, shared, s.clusterSelf, false, err
+	}
+	count(&s.metrics.peer(owner).forwardsSent, 1)
+	resp, ferr := s.forwardPlan(r.Context(), owner, raw)
+	if ferr == nil {
+		return outcomeFromRemote(resp), resp.Cached, resp.Shared, owner, true, nil
+	}
+	var re *remoteError
+	if errors.As(ferr, &re) {
+		// The owner is reachable and answered; its verdict stands.
+		return planOutcome{}, false, false, owner, true, ferr
+	}
+	// The owner is unreachable: a partition, not a planning failure.
+	// Feed the failure detector and plan locally at the last-known
+	// epoch. The result is marked degraded and bypasses the cache in
+	// both directions — it may have been built from statistics the
+	// cluster has already moved past, so it must neither persist nor be
+	// served to a later request that could reach the owner.
+	s.cluster.ReportFailure(owner)
+	count(&s.metrics.peer(owner).forwardFailures, 1)
+	count(&s.metrics.degradedPartition, 1)
+	out, _, shared, err = s.planCached(r.Context(), canon, p, true, true)
+	if err != nil {
+		return planOutcome{}, false, false, s.clusterSelf, false, err
+	}
+	out.degraded = true
+	return out, false, shared, s.clusterSelf, false, nil
+}
+
+// forwardPlan relays a /v1/plan body to the shard owner. A *remoteError
+// means the owner answered with a non-200 status; any other error means
+// it could not be reached (or spoke garbage) and the caller should take
+// the partition path.
+func (s *Server) forwardPlan(ctx context.Context, owner string, raw []byte) (*planResponse, error) {
+	hreq, err := http.NewRequestWithContext(ctx, http.MethodPost, owner+"/v1/plan", bytes.NewReader(raw))
+	if err != nil {
+		return nil, err
+	}
+	hreq.Header.Set("Content-Type", "application/json")
+	hreq.Header.Set(hopsHeader, "1")
+	hreq.Header.Set(fromHeader, s.clusterSelf)
+	if id := requestIDFrom(ctx); id != "" {
+		hreq.Header.Set("X-Request-Id", id)
+	}
+	resp, err := s.forwardClient.Do(hreq)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(io.LimitReader(resp.Body, maxBodyBytes))
+	if err != nil {
+		return nil, err
+	}
+	if resp.StatusCode != http.StatusOK {
+		return nil, &remoteError{status: resp.StatusCode, body: body, retryAfter: resp.Header.Get("Retry-After")}
+	}
+	var pr planResponse
+	if err := json.Unmarshal(body, &pr); err != nil {
+		return nil, fmt.Errorf("decoding shard owner response: %w", err)
+	}
+	return &pr, nil
+}
+
+// outcomeFromRemote reshapes the owner's response for the local
+// handler. The decoded plan node is not materialized — /v1/plan renders
+// from the owner's strings, and /execute never forwards.
+func outcomeFromRemote(pr *planResponse) planOutcome {
+	return planOutcome{
+		rendered:  pr.Plan,
+		encoded:   pr.PlanB64,
+		cost:      pr.ExpectedCost,
+		naiveCost: pr.NaiveCost,
+		splits:    pr.Splits,
+		sizeBytes: pr.SizeBytes,
+		degraded:  pr.Degraded,
+		epoch:     pr.Epoch,
+		planMS:    pr.PlanMS,
+		traceSnap: pr.Trace,
+	}
+}
+
+// handleReadyz serves GET /readyz: readiness, as distinct from the
+// liveness /healthz. An unclustered server is ready once it is serving;
+// a clustered one is not ready while joining, while any peer is
+// unresolved, or while its statistics epoch lags the gossiped cluster
+// maximum — a load balancer sending traffic then would get plans about
+// to be invalidated.
+func (s *Server) handleReadyz(w http.ResponseWriter, r *http.Request) {
+	if s.cluster == nil {
+		writeJSON(w, http.StatusOK, map[string]any{"ready": true, "epoch": s.Epoch()})
+		return
+	}
+	ready, reason := s.cluster.Ready()
+	if !ready {
+		writeJSON(w, http.StatusServiceUnavailable, map[string]any{"ready": false, "reason": reason, "epoch": s.Epoch()})
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"ready": true, "epoch": s.Epoch()})
+}
+
+// peerCounters is one peer's row of the cluster metrics.
+type peerCounters struct {
+	forwardsSent     atomic.Int64 // /v1/plan requests forwarded to this peer
+	forwardsReceived atomic.Int64 // forwarded requests received from this peer
+	forwardFailures  atomic.Int64 // forwards to this peer that failed at transport
+	epochBumps       atomic.Int64 // epoch advances learned from this peer
+}
+
+// clusterMetrics is the per-peer counter table, embedded in metrics.
+type clusterMetrics struct {
+	peerMu sync.Mutex
+	peers  map[string]*peerCounters
+}
+
+// peer returns (creating on first use) a peer's counter row.
+func (m *clusterMetrics) peer(url string) *peerCounters {
+	m.peerMu.Lock()
+	defer m.peerMu.Unlock()
+	if m.peers == nil {
+		m.peers = make(map[string]*peerCounters)
+	}
+	p := m.peers[url]
+	if p == nil {
+		p = &peerCounters{}
+		m.peers[url] = p
+	}
+	return p
+}
+
+// writeClusterMetrics appends the cluster section to /metrics: node
+// aggregates from the gossip layer plus the per-peer counters, peers in
+// sorted order so scrapes are deterministic.
+func (s *Server) writeClusterMetrics(w io.Writer) error {
+	if s.cluster == nil {
+		return nil
+	}
+	st := s.cluster.StatsSnapshot()
+	joined := 0.0
+	if st.Joined {
+		joined = 1
+	}
+	lines := []struct {
+		name string
+		val  float64
+	}{
+		{"acqserved_cluster_gossip_rounds", float64(st.Rounds)},
+		{"acqserved_cluster_exchange_failures", float64(st.Failures)},
+		{"acqserved_cluster_peers_alive", float64(st.Alive)},
+		{"acqserved_cluster_peers_known", float64(st.Known)},
+		{"acqserved_cluster_max_epoch", float64(st.MaxEpoch)},
+		{"acqserved_cluster_joined", joined},
+		{"acqserved_cluster_epoch_bumps", float64(s.metrics.epochBumps.Load())},
+		{"acqserved_cluster_degraded_partition", float64(s.metrics.degradedPartition.Load())},
+	}
+	for _, l := range lines {
+		if _, err := fmt.Fprintf(w, "%s %g\n", l.name, l.val); err != nil {
+			return err
+		}
+	}
+	s.metrics.peerMu.Lock()
+	urls := make([]string, 0, len(s.metrics.peers))
+	//acqlint:ignore maporder collection order is erased by the sort below
+	for u := range s.metrics.peers {
+		urls = append(urls, u)
+	}
+	s.metrics.peerMu.Unlock()
+	sort.Strings(urls)
+	for _, u := range urls {
+		pc := s.metrics.peer(u)
+		for _, l := range []struct {
+			name string
+			val  int64
+		}{
+			{"acqserved_cluster_forwards_sent", pc.forwardsSent.Load()},
+			{"acqserved_cluster_forwards_received", pc.forwardsReceived.Load()},
+			{"acqserved_cluster_forward_failures", pc.forwardFailures.Load()},
+			{"acqserved_cluster_epoch_bumps_received", pc.epochBumps.Load()},
+		} {
+			if _, err := fmt.Fprintf(w, "%s{peer=%q} %d\n", l.name, u, l.val); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}

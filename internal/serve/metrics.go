@@ -33,6 +33,10 @@ type metrics struct {
 	faultFallbacks  atomic.Int64 // fallback resolutions (abstentions + imputations + replans)
 	degradedAnswers atomic.Int64 // abstained or fault-corrupted answers returned
 
+	epochBumps        atomic.Int64 // epoch advances learned from peers via gossip
+	degradedPartition atomic.Int64 // /plan answered locally because the shard owner was unreachable
+	clusterMetrics                 // per-peer forward/gossip counter table
+
 	// Planner search counters, aggregated from the per-run trace spans
 	// (trace.Counter order).
 	search [8]atomic.Int64

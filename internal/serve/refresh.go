@@ -51,6 +51,11 @@ func (s *Server) Refresh(force bool) (refreshed bool, drift float64, epoch uint6
 	purged = s.cache.invalidateBefore(epoch)
 	count(&s.metrics.invalidated, int64(purged))
 	count(&s.metrics.refreshes, 1)
+	if s.cluster != nil {
+		// Push the new epoch to peers immediately instead of waiting out
+		// the gossip interval, so their stale cache entries purge now.
+		s.cluster.Poke()
+	}
 	return true, drift, epoch, purged
 }
 

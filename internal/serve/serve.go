@@ -33,6 +33,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"acqp/internal/cluster"
 	"acqp/internal/schema"
 	"acqp/internal/stats"
 	"acqp/internal/stream"
@@ -87,6 +88,12 @@ type Config struct {
 	// access logging. The writer must be safe for concurrent use
 	// (os.File and bytes-free loggers are).
 	AccessLog io.Writer
+
+	// Cluster, when set, joins this server to a sharded planning
+	// cluster: /v1/plan requests for keys another node owns are
+	// forwarded there, and statistics epochs stay coherent via gossip.
+	// Nil keeps the server standalone.
+	Cluster *ClusterConfig
 }
 
 func (c Config) withDefaults() Config {
@@ -151,6 +158,12 @@ type Server struct {
 	wg      sync.WaitGroup // workers + refresher
 	metrics metrics
 	mux     *http.ServeMux
+
+	// Cluster membership, nil when standalone. clusterSelf is the
+	// advertised URL and forwardClient carries forwarded /v1/plan hops.
+	cluster       *cluster.Node
+	clusterSelf   string
+	forwardClient *http.Client
 
 	started time.Time
 	reqSeq  atomic.Int64 // generated X-Request-Id sequence
@@ -219,6 +232,13 @@ func New(cfg Config) (*Server, error) {
 	}
 	s.mux.HandleFunc("/metrics", s.handleMetrics)
 	s.mux.HandleFunc("/healthz", s.handleHealthz)
+	s.mux.HandleFunc("/readyz", s.handleReadyz)
+	if cfg.Cluster != nil {
+		if err := s.startCluster(cfg.Cluster); err != nil {
+			cancel()
+			return nil, fmt.Errorf("serve: %v", err)
+		}
+	}
 
 	for i := 0; i < cfg.Workers; i++ {
 		s.wg.Add(1) //acqlint:ignore errdrop sync.WaitGroup.Add returns nothing; name-collision with error-returning Add methods
@@ -308,6 +328,11 @@ func (s *Server) Epoch() uint64 {
 // caller's responsibility and should happen first, so no new requests
 // race the pool teardown.
 func (s *Server) Shutdown(ctx context.Context) error {
+	if s.cluster != nil {
+		// Announce the leave while peers can still reach us; the gossip
+		// loop runs under baseCtx and stops with everything else.
+		s.cluster.Stop(ctx)
+	}
 	s.cancel()
 	done := make(chan struct{})
 	go func() {
