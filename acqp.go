@@ -32,7 +32,7 @@
 //	d := acqp.NewEmpirical(historical)
 //	p, cost, _ := acqp.Optimize(context.Background(), d, q, acqp.Options{MaxSplits: 5})
 //	fmt.Println(acqp.Render(p, s), cost)
-//	res := acqp.Execute(s, p, q, liveData)
+//	res, _ := acqp.Execute(context.Background(), s, p, q, liveData, acqp.ExecOptions{})
 //
 // The package is a facade over the internal implementation; everything a
 // downstream user needs is exported here.
@@ -55,6 +55,7 @@ import (
 	"acqp/internal/stats"
 	"acqp/internal/stream"
 	"acqp/internal/table"
+	"acqp/internal/trace"
 )
 
 // Core data-model types.
@@ -154,23 +155,95 @@ var (
 )
 
 // Execution.
+type (
+	// ExecSource produces tuples in bounded batches for Execute; tables,
+	// CSV readers, and stream windows adapt to it.
+	ExecSource = exec.RowSource
+	// ExecProfile accumulates per-plan-node and per-attribute cost
+	// attribution during a profiled execution.
+	ExecProfile = trace.ExecProfile
+	// FaultConfig configures fault-injected execution (injector, retry
+	// policy, fallback).
+	FaultConfig = exec.FaultConfig
+	// FaultStats is the fault-path accounting attached to a Result.
+	FaultStats = exec.FaultStats
+)
+
 var (
-	// Execute runs a plan over a table with acquisition metering,
-	// verifying outputs against ground truth.
-	Execute = exec.Run
-	// ExecuteExists runs until the first satisfying tuple (Section 7
-	// existential queries).
-	ExecuteExists = exec.RunExists
-	// ExecuteLimit runs until `limit` satisfying tuples are found.
-	ExecuteLimit = exec.RunLimit
+	// NewTableSource streams a table in batches (batchSize <= 0 selects
+	// the executor default).
+	NewTableSource = exec.NewTableSource
+	// NewFuncSource wraps a row-producer callback as a bounded-memory
+	// source for inputs larger than memory.
+	NewFuncSource = exec.NewFuncSource
+	// NewExecProfile allocates a profile sized for a plan's node count
+	// and the schema's attribute count.
+	NewExecProfile = trace.NewExecProfile
 	// RankByCheapEvidence orders candidate tuples by descending
 	// P(query satisfied | cheap attributes), the Section 7 existential
-	// optimization; feed the order to ExecuteExistsOrdered.
+	// optimization; feed the order to ExecOptions.Order with
+	// ExecOptions.Exists.
 	RankByCheapEvidence = exec.RankByCheapEvidence
-	// ExecuteExistsOrdered is ExecuteExists visiting rows in a given
-	// order.
+
+	// Deprecated convenience aliases over the legacy executor entry
+	// points; new code should call Execute.
+	ExecuteTable         = exec.Run
+	ExecuteExists        = exec.RunExists
+	ExecuteLimit         = exec.RunLimit
 	ExecuteExistsOrdered = exec.RunExistsOrdered
 )
+
+// ExecOptions configures Execute. The zero value executes the plan over
+// every tuple with ground-truth verification — the historical
+// ExecuteTable behavior.
+type ExecOptions struct {
+	// Source overrides the table argument as the tuple supply; when set,
+	// tbl may be nil. Use it for stream windows (StreamWindow.Source) or
+	// larger-than-memory inputs (NewFuncSource over a table.RowReader).
+	Source ExecSource
+	// Profile, when non-nil, receives per-node cost attribution.
+	Profile *ExecProfile
+	// Faults, when non-nil, executes under fault injection; the
+	// accounting lands in Result.Fault.
+	Faults *FaultConfig
+	// Limit stops after this many satisfying tuples (collected in
+	// Result.Rows); Exists stops at the first (Result.Found/FoundRow).
+	Limit  int
+	Exists bool
+	// Order visits rows in this explicit order; requires a random-access
+	// source (tables are).
+	Order []int
+	// BatchSize tunes the rows pulled per batch; zero selects the
+	// executor default.
+	BatchSize int
+	// SkipVerify disables the ground-truth mismatch check.
+	SkipVerify bool
+}
+
+// Execute runs a plan over a table (or ExecOptions.Source) with
+// acquisition metering, verifying outputs against ground truth. It
+// mirrors Optimize: context-first, options-struct, typed errors
+// (ErrInvalidRequest for malformed requests, matched with errors.Is).
+// ctx cancellation interrupts execution between batches, returning the
+// partial Result alongside the wrapped context error.
+func Execute(ctx context.Context, s *Schema, p *Plan, q Query, tbl *Table, o ExecOptions) (Result, error) {
+	src := o.Source
+	if src == nil && tbl != nil {
+		src = exec.NewTableSource(tbl, o.BatchSize)
+	}
+	res, err := exec.Execute(ctx, exec.Request{
+		Schema: s, Plan: p, Query: q,
+		Options: exec.Options{
+			Source: src, Profile: o.Profile, Faults: o.Faults,
+			Limit: o.Limit, Exists: o.Exists, Order: o.Order,
+			BatchSize: o.BatchSize, SkipVerify: o.SkipVerify,
+		},
+	})
+	if err != nil {
+		return res, convertExecError(err)
+	}
+	return res, nil
+}
 
 // Algorithm selects the planning algorithm Optimize runs. The zero value
 // is AlgorithmGreedy, so an Options zero value keeps its historical

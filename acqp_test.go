@@ -70,8 +70,14 @@ func TestPublicAPIFigure2(t *testing.T) {
 	}
 	// Execute both on the training data; the conditional plan must be
 	// cheaper and both must be correct.
-	nRes := acqp.Execute(s, naive, q, tbl)
-	cRes := acqp.Execute(s, p, q, tbl)
+	nRes, err := acqp.Execute(context.Background(), s, naive, q, tbl, acqp.ExecOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cRes, err := acqp.Execute(context.Background(), s, p, q, tbl, acqp.ExecOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
 	if nRes.Mismatches != 0 || cRes.Mismatches != 0 {
 		t.Fatalf("mismatches: naive=%d cond=%d", nRes.Mismatches, cRes.Mismatches)
 	}

@@ -221,7 +221,9 @@ func BenchmarkExecutePerTuple(b *testing.B) {
 	}
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		acqp.Execute(test.Schema(), p, q, test)
+		if _, err := acqp.Execute(context.Background(), test.Schema(), p, q, test, acqp.ExecOptions{}); err != nil {
+			b.Fatal(err)
+		}
 	}
 	b.ReportMetric(float64(test.NumRows()), "tuples/op")
 }

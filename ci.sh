@@ -26,6 +26,10 @@
 #              figure (which self-checks rate-zero equivalence,
 #              non-negative costs, zero plan mismatches, and seeded
 #              reproducibility, and exits nonzero on any regression)
+#   alloc gates the trace disabled path (0 allocs) and the serve fast-path
+#              cache hit (<= 8 allocs), both without -race
+#   exec bench the streaming executor's per-tuple cost, teed to
+#              results/exec-bench.txt
 #   benchmarks the serve cache hit/miss paths and the parallel planner,
 #              teed to results/; the parallel run always verifies plans
 #              are byte-identical across worker counts, and on hosts with
@@ -133,6 +137,18 @@ echo "== trace zero-alloc gate"
 # without -race (the race runtime allocates; the test skips itself under
 # it, which would silently void the gate).
 go test -run='TestDisabledPathZeroAllocs' -count=1 ./internal/trace
+
+echo "== serve hot-path alloc gate"
+# A fast-path /plan cache hit must serve in at most 8 allocations
+# (pre-serialized response blobs + pooled buffers; see serve/fast.go).
+# Like the trace gate, it must run without -race.
+go test -run='TestServeCacheHitAllocs' -count=1 ./internal/serve
+
+echo "== exec benchmark"
+# The streaming executor's per-tuple throughput over the unified
+# acqp.Execute facade, archived for regression comparison.
+mkdir -p results
+go test -run='^$' -bench='BenchmarkExecutePerTuple' -benchtime=5x . | tee results/exec-bench.txt
 
 echo "== trace figure smoke"
 # The trace study self-checks its invariants in-process: traced plans

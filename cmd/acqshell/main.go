@@ -143,12 +143,20 @@ func (sh *shell) query(w io.Writer, stmt string, planOnly, compareNaive bool) {
 	if planOnly {
 		return
 	}
-	res := acqp.Execute(sh.s, p, q, sh.live)
+	res, err := acqp.Execute(context.Background(), sh.s, p, q, sh.live, acqp.ExecOptions{})
+	if err != nil {
+		fmt.Fprintf(w, "error: %v\n", err)
+		return
+	}
 	fmt.Fprintf(w, "%d of %d live tuples matched; measured %.1f units/tuple\n",
 		res.Selected, res.Tuples, res.MeanCost())
 	if compareNaive {
 		naive, _ := acqp.NaivePlan(sh.dist, q)
-		nres := acqp.Execute(sh.s, naive, q, sh.live)
+		nres, nerr := acqp.Execute(context.Background(), sh.s, naive, q, sh.live, acqp.ExecOptions{})
+		if nerr != nil {
+			fmt.Fprintf(w, "error: %v\n", nerr)
+			return
+		}
 		fmt.Fprintf(w, "naive fixed order: %.1f units/tuple (%.0f%% more)\n",
 			nres.MeanCost(), (nres.MeanCost()/res.MeanCost()-1)*100)
 	}

@@ -4,6 +4,7 @@ import (
 	"errors"
 	"fmt"
 
+	"acqp/internal/exec"
 	"acqp/internal/opt"
 	"acqp/internal/query"
 )
@@ -30,6 +31,13 @@ var (
 		msg:   "acqp: exhaustive planning exceeded its subproblem budget",
 		inner: opt.ErrBudget,
 	}
+	// ErrInvalidRequest reports an Execute call whose request was
+	// malformed (missing plan or source, option conflict, width mismatch).
+	// It wraps exec.ErrInvalidRequest.
+	ErrInvalidRequest error = wrappedSentinel{
+		msg:   "acqp: invalid execute request",
+		inner: exec.ErrInvalidRequest,
+	}
 )
 
 // wrappedSentinel is a sentinel error that chains to the internal error it
@@ -47,6 +55,16 @@ func (s wrappedSentinel) Unwrap() error { return s.inner }
 func convertPlannerError(err error) error {
 	if errors.Is(err, opt.ErrBudget) {
 		return fmt.Errorf("%w", ErrBudgetExceeded)
+	}
+	return err
+}
+
+// convertExecError lifts internal executor errors to the facade's typed
+// sentinels, keeping the internal detail as a suffix; everything else
+// (source I/O errors, context cancellation) passes through unchanged.
+func convertExecError(err error) error {
+	if errors.Is(err, exec.ErrInvalidRequest) {
+		return fmt.Errorf("%w (%v)", ErrInvalidRequest, err)
 	}
 	return err
 }

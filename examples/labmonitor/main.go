@@ -61,7 +61,10 @@ func main() {
 		name string
 		p    *acqp.Plan
 	}{{"conditional", cond}, {"corr-seq", corr}, {"naive", naive}} {
-		res := acqp.Execute(s, c.p, q, test)
+		res, err := acqp.Execute(context.Background(), s, c.p, q, test, acqp.ExecOptions{})
+		if err != nil {
+			log.Fatal(err)
+		}
 		fmt.Printf("%-12s %.1f units/tuple (%d matches, %d mismatches)\n",
 			c.name+":", res.MeanCost(), res.Selected, res.Mismatches)
 	}

@@ -68,8 +68,14 @@ func main() {
 
 	// Execute both over the historical data to confirm the analytic
 	// costs empirically.
-	nRes := acqp.Execute(s, naive, q, historical)
-	cRes := acqp.Execute(s, cond, q, historical)
+	nRes, err := acqp.Execute(context.Background(), s, naive, q, historical, acqp.ExecOptions{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	cRes, err := acqp.Execute(context.Background(), s, cond, q, historical, acqp.ExecOptions{})
+	if err != nil {
+		log.Fatal(err)
+	}
 	fmt.Printf("measured: naive %.2f units/tuple, conditional %.2f units/tuple (%.0f%% saved)\n",
 		nRes.MeanCost(), cRes.MeanCost(), (1-cRes.MeanCost()/nRes.MeanCost())*100)
 	fmt.Printf("both plans selected the same %d of %d tuples\n", cRes.Selected, cRes.Tuples)

@@ -56,8 +56,14 @@ func main() {
 	fmt.Printf("conditional probe plan:\n%s\n", acqp.Render(cond, s))
 
 	naive, _ := acqp.NaivePlan(d, q)
-	nRes := acqp.Execute(s, naive, q, live)
-	cRes := acqp.Execute(s, cond, q, live)
+	nRes, err := acqp.Execute(context.Background(), s, naive, q, live, acqp.ExecOptions{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	cRes, err := acqp.Execute(context.Background(), s, cond, q, live, acqp.ExecOptions{})
+	if err != nil {
+		log.Fatal(err)
+	}
 	if nRes.Mismatches+cRes.Mismatches != 0 {
 		log.Fatal("plan mismatch")
 	}

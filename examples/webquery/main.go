@@ -54,8 +54,14 @@ func main() {
 	fmt.Printf("conditional plan:\n%s\n", acqp.Render(cond, s))
 
 	naive, _ := acqp.NaivePlan(d, q)
-	nRes := acqp.Execute(s, naive, q, live)
-	cRes := acqp.Execute(s, cond, q, live)
+	nRes, err := acqp.Execute(context.Background(), s, naive, q, live, acqp.ExecOptions{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	cRes, err := acqp.Execute(context.Background(), s, cond, q, live, acqp.ExecOptions{})
+	if err != nil {
+		log.Fatal(err)
+	}
 	fmt.Printf("mean screening latency: naive %.0f ms, conditional %.0f ms (%.0f%% faster)\n",
 		nRes.MeanCost(), cRes.MeanCost(), (1-cRes.MeanCost()/nRes.MeanCost())*100)
 

@@ -52,6 +52,7 @@ var purePackages = []string{
 	"internal/query",
 	"internal/boolq",
 	"internal/floats",
+	"internal/exec",
 }
 
 // pureDirective asserts a function deterministic despite containing a

@@ -1,11 +1,18 @@
-// Package exec runs query plans over test datasets with full acquisition
+// Package exec runs query plans over row sources with full acquisition
 // metering. It is the measurement harness behind the paper's evaluation:
 // plans are built on training data and then costed per-tuple over a
 // disjoint test window (Section 6, "Test v. Training"), charging each
 // attribute acquisition at its schema cost.
+//
+// Execute is the entry point: one streaming, batch-at-a-time executor
+// over which profiling, fault injection, limits, existential
+// short-circuiting, and explicit row orders compose as Options. The
+// historical entry points (Run, RunExists, RunLimit, RunExistsOrdered,
+// RunProfiled, RunFaulty) remain as thin wrappers.
 package exec
 
 import (
+	"context"
 	"fmt"
 
 	"acqp/internal/plan"
@@ -14,7 +21,7 @@ import (
 	"acqp/internal/table"
 )
 
-// Result summarizes one plan execution over a table.
+// Result summarizes one plan execution over a source.
 type Result struct {
 	// Tuples is the number of tuples processed.
 	Tuples int
@@ -30,6 +37,16 @@ type Result struct {
 	Mismatches int
 	// Acquisitions counts, per attribute, how many tuples acquired it.
 	Acquisitions []int64
+
+	// Found and FoundRow report the first satisfying tuple under
+	// Options.Exists (FoundRow is -1 when none exists, and 0 when the
+	// option was not set). Rows collects the selected global row indexes
+	// under Options.Limit. Fault carries fault-path accounting when
+	// Options.Faults was set, nil otherwise.
+	Found    bool
+	FoundRow int
+	Rows     []int
+	Fault    *FaultStats
 }
 
 // MeanCost returns the average per-tuple acquisition cost, the quantity
@@ -54,36 +71,49 @@ func (r Result) String() string {
 		r.Tuples, r.Selected, r.MeanCost(), r.MaxCost, r.Mismatches)
 }
 
-// Run executes the plan over every tuple of the table, verifying each
-// output against the ground-truth query evaluation.
-func Run(s *schema.Schema, p *plan.Node, q query.Query, tbl *table.Table) Result {
-	res := Result{Acquisitions: make([]int64, s.NumAttrs())}
-	acquired := make([]bool, s.NumAttrs())
-	var row []schema.Value
-	for r := 0; r < tbl.NumRows(); r++ {
-		row = tbl.Row(r, row)
-		for i := range acquired {
-			acquired[i] = false
-		}
-		got, cost := p.Execute(s, row, acquired)
-		res.Tuples++
-		res.TotalCost += cost
-		if cost > res.MaxCost {
-			res.MaxCost = cost
-		}
-		if got {
-			res.Selected++
-		}
-		if got != q.Eval(row) {
-			res.Mismatches++
-		}
-		for i, a := range acquired {
-			if a {
-				res.Acquisitions[i]++
-			}
-		}
+// AsFaultResult converts a Result produced with Options.Faults into the
+// legacy FaultResult shape; the embedded Result has the fault stats
+// detached so it compares equal to a fault-free Result when no fault
+// fired.
+func (r Result) AsFaultResult() FaultResult {
+	fs := r.Fault
+	if fs == nil {
+		fs = &FaultStats{}
+	}
+	r.Fault = nil
+	return FaultResult{
+		Result:         r,
+		Failures:       fs.Failures,
+		Retries:        fs.Retries,
+		RetryCost:      fs.RetryCost,
+		StaleReads:     fs.StaleReads,
+		Abstained:      fs.Abstained,
+		AbstainedTrue:  fs.AbstainedTrue,
+		Imputed:        fs.Imputed,
+		Replans:        fs.Replans,
+		FalsePositives: fs.FalsePositives,
+		FalseNegatives: fs.FalseNegatives,
+	}
+}
+
+// mustExecute backs the legacy wrappers, whose signatures predate both
+// context plumbing and error returns: with a valid schema/plan/table and
+// no fault config, Execute cannot fail.
+func mustExecute(s *schema.Schema, p *plan.Node, q query.Query, o Options) Result {
+	//acqlint:ignore ctxbg legacy wrapper with no ctx parameter; Execute is the context-threading API
+	res, err := Execute(context.Background(), Request{Schema: s, Plan: p, Query: q, Options: o})
+	if err != nil {
+		panic(fmt.Sprintf("exec: legacy wrapper: %v", err))
 	}
 	return res
+}
+
+// Run executes the plan over every tuple of the table, verifying each
+// output against the ground-truth query evaluation.
+//
+// Deprecated: use Execute with a TableSource.
+func Run(s *schema.Schema, p *plan.Node, q query.Query, tbl *table.Table) Result {
+	return mustExecute(s, p, q, Options{Source: NewTableSource(tbl, 0)})
 }
 
 // RunExists executes the plan over tuples in order until the first
@@ -91,44 +121,28 @@ func Run(s *schema.Schema, p *plan.Node, q query.Query, tbl *table.Table) Result
 // Section 7 ("is there a sensor recording high light and temperature?").
 // It returns whether a satisfying tuple exists, its row index (-1 if
 // none), and the acquisition cost spent to decide.
+//
+// Deprecated: use Execute with Options.Exists.
 func RunExists(s *schema.Schema, p *plan.Node, tbl *table.Table) (found bool, rowIdx int, cost float64) {
-	acquired := make([]bool, s.NumAttrs())
-	var row []schema.Value
-	for r := 0; r < tbl.NumRows(); r++ {
-		row = tbl.Row(r, row)
-		for i := range acquired {
-			acquired[i] = false
-		}
-		got, c := p.Execute(s, row, acquired)
-		cost += c
-		if got {
-			return true, r, cost
-		}
-	}
-	return false, -1, cost
+	res := mustExecute(s, p, query.Query{}, Options{
+		Source: NewTableSource(tbl, 0), Exists: true, SkipVerify: true,
+	})
+	return res.Found, res.FoundRow, res.TotalCost
 }
 
 // RunLimit executes the plan until limit satisfying tuples have been
 // found (the LIMIT-clause extension of Section 7), returning the selected
 // row indexes and total cost.
+//
+// Deprecated: use Execute with Options.Limit.
 func RunLimit(s *schema.Schema, p *plan.Node, tbl *table.Table, limit int) (rows []int, cost float64) {
 	if limit <= 0 {
 		return nil, 0
 	}
-	acquired := make([]bool, s.NumAttrs())
-	var row []schema.Value
-	for r := 0; r < tbl.NumRows() && len(rows) < limit; r++ {
-		row = tbl.Row(r, row)
-		for i := range acquired {
-			acquired[i] = false
-		}
-		got, c := p.Execute(s, row, acquired)
-		cost += c
-		if got {
-			rows = append(rows, r)
-		}
-	}
-	return rows, cost
+	res := mustExecute(s, p, query.Query{}, Options{
+		Source: NewTableSource(tbl, 0), Limit: limit, SkipVerify: true,
+	})
+	return res.Rows, res.TotalCost
 }
 
 // CompareOnTest builds a convenience ratio table: for each plan, the mean

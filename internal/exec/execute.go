@@ -1,0 +1,307 @@
+package exec
+
+import (
+	"context"
+	"errors"
+	"fmt"
+
+	"acqp/internal/plan"
+	"acqp/internal/query"
+	"acqp/internal/schema"
+	"acqp/internal/trace"
+)
+
+// ErrInvalidRequest is wrapped by every Execute validation failure;
+// callers match it with errors.Is.
+var ErrInvalidRequest = errors.New("exec: invalid request")
+
+// Options composes the execution features that used to be separate
+// entry points. The zero value is a plain metered run over the whole
+// source, verified against ground truth.
+type Options struct {
+	// Source supplies the tuples. Required.
+	Source RowSource
+	// Profile, when non-nil, receives per-plan-node and per-attribute
+	// cost attribution (see trace.ExecProfile). Size it for the plan's
+	// Preorder length. Nil disables attribution at zero cost.
+	Profile *trace.ExecProfile
+	// Faults, when non-nil, runs the fault-aware executor: acquisition
+	// attempts are filtered through the injector and failures resolved by
+	// the fallback policy, with retry costs metered (see FaultConfig; its
+	// own Profile field is ignored — set Options.Profile).
+	Faults *FaultConfig
+	// Limit, when positive, stops execution once Limit satisfying tuples
+	// have been found; their global row indexes are collected in
+	// Result.Rows. Mutually exclusive with Exists.
+	Limit int
+	// Exists stops execution at the first satisfying tuple, reported in
+	// Result.Found / Result.FoundRow. Mutually exclusive with Limit.
+	Exists bool
+	// Order visits the source's rows in this explicit order (global row
+	// indexes). Requires a Source implementing RandomAccess.
+	Order []int
+	// BatchSize overrides the batch size of executor-built adapters (the
+	// Order gather source). Sources carry their own batch size; this does
+	// not change it. Zero selects DefaultBatchSize.
+	BatchSize int
+	// SkipVerify disables the ground-truth check that counts
+	// Result.Mismatches — the existential and limit wrappers skip it, as
+	// their legacy counterparts did.
+	SkipVerify bool
+}
+
+// Request is one execution: a plan over a source, verified against the
+// query, under composable options.
+type Request struct {
+	Schema  *schema.Schema
+	Plan    *plan.Node
+	Query   query.Query
+	Options Options
+}
+
+// FaultStats is the fault-path accounting attached to a Result when
+// Options.Faults is set. Field meanings match FaultResult.
+type FaultStats struct {
+	Failures       int
+	Retries        int
+	RetryCost      float64
+	StaleReads     int
+	Abstained      int
+	AbstainedTrue  int
+	Imputed        int
+	Replans        int
+	FalsePositives int
+	FalseNegatives int
+}
+
+// Execute runs one plan over one source with acquisition metering — the
+// single entry point behind the legacy Run* wrappers. Profiling, fault
+// injection, limits, and existential short-circuiting compose freely;
+// with none of them set it produces a Result bit-identical to the
+// historical Run.
+//
+// Execution streams: the source is pulled one bounded batch at a time,
+// so sources larger than memory (and live stream windows) execute in
+// constant space. ctx is checked between batches; on cancellation the
+// partial Result is returned alongside an error wrapping ctx.Err().
+func Execute(ctx context.Context, req Request) (Result, error) {
+	if err := validate(req); err != nil {
+		return Result{}, err
+	}
+	o := req.Options
+	src := o.Source
+	if len(o.Order) > 0 {
+		src = NewOrderedSource(src.(RandomAccess), o.Order, o.BatchSize)
+	}
+	if o.Faults != nil {
+		return executeFaulty(ctx, req, src)
+	}
+	return executePristine(ctx, req, src)
+}
+
+func validate(req Request) error {
+	o := req.Options
+	switch {
+	case req.Schema == nil || req.Schema.NumAttrs() == 0:
+		return fmt.Errorf("%w: missing schema", ErrInvalidRequest)
+	case req.Plan == nil:
+		return fmt.Errorf("%w: missing plan", ErrInvalidRequest)
+	case o.Source == nil:
+		return fmt.Errorf("%w: missing source", ErrInvalidRequest)
+	case o.Source.NumAttrs() != req.Schema.NumAttrs():
+		return fmt.Errorf("%w: source yields %d attributes, schema has %d",
+			ErrInvalidRequest, o.Source.NumAttrs(), req.Schema.NumAttrs())
+	case o.Exists && o.Limit > 0:
+		return fmt.Errorf("%w: Exists and Limit are mutually exclusive", ErrInvalidRequest)
+	case o.Limit < 0:
+		return fmt.Errorf("%w: negative Limit %d", ErrInvalidRequest, o.Limit)
+	}
+	if len(o.Order) > 0 {
+		if _, ok := o.Source.(RandomAccess); !ok {
+			return fmt.Errorf("%w: Order requires a random-access source", ErrInvalidRequest)
+		}
+	}
+	return nil
+}
+
+// interrupted wraps a context cancellation observed between batches.
+func interrupted(res Result, err error) (Result, error) {
+	return res, fmt.Errorf("exec: execution interrupted after %d tuples: %w", res.Tuples, err)
+}
+
+// executePristine is the fault-free streaming loop: compile the plan,
+// pull batches, evaluate each row against the batch's columns directly
+// (no per-row copy), and fold outcomes into the Result in exactly the
+// accumulation order of the legacy tuple-at-a-time executor.
+func executePristine(ctx context.Context, req Request, src RowSource) (Result, error) {
+	s, q, o := req.Schema, req.Query, req.Options
+	pg := compile(req.Plan)
+	prof := o.Profile
+	res := Result{Acquisitions: make([]int64, s.NumAttrs())}
+	if o.Exists {
+		res.FoundRow = -1
+	}
+	acquired := make([]bool, s.NumAttrs())
+	for {
+		if err := ctx.Err(); err != nil {
+			return interrupted(res, err)
+		}
+		b, n, err := src.Next()
+		if err != nil {
+			return res, err
+		}
+		if n == 0 {
+			return res, nil
+		}
+		cols := b.cols
+		for i := 0; i < n; i++ {
+			for j := range acquired {
+				acquired[j] = false
+			}
+			var got bool
+			var cost float64
+			if prof != nil {
+				got, cost = pg.runProfiled(s, cols, i, acquired, prof)
+				prof.FinishTuple()
+			} else {
+				got, cost = pg.run(s, cols, i, acquired)
+			}
+			res.Tuples++
+			res.TotalCost += cost
+			if cost > res.MaxCost {
+				res.MaxCost = cost
+			}
+			if got {
+				res.Selected++
+			}
+			if !o.SkipVerify && got != evalCols(q, cols, i) {
+				res.Mismatches++
+			}
+			for a, acq := range acquired {
+				if acq {
+					res.Acquisitions[a]++
+				}
+			}
+			if got {
+				if o.Exists {
+					res.Found = true
+					res.FoundRow = b.RowIndex(i)
+					return res, nil
+				}
+				if o.Limit > 0 {
+					res.Rows = append(res.Rows, b.RowIndex(i))
+					if len(res.Rows) >= o.Limit {
+						return res, nil
+					}
+				}
+			}
+		}
+	}
+}
+
+// executeFaulty is the streaming loop under fault injection: one
+// TupleExecutor carries cross-tuple state (stale latches, learned-dead
+// sensors, residual-plan cache) across batches, and outcomes are folded
+// with the answered-only accounting of the legacy RunFaulty.
+func executeFaulty(ctx context.Context, req Request, src RowSource) (Result, error) {
+	s, q, o := req.Schema, req.Query, req.Options
+	cfg := *o.Faults
+	cfg.Profile = o.Profile
+	ex, err := NewTupleExecutor(s, req.Plan, q, cfg)
+	if err != nil {
+		return Result{}, err
+	}
+	res := Result{Acquisitions: make([]int64, s.NumAttrs()), Fault: &FaultStats{}}
+	fs := res.Fault
+	if o.Exists {
+		res.FoundRow = -1
+	}
+	var row []schema.Value
+	for {
+		if err := ctx.Err(); err != nil {
+			copy(res.Acquisitions, ex.AcquisitionCounts())
+			return interrupted(res, err)
+		}
+		b, n, err := src.Next()
+		if err != nil {
+			copy(res.Acquisitions, ex.AcquisitionCounts())
+			return res, err
+		}
+		if n == 0 {
+			copy(res.Acquisitions, ex.AcquisitionCounts())
+			return res, nil
+		}
+		for i := 0; i < n; i++ {
+			row = b.Row(i, row)
+			out := ex.ExecTuple(b.RowIndex(i), row)
+			cfg.Profile.FinishTuple()
+			res.Tuples++
+			res.TotalCost += out.Cost
+			if out.Cost > res.MaxCost {
+				res.MaxCost = out.Cost
+			}
+			fs.RetryCost += out.RetryCost
+			fs.Retries += out.Retries
+			fs.Failures += out.Failures
+			fs.StaleReads += out.StaleReads
+			fs.Imputed += out.Imputed
+			if out.Replanned {
+				fs.Replans++
+			}
+			var truth bool
+			if !o.SkipVerify {
+				truth = q.Eval(row)
+			}
+			switch out.Answer {
+			case query.Unknown:
+				fs.Abstained++
+				if truth {
+					fs.AbstainedTrue++
+				}
+			case query.True:
+				res.Selected++
+				if !o.SkipVerify && !truth {
+					if out.Touched {
+						fs.FalsePositives++
+					} else {
+						res.Mismatches++
+					}
+				}
+			default:
+				if !o.SkipVerify && truth {
+					if out.Touched {
+						fs.FalseNegatives++
+					} else {
+						res.Mismatches++
+					}
+				}
+			}
+			if out.Answer == query.True {
+				if o.Exists {
+					res.Found = true
+					res.FoundRow = b.RowIndex(i)
+					copy(res.Acquisitions, ex.AcquisitionCounts())
+					return res, nil
+				}
+				if o.Limit > 0 {
+					res.Rows = append(res.Rows, b.RowIndex(i))
+					if len(res.Rows) >= o.Limit {
+						copy(res.Acquisitions, ex.AcquisitionCounts())
+						return res, nil
+					}
+				}
+			}
+		}
+	}
+}
+
+// evalCols is query.Query.Eval over a batch's columns, avoiding the
+// per-row copy the slice-based Eval would need.
+func evalCols(q query.Query, cols [][]schema.Value, i int) bool {
+	for _, p := range q.Preds {
+		if !p.Eval(cols[p.Attr][i]) {
+			return false
+		}
+	}
+	return true
+}

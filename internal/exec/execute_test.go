@@ -1,0 +1,224 @@
+package exec
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"reflect"
+	"testing"
+
+	"acqp/internal/plan"
+	"acqp/internal/query"
+	"acqp/internal/schema"
+)
+
+// synthRow fills dst with a deterministic pseudo-random binary tuple for
+// global row r — the same values every call, so a FuncSource over it can
+// be replayed and cross-checked without materializing anything.
+func synthRow(dst []schema.Value, r int) {
+	x := uint64(r)*6364136223846793005 + 1442695040888963407
+	for a := range dst {
+		x ^= x >> 33
+		x *= 0xff51afd7ed558ccd
+		dst[a] = schema.Value((x >> uint(7*a)) & 1)
+	}
+}
+
+// TestExecuteStreamsLargerThanMemorySource pins the bounded-memory
+// contract: a 300k-row source that exists only as a generator function
+// executes batch by batch, and the verified Result (Mismatches counts
+// every row against ground truth) matches an independent count of the
+// satisfying tuples.
+func TestExecuteStreamsLargerThanMemorySource(t *testing.T) {
+	s := testSchema()
+	q := testQuery(s)
+	p := plan.NewSeq(q.Preds)
+	const rows = 300_000
+	wantSelected := 0
+	probe := make([]schema.Value, s.NumAttrs())
+	for r := 0; r < rows; r++ {
+		synthRow(probe, r)
+		if q.Eval(probe) {
+			wantSelected++
+		}
+	}
+	emitted := 0
+	src := NewFuncSource(s.NumAttrs(), 0, func(dst []schema.Value) (bool, error) {
+		if emitted >= rows {
+			return false, nil
+		}
+		synthRow(dst, emitted)
+		emitted++
+		return true, nil
+	})
+	res, err := Execute(context.Background(), Request{
+		Schema: s, Plan: p, Query: q, Options: Options{Source: src},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Tuples != rows {
+		t.Errorf("Tuples = %d, want %d", res.Tuples, rows)
+	}
+	if res.Selected != wantSelected {
+		t.Errorf("Selected = %d, want %d", res.Selected, wantSelected)
+	}
+	if res.Mismatches != 0 {
+		t.Errorf("Mismatches = %d", res.Mismatches)
+	}
+}
+
+// TestExecuteFuncSourceMatchesTable pins that a generator-backed source
+// produces a Result bit-identical to the same rows materialized in a
+// table.
+func TestExecuteFuncSourceMatchesTable(t *testing.T) {
+	s := testSchema()
+	q := testQuery(s)
+	p := plan.NewSeq(q.Preds)
+	tbl := testTable()
+	r := 0
+	var row []schema.Value
+	src := NewFuncSource(s.NumAttrs(), 3, func(dst []schema.Value) (bool, error) {
+		if r >= tbl.NumRows() {
+			return false, nil
+		}
+		row = tbl.Row(r, row)
+		copy(dst, row)
+		r++
+		return true, nil
+	})
+	got, err := Execute(context.Background(), Request{
+		Schema: s, Plan: p, Query: q, Options: Options{Source: src},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := Run(s, p, q, tbl); !reflect.DeepEqual(got, want) {
+		t.Errorf("FuncSource result %+v != table result %+v", got, want)
+	}
+}
+
+// TestExecuteCancellationMidRun pins the context contract: cancellation
+// is observed between batches, execution stops with a partial Result,
+// and the error wraps ctx.Err().
+func TestExecuteCancellationMidRun(t *testing.T) {
+	s := testSchema()
+	q := testQuery(s)
+	p := plan.NewSeq(q.Preds)
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	const rows = 10_000
+	const cancelAt = 1_000
+	emitted := 0
+	src := NewFuncSource(s.NumAttrs(), 64, func(dst []schema.Value) (bool, error) {
+		if emitted == cancelAt {
+			cancel()
+		}
+		if emitted >= rows {
+			return false, nil
+		}
+		synthRow(dst, emitted)
+		emitted++
+		return true, nil
+	})
+	res, err := Execute(ctx, Request{
+		Schema: s, Plan: p, Query: q, Options: Options{Source: src},
+	})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want a context.Canceled wrap", err)
+	}
+	if res.Tuples < cancelAt || res.Tuples >= rows {
+		t.Errorf("Tuples = %d, want a partial count in [%d,%d)", res.Tuples, cancelAt, rows)
+	}
+	if want := fmt.Sprintf("exec: execution interrupted after %d tuples", res.Tuples); !contains(err.Error(), want) {
+		t.Errorf("error %q does not report the partial tuple count", err)
+	}
+}
+
+// TestExecuteCancelledBeforeStart pins that an already-cancelled context
+// never pulls a batch.
+func TestExecuteCancelledBeforeStart(t *testing.T) {
+	s := testSchema()
+	q := testQuery(s)
+	p := plan.NewSeq(q.Preds)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	pulled := false
+	src := NewFuncSource(s.NumAttrs(), 0, func(dst []schema.Value) (bool, error) {
+		pulled = true
+		return false, nil
+	})
+	res, err := Execute(ctx, Request{
+		Schema: s, Plan: p, Query: q, Options: Options{Source: src},
+	})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v", err)
+	}
+	if pulled {
+		t.Error("cancelled execution still pulled a batch")
+	}
+	if res.Tuples != 0 {
+		t.Errorf("Tuples = %d, want 0", res.Tuples)
+	}
+}
+
+// TestExecuteValidation pins the typed-error contract of the unified
+// entry point.
+func TestExecuteValidation(t *testing.T) {
+	s := testSchema()
+	q := testQuery(s)
+	p := plan.NewSeq(q.Preds)
+	tbl := testTable()
+	src := NewTableSource(tbl, 0)
+	cases := []struct {
+		name string
+		req  Request
+	}{
+		{"missing schema", Request{Plan: p, Query: q, Options: Options{Source: src}}},
+		{"missing plan", Request{Schema: s, Query: q, Options: Options{Source: src}}},
+		{"missing source", Request{Schema: s, Plan: p, Query: q}},
+		{"exists+limit", Request{Schema: s, Plan: p, Query: q,
+			Options: Options{Source: src, Exists: true, Limit: 2}}},
+		{"negative limit", Request{Schema: s, Plan: p, Query: q,
+			Options: Options{Source: src, Limit: -1}}},
+		{"order without random access", Request{Schema: s, Plan: p, Query: q,
+			Options: Options{Source: NewFuncSource(s.NumAttrs(), 0, func([]schema.Value) (bool, error) { return false, nil }), Order: []int{0}}}},
+	}
+	for _, tc := range cases {
+		if _, err := Execute(context.Background(), tc.req); !errors.Is(err, ErrInvalidRequest) {
+			t.Errorf("%s: err = %v, want ErrInvalidRequest", tc.name, err)
+		}
+	}
+}
+
+// TestExecuteOrderedVisitsInOrder pins the Order option against a
+// hand-computed visit sequence.
+func TestExecuteOrderedVisitsInOrder(t *testing.T) {
+	s := testSchema()
+	p := plan.NewSeq(testQuery(s).Preds)
+	tbl := testTable()
+	// Row 4 ({1,1,1}) satisfies; visiting it first must make it the
+	// existential witness even though row 0 also satisfies.
+	res, err := Execute(context.Background(), Request{
+		Schema: s, Plan: p, Query: query.Query{},
+		Options: Options{
+			Source: NewTableSource(tbl, 0), Exists: true, SkipVerify: true,
+			Order: []int{4, 0, 1},
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Found || res.FoundRow != 4 {
+		t.Errorf("Found=%v FoundRow=%d, want witness row 4", res.Found, res.FoundRow)
+	}
+}
+
+func contains(s, sub string) bool {
+	for i := 0; i+len(sub) <= len(s); i++ {
+		if s[i:i+len(sub)] == sub {
+			return true
+		}
+	}
+	return false
+}

@@ -59,19 +59,11 @@ func RankByCheapEvidence(d stats.Dist, q query.Query, tbl *table.Table, cheapThr
 // RunExistsOrdered is RunExists visiting rows in the given order: it
 // returns whether a satisfying tuple exists, its row index in the
 // original table (-1 if none), and the acquisition cost spent probing.
+//
+// Deprecated: use Execute with Options.Exists and Options.Order.
 func RunExistsOrdered(s *schema.Schema, p *plan.Node, tbl *table.Table, order []int) (found bool, rowIdx int, cost float64) {
-	acquired := make([]bool, s.NumAttrs())
-	var row []schema.Value
-	for _, r := range order {
-		row = tbl.Row(r, row)
-		for i := range acquired {
-			acquired[i] = false
-		}
-		got, c := p.Execute(s, row, acquired)
-		cost += c
-		if got {
-			return true, r, cost
-		}
-	}
-	return false, -1, cost
+	res := mustExecute(s, p, query.Query{}, Options{
+		Source: NewTableSource(tbl, 0), Exists: true, SkipVerify: true, Order: order,
+	})
+	return res.Found, res.FoundRow, res.TotalCost
 }

@@ -1,6 +1,7 @@
 package exec
 
 import (
+	"context"
 	"fmt"
 
 	"acqp/internal/fault"
@@ -484,56 +485,16 @@ func (r FaultResult) String() string {
 // RunFaulty executes the plan over every tuple of the table under fault
 // injection, verifying answered tuples against ground truth. With an
 // inactive injector the embedded Result is byte-identical to Run's.
+//
+// Deprecated: use Execute with Options.Faults.
 func RunFaulty(s *schema.Schema, p *plan.Node, q query.Query, tbl *table.Table, cfg FaultConfig) (FaultResult, error) {
-	ex, err := NewTupleExecutor(s, p, q, cfg)
+	//acqlint:ignore ctxbg legacy wrapper with no ctx parameter; Execute is the context-threading API
+	res, err := Execute(context.Background(), Request{
+		Schema: s, Plan: p, Query: q,
+		Options: Options{Source: NewTableSource(tbl, 0), Faults: &cfg, Profile: cfg.Profile},
+	})
 	if err != nil {
 		return FaultResult{}, err
 	}
-	res := FaultResult{Result: Result{Acquisitions: make([]int64, s.NumAttrs())}}
-	var row []schema.Value
-	for r := 0; r < tbl.NumRows(); r++ {
-		row = tbl.Row(r, row)
-		out := ex.ExecTuple(r, row)
-		cfg.Profile.FinishTuple()
-		res.Tuples++
-		res.TotalCost += out.Cost
-		if out.Cost > res.MaxCost {
-			res.MaxCost = out.Cost
-		}
-		res.RetryCost += out.RetryCost
-		res.Retries += out.Retries
-		res.Failures += out.Failures
-		res.StaleReads += out.StaleReads
-		res.Imputed += out.Imputed
-		if out.Replanned {
-			res.Replans++
-		}
-		truth := q.Eval(row)
-		switch out.Answer {
-		case query.Unknown:
-			res.Abstained++
-			if truth {
-				res.AbstainedTrue++
-			}
-		case query.True:
-			res.Selected++
-			if !truth {
-				if out.Touched {
-					res.FalsePositives++
-				} else {
-					res.Mismatches++
-				}
-			}
-		default:
-			if truth {
-				if out.Touched {
-					res.FalseNegatives++
-				} else {
-					res.Mismatches++
-				}
-			}
-		}
-	}
-	copy(res.Acquisitions, ex.AcquisitionCounts())
-	return res, nil
+	return res.AsFaultResult(), nil
 }

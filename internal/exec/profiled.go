@@ -1,8 +1,6 @@
 package exec
 
 import (
-	"fmt"
-
 	"acqp/internal/plan"
 	"acqp/internal/query"
 	"acqp/internal/schema"
@@ -17,83 +15,8 @@ import (
 // Run's — the profiled traversal pays the same charges in the same
 // order, so per-tuple and total costs match bit for bit (pinned by
 // TestRunProfiledMatchesRun). A nil prof delegates to Run outright.
+//
+// Deprecated: use Execute with Options.Profile.
 func RunProfiled(s *schema.Schema, p *plan.Node, q query.Query, tbl *table.Table, prof *trace.ExecProfile) Result {
-	if prof == nil {
-		return Run(s, p, q, tbl)
-	}
-	ids := plan.NodeIDs(p)
-	res := Result{Acquisitions: make([]int64, s.NumAttrs())}
-	acquired := make([]bool, s.NumAttrs())
-	var row []schema.Value
-	for r := 0; r < tbl.NumRows(); r++ {
-		row = tbl.Row(r, row)
-		for i := range acquired {
-			acquired[i] = false
-		}
-		got, cost := executeProfiled(s, p, ids, row, acquired, prof)
-		prof.FinishTuple()
-		res.Tuples++
-		res.TotalCost += cost
-		if cost > res.MaxCost {
-			res.MaxCost = cost
-		}
-		if got {
-			res.Selected++
-		}
-		if got != q.Eval(row) {
-			res.Mismatches++
-		}
-		for i, a := range acquired {
-			if a {
-				res.Acquisitions[i]++
-			}
-		}
-	}
-	return res
-}
-
-// executeProfiled mirrors plan.Node.Execute exactly — same traversal,
-// same first-touch charging, same cost accumulation order — while
-// attributing each charge to the node that paid it. Any divergence from
-// Execute here breaks the bit-identity invariant.
-func executeProfiled(s *schema.Schema, n *plan.Node, ids map[*plan.Node]int, row []schema.Value, acquired []bool, prof *trace.ExecProfile) (result bool, cost float64) {
-	cur := n
-	for {
-		id, ok := ids[cur]
-		if !ok {
-			id = -1
-		}
-		prof.Visit(id)
-		switch cur.Kind {
-		case plan.Leaf:
-			return cur.Result, cost
-		case plan.Split:
-			if !acquired[cur.Attr] {
-				c := s.AcquisitionCost(cur.Attr, acquired)
-				cost += c
-				acquired[cur.Attr] = true
-				prof.Charge(id, cur.Attr, c, 1)
-			}
-			if row[cur.Attr] >= cur.X {
-				cur = cur.Right
-			} else {
-				cur = cur.Left
-			}
-		case plan.Seq:
-			for _, pd := range cur.Preds {
-				if !acquired[pd.Attr] {
-					c := s.AcquisitionCost(pd.Attr, acquired)
-					cost += c
-					acquired[pd.Attr] = true
-					prof.Charge(id, pd.Attr, c, 1)
-				}
-				if !pd.Eval(row[pd.Attr]) {
-					return false, cost
-				}
-			}
-			return true, cost
-		default:
-			panic(fmt.Sprintf("exec: invalid node kind %d", cur.Kind))
-		}
-	}
+	return mustExecute(s, p, q, Options{Source: NewTableSource(tbl, 0), Profile: prof})
 }

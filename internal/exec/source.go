@@ -1,0 +1,264 @@
+package exec
+
+import (
+	"fmt"
+
+	"acqp/internal/schema"
+	"acqp/internal/table"
+)
+
+// DefaultBatchSize is the number of rows a source yields per pull when
+// the request does not set Options.BatchSize. Large enough to amortize
+// per-batch overhead (virtual dispatch, context checks), small enough
+// that a batch of any realistic schema stays within a few kilobytes of
+// cache.
+const DefaultBatchSize = 256
+
+// Batch is a bounded, column-major buffer of tuples — the unit of data
+// flow between a RowSource and the executor. Like table.Table it stores
+// one column per schema attribute, so plan operators read only the
+// columns they touch; unlike a table it has fixed capacity and is
+// refilled in place, so a source of any length executes in constant
+// memory.
+type Batch struct {
+	// cols[a][i] is the value of attribute a in the batch's i-th row.
+	// Sources may point these at shared backing storage (table columns);
+	// the executor never mutates them.
+	cols [][]schema.Value
+	// index[i], when non-nil, is the global row index of the i-th row
+	// (ordered sources). When nil, the i-th row's index is base+i.
+	index []int
+	// base is the global index of row 0 when index is nil.
+	base int
+	// n is the number of valid rows.
+	n int
+}
+
+// NewBatch allocates a batch with storage for capacity rows of numAttrs
+// columns. Sources that fill batches by copying use it; sources that
+// alias existing columns (TableSource) do not need the storage.
+func NewBatch(numAttrs, capacity int) *Batch {
+	b := &Batch{cols: make([][]schema.Value, numAttrs)}
+	backing := make([]schema.Value, numAttrs*capacity)
+	for a := range b.cols {
+		b.cols[a] = backing[a*capacity : (a+1)*capacity : (a+1)*capacity]
+	}
+	return b
+}
+
+// Len returns the number of valid rows in the batch.
+func (b *Batch) Len() int { return b.n }
+
+// Col returns the column slice for attribute a, length Len.
+func (b *Batch) Col(a int) []schema.Value { return b.cols[a][:b.n] }
+
+// RowIndex returns the global row index of the batch's i-th row.
+func (b *Batch) RowIndex(i int) int {
+	if b.index != nil {
+		return b.index[i]
+	}
+	return b.base + i
+}
+
+// Row copies the batch's i-th row into dst (allocating if too small).
+func (b *Batch) Row(i int, dst []schema.Value) []schema.Value {
+	if cap(dst) < len(b.cols) {
+		dst = make([]schema.Value, len(b.cols))
+	}
+	dst = dst[:len(b.cols)]
+	for a := range b.cols {
+		dst[a] = b.cols[a][i]
+	}
+	return dst
+}
+
+// RowSource produces tuples in batches. It is the executor's only view
+// of data: materialized tables, bounded readers over larger-than-memory
+// inputs, and live stream windows all implement it.
+//
+// Next fills the source's current batch with the next rows and returns
+// it with n > 0, or (nil, 0, nil) when the source is exhausted. The
+// returned batch is only valid until the following Next call — sources
+// reuse batch storage, which is what bounds memory.
+type RowSource interface {
+	Next() (b *Batch, n int, err error)
+	// NumAttrs returns the width of every row the source yields.
+	NumAttrs() int
+}
+
+// RandomAccess is implemented by sources whose rows are addressable by
+// index; Options.Order requires it.
+type RandomAccess interface {
+	RowSource
+	// NumRows returns the total number of rows.
+	NumRows() int
+	// At copies row r into dst (allocating if too small) and returns it.
+	At(r int, dst []schema.Value) []schema.Value
+}
+
+// TableSource streams a materialized table in batches of column
+// sub-slices — zero copies, the batch aliases the table's columns.
+type TableSource struct {
+	t     *table.Table
+	size  int
+	pos   int
+	batch Batch
+}
+
+// NewTableSource wraps a table as a RowSource. size <= 0 selects
+// DefaultBatchSize.
+func NewTableSource(t *table.Table, size int) *TableSource {
+	if size <= 0 {
+		size = DefaultBatchSize
+	}
+	return &TableSource{
+		t: t, size: size,
+		batch: Batch{cols: make([][]schema.Value, t.Schema().NumAttrs())},
+	}
+}
+
+// NumAttrs implements RowSource.
+func (ts *TableSource) NumAttrs() int { return ts.t.Schema().NumAttrs() }
+
+// NumRows implements RandomAccess.
+func (ts *TableSource) NumRows() int { return ts.t.NumRows() }
+
+// At implements RandomAccess.
+func (ts *TableSource) At(r int, dst []schema.Value) []schema.Value { return ts.t.Row(r, dst) }
+
+// Next implements RowSource.
+func (ts *TableSource) Next() (*Batch, int, error) {
+	if ts.pos >= ts.t.NumRows() {
+		return nil, 0, nil
+	}
+	hi := ts.pos + ts.size
+	if hi > ts.t.NumRows() {
+		hi = ts.t.NumRows()
+	}
+	for a := range ts.batch.cols {
+		ts.batch.cols[a] = ts.t.Col(a)[ts.pos:hi]
+	}
+	ts.batch.base = ts.pos
+	ts.batch.n = hi - ts.pos
+	ts.pos = hi
+	return &ts.batch, ts.batch.n, nil
+}
+
+// orderedSource visits a random-access source's rows in an explicit
+// order, gathering them into a bounded batch.
+type orderedSource struct {
+	src   RandomAccess
+	order []int
+	size  int
+	pos   int
+	batch *Batch
+	row   []schema.Value
+}
+
+// NewOrderedSource visits src's rows in the given order (indexes into
+// src). size <= 0 selects DefaultBatchSize.
+func NewOrderedSource(src RandomAccess, order []int, size int) RowSource {
+	if size <= 0 {
+		size = DefaultBatchSize
+	}
+	if size > len(order) && len(order) > 0 {
+		size = len(order)
+	}
+	b := NewBatch(src.NumAttrs(), size)
+	b.index = make([]int, 0, size)
+	return &orderedSource{src: src, order: order, size: size, batch: b}
+}
+
+// NumAttrs implements RowSource.
+func (os *orderedSource) NumAttrs() int { return os.src.NumAttrs() }
+
+// Next implements RowSource.
+func (os *orderedSource) Next() (*Batch, int, error) {
+	if os.pos >= len(os.order) {
+		return nil, 0, nil
+	}
+	hi := os.pos + os.size
+	if hi > len(os.order) {
+		hi = len(os.order)
+	}
+	b := os.batch
+	b.index = b.index[:0]
+	n := 0
+	for _, r := range os.order[os.pos:hi] {
+		if r < 0 || r >= os.src.NumRows() {
+			return nil, 0, fmt.Errorf("exec: ordered source: row index %d out of range [0,%d)", r, os.src.NumRows())
+		}
+		os.row = os.src.At(r, os.row)
+		for a, v := range os.row {
+			b.cols[a][n] = v
+		}
+		b.index = append(b.index, r)
+		n++
+	}
+	b.n = n
+	os.pos = hi
+	return b, n, nil
+}
+
+// FuncSource pulls rows one at a time from a producer callback into a
+// bounded batch — the adapter for larger-than-memory inputs (row
+// generators, decoded files, network feeds). Memory use is one batch
+// regardless of how many rows the producer yields.
+type FuncSource struct {
+	numAttrs int
+	size     int
+	produced int
+	done     bool
+	next     func(dst []schema.Value) (bool, error)
+	batch    *Batch
+	row      []schema.Value
+}
+
+// NewFuncSource wraps a producer: next must fill dst with the next row
+// and return true, or return false when exhausted. size <= 0 selects
+// DefaultBatchSize.
+func NewFuncSource(numAttrs, size int, next func(dst []schema.Value) (bool, error)) *FuncSource {
+	if size <= 0 {
+		size = DefaultBatchSize
+	}
+	return &FuncSource{
+		numAttrs: numAttrs,
+		size:     size,
+		next:     next,
+		batch:    NewBatch(numAttrs, size),
+		row:      make([]schema.Value, numAttrs),
+	}
+}
+
+// NumAttrs implements RowSource.
+func (fs *FuncSource) NumAttrs() int { return fs.numAttrs }
+
+// Next implements RowSource.
+func (fs *FuncSource) Next() (*Batch, int, error) {
+	if fs.done {
+		return nil, 0, nil
+	}
+	b := fs.batch
+	b.base = fs.produced
+	n := 0
+	for n < fs.size {
+		ok, err := fs.next(fs.row)
+		if err != nil {
+			return nil, 0, fmt.Errorf("exec: source: %w", err)
+		}
+		if !ok {
+			fs.done = true
+			break
+		}
+		for a, v := range fs.row {
+			b.cols[a][n] = v
+		}
+		n++
+	}
+	b.n = n
+	fs.produced += n
+	if n == 0 {
+		return nil, 0, nil
+	}
+	return b, n, nil
+}

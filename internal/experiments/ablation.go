@@ -58,7 +58,10 @@ func ModelAblation(e *Env) (AblationResult, error) {
 		if err != nil {
 			return res, err
 		}
-		naiveCosts[qi] = runCost(s, node, q, w.test)
+		naiveCosts[qi], err = runCost(e.ctx(), s, node, q, w.test)
+		if err != nil {
+			return res, err
+		}
 	}
 	for _, b := range backings {
 		heur := heuristicPlanner(s, 5)
@@ -68,7 +71,10 @@ func ModelAblation(e *Env) (AblationResult, error) {
 			if err != nil {
 				return res, err
 			}
-			c := runCost(s, node, q, w.test)
+			c, err := runCost(e.ctx(), s, node, q, w.test)
+			if err != nil {
+				return res, err
+			}
 			costSum += c
 			if c > 0 {
 				gainSum += naiveCosts[qi] / c

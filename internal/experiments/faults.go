@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"reflect"
@@ -11,6 +12,8 @@ import (
 	"acqp/internal/opt"
 	"acqp/internal/plan"
 	"acqp/internal/query"
+	"acqp/internal/schema"
+	"acqp/internal/table"
 )
 
 // faultSeed makes the whole study reproducible: the same seed drives
@@ -100,11 +103,11 @@ func FaultStudy(e *Env) (FaultStudyResult, error) {
 				case exec.Replan:
 					cfg.Replanner = replanner
 				}
-				fr, err := exec.RunFaulty(s, plans[qi], q, w.test, cfg)
+				fr, err := runFaulty(e.ctx(), s, plans[qi], q, w.test, cfg)
 				if err != nil {
 					return res, err
 				}
-				if err := checkFaultRun(plans[qi], q, w, rate, cfg, fr); err != nil {
+				if err := checkFaultRun(e.ctx(), plans[qi], q, w, rate, cfg, fr); err != nil {
 					return res, err
 				}
 				totalCost += fr.TotalCost
@@ -148,8 +151,21 @@ func FaultStudy(e *Env) (FaultStudyResult, error) {
 	return res, nil
 }
 
+// runFaulty executes one fault-injected run through the unified executor
+// and converts to the legacy accounting shape the study compares on.
+func runFaulty(ctx context.Context, s *schema.Schema, node *plan.Node, q query.Query, test *table.Table, cfg exec.FaultConfig) (exec.FaultResult, error) {
+	res, err := exec.Execute(ctx, exec.Request{
+		Schema: s, Plan: node, Query: q,
+		Options: exec.Options{Source: exec.NewTableSource(test, 0), Faults: &cfg, Profile: cfg.Profile},
+	})
+	if err != nil {
+		return exec.FaultResult{}, err
+	}
+	return res.AsFaultResult(), nil
+}
+
 // checkFaultRun enforces the per-run invariants the study gates on.
-func checkFaultRun(node *plan.Node, q query.Query, w labWorld, rate float64, cfg exec.FaultConfig, fr exec.FaultResult) error {
+func checkFaultRun(ctx context.Context, node *plan.Node, q query.Query, w labWorld, rate float64, cfg exec.FaultConfig, fr exec.FaultResult) error {
 	if fr.TotalCost < 0 || fr.RetryCost < 0 || fr.MaxCost < 0 {
 		return fmt.Errorf("experiments: faults: negative cost at rate %g policy %v: %+v", rate, cfg.Policy, fr)
 	}
@@ -159,12 +175,18 @@ func checkFaultRun(node *plan.Node, q query.Query, w labWorld, rate float64, cfg
 		return fmt.Errorf("experiments: faults: %d plan mismatches at rate %g policy %v", fr.Mismatches, rate, cfg.Policy)
 	}
 	if rate == 0 {
-		pristine := exec.Run(w.train.Schema(), node, q, w.test)
+		pristine, err := exec.Execute(ctx, exec.Request{
+			Schema: w.train.Schema(), Plan: node, Query: q,
+			Options: exec.Options{Source: exec.NewTableSource(w.test, 0)},
+		})
+		if err != nil {
+			return err
+		}
 		if !reflect.DeepEqual(fr.Result, pristine) {
 			return fmt.Errorf("experiments: faults: rate-zero run diverges from fault-free executor for policy %v", cfg.Policy)
 		}
 	}
-	again, err := exec.RunFaulty(w.train.Schema(), node, q, w.test, cfg)
+	again, err := runFaulty(ctx, w.train.Schema(), node, q, w.test, cfg)
 	if err != nil {
 		return err
 	}

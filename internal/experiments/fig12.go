@@ -83,7 +83,10 @@ func Fig12(e *Env) (Fig12Result, error) {
 				if err != nil {
 					return res, err
 				}
-				*pl.target = runCost(s, node, q, test)
+				*pl.target, err = runCost(e.ctx(), s, node, q, test)
+				if err != nil {
+					return res, err
+				}
 			}
 			res.Points = append(res.Points, point)
 		}

@@ -125,7 +125,10 @@ func Fig8a(e *Env) (Fig8aResult, error) {
 		if err != nil {
 			return res, err
 		}
-		exCost := runCost(s, exPlan, q, w.test)
+		exCost, err := runCost(e.ctx(), s, exPlan, q, w.test)
+		if err != nil {
+			return res, err
+		}
 		if exCost <= 0 {
 			res.Skipped++
 			continue
@@ -137,7 +140,10 @@ func Fig8a(e *Env) (Fig8aResult, error) {
 			if err != nil {
 				return res, err
 			}
-			c := runCost(s, node, q, w.test)
+			c, err := runCost(e.ctx(), s, node, q, w.test)
+			if err != nil {
+				return res, err
+			}
 			rel := c / exCost
 			sums[i] += rel
 			costs[i] += c
@@ -219,7 +225,10 @@ func Fig8b(e *Env) (Fig8bResult, error) {
 		if err != nil {
 			return res, err
 		}
-		heurCosts[qi] = runCost(s, node, q, w.test)
+		heurCosts[qi], err = runCost(e.ctx(), s, node, q, w.test)
+		if err != nil {
+			return res, err
+		}
 	}
 	for _, r := range rs {
 		row := Fig8bRow{
@@ -239,7 +248,11 @@ func Fig8b(e *Env) (Fig8bResult, error) {
 			if err != nil {
 				return res, err
 			}
-			rel := runCost(s, exPlan, q, w.test) / heurCosts[qi]
+			exCost, err := runCost(e.ctx(), s, exPlan, q, w.test)
+			if err != nil {
+				return res, err
+			}
+			rel := exCost / heurCosts[qi]
 			sum += rel
 			count++
 			if rel > row.WorstRel {
@@ -293,13 +306,19 @@ func Fig8c(e *Env) (Fig8cResult, error) {
 		if err != nil {
 			return res, err
 		}
-		nCost := runCost(s, nNode, q, w.test)
+		nCost, err := runCost(e.ctx(), s, nNode, q, w.test)
+		if err != nil {
+			return res, err
+		}
 		for _, p := range algos {
 			node, _, err := p.Plan(e.ctx(), w.dist, q)
 			if err != nil {
 				return res, err
 			}
-			c := runCost(s, node, q, w.test)
+			c, err := runCost(e.ctx(), s, node, q, w.test)
+			if err != nil {
+				return res, err
+			}
 			gain := math.Inf(1)
 			if c > 0 {
 				gain = nCost / c
@@ -338,11 +357,17 @@ func (r Fig8cResult) WriteTable(w io.Writer) error {
 		header, rows)
 }
 
-func runCost(s *schema.Schema, p *plan.Node, q query.Query, test *table.Table) float64 {
-	res := exec.Run(s, p, q, test)
+func runCost(ctx context.Context, s *schema.Schema, p *plan.Node, q query.Query, test *table.Table) (float64, error) {
+	res, err := exec.Execute(ctx, exec.Request{
+		Schema: s, Plan: p, Query: q,
+		Options: exec.Options{Source: exec.NewTableSource(test, 0)},
+	})
+	if err != nil {
+		return 0, err
+	}
 	if res.Mismatches != 0 {
 		// A planner bug would silently skew every figure; fail loudly.
 		panic(fmt.Sprintf("experiments: plan mismatches ground truth on %d tuples", res.Mismatches))
 	}
-	return res.MeanCost()
+	return res.MeanCost(), nil
 }

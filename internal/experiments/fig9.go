@@ -56,15 +56,27 @@ func Fig9(e *Env) (Fig9Result, error) {
 	if err != nil {
 		return Fig9Result{}, err
 	}
+	heurCost, err := runCost(e.ctx(), s, node, q, w.test)
+	if err != nil {
+		return Fig9Result{}, err
+	}
+	naiveCost, err := runCost(e.ctx(), s, naive, q, w.test)
+	if err != nil {
+		return Fig9Result{}, err
+	}
+	corrCost, err := runCost(e.ctx(), s, corr, q, w.test)
+	if err != nil {
+		return Fig9Result{}, err
+	}
 	return Fig9Result{
 		Query:       q.Format(s),
 		Rendered:    plan.Render(node, s),
 		Dot:         plan.Dot(node, s),
 		Splits:      node.NumSplits(),
 		PlanBytes:   plan.Size(node),
-		HeurCost:    runCost(s, node, q, w.test),
-		NaiveCost:   runCost(s, naive, q, w.test),
-		CorrSeqCost: runCost(s, corr, q, w.test),
+		HeurCost:    heurCost,
+		NaiveCost:   naiveCost,
+		CorrSeqCost: corrCost,
 	}, nil
 }
 

@@ -58,7 +58,10 @@ func Garden(e *Env, motes int) (GardenResult, error) {
 		if err != nil {
 			return res, err
 		}
-		hCost := runCost(s, hNode, q, test)
+		hCost, err := runCost(e.ctx(), s, hNode, q, test)
+		if err != nil {
+			return res, err
+		}
 		nNode, _, err := naive.Plan(e.ctx(), d, q)
 		if err != nil {
 			return res, err
@@ -70,8 +73,16 @@ func Garden(e *Env, motes int) (GardenResult, error) {
 		if hCost <= 0 {
 			continue
 		}
-		res.RatioNaive = append(res.RatioNaive, runCost(s, nNode, q, test)/hCost)
-		res.RatioCorrSeq = append(res.RatioCorrSeq, runCost(s, cNode, q, test)/hCost)
+		nCost, err := runCost(e.ctx(), s, nNode, q, test)
+		if err != nil {
+			return res, err
+		}
+		cCost, err := runCost(e.ctx(), s, cNode, q, test)
+		if err != nil {
+			return res, err
+		}
+		res.RatioNaive = append(res.RatioNaive, nCost/hCost)
+		res.RatioCorrSeq = append(res.RatioCorrSeq, cCost/hCost)
 	}
 	sort.Sort(sort.Reverse(sort.Float64Slice(res.RatioNaive)))
 	sort.Sort(sort.Reverse(sort.Float64Slice(res.RatioCorrSeq)))

@@ -73,8 +73,20 @@ func TraceStudy(e *Env) (TraceStudyResult, error) {
 
 		nodes := node.Preorder()
 		prof := trace.NewExecProfile(len(nodes), s.NumAttrs())
-		got := exec.RunProfiled(s, node, q, w.test, prof)
-		want := exec.Run(s, node, q, w.test)
+		got, err := exec.Execute(e.ctx(), exec.Request{
+			Schema: s, Plan: node, Query: q,
+			Options: exec.Options{Source: exec.NewTableSource(w.test, 0), Profile: prof},
+		})
+		if err != nil {
+			return res, err
+		}
+		want, err := exec.Execute(e.ctx(), exec.Request{
+			Schema: s, Plan: node, Query: q,
+			Options: exec.Options{Source: exec.NewTableSource(w.test, 0)},
+		})
+		if err != nil {
+			return res, err
+		}
 		if !reflect.DeepEqual(got, want) {
 			return res, fmt.Errorf("experiments: trace: query %d profiled run diverges from unprofiled executor", qi)
 		}

@@ -129,14 +129,26 @@ func TestCoarsenTableAndExpandPlanEndToEnd(t *testing.T) {
 	if err := expanded.Validate(s); err != nil {
 		t.Fatalf("expanded plan invalid: %v", err)
 	}
-	res := exec.Run(s, expanded, q, tbl)
+	res, err := exec.Execute(context.Background(), exec.Request{
+		Schema: s, Plan: expanded, Query: q,
+		Options: exec.Options{Source: exec.NewTableSource(tbl, 0)},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
 	if res.Mismatches != 0 {
 		t.Errorf("expanded plan has %d mismatches on original data", res.Mismatches)
 	}
 	// The expanded plan's cost on original data equals the coarse plan's
 	// cost on coarse data: coarsening preserves the distribution the plan
 	// conditions on.
-	cres := exec.Run(co.CoarseSchema(), cplan, cq, ctbl)
+	cres, err := exec.Execute(context.Background(), exec.Request{
+		Schema: co.CoarseSchema(), Plan: cplan, Query: cq,
+		Options: exec.Options{Source: exec.NewTableSource(ctbl, 0)},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
 	if math.Abs(res.MeanCost()-cres.MeanCost()) > 1e-9 {
 		t.Errorf("expanded cost %g != coarse cost %g", res.MeanCost(), cres.MeanCost())
 	}

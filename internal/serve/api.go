@@ -55,6 +55,12 @@ type planRequest struct {
 	// analysis. Requests carrying it may read the cache but never store
 	// into it, and /execute runs the fault-aware executor.
 	Faults *faultSpec `json:"faults,omitempty"`
+	// Source selects what /execute runs the plan over: "table" (default)
+	// materializes the statistics window into a table first — the
+	// historical behavior — while "stream_window" streams the window's
+	// tuples straight into the executor in bounded batches. Results are
+	// identical; /plan ignores the field.
+	Source string `json:"source,omitempty"`
 }
 
 // planResponse is the /plan response body.
@@ -227,7 +233,7 @@ func (s *Server) handlePlan(w http.ResponseWriter, r *http.Request) {
 		}
 	}
 	s.metrics.recordRequest(epPlan, requestOutcome(out.degraded, cached || shared), time.Since(start))
-	writeJSON(w, http.StatusOK, planResponse{
+	resp := planResponse{
 		Plan:         out.rendered,
 		PlanB64:      out.encoded,
 		ExpectedCost: out.cost,
@@ -245,7 +251,9 @@ func (s *Server) handlePlan(w http.ResponseWriter, r *http.Request) {
 		Node:         servedBy,
 		Forwarded:    forwarded,
 		Trace:        out.traceSnap,
-	})
+	}
+	writeJSON(w, http.StatusOK, resp)
+	s.maybeInstallFast(raw, req, p, resp, trivial, cached)
 }
 
 // requestOutcome classifies one answered request for the per-endpoint
@@ -397,23 +405,43 @@ func (s *Server) handleExecute(w http.ResponseWriter, r *http.Request) {
 			return
 		}
 	}
-	s.wmu.Lock()
-	tbl := s.window.Materialize()
-	s.wmu.Unlock()
+	var src exec.RowSource
+	var windowTuples int
+	switch req.Source {
+	case "", "table":
+		s.wmu.Lock()
+		tbl := s.window.Materialize()
+		s.wmu.Unlock()
+		src = exec.NewTableSource(tbl, 0)
+		windowTuples = tbl.NumRows()
+	case "stream_window":
+		s.wmu.Lock()
+		src = s.window.Source(0)
+		windowTuples = s.window.Len()
+		s.wmu.Unlock()
+	default:
+		writeError(w, http.StatusBadRequest, "unknown source %q (want table or stream_window)", req.Source)
+		return
+	}
 	execStart := time.Now()
 	var prof *trace.ExecProfile
 	if p.traced {
 		prof = trace.NewExecProfile(len(out.node.Preorder()), s.s.NumAttrs())
 	}
-	var res exec.Result
+	execOpts := exec.Options{Source: src, Profile: prof}
+	if req.Faults != nil {
+		execOpts.Faults = &faultCfg
+	}
+	res, xerr := exec.Execute(r.Context(), exec.Request{
+		Schema: s.s, Plan: out.node, Query: canon, Options: execOpts,
+	})
+	if xerr != nil {
+		writeError(w, http.StatusInternalServerError, "%v", xerr)
+		return
+	}
 	var report *faultReport
 	if req.Faults != nil {
-		faultCfg.Profile = prof
-		fres, ferr := exec.RunFaulty(s.s, out.node, canon, tbl, faultCfg)
-		if ferr != nil {
-			writeError(w, http.StatusInternalServerError, "%v", ferr)
-			return
-		}
+		fres := res.AsFaultResult()
 		res = fres.Result
 		report = newFaultReport(req.Faults, faultCfg.Policy, fres)
 		count(&s.metrics.faultExecutions, 1)
@@ -421,8 +449,6 @@ func (s *Server) handleExecute(w http.ResponseWriter, r *http.Request) {
 		count(&s.metrics.faultFailures, int64(fres.Failures))
 		count(&s.metrics.faultFallbacks, int64(fres.Abstained+fres.Imputed+fres.Replans))
 		count(&s.metrics.degradedAnswers, int64(fres.Abstained+fres.FalsePositives+fres.FalseNegatives))
-	} else {
-		res = exec.RunProfiled(s.s, out.node, canon, tbl, prof)
 	}
 	count(&s.metrics.executed, 1)
 	s.metrics.recordRequest(epExecute, requestOutcome(out.degraded, cached || shared), time.Since(start))
@@ -450,7 +476,7 @@ func (s *Server) handleExecute(w http.ResponseWriter, r *http.Request) {
 		MaxCost:      res.MaxCost,
 		Mismatches:   res.Mismatches,
 		ExecuteMS:    float64(time.Since(execStart)) / float64(time.Millisecond),
-		WindowTuples: tbl.NumRows(),
+		WindowTuples: windowTuples,
 		Faults:       report,
 		ExecTrace:    s.execTraceFor(out.node, prof, out.cost),
 	})

@@ -1,0 +1,28 @@
+package stream
+
+import (
+	"acqp/internal/exec"
+	"acqp/internal/schema"
+)
+
+// Source adapts the window to the executor: it yields the window's
+// current contents in the same order Materialize would, batch by batch,
+// without building a table (no per-column storage, no append
+// validation, no statistics). The ring contents are snapshotted at
+// creation — callers lock only around the Source call itself, not the
+// whole execution, and tuples pushed afterwards are not picked up
+// mid-run. batchSize <= 0 selects the executor's default.
+func (w *Window) Source(batchSize int) exec.RowSource {
+	na := w.s.NumAttrs()
+	n := w.n
+	snap := append([]schema.Value(nil), w.rows[:n*na]...)
+	i := 0
+	return exec.NewFuncSource(na, batchSize, func(dst []schema.Value) (bool, error) {
+		if i >= n {
+			return false, nil
+		}
+		copy(dst, snap[i*na:(i+1)*na])
+		i++
+		return true, nil
+	})
+}

@@ -1,0 +1,91 @@
+package stream
+
+import (
+	"context"
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"acqp/internal/exec"
+	"acqp/internal/opt"
+	"acqp/internal/plan"
+	"acqp/internal/query"
+	"acqp/internal/schema"
+	"acqp/internal/stats"
+	"acqp/internal/table"
+)
+
+// planFor builds a small conditional plan for the test data.
+func planFor(t *testing.T, s *schema.Schema, q query.Query, tbl *table.Table) *plan.Node {
+	t.Helper()
+	g := opt.Greedy{SPSF: opt.FullSPSF(s), MaxSplits: 3, Base: opt.SeqOpt}
+	p, _ := g.Plan(context.Background(), stats.NewEmpirical(tbl), q)
+	return p
+}
+
+// TestWindowSourceMatchesMaterialize pins the window adapter's contract:
+// executing a plan over Window.Source yields a byte-identical Result to
+// materializing the window into a table first, including after the ring
+// has wrapped.
+func TestWindowSourceMatchesMaterialize(t *testing.T) {
+	s := streamSchema()
+	q := streamQuery(s)
+	rng := rand.New(rand.NewSource(7))
+	w, err := NewWindow(s, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	row := make([]schema.Value, s.NumAttrs())
+	for i := 0; i < 250; i++ { // 2.5x capacity: the ring wraps twice
+		for a := range row {
+			row[a] = schema.Value(rng.Intn(s.K(a)))
+		}
+		w.Push(row)
+	}
+	p := planFor(t, s, q, w.Materialize())
+	want := mustExecute(t, s, p, q, w.Materialize())
+	for _, batch := range []int{0, 1, 7, 64, 1024} {
+		got, err := exec.Execute(context.Background(), exec.Request{
+			Schema: s, Plan: p, Query: q,
+			Options: exec.Options{Source: w.Source(batch)},
+		})
+		if err != nil {
+			t.Fatalf("batch %d: %v", batch, err)
+		}
+		if !reflect.DeepEqual(got, want) {
+			t.Errorf("batch %d: window source result %+v != materialized %+v", batch, got, want)
+		}
+	}
+}
+
+// TestWindowSourceSnapshotsLength pins that a source created before new
+// pushes does not see them.
+func TestWindowSourceSnapshotsLength(t *testing.T) {
+	s := streamSchema()
+	w, err := NewWindow(s, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	row := make([]schema.Value, s.NumAttrs())
+	for i := 0; i < 4; i++ {
+		w.Push(row)
+	}
+	src := w.Source(0)
+	for i := 0; i < 3; i++ {
+		w.Push(row)
+	}
+	n := 0
+	for {
+		b, k, err := src.Next()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if k == 0 {
+			break
+		}
+		n += b.Len()
+	}
+	if n != 4 {
+		t.Errorf("source yielded %d rows, want the 4 present at creation", n)
+	}
+}

@@ -7,11 +7,25 @@ import (
 
 	"acqp/internal/exec"
 	"acqp/internal/opt"
+	"acqp/internal/plan"
 	"acqp/internal/query"
 	"acqp/internal/schema"
 	"acqp/internal/stats"
 	"acqp/internal/table"
 )
+
+// mustExecute runs a plan over a table through the unified executor.
+func mustExecute(t *testing.T, s *schema.Schema, p *plan.Node, q query.Query, tbl *table.Table) exec.Result {
+	t.Helper()
+	res, err := exec.Execute(context.Background(), exec.Request{
+		Schema: s, Plan: p, Query: q,
+		Options: exec.Options{Source: exec.NewTableSource(tbl, 0)},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res
+}
 
 func streamSchema() *schema.Schema {
 	return schema.New(
@@ -136,8 +150,8 @@ func TestAdaptiveDetectsDriftAndRecovers(t *testing.T) {
 	// After adaptation, the adaptive plan must beat the frozen plan on
 	// phase-1 data.
 	test := phaseTable(s, 4000, 1, 5)
-	frozenRes := exec.Run(s, frozen, q, test)
-	adaptedRes := exec.Run(s, a.Plan(), q, test)
+	frozenRes := mustExecute(t, s, frozen, q, test)
+	adaptedRes := mustExecute(t, s, a.Plan(), q, test)
 	if adaptedRes.Mismatches != 0 || frozenRes.Mismatches != 0 {
 		t.Fatal("plans mismatch ground truth")
 	}
@@ -166,7 +180,7 @@ func TestAdaptiveMatchesStaticPlannerQuality(t *testing.T) {
 		row = test.Row(r, row)
 		a.Process(row)
 	}
-	staticRes := exec.Run(s, static, q, test)
+	staticRes := mustExecute(t, s, static, q, test)
 	if a.MeanCost() > staticRes.MeanCost()*1.1 {
 		t.Errorf("adaptive cost %.2f far above static %.2f on stationary data",
 			a.MeanCost(), staticRes.MeanCost())

@@ -34,10 +34,23 @@ func (t *Table) WriteCSV(w io.Writer) error {
 	return cw.Error()
 }
 
-// ReadCSV reads a CSV stream produced by WriteCSV (or any CSV whose header
-// names match the schema's attributes, in any column order) into a new
-// table bound to the given schema.
-func ReadCSV(s *schema.Schema, r io.Reader) (*Table, error) {
+// RowReader decodes a CSV stream produced by WriteCSV (or any CSV whose
+// header names match the schema's attributes, in any column order) one
+// row at a time, holding only the current record in memory. It is the
+// table package's streaming face: wrap its Next in an executor source to
+// run plans over CSV inputs larger than memory without materializing a
+// Table.
+type RowReader struct {
+	s      *schema.Schema
+	cr     *csv.Reader
+	header []string
+	colFor []int // colFor[j] is the schema attribute index stored in csv column j
+	line   int
+}
+
+// NewRowReader reads and validates the CSV header, binding columns to
+// schema attributes by name.
+func NewRowReader(s *schema.Schema, r io.Reader) (*RowReader, error) {
 	cr := csv.NewReader(r)
 	cr.ReuseRecord = true
 	header, err := cr.Read()
@@ -48,7 +61,7 @@ func ReadCSV(s *schema.Schema, r io.Reader) (*Table, error) {
 	if len(header) != n {
 		return nil, fmt.Errorf("table: csv has %d columns, schema has %d attributes", len(header), n)
 	}
-	// colFor[j] is the schema attribute index stored in csv column j.
+	header = append([]string(nil), header...) // cr reuses its record buffer
 	colFor := make([]int, len(header))
 	seen := make([]bool, n)
 	for j, name := range header {
@@ -62,29 +75,52 @@ func ReadCSV(s *schema.Schema, r io.Reader) (*Table, error) {
 		seen[idx] = true
 		colFor[j] = idx
 	}
-	t := New(s, 1024)
-	row := make([]schema.Value, n)
-	for line := 2; ; line++ {
-		rec, err := cr.Read()
-		if err == io.EOF {
-			break
-		}
+	return &RowReader{s: s, cr: cr, header: header, colFor: colFor, line: 1}, nil
+}
+
+// Next decodes the next row into dst (length NumAttrs, schema attribute
+// order) and returns true, or false at end of stream.
+func (rr *RowReader) Next(dst []schema.Value) (bool, error) {
+	rr.line++
+	rec, err := rr.cr.Read()
+	if err == io.EOF {
+		return false, nil
+	}
+	if err != nil {
+		return false, fmt.Errorf("table: read csv line %d: %w", rr.line, err)
+	}
+	for j, field := range rec {
+		v, err := strconv.Atoi(field)
 		if err != nil {
-			return nil, fmt.Errorf("table: read csv line %d: %w", line, err)
+			return false, fmt.Errorf("table: csv line %d column %q: %w", rr.line, rr.header[j], err)
 		}
-		for j, field := range rec {
-			v, err := strconv.Atoi(field)
-			if err != nil {
-				return nil, fmt.Errorf("table: csv line %d column %q: %w", line, header[j], err)
-			}
-			if v < 0 || v >= s.K(colFor[j]) {
-				return nil, fmt.Errorf("table: csv line %d column %q: value %d out of domain [0,%d)", line, header[j], v, s.K(colFor[j]))
-			}
-			row[colFor[j]] = schema.Value(v)
+		if v < 0 || v >= rr.s.K(rr.colFor[j]) {
+			return false, fmt.Errorf("table: csv line %d column %q: value %d out of domain [0,%d)", rr.line, rr.header[j], v, rr.s.K(rr.colFor[j]))
+		}
+		dst[rr.colFor[j]] = schema.Value(v)
+	}
+	return true, nil
+}
+
+// ReadCSV reads a CSV stream into a new table bound to the given schema
+// — the materializing counterpart of RowReader.
+func ReadCSV(s *schema.Schema, r io.Reader) (*Table, error) {
+	rr, err := NewRowReader(s, r)
+	if err != nil {
+		return nil, err
+	}
+	t := New(s, 1024)
+	row := make([]schema.Value, s.NumAttrs())
+	for {
+		ok, err := rr.Next(row)
+		if err != nil {
+			return nil, err
+		}
+		if !ok {
+			return t, nil
 		}
 		if err := t.AppendRow(row); err != nil {
 			return nil, err
 		}
 	}
-	return t, nil
 }
