@@ -21,6 +21,14 @@
 #              sharding + forwarding = cluster-wide singleflight) and a
 #              forced refresh on one node reaches every peer's epoch via
 #              gossip; teed to results/cluster-smoke.txt
+#   network chaos smoke reboot the three-node cluster with the seeded
+#              deterministic chaos transport (internal/chaos) corrupting
+#              every inter-node link — drops, injected 5xx, truncated
+#              bodies, added latency — and gate on resilience: every
+#              client request is still answered (retries, rendezvous
+#              failover, or degraded local planning), the chaos layer
+#              demonstrably fired, and the resilience machinery
+#              demonstrably engaged; teed to results/chaos-smoke.txt
 #   chaos smoke rerun the exec fault-policy tests and the seeded
 #              lossy-sensornet simulation, then regenerate the faults
 #              figure (which self-checks rate-zero equivalence,
@@ -120,6 +128,67 @@ wait $cpids
 for port in $cports; do
 	grep -q "acqserved: done" "$smokedir/cluster-$port.log"
 done
+
+echo "== network chaos smoke"
+# Resilience gate: the same three-node topology on fresh ports, but every
+# inter-node request now crosses the seeded chaos transport, which drops
+# requests, injects synthetic 5xx, truncates response bodies, and adds
+# latency. acqload itself enforces that every request is answered (it
+# exits nonzero on any error — a failed forward must recover via retry,
+# rendezvous failover, or a degraded local plan), and the chaos-report
+# gate below requires that faults actually fired and that the resilience
+# machinery actually engaged, so the run cannot pass vacuously.
+nports="18481 18482 18483"
+npeers="http://127.0.0.1:18481,http://127.0.0.1:18482,http://127.0.0.1:18483"
+npids=""
+for port in $nports; do
+	"$smokedir/acqserved" -addr "127.0.0.1:$port" -peers "$npeers" -gossip-interval 200ms \
+		-fail-after 1000 -forward-retries 2 -max-failovers 2 \
+		-chaos-seed 4242 -chaos-drop 0.15 -chaos-5xx 0.10 -chaos-truncate 0.10 -chaos-latency 1ms \
+		-schema "hour:24:1,nodeid:45:1,voltage:16:1,light:32:100,temp:32:100,humidity:32:100" \
+		-data "$smokedir/lab.csv" >"$smokedir/chaosnet-$port.log" 2>&1 &
+	npids="$npids $!"
+done
+mkdir -p results
+"$smokedir/acqload" -targets "$npeers" -wait-ready 15s \
+	-clients 8 -requests 16 -pool 12 -seed 4 -chaos-report | tee results/chaos-smoke.txt
+kill -TERM $npids
+wait $npids
+for port in $nports; do
+	grep -q "acqserved: done" "$smokedir/chaosnet-$port.log"
+done
+awk -F'[ ,]+' '
+	/^chaos-report: total degraded/ {
+		for (i = 1; i <= NF; i++) {
+			if ($i == "degraded") deg = $(i + 1)
+			if ($i == "retried") ret = $(i + 1)
+			if ($i == "failover") fo = $(i + 1)
+		}
+		resil = 1
+	}
+	/^chaos-report: total injected requests/ {
+		for (i = 1; i <= NF; i++) {
+			if ($i == "dropped") d = $(i + 1)
+			if ($i == "injected_5xx") x = $(i + 1)
+			if ($i == "truncated") tr = $(i + 1)
+		}
+		fired = 1
+	}
+	END {
+		if (!resil || !fired) {
+			print "chaos smoke: report lines missing from results/chaos-smoke.txt" > "/dev/stderr"
+			exit 1
+		}
+		printf "chaos smoke: faults dropped %d / 5xx %d / truncated %d; recovered via %d retries, %d failovers, %d degraded plans\n", d, x, tr, ret, fo, deg
+		if (d + x + tr == 0) {
+			print "chaos smoke: chaos transport never fired (vacuous run)" > "/dev/stderr"
+			exit 1
+		}
+		if (ret + fo + deg == 0) {
+			print "chaos smoke: resilience machinery never engaged despite injected faults" > "/dev/stderr"
+			exit 1
+		}
+	}' results/chaos-smoke.txt
 
 echo "== chaos smoke"
 # Fault-injection gate: the policy tests pin exact retry-cost accounting

@@ -20,10 +20,15 @@
 // entry node adds zero planner runs (each distinct query was planned
 // once cluster-wide and is served from its owner's cache), and a forced
 // refresh on one node converges every target to the new statistics
-// epoch via gossip.
+// epoch via gossip. -chaos-report scrapes every target's /metrics after
+// the workload and prints per-node and cluster-total resilience
+// counters (degraded plans, forward retries, failovers, breaker opens)
+// plus the chaos transport's injected-fault counts when a node runs
+// with -chaos-seed.
 package main
 
 import (
+	"bufio"
 	"bytes"
 	"encoding/json"
 	"flag"
@@ -77,6 +82,7 @@ func main() {
 	targetsFlag := flag.String("targets", "", "comma-separated acqserved base URLs; each request picks a random entry node (overrides -addr)")
 	waitReady := flag.Duration("wait-ready", 0, "poll every target's /readyz until ready, up to this long, before driving load")
 	clusterCheck := flag.Bool("cluster-check", false, "after the workload, verify the cluster's single-planner-run and epoch-coherence invariants")
+	chaosReport := flag.Bool("chaos-report", false, "after the workload, summarize each target's resilience counters (degraded plans, forward retries, failovers, breaker opens) from /metrics")
 	flag.Parse()
 	if *clients < 1 || *requests < 1 {
 		fatal(fmt.Errorf("need at least one client and one request"))
@@ -206,6 +212,11 @@ func main() {
 	if errs.Load() > 0 {
 		os.Exit(1)
 	}
+	if *chaosReport {
+		if err := runChaosReport(targets); err != nil {
+			fatal(err)
+		}
+	}
 	if *clusterCheck {
 		if err := runClusterCheck(targets, queries, path, *planner, *timeoutMS, *maxRetries, *seed); err != nil {
 			fatal(err)
@@ -317,6 +328,104 @@ func runClusterCheck(targets, queries []string, path, planner string, timeoutMS,
 	}
 	fmt.Printf("cluster-check: epoch coherence OK (all %d targets at epoch >= %d after one forced refresh)\n", len(targets), refreshed)
 	return nil
+}
+
+// chaosReportKeys are the per-node resilience counters -chaos-report
+// pulls from /metrics, in print order: how often forwarding retried,
+// failed over along the rendezvous order, opened or skipped a breaker,
+// exhausted the retry budget, or fell back to a degraded local plan.
+var chaosReportKeys = []struct{ metric, label string }{
+	{"acqserved_cluster_degraded_partition", "degraded"},
+	{"acqserved_cluster_forward_retries", "retried"},
+	{"acqserved_cluster_forward_failovers", "failover"},
+	{"acqserved_cluster_breaker_opens", "breaker_opens"},
+	{"acqserved_cluster_breaker_skips", "breaker_skips"},
+	{"acqserved_cluster_retry_budget_exhausted", "budget_exhausted"},
+}
+
+// chaosTransportKeys are the injected-fault counters a node exports only
+// when its cluster transport is the chaos layer.
+var chaosTransportKeys = []struct{ metric, label string }{
+	{"acqserved_chaos_requests", "requests"},
+	{"acqserved_chaos_dropped", "dropped"},
+	{"acqserved_chaos_injected_5xx", "injected_5xx"},
+	{"acqserved_chaos_truncated", "truncated"},
+	{"acqserved_chaos_partition_blocked", "partition_blocked"},
+}
+
+// runChaosReport prints one resilience line per target plus a
+// cluster-wide total, so a chaos smoke can assert on the aggregate
+// (e.g. that every request was answered while faults demonstrably
+// fired) by grepping the "chaos-report: total" line.
+func runChaosReport(targets []string) error {
+	totals := make(map[string]int64)
+	for _, target := range targets {
+		m, err := fetchMetrics(target)
+		if err != nil {
+			return fmt.Errorf("chaos-report: %v", err)
+		}
+		var parts []string
+		for _, k := range chaosReportKeys {
+			v := int64(m[k.metric])
+			totals[k.label] += v
+			parts = append(parts, fmt.Sprintf("%s %d", k.label, v))
+		}
+		fmt.Printf("chaos-report: node %s: %s\n", target, strings.Join(parts, ", "))
+		if _, ok := m["acqserved_chaos_requests"]; ok {
+			parts = parts[:0]
+			for _, k := range chaosTransportKeys {
+				v := int64(m[k.metric])
+				totals[k.label] += v
+				parts = append(parts, fmt.Sprintf("%s %d", k.label, v))
+			}
+			fmt.Printf("chaos-report: injected %s: %s\n", target, strings.Join(parts, ", "))
+		}
+	}
+	var parts []string
+	for _, k := range chaosReportKeys {
+		parts = append(parts, fmt.Sprintf("%s %d", k.label, totals[k.label]))
+	}
+	fmt.Printf("chaos-report: total %s\n", strings.Join(parts, ", "))
+	if n := totals["requests"]; n > 0 {
+		fmt.Printf("chaos-report: total injected requests %d, dropped %d, injected_5xx %d, truncated %d, partition_blocked %d\n",
+			n, totals["dropped"], totals["injected_5xx"], totals["truncated"], totals["partition_blocked"])
+	}
+	return nil
+}
+
+// fetchMetrics scrapes a target's /metrics and returns the unlabeled
+// series as name -> value; labeled series (per-peer counters, breaker
+// gauges) are skipped — the report reads node-level aggregates only.
+func fetchMetrics(addr string) (map[string]float64, error) {
+	resp, err := http.Get(addr + "/metrics")
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("GET %s/metrics: status %d", addr, resp.StatusCode)
+	}
+	out := make(map[string]float64)
+	sc := bufio.NewScanner(resp.Body)
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		fields := strings.Fields(line)
+		if len(fields) != 2 || strings.ContainsRune(fields[0], '{') {
+			continue
+		}
+		v, err := strconv.ParseFloat(fields[1], 64)
+		if err != nil {
+			continue
+		}
+		out[fields[0]] = v
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("GET %s/metrics: %v", addr, err)
+	}
+	return out, nil
 }
 
 // forceRefresh POSTs a forced /refresh to one node and returns the new

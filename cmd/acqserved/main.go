@@ -11,7 +11,11 @@
 //	          [-window 4096] [-refresh 30s] [-drift 0.05] \
 //	          [-access-log] [-debug-addr localhost:6060] \
 //	          [-peers http://h1:8077,http://h2:8077] [-advertise URL] \
-//	          [-gossip-interval 1s] [-fail-after 3] [-cluster-seed 1]
+//	          [-gossip-interval 1s] [-fail-after 3] [-cluster-seed 1] \
+//	          [-forward-retries 1] [-max-failovers 1] \
+//	          [-breaker-threshold 5] [-breaker-cooldown 3s] \
+//	          [-chaos-seed 0] [-chaos-drop 0] [-chaos-5xx 0] \
+//	          [-chaos-truncate 0] [-chaos-latency 0]
 //
 // Endpoints: POST /plan, /execute, /ingest, /refresh; GET /stats,
 // /metrics (Prometheus text), /healthz, /readyz. See internal/serve for
@@ -25,6 +29,15 @@
 // /v1/cluster shows the membership view). -advertise is the URL peers
 // reach this node at; it defaults from the bound address when that
 // address names a concrete host.
+//
+// Cluster forwarding is resilient: a failed forward retries with capped
+// backoff (-forward-retries, bounded by a cluster-wide retry budget),
+// fails over along the rendezvous order (-max-failovers), and per-peer
+// circuit breakers (-breaker-threshold, -breaker-cooldown) skip
+// persistently failing peers until a half-open probe succeeds. The
+// -chaos-* flags install the deterministic seeded network-fault layer
+// (internal/chaos) on the cluster transport — the ci.sh chaos smoke
+// uses them; leave them zero in production.
 package main
 
 import (
@@ -42,6 +55,7 @@ import (
 	"time"
 
 	"acqp"
+	"acqp/internal/chaos"
 	"acqp/internal/serve"
 )
 
@@ -64,6 +78,15 @@ func main() {
 	gossipInterval := flag.Duration("gossip-interval", time.Second, "cluster heartbeat/anti-entropy cadence")
 	failAfter := flag.Int("fail-after", 3, "consecutive failed exchanges before a peer is declared dead")
 	clusterSeed := flag.Uint64("cluster-seed", 1, "seed for the deterministic gossip jitter")
+	forwardRetries := flag.Int("forward-retries", 0, "retries per forwarded plan request before failover (0 = default 1, negative = none)")
+	maxFailovers := flag.Int("max-failovers", 0, "additional rendezvous candidates tried after the owner fails (0 = default 1, negative = none)")
+	breakerThreshold := flag.Int("breaker-threshold", 0, "consecutive failures that open a peer's circuit breaker (0 = default 5, negative = never)")
+	breakerCooldown := flag.Duration("breaker-cooldown", 0, "open-breaker dwell before a half-open probe (0 = default 3s)")
+	chaosSeed := flag.Uint64("chaos-seed", 0, "enable deterministic network chaos on the cluster transport with this seed (0 = off; smoke-test harness only)")
+	chaosDrop := flag.Float64("chaos-drop", 0, "chaos: per-request drop probability on every inter-node link")
+	chaos5xx := flag.Float64("chaos-5xx", 0, "chaos: per-request synthetic 5xx probability on every inter-node link")
+	chaosTruncate := flag.Float64("chaos-truncate", 0, "chaos: per-response body-truncation probability on every inter-node link")
+	chaosLatency := flag.Duration("chaos-latency", 0, "chaos: fixed extra latency injected on every inter-node request")
 	flag.Parse()
 
 	if *schemaSpec == "" || *dataPath == "" {
@@ -112,14 +135,35 @@ func main() {
 			fatal(err)
 		}
 		cfg.Cluster = &serve.ClusterConfig{
-			Self:           self,
-			Peers:          splitPeers(*peers),
-			GossipInterval: *gossipInterval,
-			FailAfter:      *failAfter,
-			Seed:           *clusterSeed,
+			Self:             self,
+			Peers:            splitPeers(*peers),
+			GossipInterval:   *gossipInterval,
+			FailAfter:        *failAfter,
+			Seed:             *clusterSeed,
+			ForwardRetries:   *forwardRetries,
+			MaxFailovers:     *maxFailovers,
+			BreakerThreshold: *breakerThreshold,
+			BreakerCooldown:  *breakerCooldown,
 			Logf: func(format string, args ...any) {
 				fmt.Fprintf(os.Stderr, "acqserved: "+format+"\n", args...)
 			},
+		}
+		if *chaosSeed != 0 {
+			// The chaos transport carries both forwarded plan requests and
+			// gossip, so injected faults hit planning and failure detection
+			// coherently — exactly what the ci.sh chaos smoke exercises.
+			tr := chaos.New(chaos.Config{Seed: *chaosSeed, Self: self})
+			if err := tr.SetDefault(chaos.Rule{
+				PDrop:     *chaosDrop,
+				P5xx:      *chaos5xx,
+				PTruncate: *chaosTruncate,
+				Latency:   *chaosLatency,
+			}); err != nil {
+				fatal(err)
+			}
+			cfg.Cluster.Transport = tr
+			fmt.Printf("acqserved: network chaos enabled (seed %d, drop %g, 5xx %g, truncate %g, latency %s)\n",
+				*chaosSeed, *chaosDrop, *chaos5xx, *chaosTruncate, *chaosLatency)
 		}
 		fmt.Printf("acqserved: cluster node %s, %d seed peer(s)\n", self, len(cfg.Cluster.Peers))
 	}

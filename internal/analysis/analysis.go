@@ -67,9 +67,9 @@ type Analyzer struct {
 }
 
 // Analyzers returns the full suite in reporting order. FaultDet,
-// TraceDet, and ClusterDet are detscope instances (see detscope.go) —
-// the first two kept under their original names; CtxBg and DetFlow are
-// the typed-era additions.
+// TraceDet, ClusterDet, and ChaosDet are detscope instances (see
+// detscope.go) — the first two kept under their original names; CtxBg
+// and DetFlow are the typed-era additions.
 func Analyzers() []*Analyzer {
 	return []*Analyzer{
 		FloatCmp,
@@ -81,6 +81,7 @@ func Analyzers() []*Analyzer {
 		FaultDet,
 		TraceDet,
 		ClusterDet,
+		ChaosDet,
 		CtxBg,
 		DetFlow,
 	}

@@ -49,15 +49,23 @@ var detScopes = []detScope{
 		randWhy:  "derive gossip jitter from Config.Seed via the counter-based splitmix64 hash",
 		clockWhy: "read the clock through the injected Config.Now so multi-node tests are deterministic",
 	},
+	{
+		name:     "chaosdet",
+		dir:      "internal/chaos",
+		doc:      "forbid math/rand and wall-clock reads in internal/chaos; injection decisions must replay bit-identically from Config.Seed and the per-link request counters",
+		randWhy:  "derive injection decisions from Config.Seed via the counter-based splitmix64 hash",
+		clockWhy: "inject delays through Config.Sleep; chaos schedules must depend only on the seed and request counters",
+	},
 }
 
-// FaultDet, TraceDet, and ClusterDet are the detscope instances for
-// internal/fault, internal/trace (under their PR-4/PR-5 names), and
-// internal/cluster.
+// FaultDet, TraceDet, ClusterDet, and ChaosDet are the detscope
+// instances for internal/fault, internal/trace (under their PR-4/PR-5
+// names), internal/cluster, and internal/chaos.
 var (
 	FaultDet   = detScopes[0].analyzer()
 	TraceDet   = detScopes[1].analyzer()
 	ClusterDet = detScopes[2].analyzer()
+	ChaosDet   = detScopes[3].analyzer()
 )
 
 func (sc detScope) analyzer() *Analyzer {

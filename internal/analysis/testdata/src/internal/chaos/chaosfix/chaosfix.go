@@ -1,0 +1,43 @@
+// Package chaosfix is the chaosdet golden fixture. Its path contains
+// internal/chaos, so it sits inside the analyzer's seeded-injection
+// determinism scope.
+package chaosfix
+
+import (
+	"math/rand" // want "import of math/rand in internal/chaos"
+	"time"
+)
+
+func dropWrong(p float64, seed int64) bool {
+	rng := rand.New(rand.NewSource(seed))
+	return rng.Float64() < p
+}
+
+func injectedAt() time.Time {
+	return time.Now() // want "wall-clock read time.Now"
+}
+
+func linkAge(t0 time.Time) time.Duration {
+	return time.Since(t0) // want "wall-clock read time.Since"
+}
+
+func healIn(at time.Time) time.Duration {
+	return time.Until(at) // want "wall-clock read time.Until"
+}
+
+// decideSeeded is the sanctioned pattern: the n-th request's injection
+// decision is a pure hash of (seed, link, n) — no generator state, no
+// clock.
+func decideSeeded(seed, link, n uint64, p float64) bool {
+	x := seed ^ link ^ (n * 0x9e3779b97f4a7c15)
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return float64(x>>11)/float64(uint64(1)<<53) < p
+}
+
+// delay pays injected latency through an injected sleeper — building
+// timers and durations is fine, reading the clock is not.
+func delay(sleep func(time.Duration), d time.Duration) {
+	sleep(d)
+}

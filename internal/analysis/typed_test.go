@@ -163,7 +163,7 @@ func TestAnalyzerNameCompat(t *testing.T) {
 	}
 	for _, want := range []string{
 		"floatcmp", "globalrand", "maporder", "panicpolicy", "errdrop",
-		"condshare", "faultdet", "tracedet", "clusterdet", "ctxbg", "detflow",
+		"condshare", "faultdet", "tracedet", "clusterdet", "chaosdet", "ctxbg", "detflow",
 	} {
 		if !names[want] {
 			t.Errorf("analyzer %q missing from registry", want)

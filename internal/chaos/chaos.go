@@ -1,0 +1,437 @@
+// Package chaos provides deterministic, seedable network fault
+// injection for the planning cluster: an http.RoundTripper wrapper
+// that injects per-destination latency, dropped requests, synthetic
+// 5xx responses, truncated response bodies, and directional
+// partitions, replayable bit-for-bit from a seed.
+//
+// The discipline mirrors internal/fault: every probabilistic decision
+// is a pure hash of (seed, from, to, request#, stream) through the
+// counter-based splitmix64 finalizer — no math/rand, no mutable
+// generator state, and no wall-clock reads (the chaosdet acqlint scope
+// enforces both statically). The only per-destination state is a
+// monotonic request counter, so the n-th request on a given (from, to)
+// pair always receives the same injection decision for the same seed,
+// regardless of goroutine interleaving elsewhere. Partitions are not
+// probabilistic at all: they are explicit directional rules the test
+// harness flips, so a partition schedule replays exactly.
+//
+// Latency injection goes through an injected Sleep function (default
+// time.Sleep); deterministic tests substitute a recorder and observe
+// the exact injected delays without waiting them out.
+package chaos
+
+import (
+	"bytes"
+	"fmt"
+	"io"
+	"net/http"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Rule configures the probabilistic faults injected on one
+// (self, destination) link. The zero value injects nothing.
+type Rule struct {
+	// PDrop is the probability a request is dropped before reaching the
+	// destination: the caller sees a transport error, the peer sees
+	// nothing.
+	PDrop float64
+	// P5xx is the probability the transport answers with a synthetic
+	// server error (Status below) without contacting the peer — a
+	// misbehaving middlebox or a peer crash mid-accept.
+	P5xx float64
+	// Status is the synthetic error's HTTP status. Default 502.
+	Status int
+	// PTruncate is the probability a successfully returned response has
+	// its body cut short mid-stream, so the caller reads valid headers
+	// and then garbage-length JSON.
+	PTruncate float64
+	// Latency is the fixed extra delay injected before the request is
+	// sent; LatencyJitter adds a seed-deterministic uniform extra in
+	// [0, LatencyJitter).
+	Latency       time.Duration
+	LatencyJitter time.Duration
+}
+
+// active reports whether the rule can ever perturb a request.
+func (r Rule) active() bool {
+	return r.PDrop > 0 || r.P5xx > 0 || r.PTruncate > 0 || r.Latency > 0 || r.LatencyJitter > 0
+}
+
+// validate checks the probabilities.
+func (r Rule) validate() error {
+	for _, p := range []struct {
+		name string
+		v    float64
+	}{{"PDrop", r.PDrop}, {"P5xx", r.P5xx}, {"PTruncate", r.PTruncate}} {
+		if p.v < 0 || p.v > 1 {
+			return fmt.Errorf("chaos: %s = %g outside [0,1]", p.name, p.v)
+		}
+	}
+	if r.Status != 0 && (r.Status < 500 || r.Status > 599) {
+		return fmt.Errorf("chaos: synthetic status %d outside 5xx", r.Status)
+	}
+	if r.Latency < 0 || r.LatencyJitter < 0 {
+		return fmt.Errorf("chaos: negative latency")
+	}
+	return nil
+}
+
+// Config parameterizes a Transport.
+type Config struct {
+	// Seed drives every probabilistic decision. Default 1.
+	Seed uint64
+	// Self identifies the from-side of every link this transport
+	// carries (the owning node's advertised URL); it is folded into the
+	// decision hash so two nodes with the same seed make independent
+	// draws. Required for multi-node setups; "" is a valid single-node
+	// identity.
+	Self string
+	// Next performs the real exchanges. Default http.DefaultTransport.
+	Next http.RoundTripper
+	// Sleep implements injected latency. Default time.Sleep; tests
+	// substitute a recorder to observe delays without waiting.
+	Sleep func(time.Duration)
+}
+
+// Stats is a point-in-time snapshot of the transport's injection
+// counters.
+type Stats struct {
+	Requests  int64 // requests entering the transport
+	Passed    int64 // requests forwarded unperturbed
+	Dropped   int64 // requests dropped (transport error)
+	Injected  int64 // synthetic 5xx responses returned
+	Truncated int64 // response bodies cut short
+	Delayed   int64 // requests that paid injected latency
+	Blocked   int64 // requests refused by a directional partition
+}
+
+// Error is the transport error injected for drops and partitions. It
+// satisfies net.Error's Timeout contract (never a timeout) so callers
+// treat it like any other connection failure.
+type Error struct {
+	Op   string // "drop" or "partition"
+	From string
+	To   string
+}
+
+func (e *Error) Error() string {
+	return fmt.Sprintf("chaos: %s %s -> %s", e.Op, e.From, e.To)
+}
+
+// Timeout implements net.Error.
+func (e *Error) Timeout() bool { return false }
+
+// Temporary implements the legacy net.Error method: injected failures
+// are transient by construction.
+func (e *Error) Temporary() bool { return true }
+
+// Transport is the chaos-injecting http.RoundTripper. It is safe for
+// concurrent use; rule and partition mutation may race with in-flight
+// requests (each request reads one consistent snapshot).
+type Transport struct {
+	seed  uint64
+	self  string
+	next  http.RoundTripper
+	sleep func(time.Duration)
+
+	mu          sync.Mutex
+	defaultRule Rule
+	rules       map[string]Rule // keyed by destination base URL
+	partitioned map[string]bool // directional: self -> destination blocked
+	seq         map[string]*atomic.Uint64
+
+	requests  atomic.Int64
+	passed    atomic.Int64
+	dropped   atomic.Int64
+	injected  atomic.Int64
+	truncated atomic.Int64
+	delayed   atomic.Int64
+	blocked   atomic.Int64
+}
+
+// New builds a Transport with no rules: until a rule or partition is
+// installed, it is a pure passthrough.
+func New(cfg Config) *Transport {
+	if cfg.Seed == 0 {
+		cfg.Seed = 1
+	}
+	if cfg.Next == nil {
+		cfg.Next = http.DefaultTransport
+	}
+	if cfg.Sleep == nil {
+		cfg.Sleep = time.Sleep
+	}
+	return &Transport{
+		seed:        cfg.Seed,
+		self:        cfg.Self,
+		next:        cfg.Next,
+		sleep:       cfg.Sleep,
+		rules:       make(map[string]Rule),
+		partitioned: make(map[string]bool),
+		seq:         make(map[string]*atomic.Uint64),
+	}
+}
+
+// SetDefault installs the rule applied to every destination without a
+// specific rule.
+func (t *Transport) SetDefault(r Rule) error {
+	if err := r.validate(); err != nil {
+		return err
+	}
+	t.mu.Lock()
+	t.defaultRule = r
+	t.mu.Unlock()
+	return nil
+}
+
+// SetRule installs a rule for one destination base URL
+// (scheme://host:port, no trailing slash), overriding the default.
+func (t *Transport) SetRule(to string, r Rule) error {
+	if err := r.validate(); err != nil {
+		return err
+	}
+	t.mu.Lock()
+	t.rules[to] = r
+	t.mu.Unlock()
+	return nil
+}
+
+// Partition blocks the directional link self -> to: every request to
+// that destination fails with a partition Error until Heal. The reverse
+// direction is untouched — partition the peer's transport to cut both.
+func (t *Transport) Partition(to string) {
+	t.mu.Lock()
+	t.partitioned[to] = true
+	t.mu.Unlock()
+}
+
+// Heal reopens the directional link self -> to.
+func (t *Transport) Heal(to string) {
+	t.mu.Lock()
+	delete(t.partitioned, to)
+	t.mu.Unlock()
+}
+
+// HealAll reopens every partitioned link.
+func (t *Transport) HealAll() {
+	t.mu.Lock()
+	t.partitioned = make(map[string]bool)
+	t.mu.Unlock()
+}
+
+// Snapshot returns the current injection counters.
+func (t *Transport) Snapshot() Stats {
+	return Stats{
+		Requests:  t.requests.Load(),
+		Passed:    t.passed.Load(),
+		Dropped:   t.dropped.Load(),
+		Injected:  t.injected.Load(),
+		Truncated: t.truncated.Load(),
+		Delayed:   t.delayed.Load(),
+		Blocked:   t.blocked.Load(),
+	}
+}
+
+// CloseIdleConnections forwards to the wrapped transport so
+// http.Client.CloseIdleConnections keeps working through the wrapper.
+func (t *Transport) CloseIdleConnections() {
+	if c, ok := t.next.(interface{ CloseIdleConnections() }); ok {
+		c.CloseIdleConnections()
+	}
+}
+
+// Draw streams: independent uniform variates for one request are
+// obtained by hashing with distinct stream tags.
+const (
+	streamDrop  = 0x0d40f
+	streamErr   = 0x5e77a
+	streamTrunc = 0x7c0de
+	streamLat   = 0x1a7e1
+)
+
+// decision is one request's resolved injection plan, fully determined
+// by (seed, self, destination, request#) and the active rule.
+type decision struct {
+	drop     bool
+	inject   bool // synthetic 5xx
+	status   int  // status when inject
+	truncate bool
+	truncAt  int           // bytes kept when truncate
+	delay    time.Duration // injected latency (0 = none)
+}
+
+// decide computes the injection decision for request number n (0-based)
+// on the link self -> to under rule r. It is a pure function; the
+// Transport's only job is to assign n monotonically per destination.
+func (t *Transport) decide(to string, n uint64, r Rule) decision {
+	var d decision
+	pair := fnv64a(t.self) ^ splitmix64(fnv64a(to))
+	if r.PDrop > 0 && u01(t.seed, pair, n, streamDrop) < r.PDrop {
+		d.drop = true
+		return d
+	}
+	if r.P5xx > 0 && u01(t.seed, pair, n, streamErr) < r.P5xx {
+		d.inject = true
+		d.status = r.Status
+		if d.status == 0 {
+			d.status = http.StatusBadGateway
+		}
+		return d
+	}
+	if r.Latency > 0 || r.LatencyJitter > 0 {
+		d.delay = r.Latency
+		if r.LatencyJitter > 0 {
+			d.delay += time.Duration(u01(t.seed, pair, n, streamLat) * float64(r.LatencyJitter))
+		}
+	}
+	if r.PTruncate > 0 && u01(t.seed, pair, n, streamTrunc) < r.PTruncate {
+		d.truncate = true
+		// Keep at most 31 bytes: enough to look like a response started,
+		// never enough to be a parseable planning payload.
+		d.truncAt = int(u01(t.seed, pair, n, streamTrunc^0xffff) * 32)
+	}
+	return d
+}
+
+// link snapshots the state relevant to one request: the rule for the
+// destination, whether the link is partitioned, and — when the rule is
+// active — the request's sequence number on this link. Inactive links
+// do not consume sequence numbers, so enabling chaos later does not
+// shift the decision stream by however many passthrough requests
+// happened first.
+func (t *Transport) link(to string) (Rule, bool, uint64) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	r, ok := t.rules[to]
+	if !ok {
+		r = t.defaultRule
+	}
+	if t.partitioned[to] {
+		return r, true, 0
+	}
+	if !r.active() {
+		return r, false, 0
+	}
+	s := t.seq[to]
+	if s == nil {
+		s = new(atomic.Uint64)
+		t.seq[to] = s
+	}
+	return r, false, s.Add(1) - 1
+}
+
+// RoundTrip implements http.RoundTripper.
+func (t *Transport) RoundTrip(req *http.Request) (*http.Response, error) {
+	t.requests.Add(1)
+	to := req.URL.Scheme + "://" + req.URL.Host
+	rule, blocked, n := t.link(to)
+	if blocked {
+		t.blocked.Add(1)
+		closeBody(req)
+		return nil, &Error{Op: "partition", From: t.self, To: to}
+	}
+	if !rule.active() {
+		t.passed.Add(1)
+		return t.next.RoundTrip(req)
+	}
+	d := t.decide(to, n, rule)
+	switch {
+	case d.drop:
+		t.dropped.Add(1)
+		closeBody(req)
+		return nil, &Error{Op: "drop", From: t.self, To: to}
+	case d.inject:
+		t.injected.Add(1)
+		closeBody(req)
+		return syntheticResponse(req, d.status), nil
+	}
+	if d.delay > 0 {
+		t.delayed.Add(1)
+		t.sleep(d.delay)
+	}
+	resp, err := t.next.RoundTrip(req)
+	if err != nil {
+		return nil, err
+	}
+	if d.truncate {
+		t.truncated.Add(1)
+		resp.Body = &truncatedBody{r: io.LimitReader(resp.Body, int64(d.truncAt)), c: resp.Body}
+	} else {
+		t.passed.Add(1)
+	}
+	return resp, nil
+}
+
+// closeBody honors the RoundTripper contract: the request body must be
+// closed even when the request never goes out.
+func closeBody(req *http.Request) {
+	if req.Body != nil {
+		_ = req.Body.Close()
+	}
+}
+
+// syntheticResponse builds the injected server error. The body is a
+// small JSON document and the X-Chaos header marks the response as
+// injected, so logs and tests can tell it from a real peer error.
+func syntheticResponse(req *http.Request, status int) *http.Response {
+	body := fmt.Sprintf("{\"error\":\"chaos: injected %d\"}", status)
+	h := make(http.Header)
+	h.Set("Content-Type", "application/json")
+	h.Set("X-Chaos", "injected")
+	return &http.Response{
+		Status:        fmt.Sprintf("%d %s", status, http.StatusText(status)),
+		StatusCode:    status,
+		Proto:         "HTTP/1.1",
+		ProtoMajor:    1,
+		ProtoMinor:    1,
+		Header:        h,
+		Body:          io.NopCloser(bytes.NewReader([]byte(body))),
+		ContentLength: int64(len(body)),
+		Request:       req,
+	}
+}
+
+// truncatedBody cuts the response stream short while still closing the
+// real body, so the caller sees a clean EOF mid-payload and the
+// underlying connection is released.
+type truncatedBody struct {
+	r io.Reader
+	c io.Closer
+}
+
+func (b *truncatedBody) Read(p []byte) (int, error) { return b.r.Read(p) }
+func (b *truncatedBody) Close() error               { return b.c.Close() }
+
+// fnv64a is FNV-1a over the string bytes.
+func fnv64a(s string) uint64 {
+	const (
+		offset = 14695981039346656037
+		prime  = 1099511628211
+	)
+	h := uint64(offset)
+	for i := 0; i < len(s); i++ {
+		h ^= uint64(s[i])
+		h *= prime
+	}
+	return h
+}
+
+// splitmix64 is the SplitMix64 finalizer: a high-quality 64-bit
+// bijection.
+func splitmix64(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}
+
+// u01 maps (seed, pair, n, stream) to a uniform float64 in [0,1): 53
+// random bits scaled by 2^-53.
+func u01(seed, pair, n uint64, stream uint64) float64 {
+	h := splitmix64(seed ^ splitmix64(pair))
+	h = splitmix64(h ^ n)
+	h = splitmix64(h ^ stream)
+	return float64(h>>11) / (1 << 53)
+}

@@ -257,6 +257,23 @@ func (n *Node) Owner(key string) (url string, self bool) {
 	return best, best == n.cfg.Self
 }
 
+// OwnerOrder returns every current ownership candidate for a key —
+// self plus the alive peers — in descending rendezvous-score order.
+// The head is the Owner; the tail is the deterministic failover
+// sequence the serving layer walks when the owner is unreachable, so
+// every node that agrees on the membership view also agrees on who
+// answers for a key after k failures.
+func (n *Node) OwnerOrder(key string) []string {
+	n.mu.Lock()
+	urls := n.memberURLsLocked(func(m *member) bool { return m.state == stateAlive })
+	n.mu.Unlock()
+	urls = append(urls, n.cfg.Self)
+	sort.SliceStable(urls, func(i, j int) bool {
+		return rendezvousScore(urls[i], key) > rendezvousScore(urls[j], key)
+	})
+	return urls
+}
+
 // memberURLsLocked returns the URLs of members passing keep (nil keeps
 // all), sorted. Callers hold n.mu. This is the package's one sanctioned
 // range over the member map: the sort erases collection order before any

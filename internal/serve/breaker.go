@@ -1,0 +1,177 @@
+package serve
+
+import (
+	"sync"
+	"time"
+)
+
+// Per-peer circuit breaking for cluster forwarding. Each peer a node
+// forwards to gets a three-state breaker:
+//
+//	closed    → forwards flow; consecutive failures are counted, and at
+//	            the threshold the breaker opens.
+//	open      → forwards to the peer are skipped (the router moves to
+//	            the next rendezvous candidate immediately, without
+//	            paying a connect timeout) until the cooldown elapses.
+//	half-open → after the cooldown, exactly one request is admitted as
+//	            a probe; its success closes the breaker, its failure
+//	            reopens it for another cooldown.
+//
+// Time is injected (clusterNow), so breaker trajectories are
+// deterministic under the chaos suite's fake clock.
+
+// Breaker states, exported to /metrics as a numeric gauge.
+const (
+	breakerClosed   = 0
+	breakerHalfOpen = 1
+	breakerOpen     = 2
+)
+
+var breakerStateNames = [...]string{"closed", "half-open", "open"}
+
+// breaker is one peer's circuit breaker.
+type breaker struct {
+	threshold int           // consecutive failures that open the breaker
+	cooldown  time.Duration // open dwell before a half-open probe
+
+	mu       sync.Mutex
+	state    int
+	fails    int       // consecutive failures while closed
+	openedAt time.Time // when the breaker last opened
+	probing  bool      // a half-open probe is in flight
+}
+
+func newBreaker(threshold int, cooldown time.Duration) *breaker {
+	return &breaker{threshold: threshold, cooldown: cooldown}
+}
+
+// allow reports whether a forward to the peer may proceed. In the open
+// state it transitions to half-open once the cooldown has elapsed and
+// admits the caller as the probe; while a probe is in flight every
+// other caller is refused.
+func (b *breaker) allow(now time.Time) bool {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	switch b.state {
+	case breakerClosed:
+		return true
+	case breakerOpen:
+		if now.Sub(b.openedAt) < b.cooldown {
+			return false
+		}
+		b.state = breakerHalfOpen
+		b.probing = true
+		return true
+	default: // half-open
+		if b.probing {
+			return false
+		}
+		b.probing = true
+		return true
+	}
+}
+
+// success records a successful exchange: the breaker closes and the
+// failure streak resets.
+func (b *breaker) success() {
+	b.mu.Lock()
+	b.state = breakerClosed
+	b.fails = 0
+	b.probing = false
+	b.mu.Unlock()
+}
+
+// failure records a failed exchange and returns true when this failure
+// opened the breaker (closed streak reached the threshold, or a
+// half-open probe failed).
+func (b *breaker) failure(now time.Time) bool {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	switch b.state {
+	case breakerClosed:
+		b.fails++
+		if b.fails < b.threshold {
+			return false
+		}
+	case breakerOpen:
+		return false
+	}
+	b.state = breakerOpen
+	b.openedAt = now
+	b.fails = 0
+	b.probing = false
+	return true
+}
+
+// snapshot returns the current state for the /metrics gauge.
+func (b *breaker) snapshot() int {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.state
+}
+
+// retryBudget is a token bucket that bounds cluster-wide retry
+// amplification (the Finagle retry-budget scheme): every first attempt
+// deposits ratio tokens, every retry withdraws one, and the bucket is
+// capped. Under a total outage retries converge to ratio extra load
+// instead of multiplying it by the per-request retry limit.
+type retryBudget struct {
+	mu     sync.Mutex
+	tokens float64
+	cap    float64
+	ratio  float64
+}
+
+func newRetryBudget(ratio float64, capTokens float64) *retryBudget {
+	return &retryBudget{tokens: capTokens, cap: capTokens, ratio: ratio}
+}
+
+// deposit credits one first attempt.
+func (rb *retryBudget) deposit() {
+	rb.mu.Lock()
+	rb.tokens += rb.ratio
+	if rb.tokens > rb.cap {
+		rb.tokens = rb.cap
+	}
+	rb.mu.Unlock()
+}
+
+// withdraw spends one retry token; false means the budget is exhausted
+// and the retry must be skipped.
+func (rb *retryBudget) withdraw() bool {
+	rb.mu.Lock()
+	defer rb.mu.Unlock()
+	if rb.tokens < 1 {
+		return false
+	}
+	rb.tokens--
+	return true
+}
+
+// breakerFor returns (creating on first use) the breaker guarding one
+// peer URL.
+func (s *Server) breakerFor(url string) *breaker {
+	s.breakMu.Lock()
+	defer s.breakMu.Unlock()
+	if s.breakers == nil {
+		s.breakers = make(map[string]*breaker)
+	}
+	b := s.breakers[url]
+	if b == nil {
+		b = newBreaker(s.resil.breakerThreshold, s.resil.breakerCooldown)
+		s.breakers[url] = b
+	}
+	return b
+}
+
+// breakerStates returns every known peer breaker's state, for /metrics.
+func (s *Server) breakerStates() map[string]int {
+	s.breakMu.Lock()
+	defer s.breakMu.Unlock()
+	out := make(map[string]int, len(s.breakers))
+	//acqlint:ignore maporder callers sort the keys before rendering
+	for u, b := range s.breakers {
+		out[u] = b.snapshot()
+	}
+	return out
+}

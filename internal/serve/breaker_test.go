@@ -1,0 +1,99 @@
+package serve
+
+import (
+	"testing"
+	"time"
+)
+
+func TestBreakerStateMachine(t *testing.T) {
+	now := time.Unix(1_700_000_000, 0)
+	b := newBreaker(3, 10*time.Second)
+
+	// Closed: admits everything; failures below the threshold keep it
+	// closed, a success resets the streak.
+	for i := 0; i < 2; i++ {
+		if !b.allow(now) {
+			t.Fatalf("closed breaker refused request %d", i)
+		}
+		if b.failure(now) {
+			t.Fatalf("failure %d opened the breaker below threshold", i+1)
+		}
+	}
+	b.success()
+	if b.failure(now) || b.failure(now) {
+		t.Fatal("success did not reset the failure streak")
+	}
+	if !b.failure(now) {
+		t.Fatal("third consecutive failure did not open the breaker")
+	}
+	if st := b.snapshot(); st != breakerOpen {
+		t.Fatalf("state %d after opening, want open", st)
+	}
+
+	// Open: refuses until the cooldown elapses, then admits exactly one
+	// probe.
+	if b.allow(now.Add(9 * time.Second)) {
+		t.Fatal("open breaker admitted a request inside the cooldown")
+	}
+	probeAt := now.Add(11 * time.Second)
+	if !b.allow(probeAt) {
+		t.Fatal("cooldown elapsed but no probe admitted")
+	}
+	if st := b.snapshot(); st != breakerHalfOpen {
+		t.Fatalf("state %d during the probe, want half-open", st)
+	}
+	if b.allow(probeAt) {
+		t.Fatal("second request admitted while the probe is in flight")
+	}
+
+	// Failed probe: re-opens for a fresh cooldown.
+	if !b.failure(probeAt) {
+		t.Fatal("failed probe did not re-open the breaker")
+	}
+	if b.allow(probeAt.Add(9 * time.Second)) {
+		t.Fatal("re-opened breaker did not restart the cooldown")
+	}
+	probe2 := probeAt.Add(11 * time.Second)
+	if !b.allow(probe2) {
+		t.Fatal("second cooldown elapsed but no probe admitted")
+	}
+	// Successful probe: closed and fully reset.
+	b.success()
+	if st := b.snapshot(); st != breakerClosed {
+		t.Fatalf("state %d after a successful probe, want closed", st)
+	}
+	if !b.allow(probe2) {
+		t.Fatal("closed breaker refused a request")
+	}
+}
+
+func TestRetryBudget(t *testing.T) {
+	rb := newRetryBudget(0.5, 2)
+	// Starts full at the cap.
+	if !rb.withdraw() || !rb.withdraw() {
+		t.Fatal("full budget refused withdrawals")
+	}
+	if rb.withdraw() {
+		t.Fatal("empty budget granted a retry")
+	}
+	// Two first attempts earn one retry token at ratio 0.5.
+	rb.deposit()
+	if rb.withdraw() {
+		t.Fatal("half a token granted a retry")
+	}
+	rb.deposit()
+	if !rb.withdraw() {
+		t.Fatal("earned token refused")
+	}
+	// Deposits cap at the bucket size.
+	for i := 0; i < 100; i++ {
+		rb.deposit()
+	}
+	granted := 0
+	for rb.withdraw() {
+		granted++
+	}
+	if granted != 2 {
+		t.Fatalf("capped bucket granted %d retries, want 2", granted)
+	}
+}

@@ -17,6 +17,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"acqp/internal/chaos"
 	"acqp/internal/cluster"
 	"acqp/internal/query"
 )
@@ -52,8 +53,50 @@ type ClusterConfig struct {
 	// ForwardTimeout bounds one forwarded planning request (and one
 	// gossip exchange). Default 5s.
 	ForwardTimeout time.Duration
+
+	// ForwardRetries is how many times one forward is retried against
+	// the same peer (with capped exponential backoff) before failing
+	// over. Default 1; negative disables retries.
+	ForwardRetries int
+	// MaxFailovers is how many additional rendezvous candidates are
+	// tried after the owner fails before degrading to local planning.
+	// Default 1; negative disables failover.
+	MaxFailovers int
+	// RetryBackoff is the base backoff between retries to the same peer,
+	// doubled per attempt and capped at 8x. Default 50ms.
+	RetryBackoff time.Duration
+	// BreakerThreshold is the consecutive-failure count that opens a
+	// peer's circuit breaker. Default 5; negative disables breaking.
+	BreakerThreshold int
+	// BreakerCooldown is how long an open breaker waits before admitting
+	// a half-open probe. Default 3s.
+	BreakerCooldown time.Duration
+	// RetryBudgetRatio bounds retry amplification: each first attempt
+	// earns this many retry tokens (capped bucket), each retry spends
+	// one. Default 0.1 — at most ~10% extra load from retries under a
+	// total outage.
+	RetryBudgetRatio float64
+
+	// Now is the wall clock for membership and breaker timing. Default
+	// time.Now; the chaos suite injects a fake clock here.
+	Now func() time.Time
+	// Transport, when set, carries both forwarded plan requests and
+	// gossip exchanges — the chaos harness installs a
+	// chaos.Transport here so partitions affect planning and failure
+	// detection coherently. Default http.DefaultTransport.
+	Transport http.RoundTripper
+
 	// Logf receives membership transitions; nil silences them.
 	Logf func(format string, args ...any)
+}
+
+// resilience is the resolved forwarding-resilience parameters.
+type resilience struct {
+	forwardRetries   int
+	maxFailovers     int
+	retryBackoff     time.Duration
+	breakerThreshold int
+	breakerCooldown  time.Duration
 }
 
 // Forwarding headers. Hops guards against routing loops: a request that
@@ -72,14 +115,29 @@ func (s *Server) startCluster(cc *ClusterConfig) error {
 	if ft <= 0 {
 		ft = 5 * time.Second
 	}
-	client := &http.Client{Timeout: ft}
+	now := cc.Now
+	if now == nil {
+		now = time.Now
+	}
+	client := &http.Client{Timeout: ft, Transport: cc.Transport}
+	s.resil = resolveResilience(cc)
+	s.clusterNow = now
+	s.forwardTransport = cc.Transport
+	ratio := cc.RetryBudgetRatio
+	if ratio == 0 {
+		ratio = 0.1
+	}
+	if ratio < 0 {
+		ratio = 0
+	}
+	s.budget = newRetryBudget(ratio, 16)
 	n, err := cluster.New(cluster.Config{
 		Self:           cc.Self,
 		Peers:          cc.Peers,
 		GossipInterval: cc.GossipInterval,
 		FailAfter:      cc.FailAfter,
 		Seed:           cc.Seed,
-		Now:            time.Now,
+		Now:            now,
 		Client:         client,
 		Local:          s,
 		Logf:           cc.Logf,
@@ -94,6 +152,40 @@ func (s *Server) startCluster(cc *ClusterConfig) error {
 	s.mux.Handle("/v1/cluster/", n)
 	n.Start(s.baseCtx)
 	return nil
+}
+
+// resolveResilience applies the documented defaults: zero selects the
+// default, negative disables.
+func resolveResilience(cc *ClusterConfig) resilience {
+	r := resilience{
+		forwardRetries:   cc.ForwardRetries,
+		maxFailovers:     cc.MaxFailovers,
+		retryBackoff:     cc.RetryBackoff,
+		breakerThreshold: cc.BreakerThreshold,
+		breakerCooldown:  cc.BreakerCooldown,
+	}
+	if r.forwardRetries == 0 {
+		r.forwardRetries = 1
+	} else if r.forwardRetries < 0 {
+		r.forwardRetries = 0
+	}
+	if r.maxFailovers == 0 {
+		r.maxFailovers = 1
+	} else if r.maxFailovers < 0 {
+		r.maxFailovers = 0
+	}
+	if r.retryBackoff <= 0 {
+		r.retryBackoff = 50 * time.Millisecond
+	}
+	if r.breakerThreshold == 0 {
+		r.breakerThreshold = 5
+	} else if r.breakerThreshold < 0 {
+		r.breakerThreshold = int(^uint(0) >> 1) // effectively never opens
+	}
+	if r.breakerCooldown <= 0 {
+		r.breakerCooldown = 3 * time.Second
+	}
+	return r
 }
 
 // Server implements cluster.Local: the epoch accessor lives in
@@ -162,10 +254,15 @@ func (e *remoteError) Error() string {
 //
 //   - no cluster, we own the key, or the request already took an
 //     internal hop → plan locally through the cache;
-//   - a peer owns the key → forward the raw request to it;
-//   - the owner is unreachable → report the failure, plan locally at
-//     the last-known epoch, and mark the outcome degraded (never
-//     cached) — answers over errors during a partition.
+//   - a peer owns the key → forward the raw request to it, retrying
+//     with capped backoff (bounded by the retry budget) and honoring
+//     Retry-After on a shed;
+//   - the owner stays unreachable (or its breaker is open) → fail over
+//     to the next alive node in rendezvous order, up to MaxFailovers;
+//   - every candidate ranked above us is exhausted → report the
+//     failures, plan locally at the last-known epoch, and mark the
+//     outcome degraded (never cached) — answers over errors during a
+//     partition.
 //
 // servedBy is the advertised URL of the node that did the planning work
 // ("" when unclustered) and forwarded reports an internal hop.
@@ -181,29 +278,64 @@ func (s *Server) planRouted(r *http.Request, canon query.Query, p plannerParams,
 		out, cached, shared, err = s.planCached(r.Context(), canon, p, req.NoCache, req.Faults != nil)
 		return out, cached, shared, s.clusterSelf, false, err
 	}
-	owner, self := s.cluster.Owner(canon.Key())
-	if self {
+	// Walk the rendezvous candidates ranked above us. The first entry is
+	// the owner; the rest are the deterministic failover order every
+	// node agrees on. Self ends the walk: we only plan a whole (cached)
+	// answer when the membership view ranks us first — planning locally
+	// because better-ranked candidates are unreachable is the degraded
+	// path below, so partition answers never enter any cache before the
+	// failure detector actually moves ownership.
+	order := s.cluster.OwnerOrder(canon.Key())
+	if len(order) > 0 && order[0] == s.clusterSelf {
 		out, cached, shared, err = s.planCached(r.Context(), canon, p, req.NoCache, req.Faults != nil)
 		return out, cached, shared, s.clusterSelf, false, err
 	}
-	count(&s.metrics.peer(owner).forwardsSent, 1)
-	resp, ferr := s.forwardPlan(r.Context(), owner, raw)
-	if ferr == nil {
-		return outcomeFromRemote(resp), resp.Cached, resp.Shared, owner, true, nil
+	attempts := 0
+	for _, owner := range order {
+		if owner == s.clusterSelf || attempts >= 1+s.resil.maxFailovers {
+			break
+		}
+		br := s.breakerFor(owner)
+		if !br.allow(s.clusterNow()) {
+			// Open breaker: skip to the next candidate without paying a
+			// connect timeout. The skip is not an attempt.
+			count(&s.metrics.breakerSkips, 1)
+			continue
+		}
+		if attempts > 0 {
+			count(&s.metrics.forwardFailovers, 1)
+		}
+		attempts++
+		count(&s.metrics.peer(owner).forwardsSent, 1)
+		resp, ferr := s.forwardResilient(r.Context(), owner, raw, br)
+		if ferr == nil {
+			return outcomeFromRemote(resp), resp.Cached, resp.Shared, owner, true, nil
+		}
+		var re *remoteError
+		if errors.As(ferr, &re) && re.status < http.StatusInternalServerError {
+			// The owner is reachable and answered with a client-side
+			// verdict (400, 404, 422, ...); it stands.
+			return planOutcome{}, false, false, owner, true, ferr
+		}
+		if errors.As(ferr, &re) && re.status == http.StatusServiceUnavailable && re.retryAfter != "" {
+			// A load shed that survived the retry loop: the peer is alive
+			// but saturated. Relay the shed (with its Retry-After) rather
+			// than piling the same work onto another node.
+			return planOutcome{}, false, false, owner, true, ferr
+		}
+		if r.Context().Err() != nil {
+			return planOutcome{}, false, false, s.clusterSelf, false, r.Context().Err()
+		}
+		// Transport failure or server-side 5xx: move to the next
+		// rendezvous candidate (forwardResilient already fed the breaker
+		// and the failure detector).
 	}
-	var re *remoteError
-	if errors.As(ferr, &re) {
-		// The owner is reachable and answered; its verdict stands.
-		return planOutcome{}, false, false, owner, true, ferr
-	}
-	// The owner is unreachable: a partition, not a planning failure.
-	// Feed the failure detector and plan locally at the last-known
-	// epoch. The result is marked degraded and bypasses the cache in
-	// both directions — it may have been built from statistics the
-	// cluster has already moved past, so it must neither persist nor be
-	// served to a later request that could reach the owner.
-	s.cluster.ReportFailure(owner)
-	count(&s.metrics.peer(owner).forwardFailures, 1)
+	// Every remote candidate failed or was skipped: a partition, not a
+	// planning failure. Plan locally at the last-known epoch. The result
+	// is marked degraded and bypasses the cache in both directions — it
+	// may have been built from statistics the cluster has already moved
+	// past, so it must neither persist nor be served to a later request
+	// that could reach the owner.
 	count(&s.metrics.degradedPartition, 1)
 	out, _, shared, err = s.planCached(r.Context(), canon, p, true, true)
 	if err != nil {
@@ -211,6 +343,99 @@ func (s *Server) planRouted(r *http.Request, canon query.Query, p plannerParams,
 	}
 	out.degraded = true
 	return out, false, shared, s.clusterSelf, false, nil
+}
+
+// forwardResilient forwards one planning request to one peer with the
+// retry policy: up to ForwardRetries retries with capped exponential
+// backoff, each retry paid for from the shared retry budget, a shed's
+// Retry-After honored as the backoff floor, and every hard failure fed
+// to the peer's breaker and the cluster failure detector. The returned
+// error is the last attempt's.
+func (s *Server) forwardResilient(ctx context.Context, owner string, raw []byte, br *breaker) (*planResponse, error) {
+	s.budget.deposit()
+	backoff := s.resil.retryBackoff
+	var lastErr error
+	for attempt := 0; ; attempt++ {
+		resp, err := s.forwardPlan(ctx, owner, raw)
+		if err == nil {
+			br.success()
+			return resp, nil
+		}
+		lastErr = err
+		var re *remoteError
+		shed := false
+		switch {
+		case errors.As(err, &re) && re.status < http.StatusInternalServerError:
+			// Reachable, definitive verdict: not a peer failure.
+			br.success()
+			return nil, err
+		case errors.As(err, &re) && re.status == http.StatusServiceUnavailable && re.retryAfter != "":
+			// A load shed is backpressure, not brokenness: retry after
+			// the advertised delay, but do not trip the breaker or the
+			// failure detector.
+			shed = true
+		default:
+			// Transport error or server-side 5xx.
+			if br.failure(s.clusterNow()) {
+				count(&s.metrics.breakerOpens, 1)
+				count(&s.metrics.peer(owner).breakerOpens, 1)
+			}
+			s.cluster.ReportFailure(owner)
+			count(&s.metrics.peer(owner).forwardFailures, 1)
+		}
+		if attempt >= s.resil.forwardRetries || ctx.Err() != nil {
+			return nil, lastErr
+		}
+		if !shed && br.snapshot() == breakerOpen {
+			// The streak just opened the breaker; hammering the same peer
+			// with the remaining retries defeats its purpose.
+			return nil, lastErr
+		}
+		if !s.budget.withdraw() {
+			count(&s.metrics.retryBudgetExhausted, 1)
+			return nil, lastErr
+		}
+		wait := backoff
+		if shed {
+			if ra := retryAfterDuration(re.retryAfter); ra > wait {
+				wait = ra
+			}
+		}
+		if sleepCtx(ctx, wait) != nil {
+			return nil, lastErr
+		}
+		backoff *= 2
+		if max := 8 * s.resil.retryBackoff; backoff > max {
+			backoff = max
+		}
+		count(&s.metrics.forwardRetries, 1)
+		count(&s.metrics.peer(owner).retries, 1)
+	}
+}
+
+// retryAfterDuration parses a Retry-After header's delta-seconds form
+// (the only form this service emits); 0 for anything else.
+func retryAfterDuration(h string) time.Duration {
+	secs, err := strconv.Atoi(h)
+	if err != nil || secs < 0 {
+		return 0
+	}
+	return time.Duration(secs) * time.Second
+}
+
+// sleepCtx waits d or until ctx ends, whichever comes first.
+func sleepCtx(ctx context.Context, d time.Duration) error {
+	if d <= 0 {
+		return ctx.Err()
+	}
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-ctx.Done():
+		return ctx.Err()
+	case <-t.C:
+		return nil
+	}
 }
 
 // forwardPlan relays a /v1/plan body to the shard owner. A *remoteError
@@ -233,9 +458,15 @@ func (s *Server) forwardPlan(ctx context.Context, owner string, raw []byte) (*pl
 		return nil, err
 	}
 	defer resp.Body.Close()
-	body, err := io.ReadAll(io.LimitReader(resp.Body, maxBodyBytes))
+	// Read one byte past the cap so an over-long body is a loud peer
+	// failure (taking the partition/failover path) instead of a silent
+	// truncation that surfaces as a confusing JSON decode error.
+	body, err := io.ReadAll(io.LimitReader(resp.Body, maxBodyBytes+1))
 	if err != nil {
 		return nil, err
+	}
+	if len(body) > maxBodyBytes {
+		return nil, fmt.Errorf("shard owner response exceeds %d bytes", maxBodyBytes)
 	}
 	if resp.StatusCode != http.StatusOK {
 		return nil, &remoteError{status: resp.StatusCode, body: body, retryAfter: resp.Header.Get("Retry-After")}
@@ -290,6 +521,8 @@ type peerCounters struct {
 	forwardsReceived atomic.Int64 // forwarded requests received from this peer
 	forwardFailures  atomic.Int64 // forwards to this peer that failed at transport
 	epochBumps       atomic.Int64 // epoch advances learned from this peer
+	retries          atomic.Int64 // forward retries against this peer
+	breakerOpens     atomic.Int64 // times this peer's breaker opened
 }
 
 // clusterMetrics is the per-peer counter table, embedded in metrics.
@@ -337,6 +570,11 @@ func (s *Server) writeClusterMetrics(w io.Writer) error {
 		{"acqserved_cluster_joined", joined},
 		{"acqserved_cluster_epoch_bumps", float64(s.metrics.epochBumps.Load())},
 		{"acqserved_cluster_degraded_partition", float64(s.metrics.degradedPartition.Load())},
+		{"acqserved_cluster_forward_retries", float64(s.metrics.forwardRetries.Load())},
+		{"acqserved_cluster_forward_failovers", float64(s.metrics.forwardFailovers.Load())},
+		{"acqserved_cluster_retry_budget_exhausted", float64(s.metrics.retryBudgetExhausted.Load())},
+		{"acqserved_cluster_breaker_opens", float64(s.metrics.breakerOpens.Load())},
+		{"acqserved_cluster_breaker_skips", float64(s.metrics.breakerSkips.Load())},
 	}
 	for _, l := range lines {
 		if _, err := fmt.Fprintf(w, "%s %g\n", l.name, l.val); err != nil {
@@ -361,8 +599,45 @@ func (s *Server) writeClusterMetrics(w io.Writer) error {
 			{"acqserved_cluster_forwards_received", pc.forwardsReceived.Load()},
 			{"acqserved_cluster_forward_failures", pc.forwardFailures.Load()},
 			{"acqserved_cluster_epoch_bumps_received", pc.epochBumps.Load()},
+			{"acqserved_cluster_forward_retries_peer", pc.retries.Load()},
+			{"acqserved_cluster_breaker_opens_peer", pc.breakerOpens.Load()},
 		} {
 			if _, err := fmt.Fprintf(w, "%s{peer=%q} %d\n", l.name, u, l.val); err != nil {
+				return err
+			}
+		}
+	}
+	// Breaker state gauge: 0 closed, 1 half-open, 2 open.
+	states := s.breakerStates()
+	burls := make([]string, 0, len(states))
+	//acqlint:ignore maporder collection order is erased by the sort below
+	for u := range states {
+		burls = append(burls, u)
+	}
+	sort.Strings(burls)
+	for _, u := range burls {
+		if _, err := fmt.Fprintf(w, "acqserved_cluster_breaker_state{peer=%q,meaning=%q} %d\n",
+			u, breakerStateNames[states[u]], states[u]); err != nil {
+			return err
+		}
+	}
+	// Chaos-injection counters, present only when the smoke harness
+	// installed a chaos transport on this node.
+	if ct, ok := s.forwardTransport.(*chaos.Transport); ok {
+		cs := ct.Snapshot()
+		for _, l := range []struct {
+			name string
+			val  int64
+		}{
+			{"acqserved_chaos_requests", cs.Requests},
+			{"acqserved_chaos_passed", cs.Passed},
+			{"acqserved_chaos_dropped", cs.Dropped},
+			{"acqserved_chaos_injected_5xx", cs.Injected},
+			{"acqserved_chaos_truncated", cs.Truncated},
+			{"acqserved_chaos_delayed", cs.Delayed},
+			{"acqserved_chaos_partition_blocked", cs.Blocked},
+		} {
+			if _, err := fmt.Fprintf(w, "%s %d\n", l.name, l.val); err != nil {
 				return err
 			}
 		}

@@ -308,12 +308,18 @@ func grepLines(s, substr string) string {
 	return b.String()
 }
 
-// TestClusterPartitionDegraded pins the partition story: with the shard
-// owner unreachable the entry node answers locally with degraded=true
-// and never caches; once the failure detector declares the owner dead,
-// ownership moves and responses are whole again.
+// TestClusterPartitionDegraded pins the partition story in its minimal
+// form — retries and failover disabled, so one forward is one attempt:
+// with the shard owner unreachable the entry node answers locally with
+// degraded=true and never caches; once the failure detector declares
+// the owner dead, ownership moves and responses are whole again. (The
+// resilient path — retries, rendezvous failover, breakers — is pinned
+// by the chaos suite in cluster_chaos_test.go.)
 func TestClusterPartitionDegraded(t *testing.T) {
-	h := newClusterHarness(t, 3, nil) // FailAfter 2 from the harness default
+	h := newClusterHarness(t, 3, func(i int, cfg *Config) { // FailAfter 2 from the harness default
+		cfg.Cluster.ForwardRetries = -1
+		cfg.Cluster.MaxFailovers = -1
+	})
 	h.converge(t)
 	const sql = "SELECT * WHERE temp > 7"
 	code, first := clusterPost[planResponse](t, h, h.urls[0], "/v1/plan", planRequest{SQL: sql})

@@ -34,8 +34,14 @@ type metrics struct {
 	degradedAnswers atomic.Int64 // abstained or fault-corrupted answers returned
 
 	epochBumps        atomic.Int64 // epoch advances learned from peers via gossip
-	degradedPartition atomic.Int64 // /plan answered locally because the shard owner was unreachable
+	degradedPartition atomic.Int64 // /plan answered locally because no shard candidate was reachable
 	clusterMetrics                 // per-peer forward/gossip counter table
+
+	forwardRetries       atomic.Int64 // forward attempts retried after a failure or shed
+	forwardFailovers     atomic.Int64 // forwards redirected to a lower-ranked rendezvous candidate
+	retryBudgetExhausted atomic.Int64 // retries skipped because the budget ran dry
+	breakerOpens         atomic.Int64 // circuit-breaker open transitions across all peers
+	breakerSkips         atomic.Int64 // forward candidates skipped because their breaker was open
 
 	// Planner search counters, aggregated from the per-run trace spans
 	// (trace.Counter order).

@@ -166,6 +166,18 @@ type Server struct {
 	clusterSelf   string
 	forwardClient *http.Client
 
+	// Forwarding resilience (set by startCluster): resolved retry/
+	// failover/breaker parameters, the injected cluster clock, the
+	// per-peer breaker table, the shared retry budget, and the transport
+	// the forward client runs on (surfaced so /metrics can report chaos
+	// injection counters when the smoke harness installs one).
+	resil            resilience
+	clusterNow       func() time.Time
+	breakMu          sync.Mutex
+	breakers         map[string]*breaker
+	budget           *retryBudget
+	forwardTransport http.RoundTripper
+
 	started      time.Time
 	reqSeq       atomic.Int64 // generated X-Request-Id sequence
 	fastIDPrefix []byte       // the started-stamp half of generated request IDs
