@@ -131,6 +131,31 @@ var (
 	// FitIndependent learns a fully-independent model (ablation
 	// baseline).
 	FitIndependent = model.FitIndependent
+	// FitBN learns a general bounded-in-degree Bayesian network by greedy
+	// BIC search; it captures interactions (XOR-like dependencies) no
+	// tree can.
+	FitBN = model.FitBN
+	// Fit builds a model by registry name ("empirical", "independent",
+	// "chowliu", "bn") with typed errors for unknown names and empty
+	// tables.
+	Fit = model.Fit
+	// ModelNames lists the registry names Fit accepts, in deterministic
+	// order.
+	ModelNames = model.Names
+)
+
+// ModelOpts carries Fit's optional fitting parameters; the zero value
+// selects the documented defaults.
+type ModelOpts = model.Opts
+
+// Model-registry errors, matched with errors.Is.
+var (
+	// ErrUnknownModel reports a Fit name outside ModelNames().
+	ErrUnknownModel = model.ErrUnknownModel
+	// ErrEmptyTable reports a Fit call on a nil or zero-row table.
+	ErrEmptyTable = model.ErrEmptyTable
+	// ErrBadOpts reports negative fitting options.
+	ErrBadOpts = model.ErrBadOpts
 )
 
 // Plan inspection and transport.
@@ -394,6 +419,13 @@ func (o Options) withDefaults() Options {
 func Optimize(ctx context.Context, d Dist, q Query, o Options) (*Plan, float64, error) {
 	if err := o.Validate(); err != nil {
 		return nil, 0, err
+	}
+	if n := q.NumPreds(); n > stats.MaxJointPreds {
+		// The sequential optimizers build a dense joint over 2^m predicate
+		// patterns; past this bound they would panic deep in the stats
+		// layer. Reject up front with the typed invalid-request error.
+		return nil, 0, fmt.Errorf("%w: query has %d predicates, planning supports at most %d",
+			ErrInvalidRequest, n, stats.MaxJointPreds)
 	}
 	o = o.withDefaults()
 	switch o.Algorithm {

@@ -34,6 +34,11 @@
 #              figure (which self-checks rate-zero equivalence,
 #              non-negative costs, zero plan mismatches, and seeded
 #              reproducibility, and exits nonzero on any regression)
+#   model gate the model-conformance suite (every registry backend against
+#              the stats.Dist contract, race detector on) plus the models
+#              figure, whose in-process self-check requires the Bayesian-
+#              network backend to plan strictly cheaper than Chow-Liu on
+#              the XOR workload; teed to results/models-bench.txt
 #   alloc gates the trace disabled path (0 allocs) and the serve fast-path
 #              cache hit (<= 8 allocs), both without -race
 #   exec bench the streaming executor's per-tuple cost, teed to
@@ -199,6 +204,18 @@ go test -run='TestRunFaulty' -count=1 ./internal/exec
 go test -run='TestZeroFaultProfileIsByteIdentical|TestLossyLinksChargeRetransmissions|TestDeployFaultyNeverNegative' -count=1 ./internal/sensornet
 mkdir -p results
 go run ./cmd/acqbench -fig faults | tee results/faults-bench.txt
+
+echo "== model backend gate"
+# The conformance suite pins every registry backend (empirical,
+# independent, chowliu, bn) to the stats.Dist contract — normalized
+# histograms, probabilities in [0,1], the Restrict chain rule, monotone
+# weights, safe concurrent use — and the models figure self-checks its
+# headline claim in-process: BN plans strictly cheaper than the Chow-Liu
+# tree on the XOR workload, where the defining correlation is one no tree
+# can represent.
+go test -race -run='TestConformance|TestFit|TestBN' -count=1 ./internal/model
+mkdir -p results
+go run ./cmd/acqbench -fig models | tee results/models-bench.txt
 
 echo "== trace zero-alloc gate"
 # The disabled tracing path must cost nothing: testing.AllocsPerRun on

@@ -53,13 +53,14 @@ var figures = []figure{
 	{"lifetime", tableWriter(experiments.Lifetime)},
 	{"sensor", tableWriter(experiments.SensorTradeoff)},
 	{"ablation", tableWriter(experiments.ModelAblation)},
+	{"models", tableWriter(experiments.ModelStudy)},
 	{"parallel", tableWriter(experiments.ParallelSpeedup)},
 	{"faults", tableWriter(experiments.FaultStudy)},
 	{"trace", tableWriter(experiments.TraceStudy)},
 }
 
 func main() {
-	fig := flag.String("fig", "all", "figure to regenerate: 8a, 8b, 8c, 9, 10, 11, 12, scale, lifetime, sensor, ablation, parallel, faults, trace, or all")
+	fig := flag.String("fig", "all", "figure to regenerate: 8a, 8b, 8c, 9, 10, 11, 12, scale, lifetime, sensor, ablation, models, parallel, faults, trace, or all")
 	scale := flag.String("scale", "quick", "experiment scale: quick or full")
 	timeout := flag.Duration("timeout", 0, "wall-clock budget for the whole run (e.g. 30s); 0 means none. Expiry cancels the in-flight planner and aborts")
 	flag.Parse()

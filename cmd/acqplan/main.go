@@ -5,7 +5,7 @@
 //
 //	acqplan -schema "hour:24:1,light:32:100,temp:32:100" \
 //	        -query "light:0:7,temp:16:31,!hour:6:18" \
-//	        -data history.csv [-splits 5] [-exhaustive] [-dot]
+//	        -data history.csv [-splits 5] [-exhaustive] [-dot] [-model bn]
 //
 //	acqplan -schema "hour:24:1,light:32:100,temp:32:100" \
 //	        -sql "SELECT light WHERE 8 <= light <= 31 AND hour < 6" \
@@ -44,6 +44,7 @@ func main() {
 	timeout := flag.Duration("timeout", 0, "planning deadline (e.g. 100ms); 0 means none. The greedy planner returns the best plan found so far, the exhaustive planner aborts")
 	parallelism := flag.Int("parallelism", 1, "planner worker count; the plan is identical at every setting")
 	traced := flag.Bool("trace", false, "print planner phase timings and search counters to stderr (conjunctive queries)")
+	modelName := flag.String("model", "", "statistics backend for planning: empirical (default), independent, chowliu, or bn")
 	flag.Parse()
 
 	if *schemaSpec == "" || (*querySpec == "" && *sqlSpec == "") || *dataPath == "" {
@@ -97,7 +98,13 @@ func main() {
 		sp = trace.NewSpan(time.Now)
 		ctx = trace.NewContext(ctx, sp)
 	}
-	d := acqp.NewEmpirical(tbl)
+	var d acqp.Dist = acqp.NewEmpirical(tbl)
+	if *modelName != "" {
+		d, err = acqp.Fit(*modelName, tbl, acqp.ModelOpts{})
+		if err != nil {
+			fatal(err)
+		}
+	}
 	var p *acqp.Plan
 	var cost float64
 	if *exhaustive {

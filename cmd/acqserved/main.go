@@ -7,7 +7,7 @@
 //
 //	acqserved -schema "hour:24:1,light:32:100,temp:32:100" \
 //	          -data history.csv [-addr :8077] [-cache 256] \
-//	          [-workers 0] [-queue 0] [-timeout 2s] \
+//	          [-workers 0] [-queue 0] [-timeout 2s] [-model empirical] \
 //	          [-window 4096] [-refresh 30s] [-drift 0.05] \
 //	          [-access-log] [-debug-addr localhost:6060] \
 //	          [-peers http://h1:8077,http://h2:8077] [-advertise URL] \
@@ -71,6 +71,7 @@ func main() {
 	refresh := flag.Duration("refresh", 0, "background drift-check interval (0 = on-demand /refresh only)")
 	drift := flag.Float64("drift", 0, "total-variation drift threshold for an epoch bump (0 = 0.05)")
 	parallelism := flag.Int("parallelism", 0, "default planner worker count per request (0 = 1, capped at GOMAXPROCS)")
+	defaultModel := flag.String("model", "", "default statistics backend for requests without a model field: empirical, independent, chowliu, or bn (empty = empirical)")
 	accessLog := flag.Bool("access-log", false, "write one structured log line per request to stderr")
 	debugAddr := flag.String("debug-addr", "", "optional separate listener for net/http/pprof (e.g. localhost:6060); disabled when empty")
 	peers := flag.String("peers", "", "comma-separated peer base URLs; joins a sharded planning cluster when set")
@@ -122,6 +123,7 @@ func main() {
 		QueueDepth:      *queue,
 		DefaultTimeout:  *timeout,
 		PlanParallelism: *parallelism,
+		DefaultModel:    *defaultModel,
 		WindowSize:      *window,
 		RefreshInterval: *refresh,
 		DriftThreshold:  *drift,

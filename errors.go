@@ -31,11 +31,12 @@ var (
 		msg:   "acqp: exhaustive planning exceeded its subproblem budget",
 		inner: opt.ErrBudget,
 	}
-	// ErrInvalidRequest reports an Execute call whose request was
-	// malformed (missing plan or source, option conflict, width mismatch).
-	// It wraps exec.ErrInvalidRequest.
+	// ErrInvalidRequest reports an Optimize or Execute call whose request
+	// was malformed (missing plan or source, option conflict, width
+	// mismatch, too many predicates to plan). It wraps
+	// exec.ErrInvalidRequest.
 	ErrInvalidRequest error = wrappedSentinel{
-		msg:   "acqp: invalid execute request",
+		msg:   "acqp: invalid request",
 		inner: exec.ErrInvalidRequest,
 	}
 )

@@ -155,16 +155,16 @@ func NewTupleExecutor(s *schema.Schema, p *plan.Node, q query.Query, cfg FaultCo
 	case Abstain, Replan:
 	case Impute:
 		if cfg.Model == nil {
-			return nil, fmt.Errorf("exec: Impute policy requires a model distribution")
+			return nil, fmt.Errorf("%w: Impute policy requires a model distribution", ErrInvalidRequest)
 		}
 		if got := cfg.Model.Schema().NumAttrs(); got != s.NumAttrs() {
-			return nil, fmt.Errorf("exec: impute model covers %d attributes, schema has %d", got, s.NumAttrs())
+			return nil, fmt.Errorf("%w: impute model covers %d attributes, schema has %d", ErrInvalidRequest, got, s.NumAttrs())
 		}
 	default:
-		return nil, fmt.Errorf("exec: unknown fallback policy %d", cfg.Policy)
+		return nil, fmt.Errorf("%w: unknown fallback policy %d", ErrInvalidRequest, cfg.Policy)
 	}
 	if cfg.Injector != nil && cfg.Injector.NumAttrs() != s.NumAttrs() {
-		return nil, fmt.Errorf("exec: injector covers %d attributes, schema has %d", cfg.Injector.NumAttrs(), s.NumAttrs())
+		return nil, fmt.Errorf("%w: injector covers %d attributes, schema has %d", ErrInvalidRequest, cfg.Injector.NumAttrs(), s.NumAttrs())
 	}
 	n := s.NumAttrs()
 	ex := &TupleExecutor{

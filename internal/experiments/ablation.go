@@ -7,6 +7,7 @@ import (
 	"acqp/internal/model"
 	"acqp/internal/opt"
 	"acqp/internal/stats"
+	"acqp/internal/table"
 )
 
 // AblationRow is one oracle backing's aggregate over the lab workload.
@@ -43,12 +44,21 @@ func ModelAblation(e *Env) (AblationResult, error) {
 		rows int
 		dist stats.Dist
 	}
+	fit := func(name string, tbl *table.Table) stats.Dist {
+		d, err := model.Fit(name, tbl, model.Opts{})
+		if err != nil {
+			// The generators always produce non-empty tables and the names
+			// are registry constants; a failure here is a programming bug.
+			panic("experiments: " + err.Error())
+		}
+		return d
+	}
 	backings := []backing{
-		{"empirical (full)", w.train.NumRows(), stats.NewEmpirical(w.train)},
-		{"chow-liu (full)", w.train.NumRows(), model.FitChowLiu(w.train, 0.5)},
-		{"independent (full)", w.train.NumRows(), model.FitIndependent(w.train, 0.5)},
-		{"empirical (small)", smallRows, stats.NewEmpirical(small)},
-		{"chow-liu (small)", smallRows, model.FitChowLiu(small, 0.5)},
+		{"empirical (full)", w.train.NumRows(), fit(model.NameEmpirical, w.train)},
+		{"chow-liu (full)", w.train.NumRows(), fit(model.NameChowLiu, w.train)},
+		{"independent (full)", w.train.NumRows(), fit(model.NameIndependent, w.train)},
+		{"empirical (small)", smallRows, fit(model.NameEmpirical, small)},
+		{"chow-liu (small)", smallRows, fit(model.NameChowLiu, small)},
 	}
 	res := AblationResult{Queries: len(w.queries)}
 	naive := opt.NaivePlanner{}

@@ -63,7 +63,10 @@ func FaultStudy(e *Env) (FaultStudyResult, error) {
 	}
 	w := e.labWorld(queries)
 	s := w.train.Schema()
-	imputeModel := model.FitChowLiu(w.train, 0.5)
+	imputeModel, err := model.Fit(model.NameChowLiu, w.train, model.Opts{})
+	if err != nil {
+		return FaultStudyResult{}, err
+	}
 	heur := heuristicPlanner(s, 5)
 	replanner := func(failed []bool, residual query.Query) (*plan.Node, error) {
 		if len(residual.Preds) == 0 {

@@ -1,0 +1,654 @@
+package model
+
+import (
+	"math"
+	"sort"
+	"sync"
+
+	"acqp/internal/query"
+	"acqp/internal/schema"
+	"acqp/internal/stats"
+	"acqp/internal/table"
+)
+
+// BN is a general bounded-in-degree Bayesian network over the schema's
+// attributes — the lifting of ChowLiu from trees to DAGs that ROADMAP
+// item 1 and Halford et al. (arXiv:1907.06295) call for. Structure is
+// learned greedily under a BIC/MDL score, CPTs are Laplace-smoothed, and
+// the planners' conditional-probability queries are answered by exact
+// variable elimination over the learned DAG. A Chow-Liu tree is the
+// special case where every node has at most one parent; allowing two (the
+// default) captures exactly the multi-parent interactions a tree cannot
+// represent, such as x2 = x0 XOR x1 where x2 is pairwise independent of
+// each input.
+type BN struct {
+	s       *schema.Schema
+	rows    float64
+	parents [][]int     // parents[v], ascending; empty for roots
+	order   []int       // topological order (parents before children)
+	cpt     [][]float64 // cpt[v][cfg*K_v + x] = P(X_v = x | parents = cfg)
+}
+
+const (
+	// defaultMaxParents bounds the in-degree of the structure search.
+	// Two parents keep every CPT and every elimination clique small while
+	// already expressing the pairwise-irreducible dependencies that
+	// motivate moving beyond trees.
+	defaultMaxParents = 2
+	// maxFamilyCells caps a node's CPT size (parent configurations times
+	// the node's own cardinality) so high-cardinality attributes cannot
+	// blow up fitting time or memory.
+	maxFamilyCells = 1 << 16
+	// minScoreGain is the threshold a structure move must clear; it
+	// absorbs float noise so fitting terminates deterministically.
+	minScoreGain = 1e-9
+)
+
+// FitBN learns a bounded-in-degree Bayesian network from the table with
+// additive smoothing alpha (clamped to 0 if negative) and at most
+// maxParents parents per node (0 selects the default). Fitting is
+// deterministic: candidate moves are scanned in index order and score
+// ties keep the first candidate. An empty table yields the uniform model;
+// use Fit for validated fitting with typed errors.
+func FitBN(tbl *table.Table, alpha float64, maxParents int) *BN {
+	if alpha < 0 {
+		alpha = 0
+	}
+	if maxParents <= 0 {
+		maxParents = defaultMaxParents
+	}
+	s := tbl.Schema()
+	n := s.NumAttrs()
+	m := &BN{s: s, rows: float64(tbl.NumRows())}
+
+	parents := make([][]int, n)
+	children := make([][]int, n)
+	scores := make([]float64, n)
+	for v := 0; v < n; v++ {
+		scores[v] = familyScore(tbl, v, nil)
+	}
+
+	// reaches reports whether a directed path from -> to exists.
+	var reaches func(from, to int) bool
+	reaches = func(from, to int) bool {
+		if from == to {
+			return true
+		}
+		for _, c := range children[from] {
+			if reaches(c, to) {
+				return true
+			}
+		}
+		return false
+	}
+	okParent := func(v, u int) bool {
+		if u == v || containsInt(parents[v], u) {
+			return false
+		}
+		// Adding u -> v creates a cycle iff v already reaches u.
+		return !reaches(v, u)
+	}
+	apply := func(v int, add []int, gain float64) {
+		parents[v] = append(append([]int(nil), parents[v]...), add...)
+		sort.Ints(parents[v])
+		for _, u := range add {
+			children[u] = append(children[u], v)
+		}
+		scores[v] += gain
+	}
+
+	// Greedy hill climbing: repeatedly take the best single-edge addition
+	// by BIC gain. When no single edge helps, try adding a parent *pair*
+	// before giving up — parity-style dependencies (XOR) have zero gain
+	// for every individual edge yet large gain for the pair, so a purely
+	// single-edge search can never discover them.
+	for {
+		bestGain, bestV := minScoreGain, -1
+		var bestAdd []int
+		for v := 0; v < n; v++ {
+			if len(parents[v]) >= maxParents {
+				continue
+			}
+			for u := 0; u < n; u++ {
+				if !okParent(v, u) {
+					continue
+				}
+				ps := sortedWith(parents[v], u)
+				if familyCells(s, v, ps) > maxFamilyCells {
+					continue
+				}
+				if g := familyScore(tbl, v, ps) - scores[v]; g > bestGain {
+					bestGain, bestV, bestAdd = g, v, []int{u}
+				}
+			}
+		}
+		if bestV < 0 {
+			for v := 0; v < n; v++ {
+				if len(parents[v])+2 > maxParents {
+					continue
+				}
+				for u := 0; u < n; u++ {
+					if !okParent(v, u) {
+						continue
+					}
+					for w := u + 1; w < n; w++ {
+						if !okParent(v, w) {
+							continue
+						}
+						ps := sortedWith(sortedWith(parents[v], u), w)
+						if familyCells(s, v, ps) > maxFamilyCells {
+							continue
+						}
+						if g := familyScore(tbl, v, ps) - scores[v]; g > bestGain {
+							bestGain, bestV, bestAdd = g, v, []int{u, w}
+						}
+					}
+				}
+			}
+		}
+		if bestV < 0 {
+			break
+		}
+		apply(bestV, bestAdd, bestGain)
+	}
+	m.parents = parents
+
+	// Topological order: Kahn's algorithm, smallest index first so the
+	// order (and everything downstream) is deterministic.
+	indeg := make([]int, n)
+	for v := 0; v < n; v++ {
+		indeg[v] = len(parents[v])
+	}
+	for len(m.order) < n {
+		picked := -1
+		for v := 0; v < n; v++ {
+			if indeg[v] == 0 {
+				picked = v
+				break
+			}
+		}
+		m.order = append(m.order, picked)
+		indeg[picked] = -1
+		for _, c := range children[picked] {
+			indeg[c]--
+		}
+	}
+
+	// Smoothed CPTs. A parent configuration with no support (and alpha=0)
+	// gets the uniform row instead of 0/0 = NaN.
+	m.cpt = make([][]float64, n)
+	for v := 0; v < n; v++ {
+		kv := s.K(v)
+		cfgs := parentConfigs(s, parents[v])
+		counts := make([]float64, cfgs*kv)
+		colV := tbl.Col(v)
+		pcols := make([][]schema.Value, len(parents[v]))
+		for i, p := range parents[v] {
+			pcols[i] = tbl.Col(p)
+		}
+		for r := range colV {
+			cfg := 0
+			for i, p := range parents[v] {
+				cfg = cfg*s.K(p) + int(pcols[i][r])
+			}
+			counts[cfg*kv+int(colV[r])]++
+		}
+		for cfg := 0; cfg < cfgs; cfg++ {
+			row := counts[cfg*kv : (cfg+1)*kv]
+			var tot float64
+			for _, c := range row {
+				tot += c
+			}
+			z := tot + alpha*float64(kv)
+			if z <= 0 {
+				for x := range row {
+					row[x] = 1 / float64(kv)
+				}
+				continue
+			}
+			for x := range row {
+				row[x] = (row[x] + alpha) / z
+			}
+		}
+		m.cpt[v] = counts
+	}
+	return m
+}
+
+// familyScore is the BIC/MDL score of node v with the given parent set:
+// maximum-likelihood log-likelihood of v's column given the parent
+// columns, minus (ln N / 2) per free parameter. (Smoothing applies to the
+// CPTs, not the structure score.) Decomposability over families is what
+// makes the greedy search cheap.
+func familyScore(tbl *table.Table, v int, ps []int) float64 {
+	s := tbl.Schema()
+	kv := s.K(v)
+	cfgs := parentConfigs(s, ps)
+	counts := make([]float64, cfgs*kv)
+	parentTot := make([]float64, cfgs)
+	colV := tbl.Col(v)
+	pcols := make([][]schema.Value, len(ps))
+	for i, p := range ps {
+		pcols[i] = tbl.Col(p)
+	}
+	for r := range colV {
+		cfg := 0
+		for i, p := range ps {
+			cfg = cfg*s.K(p) + int(pcols[i][r])
+		}
+		counts[cfg*kv+int(colV[r])]++
+		parentTot[cfg]++
+	}
+	var ll float64
+	for cfg := 0; cfg < cfgs; cfg++ {
+		for x := 0; x < kv; x++ {
+			c := counts[cfg*kv+x]
+			if c > 0 {
+				ll += c * math.Log(c/parentTot[cfg])
+			}
+		}
+	}
+	n := float64(tbl.NumRows())
+	if n < 1 {
+		n = 1
+	}
+	penalty := 0.5 * math.Log(n) * float64((kv-1)*cfgs)
+	return ll - penalty
+}
+
+func parentConfigs(s *schema.Schema, ps []int) int {
+	cfgs := 1
+	for _, p := range ps {
+		cfgs *= s.K(p)
+	}
+	return cfgs
+}
+
+func familyCells(s *schema.Schema, v int, ps []int) int {
+	return parentConfigs(s, ps) * s.K(v)
+}
+
+func containsInt(xs []int, x int) bool {
+	for _, y := range xs {
+		if y == x {
+			return true
+		}
+	}
+	return false
+}
+
+func sortedWith(xs []int, x int) []int {
+	out := append(append([]int(nil), xs...), x)
+	sort.Ints(out)
+	return out
+}
+
+// Parents returns attribute v's learned parent set (ascending); useful
+// for inspecting the structure in tests and experiments.
+func (m *BN) Parents(v int) []int {
+	return append([]int(nil), m.parents[v]...)
+}
+
+// NumEdges returns the number of edges in the learned DAG.
+func (m *BN) NumEdges() int {
+	var e int
+	for _, ps := range m.parents {
+		e += len(ps)
+	}
+	return e
+}
+
+// Schema implements stats.Dist.
+func (m *BN) Schema() *schema.Schema { return m.s }
+
+// Root implements stats.Dist.
+func (m *BN) Root() stats.Cond {
+	masks := make([][]float64, m.s.NumAttrs())
+	for a := range masks {
+		mask := make([]float64, m.s.K(a))
+		for v := range mask {
+			mask[v] = 1
+		}
+		masks[a] = mask
+	}
+	return newBNCond(m, masks)
+}
+
+// factor is a dense potential over a sorted list of attribute variables,
+// laid out row-major with the last variable varying fastest.
+type factor struct {
+	vars []int
+	card []int
+	vals []float64
+}
+
+func newFactor(s *schema.Schema, vars []int) *factor {
+	f := &factor{vars: vars, card: make([]int, len(vars))}
+	size := 1
+	for i, v := range vars {
+		f.card[i] = s.K(v)
+		size *= f.card[i]
+	}
+	f.vals = make([]float64, size)
+	return f
+}
+
+// positions maps each of f's vars to its index in the (sorted) superset
+// vars; every f.var must be present.
+func (f *factor) positions(vars []int) []int {
+	pos := make([]int, len(f.vars))
+	for i, v := range f.vars {
+		for j, w := range vars {
+			if w == v {
+				pos[i] = j
+				break
+			}
+		}
+	}
+	return pos
+}
+
+func (f *factor) at(assign []int, pos []int) float64 {
+	idx := 0
+	for i := range f.vars {
+		idx = idx*f.card[i] + assign[pos[i]]
+	}
+	return f.vals[idx]
+}
+
+func unionSorted(a, b []int) []int {
+	out := make([]int, 0, len(a)+len(b))
+	i, j := 0, 0
+	for i < len(a) && j < len(b) {
+		switch {
+		case a[i] < b[j]:
+			out = append(out, a[i])
+			i++
+		case a[i] > b[j]:
+			out = append(out, b[j])
+			j++
+		default:
+			out = append(out, a[i])
+			i++
+			j++
+		}
+	}
+	out = append(out, a[i:]...)
+	return append(out, b[j:]...)
+}
+
+// multiply returns the product factor over the union of scopes.
+func multiply(s *schema.Schema, a, b *factor) *factor {
+	vars := unionSorted(a.vars, b.vars)
+	out := newFactor(s, vars)
+	posA, posB := a.positions(vars), b.positions(vars)
+	assign := make([]int, len(vars))
+	for i := range out.vals {
+		out.vals[i] = a.at(assign, posA) * b.at(assign, posB)
+		// Odometer increment, last variable fastest.
+		for d := len(vars) - 1; d >= 0; d-- {
+			assign[d]++
+			if assign[d] < out.card[d] {
+				break
+			}
+			assign[d] = 0
+		}
+	}
+	return out
+}
+
+// sumOut marginalizes variable v out of f.
+func sumOut(s *schema.Schema, f *factor, v int) *factor {
+	vars := make([]int, 0, len(f.vars)-1)
+	for _, w := range f.vars {
+		if w != v {
+			vars = append(vars, w)
+		}
+	}
+	out := newFactor(s, vars)
+	posOut := make([]int, len(f.vars)) // f var index -> out assign index (-1 for v)
+	for i, w := range f.vars {
+		posOut[i] = -1
+		for j, o := range vars {
+			if o == w {
+				posOut[i] = j
+				break
+			}
+		}
+	}
+	assign := make([]int, len(f.vars))
+	for i := range f.vals {
+		idx := 0
+		for i2, p := range posOut {
+			if p >= 0 {
+				idx = idx*out.card[p] + assign[i2]
+			}
+		}
+		out.vals[idx] += f.vals[i]
+		for d := len(f.vars) - 1; d >= 0; d-- {
+			assign[d]++
+			if assign[d] < f.card[d] {
+				break
+			}
+			assign[d] = 0
+		}
+	}
+	return out
+}
+
+// ve runs variable elimination with the given per-attribute evidence
+// masks, keeping attribute keep uneliminated (keep < 0 eliminates
+// everything). It returns the unnormalized posterior over keep (nil when
+// keep < 0) and the total evidence mass. The elimination order greedily
+// picks the variable whose elimination produces the smallest resulting
+// factor, breaking ties by smallest attribute index — deterministic and
+// effective on the small, sparse graphs bounded in-degree produces.
+func (m *BN) ve(masks [][]float64, keep int) ([]float64, float64) {
+	n := m.s.NumAttrs()
+	factors := make([]*factor, 0, n)
+	scopeAssign := make([]int, 0, n)
+	for v := 0; v < n; v++ {
+		scope := sortedWith(m.parents[v], v)
+		f := newFactor(m.s, scope)
+		// The CPT is laid out over (parents ascending, v last); re-index
+		// into the sorted scope.
+		cptVars := append(append([]int(nil), m.parents[v]...), v)
+		cptCard := make([]int, len(cptVars))
+		for i, w := range cptVars {
+			cptCard[i] = m.s.K(w)
+		}
+		pos := make([]int, len(cptVars)) // cpt var index -> scope index
+		for i, w := range cptVars {
+			for j, sv := range scope {
+				if sv == w {
+					pos[i] = j
+					break
+				}
+			}
+		}
+		assign := make([]int, len(cptVars))
+		scopeAssign = scopeAssign[:len(scope)]
+		for i := range m.cpt[v] {
+			for i2, p := range pos {
+				scopeAssign[p] = assign[i2]
+			}
+			idx := 0
+			for j := range scope {
+				idx = idx*f.card[j] + scopeAssign[j]
+			}
+			// Fold v's evidence mask directly into its CPT factor.
+			f.vals[idx] = m.cpt[v][i] * masks[v][assign[len(assign)-1]]
+			for d := len(cptVars) - 1; d >= 0; d-- {
+				assign[d]++
+				if assign[d] < cptCard[d] {
+					break
+				}
+				assign[d] = 0
+			}
+		}
+		factors = append(factors, f)
+	}
+
+	remaining := make([]bool, n)
+	for v := 0; v < n; v++ {
+		remaining[v] = v != keep
+	}
+	for {
+		// Pick the remaining variable with the smallest resulting factor.
+		bestV, bestSize := -1, 0
+		for v := 0; v < n; v++ {
+			if !remaining[v] {
+				continue
+			}
+			scope := []int{}
+			for _, f := range factors {
+				if containsInt(f.vars, v) {
+					scope = unionSorted(scope, f.vars)
+				}
+			}
+			size := 1
+			for _, w := range scope {
+				if w != v {
+					size *= m.s.K(w)
+				}
+			}
+			if bestV < 0 || size < bestSize {
+				bestV, bestSize = v, size
+			}
+		}
+		if bestV < 0 {
+			break
+		}
+		remaining[bestV] = false
+		var prod *factor
+		kept := factors[:0]
+		for _, f := range factors {
+			if containsInt(f.vars, bestV) {
+				if prod == nil {
+					prod = f
+				} else {
+					prod = multiply(m.s, prod, f)
+				}
+			} else {
+				kept = append(kept, f)
+			}
+		}
+		if prod != nil {
+			kept = append(kept, sumOut(m.s, prod, bestV))
+		}
+		factors = kept
+	}
+
+	// Multiply what remains: factors over {keep} and constants.
+	var hist []float64
+	if keep >= 0 {
+		hist = make([]float64, m.s.K(keep))
+		for i := range hist {
+			hist[i] = 1
+		}
+	}
+	z := 1.0
+	for _, f := range factors {
+		if len(f.vars) == 0 {
+			z *= f.vals[0]
+			continue
+		}
+		// Scope must be exactly {keep} here.
+		for i := range hist {
+			hist[i] *= f.vals[i]
+		}
+	}
+	if keep < 0 {
+		return nil, z
+	}
+	var tot float64
+	for i := range hist {
+		hist[i] *= z
+		tot += hist[i]
+	}
+	return hist, tot
+}
+
+func newBNCond(m *BN, masks [][]float64) *bnCond {
+	return &bnCond{m: m, masks: masks, hists: make([]bnHist, m.s.NumAttrs())}
+}
+
+// bnHist is one attribute's lazily published posterior marginal; once
+// makes the publication safe for concurrent planner searches sharing the
+// conditioning context.
+type bnHist struct {
+	once sync.Once
+	h    []float64
+}
+
+// bnCond conditions the network: evidence is a per-attribute 0/1 mask;
+// posteriors and the evidence mass are computed by variable elimination
+// on first use and published through sync.Once.
+type bnCond struct {
+	m     *BN
+	masks [][]float64
+
+	zOnce sync.Once
+	z     float64 // P(evidence)
+
+	hists []bnHist
+}
+
+func (c *bnCond) evidence() float64 {
+	c.zOnce.Do(func() {
+		_, c.z = c.m.ve(c.masks, -1)
+		if c.z < 0 {
+			c.z = 0
+		}
+	})
+	return c.z
+}
+
+func (c *bnCond) Weight() float64 { return c.m.rows * c.evidence() }
+
+func (c *bnCond) Hist(attr int) []float64 {
+	st := &c.hists[attr]
+	st.once.Do(func() {
+		h, z := c.m.ve(c.masks, attr)
+		st.h = normalizeOrUniform(h, z)
+	})
+	return st.h
+}
+
+func (c *bnCond) ProbRange(attr int, r query.Range) float64 {
+	h := c.Hist(attr)
+	var p float64
+	for v := int(r.Lo); v <= int(r.Hi) && v < len(h); v++ {
+		p += h[v]
+	}
+	return clampProb(p)
+}
+
+func (c *bnCond) ProbPred(p query.Pred) float64 {
+	in := c.ProbRange(p.Attr, p.R)
+	if p.Negated {
+		return clampProb(1 - in)
+	}
+	return in
+}
+
+func (c *bnCond) RestrictRange(attr int, r query.Range) stats.Cond {
+	return c.restrict(attr, func(v int) bool { return r.Contains(schema.Value(v)) })
+}
+
+func (c *bnCond) RestrictPred(p query.Pred, val bool) stats.Cond {
+	return c.restrict(p.Attr, func(v int) bool { return p.Eval(schema.Value(v)) == val })
+}
+
+func (c *bnCond) restrict(attr int, keep func(v int) bool) stats.Cond {
+	masks := make([][]float64, len(c.masks))
+	copy(masks, c.masks)
+	newMask := make([]float64, len(c.masks[attr]))
+	for v := range newMask {
+		if keep(v) {
+			newMask[v] = c.masks[attr][v]
+		}
+	}
+	masks[attr] = newMask
+	return newBNCond(c.m, masks)
+}

@@ -29,12 +29,16 @@ type ChowLiu struct {
 }
 
 // FitChowLiu learns the tree and its CPTs from the table with additive
-// smoothing alpha. The table must have at least one row.
+// smoothing alpha. Degenerate inputs degrade instead of corrupting the
+// model: a negative alpha is clamped to 0, and parent values with no
+// support (including the empty table, which historically panicked here)
+// get uniform CPT rows rather than 0/0 = NaN. Use Fit for validated
+// fitting with typed errors.
 func FitChowLiu(tbl *table.Table, alpha float64) *ChowLiu {
 	s := tbl.Schema()
 	n := s.NumAttrs()
-	if tbl.NumRows() == 0 {
-		panic("model: cannot fit Chow-Liu tree on empty table")
+	if alpha < 0 {
+		alpha = 0
 	}
 	m := &ChowLiu{s: s, rows: float64(tbl.NumRows())}
 
@@ -102,8 +106,14 @@ func FitChowLiu(tbl *table.Table, alpha float64) *ChowLiu {
 		m.prior[v]++
 	}
 	z := m.rows + alpha*float64(kr)
-	for i := range m.prior {
-		m.prior[i] = (m.prior[i] + alpha) / z
+	if z <= 0 {
+		for i := range m.prior {
+			m.prior[i] = 1 / float64(kr)
+		}
+	} else {
+		for i := range m.prior {
+			m.prior[i] = (m.prior[i] + alpha) / z
+		}
 	}
 
 	// CPTs for non-roots.
@@ -122,6 +132,14 @@ func FitChowLiu(tbl *table.Table, alpha float64) *ChowLiu {
 				tot += counts[pv*kv+cv]
 			}
 			z := tot + alpha*float64(kv)
+			if z <= 0 {
+				// Unsupported parent value with no smoothing: the uniform
+				// row, not 0/0 = NaN.
+				for cv := 0; cv < kv; cv++ {
+					counts[pv*kv+cv] = 1 / float64(kv)
+				}
+				continue
+			}
 			for cv := 0; cv < kv; cv++ {
 				counts[pv*kv+cv] = (counts[pv*kv+cv] + alpha) / z
 			}
@@ -141,6 +159,9 @@ func mutualInformation(tbl *table.Table, a, b int, alpha float64) float64 {
 		joint[int(colA[r])*kb+int(colB[r])]++
 	}
 	z := float64(len(colA)) + alpha*float64(ka*kb)
+	if z <= 0 {
+		return 0 // no rows and no smoothing: no evidence of dependence
+	}
 	pa := make([]float64, ka)
 	pb := make([]float64, kb)
 	for i := 0; i < ka; i++ {

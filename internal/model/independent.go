@@ -6,11 +6,15 @@
 // conditioning split; a fitted model answers the same queries in time
 // independent of the dataset and smooths away the high-variance estimates.
 //
-// Two models are provided: Independent (attributes fully independent,
-// useful as a baseline and for sanity checks) and ChowLiu (a tree-shaped
+// Three models are provided: Independent (attributes fully independent,
+// useful as a baseline and for sanity checks), ChowLiu (a tree-shaped
 // Bayesian network maximizing pairwise mutual information, the classic
-// compromise between expressiveness and tractability). Both implement
-// stats.Dist, so every planner runs unchanged on top of them.
+// compromise between expressiveness and tractability), and BN (a general
+// bounded-in-degree Bayesian network learned under a BIC score with
+// variable-elimination inference, for the multi-parent structure a tree
+// cannot represent). All implement stats.Dist, so every planner runs
+// unchanged on top of them; Fit selects a backend by name with input
+// validation and typed errors.
 package model
 
 import (
@@ -34,9 +38,14 @@ type Independent struct {
 }
 
 // FitIndependent learns marginals from the table with additive smoothing
-// alpha (counts per cell).
+// alpha (counts per cell). A negative alpha is clamped to 0, and an
+// empty table with no smoothing yields uniform marginals rather than
+// 0/0 = NaN; use Fit for validated fitting with typed errors.
 func FitIndependent(tbl *table.Table, alpha float64) *Independent {
 	s := tbl.Schema()
+	if alpha < 0 {
+		alpha = 0
+	}
 	m := &Independent{s: s, rows: float64(tbl.NumRows()), alpha: alpha}
 	m.marg = make([][]float64, s.NumAttrs())
 	for a := 0; a < s.NumAttrs(); a++ {
@@ -46,8 +55,14 @@ func FitIndependent(tbl *table.Table, alpha float64) *Independent {
 			h[v]++
 		}
 		total := float64(tbl.NumRows()) + alpha*float64(k)
-		for v := range h {
-			h[v] = (h[v] + alpha) / total
+		if total <= 0 {
+			for v := range h {
+				h[v] = 1 / float64(k)
+			}
+		} else {
+			for v := range h {
+				h[v] = (h[v] + alpha) / total
+			}
 		}
 		m.marg[a] = h
 	}

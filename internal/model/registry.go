@@ -1,0 +1,124 @@
+package model
+
+import (
+	"errors"
+	"fmt"
+
+	"acqp/internal/stats"
+	"acqp/internal/table"
+)
+
+// The model registry: a single validated entry point that maps a model
+// name to a fitted stats.Dist. The serving layer, the CLIs, and the
+// experiments all select statistics backends through Fit, so input
+// validation (empty tables, degenerate smoothing) happens in exactly one
+// place and surfaces as typed errors instead of panics or silent NaN
+// propagation into CPTs and plan costs.
+
+// Typed fitting errors, matched with errors.Is.
+var (
+	// ErrUnknownModel reports a model name outside Names().
+	ErrUnknownModel = errors.New("model: unknown model name")
+	// ErrEmptyTable reports an attempt to fit a model on a table with no
+	// rows (there is nothing to estimate from; the uninformative uniform
+	// model this would produce is almost never what the caller wants).
+	ErrEmptyTable = errors.New("model: cannot fit on an empty table")
+	// ErrBadOpts reports invalid fitting options (negative smoothing,
+	// negative in-degree bound).
+	ErrBadOpts = errors.New("model: invalid fit options")
+)
+
+// Model names accepted by Fit.
+const (
+	// NameEmpirical selects raw empirical counts (stats.Empirical) — not a
+	// fitted model, but registered so callers can treat backend selection
+	// uniformly.
+	NameEmpirical = "empirical"
+	// NameIndependent selects the fully-independent baseline.
+	NameIndependent = "independent"
+	// NameChowLiu selects the tree-shaped Chow-Liu Bayesian network.
+	NameChowLiu = "chowliu"
+	// NameBN selects the general bounded-in-degree Bayesian network.
+	NameBN = "bn"
+)
+
+// Names returns the registered model names in deterministic order.
+func Names() []string {
+	return []string{NameEmpirical, NameIndependent, NameChowLiu, NameBN}
+}
+
+// KnownName reports whether Fit accepts the name.
+func KnownName(name string) bool {
+	for _, n := range Names() {
+		if n == name {
+			return true
+		}
+	}
+	return false
+}
+
+// Opts parameterizes Fit. The zero value selects the documented defaults.
+type Opts struct {
+	// Alpha is the additive (Laplace) smoothing count added to every CPT
+	// cell; zero selects the default 0.5. Negative values are rejected
+	// with ErrBadOpts: a negative pseudo-count yields negative
+	// "probabilities" and NaN mutual-information scores.
+	Alpha float64
+	// MaxParents bounds the in-degree of the general BN's structure
+	// search; zero selects the default 2. Ignored by the other models.
+	// Negative values are rejected with ErrBadOpts.
+	MaxParents int
+}
+
+// defaultAlpha is the smoothing applied when Opts.Alpha is zero.
+const defaultAlpha = 0.5
+
+func (o Opts) withDefaults() Opts {
+	if o.Alpha <= 0 {
+		o.Alpha = defaultAlpha
+	}
+	if o.MaxParents <= 0 {
+		o.MaxParents = defaultMaxParents
+	}
+	return o
+}
+
+func (o Opts) validate() error {
+	if o.Alpha < 0 {
+		return fmt.Errorf("%w: negative smoothing alpha %g", ErrBadOpts, o.Alpha)
+	}
+	if o.MaxParents < 0 {
+		return fmt.Errorf("%w: negative MaxParents %d", ErrBadOpts, o.MaxParents)
+	}
+	return nil
+}
+
+// Fit fits the named statistics backend on the table and returns it as a
+// stats.Dist every planner runs on unchanged. It validates its inputs and
+// returns typed errors (ErrUnknownModel, ErrEmptyTable, ErrBadOpts)
+// instead of panicking or producing NaN-poisoned CPTs, which the raw
+// Fit* constructors historically did on empty tables and non-positive
+// smoothing. Fitting is deterministic: the same table and options always
+// produce the same model.
+func Fit(name string, tbl *table.Table, o Opts) (stats.Dist, error) {
+	if !KnownName(name) {
+		return nil, fmt.Errorf("%w %q (want one of %v)", ErrUnknownModel, name, Names())
+	}
+	if tbl == nil || tbl.NumRows() == 0 {
+		return nil, fmt.Errorf("%w (model %q)", ErrEmptyTable, name)
+	}
+	if err := o.validate(); err != nil {
+		return nil, err
+	}
+	o = o.withDefaults()
+	switch name {
+	case NameEmpirical:
+		return stats.NewEmpirical(tbl), nil
+	case NameIndependent:
+		return FitIndependent(tbl, o.Alpha), nil
+	case NameChowLiu:
+		return FitChowLiu(tbl, o.Alpha), nil
+	default: // NameBN
+		return FitBN(tbl, o.Alpha, o.MaxParents), nil
+	}
+}

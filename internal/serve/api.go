@@ -12,10 +12,12 @@ import (
 
 	"acqp"
 	"acqp/internal/exec"
+	"acqp/internal/model"
 	"acqp/internal/plan"
 	"acqp/internal/query"
 	"acqp/internal/schema"
 	"acqp/internal/sql"
+	"acqp/internal/stats"
 	"acqp/internal/trace"
 )
 
@@ -31,6 +33,11 @@ type planRequest struct {
 	// Planner selects the algorithm: "greedy" (default), "exhaustive",
 	// "corrseq", or "naive".
 	Planner string `json:"planner,omitempty"`
+	// Model selects the statistics backend planning (and fault imputation
+	// on /execute) runs against: "empirical" (the default — raw per-epoch
+	// counts), "independent", "chowliu", or "bn". Fitted backends are
+	// built once per epoch and shared across requests.
+	Model string `json:"model,omitempty"`
 	// MaxSplits and SplitPoints override the server's greedy defaults.
 	MaxSplits   int `json:"max_splits,omitempty"`
 	SplitPoints int `json:"split_points,omitempty"`
@@ -77,8 +84,15 @@ type planResponse struct {
 	Epoch        uint64  `json:"epoch"`
 	Key          string  `json:"key"`
 	PlanMS       float64 `json:"plan_ms"`
-	ElapsedMS    float64 `json:"elapsed_ms"`
-	RequestID    string  `json:"request_id,omitempty"`
+	// Model echoes the statistics backend the plan was built against. It
+	// is omitted when the request did not ask for one and the server runs
+	// the empirical default, keeping legacy responses byte-identical. It
+	// must serialize before ElapsedMS: the fast path (fast.go) splices the
+	// request ID and elapsed time into a pre-serialized blob by matching
+	// the fixed `,"elapsed_ms":0}` tail.
+	Model     string  `json:"model,omitempty"`
+	ElapsedMS float64 `json:"elapsed_ms"`
+	RequestID string  `json:"request_id,omitempty"`
 	// Node is the advertised URL of the node that did the planning work
 	// and Forwarded reports an internal shard-owner hop; both are empty
 	// when the server runs standalone.
@@ -181,7 +195,26 @@ func (s *Server) canonicalize(w http.ResponseWriter, req planRequest, strict boo
 	if len(canon.Preds) == 0 {
 		return query.Query{}, true, true, true
 	}
+	if n := len(canon.Preds); n > stats.MaxJointPreds {
+		// Joint predicate statistics pack one predicate per bit of a
+		// uint32 mask; past that the stats layer panics. Reject up front
+		// with the facade's typed-request verdict instead of a 500.
+		writeError(w, http.StatusUnprocessableEntity,
+			"%v: query has %d predicates, planning supports at most %d", acqp.ErrInvalidRequest, n, stats.MaxJointPreds)
+		return query.Query{}, false, false, false
+	}
 	return canon, false, false, true
+}
+
+// echoModel returns the model name a response reports: the resolved
+// backend when the client selected one explicitly or the server's default
+// is non-empirical; empty — the field is omitted — otherwise, keeping
+// default-configuration responses byte-identical to prior releases.
+func (s *Server) echoModel(req planRequest, p plannerParams) string {
+	if req.Model != "" || p.model != model.NameEmpirical {
+		return p.model
+	}
+	return ""
 }
 
 // handlePlan serves POST /plan.
@@ -211,8 +244,13 @@ func (s *Server) handlePlan(w http.ResponseWriter, r *http.Request) {
 	}
 	if req.Faults != nil {
 		// Validate the what-if section even though /plan does not execute:
-		// clients iterating on a faults spec get errors at plan time.
-		dist, _ := s.snapshot()
+		// clients iterating on a faults spec get errors at plan time. The
+		// imputation model is the request's selected backend.
+		dist, _, derr := s.modelSnapshot(p.model)
+		if derr != nil {
+			writePlanError(w, fmt.Errorf("serve: fitting model %q: %w", p.model, derr))
+			return
+		}
 		if _, err := s.buildFaultConfig(req.Faults, dist); err != nil {
 			writeError(w, http.StatusBadRequest, "%v", err)
 			return
@@ -246,6 +284,7 @@ func (s *Server) handlePlan(w http.ResponseWriter, r *http.Request) {
 		Epoch:        out.epoch,
 		Key:          canon.Key(),
 		PlanMS:       out.planMS,
+		Model:        s.echoModel(req, p),
 		ElapsedMS:    float64(time.Since(start)) / float64(time.Millisecond),
 		RequestID:    requestIDFrom(r.Context()),
 		Node:         servedBy,
@@ -385,9 +424,15 @@ func (s *Server) handleExecute(w http.ResponseWriter, r *http.Request) {
 	if !ok {
 		return
 	}
-	dist, _ := s.snapshot()
 	var faultCfg exec.FaultConfig
 	if req.Faults != nil {
+		// Imputation fills failed acquisitions from the request's selected
+		// statistics backend, so a "bn" run imputes from the Bayes net.
+		dist, _, derr := s.modelSnapshot(p.model)
+		if derr != nil {
+			writePlanError(w, fmt.Errorf("serve: fitting model %q: %w", p.model, derr))
+			return
+		}
 		faultCfg, err = s.buildFaultConfig(req.Faults, dist)
 		if err != nil {
 			writeError(w, http.StatusBadRequest, "%v", err)
@@ -466,6 +511,7 @@ func (s *Server) handleExecute(w http.ResponseWriter, r *http.Request) {
 			Epoch:        out.epoch,
 			Key:          canon.Key(),
 			PlanMS:       out.planMS,
+			Model:        s.echoModel(req, p),
 			ElapsedMS:    float64(time.Since(start)) / float64(time.Millisecond),
 			RequestID:    requestIDFrom(r.Context()),
 			Trace:        out.traceSnap,

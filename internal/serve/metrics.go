@@ -27,6 +27,8 @@ type metrics struct {
 	invalidated  atomic.Int64 // cache entries purged by epoch bumps
 	inFlight     atomic.Int64 // /plan and /execute requests currently being served
 
+	modelFits atomic.Int64 // fitted-model builds (one per model name per epoch)
+
 	faultExecutions atomic.Int64 // /execute runs under a faults section
 	faultRetries    atomic.Int64 // acquisition retries across fault-injected runs
 	faultFailures   atomic.Int64 // ultimate acquisition failures across fault-injected runs
@@ -160,6 +162,7 @@ func (m *metrics) write(w io.Writer, epoch uint64, cacheLen, cacheCap int) error
 		{"acqserved_stats_refreshes", float64(m.refreshes.Load())},
 		{"acqserved_cache_invalidated", float64(m.invalidated.Load())},
 		{"acqserved_in_flight", float64(m.inFlight.Load())},
+		{"acqserved_model_fits", float64(m.modelFits.Load())},
 		{"acqserved_fault_executions", float64(m.faultExecutions.Load())},
 		{"acqserved_fault_retries", float64(m.faultRetries.Load())},
 		{"acqserved_fault_failures", float64(m.faultFailures.Load())},

@@ -1,0 +1,73 @@
+package serve
+
+import (
+	"sync"
+
+	"acqp/internal/model"
+	"acqp/internal/stats"
+)
+
+// Model selection. A request's "model" field (or the server's -model
+// default) names the statistics backend its planning run should use:
+// "empirical" is the raw epoch snapshot — today's behavior — while
+// "independent", "chowliu", and "bn" are fitted models from the
+// internal/model registry. Fitted models are built from the same training
+// table the epoch's empirical distribution was installed from, at most
+// once per (name, epoch): the first request for a model fits it and every
+// concurrent or later request shares the published result through
+// sync.Once, exactly like the lazily published statistics inside the
+// models themselves.
+
+// fittedModel is one (name, epoch) fitting slot; once publishes the
+// result to every waiter.
+type fittedModel struct {
+	once sync.Once
+	dist stats.Dist
+	err  error
+}
+
+// modelSnapshot returns the distribution a planning run should use for
+// the named model together with the epoch it belongs to, fitting on
+// first use. Names "" and "empirical" return the plain epoch snapshot.
+// The (dist, epoch, table) triple is read atomically, so a concurrent
+// refresh cannot mix an old model with a new epoch.
+func (s *Server) modelSnapshot(name string) (stats.Dist, uint64, error) {
+	s.mu.RLock()
+	dist, epoch, tbl := s.dist, s.epoch, s.histTbl
+	s.mu.RUnlock()
+	if name == "" || name == model.NameEmpirical {
+		return dist, epoch, nil
+	}
+	s.modelsMu.Lock()
+	if s.modelEpoch != epoch {
+		// First fitted-model request since the epoch advanced: drop the
+		// stale models. Entries keyed under the old epoch can never be
+		// served again (the cache key embeds the epoch).
+		s.modelEpoch = epoch
+		s.fitted = make(map[string]*fittedModel)
+	}
+	fm := s.fitted[name]
+	if fm == nil {
+		fm = &fittedModel{}
+		s.fitted[name] = fm
+	}
+	s.modelsMu.Unlock()
+	fm.once.Do(func() {
+		fm.dist, fm.err = model.Fit(name, tbl, model.Opts{})
+		if fm.err == nil {
+			count(&s.metrics.modelFits, 1)
+		}
+	})
+	return fm.dist, epoch, fm.err
+}
+
+// refitDefault eagerly refits the server's default model after an epoch
+// bump so the first post-refresh request does not pay the fitting
+// latency. No-op for the empirical default.
+func (s *Server) refitDefault() {
+	if s.cfg.DefaultModel == "" || s.cfg.DefaultModel == model.NameEmpirical {
+		return
+	}
+	//acqlint:ignore errdrop fit errors surface on the serving path; the eager warm-up is best-effort
+	_, _, _ = s.modelSnapshot(s.cfg.DefaultModel)
+}

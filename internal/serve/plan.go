@@ -9,6 +9,7 @@ import (
 	"time"
 
 	"acqp"
+	"acqp/internal/model"
 	"acqp/internal/opt"
 	"acqp/internal/plan"
 	"acqp/internal/query"
@@ -28,6 +29,7 @@ var (
 // search returns — parallel search is plan-deterministic).
 type plannerParams struct {
 	name        string // "greedy", "exhaustive", "corrseq", "naive"
+	model       string // statistics backend, one of model.Names()
 	maxSplits   int
 	splitPoints int
 	parallelism int
@@ -40,6 +42,7 @@ type plannerParams struct {
 func (s *Server) resolveParams(req planRequest) (plannerParams, error) {
 	p := plannerParams{
 		name:        req.Planner,
+		model:       req.Model,
 		maxSplits:   req.MaxSplits,
 		splitPoints: req.SplitPoints,
 		parallelism: req.Parallelism,
@@ -54,6 +57,12 @@ func (s *Server) resolveParams(req planRequest) (plannerParams, error) {
 	case "greedy", "exhaustive", "corrseq", "naive":
 	default:
 		return p, fmt.Errorf("unknown planner %q (want greedy, exhaustive, corrseq, or naive)", p.name)
+	}
+	if p.model == "" {
+		p.model = s.cfg.DefaultModel
+	}
+	if !model.KnownName(p.model) {
+		return p, fmt.Errorf("unknown model %q (want one of %v)", p.model, model.Names())
 	}
 	if p.maxSplits <= 0 {
 		p.maxSplits = s.cfg.MaxSplits
@@ -83,11 +92,17 @@ func (s *Server) resolveParams(req planRequest) (plannerParams, error) {
 }
 
 // cacheKey identifies a planning outcome: planner configuration plus the
-// canonical query plus the statistics epoch. The timeout is deliberately
-// excluded — it changes how long planning may take, not which plan is
-// optimal — so clients with different deadlines share cache entries.
+// statistics backend plus the canonical query plus the statistics epoch.
+// The timeout is deliberately excluded — it changes how long planning may
+// take, not which plan is optimal — so clients with different deadlines
+// share cache entries. The model component appears only for non-empirical
+// backends, keeping every pre-existing key byte-identical.
 func cacheKey(p plannerParams, q query.Query, epoch uint64) string {
-	return fmt.Sprintf("%s/k%d/s%d@%d|%s", p.name, p.maxSplits, p.splitPoints, epoch, q.Key())
+	key := fmt.Sprintf("%s/k%d/s%d@%d|%s", p.name, p.maxSplits, p.splitPoints, epoch, q.Key())
+	if p.model != "" && p.model != model.NameEmpirical {
+		key = "m=" + p.model + "/" + key
+	}
+	return key
 }
 
 // planOutcome is one completed planning run, in cache-ready form. The
@@ -254,7 +269,10 @@ type distEpoch struct {
 // cache writes while still allowing reads: fault-injected requests use it
 // so the what-if path can never populate the cache.
 func (s *Server) planCached(reqCtx context.Context, canon query.Query, p plannerParams, noCache, noStore bool) (out planOutcome, cached, shared bool, err error) {
-	dist, epoch := s.snapshot()
+	dist, epoch, err := s.modelSnapshot(p.model)
+	if err != nil {
+		return planOutcome{}, false, false, fmt.Errorf("serve: fitting model %q: %w", p.model, err)
+	}
 	key := cacheKey(p, canon, epoch)
 	// Strict and lax requests share cache entries (a cached plan is never
 	// degraded, so it satisfies both) but not singleflight runs: a lax

@@ -4,6 +4,7 @@ import (
 	"time"
 
 	"acqp/internal/stats"
+	"acqp/internal/table"
 )
 
 // Refresh compares the sliding window's distribution with the one the
@@ -20,8 +21,10 @@ func (s *Server) Refresh(force bool) (refreshed bool, drift float64, epoch uint6
 	s.wmu.Lock()
 	n := s.window.Len()
 	var fresh *stats.Empirical
+	var freshTbl *table.Table
 	if n > 0 {
-		fresh = stats.NewEmpirical(s.window.Materialize())
+		freshTbl = s.window.Materialize()
+		fresh = stats.NewEmpirical(freshTbl)
 	}
 	s.wmu.Unlock()
 	if fresh == nil {
@@ -44,6 +47,7 @@ func (s *Server) Refresh(force bool) (refreshed bool, drift float64, epoch uint6
 		return false, drift, epoch, 0
 	}
 	s.dist = fresh
+	s.histTbl = freshTbl
 	s.epoch++
 	epoch = s.epoch
 	s.mu.Unlock()
@@ -52,6 +56,11 @@ func (s *Server) Refresh(force bool) (refreshed bool, drift float64, epoch uint6
 	s.fast.purge() // fast-path blobs embed the epoch; all are stale now
 	count(&s.metrics.invalidated, int64(purged))
 	count(&s.metrics.refreshes, 1)
+	// Fitted models were trained on the superseded table; refit the
+	// configured default eagerly so post-refresh requests find it warm
+	// (other backends lazily refit on first request — modelSnapshot drops
+	// the stale map when it sees the new epoch).
+	s.refitDefault()
 	if s.cluster != nil {
 		// Push the new epoch to peers immediately instead of waiting out
 		// the gossip interval, so their stale cache entries purge now.

@@ -25,15 +25,19 @@ package serve
 
 import (
 	"context"
+	"crypto/rand"
+	"encoding/binary"
 	"fmt"
 	"io"
 	"net/http"
+	"os"
 	"runtime"
 	"sync"
 	"sync/atomic"
 	"time"
 
 	"acqp/internal/cluster"
+	"acqp/internal/model"
 	"acqp/internal/schema"
 	"acqp/internal/stats"
 	"acqp/internal/stream"
@@ -72,6 +76,13 @@ type Config struct {
 	// applied when a request does not set parallelism. Requests may raise
 	// it up to GOMAXPROCS. Default 1.
 	PlanParallelism int
+
+	// DefaultModel names the statistics backend planning runs use when a
+	// request does not set its "model" field: one of model.Names()
+	// ("empirical", "independent", "chowliu", "bn"). Default "empirical",
+	// the raw per-epoch counts. Non-empirical defaults are refit eagerly
+	// on every epoch bump.
+	DefaultModel string
 
 	// WindowSize is the sliding statistics window capacity. Default 4096.
 	WindowSize int
@@ -132,6 +143,9 @@ func (c Config) withDefaults() Config {
 	if c.DriftThreshold == 0 {
 		c.DriftThreshold = 0.05
 	}
+	if c.DefaultModel == "" {
+		c.DefaultModel = model.NameEmpirical
+	}
 	return c
 }
 
@@ -145,9 +159,16 @@ type Server struct {
 	baseCtx context.Context // cancelled by Shutdown; parent of every planning deadline
 	cancel  context.CancelFunc
 
-	mu    sync.RWMutex // guards dist and epoch
-	dist  stats.Dist
-	epoch uint64
+	mu      sync.RWMutex // guards dist, epoch, and histTbl
+	dist    stats.Dist
+	epoch   uint64
+	histTbl *table.Table // the epoch's training table; fitted models build from it
+
+	// Fitted-model cache (model.go): one slot per model name, valid for
+	// modelEpoch only.
+	modelsMu   sync.Mutex
+	modelEpoch uint64
+	fitted     map[string]*fittedModel
 
 	wmu    sync.Mutex // guards window (stream.Window is not goroutine-safe)
 	window *stream.Window
@@ -199,6 +220,9 @@ func New(cfg Config) (*Server, error) {
 	if cfg.History == nil || cfg.History.NumRows() == 0 {
 		return nil, fmt.Errorf("serve: config needs non-empty historical data")
 	}
+	if !model.KnownName(cfg.DefaultModel) {
+		return nil, fmt.Errorf("serve: unknown default model %q (want one of %v)", cfg.DefaultModel, model.Names())
+	}
 	win, err := stream.NewWindow(cfg.Schema, cfg.WindowSize)
 	if err != nil {
 		return nil, fmt.Errorf("serve: %v", err)
@@ -214,20 +238,23 @@ func New(cfg Config) (*Server, error) {
 	}
 	ctx, cancel := context.WithCancel(context.Background()) //acqlint:ignore ctxbg server-lifetime base context owned by the Server, cancelled in Close
 	s := &Server{
-		cfg:     cfg,
-		s:       cfg.Schema,
-		baseCtx: ctx,
-		cancel:  cancel,
-		dist:    stats.NewEmpirical(cfg.History),
-		epoch:   1,
-		window:  win,
-		cache:   newLRUCache(cfg.CacheSize),
-		flight:  newFlightGroup(),
-		fast:    newFastCache(cfg.CacheSize),
-		jobs:    make(chan func(), cfg.QueueDepth),
-		started: time.Now(),
+		cfg:        cfg,
+		s:          cfg.Schema,
+		baseCtx:    ctx,
+		cancel:     cancel,
+		dist:       stats.NewEmpirical(cfg.History),
+		epoch:      1,
+		histTbl:    cfg.History,
+		modelEpoch: 1,
+		fitted:     make(map[string]*fittedModel),
+		window:     win,
+		cache:      newLRUCache(cfg.CacheSize),
+		flight:     newFlightGroup(),
+		fast:       newFastCache(cfg.CacheSize),
+		jobs:       make(chan func(), cfg.QueueDepth),
+		started:    time.Now(),
 	}
-	s.fastIDPrefix = []byte(fmt.Sprintf("%x-", s.started.UnixNano()&0xffffffff))
+	s.fastIDPrefix = idPrefix(s.started)
 	s.mux = http.NewServeMux()
 	// The API is versioned under /v1/. The original unversioned paths
 	// remain as aliases so existing clients keep working, but every alias
@@ -265,6 +292,22 @@ func New(cfg Config) (*Server, error) {
 		go s.refresher()
 	}
 	return s, nil
+}
+
+// idPrefix renders the instance half of generated request IDs: the full
+// 64-bit start timestamp plus a random per-process salt. The previous
+// scheme truncated the timestamp to its low 32 bits (~4.3 s of nanosecond
+// range), so two nodes — or one node restarted — starting within the same
+// truncated window minted colliding ID streams; the salt breaks ties even
+// for nodes whose clocks return the identical nanosecond.
+func idPrefix(started time.Time) []byte {
+	var salt [4]byte
+	if _, err := rand.Read(salt[:]); err != nil {
+		// crypto/rand failing is effectively unheard of; degrade to a
+		// PID-derived salt rather than refusing to start.
+		binary.BigEndian.PutUint32(salt[:], uint32(os.Getpid()))
+	}
+	return []byte(fmt.Sprintf("%016x-%x-", uint64(started.UnixNano()), salt))
 }
 
 // requestIDKey carries the per-request trace ID through the request
@@ -315,7 +358,7 @@ func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 	}
 	id := r.Header.Get("X-Request-Id")
 	if id == "" {
-		id = fmt.Sprintf("%x-%06x", s.started.UnixNano()&0xffffffff, count(&s.reqSeq, 1))
+		id = fmt.Sprintf("%s%06x", s.fastIDPrefix, count(&s.reqSeq, 1))
 	}
 	w.Header().Set("X-Request-Id", id)
 	req := r.WithContext(context.WithValue(r.Context(), requestIDKey{}, id))

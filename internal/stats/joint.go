@@ -5,6 +5,12 @@ import (
 	"acqp/internal/query"
 )
 
+// MaxJointPreds is the largest predicate count PredMaskJoint can
+// represent: the joint is dense over 2^m satisfaction patterns, so m is
+// capped well below the 2^32 slice-length wall. Planning entry points
+// reject longer queries up front.
+const MaxJointPreds = 30
+
 // PredMaskJoint returns the joint distribution over the rediscretized
 // query-predicate bits of Section 4.1.2: out[mask] is the probability,
 // under the context, that exactly the predicates whose bit is set in mask
@@ -16,9 +22,14 @@ import (
 // X'_1..X'_m" of Section 5.2). Other Cond implementations fall back to
 // recursive conditioning, which costs O(2^m) Restrict calls and is only
 // used for small m.
+//
+// Queries with more than MaxJointPreds predicates cannot be represented
+// (the mask is 2^m cells) and panic; API layers validate q.NumPreds()
+// against MaxJointPreds before planning so user queries surface a typed
+// invalid-request error instead.
 func PredMaskJoint(c Cond, q query.Query) []float64 {
 	m := q.NumPreds()
-	if m > 30 {
+	if m > MaxJointPreds {
 		panic("stats: PredMaskJoint: too many predicates")
 	}
 	if ec, ok := c.(*empCond); ok {
